@@ -1,0 +1,55 @@
+//! P2 — constrained CTMDP solve time: LP vs relative value iteration on
+//! growing service-rate-control queues.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socbuf_ctmdp::{relative_value_iteration, solve_constrained, CtmdpBuilder, CtmdpModel};
+
+/// Service-rate-controlled M/M/1/K with holding costs; optionally a
+/// budget constraint on serving effort.
+fn queue_model(k: usize, constrained: bool) -> CtmdpModel {
+    let constraints = usize::from(constrained);
+    let mut b = CtmdpBuilder::new(k + 1, constraints);
+    for s in 0..=k {
+        let mut arrivals = Vec::new();
+        if s < k {
+            arrivals.push((s + 1, 1.0));
+        }
+        let cost = s as f64;
+        let ccost = |v: f64| if constrained { vec![v] } else { vec![] };
+        b.add_action(s, "idle", arrivals.clone(), cost, ccost(0.0)).unwrap();
+        let mut trans = arrivals;
+        if s > 0 {
+            trans.push((s - 1, 2.0));
+        }
+        b.add_action(s, "serve", trans, cost, ccost(1.0)).unwrap();
+    }
+    if constrained {
+        b.set_constraint_bound(0, 0.4);
+    }
+    b.build().unwrap()
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctmdp_lp");
+    for &k in &[8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let m = queue_model(k, true);
+            b.iter(|| solve_constrained(&m).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_value_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctmdp_vi");
+    for &k in &[8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let m = queue_model(k, false);
+            b.iter(|| relative_value_iteration(&m, 1e-8, 1_000_000).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp, bench_value_iteration);
+criterion_main!(benches);

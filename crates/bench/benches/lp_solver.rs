@@ -1,0 +1,57 @@
+//! P1 — simplex solver scaling on dense random LPs and on
+//! occupation-measure-shaped LPs (the solver's real workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socbuf_lp::{LpProblem, Relation, Sense};
+
+/// Dense feasible-by-construction LP: max c·x, A x ≤ b, x ≤ 10.
+fn dense_lp(n: usize, m: usize) -> LpProblem {
+    let mut p = LpProblem::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|j| p.add_var_bounded(format!("x{j}"), ((j * 7 + 3) % 11) as f64, 0.0, Some(10.0)))
+        .collect();
+    for i in 0..m {
+        let terms: Vec<_> = (0..n)
+            .map(|j| (vars[j], (((i * 13 + j * 5 + 1) % 17) as f64) / 4.0))
+            .collect();
+        p.add_constraint(terms, Relation::Le, 50.0 + i as f64).unwrap();
+    }
+    p
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_dense");
+    for &(n, m) in &[(10usize, 8usize), (30, 20), (60, 40), (120, 80)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}")),
+            &(n, m),
+            |b, &(n, m)| {
+                let p = dense_lp(n, m);
+                b.iter(|| p.solve().unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sizing_shaped(c: &mut Criterion) {
+    use socbuf_core::{SizingConfig, SizingLp};
+    use socbuf_soc::templates;
+    let mut group = c.benchmark_group("lp_sizing_shaped");
+    group.sample_size(10);
+    let arch = templates::figure1();
+    for &cap in &[8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            let cfg = SizingConfig {
+                state_cap: cap,
+                ..SizingConfig::default()
+            };
+            let lp = SizingLp::build(&arch, 22, &cfg).unwrap();
+            b.iter(|| lp.solve().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense, bench_sizing_shaped);
+criterion_main!(benches);

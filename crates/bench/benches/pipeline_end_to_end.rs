@@ -1,0 +1,46 @@
+//! P4 — the full methodology end to end: split + joint LP + K-switching
+//! translation (sizing), and sizing + tri-policy simulation (evaluate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socbuf_core::{evaluate_policies, size_buffers, PipelineConfig, SizingConfig};
+use socbuf_soc::templates;
+
+fn bench_sizing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_sizing");
+    group.sample_size(10);
+    let cases = [
+        ("figure1_b22", templates::figure1(), 22usize),
+        ("amba_b16", templates::amba(), 16),
+        ("np_b160", templates::network_processor(), 160),
+    ];
+    for (name, arch, budget) in cases {
+        let cfg = SizingConfig {
+            state_cap: 12,
+            ..SizingConfig::default()
+        };
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| size_buffers(&arch, budget, &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_evaluate");
+    group.sample_size(10);
+    let arch = templates::figure1();
+    let config = PipelineConfig {
+        sizing: SizingConfig::small(),
+        horizon: 500.0,
+        warmup: 50.0,
+        seed: 1,
+        replications: 3,
+    };
+    group.bench_function("figure1_3reps", |b| {
+        b.iter(|| evaluate_policies(&arch, 22, &config).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sizing, bench_evaluate);
+criterion_main!(benches);

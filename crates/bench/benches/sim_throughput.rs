@@ -1,0 +1,55 @@
+//! P3 — discrete-event simulator throughput on the paper's templates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socbuf_sim::{simulate, Arbiter, SimConfig};
+use socbuf_soc::{templates, BufferAllocation};
+
+fn bench_templates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_horizon_1000");
+    group.sample_size(10);
+    let cases = [
+        ("figure1", templates::figure1()),
+        ("amba", templates::amba()),
+        ("coreconnect", templates::coreconnect()),
+        ("network_processor", templates::network_processor()),
+    ];
+    for (name, arch) in cases {
+        let alloc = BufferAllocation::uniform(&arch, 10 * arch.num_queues());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &arch, |b, arch| {
+            b.iter(|| {
+                simulate(
+                    arch,
+                    &alloc,
+                    Arbiter::RandomNonempty,
+                    &SimConfig::new(1000.0, 42),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_arbiters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_arbiters_np");
+    group.sample_size(10);
+    let arch = templates::network_processor();
+    let alloc = BufferAllocation::uniform(&arch, 320);
+    let efforts = vec![vec![0.0, 0.5, 1.0, 1.0, 1.0]; arch.num_queues()];
+    let arbiters = [
+        ("random", Arbiter::RandomNonempty),
+        ("longest", Arbiter::LongestQueue),
+        ("round_robin", Arbiter::round_robin(arch.num_buses())),
+        ("k_switching", Arbiter::WeightedEffort { efforts }),
+    ];
+    for (name, arb) in arbiters {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &arb, |b, arb| {
+            b.iter(|| {
+                simulate(&arch, &alloc, arb.clone(), &SimConfig::new(1000.0, 42))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_templates, bench_arbiters);
+criterion_main!(benches);

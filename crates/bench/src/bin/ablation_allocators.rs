@@ -1,0 +1,65 @@
+//! Ablation A3 — allocation policies head to head: uniform ("constant
+//! sizing"), traffic-proportional (the paper's "simple division depending
+//! on traffic ratios"), and the CTMDP methodology. All three simulated
+//! with the same equal-share arbiter *and* the CTMDP one, to separate the
+//! effect of buffer placement from the effect of the K-switching policy.
+//!
+//! Run with: `cargo run --release -p socbuf-bench --bin ablation_allocators`
+
+use socbuf_bench::paper_pipeline_config;
+use socbuf_core::{size_buffers, SizingConfig};
+use socbuf_sim::{average_reports, replicate, Arbiter, SimConfig};
+use socbuf_soc::{templates, BufferAllocation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = templates::network_processor();
+    let budget = 160;
+    let pipeline = paper_pipeline_config();
+    let sim_cfg = SimConfig {
+        horizon: pipeline.horizon,
+        warmup: pipeline.warmup,
+        seed: pipeline.seed,
+    };
+    let reps = pipeline.replications;
+
+    let outcome = size_buffers(&arch, budget, &SizingConfig::default())?;
+    let uniform = BufferAllocation::uniform(&arch, budget);
+    let proportional = BufferAllocation::traffic_proportional(&arch, budget);
+
+    println!("=== A3: allocator comparison (network processor, budget {budget}) ===\n");
+    println!("{:<24} {:>14} {:>16}", "allocation + arbiter", "total loss", "loss fraction");
+
+    let run = |label: &str, alloc: &BufferAllocation, arbiter: Arbiter| {
+        let reports = replicate(&arch, alloc, &arbiter, None, &sim_cfg, reps);
+        let avg = average_reports(&reports);
+        println!(
+            "{label:<24} {:>14.1} {:>15.2}%",
+            avg.total_lost,
+            100.0 * avg.loss_fraction()
+        );
+        avg.total_lost
+    };
+
+    run("uniform + fixed-slot", &uniform, Arbiter::FixedSlot);
+    run("uniform + equal-share", &uniform, Arbiter::RandomNonempty);
+    run(
+        "proportional + equal",
+        &proportional,
+        Arbiter::RandomNonempty,
+    );
+    run(
+        "ctmdp + equal-share",
+        &outcome.allocation,
+        Arbiter::RandomNonempty,
+    );
+    run("uniform + longest-q", &uniform, Arbiter::LongestQueue);
+    let k_arb = Arbiter::WeightedEffort {
+        efforts: outcome.efforts.clone(),
+    };
+    let full = run("ctmdp + k-switching", &outcome.allocation, k_arb);
+
+    println!(
+        "\nfull methodology total loss {full:.1}. The decisive gain over the paper's\nbaseline comes from backlog-adaptive arbitration (any adaptive row vs the\nfixed-slot row); buffer reallocation then decides how the residual loss is\ndistributed at tight budgets."
+    );
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Ablation A1 — sensitivity of the sizing to the budget-row tightness
+//! α (`Σ E[occupancy] ≤ α · budget` in the joint LP).
+//!
+//! Run with: `cargo run --release -p socbuf-bench --bin ablation_alpha`
+
+use socbuf_bench::paper_pipeline_config;
+use socbuf_core::evaluate_policies;
+use socbuf_soc::templates;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = templates::network_processor();
+    let budget = 320;
+    println!("=== A1: budget-row tightness α (network processor, budget {budget}) ===\n");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12}",
+        "alpha", "post loss", "vs pre (%)", "lp pivots"
+    );
+    for alpha in [0.2, 0.35, 0.5, 0.7, 0.9] {
+        let mut config = paper_pipeline_config();
+        config.replications = 5;
+        config.sizing.alpha = alpha;
+        let cmp = evaluate_policies(&arch, budget, &config)?;
+        println!(
+            "{alpha:>6.2} {:>14.1} {:>14.1} {:>12}",
+            cmp.post.total_lost,
+            100.0 * cmp.improvement_vs_pre(),
+            cmp.outcome.lp_iterations
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Ablation A2 — CTMDP discretization granularity: occupancy cap N and
+//! effort levels L against solution quality and LP size.
+//!
+//! Run with: `cargo run --release -p socbuf-bench --bin ablation_granularity`
+
+use socbuf_bench::paper_pipeline_config;
+use socbuf_core::evaluate_policies;
+use socbuf_soc::templates;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = templates::figure1();
+    let budget = 22;
+    println!("=== A2: CTMDP granularity (figure 1, budget {budget}) ===\n");
+    println!(
+        "{:>4} {:>4} {:>14} {:>14} {:>12}",
+        "N", "L", "pred. loss", "post loss", "lp pivots"
+    );
+    for (n, l) in [(6, 2), (8, 3), (12, 3), (16, 4), (20, 4), (24, 5)] {
+        let mut config = paper_pipeline_config();
+        config.replications = 5;
+        config.sizing.state_cap = n;
+        config.sizing.effort_levels = l;
+        let cmp = evaluate_policies(&arch, budget, &config)?;
+        println!(
+            "{n:>4} {l:>4} {:>14.5} {:>14.1} {:>12}",
+            cmp.outcome.predicted_loss_rate,
+            cmp.post.total_lost,
+            cmp.outcome.lp_iterations
+        );
+    }
+    println!("\nfiner grids should not worsen the predicted loss (richer policies)");
+    Ok(())
+}

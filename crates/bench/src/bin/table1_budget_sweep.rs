@@ -1,0 +1,61 @@
+//! Experiment E4 — the paper's **Table 1**: loss before/after resizing
+//! while the total buffer budget sweeps 160 → 320 → 640 units, reported
+//! for the highlighted processors 1, 4, 15, 16 (and in full).
+//!
+//! Expected shape: at 160 the redistribution barely helps (and can hurt
+//! individual processors); at 320 it clearly helps; at 640 post-sizing
+//! loss collapses to zero.
+//!
+//! Run with: `cargo run --release -p socbuf-bench --bin table1_budget_sweep`
+
+use socbuf_bench::paper_pipeline_config;
+use socbuf_core::evaluate_policies;
+use socbuf_soc::templates;
+
+const HIGHLIGHT: [usize; 4] = [1, 4, 15, 16];
+const BUDGETS: [usize; 3] = [160, 320, 640];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = templates::network_processor();
+    let config = paper_pipeline_config();
+
+    println!("=== Table 1: loss under varying total buffer size ===");
+    println!("(network processor, {} replications per cell)\n", config.replications);
+    println!(
+        "{:<10} {:>9} {:>9}   {:>9} {:>9}   {:>9} {:>9}",
+        "PROCESSOR", "160 pre", "160 post", "320 pre", "320 post", "640 pre", "640 post"
+    );
+
+    let mut results = Vec::new();
+    for budget in BUDGETS {
+        eprintln!("budget {budget} …");
+        results.push(evaluate_policies(&arch, budget, &config)?);
+    }
+
+    for p in 0..arch.num_processors() {
+        let marker = if HIGHLIGHT.contains(&(p + 1)) { "*" } else { " " };
+        print!("{marker}P{:<8}", p + 1);
+        for cmp in &results {
+            print!(
+                " {:>9.0} {:>9.0}  ",
+                cmp.pre.per_proc[p].lost, cmp.post.per_proc[p].lost
+            );
+        }
+        println!();
+    }
+    print!("{:<10}", "TOTAL");
+    for cmp in &results {
+        print!(" {:>9.0} {:>9.0}  ", cmp.pre.total_lost, cmp.post.total_lost);
+    }
+    println!("\n\n(* = processors highlighted in the paper's Table 1)");
+    println!("paper shape: post-sizing loss shrinks with budget and reaches 0 at 640 units");
+    for (budget, cmp) in BUDGETS.iter().zip(&results) {
+        println!(
+            "budget {budget:>3}: post-sizing total loss {:.1} ({}+{:.0}% vs pre)",
+            cmp.post.total_lost,
+            if cmp.improvement_vs_pre() >= 0.0 { "-" } else { "" },
+            100.0 * cmp.improvement_vs_pre().abs()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! The binaries in `src/bin/` regenerate the paper's artifacts:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig1_nonlinear` | §2 narrative — the unsplit system is quadratic and resists naive solving |
+//! | `fig2_split` | Figure 2 — the four split subsystems |
+//! | `fig3_loss_rates` | Figure 3 — per-processor losses under three policies |
+//! | `table1_budget_sweep` | Table 1 — pre/post losses at budgets 160/320/640 |
+//! | `ablation_alpha` | sensitivity to the budget-row tightness α |
+//! | `ablation_granularity` | sensitivity to CTMDP state/effort granularity |
+//! | `ablation_allocators` | uniform vs traffic-proportional vs CTMDP allocation |
+//! | `lp_scaling_probe` | developer probe: joint-LP pivot scaling (not a paper artifact) |
+
+use socbuf_core::PipelineConfig;
+
+/// The standard experiment configuration used by the paper-facing
+/// binaries: 10 replications (as in the paper), a 1000-time-unit horizon
+/// and a fixed base seed for reproducibility.
+pub fn paper_pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        horizon: 1000.0,
+        warmup: 100.0,
+        seed: 2005,
+        replications: 10,
+        ..PipelineConfig::default()
+    }
+}
+
+/// Renders a rough ASCII bar of width proportional to `value / max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10), "##########");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn paper_config_matches_paper() {
+        let c = paper_pipeline_config();
+        assert_eq!(c.replications, 10);
+    }
+}

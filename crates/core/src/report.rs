@@ -1,0 +1,161 @@
+//! Human-readable rendering of sizing results — the tables and series
+//! the experiment binaries print (Figure 3, Table 1).
+
+use std::fmt::Write as _;
+
+use socbuf_soc::Architecture;
+
+use crate::pipeline::PolicyComparison;
+
+/// Formatter for a [`PolicyComparison`].
+#[derive(Debug, Clone)]
+pub struct SizingReport<'a> {
+    arch: &'a Architecture,
+    comparison: &'a PolicyComparison,
+}
+
+impl<'a> SizingReport<'a> {
+    /// Couples a comparison with its architecture for naming.
+    pub fn new(arch: &'a Architecture, comparison: &'a PolicyComparison) -> Self {
+        SizingReport { arch, comparison }
+    }
+
+    /// The paper's Figure 3 series: per-processor loss counts under the
+    /// three policies, one row per processor.
+    pub fn figure3_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>12} {:>12}",
+            "processor", "pre-sizing", "post-sizing", "timeout"
+        );
+        for (i, ((pre, post), to)) in self
+            .comparison
+            .pre
+            .per_proc
+            .iter()
+            .zip(&self.comparison.post.per_proc)
+            .zip(&self.comparison.timeout.per_proc)
+            .enumerate()
+        {
+            let p = self.arch.proc_ids().nth(i).expect("processor in range");
+            let _ = writeln!(
+                out,
+                "{:<10} {:>12.1} {:>12.1} {:>12.1}",
+                self.arch.processor(p).name(),
+                pre.lost,
+                post.lost,
+                to.lost
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12.1} {:>12.1} {:>12.1}",
+            "TOTAL",
+            self.comparison.pre.total_lost,
+            self.comparison.post.total_lost,
+            self.comparison.timeout.total_lost
+        );
+        let _ = writeln!(
+            out,
+            "improvement vs constant sizing: {:+.1}%   vs timeout policy: {:+.1}%",
+            100.0 * self.comparison.improvement_vs_pre(),
+            100.0 * self.comparison.improvement_vs_timeout()
+        );
+        out
+    }
+
+    /// One row of the paper's Table 1 (`pre`/`post` loss for selected
+    /// processors at this budget), given 1-indexed processor numbers.
+    pub fn table1_row(&self, processors_1_indexed: &[usize]) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "budget {:>4}:", self.comparison.budget);
+        for &idx in processors_1_indexed {
+            let pre = self.comparison.pre.per_proc[idx - 1].lost;
+            let post = self.comparison.post.per_proc[idx - 1].lost;
+            let _ = write!(out, "  P{idx} {pre:>7.1} -> {post:>6.1}");
+        }
+        out
+    }
+
+    /// CSV with one line per processor: `name,pre,post,timeout`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("processor,pre,post,timeout\n");
+        for (i, ((pre, post), to)) in self
+            .comparison
+            .pre
+            .per_proc
+            .iter()
+            .zip(&self.comparison.post.per_proc)
+            .zip(&self.comparison.timeout.per_proc)
+            .enumerate()
+        {
+            let p = self.arch.proc_ids().nth(i).expect("processor in range");
+            let _ = writeln!(
+                out,
+                "{},{},{},{}",
+                self.arch.processor(p).name(),
+                pre.lost,
+                post.lost,
+                to.lost
+            );
+        }
+        out
+    }
+
+    /// The allocation table: queue name, requirement, granted units.
+    pub fn allocation_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<16} {:>11} {:>8}", "queue", "requirement", "units");
+        for q in self.arch.queue_ids() {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>11} {:>8}",
+                self.arch.queue_name(q),
+                self.comparison.outcome.requirements[q.index()],
+                self.comparison.outcome.allocation.units(q)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:>11} {:>8}",
+            "TOTAL",
+            "",
+            self.comparison.outcome.allocation.total()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{evaluate_policies, PipelineConfig};
+    use socbuf_soc::templates;
+
+    #[test]
+    fn report_renders_all_processors_and_totals() {
+        let arch = templates::amba();
+        let cmp = evaluate_policies(&arch, 20, &PipelineConfig::small()).unwrap();
+        let report = SizingReport::new(&arch, &cmp);
+        let fig3 = report.figure3_table();
+        for p in arch.proc_ids() {
+            assert!(fig3.contains(arch.processor(p).name()));
+        }
+        assert!(fig3.contains("TOTAL"));
+        assert!(fig3.contains("improvement"));
+
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), arch.num_processors() + 1);
+
+        let row = report.table1_row(&[1, 2]);
+        assert!(row.contains("budget"));
+        assert!(row.contains("P1"));
+
+        let alloc = report.allocation_table();
+        assert!(alloc.contains("TOTAL"));
+        for q in arch.queue_ids() {
+            assert!(alloc.contains(&arch.queue_name(q)));
+        }
+    }
+}

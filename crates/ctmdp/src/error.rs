@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+use socbuf_lp::LpError;
+use socbuf_markov::MarkovError;
+
+/// Errors produced while building or solving a CTMDP.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CtmdpError {
+    /// The model description is malformed (bad state index, negative
+    /// rate, missing action set, wrong constraint-cost arity, …).
+    InvalidModel(String),
+    /// The constraint set admits no stationary policy.
+    Infeasible,
+    /// The occupation-measure LP failed for a solver-level reason.
+    Lp(LpError),
+    /// Chain-level analysis of an induced policy failed.
+    Markov(MarkovError),
+    /// Value iteration did not converge within its iteration budget.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final span of the value-difference vector.
+        span: f64,
+    },
+}
+
+impl fmt::Display for CtmdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtmdpError::InvalidModel(msg) => write!(f, "invalid ctmdp model: {msg}"),
+            CtmdpError::Infeasible => {
+                write!(f, "no stationary policy satisfies the constraints")
+            }
+            CtmdpError::Lp(e) => write!(f, "occupation-measure lp failed: {e}"),
+            CtmdpError::Markov(e) => write!(f, "markov analysis failed: {e}"),
+            CtmdpError::NoConvergence { iterations, span } => write!(
+                f,
+                "value iteration did not converge after {iterations} iterations (span {span:.3e})"
+            ),
+        }
+    }
+}
+
+impl Error for CtmdpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CtmdpError::Lp(e) => Some(e),
+            CtmdpError::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LpError> for CtmdpError {
+    fn from(e: LpError) -> Self {
+        match e {
+            LpError::Infeasible { .. } => CtmdpError::Infeasible,
+            other => CtmdpError::Lp(other),
+        }
+    }
+}
+
+impl From<MarkovError> for CtmdpError {
+    fn from(e: MarkovError) -> Self {
+        CtmdpError::Markov(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infeasible_lp_maps_to_infeasible() {
+        let e: CtmdpError = LpError::Infeasible { residual: 0.1 }.into();
+        assert_eq!(e, CtmdpError::Infeasible);
+        let e: CtmdpError = LpError::EmptyProblem.into();
+        assert!(matches!(e, CtmdpError::Lp(_)));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            CtmdpError::InvalidModel("x".into()),
+            CtmdpError::Infeasible,
+            CtmdpError::NoConvergence {
+                iterations: 5,
+                span: 0.1,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Detection and summary of the **K-switching** policy structure.
+//!
+//! Feinberg's structure theorem (reference \[1\] of the paper) says: a
+//! constrained average-cost CTMDP with K side constraints admits an
+//! optimal *randomized stationary* policy that randomizes in at most K
+//! states — and a basic optimal solution of the occupation-measure LP
+//! produces exactly such a policy. For the birth–death queue blocks of
+//! the buffer-sizing formulation this specializes to a *threshold*
+//! ("switching-curve") policy: serve at zero effort below a queue level,
+//! full effort above it, and randomize between two adjacent effort levels
+//! at the single switching level.
+//!
+//! The paper's translation step ("translating the state action pair
+//! probabilities into buffer space requirements by using the K-switching
+//! policy") consumes the summaries produced here.
+
+use crate::{CtmdpModel, CtmdpSolution, RandomizedPolicy};
+
+/// Structural summary of a randomized policy, viewed through the
+/// crate convention that actions are ordered by increasing intensity
+/// (service effort) within each state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchingSummary {
+    /// Expected action *index* per state: `Σ_a a·φ(a|s)`.
+    pub expected_level: Vec<f64>,
+    /// States where the policy randomizes over ≥ 2 actions.
+    pub randomized_states: Vec<usize>,
+    /// `true` when `expected_level` is non-decreasing in the state index
+    /// — the threshold/switching-curve shape for birth–death blocks.
+    pub is_monotone: bool,
+    /// The switching threshold: smallest state whose expected level
+    /// exceeds `tol`, or `None` if the policy never acts.
+    pub threshold: Option<usize>,
+}
+
+/// Probability cutoff below which an action is considered unused.
+pub const SUPPORT_TOL: f64 = 1e-9;
+
+/// Summarizes the switching structure of `policy`.
+///
+/// # Examples
+///
+/// ```
+/// use socbuf_ctmdp::{CtmdpBuilder, solve_constrained};
+/// use socbuf_ctmdp::kswitching::summarize;
+///
+/// # fn main() -> Result<(), socbuf_ctmdp::CtmdpError> {
+/// let mut b = CtmdpBuilder::new(2, 1);
+/// b.add_action(0, "idle", vec![(1, 1.0)], 0.0, vec![0.0])?;
+/// b.add_action(1, "slow", vec![(0, 1.0)], 1.0, vec![0.0])?;
+/// b.add_action(1, "fast", vec![(0, 4.0)], 1.0, vec![1.0])?;
+/// b.set_constraint_bound(0, 0.1);
+/// let sol = solve_constrained(&b.build()?)?;
+/// let summary = summarize(sol.policy());
+/// assert!(summary.randomized_states.len() <= 1); // K = 1
+/// # Ok(())
+/// # }
+/// ```
+pub fn summarize(policy: &RandomizedPolicy) -> SwitchingSummary {
+    let n = policy.num_states();
+    let mut expected = Vec::with_capacity(n);
+    for s in 0..n {
+        let mut e = 0.0;
+        for a in 0..policy.num_actions(s) {
+            e += a as f64 * policy.prob(s, a);
+        }
+        expected.push(e);
+    }
+    let randomized_states = policy.randomized_states(SUPPORT_TOL);
+    let is_monotone = expected.windows(2).all(|w| w[1] >= w[0] - 1e-9);
+    let threshold = expected.iter().position(|&e| e > SUPPORT_TOL);
+    SwitchingSummary {
+        expected_level: expected,
+        randomized_states,
+        is_monotone,
+        threshold,
+    }
+}
+
+/// Checks Feinberg's bound: a basic optimal solution of a K-constraint
+/// CTMDP randomizes in at most K states. Returns `(randomized, bound)`
+/// so callers can assert `randomized ≤ bound`.
+pub fn feinberg_bound(model: &CtmdpModel, solution: &CtmdpSolution) -> (usize, usize) {
+    let randomized = solution
+        .policy()
+        .randomized_states(SUPPORT_TOL)
+        .len();
+    // Only constraints with finite bounds enter the LP.
+    let active = (0..model.num_constraints())
+        .filter(|&k| model.constraint_bound(k) < f64::MAX)
+        .count();
+    (randomized, active)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve_constrained, CtmdpBuilder};
+
+    /// A service-rate-controlled M/M/1/K queue: states 0..=4, actions
+    /// {idle, serve} with a budget on serving effort. The strictly
+    /// increasing holding cost makes serving at higher occupancy strictly
+    /// more valuable, so the optimal policy is threshold-type with ≤ 1
+    /// randomized state (without a holding cost the objective is
+    /// degenerate and non-monotone optima coexist).
+    fn queue_model(effort_budget: f64) -> crate::CtmdpModel {
+        let k = 4;
+        let lambda = 1.0;
+        let mu = 2.5;
+        let mut b = CtmdpBuilder::new(k + 1, 1);
+        for s in 0..=k {
+            let mut arrivals = Vec::new();
+            if s < k {
+                arrivals.push((s + 1, lambda));
+            }
+            // Holding cost s per unit time, plus the loss rate when full.
+            let cost = s as f64 + if s == k { 10.0 * lambda } else { 0.0 };
+            // Action 0: idle.
+            b.add_action(s, "idle", arrivals.clone(), cost, vec![0.0])
+                .unwrap();
+            // Action 1: serve at μ (uses one unit of effort).
+            let mut trans = arrivals;
+            if s > 0 {
+                trans.push((s - 1, mu));
+            }
+            b.add_action(s, "serve", trans, cost, vec![1.0]).unwrap();
+        }
+        b.set_constraint_bound(0, effort_budget);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn queue_policy_has_kswitching_structure() {
+        let m = queue_model(0.3);
+        let sol = solve_constrained(&m).unwrap();
+        // Feinberg: at most K = 1 randomized state at a basic optimum.
+        let (randomized, bound) = feinberg_bound(&m, &sol);
+        assert!(randomized <= bound, "{randomized} > {bound}");
+        let summary = summarize(sol.policy());
+        // Effort budgets buy service where it matters: never at an empty
+        // queue (serving there burns budget without a departure)…
+        assert!(summary.expected_level[0] < 1e-9, "{summary:?}");
+        // …and the policy does serve somewhere.
+        assert!(summary.threshold.is_some(), "{summary:?}");
+        // Note: expected effort need NOT be monotone in the queue length
+        // under a time-fraction effort budget — effort concentrates where
+        // stationary mass lives. `is_monotone` stays a diagnostic only.
+    }
+
+    #[test]
+    fn tighter_budget_spends_less_effort() {
+        let loose = solve_constrained(&queue_model(0.45)).unwrap();
+        let tight = solve_constrained(&queue_model(0.15)).unwrap();
+        // The effort constraint binds, so realized effort tracks the budget…
+        assert!(loose.constraint_values()[0] <= 0.45 + 1e-8);
+        assert!(tight.constraint_values()[0] <= 0.15 + 1e-8);
+        assert!(tight.constraint_values()[0] <= loose.constraint_values()[0] + 1e-9);
+        // …and less service effort cannot make the queue cheaper.
+        assert!(tight.average_cost() >= loose.average_cost() - 1e-8);
+    }
+
+    #[test]
+    fn feinberg_bound_over_random_budgets() {
+        for budget in [0.1, 0.2, 0.25, 0.35, 0.5, 0.7] {
+            let m = queue_model(budget);
+            let sol = solve_constrained(&m).unwrap();
+            let (randomized, bound) = feinberg_bound(&m, &sol);
+            assert!(
+                randomized <= bound,
+                "budget {budget}: {randomized} randomized states with K = {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn unconstrained_model_never_randomizes() {
+        let mut b = CtmdpBuilder::new(2, 0);
+        b.add_action(0, "a", vec![(1, 1.0)], 0.0, vec![]).unwrap();
+        b.add_action(0, "b", vec![(1, 2.0)], 0.0, vec![]).unwrap();
+        b.add_action(1, "a", vec![(0, 1.0)], 1.0, vec![]).unwrap();
+        let m = b.build().unwrap();
+        let sol = solve_constrained(&m).unwrap();
+        let (randomized, _) = feinberg_bound(&m, &sol);
+        assert_eq!(randomized, 0);
+    }
+}

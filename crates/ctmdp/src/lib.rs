@@ -1,0 +1,63 @@
+//! Constrained average-cost continuous-time Markov decision processes.
+//!
+//! This crate implements the control-theoretic core of the DATE 2005
+//! buffer-sizing paper: Feinberg's linear-programming characterization of
+//! constrained average-reward CTMDPs (*"Optimal control of average reward
+//! constrained continuous time finite Markov decision processes"*, CDC
+//! 2002 — reference \[1\] of the paper).
+//!
+//! A finite CTMDP is described by a [`CtmdpModel`]: states, per-state
+//! action sets, exponential transition rates, a running *cost rate* per
+//! state–action pair, and any number of additional constraint cost rates
+//! with upper bounds. Solving ([`solve_constrained`]) builds the
+//! occupation-measure LP
+//!
+//! ```text
+//!   minimize    Σ x(s,a) c(s,a)
+//!   subject to  Σ x(s,a) q(j|s,a) = 0        for every state j
+//!               Σ x(s,a) = 1
+//!               Σ x(s,a) c_k(s,a) ≤ C_k      for every constraint k
+//!               x ≥ 0
+//! ```
+//!
+//! over the time-fraction occupation measure `x(s,a)` and extracts the
+//! optimal **randomized stationary policy** `φ(a|s) = x(s,a)/x(s)`.
+//! Because the LP is solved by simplex (a *basic* optimal solution), the
+//! policy randomizes in at most K states for K constraints — the
+//! **K-switching** structure the paper uses to translate occupation
+//! measures into buffer space. The [`kswitching`] module detects and
+//! summarizes that structure; [`relative_value_iteration`] provides an
+//! independent dynamic-programming cross-check for the unconstrained
+//! case.
+//!
+//! # Examples
+//!
+//! ```
+//! use socbuf_ctmdp::{CtmdpBuilder, solve_constrained};
+//!
+//! # fn main() -> Result<(), socbuf_ctmdp::CtmdpError> {
+//! // Two-state machine: state 1 is "broken" (cost rate 1). In state 1
+//! // we may repair slowly (free) or quickly (constrained resource).
+//! let mut b = CtmdpBuilder::new(2, 1);
+//! b.add_action(0, "wait", vec![(1, 0.5)], 0.0, vec![0.0])?;
+//! b.add_action(1, "slow", vec![(0, 0.4)], 1.0, vec![0.0])?;
+//! b.add_action(1, "fast", vec![(0, 4.0)], 1.0, vec![1.0])?;
+//! b.set_constraint_bound(0, 0.2); // fast repair ≤ 20% of the time
+//! let sol = solve_constrained(&b.build()?)?;
+//! assert!(sol.average_cost() < 0.56); // beats never using "fast"
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+pub mod kswitching;
+mod model;
+mod policy;
+mod solve;
+mod value_iteration;
+
+pub use error::CtmdpError;
+pub use model::{CtmdpBuilder, CtmdpModel};
+pub use policy::{DeterministicPolicy, PolicyEvaluation, RandomizedPolicy};
+pub use solve::{solve_constrained, solve_constrained_with, CtmdpSolution};
+pub use value_iteration::{relative_value_iteration, ValueIterationResult};

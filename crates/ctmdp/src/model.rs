@@ -1,0 +1,323 @@
+use crate::CtmdpError;
+
+/// One admissible action in one state.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ActionData {
+    pub label: String,
+    /// Exponential transition rates `(target state, rate)`; self-loops
+    /// are not stored (they are meaningless in continuous time).
+    pub transitions: Vec<(usize, f64)>,
+    /// Running cost rate accrued while this state–action pair is active.
+    pub cost: f64,
+    /// Running cost rates for each side constraint.
+    pub constraint_costs: Vec<f64>,
+}
+
+/// A finite constrained continuous-time Markov decision process.
+///
+/// Build one with [`CtmdpBuilder`]; solve it with
+/// [`crate::solve_constrained`].
+///
+/// Conventions:
+/// * States are `0..num_states()`.
+/// * Actions are indexed per state, in insertion order. Where an ordering
+///   matters (the K-switching threshold analysis), insert actions in
+///   increasing "intensity" (e.g. service effort).
+/// * Costs are *rates*: the objective is the long-run average of the
+///   instantaneous cost rate, and each side constraint bounds the
+///   long-run average of its own cost rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtmdpModel {
+    pub(crate) actions: Vec<Vec<ActionData>>,
+    pub(crate) bounds: Vec<f64>,
+}
+
+/// Incremental builder for [`CtmdpModel`].
+///
+/// # Examples
+///
+/// ```
+/// use socbuf_ctmdp::CtmdpBuilder;
+///
+/// # fn main() -> Result<(), socbuf_ctmdp::CtmdpError> {
+/// let mut b = CtmdpBuilder::new(2, 0);
+/// b.add_action(0, "go", vec![(1, 1.0)], 0.0, vec![])?;
+/// b.add_action(1, "back", vec![(0, 2.0)], 1.0, vec![])?;
+/// let model = b.build()?;
+/// assert_eq!(model.num_states(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtmdpBuilder {
+    actions: Vec<Vec<ActionData>>,
+    bounds: Vec<f64>,
+}
+
+impl CtmdpBuilder {
+    /// Starts a model with `num_states` states and `num_constraints`
+    /// side constraints (bounds default to `+∞`-like `f64::MAX`; set them
+    /// with [`CtmdpBuilder::set_constraint_bound`]).
+    pub fn new(num_states: usize, num_constraints: usize) -> Self {
+        CtmdpBuilder {
+            actions: vec![Vec::new(); num_states],
+            bounds: vec![f64::MAX; num_constraints],
+        }
+    }
+
+    /// Adds an action to `state` with the given transition rates, cost
+    /// rate and per-constraint cost rates. Returns the action's index
+    /// within the state.
+    ///
+    /// # Errors
+    ///
+    /// [`CtmdpError::InvalidModel`] if the state or a transition target
+    /// is out of range, a rate is negative or non-finite, a transition
+    /// self-loops, or `constraint_costs.len()` does not match the number
+    /// of constraints declared in [`CtmdpBuilder::new`].
+    pub fn add_action(
+        &mut self,
+        state: usize,
+        label: impl Into<String>,
+        transitions: Vec<(usize, f64)>,
+        cost: f64,
+        constraint_costs: Vec<f64>,
+    ) -> Result<usize, CtmdpError> {
+        let n = self.actions.len();
+        if state >= n {
+            return Err(CtmdpError::InvalidModel(format!(
+                "state {state} out of range (model has {n} states)"
+            )));
+        }
+        for &(to, rate) in &transitions {
+            if to >= n {
+                return Err(CtmdpError::InvalidModel(format!(
+                    "transition target {to} out of range (model has {n} states)"
+                )));
+            }
+            if to == state {
+                return Err(CtmdpError::InvalidModel(format!(
+                    "self-loop on state {state}: self-transitions are meaningless in continuous time"
+                )));
+            }
+            if rate < 0.0 || !rate.is_finite() {
+                return Err(CtmdpError::InvalidModel(format!(
+                    "rate {rate} from state {state} to {to} must be finite and non-negative"
+                )));
+            }
+        }
+        if !cost.is_finite() {
+            return Err(CtmdpError::InvalidModel(format!(
+                "cost rate {cost} in state {state} must be finite"
+            )));
+        }
+        if constraint_costs.len() != self.bounds.len() {
+            return Err(CtmdpError::InvalidModel(format!(
+                "expected {} constraint costs, got {}",
+                self.bounds.len(),
+                constraint_costs.len()
+            )));
+        }
+        if constraint_costs.iter().any(|c| !c.is_finite()) {
+            return Err(CtmdpError::InvalidModel(
+                "constraint cost rates must be finite".into(),
+            ));
+        }
+        self.actions[state].push(ActionData {
+            label: label.into(),
+            transitions,
+            cost,
+            constraint_costs,
+        });
+        Ok(self.actions[state].len() - 1)
+    }
+
+    /// Sets the upper bound of constraint `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range or `bound` is NaN.
+    pub fn set_constraint_bound(&mut self, k: usize, bound: f64) {
+        assert!(!bound.is_nan(), "constraint bound must not be NaN");
+        self.bounds[k] = bound;
+    }
+
+    /// Finalizes the model.
+    ///
+    /// # Errors
+    ///
+    /// [`CtmdpError::InvalidModel`] if the model has no states or some
+    /// state has no actions.
+    pub fn build(self) -> Result<CtmdpModel, CtmdpError> {
+        if self.actions.is_empty() {
+            return Err(CtmdpError::InvalidModel("model has no states".into()));
+        }
+        for (s, acts) in self.actions.iter().enumerate() {
+            if acts.is_empty() {
+                return Err(CtmdpError::InvalidModel(format!(
+                    "state {s} has no actions"
+                )));
+            }
+        }
+        Ok(CtmdpModel {
+            actions: self.actions,
+            bounds: self.bounds,
+        })
+    }
+}
+
+impl CtmdpModel {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Number of side constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Number of actions available in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn num_actions(&self, state: usize) -> usize {
+        self.actions[state].len()
+    }
+
+    /// Total number of state–action pairs (the LP's variable count).
+    pub fn num_pairs(&self) -> usize {
+        self.actions.iter().map(Vec::len).sum()
+    }
+
+    /// Label of action `a` in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `a` is out of range.
+    pub fn action_label(&self, state: usize, a: usize) -> &str {
+        &self.actions[state][a].label
+    }
+
+    /// Transition rates `(target, rate)` of action `a` in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `a` is out of range.
+    pub fn transitions(&self, state: usize, a: usize) -> &[(usize, f64)] {
+        &self.actions[state][a].transitions
+    }
+
+    /// Total exit rate of `(state, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `a` is out of range.
+    pub fn exit_rate(&self, state: usize, a: usize) -> f64 {
+        self.actions[state][a]
+            .transitions
+            .iter()
+            .map(|&(_, r)| r)
+            .sum()
+    }
+
+    /// Objective cost rate of `(state, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `a` is out of range.
+    pub fn cost(&self, state: usize, a: usize) -> f64 {
+        self.actions[state][a].cost
+    }
+
+    /// Cost rate of `(state, a)` under side constraint `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn constraint_cost(&self, state: usize, a: usize, k: usize) -> f64 {
+        self.actions[state][a].constraint_costs[k]
+    }
+
+    /// Upper bound of side constraint `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn constraint_bound(&self, k: usize) -> f64 {
+        self.bounds[k]
+    }
+
+    /// Largest exit rate over all state–action pairs (the minimum valid
+    /// uniformization rate).
+    pub fn max_exit_rate(&self) -> f64 {
+        let mut m = 0.0_f64;
+        for s in 0..self.num_states() {
+            for a in 0..self.num_actions(s) {
+                m = m.max(self.exit_rate(s, a));
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CtmdpBuilder {
+        let mut b = CtmdpBuilder::new(2, 1);
+        b.add_action(0, "a", vec![(1, 1.0)], 0.5, vec![0.0]).unwrap();
+        b.add_action(1, "b", vec![(0, 2.0)], 1.5, vec![1.0]).unwrap();
+        b
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let m = tiny().build().unwrap();
+        assert_eq!(m.num_states(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.num_actions(0), 1);
+        assert_eq!(m.num_pairs(), 2);
+        assert_eq!(m.action_label(1, 0), "b");
+        assert_eq!(m.exit_rate(1, 0), 2.0);
+        assert_eq!(m.cost(0, 0), 0.5);
+        assert_eq!(m.constraint_cost(1, 0, 0), 1.0);
+        assert_eq!(m.max_exit_rate(), 2.0);
+    }
+
+    #[test]
+    fn rejects_bad_indices_and_rates() {
+        let mut b = CtmdpBuilder::new(2, 0);
+        assert!(b.add_action(5, "x", vec![], 0.0, vec![]).is_err());
+        assert!(b.add_action(0, "x", vec![(7, 1.0)], 0.0, vec![]).is_err());
+        assert!(b.add_action(0, "x", vec![(1, -1.0)], 0.0, vec![]).is_err());
+        assert!(b.add_action(0, "x", vec![(0, 1.0)], 0.0, vec![]).is_err());
+        assert!(b
+            .add_action(0, "x", vec![(1, 1.0)], f64::NAN, vec![])
+            .is_err());
+        assert!(b
+            .add_action(0, "x", vec![(1, 1.0)], 0.0, vec![1.0])
+            .is_err());
+    }
+
+    #[test]
+    fn build_requires_actions_everywhere() {
+        let b = CtmdpBuilder::new(2, 0);
+        assert!(b.build().is_err());
+        let mut b = CtmdpBuilder::new(2, 0);
+        b.add_action(0, "only", vec![(1, 1.0)], 0.0, vec![]).unwrap();
+        assert!(b.build().is_err());
+        assert!(CtmdpBuilder::new(0, 0).build().is_err());
+    }
+
+    #[test]
+    fn constraint_bounds_default_loose() {
+        let m = tiny().build().unwrap();
+        assert_eq!(m.constraint_bound(0), f64::MAX);
+        let mut b = tiny();
+        b.set_constraint_bound(0, 0.25);
+        assert_eq!(b.build().unwrap().constraint_bound(0), 0.25);
+    }
+}

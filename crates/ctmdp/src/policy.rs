@@ -1,0 +1,311 @@
+use socbuf_markov::Ctmc;
+
+use crate::{CtmdpError, CtmdpModel};
+
+/// A randomized stationary policy: for each state, a probability
+/// distribution over that state's actions.
+///
+/// Feinberg's theorem guarantees that constrained average-cost CTMDPs
+/// admit optimal policies of exactly this form, and that basic LP optima
+/// randomize in at most K states (one per side constraint).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomizedPolicy {
+    /// `probs[s][a]` = probability of playing action `a` in state `s`.
+    probs: Vec<Vec<f64>>,
+}
+
+impl RandomizedPolicy {
+    /// Builds a policy from per-state action distributions.
+    ///
+    /// # Errors
+    ///
+    /// [`CtmdpError::InvalidModel`] if the shape does not match `model`
+    /// or a row is not a probability distribution.
+    pub fn new(model: &CtmdpModel, probs: Vec<Vec<f64>>) -> Result<Self, CtmdpError> {
+        if probs.len() != model.num_states() {
+            return Err(CtmdpError::InvalidModel(format!(
+                "policy has {} states, model has {}",
+                probs.len(),
+                model.num_states()
+            )));
+        }
+        for (s, row) in probs.iter().enumerate() {
+            if row.len() != model.num_actions(s) {
+                return Err(CtmdpError::InvalidModel(format!(
+                    "state {s}: policy row has {} entries, model has {} actions",
+                    row.len(),
+                    model.num_actions(s)
+                )));
+            }
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > 1e-6 || row.iter().any(|&p| p < -1e-9) {
+                return Err(CtmdpError::InvalidModel(format!(
+                    "state {s}: action probabilities sum to {sum}, expected 1"
+                )));
+            }
+        }
+        Ok(RandomizedPolicy { probs })
+    }
+
+    /// Probability of playing action `a` in state `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn prob(&self, s: usize, a: usize) -> f64 {
+        self.probs[s][a]
+    }
+
+    /// Number of states covered by the policy.
+    pub fn num_states(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Number of actions available in state `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn num_actions(&self, s: usize) -> usize {
+        self.probs[s].len()
+    }
+
+    /// States in which more than one action has probability above `tol` —
+    /// the "switching" states of the K-switching structure.
+    pub fn randomized_states(&self, tol: f64) -> Vec<usize> {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| row.iter().filter(|&&p| p > tol).count() > 1)
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Collapses to a deterministic policy by taking the modal action of
+    /// every state.
+    pub fn to_deterministic(&self) -> DeterministicPolicy {
+        let choice = self
+            .probs
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are not NaN"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect();
+        DeterministicPolicy { choice }
+    }
+
+    /// The CTMC induced by following this policy in `model`:
+    /// `q_φ(j|s) = Σ_a φ(a|s) q(j|s,a)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain-construction failures.
+    pub fn induced_chain(&self, model: &CtmdpModel) -> Result<Ctmc, CtmdpError> {
+        let n = model.num_states();
+        let mut rates = Vec::new();
+        for s in 0..n {
+            for a in 0..model.num_actions(s) {
+                let p = self.probs[s][a];
+                if p <= 0.0 {
+                    continue;
+                }
+                for &(to, r) in model.transitions(s, a) {
+                    if r > 0.0 {
+                        rates.push((s, to, p * r));
+                    }
+                }
+            }
+        }
+        Ok(Ctmc::from_rates(n, &rates)?)
+    }
+
+    /// Evaluates the long-run average objective and constraint cost rates
+    /// of this policy on `model`, via the induced chain's stationary
+    /// distribution.
+    ///
+    /// # Errors
+    ///
+    /// [`CtmdpError::Markov`] if the induced chain is reducible (the
+    /// average cost then depends on the initial state and is not a
+    /// single number).
+    pub fn evaluate(&self, model: &CtmdpModel) -> Result<PolicyEvaluation, CtmdpError> {
+        let chain = self.induced_chain(model)?;
+        let pi = chain.stationary()?;
+        let mut cost = 0.0;
+        let mut constraint_costs = vec![0.0; model.num_constraints()];
+        let mut occupation = vec![Vec::new(); model.num_states()];
+        for s in 0..model.num_states() {
+            occupation[s] = vec![0.0; model.num_actions(s)];
+            for a in 0..model.num_actions(s) {
+                let x = pi[s] * self.probs[s][a];
+                occupation[s][a] = x;
+                cost += x * model.cost(s, a);
+                for k in 0..model.num_constraints() {
+                    constraint_costs[k] += x * model.constraint_cost(s, a, k);
+                }
+            }
+        }
+        Ok(PolicyEvaluation {
+            stationary: pi,
+            occupation,
+            average_cost: cost,
+            constraint_values: constraint_costs,
+        })
+    }
+}
+
+/// A deterministic stationary policy: one action per state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeterministicPolicy {
+    pub(crate) choice: Vec<usize>,
+}
+
+impl DeterministicPolicy {
+    /// Builds a policy from explicit choices.
+    ///
+    /// # Errors
+    ///
+    /// [`CtmdpError::InvalidModel`] if the shape or an action index does
+    /// not match `model`.
+    pub fn new(model: &CtmdpModel, choice: Vec<usize>) -> Result<Self, CtmdpError> {
+        if choice.len() != model.num_states() {
+            return Err(CtmdpError::InvalidModel(format!(
+                "policy has {} states, model has {}",
+                choice.len(),
+                model.num_states()
+            )));
+        }
+        for (s, &a) in choice.iter().enumerate() {
+            if a >= model.num_actions(s) {
+                return Err(CtmdpError::InvalidModel(format!(
+                    "state {s}: action {a} out of range"
+                )));
+            }
+        }
+        Ok(DeterministicPolicy { choice })
+    }
+
+    /// The chosen action in state `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn action(&self, s: usize) -> usize {
+        self.choice[s]
+    }
+
+    /// Converts into the equivalent (degenerate) randomized policy.
+    ///
+    /// # Errors
+    ///
+    /// [`CtmdpError::InvalidModel`] if the policy does not match `model`.
+    pub fn to_randomized(&self, model: &CtmdpModel) -> Result<RandomizedPolicy, CtmdpError> {
+        let mut probs = Vec::with_capacity(self.choice.len());
+        for (s, &a) in self.choice.iter().enumerate() {
+            let mut row = vec![0.0; model.num_actions(s)];
+            if a >= row.len() {
+                return Err(CtmdpError::InvalidModel(format!(
+                    "state {s}: action {a} out of range"
+                )));
+            }
+            row[a] = 1.0;
+            probs.push(row);
+        }
+        RandomizedPolicy::new(model, probs)
+    }
+}
+
+/// The result of evaluating a policy: stationary distribution, occupation
+/// measure and long-run average cost rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyEvaluation {
+    /// Stationary distribution of the induced chain.
+    pub stationary: Vec<f64>,
+    /// `occupation[s][a] = π(s)·φ(a|s)`.
+    pub occupation: Vec<Vec<f64>>,
+    /// Long-run average objective cost rate.
+    pub average_cost: f64,
+    /// Long-run average cost rate of each side constraint.
+    pub constraint_values: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmdpBuilder;
+
+    fn two_state() -> CtmdpModel {
+        let mut b = CtmdpBuilder::new(2, 1);
+        b.add_action(0, "slow", vec![(1, 1.0)], 0.0, vec![0.0]).unwrap();
+        b.add_action(0, "fast", vec![(1, 4.0)], 0.0, vec![1.0]).unwrap();
+        b.add_action(1, "back", vec![(0, 2.0)], 1.0, vec![0.0]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn validation_of_shapes() {
+        let m = two_state();
+        assert!(RandomizedPolicy::new(&m, vec![vec![1.0]]).is_err());
+        assert!(RandomizedPolicy::new(&m, vec![vec![0.7, 0.7], vec![1.0]]).is_err());
+        assert!(RandomizedPolicy::new(&m, vec![vec![0.5, 0.5], vec![1.0]]).is_ok());
+        assert!(DeterministicPolicy::new(&m, vec![2, 0]).is_err());
+        assert!(DeterministicPolicy::new(&m, vec![1, 0]).is_ok());
+    }
+
+    #[test]
+    fn deterministic_evaluation_matches_hand_computation() {
+        let m = two_state();
+        // Always "slow": chain 0→1 at 1, 1→0 at 2 → π = (2/3, 1/3).
+        let d = DeterministicPolicy::new(&m, vec![0, 0]).unwrap();
+        let eval = d.to_randomized(&m).unwrap().evaluate(&m).unwrap();
+        assert!((eval.stationary[0] - 2.0 / 3.0).abs() < 1e-10);
+        assert!((eval.average_cost - 1.0 / 3.0).abs() < 1e-10);
+        assert!(eval.constraint_values[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn randomization_mixes_rates() {
+        let m = two_state();
+        // 50/50 slow/fast in state 0 → exit rate 2.5; π = (2/4.5, 2.5/4.5).
+        let p = RandomizedPolicy::new(&m, vec![vec![0.5, 0.5], vec![1.0]]).unwrap();
+        let eval = p.evaluate(&m).unwrap();
+        assert!((eval.stationary[0] - 2.0 / 4.5).abs() < 1e-10);
+        // Constraint cost = time in (0, fast) = π(0)·0.5.
+        assert!((eval.constraint_values[0] - 0.5 * 2.0 / 4.5).abs() < 1e-10);
+        assert_eq!(p.randomized_states(1e-9), vec![0]);
+    }
+
+    #[test]
+    fn modal_collapse() {
+        let m = two_state();
+        let p = RandomizedPolicy::new(&m, vec![vec![0.3, 0.7], vec![1.0]]).unwrap();
+        let d = p.to_deterministic();
+        assert_eq!(d.action(0), 1);
+        assert_eq!(d.action(1), 0);
+    }
+
+    #[test]
+    fn occupation_sums_to_one() {
+        let m = two_state();
+        let p = RandomizedPolicy::new(&m, vec![vec![0.25, 0.75], vec![1.0]]).unwrap();
+        let eval = p.evaluate(&m).unwrap();
+        let total: f64 = eval.occupation.iter().flatten().sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reducible_policy_chain_errors() {
+        // A model where one action disconnects the chain.
+        let mut b = CtmdpBuilder::new(2, 0);
+        b.add_action(0, "stay-ish", vec![(1, 0.0)], 0.0, vec![]).unwrap();
+        b.add_action(1, "back", vec![(0, 1.0)], 0.0, vec![]).unwrap();
+        let m = b.build().unwrap();
+        let d = DeterministicPolicy::new(&m, vec![0, 0]).unwrap();
+        let r = d.to_randomized(&m).unwrap();
+        assert!(matches!(r.evaluate(&m), Err(CtmdpError::Markov(_))));
+    }
+}

@@ -1,0 +1,326 @@
+//! The occupation-measure LP (Feinberg 2002) for constrained
+//! average-cost CTMDPs.
+
+use socbuf_lp::{LpProblem, Relation, Sense, SimplexOptions, VarId};
+
+use crate::{CtmdpError, CtmdpModel, RandomizedPolicy};
+
+/// Solution of a constrained CTMDP: the optimal occupation measure, the
+/// extracted randomized stationary policy, achieved cost rates and the
+/// constraints' shadow prices.
+#[derive(Debug, Clone)]
+pub struct CtmdpSolution {
+    occupation: Vec<Vec<f64>>,
+    policy: RandomizedPolicy,
+    average_cost: f64,
+    constraint_values: Vec<f64>,
+    constraint_duals: Vec<f64>,
+    lp_iterations: usize,
+}
+
+impl CtmdpSolution {
+    /// Optimal long-run average objective cost rate.
+    pub fn average_cost(&self) -> f64 {
+        self.average_cost
+    }
+
+    /// Occupation measure `x(s,a)`: long-run fraction of time spent in
+    /// state `s` playing action `a`.
+    pub fn occupation(&self) -> &[Vec<f64>] {
+        &self.occupation
+    }
+
+    /// Marginal time fraction spent in state `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn state_occupation(&self, s: usize) -> f64 {
+        self.occupation[s].iter().sum()
+    }
+
+    /// The optimal randomized stationary policy `φ(a|s) = x(s,a)/x(s)`.
+    pub fn policy(&self) -> &RandomizedPolicy {
+        &self.policy
+    }
+
+    /// Achieved long-run average cost rate of each side constraint.
+    pub fn constraint_values(&self) -> &[f64] {
+        &self.constraint_values
+    }
+
+    /// Shadow price (`∂ optimal cost / ∂ bound`) of each side constraint.
+    /// A negative value means relaxing the bound lowers the optimal cost.
+    pub fn constraint_duals(&self) -> &[f64] {
+        &self.constraint_duals
+    }
+
+    /// Simplex pivots spent solving the LP.
+    pub fn lp_iterations(&self) -> usize {
+        self.lp_iterations
+    }
+}
+
+/// Solves the constrained CTMDP with default simplex options.
+///
+/// # Errors
+///
+/// * [`CtmdpError::Infeasible`] if no stationary policy meets the
+///   constraint bounds.
+/// * [`CtmdpError::Lp`] for solver-level failures.
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate).
+pub fn solve_constrained(model: &CtmdpModel) -> Result<CtmdpSolution, CtmdpError> {
+    solve_constrained_with(model, &SimplexOptions::default())
+}
+
+/// Solves the constrained CTMDP with explicit simplex options.
+///
+/// # Errors
+///
+/// Same as [`solve_constrained`].
+pub fn solve_constrained_with(
+    model: &CtmdpModel,
+    options: &SimplexOptions,
+) -> Result<CtmdpSolution, CtmdpError> {
+    let n = model.num_states();
+    let k = model.num_constraints();
+
+    let mut lp = LpProblem::new(Sense::Minimize);
+
+    // One variable per state–action pair.
+    let mut vars: Vec<Vec<VarId>> = Vec::with_capacity(n);
+    for s in 0..n {
+        let mut row = Vec::with_capacity(model.num_actions(s));
+        for a in 0..model.num_actions(s) {
+            row.push(lp.add_var(format!("x_{s}_{a}"), model.cost(s, a)));
+        }
+        vars.push(row);
+    }
+
+    // Balance rows: Σ_{s,a} x(s,a) q(j|s,a) = 0 for every state j, where
+    // q(j|s,a) is the rate s→j and q(s|s,a) = −(total exit rate).
+    // Built column-wise from each action's transition list.
+    let mut balance_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); n];
+    for s in 0..n {
+        for a in 0..model.num_actions(s) {
+            let v = vars[s][a];
+            let exit = model.exit_rate(s, a);
+            if exit > 0.0 {
+                balance_terms[s].push((v, -exit));
+            }
+            for &(to, rate) in model.transitions(s, a) {
+                if rate > 0.0 {
+                    balance_terms[to].push((v, rate));
+                }
+            }
+        }
+    }
+    for terms in balance_terms {
+        lp.add_constraint(terms, Relation::Eq, 0.0)?;
+    }
+
+    // Normalization: total time fraction is 1.
+    let all_vars: Vec<(VarId, f64)> = vars
+        .iter()
+        .flatten()
+        .map(|&v| (v, 1.0))
+        .collect();
+    lp.add_constraint(all_vars, Relation::Eq, 1.0)?;
+
+    // Side constraints.
+    let mut constraint_rows = Vec::with_capacity(k);
+    for c in 0..k {
+        let bound = model.constraint_bound(c);
+        if bound >= f64::MAX {
+            constraint_rows.push(None);
+            continue;
+        }
+        let mut terms = Vec::new();
+        for s in 0..n {
+            for a in 0..model.num_actions(s) {
+                let cc = model.constraint_cost(s, a, c);
+                if cc != 0.0 {
+                    terms.push((vars[s][a], cc));
+                }
+            }
+        }
+        let row = lp.add_constraint(terms, Relation::Le, bound)?;
+        constraint_rows.push(Some(row));
+    }
+
+    let sol = lp.solve_with(options)?;
+
+    // Extract occupation measure and policy.
+    let mut occupation: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for s in 0..n {
+        occupation.push(
+            vars[s]
+                .iter()
+                .map(|&v| sol.value(v).max(0.0))
+                .collect(),
+        );
+    }
+    let policy = extract_policy(model, &occupation)?;
+
+    let mut constraint_values = vec![0.0; k];
+    for (c, cv) in constraint_values.iter_mut().enumerate() {
+        for s in 0..n {
+            for a in 0..model.num_actions(s) {
+                *cv += occupation[s][a] * model.constraint_cost(s, a, c);
+            }
+        }
+    }
+    let constraint_duals = constraint_rows
+        .iter()
+        .map(|r| r.map_or(0.0, |row| sol.dual(row)))
+        .collect();
+
+    Ok(CtmdpSolution {
+        occupation,
+        policy,
+        average_cost: sol.objective(),
+        constraint_values,
+        constraint_duals,
+        lp_iterations: sol.iterations(),
+    })
+}
+
+/// Normalizes an occupation measure into a randomized stationary policy.
+/// States with (numerically) zero occupation are transient under the
+/// optimal policy; they receive the *last* action of their action set —
+/// by the crate's ordering convention the most "intense" one, which in
+/// queue-control blocks means full service effort (the conservative
+/// choice for states only reached on excursions).
+fn extract_policy(
+    model: &CtmdpModel,
+    occupation: &[Vec<f64>],
+) -> Result<RandomizedPolicy, CtmdpError> {
+    const ZERO_STATE: f64 = 1e-12;
+    let mut probs = Vec::with_capacity(occupation.len());
+    for (s, xs) in occupation.iter().enumerate() {
+        let total: f64 = xs.iter().sum();
+        let mut row = vec![0.0; model.num_actions(s)];
+        if total > ZERO_STATE {
+            for (a, &x) in xs.iter().enumerate() {
+                row[a] = (x / total).max(0.0);
+            }
+            // Clean tiny numerical dust and renormalize exactly.
+            let sum: f64 = row.iter().sum();
+            for p in row.iter_mut() {
+                *p /= sum;
+            }
+        } else {
+            let last = row.len() - 1;
+            row[last] = 1.0;
+        }
+        probs.push(row);
+    }
+    RandomizedPolicy::new(model, probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmdpBuilder;
+
+    /// Unconstrained 2-state repair problem: state 1 costs 1/time; fast
+    /// repair is free here, so the optimum always repairs fast.
+    #[test]
+    fn unconstrained_picks_best_action() {
+        let mut b = CtmdpBuilder::new(2, 0);
+        b.add_action(0, "wait", vec![(1, 1.0)], 0.0, vec![]).unwrap();
+        b.add_action(1, "slow", vec![(0, 1.0)], 1.0, vec![]).unwrap();
+        b.add_action(1, "fast", vec![(0, 4.0)], 1.0, vec![]).unwrap();
+        let m = b.build().unwrap();
+        let sol = solve_constrained(&m).unwrap();
+        // With fast repair: π(1) = 1/(1+4)·... chain 0→1 rate 1, 1→0 rate 4:
+        // π = (4/5, 1/5); cost = 0.2.
+        assert!((sol.average_cost() - 0.2).abs() < 1e-8);
+        assert!(sol.policy().prob(1, 1) > 0.999);
+    }
+
+    /// The constrained variant: fast repair limited to 10% of time.
+    #[test]
+    fn constraint_binds_and_duals_are_negative() {
+        let mut b = CtmdpBuilder::new(2, 1);
+        b.add_action(0, "wait", vec![(1, 1.0)], 0.0, vec![0.0]).unwrap();
+        b.add_action(1, "slow", vec![(0, 1.0)], 1.0, vec![0.0]).unwrap();
+        b.add_action(1, "fast", vec![(0, 4.0)], 1.0, vec![1.0]).unwrap();
+        b.set_constraint_bound(0, 0.10);
+        let m = b.build().unwrap();
+        let sol = solve_constrained(&m).unwrap();
+        // Must be between all-slow (cost 0.5) and all-fast (cost 0.2).
+        assert!(sol.average_cost() > 0.2);
+        assert!(sol.average_cost() < 0.5);
+        // The constraint binds.
+        assert!((sol.constraint_values()[0] - 0.10).abs() < 1e-8);
+        // Relaxing the bound reduces cost → negative shadow price.
+        assert!(sol.constraint_duals()[0] < -1e-9);
+        // Exactly one randomized state (K = 1 constraint).
+        assert_eq!(sol.policy().randomized_states(1e-9).len(), 1);
+    }
+
+    #[test]
+    fn occupation_is_probability_measure() {
+        let mut b = CtmdpBuilder::new(3, 0);
+        b.add_action(0, "a", vec![(1, 2.0)], 1.0, vec![]).unwrap();
+        b.add_action(1, "a", vec![(2, 1.0), (0, 1.0)], 2.0, vec![]).unwrap();
+        b.add_action(2, "a", vec![(0, 3.0)], 0.5, vec![]).unwrap();
+        let m = b.build().unwrap();
+        let sol = solve_constrained(&m).unwrap();
+        let total: f64 = sol.occupation().iter().flatten().sum();
+        assert!((total - 1.0).abs() < 1e-8);
+        for s in 0..3 {
+            assert!(sol.state_occupation(s) > 0.0);
+        }
+    }
+
+    #[test]
+    fn lp_solution_matches_policy_evaluation() {
+        let mut b = CtmdpBuilder::new(2, 1);
+        b.add_action(0, "wait", vec![(1, 2.0)], 0.0, vec![0.0]).unwrap();
+        b.add_action(1, "slow", vec![(0, 1.0)], 1.0, vec![0.0]).unwrap();
+        b.add_action(1, "fast", vec![(0, 6.0)], 1.0, vec![1.0]).unwrap();
+        b.set_constraint_bound(0, 0.15);
+        let m = b.build().unwrap();
+        let sol = solve_constrained(&m).unwrap();
+        let eval = sol.policy().evaluate(&m).unwrap();
+        assert!(
+            (eval.average_cost - sol.average_cost()).abs() < 1e-6,
+            "{} vs {}",
+            eval.average_cost,
+            sol.average_cost()
+        );
+        assert!((eval.constraint_values[0] - sol.constraint_values()[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_constraint_detected() {
+        let mut b = CtmdpBuilder::new(2, 1);
+        // Both states always accrue constraint cost 1 → average is 1,
+        // bound of 0.5 is unreachable.
+        b.add_action(0, "a", vec![(1, 1.0)], 0.0, vec![1.0]).unwrap();
+        b.add_action(1, "a", vec![(0, 1.0)], 0.0, vec![1.0]).unwrap();
+        b.set_constraint_bound(0, 0.5);
+        let m = b.build().unwrap();
+        assert!(matches!(
+            solve_constrained(&m),
+            Err(CtmdpError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn loose_bounds_are_skipped() {
+        let mut b = CtmdpBuilder::new(2, 2);
+        b.add_action(0, "a", vec![(1, 1.0)], 0.0, vec![1.0, 0.0]).unwrap();
+        b.add_action(1, "a", vec![(0, 1.0)], 1.0, vec![0.0, 1.0]).unwrap();
+        // Neither bound set → both default to f64::MAX → unconstrained.
+        let m = b.build().unwrap();
+        let sol = solve_constrained(&m).unwrap();
+        assert_eq!(sol.constraint_duals(), &[0.0, 0.0]);
+        assert!((sol.average_cost() - 0.5).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,256 @@
+//! Relative value iteration for *unconstrained* average-cost CTMDPs.
+//!
+//! The CTMDP is uniformized into a DTMDP with stage cost `c(s,a)/Λ` and
+//! transition kernel `P_a = I + Q_a/Λ`; the classical relative value
+//! iteration then yields the optimal average cost per stage `g/Λ` and a
+//! deterministic optimal policy. This is the independent cross-check for
+//! the occupation-measure LP: on unconstrained models both must agree.
+
+use crate::{CtmdpError, CtmdpModel, DeterministicPolicy};
+
+/// Outcome of [`relative_value_iteration`].
+#[derive(Debug, Clone)]
+pub struct ValueIterationResult {
+    /// Optimal long-run average cost *rate* (per unit of continuous time).
+    pub average_cost: f64,
+    /// Relative value (bias) vector, normalized to `h[0] = 0`.
+    pub bias: Vec<f64>,
+    /// A greedy optimal deterministic policy.
+    pub policy: DeterministicPolicy,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Runs relative value iteration until the span of successive value
+/// differences drops below `epsilon` (in per-stage units), or errors
+/// after `max_iterations`.
+///
+/// The model must be unichain under every policy for the average cost to
+/// be state-independent; models built from irreducible queue blocks
+/// satisfy this.
+///
+/// # Errors
+///
+/// * [`CtmdpError::InvalidModel`] if the model has constraints (use the
+///   LP solver for those) or a zero uniformization rate.
+/// * [`CtmdpError::NoConvergence`] if the span does not contract in time.
+///
+/// # Examples
+///
+/// ```
+/// use socbuf_ctmdp::{relative_value_iteration, CtmdpBuilder};
+///
+/// # fn main() -> Result<(), socbuf_ctmdp::CtmdpError> {
+/// let mut b = CtmdpBuilder::new(2, 0);
+/// b.add_action(0, "go", vec![(1, 1.0)], 0.0, vec![])?;
+/// b.add_action(1, "slow", vec![(0, 1.0)], 1.0, vec![])?;
+/// b.add_action(1, "fast", vec![(0, 4.0)], 1.0, vec![])?;
+/// let vi = relative_value_iteration(&b.build()?, 1e-10, 100_000)?;
+/// assert!((vi.average_cost - 0.2).abs() < 1e-6);
+/// assert_eq!(vi.policy.action(1), 1); // fast
+/// # Ok(())
+/// # }
+/// ```
+pub fn relative_value_iteration(
+    model: &CtmdpModel,
+    epsilon: f64,
+    max_iterations: usize,
+) -> Result<ValueIterationResult, CtmdpError> {
+    if model.num_constraints() > 0 {
+        return Err(CtmdpError::InvalidModel(
+            "value iteration handles unconstrained models only; use solve_constrained".into(),
+        ));
+    }
+    let n = model.num_states();
+    let lambda = {
+        let max_exit = model.max_exit_rate();
+        if max_exit <= 0.0 {
+            return Err(CtmdpError::InvalidModel(
+                "model has no positive transition rates".into(),
+            ));
+        }
+        // Strictly larger than the max exit rate → strictly positive
+        // self-loops → aperiodic uniformized chains.
+        1.05 * max_exit
+    };
+
+    let mut h = vec![0.0; n];
+    let mut w = vec![0.0; n];
+    let mut choice = vec![0usize; n];
+    let mut iterations = 0;
+    let mut last_span = f64::INFINITY;
+
+    while iterations < max_iterations {
+        iterations += 1;
+        for s in 0..n {
+            let mut best = f64::INFINITY;
+            let mut best_a = 0;
+            for a in 0..model.num_actions(s) {
+                // Uniformized one-step cost + expected continuation.
+                let mut v = model.cost(s, a) / lambda;
+                let exit = model.exit_rate(s, a);
+                v += (1.0 - exit / lambda) * h[s];
+                for &(to, rate) in model.transitions(s, a) {
+                    v += rate / lambda * h[to];
+                }
+                if v < best - 1e-15 {
+                    best = v;
+                    best_a = a;
+                }
+            }
+            w[s] = best;
+            choice[s] = best_a;
+        }
+        let diff_max = (0..n).map(|s| w[s] - h[s]).fold(f64::MIN, f64::max);
+        let diff_min = (0..n).map(|s| w[s] - h[s]).fold(f64::MAX, f64::min);
+        last_span = diff_max - diff_min;
+        // Normalize against the reference state to keep values bounded.
+        let ref_val = w[0];
+        for s in 0..n {
+            h[s] = w[s] - ref_val;
+        }
+        if last_span < epsilon {
+            // Average per-stage cost ≈ (diff_max + diff_min)/2; convert
+            // back to a rate by multiplying with the uniformization rate.
+            let g = 0.5 * (diff_max + diff_min) * lambda;
+            let policy = DeterministicPolicy::new(model, choice)?;
+            return Ok(ValueIterationResult {
+                average_cost: g,
+                bias: h,
+                policy,
+                iterations,
+            });
+        }
+    }
+    Err(CtmdpError::NoConvergence {
+        iterations,
+        span: last_span,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve_constrained, CtmdpBuilder};
+
+    fn repair_model(fast_rate: f64) -> CtmdpModel {
+        let mut b = CtmdpBuilder::new(2, 0);
+        b.add_action(0, "wait", vec![(1, 1.0)], 0.0, vec![]).unwrap();
+        b.add_action(1, "slow", vec![(0, 1.0)], 1.0, vec![]).unwrap();
+        b.add_action(1, "fast", vec![(0, fast_rate)], 1.0, vec![]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn agrees_with_lp_on_repair_model() {
+        let m = repair_model(4.0);
+        let vi = relative_value_iteration(&m, 1e-11, 200_000).unwrap();
+        let lp = solve_constrained(&m).unwrap();
+        assert!(
+            (vi.average_cost - lp.average_cost()).abs() < 1e-6,
+            "vi {} vs lp {}",
+            vi.average_cost,
+            lp.average_cost()
+        );
+    }
+
+    #[test]
+    fn greedy_policy_is_optimal() {
+        let m = repair_model(10.0);
+        let vi = relative_value_iteration(&m, 1e-11, 200_000).unwrap();
+        let eval = vi
+            .policy
+            .to_randomized(&m)
+            .unwrap()
+            .evaluate(&m)
+            .unwrap();
+        assert!((eval.average_cost - vi.average_cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_constrained_models() {
+        let mut b = CtmdpBuilder::new(2, 1);
+        b.add_action(0, "a", vec![(1, 1.0)], 0.0, vec![0.0]).unwrap();
+        b.add_action(1, "a", vec![(0, 1.0)], 0.0, vec![0.0]).unwrap();
+        let m = b.build().unwrap();
+        assert!(matches!(
+            relative_value_iteration(&m, 1e-9, 1000),
+            Err(CtmdpError::InvalidModel(_))
+        ));
+    }
+
+    #[test]
+    fn iteration_budget_is_honored() {
+        let m = repair_model(4.0);
+        assert!(matches!(
+            relative_value_iteration(&m, 1e-300, 3),
+            Err(CtmdpError::NoConvergence { iterations: 3, .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{solve_constrained, CtmdpBuilder};
+    use proptest::prelude::*;
+
+    /// Random fully-connected unconstrained CTMDPs: every action moves to
+    /// every other state with positive rate, so every policy is unichain.
+    fn random_model() -> impl Strategy<Value = CtmdpModel> {
+        (2usize..=5, 1usize..=3).prop_flat_map(|(n, na)| {
+            let n_pairs = n * na;
+            (
+                proptest::collection::vec(0.05f64..4.0, n_pairs * (n - 1)),
+                proptest::collection::vec(0.0f64..5.0, n_pairs),
+            )
+                .prop_map(move |(rates, costs)| {
+                    let mut b = CtmdpBuilder::new(n, 0);
+                    let mut r = 0;
+                    for s in 0..n {
+                        for a in 0..na {
+                            let mut transitions = Vec::new();
+                            for to in 0..n {
+                                if to != s {
+                                    transitions.push((to, rates[r]));
+                                    r += 1;
+                                }
+                            }
+                            b.add_action(s, format!("a{a}"), transitions, costs[s * na + a], vec![])
+                                .unwrap();
+                        }
+                    }
+                    b.build().unwrap()
+                })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The fundamental cross-check: LP and dynamic programming agree
+        /// on the optimal average cost of unconstrained CTMDPs.
+        #[test]
+        fn lp_equals_value_iteration(m in random_model()) {
+            let lp = solve_constrained(&m).unwrap();
+            let vi = relative_value_iteration(&m, 1e-10, 500_000).unwrap();
+            prop_assert!(
+                (lp.average_cost() - vi.average_cost).abs() < 1e-5,
+                "lp {} vs vi {}", lp.average_cost(), vi.average_cost
+            );
+        }
+
+        /// Any deterministic policy evaluates to a cost no better than
+        /// the LP optimum (LP is a true lower bound).
+        #[test]
+        fn lp_lower_bounds_arbitrary_policies(m in random_model(), seed in 0usize..100) {
+            let lp = solve_constrained(&m).unwrap();
+            let choice: Vec<usize> = (0..m.num_states())
+                .map(|s| (s * 7 + seed) % m.num_actions(s))
+                .collect();
+            let d = DeterministicPolicy::new(&m, choice).unwrap();
+            let eval = d.to_randomized(&m).unwrap().evaluate(&m).unwrap();
+            prop_assert!(eval.average_cost >= lp.average_cost() - 1e-6);
+        }
+    }
+}

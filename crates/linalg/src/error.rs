@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by dense linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes. Carries `(expected, found)`
+    /// rendered as `rows x cols` strings for diagnostics.
+    DimensionMismatch {
+        /// Shape the operation required.
+        expected: (usize, usize),
+        /// Shape that was actually supplied.
+        found: (usize, usize),
+    },
+    /// The matrix is singular (or numerically so) and cannot be factored
+    /// or solved against.
+    Singular {
+        /// Pivot column at which factorization broke down.
+        pivot: usize,
+    },
+    /// A routine that requires a square matrix received a rectangular one.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// An empty (zero-dimensional) matrix was supplied where a non-empty
+    /// one is required.
+    Empty,
+    /// Rows of a `from_rows` constructor had differing lengths.
+    RaggedRows {
+        /// Length of the first row.
+        first: usize,
+        /// Index of the first row whose length differs.
+        row: usize,
+        /// That row's length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, found } => write!(
+                f,
+                "dimension mismatch: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::Empty => write!(f, "matrix must be non-empty"),
+            LinalgError::RaggedRows { first, row, len } => write!(
+                f,
+                "ragged rows: row 0 has length {first} but row {row} has length {len}"
+            ),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::Singular { pivot: 3 };
+        assert_eq!(e.to_string(), "matrix is singular at pivot column 3");
+        let e = LinalgError::DimensionMismatch {
+            expected: (2, 3),
+            found: (3, 2),
+        };
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains("3x2"));
+        let e = LinalgError::NotSquare { rows: 4, cols: 5 };
+        assert!(e.to_string().contains("4x5"));
+        let e = LinalgError::Empty;
+        assert!(!e.to_string().is_empty());
+        let e = LinalgError::RaggedRows {
+            first: 2,
+            row: 1,
+            len: 3,
+        };
+        assert!(e.to_string().contains("row 1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,41 @@
+//! Dense linear algebra substrate for the `socbuf` workspace.
+//!
+//! Everything downstream of this crate — the simplex solver in
+//! [`socbuf-lp`](../socbuf_lp/index.html), the Markov-chain stationary
+//! solvers in `socbuf-markov`, and ultimately the CTMDP buffer-sizing
+//! pipeline — reduces to small dense linear systems. This crate provides
+//! the minimal, well-tested kernel they share:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with the usual
+//!   constructors and arithmetic,
+//! * [`Lu`] — LU factorization with partial pivoting, used for linear
+//!   solves, determinants and inverses,
+//! * free functions over `&[f64]` slices ([`dot`], [`axpy`], norms).
+//!
+//! # Examples
+//!
+//! ```
+//! use socbuf_linalg::{Matrix, Lu};
+//!
+//! # fn main() -> Result<(), socbuf_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let lu = Lu::factor(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod lu;
+mod matrix;
+mod vector;
+
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use vector::{axpy, dot, inf_norm, max_abs_diff, one_norm, scale, two_norm};
+
+/// Default absolute tolerance used throughout the workspace when comparing
+/// floating-point quantities that should be exact in infinite precision.
+pub const DEFAULT_TOL: f64 = 1e-9;

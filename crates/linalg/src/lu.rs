@@ -1,0 +1,378 @@
+use crate::{LinalgError, Matrix};
+
+/// LU factorization with partial pivoting: `P A = L U`.
+///
+/// The factorization is computed once and can then be reused to solve
+/// against many right-hand sides, compute the determinant, or build the
+/// inverse. Stationary-distribution solves in `socbuf-markov` and the
+/// basis solves used to verify simplex output both go through this type.
+///
+/// # Examples
+///
+/// ```
+/// use socbuf_linalg::{Matrix, Lu};
+///
+/// # fn main() -> Result<(), socbuf_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = Lu::factor(&a)?;
+/// let x = lu.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strict lower, unit diagonal implicit) and U (upper).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, `+1.0` or `-1.0` (for determinants).
+    sign: f64,
+}
+
+/// Pivots smaller than this (in absolute value) are treated as zero,
+/// i.e. the matrix is declared singular.
+const PIVOT_TOL: f64 = 1e-12;
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is rectangular.
+    /// * [`LinalgError::Empty`] if `a` has zero dimension.
+    /// * [`LinalgError::Singular`] if a pivot column has no usable pivot.
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest |entry| in column k at or
+            // below the diagonal.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < PIVOT_TOL {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(p, c)];
+                    lu[(p, c)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in (k + 1)..n {
+                    let ukc = lu[(k, c)];
+                    lu[(i, c)] -= factor * ukc;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, 1),
+                found: (b.len(), 1),
+            });
+        }
+        // Apply permutation: y = P b.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // Forward substitution with unit-diagonal L.
+        for i in 1..n {
+            let mut acc = x[i];
+            for k in 0..i {
+                acc -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = acc;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for k in (i + 1)..n {
+                acc -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `Aᵀ x = b` (used for dual/left-eigenvector computations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_transpose(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, 1),
+                found: (b.len(), 1),
+            });
+        }
+        // Aᵀ = Uᵀ Lᵀ P, so solve Uᵀ z = b, then Lᵀ w = z, then x = Pᵀ w.
+        let mut z = b.to_vec();
+        for i in 0..n {
+            let mut acc = z[i];
+            for k in 0..i {
+                acc -= self.lu[(k, i)] * z[k];
+            }
+            z[i] = acc / self.lu[(i, i)];
+        }
+        for i in (0..n).rev() {
+            let mut acc = z[i];
+            for k in (i + 1)..n {
+                acc -= self.lu[(k, i)] * z[k];
+            }
+            z[i] = acc;
+        }
+        let mut x = vec![0.0; n];
+        for (pos, &orig) in self.perm.iter().enumerate() {
+            x[orig] = z[pos];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Computes the inverse matrix column by column.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (which cannot occur for a successfully
+    /// factored matrix, but the signature stays honest).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            for r in 0..n {
+                inv[(r, c)] = col[r];
+            }
+            e[c] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_abs_diff;
+
+    fn solve_roundtrip(a: &Matrix, x_true: &[f64]) {
+        let b = a.matvec(x_true).unwrap();
+        let lu = Lu::factor(a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        assert!(
+            max_abs_diff(&x, x_true) < 1e-9,
+            "solve mismatch: {x:?} vs {x_true:?}"
+        );
+    }
+
+    #[test]
+    fn solves_small_systems() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        solve_roundtrip(&a, &[0.8, 1.4]);
+
+        let a = Matrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[-2.0, 4.0, -2.0],
+            &[1.0, -2.0, 4.0],
+        ])
+        .unwrap();
+        solve_roundtrip(&a, &[1.0, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_rectangular_and_empty() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::NotSquare { .. })));
+        let a = Matrix::zeros(0, 0);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Empty)));
+    }
+
+    #[test]
+    fn determinant_of_known_matrices() {
+        let i = Matrix::identity(4);
+        assert!((Lu::factor(&i).unwrap().det() - 1.0).abs() < 1e-12);
+
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert!((Lu::factor(&a).unwrap().det() - (-2.0)).abs() < 1e-12);
+
+        // Permutation matrix: det = -1.
+        let p = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((Lu::factor(&p).unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[
+            &[3.0, 0.5, -1.0],
+            &[0.5, 2.0, 0.0],
+            &[-1.0, 0.0, 4.0],
+        ])
+        .unwrap();
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let i = Matrix::identity(3);
+        for r in 0..3 {
+            assert!(max_abs_diff(prod.row(r), i.row(r)) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_transpose_matches_explicit_transpose() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[1.0, 3.0, -2.0],
+            &[0.0, 1.0, 1.5],
+        ])
+        .unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let lu = Lu::factor(&a).unwrap();
+        let x1 = lu.solve_transpose(&b).unwrap();
+        let at = a.transpose();
+        let x2 = Lu::factor(&at).unwrap().solve(&b).unwrap();
+        assert!(max_abs_diff(&x1, &x2) < 1e-9);
+    }
+
+    #[test]
+    fn solve_rejects_bad_rhs_length() {
+        let a = Matrix::identity(2);
+        let lu = Lu::factor(&a).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+        assert!(lu.solve_transpose(&[1.0, 2.0, 3.0]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::max_abs_diff;
+    use proptest::prelude::*;
+
+    /// Generates a random diagonally dominant matrix (guaranteed
+    /// non-singular) of dimension 1..=8 together with a solution vector.
+    fn dd_system() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+        (1usize..=8).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(-1.0f64..1.0, n * n),
+                proptest::collection::vec(-10.0f64..10.0, n),
+            )
+                .prop_map(move |(entries, x)| {
+                    let mut a = Matrix::from_vec(n, n, entries).unwrap();
+                    for i in 0..n {
+                        let off: f64 =
+                            (0..n).filter(|&j| j != i).map(|j| a[(i, j)].abs()).sum();
+                        a[(i, i)] = off + 1.0;
+                    }
+                    (a, x)
+                })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn lu_solve_recovers_solution((a, x_true) in dd_system()) {
+            let b = a.matvec(&x_true).unwrap();
+            let lu = Lu::factor(&a).unwrap();
+            let x = lu.solve(&b).unwrap();
+            prop_assert!(max_abs_diff(&x, &x_true) < 1e-6);
+        }
+
+        #[test]
+        fn lu_residual_is_small((a, x_true) in dd_system()) {
+            let b = a.matvec(&x_true).unwrap();
+            let lu = Lu::factor(&a).unwrap();
+            let x = lu.solve(&b).unwrap();
+            let r = a.matvec(&x).unwrap();
+            prop_assert!(max_abs_diff(&r, &b) < 1e-7);
+        }
+
+        #[test]
+        fn det_of_product_sign_sane((a, _x) in dd_system()) {
+            // Diagonally dominant with positive diagonal => det > 0 is NOT
+            // guaranteed in general, but det must be nonzero and finite.
+            let d = Lu::factor(&a).unwrap().det();
+            prop_assert!(d.is_finite());
+            prop_assert!(d.abs() > 0.0);
+        }
+
+        #[test]
+        fn transpose_solve_consistent((a, x_true) in dd_system()) {
+            let bt = a.vecmat(&x_true).unwrap(); // x^T A = b^T  <=>  A^T x = b
+            let lu = Lu::factor(&a).unwrap();
+            let x = lu.solve_transpose(&bt).unwrap();
+            prop_assert!(max_abs_diff(&x, &x_true) < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! A self-contained linear-programming solver for the `socbuf` workspace.
+//!
+//! The DATE 2005 buffer-sizing methodology reproduced by this workspace
+//! rests on the linear-programming characterization of constrained
+//! average-cost continuous-time Markov decision processes (Feinberg 2002).
+//! The paper's authors used Matlab 6.1; since this reproduction has no EDA
+//! or numerical ecosystem available, this crate implements the solver from
+//! scratch:
+//!
+//! * [`LpProblem`] — a small modelling API: variables with bounds, linear
+//!   constraints (`≤`, `≥`, `=`), minimize or maximize,
+//! * a dense **two-phase primal simplex** with Dantzig pricing and an
+//!   automatic switch to Bland's rule on stalls (anti-cycling),
+//! * [`LpSolution`] — primal values, objective, dual prices and reduced
+//!   costs recovered from the final basis (via an LU solve against the
+//!   original constraint matrix, not the mutated tableau),
+//! * [`verify_optimality`] — an independent optimality certificate checker
+//!   (primal feasibility + dual feasibility + complementary slackness)
+//!   used heavily by the test-suite and property tests.
+//!
+//! Simplex (rather than an interior-point method) matters here: the
+//! K-switching structure theorem the paper leans on speaks about *basic*
+//! optimal solutions, and simplex returns exactly those.
+//!
+//! # Examples
+//!
+//! ```
+//! use socbuf_lp::{LpProblem, Relation, Sense};
+//!
+//! # fn main() -> Result<(), socbuf_lp::LpError> {
+//! // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18
+//! let mut p = LpProblem::new(Sense::Maximize);
+//! let x = p.add_var("x", 3.0);
+//! let y = p.add_var("y", 5.0);
+//! p.add_constraint([(x, 1.0)], Relation::Le, 4.0)?;
+//! p.add_constraint([(y, 2.0)], Relation::Le, 12.0)?;
+//! p.add_constraint([(x, 3.0), (y, 2.0)], Relation::Le, 18.0)?;
+//! let sol = p.solve()?;
+//! assert!((sol.objective() - 36.0).abs() < 1e-9);
+//! assert!((sol.value(x) - 2.0).abs() < 1e-9);
+//! assert!((sol.value(y) - 6.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod problem;
+mod simplex;
+mod solution;
+mod verify;
+
+pub use error::LpError;
+pub use problem::{LpProblem, Relation, RowId, Sense, VarId};
+pub use simplex::SimplexOptions;
+pub use solution::LpSolution;
+pub use verify::{verify_optimality, OptimalityReport};

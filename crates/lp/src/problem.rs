@@ -1,0 +1,364 @@
+use std::fmt;
+
+use crate::simplex::{solve_standard, SimplexOptions};
+use crate::solution::LpSolution;
+use crate::LpError;
+
+/// Handle to a decision variable of an [`LpProblem`].
+///
+/// `VarId`s are only meaningful for the problem that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Position of the variable in the problem's creation order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a constraint row of an [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub(crate) usize);
+
+impl RowId {
+    /// Position of the row in the problem's creation order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Direction of optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Relation of a constraint row to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relation::Le => write!(f, "<="),
+            Relation::Ge => write!(f, ">="),
+            Relation::Eq => write!(f, "="),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Row {
+    /// Sparse coefficients, sorted and deduplicated by variable index.
+    pub(crate) terms: Vec<(usize, f64)>,
+    pub(crate) relation: Relation,
+    pub(crate) rhs: f64,
+}
+
+/// A linear program under construction.
+///
+/// Variables carry a lower bound (default `0`) and an optional upper
+/// bound; constraints are sparse rows. Call [`LpProblem::solve`] to run
+/// the two-phase simplex.
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate).
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    sense: Sense,
+    names: Vec<String>,
+    obj: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<Option<f64>>,
+    pub(crate) rows: Vec<Row>,
+}
+
+impl LpProblem {
+    /// Creates an empty problem with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        LpProblem {
+            sense,
+            names: Vec::new(),
+            obj: Vec::new(),
+            lower: Vec::new(),
+            upper: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a variable with bounds `[0, +∞)` and the given objective
+    /// coefficient. Returns its handle.
+    pub fn add_var(&mut self, name: impl Into<String>, objective: f64) -> VarId {
+        self.add_var_bounded(name, objective, 0.0, None)
+    }
+
+    /// Adds a variable with bounds `[lower, upper]` (upper `None` means
+    /// `+∞`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower` or `objective` is not finite, or if
+    /// `upper < lower`.
+    pub fn add_var_bounded(
+        &mut self,
+        name: impl Into<String>,
+        objective: f64,
+        lower: f64,
+        upper: Option<f64>,
+    ) -> VarId {
+        assert!(lower.is_finite(), "lower bound must be finite");
+        assert!(objective.is_finite(), "objective coefficient must be finite");
+        if let Some(u) = upper {
+            assert!(u.is_finite() && u >= lower, "upper bound must be finite and >= lower");
+        }
+        let id = VarId(self.names.len());
+        self.names.push(name.into());
+        self.obj.push(objective);
+        self.lower.push(lower);
+        self.upper.push(upper);
+        id
+    }
+
+    /// Adds a constraint `Σ coeff·var  relation  rhs`. Duplicate variable
+    /// terms are accumulated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::InvalidModel`] if a term references an unknown
+    /// variable or any coefficient or the right-hand side is non-finite.
+    pub fn add_constraint(
+        &mut self,
+        terms: impl IntoIterator<Item = (VarId, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<RowId, LpError> {
+        if !rhs.is_finite() {
+            return Err(LpError::InvalidModel(format!(
+                "right-hand side {rhs} is not finite"
+            )));
+        }
+        let mut dense: Vec<(usize, f64)> = Vec::new();
+        for (v, c) in terms {
+            if v.0 >= self.names.len() {
+                return Err(LpError::InvalidModel(format!(
+                    "variable id {} does not belong to this problem",
+                    v.0
+                )));
+            }
+            if !c.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "coefficient {c} of variable '{}' is not finite",
+                    self.names[v.0]
+                )));
+            }
+            dense.push((v.0, c));
+        }
+        dense.sort_by_key(|&(i, _)| i);
+        let mut terms: Vec<(usize, f64)> = Vec::with_capacity(dense.len());
+        for (i, c) in dense {
+            match terms.last_mut() {
+                Some((j, acc)) if *j == i => *acc += c,
+                _ => terms.push((i, c)),
+            }
+        }
+        terms.retain(|&(_, c)| c != 0.0);
+        let id = RowId(self.rows.len());
+        self.rows.push(Row {
+            terms,
+            relation,
+            rhs,
+        });
+        Ok(id)
+    }
+
+    /// Optimization sense of this problem.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Iterates over all variable handles in creation order.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.names.len()).map(VarId)
+    }
+
+    /// Iterates over all row handles in creation order.
+    pub fn row_ids(&self) -> impl Iterator<Item = RowId> + '_ {
+        (0..self.rows.len()).map(RowId)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Name of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this problem.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.names[v.0]
+    }
+
+    /// Objective coefficient of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this problem.
+    pub fn objective_coeff(&self, v: VarId) -> f64 {
+        self.obj[v.0]
+    }
+
+    /// Bounds `(lower, upper)` of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this problem.
+    pub fn bounds(&self, v: VarId) -> (f64, Option<f64>) {
+        (self.lower[v.0], self.upper[v.0])
+    }
+
+    /// The terms, relation and right-hand side of a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not belong to this problem.
+    pub fn row(&self, r: RowId) -> (Vec<(VarId, f64)>, Relation, f64) {
+        let row = &self.rows[r.0];
+        (
+            row.terms.iter().map(|&(i, c)| (VarId(i), c)).collect(),
+            row.relation,
+            row.rhs,
+        )
+    }
+
+    pub(crate) fn obj_vec(&self) -> &[f64] {
+        &self.obj
+    }
+
+    pub(crate) fn lower_vec(&self) -> &[f64] {
+        &self.lower
+    }
+
+    pub(crate) fn upper_vec(&self) -> &[Option<f64>] {
+        &self.upper
+    }
+
+    /// Solves the problem with default [`SimplexOptions`].
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::EmptyProblem`] — no variables.
+    /// * [`LpError::Infeasible`] — no feasible point exists.
+    /// * [`LpError::Unbounded`] — the objective is unbounded.
+    /// * [`LpError::IterationLimit`] — the pivot budget ran out.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        self.solve_with(&SimplexOptions::default())
+    }
+
+    /// Solves the problem with explicit solver options.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LpProblem::solve`].
+    pub fn solve_with(&self, options: &SimplexOptions) -> Result<LpSolution, LpError> {
+        if self.num_vars() == 0 {
+            return Err(LpError::EmptyProblem);
+        }
+        solve_standard(self, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_and_row_bookkeeping() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var_bounded("y", -2.0, 1.0, Some(5.0));
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.var_name(x), "x");
+        assert_eq!(p.objective_coeff(y), -2.0);
+        assert_eq!(p.bounds(y), (1.0, Some(5.0)));
+        assert_eq!(p.bounds(x), (0.0, None));
+
+        let r = p
+            .add_constraint([(x, 1.0), (y, 2.0), (x, 3.0)], Relation::Le, 7.0)
+            .unwrap();
+        let (terms, rel, rhs) = p.row(r);
+        assert_eq!(rel, Relation::Le);
+        assert_eq!(rhs, 7.0);
+        // duplicate x terms accumulate: 1 + 3 = 4
+        assert_eq!(terms, vec![(x, 4.0), (y, 2.0)]);
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 1.0);
+        let r = p
+            .add_constraint([(x, 0.0), (y, 1.0)], Relation::Eq, 1.0)
+            .unwrap();
+        let (terms, _, _) = p.row(r);
+        assert_eq!(terms, vec![(y, 1.0)]);
+    }
+
+    #[test]
+    fn rejects_foreign_var_and_nonfinite() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let _x = p.add_var("x", 1.0);
+        let mut q = LpProblem::new(Sense::Minimize);
+        let qx = q.add_var("qx", 1.0);
+        let foreign = VarId(qx.0 + 10);
+        assert!(p
+            .add_constraint([(foreign, 1.0)], Relation::Le, 1.0)
+            .is_err());
+        let x = VarId(0);
+        assert!(p
+            .add_constraint([(x, f64::NAN)], Relation::Le, 1.0)
+            .is_err());
+        assert!(p
+            .add_constraint([(x, 1.0)], Relation::Le, f64::INFINITY)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_problem_errors() {
+        let p = LpProblem::new(Sense::Minimize);
+        assert!(matches!(p.solve(), Err(LpError::EmptyProblem)));
+    }
+
+    #[test]
+    #[should_panic(expected = "upper bound")]
+    fn bad_bounds_panic() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        p.add_var_bounded("x", 0.0, 2.0, Some(1.0));
+    }
+
+    #[test]
+    fn relation_display() {
+        assert_eq!(Relation::Le.to_string(), "<=");
+        assert_eq!(Relation::Ge.to_string(), ">=");
+        assert_eq!(Relation::Eq.to_string(), "=");
+    }
+}

@@ -1,0 +1,631 @@
+//! Two-phase dense primal simplex.
+//!
+//! The implementation keeps a full tableau (constraint matrix, right-hand
+//! side, reduced-cost row) in canonical form with respect to the current
+//! basis. Phase 1 minimizes the sum of artificial variables from an
+//! all-slack/all-artificial start; phase 2 minimizes the real objective.
+//! Pricing is Dantzig's rule with an automatic switch to Bland's rule
+//! after a run of degenerate pivots (guaranteeing termination), switching
+//! back once progress resumes.
+
+use socbuf_linalg::Matrix;
+
+use crate::problem::{LpProblem, Relation};
+use crate::solution::LpSolution;
+use crate::{LpError, Sense};
+
+/// Tuning knobs for the simplex solver.
+#[derive(Debug, Clone)]
+pub struct SimplexOptions {
+    /// Maximum number of pivots across both phases. `0` selects an
+    /// automatic limit of `max(20_000, 50 * (rows + cols))`.
+    pub max_iterations: usize,
+    /// Feasibility/optimality tolerance.
+    pub tolerance: f64,
+    /// Number of consecutive degenerate pivots after which pricing
+    /// switches from Dantzig to Bland's anti-cycling rule.
+    pub stall_switch: usize,
+    /// Magnitude of the deterministic right-hand-side perturbation used
+    /// to break massive degeneracy (`0.0` = off, the default). Highly
+    /// degenerate equality systems — occupation-measure LPs chief among
+    /// them — stall for tens of thousands of pivots without it. The
+    /// returned solution solves the perturbed problem; primal values are
+    /// within `O(perturbation)` of an exact vertex, which callers that
+    /// enable this must tolerate (the CTMDP pipeline renormalizes its
+    /// occupation measures afterwards).
+    pub perturbation: f64,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iterations: 0,
+            tolerance: 1e-9,
+            stall_switch: 40,
+            perturbation: 0.0,
+        }
+    }
+}
+
+/// The problem rewritten as `min c·x  s.t.  A x = b, x ≥ 0, b ≥ 0`,
+/// including slack/surplus columns but *not* artificial columns, together
+/// with the bookkeeping needed to map a basic solution back to the user's
+/// variables, rows and duals.
+pub(crate) struct StandardForm {
+    pub a: Matrix,
+    pub b: Vec<f64>,
+    pub c: Vec<f64>,
+    /// `+1.0` if the standard-form row kept the user's orientation,
+    /// `-1.0` if it was negated to make `b ≥ 0`.
+    pub row_sign: Vec<f64>,
+    /// For each standard-form row, the user row it came from, or `None`
+    /// for an upper-bound row.
+    pub row_origin: Vec<Option<usize>>,
+    /// Lower-bound shift applied to each structural variable.
+    pub shift: Vec<f64>,
+    /// `true` if the user's sense was `Maximize` (objective was negated).
+    pub negated_obj: bool,
+    /// Rows that need an artificial variable (Eq, or Ge after sign fix).
+    pub needs_artificial: Vec<bool>,
+    /// Column index of the slack/surplus for each row, if any.
+    pub slack_col: Vec<Option<usize>>,
+}
+
+pub(crate) fn build_standard_form(p: &LpProblem) -> Result<StandardForm, LpError> {
+    let n = p.num_vars();
+    let shift: Vec<f64> = p.lower_vec().to_vec();
+
+    // Collect rows: user constraints plus one `x ≤ upper - lower` row per
+    // upper-bounded variable.
+    struct RawRow {
+        terms: Vec<(usize, f64)>,
+        relation: Relation,
+        rhs: f64,
+        origin: Option<usize>,
+    }
+    let mut raw: Vec<RawRow> = Vec::with_capacity(p.rows.len());
+    for (ri, row) in p.rows.iter().enumerate() {
+        // Shift rhs by the lower bounds: sum a_j (l_j + x'_j) rel rhs.
+        let mut rhs = row.rhs;
+        for &(j, cj) in &row.terms {
+            rhs -= cj * shift[j];
+        }
+        raw.push(RawRow {
+            terms: row.terms.clone(),
+            relation: row.relation,
+            rhs,
+            origin: Some(ri),
+        });
+    }
+    for (j, ub) in p.upper_vec().iter().enumerate() {
+        if let Some(u) = ub {
+            raw.push(RawRow {
+                terms: vec![(j, 1.0)],
+                relation: Relation::Le,
+                rhs: u - shift[j],
+                origin: None,
+            });
+        }
+    }
+
+    let m = raw.len();
+    // Column layout: structural vars, then one slack/surplus per Le/Ge row.
+    let mut slack_col = vec![None; m];
+    let mut ncols = n;
+    let mut row_sign = vec![1.0; m];
+    let mut needs_artificial = vec![false; m];
+
+    // First pass: orient rows so b >= 0, decide slack/surplus/artificial.
+    for (i, r) in raw.iter_mut().enumerate() {
+        if r.rhs < 0.0 {
+            r.rhs = -r.rhs;
+            for t in r.terms.iter_mut() {
+                t.1 = -t.1;
+            }
+            r.relation = match r.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+            row_sign[i] = -1.0;
+        }
+        match r.relation {
+            Relation::Le => {
+                slack_col[i] = Some(ncols);
+                ncols += 1;
+            }
+            Relation::Ge => {
+                slack_col[i] = Some(ncols);
+                ncols += 1;
+                needs_artificial[i] = true;
+            }
+            Relation::Eq => {
+                needs_artificial[i] = true;
+            }
+        }
+    }
+
+    let mut a = Matrix::zeros(m, ncols);
+    let mut b = vec![0.0; m];
+    for (i, r) in raw.iter().enumerate() {
+        for &(j, cj) in &r.terms {
+            a[(i, j)] += cj;
+        }
+        if let Some(sc) = slack_col[i] {
+            a[(i, sc)] = match r.relation {
+                Relation::Le => 1.0,
+                Relation::Ge => -1.0,
+                Relation::Eq => unreachable!("eq rows have no slack"),
+            };
+        }
+        b[i] = r.rhs;
+    }
+
+    let negated_obj = p.sense() == Sense::Maximize;
+    let mut c = vec![0.0; ncols];
+    for (j, &cj) in p.obj_vec().iter().enumerate() {
+        c[j] = if negated_obj { -cj } else { cj };
+    }
+
+    Ok(StandardForm {
+        a,
+        b,
+        c,
+        row_sign,
+        row_origin: raw.iter().map(|r| r.origin).collect(),
+        shift,
+        negated_obj,
+        needs_artificial,
+        slack_col,
+    })
+}
+
+/// Final state of a simplex run, in standard-form coordinates.
+pub(crate) struct BasicSolution {
+    /// Value of every standard-form column (structural + slack).
+    pub x: Vec<f64>,
+    /// Basis column per active row (`usize::MAX` marks a deactivated row).
+    pub basis: Vec<usize>,
+    /// `false` for rows found redundant during phase 1.
+    pub row_active: Vec<bool>,
+    /// Total pivot count over both phases.
+    pub iterations: usize,
+}
+
+struct Tableau {
+    /// `m x total_cols` constraint part, kept canonical w.r.t. the basis.
+    a: Matrix,
+    b: Vec<f64>,
+    /// Current reduced-cost row.
+    d: Vec<f64>,
+    basis: Vec<usize>,
+    active: Vec<bool>,
+    /// Columns that may never (re-)enter the basis (artificials in ph. 2).
+    banned: Vec<bool>,
+    tol: f64,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let m = self.a.rows();
+        let ncols = self.a.cols();
+        let piv = self.a[(row, col)];
+        debug_assert!(piv.abs() > self.tol);
+        let inv = 1.0 / piv;
+        for j in 0..ncols {
+            self.a[(row, j)] *= inv;
+        }
+        self.a[(row, col)] = 1.0;
+        self.b[row] *= inv;
+        for i in 0..m {
+            if i == row || !self.active[i] {
+                continue;
+            }
+            let f = self.a[(i, col)];
+            if f == 0.0 {
+                continue;
+            }
+            for j in 0..ncols {
+                let v = self.a[(row, j)];
+                if v != 0.0 {
+                    self.a[(i, j)] -= f * v;
+                }
+            }
+            self.a[(i, col)] = 0.0;
+            self.b[i] -= f * self.b[row];
+            if self.b[i].abs() < 1e-13 {
+                self.b[i] = 0.0;
+            }
+        }
+        let f = self.d[col];
+        if f != 0.0 {
+            for j in 0..ncols {
+                let v = self.a[(row, j)];
+                if v != 0.0 {
+                    self.d[j] -= f * v;
+                }
+            }
+            self.d[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Recomputes the reduced-cost row `d = c - c_B B⁻¹ A` for the given
+    /// phase costs, using the canonical tableau.
+    fn canonicalize_costs(&mut self, c: &[f64]) {
+        self.d.copy_from_slice(c);
+        let m = self.a.rows();
+        for i in 0..m {
+            if !self.active[i] {
+                continue;
+            }
+            let jb = self.basis[i];
+            let cb = c[jb];
+            if cb == 0.0 {
+                continue;
+            }
+            for j in 0..self.a.cols() {
+                let v = self.a[(i, j)];
+                if v != 0.0 {
+                    self.d[j] -= cb * v;
+                }
+            }
+        }
+        // The basic columns must have exactly zero reduced cost.
+        for i in 0..m {
+            if self.active[i] {
+                self.d[self.basis[i]] = 0.0;
+            }
+        }
+    }
+
+    /// Adds positive pseudo-random noise to the canonical rhs of every
+    /// active row — feasibility-preserving degeneracy breaking.
+    fn reperturb(&mut self, eps: f64) {
+        for i in 0..self.a.rows() {
+            if !self.active[i] {
+                continue;
+            }
+            let r = ((i.wrapping_mul(0x9e3779b9) >> 7) % 997 + 1) as f64 / 997.0;
+            self.b[i] += eps * r * (1.0 + self.b[i].abs());
+        }
+    }
+
+    /// Dantzig pricing: most negative reduced cost.
+    fn enter_dantzig(&self) -> Option<usize> {
+        let mut best = None;
+        let mut best_val = -self.tol;
+        for j in 0..self.a.cols() {
+            if self.banned[j] {
+                continue;
+            }
+            if self.d[j] < best_val {
+                best_val = self.d[j];
+                best = Some(j);
+            }
+        }
+        best
+    }
+
+    /// Bland pricing: first negative reduced cost.
+    fn enter_bland(&self) -> Option<usize> {
+        (0..self.a.cols()).find(|&j| !self.banned[j] && self.d[j] < -self.tol)
+    }
+
+    /// Two-pass (Harris-style) ratio test. Pass 1 finds the minimum
+    /// ratio; pass 2 picks, among rows within a small relative window of
+    /// it, the one with the largest pivot element — which keeps the
+    /// factors bounded and avoids the tiny-pivot death spiral on
+    /// near-degenerate problems. Returns `None` if the column is
+    /// unbounded.
+    fn leave(&self, col: usize) -> Option<usize> {
+        let mut min_ratio = f64::INFINITY;
+        for i in 0..self.a.rows() {
+            if !self.active[i] {
+                continue;
+            }
+            let aij = self.a[(i, col)];
+            if aij > self.tol {
+                min_ratio = min_ratio.min(self.b[i] / aij);
+            }
+        }
+        if !min_ratio.is_finite() {
+            return None;
+        }
+        let window = self.tol * (1.0 + min_ratio.abs());
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.a.rows() {
+            if !self.active[i] {
+                continue;
+            }
+            let aij = self.a[(i, col)];
+            if aij > self.tol && self.b[i] / aij <= min_ratio + window {
+                match best {
+                    None => best = Some((i, aij)),
+                    Some((bi, bv)) => {
+                        if aij > bv || (aij == bv && self.basis[i] < self.basis[bi]) {
+                            best = Some((i, aij));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded(usize),
+}
+
+fn run_phase(
+    t: &mut Tableau,
+    iterations: &mut usize,
+    max_iterations: usize,
+    stall_switch: usize,
+    perturbation: f64,
+) -> Result<PhaseOutcome, LpError> {
+    let mut stall = 0usize;
+    let mut reperturbs = 0usize;
+    loop {
+        if *iterations >= max_iterations {
+            return Err(LpError::IterationLimit {
+                limit: max_iterations,
+            });
+        }
+        let enter = if stall >= stall_switch {
+            t.enter_bland()
+        } else {
+            t.enter_dantzig()
+        };
+        let Some(col) = enter else {
+            return Ok(PhaseOutcome::Optimal);
+        };
+        let Some(row) = t.leave(col) else {
+            return Ok(PhaseOutcome::Unbounded(col));
+        };
+        let degenerate = t.b[row].abs() <= t.tol;
+        t.pivot(row, col);
+        *iterations += 1;
+        if degenerate {
+            stall += 1;
+        } else {
+            stall = 0;
+        }
+        // Deep stall: the initial perturbation has been cancelled away.
+        // Re-perturb the canonical rhs (positive amounts keep the basis
+        // feasible) with growing magnitude and go back to Dantzig.
+        if perturbation > 0.0 && stall >= 4 * stall_switch && reperturbs < 24 {
+            let eps = perturbation * (1u64 << reperturbs.min(12)) as f64;
+            t.reperturb(eps);
+            stall = 0;
+            reperturbs += 1;
+        }
+    }
+}
+
+/// Runs two-phase simplex on a standard form. Exposed crate-internally so
+/// the solution module can rebuild duals from the same data.
+pub(crate) fn run_simplex(
+    sf: &StandardForm,
+    options: &SimplexOptions,
+) -> Result<BasicSolution, LpError> {
+    let m = sf.a.rows();
+    let n_sf = sf.a.cols();
+    let n_art: usize = sf.needs_artificial.iter().filter(|&&x| x).count();
+    let total = n_sf + n_art;
+    let tol = options.tolerance;
+    let max_iterations = if options.max_iterations == 0 {
+        20_000.max(50 * (m + total))
+    } else {
+        options.max_iterations
+    };
+
+    // Assemble the phase-1 tableau: [A | I_artificial].
+    let mut a = Matrix::zeros(m, total);
+    for i in 0..m {
+        for j in 0..n_sf {
+            a[(i, j)] = sf.a[(i, j)];
+        }
+    }
+    let mut basis = vec![usize::MAX; m];
+    let mut next_art = n_sf;
+    for i in 0..m {
+        if sf.needs_artificial[i] {
+            a[(i, next_art)] = 1.0;
+            basis[i] = next_art;
+            next_art += 1;
+        } else {
+            let sc = sf.slack_col[i].expect("row without artificial must have a slack");
+            basis[i] = sc;
+        }
+    }
+
+    let mut b = sf.b.clone();
+    if options.perturbation > 0.0 {
+        // Deterministic pseudo-random perturbation (Knuth multiplicative
+        // hashing) keeps vertices non-degenerate so Dantzig pricing makes
+        // strict progress on massively degenerate equality systems.
+        for (i, bi) in b.iter_mut().enumerate() {
+            let r = ((i.wrapping_mul(2654435761) >> 8) % 1000 + 1) as f64 / 1000.0;
+            *bi += options.perturbation * (1.0 + bi.abs()) * r;
+        }
+    }
+    let mut t = Tableau {
+        a,
+        b,
+        d: vec![0.0; total],
+        basis,
+        active: vec![true; m],
+        banned: vec![false; total],
+        tol,
+    };
+
+    let mut iterations = 0usize;
+
+    // ---- Phase 1: minimize the sum of artificials. -------------------
+    if n_art > 0 {
+        let mut c1 = vec![0.0; total];
+        for j in n_sf..total {
+            c1[j] = 1.0;
+        }
+        // Incremental reduced-cost updates drift over thousands of
+        // pivots; an "unbounded" verdict is only trusted after a fresh
+        // canonicalization reproduces it.
+        let mut verdict = PhaseOutcome::Optimal;
+        for attempt in 0..2 {
+            t.canonicalize_costs(&c1);
+            verdict = run_phase(
+                &mut t,
+                &mut iterations,
+                max_iterations,
+                options.stall_switch,
+                options.perturbation,
+            )?;
+            match verdict {
+                PhaseOutcome::Optimal => break,
+                PhaseOutcome::Unbounded(_) if attempt == 0 => continue,
+                PhaseOutcome::Unbounded(_) => {}
+            }
+        }
+        if let PhaseOutcome::Unbounded(_) = verdict {
+            // Phase-1 objective is bounded below by 0; cannot happen.
+            return Err(LpError::InvalidModel(
+                "phase 1 reported unbounded; numerical breakdown".into(),
+            ));
+        }
+        let phase1_obj: f64 = (0..m)
+            .filter(|&i| t.active[i] && t.basis[i] >= n_sf)
+            .map(|i| t.b[i])
+            .sum();
+        let infeas_threshold = tol
+            .max(1e-7)
+            .max(options.perturbation * 50.0 * m as f64);
+        if phase1_obj > infeas_threshold {
+            return Err(LpError::Infeasible {
+                residual: phase1_obj,
+            });
+        }
+        // Drive remaining artificials out of the basis, pivoting on the
+        // largest-magnitude eligible entry (conditioning); rows where no
+        // pivot exists are redundant and get deactivated.
+        for i in 0..m {
+            if !t.active[i] || t.basis[i] < n_sf {
+                continue;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..n_sf {
+                let v = t.a[(i, j)].abs();
+                if v > tol.max(1e-7) && best.is_none_or(|(_, bv)| v > bv) {
+                    best = Some((j, v));
+                }
+            }
+            match best {
+                Some((j, _)) => t.pivot(i, j),
+                None => {
+                    t.active[i] = false;
+                    t.basis[i] = usize::MAX;
+                }
+            }
+        }
+        // Artificials can never re-enter: physically drop their columns
+        // so phase-2 pivots stop paying for them.
+        let mut a2 = Matrix::zeros(m, n_sf);
+        for i in 0..m {
+            for j in 0..n_sf {
+                a2[(i, j)] = t.a[(i, j)];
+            }
+        }
+        t.a = a2;
+        t.d = vec![0.0; n_sf];
+        t.banned = vec![false; n_sf];
+    }
+
+    // ---- Phase 2: minimize the real objective. ------------------------
+    // (The tableau was truncated to `n_sf` columns if phase 1 ran.)
+    let mut c2 = vec![0.0; t.a.cols()];
+    c2[..n_sf].copy_from_slice(&sf.c);
+    let mut verdict = PhaseOutcome::Optimal;
+    for attempt in 0..2 {
+        t.canonicalize_costs(&c2);
+        verdict = run_phase(
+            &mut t,
+            &mut iterations,
+            max_iterations,
+            options.stall_switch,
+            options.perturbation,
+        )?;
+        match verdict {
+            PhaseOutcome::Optimal => break,
+            PhaseOutcome::Unbounded(_) if attempt == 0 => continue,
+            PhaseOutcome::Unbounded(_) => {}
+        }
+    }
+    if let PhaseOutcome::Unbounded(col) = verdict {
+        return Err(LpError::Unbounded { column: col });
+    }
+
+    let mut x = vec![0.0; n_sf];
+    for i in 0..m {
+        if t.active[i] && t.basis[i] < n_sf {
+            x[t.basis[i]] = t.b[i].max(0.0);
+        }
+    }
+    Ok(BasicSolution {
+        x,
+        basis: t.basis,
+        row_active: t.active,
+        iterations,
+    })
+}
+
+/// Entry point used by [`LpProblem::solve_with`].
+pub(crate) fn solve_standard(
+    p: &LpProblem,
+    options: &SimplexOptions,
+) -> Result<LpSolution, LpError> {
+    let sf = build_standard_form(p)?;
+    let basic = run_simplex(&sf, options)?;
+    LpSolution::from_basic(p, &sf, &basic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LpProblem, Relation, Sense};
+
+    #[test]
+    fn standard_form_orients_negative_rhs() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 1.0);
+        p.add_constraint([(x, 1.0)], Relation::Le, -2.0).unwrap();
+        let sf = build_standard_form(&p).unwrap();
+        assert_eq!(sf.b, vec![2.0]);
+        assert_eq!(sf.row_sign, vec![-1.0]);
+        // Negated Le becomes Ge: surplus plus artificial.
+        assert!(sf.needs_artificial[0]);
+        assert_eq!(sf.a[(0, 0)], -1.0);
+        assert_eq!(sf.a[(0, 1)], -1.0); // Ge rows carry a surplus column (−1)
+    }
+
+    #[test]
+    fn standard_form_adds_upper_bound_rows() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let _x = p.add_var_bounded("x", 1.0, 1.0, Some(4.0));
+        let sf = build_standard_form(&p).unwrap();
+        assert_eq!(sf.a.rows(), 1);
+        assert_eq!(sf.row_origin[0], None);
+        assert_eq!(sf.b[0], 3.0); // 4 - lower bound 1
+        assert_eq!(sf.shift, vec![1.0]);
+    }
+
+    #[test]
+    fn maximization_negates_costs() {
+        let mut p = LpProblem::new(Sense::Maximize);
+        let _x = p.add_var("x", 5.0);
+        let sf = build_standard_form(&p).unwrap();
+        assert!(sf.negated_obj);
+        assert_eq!(sf.c[0], -5.0);
+    }
+}

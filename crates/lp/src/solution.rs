@@ -1,0 +1,178 @@
+use socbuf_linalg::{Lu, Matrix};
+
+use crate::problem::{LpProblem, RowId, VarId};
+use crate::simplex::{BasicSolution, StandardForm};
+use crate::LpError;
+
+/// An optimal basic solution of an [`LpProblem`].
+///
+/// Besides the primal values and objective, the solution carries the dual
+/// prices and reduced costs recovered from the final basis — these are
+/// the sensitivity quantities the buffer-sizing pipeline reports (e.g.
+/// the shadow price of the global buffer-budget constraint), and the
+/// basic/nonbasic split that the K-switching structure analysis inspects.
+///
+/// Sign conventions:
+/// * [`LpSolution::dual`] is `∂ objective / ∂ rhs` in the problem's own
+///   sense (for a `Maximize` problem a binding `≤` row has a
+///   non-negative dual).
+/// * [`LpSolution::reduced_cost`] is non-negative at optimum for
+///   `Minimize` problems (and non-positive for `Maximize`) for variables
+///   sitting at their lower bound, with upper-bound shadow prices folded
+///   out (so variables at their *upper* bound show the opposite sign).
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    values: Vec<f64>,
+    objective: f64,
+    duals: Vec<f64>,
+    reduced: Vec<f64>,
+    basic: Vec<bool>,
+    iterations: usize,
+}
+
+impl LpSolution {
+    pub(crate) fn from_basic(
+        p: &LpProblem,
+        sf: &StandardForm,
+        basic: &BasicSolution,
+    ) -> Result<LpSolution, LpError> {
+        let n = p.num_vars();
+        let mut values = vec![0.0; n];
+        for j in 0..n {
+            values[j] = sf.shift[j] + basic.x[j];
+        }
+        let objective: f64 = p
+            .obj_vec()
+            .iter()
+            .zip(&values)
+            .map(|(c, x)| c * x)
+            .sum();
+
+        // --- Recover duals from the final basis: solve Bᵀ y = c_B. ----
+        let active_rows: Vec<usize> = (0..sf.a.rows())
+            .filter(|&i| basic.row_active[i])
+            .collect();
+        let m_act = active_rows.len();
+        let mut y_by_row = vec![0.0; sf.a.rows()];
+        if m_act > 0 {
+            let mut bmat = Matrix::zeros(m_act, m_act);
+            let mut cb = vec![0.0; m_act];
+            for (pos_col, &i) in active_rows.iter().enumerate() {
+                let col = basic.basis[i];
+                debug_assert!(col < sf.a.cols(), "artificial left in active basis");
+                for (pos_row, &r) in active_rows.iter().enumerate() {
+                    bmat[(pos_row, pos_col)] = sf.a[(r, col)];
+                }
+                cb[pos_col] = sf.c[col];
+            }
+            let lu = Lu::factor(&bmat).map_err(|e| {
+                LpError::InvalidModel(format!("final basis is numerically singular: {e}"))
+            })?;
+            let y = lu.solve_transpose(&cb).map_err(|e| {
+                LpError::InvalidModel(format!("dual solve failed: {e}"))
+            })?;
+            for (pos, &i) in active_rows.iter().enumerate() {
+                y_by_row[i] = y[pos];
+            }
+        }
+
+        // User-row duals (min-form), then flip for Maximize.
+        let obj_sign = if sf.negated_obj { -1.0 } else { 1.0 };
+        let mut duals = vec![0.0; p.num_rows()];
+        for i in 0..sf.a.rows() {
+            if let Some(ri) = sf.row_origin[i] {
+                duals[ri] = obj_sign * sf.row_sign[i] * y_by_row[i];
+            }
+        }
+
+        // Reduced costs w.r.t. user rows only (upper-bound shadow prices
+        // folded out): d_j = c_j − Σ_{user rows} y_i a_ij.
+        let mut reduced = vec![0.0; n];
+        for j in 0..n {
+            let mut d = sf.c[j];
+            for i in 0..sf.a.rows() {
+                if sf.row_origin[i].is_some() && y_by_row[i] != 0.0 {
+                    d -= y_by_row[i] * sf.a[(i, j)];
+                }
+            }
+            reduced[j] = obj_sign * d;
+        }
+
+        let mut basic_flags = vec![false; n];
+        for (i, &col) in basic.basis.iter().enumerate() {
+            if basic.row_active[i] && col < n {
+                basic_flags[col] = true;
+            }
+        }
+
+        Ok(LpSolution {
+            values,
+            objective,
+            duals,
+            reduced,
+            basic: basic_flags,
+            iterations: basic.iterations,
+        })
+    }
+
+    /// Optimal objective value, in the problem's own sense.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of a variable at the optimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the solved problem.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// All variable values, in creation order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Dual price (`∂ objective / ∂ rhs`) of a constraint row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not belong to the solved problem.
+    pub fn dual(&self, r: RowId) -> f64 {
+        self.duals[r.index()]
+    }
+
+    /// All row duals, in creation order.
+    pub fn duals(&self) -> &[f64] {
+        &self.duals
+    }
+
+    /// Reduced cost of a variable (see the type-level docs for the sign
+    /// convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the solved problem.
+    pub fn reduced_cost(&self, v: VarId) -> f64 {
+        self.reduced[v.index()]
+    }
+
+    /// Whether the variable is basic in the final simplex basis.
+    ///
+    /// Basic solutions are what Feinberg's K-switching theorem speaks
+    /// about: at a basic optimum of a constrained-CTMDP LP at most K
+    /// states carry more than one action with positive probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the solved problem.
+    pub fn is_basic(&self, v: VarId) -> bool {
+        self.basic[v.index()]
+    }
+
+    /// Total simplex pivots used across both phases.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}

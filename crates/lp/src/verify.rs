@@ -1,0 +1,139 @@
+//! Independent optimality certificate checking.
+//!
+//! Given a problem and a candidate [`LpSolution`], [`verify_optimality`]
+//! re-derives the three Karush–Kuhn–Tucker conditions for linear programs
+//! from the *original* problem data (not from solver internals): primal
+//! feasibility, dual feasibility, and complementary slackness. Together
+//! they certify global optimality, which makes this the main oracle for
+//! the crate's property tests.
+
+use crate::problem::{LpProblem, Relation};
+use crate::{LpSolution, Sense};
+
+/// Outcome of [`verify_optimality`]: which KKT condition groups hold and
+/// the worst violation observed in each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalityReport {
+    /// All rows and bounds satisfied (within tolerance).
+    pub primal_feasible: bool,
+    /// Dual signs and reduced-cost signs consistent with optimality.
+    pub dual_feasible: bool,
+    /// `dual · slack = 0` and `reduced_cost · (x − bound) = 0` hold.
+    pub complementary: bool,
+    /// Largest primal violation found.
+    pub max_primal_violation: f64,
+    /// Largest dual-sign / reduced-cost-sign violation found.
+    pub max_dual_violation: f64,
+    /// Largest complementary-slackness product found.
+    pub max_complementarity_violation: f64,
+}
+
+impl OptimalityReport {
+    /// `true` when all three KKT groups hold — a complete certificate of
+    /// optimality for a linear program.
+    pub fn is_optimal(&self) -> bool {
+        self.primal_feasible && self.dual_feasible && self.complementary
+    }
+}
+
+/// Checks the KKT conditions of `solution` against `problem`.
+///
+/// `tol` is an absolute tolerance applied after mild scaling by row/bound
+/// magnitudes; `1e-6` is a sensible default for problems with data of
+/// order 1.
+pub fn verify_optimality(problem: &LpProblem, solution: &LpSolution, tol: f64) -> OptimalityReport {
+    // Canonicalize to minimization: flip objective and duals for Maximize.
+    let sign = match problem.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let n = problem.num_vars();
+    let x = solution.values();
+
+    let mut max_primal = 0.0_f64;
+    let mut max_dual = 0.0_f64;
+    let mut max_comp = 0.0_f64;
+
+    // Bounds.
+    for j in 0..n {
+        let v = crate::VarId(j);
+        let (lo, up) = problem.bounds(v);
+        max_primal = max_primal.max((lo - x[j]) / (1.0 + lo.abs()));
+        if let Some(u) = up {
+            max_primal = max_primal.max((x[j] - u) / (1.0 + u.abs()));
+        }
+    }
+
+    // Rows: feasibility, dual signs, complementary slackness.
+    for ri in 0..problem.num_rows() {
+        let r = crate::RowId(ri);
+        let (terms, rel, rhs) = problem.row(r);
+        let lhs: f64 = terms.iter().map(|&(v, c)| c * x[v.index()]).sum();
+        let scale = 1.0 + rhs.abs();
+        let y_min = sign * solution.dual(r);
+        match rel {
+            Relation::Le => {
+                max_primal = max_primal.max((lhs - rhs) / scale);
+                // Min-form convention: Le rows have y ≤ 0.
+                max_dual = max_dual.max(y_min / scale);
+                max_comp = max_comp.max((y_min * (lhs - rhs)).abs() / scale);
+            }
+            Relation::Ge => {
+                max_primal = max_primal.max((rhs - lhs) / scale);
+                max_dual = max_dual.max(-y_min / scale);
+                max_comp = max_comp.max((y_min * (lhs - rhs)).abs() / scale);
+            }
+            Relation::Eq => {
+                max_primal = max_primal.max((lhs - rhs).abs() / scale);
+                // Equality duals are free; slack is zero by feasibility.
+            }
+        }
+    }
+
+    // Reduced costs: d_j = c_j − Σ y_i a_ij (min form), then
+    //   x_j at lower  →  d_j ≥ 0,
+    //   x_j at upper  →  d_j ≤ 0,
+    //   strictly between  →  d_j = 0.
+    let mut d_min = vec![0.0; n];
+    for j in 0..n {
+        d_min[j] = sign * problem.objective_coeff(crate::VarId(j));
+    }
+    for ri in 0..problem.num_rows() {
+        let r = crate::RowId(ri);
+        let y_min = sign * solution.dual(r);
+        if y_min == 0.0 {
+            continue;
+        }
+        let (terms, _, _) = problem.row(r);
+        for (v, c) in terms {
+            d_min[v.index()] -= y_min * c;
+        }
+    }
+    for j in 0..n {
+        let v = crate::VarId(j);
+        let (lo, up) = problem.bounds(v);
+        let at_lower = (x[j] - lo).abs() <= tol * (1.0 + lo.abs());
+        let at_upper = up.is_some_and(|u| (x[j] - u).abs() <= tol * (1.0 + u.abs()));
+        let d = d_min[j];
+        let scale = 1.0 + d.abs().max(1.0);
+        if at_lower && at_upper {
+            // Fixed variable: any reduced cost is fine.
+        } else if at_lower {
+            max_dual = max_dual.max(-d / scale);
+        } else if at_upper {
+            max_dual = max_dual.max(d / scale);
+        } else {
+            max_dual = max_dual.max(d.abs() / scale);
+            max_comp = max_comp.max((d * (x[j] - lo)).abs() / scale);
+        }
+    }
+
+    OptimalityReport {
+        primal_feasible: max_primal <= tol,
+        dual_feasible: max_dual <= tol,
+        complementary: max_comp <= tol,
+        max_primal_violation: max_primal,
+        max_dual_violation: max_dual,
+        max_complementarity_violation: max_comp,
+    }
+}

@@ -1,0 +1,346 @@
+use socbuf_linalg::{Lu, Matrix};
+
+use crate::{Dtmc, MarkovError};
+
+/// A finite continuous-time Markov chain given by its generator matrix.
+///
+/// The generator `Q` has non-negative off-diagonal rates and rows summing
+/// to zero (`q_ii = −Σ_{j≠i} q_ij`). Construction validates both
+/// properties.
+///
+/// # Examples
+///
+/// ```
+/// use socbuf_markov::Ctmc;
+///
+/// # fn main() -> Result<(), socbuf_markov::MarkovError> {
+/// // Two-state chain: 0 → 1 at rate 2, 1 → 0 at rate 1.
+/// let c = Ctmc::from_rates(2, &[(0, 1, 2.0), (1, 0, 1.0)])?;
+/// let pi = c.stationary()?;
+/// assert!((pi[0] - 1.0 / 3.0).abs() < 1e-12);
+/// assert!((pi[1] - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ctmc {
+    q: Matrix,
+}
+
+const ROW_SUM_TOL: f64 = 1e-8;
+
+impl Ctmc {
+    /// Builds a chain from an explicit generator matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::NegativeRate`] for negative off-diagonal entries.
+    /// * [`MarkovError::BadGeneratorRow`] for rows not summing to zero.
+    /// * [`MarkovError::Linalg`] if the matrix is not square or empty.
+    pub fn from_generator(q: Matrix) -> Result<Self, MarkovError> {
+        if !q.is_square() {
+            return Err(MarkovError::Linalg(socbuf_linalg::LinalgError::NotSquare {
+                rows: q.rows(),
+                cols: q.cols(),
+            }));
+        }
+        if q.rows() == 0 {
+            return Err(MarkovError::Linalg(socbuf_linalg::LinalgError::Empty));
+        }
+        let n = q.rows();
+        for i in 0..n {
+            let mut sum = 0.0;
+            for j in 0..n {
+                let v = q[(i, j)];
+                if i != j && v < 0.0 {
+                    return Err(MarkovError::NegativeRate {
+                        from: i,
+                        to: j,
+                        rate: v,
+                    });
+                }
+                sum += v;
+            }
+            if sum.abs() > ROW_SUM_TOL * (1.0 + q.row(i).iter().map(|v| v.abs()).sum::<f64>()) {
+                return Err(MarkovError::BadGeneratorRow { row: i, sum });
+            }
+        }
+        Ok(Ctmc { q })
+    }
+
+    /// Builds a chain on `n` states from sparse `(from, to, rate)`
+    /// triples; the diagonal is filled in automatically. Duplicate
+    /// triples accumulate.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::NegativeRate`] for a negative rate.
+    /// * [`MarkovError::NonPositiveParameter`] if `n == 0` or an index is
+    ///   out of range.
+    pub fn from_rates(n: usize, rates: &[(usize, usize, f64)]) -> Result<Self, MarkovError> {
+        if n == 0 {
+            return Err(MarkovError::NonPositiveParameter {
+                name: "n",
+                value: 0.0,
+            });
+        }
+        let mut q = Matrix::zeros(n, n);
+        for &(i, j, r) in rates {
+            if i >= n || j >= n {
+                return Err(MarkovError::NonPositiveParameter {
+                    name: "state index",
+                    value: i.max(j) as f64,
+                });
+            }
+            if r < 0.0 {
+                return Err(MarkovError::NegativeRate {
+                    from: i,
+                    to: j,
+                    rate: r,
+                });
+            }
+            if i != j {
+                q[(i, j)] += r;
+            }
+        }
+        for i in 0..n {
+            let off: f64 = (0..n).filter(|&j| j != i).map(|j| q[(i, j)]).sum();
+            q[(i, i)] = -off;
+        }
+        Ok(Ctmc { q })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.q.rows()
+    }
+
+    /// The generator matrix.
+    pub fn generator(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// Transition rate from `i` to `j` (`i ≠ j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn rate(&self, i: usize, j: usize) -> f64 {
+        self.q[(i, j)]
+    }
+
+    /// Total exit rate of state `i` (`−q_ii`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn exit_rate(&self, i: usize) -> f64 {
+        -self.q[(i, i)]
+    }
+
+    /// `true` if every state can reach every other through positive-rate
+    /// transitions (strong connectivity of the rate graph).
+    pub fn is_irreducible(&self) -> bool {
+        let n = self.num_states();
+        if n == 1 {
+            return true;
+        }
+        let reach = |forward: bool| -> usize {
+            let mut seen = vec![false; n];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            let mut count = 1;
+            while let Some(i) = stack.pop() {
+                for j in 0..n {
+                    let r = if forward {
+                        self.q[(i, j)]
+                    } else {
+                        self.q[(j, i)]
+                    };
+                    if i != j && r > 0.0 && !seen[j] {
+                        seen[j] = true;
+                        count += 1;
+                        stack.push(j);
+                    }
+                }
+            }
+            count
+        };
+        reach(true) == n && reach(false) == n
+    }
+
+    /// Stationary distribution `π` with `π Q = 0`, `Σ π = 1`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::Reducible`] if the chain has no unique stationary
+    ///   distribution.
+    pub fn stationary(&self) -> Result<Vec<f64>, MarkovError> {
+        if !self.is_irreducible() {
+            return Err(MarkovError::Reducible);
+        }
+        let n = self.num_states();
+        // Solve Qᵀ π = 0 with the last equation replaced by Σ π = 1.
+        let mut a = self.q.transpose();
+        for j in 0..n {
+            a[(n - 1, j)] = 1.0;
+        }
+        let mut b = vec![0.0; n];
+        b[n - 1] = 1.0;
+        let lu = Lu::factor(&a)?;
+        let mut pi = lu.solve(&b)?;
+        // Numerical cleanup: clamp tiny negatives, renormalize.
+        let mut sum = 0.0;
+        for p in pi.iter_mut() {
+            if *p < 0.0 {
+                if *p < -1e-8 {
+                    return Err(MarkovError::Reducible);
+                }
+                *p = 0.0;
+            }
+            sum += *p;
+        }
+        for p in pi.iter_mut() {
+            *p /= sum;
+        }
+        Ok(pi)
+    }
+
+    /// Uniformizes the chain into a DTMC with rate `lambda`, which must
+    /// be at least the largest exit rate. `P = I + Q/λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::NonPositiveParameter`] if `lambda` is not
+    /// positive or smaller than the largest exit rate.
+    pub fn uniformized(&self, lambda: f64) -> Result<Dtmc, MarkovError> {
+        let max_exit = (0..self.num_states())
+            .map(|i| self.exit_rate(i))
+            .fold(0.0_f64, f64::max);
+        if lambda <= 0.0 || lambda < max_exit {
+            return Err(MarkovError::NonPositiveParameter {
+                name: "uniformization rate",
+                value: lambda,
+            });
+        }
+        let n = self.num_states();
+        let mut p = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = if i == j {
+                    1.0 + self.q[(i, j)] / lambda
+                } else {
+                    self.q[(i, j)] / lambda
+                };
+                p[(i, j)] = v.max(0.0);
+            }
+        }
+        Dtmc::from_matrix(p)
+    }
+
+    /// A safe default uniformization rate: `1.1 × max exit rate`
+    /// (or `1.0` for the degenerate all-absorbing chain).
+    pub fn default_uniformization_rate(&self) -> f64 {
+        let max_exit = (0..self.num_states())
+            .map(|i| self.exit_rate(i))
+            .fold(0.0_f64, f64::max);
+        if max_exit <= 0.0 {
+            1.0
+        } else {
+            1.1 * max_exit
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_state_stationary() {
+        let c = Ctmc::from_rates(2, &[(0, 1, 3.0), (1, 0, 1.0)]).unwrap();
+        let pi = c.stationary().unwrap();
+        assert!((pi[0] - 0.25).abs() < 1e-12);
+        assert!((pi[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validates_generator() {
+        let bad = Matrix::from_rows(&[&[-1.0, 0.5], &[1.0, -1.0]]).unwrap();
+        assert!(matches!(
+            Ctmc::from_generator(bad),
+            Err(MarkovError::BadGeneratorRow { row: 0, .. })
+        ));
+        let neg = Matrix::from_rows(&[&[1.0, -1.0], &[1.0, -1.0]]).unwrap();
+        assert!(matches!(
+            Ctmc::from_generator(neg),
+            Err(MarkovError::NegativeRate { .. })
+        ));
+    }
+
+    #[test]
+    fn from_rates_accumulates_and_fills_diagonal() {
+        let c = Ctmc::from_rates(2, &[(0, 1, 1.0), (0, 1, 2.0), (1, 0, 1.0)]).unwrap();
+        assert_eq!(c.rate(0, 1), 3.0);
+        assert_eq!(c.exit_rate(0), 3.0);
+        assert_eq!(c.rate(0, 0), -3.0);
+    }
+
+    #[test]
+    fn reducible_chain_is_detected() {
+        // Two absorbing components.
+        let c = Ctmc::from_rates(4, &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)])
+            .unwrap();
+        assert!(!c.is_irreducible());
+        assert!(matches!(c.stationary(), Err(MarkovError::Reducible)));
+    }
+
+    #[test]
+    fn absorbing_state_is_reducible() {
+        let c = Ctmc::from_rates(2, &[(0, 1, 1.0)]).unwrap();
+        assert!(!c.is_irreducible());
+    }
+
+    #[test]
+    fn uniformization_preserves_stationary() {
+        let c = Ctmc::from_rates(
+            3,
+            &[
+                (0, 1, 2.0),
+                (1, 2, 1.0),
+                (2, 0, 0.5),
+                (1, 0, 0.25),
+                (2, 1, 0.75),
+            ],
+        )
+        .unwrap();
+        let pi_c = c.stationary().unwrap();
+        let d = c.uniformized(c.default_uniformization_rate()).unwrap();
+        let pi_d = d.stationary().unwrap();
+        for (a, b) in pi_c.iter().zip(&pi_d) {
+            assert!((a - b).abs() < 1e-9, "{pi_c:?} vs {pi_d:?}");
+        }
+    }
+
+    #[test]
+    fn uniformization_rate_validation() {
+        let c = Ctmc::from_rates(2, &[(0, 1, 5.0), (1, 0, 1.0)]).unwrap();
+        assert!(c.uniformized(4.0).is_err());
+        assert!(c.uniformized(5.0).is_ok());
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let c = Ctmc::from_rates(1, &[]).unwrap();
+        assert!(c.is_irreducible());
+        let pi = c.stationary().unwrap();
+        assert_eq!(pi, vec![1.0]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_empty() {
+        assert!(Ctmc::from_rates(0, &[]).is_err());
+        assert!(Ctmc::from_rates(2, &[(0, 5, 1.0)]).is_err());
+        assert!(Ctmc::from_rates(2, &[(0, 1, -1.0)]).is_err());
+    }
+}

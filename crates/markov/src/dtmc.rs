@@ -1,0 +1,205 @@
+use socbuf_linalg::{Lu, Matrix};
+
+use crate::MarkovError;
+
+/// A finite discrete-time Markov chain given by its transition matrix.
+///
+/// Produced by [`crate::Ctmc::uniformized`] and usable on its own. Rows
+/// must be probability distributions.
+///
+/// # Examples
+///
+/// ```
+/// use socbuf_linalg::Matrix;
+/// use socbuf_markov::Dtmc;
+///
+/// # fn main() -> Result<(), socbuf_markov::MarkovError> {
+/// let p = Matrix::from_rows(&[&[0.5, 0.5], &[0.25, 0.75]]).unwrap();
+/// let d = Dtmc::from_matrix(p)?;
+/// let pi = d.stationary()?;
+/// assert!((pi[0] - 1.0 / 3.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dtmc {
+    p: Matrix,
+}
+
+const PROB_TOL: f64 = 1e-8;
+
+impl Dtmc {
+    /// Builds a chain from a stochastic matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::BadStochasticRow`] if a row does not sum to one
+    ///   or contains an entry outside `[0, 1]`.
+    /// * [`MarkovError::Linalg`] for non-square or empty input.
+    pub fn from_matrix(p: Matrix) -> Result<Self, MarkovError> {
+        if !p.is_square() {
+            return Err(MarkovError::Linalg(socbuf_linalg::LinalgError::NotSquare {
+                rows: p.rows(),
+                cols: p.cols(),
+            }));
+        }
+        if p.rows() == 0 {
+            return Err(MarkovError::Linalg(socbuf_linalg::LinalgError::Empty));
+        }
+        for i in 0..p.rows() {
+            let mut sum = 0.0;
+            for j in 0..p.cols() {
+                let v = p[(i, j)];
+                if !(-PROB_TOL..=1.0 + PROB_TOL).contains(&v) {
+                    return Err(MarkovError::BadStochasticRow { row: i, sum: v });
+                }
+                sum += v;
+            }
+            if (sum - 1.0).abs() > PROB_TOL {
+                return Err(MarkovError::BadStochasticRow { row: i, sum });
+            }
+        }
+        Ok(Dtmc { p })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// The transition matrix.
+    pub fn transition_matrix(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// One step of the chain: returns `x P` for a distribution `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if `x.len() != num_states()`.
+    pub fn step(&self, x: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        Ok(self.p.vecmat(x)?)
+    }
+
+    /// `true` if every state can reach every other through positive
+    /// probability transitions.
+    pub fn is_irreducible(&self) -> bool {
+        let n = self.num_states();
+        if n == 1 {
+            return true;
+        }
+        let reach = |forward: bool| -> usize {
+            let mut seen = vec![false; n];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            let mut count = 1;
+            while let Some(i) = stack.pop() {
+                for j in 0..n {
+                    let v = if forward {
+                        self.p[(i, j)]
+                    } else {
+                        self.p[(j, i)]
+                    };
+                    if i != j && v > 0.0 && !seen[j] {
+                        seen[j] = true;
+                        count += 1;
+                        stack.push(j);
+                    }
+                }
+            }
+            count
+        };
+        reach(true) == n && reach(false) == n
+    }
+
+    /// Stationary distribution `π P = π`, `Σ π = 1`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::Reducible`] if no unique stationary distribution
+    ///   exists.
+    pub fn stationary(&self) -> Result<Vec<f64>, MarkovError> {
+        if !self.is_irreducible() {
+            return Err(MarkovError::Reducible);
+        }
+        let n = self.num_states();
+        // (Pᵀ − I) π = 0 with the last row replaced by Σ π = 1.
+        let mut a = self.p.transpose();
+        for i in 0..n {
+            a[(i, i)] -= 1.0;
+        }
+        for j in 0..n {
+            a[(n - 1, j)] = 1.0;
+        }
+        let mut b = vec![0.0; n];
+        b[n - 1] = 1.0;
+        let lu = Lu::factor(&a)?;
+        let mut pi = lu.solve(&b)?;
+        let mut sum = 0.0;
+        for p in pi.iter_mut() {
+            if *p < 0.0 {
+                if *p < -1e-8 {
+                    return Err(MarkovError::Reducible);
+                }
+                *p = 0.0;
+            }
+            sum += *p;
+        }
+        for p in pi.iter_mut() {
+            *p /= sum;
+        }
+        Ok(pi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_rows() {
+        let bad = Matrix::from_rows(&[&[0.5, 0.6], &[0.5, 0.5]]).unwrap();
+        assert!(matches!(
+            Dtmc::from_matrix(bad),
+            Err(MarkovError::BadStochasticRow { row: 0, .. })
+        ));
+        let neg = Matrix::from_rows(&[&[1.5, -0.5], &[0.5, 0.5]]).unwrap();
+        assert!(Dtmc::from_matrix(neg).is_err());
+    }
+
+    #[test]
+    fn stationary_of_doubly_stochastic_is_uniform() {
+        let p = Matrix::from_rows(&[&[0.3, 0.7], &[0.7, 0.3]]).unwrap();
+        let d = Dtmc::from_matrix(p).unwrap();
+        let pi = d.stationary().unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_advances_distribution() {
+        let p = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let d = Dtmc::from_matrix(p).unwrap();
+        let x = d.step(&[1.0, 0.0]).unwrap();
+        assert_eq!(x, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn identity_chain_is_reducible() {
+        let d = Dtmc::from_matrix(Matrix::identity(3)).unwrap();
+        assert!(!d.is_irreducible());
+        assert!(matches!(d.stationary(), Err(MarkovError::Reducible)));
+    }
+
+    #[test]
+    fn repeated_stepping_converges_to_stationary() {
+        let p = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8]]).unwrap();
+        let d = Dtmc::from_matrix(p).unwrap();
+        let pi = d.stationary().unwrap();
+        let mut x = vec![1.0, 0.0];
+        for _ in 0..200 {
+            x = d.step(&x).unwrap();
+        }
+        assert!((x[0] - pi[0]).abs() < 1e-9);
+        assert!((x[1] - pi[1]).abs() < 1e-9);
+    }
+}

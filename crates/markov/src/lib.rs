@@ -1,0 +1,47 @@
+//! Continuous-time Markov chains and queueing analytics for `socbuf`.
+//!
+//! The DATE 2005 buffer-sizing paper models every processor–bus buffer as
+//! a continuous-time queue (Poisson arrivals, exponential bus service,
+//! finite capacity). This crate supplies the chain-level machinery that
+//! both the CTMDP solver (`socbuf-ctmdp`) and the validation suite of the
+//! discrete-event simulator (`socbuf-sim`) rely on:
+//!
+//! * [`Ctmc`] — finite continuous-time Markov chains with validated
+//!   generator matrices, stationary distributions, irreducibility checks
+//!   and uniformization,
+//! * [`Dtmc`] — the discrete skeleton produced by uniformization,
+//! * [`BirthDeath`] — birth–death chains with closed-form stationary
+//!   distributions (every single-queue CTMDP block has this shape),
+//! * [`MM1K`] — closed-form M/M/1/K loss-queue formulas (blocking
+//!   probability, loss rate, mean occupancy); these are the *analytic
+//!   oracles* the simulator is tested against,
+//! * [`transient_distribution`] — transient state probabilities via
+//!   uniformization (Poisson-weighted DTMC powers).
+//!
+//! # Examples
+//!
+//! ```
+//! use socbuf_markov::MM1K;
+//!
+//! # fn main() -> Result<(), socbuf_markov::MarkovError> {
+//! let q = MM1K::new(0.8, 1.0, 4)?;
+//! // Blocking probability for ρ = 0.8, K = 4 is ρ⁴(1−ρ)/(1−ρ⁵) ≈ 0.1218.
+//! assert!((q.blocking_probability() - 0.1218).abs() < 1e-3);
+//! assert!(q.loss_rate() < q.arrival_rate());
+//! # Ok(())
+//! # }
+//! ```
+
+mod birth_death;
+mod ctmc;
+mod dtmc;
+mod error;
+mod queueing;
+mod uniformization;
+
+pub use birth_death::BirthDeath;
+pub use ctmc::Ctmc;
+pub use dtmc::Dtmc;
+pub use error::MarkovError;
+pub use queueing::MM1K;
+pub use uniformization::transient_distribution;

@@ -1,0 +1,271 @@
+use crate::{BirthDeath, MarkovError};
+
+/// Closed-form M/M/1/K loss queue.
+///
+/// This is the elementary model of one processor's transmit buffer in the
+/// paper: Poisson(λ) request arrivals, exponential(μ) bus service, room
+/// for `K` requests *including* the one in service; arrivals finding the
+/// buffer full are lost. The formulas here are the analytic oracles used
+/// to validate both the discrete-event simulator and the CTMDP LP.
+///
+/// # Examples
+///
+/// ```
+/// use socbuf_markov::MM1K;
+///
+/// # fn main() -> Result<(), socbuf_markov::MarkovError> {
+/// let q = MM1K::new(2.0, 1.0, 3)?; // overloaded queue, ρ = 2
+/// // Overloaded queues lose roughly λ − μ once the buffer saturates.
+/// assert!(q.loss_rate() > 0.9 * (q.arrival_rate() - q.service_rate()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MM1K {
+    lambda: f64,
+    mu: f64,
+    k: usize,
+}
+
+impl MM1K {
+    /// Creates a queue with arrival rate `lambda`, service rate `mu` and
+    /// capacity `k ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::NonPositiveParameter`] if `lambda < 0`, `mu ≤ 0`
+    ///   or `k == 0`.
+    pub fn new(lambda: f64, mu: f64, k: usize) -> Result<Self, MarkovError> {
+        if lambda < 0.0 || !lambda.is_finite() {
+            return Err(MarkovError::NonPositiveParameter {
+                name: "lambda",
+                value: lambda,
+            });
+        }
+        if mu <= 0.0 || !mu.is_finite() {
+            return Err(MarkovError::NonPositiveParameter {
+                name: "mu",
+                value: mu,
+            });
+        }
+        if k == 0 {
+            return Err(MarkovError::NonPositiveParameter {
+                name: "k",
+                value: 0.0,
+            });
+        }
+        Ok(MM1K { lambda, mu, k })
+    }
+
+    /// Arrival rate λ.
+    pub fn arrival_rate(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Service rate μ.
+    pub fn service_rate(&self) -> f64 {
+        self.mu
+    }
+
+    /// Buffer capacity K.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Offered load ρ = λ/μ.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Stationary probability of each occupancy `0..=K`.
+    pub fn state_probabilities(&self) -> Vec<f64> {
+        let k = self.k;
+        let rho = self.rho();
+        if (rho - 1.0).abs() < 1e-12 {
+            return vec![1.0 / (k as f64 + 1.0); k + 1];
+        }
+        // π_n = ρ^n (1 − ρ) / (1 − ρ^{K+1}); computed via running product
+        // with normalization at the end (robust for large ρ).
+        let mut pi = vec![0.0; k + 1];
+        pi[0] = 1.0;
+        let mut max = 1.0_f64;
+        for n in 0..k {
+            pi[n + 1] = pi[n] * rho;
+            max = max.max(pi[n + 1]);
+            if max > 1e250 {
+                for p in pi.iter_mut().take(n + 2) {
+                    *p /= max;
+                }
+                max = 1.0;
+            }
+        }
+        let sum: f64 = pi.iter().sum();
+        for p in pi.iter_mut() {
+            *p /= sum;
+        }
+        pi
+    }
+
+    /// Blocking probability `P(occupancy = K)` — the fraction of arrivals
+    /// that are lost (PASTA).
+    pub fn blocking_probability(&self) -> f64 {
+        *self
+            .state_probabilities()
+            .last()
+            .expect("K+1 ≥ 2 states")
+    }
+
+    /// Loss rate `λ · P(block)` (lost requests per unit time).
+    pub fn loss_rate(&self) -> f64 {
+        self.lambda * self.blocking_probability()
+    }
+
+    /// Accepted throughput `λ (1 − P(block))`, which equals the service
+    /// completion rate in steady state.
+    pub fn throughput(&self) -> f64 {
+        self.lambda * (1.0 - self.blocking_probability())
+    }
+
+    /// Mean stationary occupancy `E[N]`.
+    pub fn mean_occupancy(&self) -> f64 {
+        self.state_probabilities()
+            .iter()
+            .enumerate()
+            .map(|(n, p)| n as f64 * p)
+            .sum()
+    }
+
+    /// Mean waiting time of *accepted* requests (Little's law:
+    /// `E[N] / throughput`). Returns `0` for a zero-arrival queue.
+    pub fn mean_wait(&self) -> f64 {
+        let t = self.throughput();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.mean_occupancy() / t
+        }
+    }
+
+    /// The equivalent birth–death chain.
+    pub fn to_birth_death(&self) -> BirthDeath {
+        BirthDeath::uniform(self.lambda, self.mu, self.k)
+            .expect("validated MM1K parameters form a birth-death chain")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_values() {
+        // ρ = 0.5, K = 2: π = (4/7, 2/7, 1/7).
+        let q = MM1K::new(0.5, 1.0, 2).unwrap();
+        let pi = q.state_probabilities();
+        assert!((pi[0] - 4.0 / 7.0).abs() < 1e-12);
+        assert!((q.blocking_probability() - 1.0 / 7.0).abs() < 1e-12);
+        assert!((q.loss_rate() - 0.5 / 7.0).abs() < 1e-12);
+        assert!((q.throughput() - 0.5 * 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_equal_one_is_uniform() {
+        let q = MM1K::new(1.0, 1.0, 4).unwrap();
+        let pi = q.state_probabilities();
+        for p in &pi {
+            assert!((p - 0.2).abs() < 1e-12);
+        }
+        assert!((q.mean_occupancy() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_birth_death() {
+        let q = MM1K::new(1.7, 2.3, 6).unwrap();
+        let pi_q = q.state_probabilities();
+        let pi_bd = q.to_birth_death().stationary().unwrap();
+        for (a, b) in pi_q.iter().zip(&pi_bd) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_arrivals() {
+        let q = MM1K::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(q.blocking_probability(), 0.0);
+        assert_eq!(q.loss_rate(), 0.0);
+        assert_eq!(q.mean_wait(), 0.0);
+        let pi = q.state_probabilities();
+        assert_eq!(pi[0], 1.0);
+    }
+
+    #[test]
+    fn monotone_in_capacity() {
+        // Blocking probability decreases as K grows.
+        let mut prev = 1.0;
+        for k in 1..=12 {
+            let q = MM1K::new(0.9, 1.0, k).unwrap();
+            let b = q.blocking_probability();
+            assert!(b < prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn heavy_overload_loses_excess() {
+        let q = MM1K::new(10.0, 1.0, 5).unwrap();
+        // Loss rate approaches λ − μ for ρ ≫ 1.
+        assert!((q.loss_rate() - 9.0).abs() < 0.1);
+        // Throughput approaches μ.
+        assert!((q.throughput() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MM1K::new(-1.0, 1.0, 1).is_err());
+        assert!(MM1K::new(1.0, 0.0, 1).is_err());
+        assert!(MM1K::new(1.0, 1.0, 0).is_err());
+        assert!(MM1K::new(f64::NAN, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn littles_law_consistency() {
+        let q = MM1K::new(0.8, 1.0, 5).unwrap();
+        let n = q.mean_occupancy();
+        let w = q.mean_wait();
+        let t = q.throughput();
+        assert!((n - w * t).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn probabilities_sum_to_one(lambda in 0.01f64..20.0, mu in 0.01f64..20.0, k in 1usize..40) {
+            let q = MM1K::new(lambda, mu, k).unwrap();
+            let pi = q.state_probabilities();
+            prop_assert_eq!(pi.len(), k + 1);
+            prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn flow_conservation(lambda in 0.01f64..20.0, mu in 0.01f64..20.0, k in 1usize..40) {
+            // Accepted arrivals equal service completions: λ(1−B) = μ(1−π0).
+            let q = MM1K::new(lambda, mu, k).unwrap();
+            let pi = q.state_probabilities();
+            let accepted = lambda * (1.0 - pi[k]);
+            let served = mu * (1.0 - pi[0]);
+            prop_assert!((accepted - served).abs() < 1e-8 * (1.0 + accepted));
+        }
+
+        #[test]
+        fn blocking_between_zero_and_one(lambda in 0.0f64..50.0, mu in 0.01f64..20.0, k in 1usize..30) {
+            let q = MM1K::new(lambda, mu, k).unwrap();
+            let b = q.blocking_probability();
+            prop_assert!((0.0..=1.0).contains(&b));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Transient analysis of CTMCs via uniformization.
+//!
+//! `p(t) = Σ_k e^{−Λt} (Λt)^k / k! · p(0) P^k` where `P` is the
+//! uniformized DTMC. The Poisson weights are generated iteratively and
+//! the series truncated once the accumulated probability mass exceeds
+//! `1 − tol`.
+
+use crate::{Ctmc, MarkovError};
+
+/// Computes the state distribution at time `t` starting from `p0`.
+///
+/// `tol` bounds the truncated Poisson tail mass (e.g. `1e-10`).
+///
+/// # Errors
+///
+/// * [`MarkovError::BadStochasticRow`] if `p0` is not a distribution.
+/// * Propagates uniformization errors.
+///
+/// # Examples
+///
+/// ```
+/// use socbuf_markov::{transient_distribution, Ctmc};
+///
+/// # fn main() -> Result<(), socbuf_markov::MarkovError> {
+/// let c = Ctmc::from_rates(2, &[(0, 1, 1.0), (1, 0, 1.0)])?;
+/// let p = transient_distribution(&c, &[1.0, 0.0], 50.0, 1e-12)?;
+/// // After a long time the symmetric chain is at (1/2, 1/2).
+/// assert!((p[0] - 0.5).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn transient_distribution(
+    chain: &Ctmc,
+    p0: &[f64],
+    t: f64,
+    tol: f64,
+) -> Result<Vec<f64>, MarkovError> {
+    let n = chain.num_states();
+    if p0.len() != n {
+        return Err(MarkovError::Linalg(
+            socbuf_linalg::LinalgError::DimensionMismatch {
+                expected: (n, 1),
+                found: (p0.len(), 1),
+            },
+        ));
+    }
+    let sum: f64 = p0.iter().sum();
+    if (sum - 1.0).abs() > 1e-8 || p0.iter().any(|&p| p < -1e-12) {
+        return Err(MarkovError::BadStochasticRow { row: 0, sum });
+    }
+    if t < 0.0 || !t.is_finite() {
+        return Err(MarkovError::NonPositiveParameter { name: "t", value: t });
+    }
+    if t == 0.0 {
+        return Ok(p0.to_vec());
+    }
+
+    let lambda = chain.default_uniformization_rate();
+    let dtmc = chain.uniformized(lambda)?;
+    let lt = lambda * t;
+
+    // Poisson weights built iteratively. For large Λt, start the
+    // accumulation in log space to avoid e^{-Λt} underflow: we simply
+    // chunk the horizon so each chunk has moderate Λ·Δt.
+    const MAX_CHUNK: f64 = 200.0;
+    let chunks = (lt / MAX_CHUNK).ceil().max(1.0) as usize;
+    let dt = t / chunks as f64;
+    let ldt = lambda * dt;
+
+    let mut p = p0.to_vec();
+    for _ in 0..chunks {
+        let mut weight = (-ldt).exp();
+        let mut acc_weight = weight;
+        let mut term = p.clone();
+        let mut result: Vec<f64> = term.iter().map(|v| v * weight).collect();
+        let mut k = 0usize;
+        while acc_weight < 1.0 - tol && k < 100_000 {
+            k += 1;
+            term = dtmc.step(&term)?;
+            weight *= ldt / k as f64;
+            acc_weight += weight;
+            for (r, v) in result.iter_mut().zip(&term) {
+                *r += weight * v;
+            }
+        }
+        // Renormalize the truncated series.
+        let s: f64 = result.iter().sum();
+        for r in result.iter_mut() {
+            *r /= s;
+        }
+        p = result;
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_time_returns_initial() {
+        let c = Ctmc::from_rates(2, &[(0, 1, 1.0), (1, 0, 2.0)]).unwrap();
+        let p = transient_distribution(&c, &[0.3, 0.7], 0.0, 1e-10).unwrap();
+        assert_eq!(p, vec![0.3, 0.7]);
+    }
+
+    #[test]
+    fn matches_closed_form_two_state() {
+        // For rates a (0→1) and b (1→0): p_1(t) = a/(a+b) (1 − e^{−(a+b)t}).
+        let (a, b) = (2.0, 3.0);
+        let c = Ctmc::from_rates(2, &[(0, 1, a), (1, 0, b)]).unwrap();
+        for &t in &[0.1, 0.5, 1.0, 2.0] {
+            let p = transient_distribution(&c, &[1.0, 0.0], t, 1e-12).unwrap();
+            let expected = a / (a + b) * (1.0 - (-(a + b) * t).exp());
+            assert!((p[1] - expected).abs() < 1e-9, "t={t}: {} vs {expected}", p[1]);
+        }
+    }
+
+    #[test]
+    fn long_horizon_converges_to_stationary() {
+        let c = Ctmc::from_rates(
+            3,
+            &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0), (2, 1, 0.5), (0, 2, 0.1)],
+        )
+        .unwrap();
+        let pi = c.stationary().unwrap();
+        let p = transient_distribution(&c, &[1.0, 0.0, 0.0], 200.0, 1e-12).unwrap();
+        for (a, b) in p.iter().zip(&pi) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let c = Ctmc::from_rates(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
+            .unwrap();
+        let p = transient_distribution(&c, &[0.25; 4], 7.3, 1e-10).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let c = Ctmc::from_rates(2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        assert!(transient_distribution(&c, &[0.5, 0.6], 1.0, 1e-10).is_err());
+        assert!(transient_distribution(&c, &[1.0], 1.0, 1e-10).is_err());
+        assert!(transient_distribution(&c, &[1.0, 0.0], -1.0, 1e-10).is_err());
+    }
+
+    #[test]
+    fn large_uniformization_horizon_is_chunked() {
+        // Λt ≈ 2200 would underflow e^{-Λt}; chunking must keep it exact.
+        let c = Ctmc::from_rates(2, &[(0, 1, 100.0), (1, 0, 900.0)]).unwrap();
+        let p = transient_distribution(&c, &[1.0, 0.0], 2.0, 1e-10).unwrap();
+        let pi = c.stationary().unwrap();
+        assert!((p[0] - pi[0]).abs() < 1e-6);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,712 @@
+//! The discrete-event core: event heap, Poisson sources, exponential bus
+//! service, bounded buffers, loss accounting.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use socbuf_soc::{Architecture, BufferAllocation, QueueId};
+
+use crate::arbiter::{Arbiter, QueueView};
+use crate::stats::{ProcStats, QueueStats, SimReport};
+
+/// Simulation window and seed.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Total simulated time.
+    pub horizon: f64,
+    /// Initial transient to discard from statistics.
+    pub warmup: f64,
+    /// RNG seed (runs are deterministic per seed).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A config with 10% warmup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not positive and finite.
+    pub fn new(horizon: f64, seed: u64) -> Self {
+        assert!(horizon > 0.0 && horizon.is_finite(), "horizon must be positive");
+        SimConfig {
+            horizon,
+            warmup: horizon * 0.1,
+            seed,
+        }
+    }
+}
+
+/// The paper's timeout policy: when a queue is selected for service, any
+/// head-of-line request that has waited longer than the queue's threshold
+/// is dropped instead of served. The paper sets the threshold to *"the
+/// average time spent by a request in a buffer"* — use
+/// [`TimeoutSpec::from_calibration`] to reproduce that.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeoutSpec {
+    thresholds: Vec<f64>,
+}
+
+impl TimeoutSpec {
+    /// Explicit per-queue thresholds (indexed by queue position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any threshold is negative or NaN.
+    pub fn new(thresholds: Vec<f64>) -> Self {
+        assert!(
+            thresholds.iter().all(|t| t.is_finite() && *t >= 0.0 || t.is_infinite() && *t > 0.0),
+            "thresholds must be non-negative"
+        );
+        TimeoutSpec { thresholds }
+    }
+
+    /// The paper's choice: threshold = mean waiting time per queue, read
+    /// off a calibration run. Queues that never served a request get an
+    /// infinite threshold (no timeouts).
+    pub fn from_calibration(report: &SimReport) -> Self {
+        TimeoutSpec {
+            thresholds: report
+                .per_queue
+                .iter()
+                .map(|q| {
+                    if q.served > 0.0 && q.mean_wait > 0.0 {
+                        q.mean_wait
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Threshold of `queue`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is out of range for the calibrated shape.
+    pub fn threshold(&self, queue: QueueId) -> f64 {
+        self.thresholds[queue.index()]
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    flow: usize,
+    hop: usize,
+    enqueued_at: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// A fresh request of `flow` materializes at its first queue.
+    Arrival { flow: usize },
+    /// The request in service on `bus` finishes.
+    Completion { bus: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour inside BinaryHeap.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Engine<'a> {
+    arch: &'a Architecture,
+    cap: Vec<usize>,
+    queues: Vec<VecDeque<Request>>,
+    /// Per bus: `Some((queue, service start time))` while busy; a `None`
+    /// queue is an idle slot burnt by a slotted (TDMA-style) arbiter.
+    busy: Vec<Option<(Option<usize>, f64)>>,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    rng: SmallRng,
+    warmup: f64,
+    // --- statistics ---
+    q_offered: Vec<f64>,
+    q_accepted: Vec<f64>,
+    q_lost_full: Vec<f64>,
+    q_lost_timeout: Vec<f64>,
+    q_served: Vec<f64>,
+    q_wait_sum: Vec<f64>,
+    q_area: Vec<f64>,
+    q_last_t: Vec<f64>,
+    p_offered: Vec<f64>,
+    p_lost: Vec<f64>,
+    p_delivered: Vec<f64>,
+}
+
+impl<'a> Engine<'a> {
+    fn exp(&mut self, rate: f64) -> f64 {
+        debug_assert!(rate > 0.0);
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / rate
+    }
+
+    fn push_event(&mut self, time: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    fn measure(&self, t: f64) -> bool {
+        t >= self.warmup
+    }
+
+    /// Accumulates queue-length area up to `t` for time-average stats.
+    fn touch_queue(&mut self, q: usize, t: f64) {
+        let from = self.q_last_t[q].max(self.warmup);
+        if t > from {
+            self.q_area[q] += self.queues[q].len() as f64 * (t - from);
+        }
+        self.q_last_t[q] = t;
+    }
+
+    fn origin_of(&self, flow: usize) -> usize {
+        self.arch
+            .flow(self.arch.flow_ids().nth(flow).expect("flow in range"))
+            .src()
+            .index()
+    }
+
+    /// Attempts to place a request into queue `q` at time `t`; returns
+    /// `true` on acceptance, accounting the loss otherwise.
+    fn offer(&mut self, q: usize, req: Request, t: f64, fresh: bool) -> bool {
+        let counted = self.measure(t);
+        let origin = self.origin_of(req.flow);
+        if counted {
+            self.q_offered[q] += 1.0;
+            if fresh {
+                self.p_offered[origin] += 1.0;
+            }
+        }
+        if self.queues[q].len() >= self.cap[q] {
+            if counted {
+                self.q_lost_full[q] += 1.0;
+                self.p_lost[origin] += 1.0;
+            }
+            return false;
+        }
+        self.touch_queue(q, t);
+        self.queues[q].push_back(req);
+        if counted {
+            self.q_accepted[q] += 1.0;
+        }
+        true
+    }
+
+    /// Starts service on `bus` if it is idle and has waiting requests.
+    fn try_start_service(
+        &mut self,
+        bus: usize,
+        t: f64,
+        arbiter: &mut Arbiter,
+        timeout: Option<&TimeoutSpec>,
+    ) {
+        if self.busy[bus].is_some() {
+            return;
+        }
+        let slotted = arbiter.is_slotted();
+        loop {
+            let bus_id = self.arch.bus_ids().nth(bus).expect("bus in range");
+            let candidates: Vec<QueueView> = self
+                .arch
+                .bus_queue_ids(bus_id)
+                .iter()
+                .filter(|q| slotted || !self.queues[q.index()].is_empty())
+                .map(|&q| QueueView {
+                    id: q,
+                    len: self.queues[q.index()].len(),
+                    capacity: self.cap[q.index()],
+                })
+                .collect();
+            // Slotted arbiters only spin when at least one queue waits;
+            // otherwise the bus sleeps until the next arrival.
+            if slotted && candidates.iter().all(|c| c.len == 0) {
+                return;
+            }
+            let Some(pick) = arbiter.select(bus, &candidates, &mut self.rng) else {
+                return; // nothing to serve
+            };
+            if slotted && candidates[pick].len == 0 {
+                // Idle slot: the bus is held for one service time with
+                // nothing to show for it.
+                self.busy[bus] = Some((None, t));
+                let mu = self.arch.bus(bus_id).service_rate();
+                let dt = self.exp(mu);
+                self.push_event(t + dt, EventKind::Completion { bus });
+                return;
+            }
+            let q = candidates[pick].id.index();
+            // Timeout policy: shed stale heads before serving.
+            if let Some(spec) = timeout {
+                let threshold = self.thresholds_at(spec, q);
+                let mut dropped_any = false;
+                while let Some(head) = self.queues[q].front() {
+                    if t - head.enqueued_at > threshold {
+                        let flow = head.flow;
+                        self.touch_queue(q, t);
+                        self.queues[q].pop_front();
+                        if self.measure(t) {
+                            let origin = self.origin_of(flow);
+                            self.q_lost_timeout[q] += 1.0;
+                            self.p_lost[origin] += 1.0;
+                        }
+                        dropped_any = true;
+                    } else {
+                        break;
+                    }
+                }
+                if self.queues[q].is_empty() {
+                    if dropped_any {
+                        continue; // queue drained by timeouts; re-arbitrate
+                    }
+                    return;
+                }
+            }
+            // Serve the head (it stays in the queue until completion, so
+            // occupancy matches the M/M/1/K convention "K includes the
+            // request in service").
+            let head = self.queues[q].front().expect("nonempty queue");
+            if self.measure(t) {
+                self.q_wait_sum[q] += t - head.enqueued_at;
+            }
+            self.busy[bus] = Some((Some(q), t));
+            let mu = self.arch.bus(bus_id).service_rate();
+            let dt = self.exp(mu);
+            self.push_event(t + dt, EventKind::Completion { bus });
+            return;
+        }
+    }
+
+    fn thresholds_at(&self, spec: &TimeoutSpec, q: usize) -> f64 {
+        spec.threshold(
+            self.arch
+                .queue_ids()
+                .nth(q)
+                .expect("queue in range"),
+        )
+    }
+}
+
+/// Runs one simulation with the given arbiter and no timeout policy.
+///
+/// See the [crate-level documentation](crate) for an example.
+pub fn simulate(
+    arch: &Architecture,
+    alloc: &BufferAllocation,
+    mut arbiter: Arbiter,
+    config: &SimConfig,
+) -> SimReport {
+    simulate_with(arch, alloc, &mut arbiter, None, config)
+}
+
+/// Runs one simulation with full control over arbiter state and the
+/// timeout policy.
+///
+/// # Panics
+///
+/// Panics if `alloc` or the timeout spec do not match the architecture's
+/// queue count, or `config` is malformed (`warmup ≥ horizon`).
+pub fn simulate_with(
+    arch: &Architecture,
+    alloc: &BufferAllocation,
+    arbiter: &mut Arbiter,
+    timeout: Option<&TimeoutSpec>,
+    config: &SimConfig,
+) -> SimReport {
+    assert!(
+        config.warmup < config.horizon,
+        "warmup must be shorter than the horizon"
+    );
+    let nq = arch.num_queues();
+    assert_eq!(alloc.as_slice().len(), nq, "allocation shape mismatch");
+    if let Some(spec) = timeout {
+        assert_eq!(
+            spec.thresholds.len(),
+            nq,
+            "timeout spec shape mismatch"
+        );
+    }
+
+    let mut eng = Engine {
+        arch,
+        cap: alloc.as_slice().to_vec(),
+        queues: vec![VecDeque::new(); nq],
+        busy: vec![None; arch.num_buses()],
+        heap: BinaryHeap::new(),
+        seq: 0,
+        rng: SmallRng::seed_from_u64(config.seed),
+        warmup: config.warmup,
+        q_offered: vec![0.0; nq],
+        q_accepted: vec![0.0; nq],
+        q_lost_full: vec![0.0; nq],
+        q_lost_timeout: vec![0.0; nq],
+        q_served: vec![0.0; nq],
+        q_wait_sum: vec![0.0; nq],
+        q_area: vec![0.0; nq],
+        q_last_t: vec![0.0; nq],
+        p_offered: vec![0.0; arch.num_processors()],
+        p_lost: vec![0.0; arch.num_processors()],
+        p_delivered: vec![0.0; arch.num_processors()],
+    };
+
+    // Seed the first arrival of every flow.
+    for (fi, f) in arch.flow_ids().enumerate() {
+        let rate = arch.flow(f).rate();
+        let dt = eng.exp(rate);
+        eng.push_event(dt, EventKind::Arrival { flow: fi });
+    }
+
+    while let Some(ev) = eng.heap.pop() {
+        let t = ev.time;
+        if t > config.horizon {
+            break;
+        }
+        match ev.kind {
+            EventKind::Arrival { flow } => {
+                // Schedule the next arrival of this flow.
+                let fid = arch.flow_ids().nth(flow).expect("flow in range");
+                let rate = arch.flow(fid).rate();
+                let dt = eng.exp(rate);
+                eng.push_event(t + dt, EventKind::Arrival { flow });
+
+                let path = arch.flow_path(fid);
+                let q0 = path[0].index();
+                let accepted = eng.offer(
+                    q0,
+                    Request {
+                        flow,
+                        hop: 0,
+                        enqueued_at: t,
+                    },
+                    t,
+                    true,
+                );
+                if accepted {
+                    let bus = arch.queue(path[0]).bus.index();
+                    eng.try_start_service(bus, t, arbiter, timeout);
+                }
+            }
+            EventKind::Completion { bus } => {
+                let (slot, _start) = eng.busy[bus].take().expect("completion on idle bus");
+                let Some(q) = slot else {
+                    // An idle TDMA slot elapsed; grant the next one.
+                    eng.try_start_service(bus, t, arbiter, timeout);
+                    continue;
+                };
+                eng.touch_queue(q, t);
+                let req = eng.queues[q].pop_front().expect("served queue nonempty");
+                if eng.measure(t) {
+                    eng.q_served[q] += 1.0;
+                }
+                let fid = arch.flow_ids().nth(req.flow).expect("flow in range");
+                let path = arch.flow_path(fid);
+                if req.hop + 1 < path.len() {
+                    // Cross the bridge into the next queue.
+                    let nq_idx = path[req.hop + 1].index();
+                    let accepted = eng.offer(
+                        nq_idx,
+                        Request {
+                            flow: req.flow,
+                            hop: req.hop + 1,
+                            enqueued_at: t,
+                        },
+                        t,
+                        false,
+                    );
+                    if accepted {
+                        let next_bus = arch.queue(path[req.hop + 1]).bus.index();
+                        eng.try_start_service(next_bus, t, arbiter, timeout);
+                    }
+                } else if eng.measure(t) {
+                    let origin = eng.origin_of(req.flow);
+                    eng.p_delivered[origin] += 1.0;
+                }
+                eng.try_start_service(bus, t, arbiter, timeout);
+            }
+        }
+    }
+
+    // Close the queue-length integrals at the horizon.
+    for q in 0..nq {
+        eng.touch_queue(q, config.horizon);
+    }
+
+    let measured_time = config.horizon - config.warmup;
+    let per_queue: Vec<QueueStats> = (0..nq)
+        .map(|q| QueueStats {
+            offered: eng.q_offered[q],
+            accepted: eng.q_accepted[q],
+            lost_full: eng.q_lost_full[q],
+            lost_timeout: eng.q_lost_timeout[q],
+            served: eng.q_served[q],
+            mean_wait: if eng.q_served[q] > 0.0 {
+                eng.q_wait_sum[q] / eng.q_served[q]
+            } else {
+                0.0
+            },
+            time_avg_len: eng.q_area[q] / measured_time,
+        })
+        .collect();
+    let per_proc: Vec<ProcStats> = (0..arch.num_processors())
+        .map(|p| ProcStats {
+            offered: eng.p_offered[p],
+            lost: eng.p_lost[p],
+            delivered: eng.p_delivered[p],
+        })
+        .collect();
+    let total_offered: f64 = per_proc.iter().map(|p| p.offered).sum();
+    let total_delivered: f64 = per_proc.iter().map(|p| p.delivered).sum();
+    let total_lost: f64 = per_proc.iter().map(|p| p.lost).sum();
+    SimReport {
+        measured_time,
+        per_queue,
+        per_proc,
+        total_offered,
+        total_delivered,
+        total_lost,
+        in_flight: total_offered - total_delivered - total_lost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socbuf_soc::{ArchitectureBuilder, FlowTarget};
+
+    fn single_queue(lambda: f64, mu: f64) -> Architecture {
+        let mut b = ArchitectureBuilder::new();
+        let bus = b.add_bus("bus", mu).unwrap();
+        let p = b.add_processor("p", &[bus], 1.0).unwrap();
+        b.add_flow(p, FlowTarget::Bus(bus), lambda).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let arch = single_queue(0.8, 1.0);
+        let alloc = BufferAllocation::uniform(&arch, 4);
+        let cfg = SimConfig::new(500.0, 99);
+        let a = simulate(&arch, &alloc, Arbiter::RandomNonempty, &cfg);
+        let b = simulate(&arch, &alloc, Arbiter::RandomNonempty, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conservation_identity() {
+        let arch = single_queue(0.9, 1.0);
+        let alloc = BufferAllocation::uniform(&arch, 3);
+        let cfg = SimConfig::new(800.0, 3);
+        let r = simulate(&arch, &alloc, Arbiter::RandomNonempty, &cfg);
+        assert!(
+            (r.total_offered - r.total_delivered - r.total_lost - r.in_flight).abs() < 1e-9
+        );
+        // Boundary effects (requests straddling the warmup cutoff or the
+        // horizon) keep |in_flight| within the system's storage capacity.
+        assert!(r.in_flight.abs() <= alloc.total() as f64 + 2.0);
+    }
+
+    #[test]
+    fn zero_capacity_loses_everything() {
+        let arch = single_queue(1.0, 1.0);
+        let alloc = BufferAllocation::new(&arch, vec![0]).unwrap();
+        let cfg = SimConfig::new(300.0, 1);
+        let r = simulate(&arch, &alloc, Arbiter::RandomNonempty, &cfg);
+        assert!(r.total_offered > 0.0);
+        assert_eq!(r.total_lost, r.total_offered);
+        assert_eq!(r.total_delivered, 0.0);
+    }
+
+    #[test]
+    fn mm1k_blocking_matches_analytics() {
+        // M/M/1/4 with ρ = 0.8: blocking ≈ 0.1218 (socbuf-markov oracle).
+        let (lambda, mu, k) = (0.8, 1.0, 4usize);
+        let arch = single_queue(lambda, mu);
+        let alloc = BufferAllocation::new(&arch, vec![k]).unwrap();
+        let cfg = SimConfig {
+            horizon: 60_000.0,
+            warmup: 2_000.0,
+            seed: 12345,
+        };
+        let r = simulate(&arch, &alloc, Arbiter::RandomNonempty, &cfg);
+        let q = socbuf_markov::MM1K::new(lambda, mu, k).unwrap();
+        let simulated = r.per_queue[0].lost_full / r.per_queue[0].offered;
+        let exact = q.blocking_probability();
+        assert!(
+            (simulated - exact).abs() < 0.01,
+            "simulated {simulated} vs exact {exact}"
+        );
+        // Mean occupancy also matches.
+        let occ = r.per_queue[0].time_avg_len;
+        assert!(
+            (occ - q.mean_occupancy()).abs() < 0.08,
+            "simulated {occ} vs exact {}",
+            q.mean_occupancy()
+        );
+    }
+
+    #[test]
+    fn mm1k_mean_wait_matches_littles_law() {
+        let (lambda, mu, k) = (0.7, 1.0, 6usize);
+        let arch = single_queue(lambda, mu);
+        let alloc = BufferAllocation::new(&arch, vec![k]).unwrap();
+        let cfg = SimConfig {
+            horizon: 60_000.0,
+            warmup: 2_000.0,
+            seed: 777,
+        };
+        let r = simulate(&arch, &alloc, Arbiter::RandomNonempty, &cfg);
+        let q = socbuf_markov::MM1K::new(lambda, mu, k).unwrap();
+        // Engine waits measure time-to-service-start; Little's law mean
+        // sojourn = wait + 1/μ.
+        let sim_sojourn = r.per_queue[0].mean_wait + 1.0 / mu;
+        assert!(
+            (sim_sojourn - q.mean_wait()).abs() < 0.12,
+            "simulated {sim_sojourn} vs exact {}",
+            q.mean_wait()
+        );
+    }
+
+    #[test]
+    fn bridge_crossing_delivers_end_to_end() {
+        let mut b = ArchitectureBuilder::new();
+        let x = b.add_bus("x", 2.0).unwrap();
+        let y = b.add_bus("y", 2.0).unwrap();
+        let p = b.add_processor("p", &[x], 1.0).unwrap();
+        b.add_bridge("g", x, y).unwrap();
+        b.add_flow(p, FlowTarget::Bus(y), 0.4).unwrap();
+        let arch = b.build().unwrap();
+        let alloc = BufferAllocation::uniform(&arch, 12);
+        let cfg = SimConfig::new(2000.0, 5);
+        let r = simulate(&arch, &alloc, Arbiter::RandomNonempty, &cfg);
+        assert!(r.total_delivered > 0.9 * r.total_offered * 0.9);
+        // Both queues saw traffic.
+        assert!(r.per_queue[0].offered > 0.0);
+        assert!(r.per_queue[1].offered > 0.0);
+    }
+
+    #[test]
+    fn full_bridge_buffer_attributes_loss_to_origin() {
+        let mut b = ArchitectureBuilder::new();
+        let x = b.add_bus("x", 5.0).unwrap();
+        let y = b.add_bus("y", 0.2).unwrap(); // slow downstream bus
+        let p = b.add_processor("p", &[x], 1.0).unwrap();
+        b.add_bridge("g", x, y).unwrap();
+        b.add_flow(p, FlowTarget::Bus(y), 1.0).unwrap();
+        let arch = b.build().unwrap();
+        // Large source buffer, tiny bridge buffer: losses happen at the
+        // bridge but must be charged to processor p.
+        let alloc = BufferAllocation::new(&arch, vec![50, 1]).unwrap();
+        let cfg = SimConfig::new(2000.0, 8);
+        let r = simulate(&arch, &alloc, Arbiter::RandomNonempty, &cfg);
+        assert!(r.per_queue[1].lost_full > 0.0, "bridge should overflow");
+        assert!(
+            (r.per_proc[0].lost
+                - (r.per_queue[0].lost_full + r.per_queue[1].lost_full))
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn timeout_policy_sheds_stale_requests() {
+        let arch = single_queue(1.5, 1.0); // overloaded
+        let alloc = BufferAllocation::new(&arch, vec![10]).unwrap();
+        let cfg = SimConfig::new(3000.0, 21);
+        let base = simulate(&arch, &alloc, Arbiter::RandomNonempty, &cfg);
+        let spec = TimeoutSpec::from_calibration(&base);
+        let mut arb = Arbiter::RandomNonempty;
+        let with_to = simulate_with(&arch, &alloc, &mut arb, Some(&spec), &cfg);
+        assert!(with_to.per_queue[0].lost_timeout > 0.0);
+        // Timeouts shed load, so the time spent waiting shrinks.
+        assert!(with_to.per_queue[0].mean_wait < base.per_queue[0].mean_wait);
+    }
+
+    #[test]
+    fn weighted_effort_prioritizes_hot_queue() {
+        // Two processors share one bus; give all effort to p0's queue
+        // once it has any backlog.
+        let mut b = ArchitectureBuilder::new();
+        let bus = b.add_bus("bus", 1.0).unwrap();
+        let p0 = b.add_processor("p0", &[bus], 1.0).unwrap();
+        let p1 = b.add_processor("p1", &[bus], 1.0).unwrap();
+        b.add_flow(p0, FlowTarget::Bus(bus), 0.45).unwrap();
+        b.add_flow(p1, FlowTarget::Bus(bus), 0.45).unwrap();
+        let arch = b.build().unwrap();
+        let alloc = BufferAllocation::uniform(&arch, 12);
+        let cfg = SimConfig::new(4000.0, 17);
+        let mut favor_p0 = Arbiter::WeightedEffort {
+            efforts: vec![vec![0.0, 1.0, 1.0, 1.0], vec![0.0, 0.05, 0.05, 0.05]],
+        };
+        let r = simulate_with(&arch, &alloc, &mut favor_p0, None, &cfg);
+        assert!(
+            r.per_queue[0].mean_wait < r.per_queue[1].mean_wait,
+            "favored queue should wait less: {} vs {}",
+            r.per_queue[0].mean_wait,
+            r.per_queue[1].mean_wait
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation shape mismatch")]
+    fn shape_mismatch_panics() {
+        let arch = single_queue(1.0, 1.0);
+        let other = {
+            let mut b = ArchitectureBuilder::new();
+            let x = b.add_bus("x", 1.0).unwrap();
+            let y = b.add_bus("y", 1.0).unwrap();
+            let p = b.add_processor("p", &[x], 1.0).unwrap();
+            b.add_bridge("g", x, y).unwrap();
+            b.add_flow(p, FlowTarget::Bus(y), 0.1).unwrap();
+            b.build().unwrap()
+        };
+        let alloc = BufferAllocation::uniform(&other, 8);
+        simulate(&arch, &alloc, Arbiter::RandomNonempty, &SimConfig::new(10.0, 0));
+    }
+
+    #[test]
+    fn warmup_discards_initial_transient() {
+        let arch = single_queue(0.5, 1.0);
+        let alloc = BufferAllocation::uniform(&arch, 5);
+        let no_warm = SimConfig {
+            horizon: 100.0,
+            warmup: 0.0,
+            seed: 4,
+        };
+        let with_warm = SimConfig {
+            horizon: 100.0,
+            warmup: 50.0,
+            seed: 4,
+        };
+        let a = simulate(&arch, &alloc, Arbiter::RandomNonempty, &no_warm);
+        let b = simulate(&arch, &alloc, Arbiter::RandomNonempty, &with_warm);
+        // Same trajectory, smaller measured window.
+        assert!(b.total_offered < a.total_offered);
+        assert!(b.measured_time < a.measured_time);
+    }
+}

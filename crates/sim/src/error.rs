@@ -1,0 +1,34 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value is out of range.
+    BadConfig(String),
+    /// A component of the policy does not match the architecture shape.
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadConfig(msg) => write!(f, "bad simulation config: {msg}"),
+            SimError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SimError::BadConfig("x".into()).to_string().contains("x"));
+        assert!(!SimError::ShapeMismatch("y".into()).to_string().is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Graphviz (DOT) export of architectures and split results.
+//!
+//! Handy for eyeballing the templates and for documenting reconstructed
+//! topologies; the `fig2_split` experiment binary prints these.
+
+use std::fmt::Write as _;
+
+use crate::split::SplitResult;
+use crate::{Architecture, Client};
+
+/// Renders the architecture as a DOT digraph: boxes for buses, ellipses
+/// for processors, diamonds for bridges, dashed edges for attachments
+/// and solid edges for bridge directions.
+pub fn to_dot(arch: &Architecture) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph socbuf {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for b in arch.bus_ids() {
+        let bus = arch.bus(b);
+        let _ = writeln!(
+            out,
+            "  bus{} [shape=box,label=\"{} (mu={})\"];",
+            b.index(),
+            bus.name(),
+            bus.service_rate()
+        );
+    }
+    for p in arch.proc_ids() {
+        let proc = arch.processor(p);
+        let _ = writeln!(
+            out,
+            "  proc{} [shape=ellipse,label=\"{}\"];",
+            p.index(),
+            proc.name()
+        );
+        for bus in proc.buses() {
+            let _ = writeln!(
+                out,
+                "  proc{} -> bus{} [style=dashed,dir=none];",
+                p.index(),
+                bus.index()
+            );
+        }
+    }
+    for g in arch.bridge_ids() {
+        let bridge = arch.bridge(g);
+        let _ = writeln!(
+            out,
+            "  bridge{} [shape=diamond,label=\"{}\"];",
+            g.index(),
+            bridge.name()
+        );
+        let _ = writeln!(
+            out,
+            "  bus{} -> bridge{};",
+            bridge.from().index(),
+            g.index()
+        );
+        let _ = writeln!(out, "  bridge{} -> bus{};", g.index(), bridge.to().index());
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders the split as a DOT digraph with one cluster per subsystem —
+/// the visual analogue of the paper's Figure 2.
+pub fn split_to_dot(arch: &Architecture, split: &SplitResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph socbuf_split {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for sub in &split.subsystems {
+        let _ = writeln!(out, "  subgraph cluster_{} {{", sub.index);
+        let _ = writeln!(out, "    label=\"subsystem {}\";", sub.index + 1);
+        for &b in &sub.buses {
+            let _ = writeln!(
+                out,
+                "    bus{} [shape=box,label=\"{}\"];",
+                b.index(),
+                arch.bus(b).name()
+            );
+        }
+        for &p in &sub.processors {
+            let _ = writeln!(
+                out,
+                "    proc{} [shape=ellipse,label=\"{}\"];",
+                p.index(),
+                arch.processor(p).name()
+            );
+        }
+        // Bridge buffers drawn inside the subsystem that drains them.
+        for &q in &sub.queues {
+            if let Client::Bridge(g) = arch.queue(q).client {
+                let _ = writeln!(
+                    out,
+                    "    buf{} [shape=cylinder,label=\"{} buffer\"];",
+                    g.index(),
+                    arch.bridge(g).name()
+                );
+            }
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for p in arch.proc_ids() {
+        for bus in arch.processor(p).buses() {
+            let _ = writeln!(
+                out,
+                "  proc{} -> bus{} [style=dashed,dir=none];",
+                p.index(),
+                bus.index()
+            );
+        }
+    }
+    for g in arch.bridge_ids() {
+        let bridge = arch.bridge(g);
+        let _ = writeln!(
+            out,
+            "  bus{} -> buf{} [style=bold];",
+            bridge.from().index(),
+            g.index()
+        );
+        let _ = writeln!(
+            out,
+            "  buf{} -> bus{} [style=bold];",
+            g.index(),
+            bridge.to().index()
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::split;
+    use crate::templates;
+
+    #[test]
+    fn dot_mentions_every_component() {
+        let a = templates::figure1();
+        let dot = to_dot(&a);
+        for b in a.bus_ids() {
+            assert!(dot.contains(&format!("bus{}", b.index())));
+        }
+        for p in a.proc_ids() {
+            assert!(dot.contains(a.processor(p).name()));
+        }
+        for g in a.bridge_ids() {
+            assert!(dot.contains(a.bridge(g).name()));
+        }
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn split_dot_has_one_cluster_per_subsystem() {
+        let a = templates::figure1();
+        let s = split(&a);
+        let dot = split_to_dot(&a, &s);
+        for sub in &s.subsystems {
+            assert!(dot.contains(&format!("cluster_{}", sub.index)));
+        }
+        // Every bridge appears as a buffer cylinder exactly once.
+        assert_eq!(dot.matches("shape=cylinder").count(), a.num_bridges());
+    }
+}

@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building an architecture.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SocError {
+    /// A component handle referenced something outside this architecture.
+    UnknownComponent(String),
+    /// A rate or weight that must be positive (or non-negative) was not.
+    BadRate {
+        /// What the rate belongs to.
+        what: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A processor was attached to no bus.
+    UnattachedProcessor(String),
+    /// No bridge path exists from the flow's source to its destination.
+    Unroutable {
+        /// Human-readable flow description.
+        flow: String,
+    },
+    /// The architecture is structurally empty (no buses or no flows).
+    Empty(String),
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::UnknownComponent(what) => write!(f, "unknown component: {what}"),
+            SocError::BadRate { what, value } => {
+                write!(f, "rate of {what} must be positive, got {value}")
+            }
+            SocError::UnattachedProcessor(name) => {
+                write!(f, "processor '{name}' is attached to no bus")
+            }
+            SocError::Unroutable { flow } => {
+                write!(f, "no bridge route exists for flow {flow}")
+            }
+            SocError::Empty(what) => write!(f, "architecture has no {what}"),
+        }
+    }
+}
+
+impl Error for SocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(SocError::UnknownComponent("BusId7".into())
+            .to_string()
+            .contains("BusId7"));
+        assert!(SocError::BadRate {
+            what: "bus 'ahb'".into(),
+            value: -1.0
+        }
+        .to_string()
+        .contains("-1"));
+        assert!(!SocError::Empty("buses".into()).to_string().is_empty());
+    }
+}

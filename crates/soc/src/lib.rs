@@ -1,0 +1,53 @@
+//! SoC communication-architecture modelling for `socbuf`.
+//!
+//! This crate describes the *structure* the DATE 2005 paper optimizes:
+//! processors attached to shared buses, buses connected by bridges, and
+//! traffic flows routed across them. It is purely structural — the
+//! stochastic semantics live in `socbuf-sim` (discrete-event simulation)
+//! and `socbuf-core` (CTMDP formulation).
+//!
+//! The key concepts:
+//!
+//! * [`Architecture`] / [`ArchitectureBuilder`] — processors, buses,
+//!   unidirectional bridges and rated traffic [`Flow`]s, with routing
+//!   computed at build time (shortest bridge path between buses).
+//! * **Queues** ([`QueueSpec`]) — every contention point is a
+//!   (client, bus) pair: a processor's transmit queue on its bus, or a
+//!   bridge's buffer drained by the downstream bus. These queues are
+//!   exactly the places the paper inserts and sizes buffers.
+//! * [`split::split`] — the paper's subsystem-splitting algorithm:
+//!   cutting the bus graph at every bridge yields *linear* subsystems
+//!   (bridge buffers decouple adjacent buses); the CTMDP equations of an
+//!   un-split bridge are quadratic.
+//! * [`templates`] — canonical architectures: the paper's Figure 1
+//!   example, a 17-processor network processor (the evaluation
+//!   platform), AMBA- and CoreConnect-style systems, and random
+//!   architectures for property tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use socbuf_soc::templates;
+//! use socbuf_soc::split::split;
+//!
+//! let arch = templates::figure1();
+//! let parts = split(&arch);
+//! // The paper's Figure 2: the example splits into four subsystems.
+//! assert_eq!(parts.subsystems.len(), 4);
+//! ```
+
+pub mod alloc;
+mod arch;
+pub mod dot;
+mod error;
+mod ids;
+pub mod split;
+pub mod templates;
+
+pub use alloc::BufferAllocation;
+pub use arch::{
+    Architecture, ArchitectureBuilder, Bridge, Bus, Client, Flow, FlowTarget, Processor,
+    QueueSpec, Route,
+};
+pub use error::SocError;
+pub use ids::{BridgeId, BusId, FlowId, ProcId, QueueId};

@@ -1,0 +1,449 @@
+//! Canonical architectures: the paper's examples plus reusable test beds.
+//!
+//! * [`figure1`] — the bridge example of the paper's Figure 1,
+//!   reconstructed from the text (the published figure is partly
+//!   illegible; see `DESIGN.md` §7 for the reconstruction notes). Its
+//!   defining property: cutting at the four bridges yields exactly the
+//!   four subsystems of Figure 2, with processors 1–3 in the first.
+//! * [`network_processor`] — the 18-processor network-processor-style
+//!   evaluation platform used for Figure 3 and Table 1: four port buses
+//!   of four port processors each, a control processor, and a DMA engine
+//!   on a shared memory bus, all joined by bridges. Processors 1, 4, 15
+//!   and 16 (1-indexed, as in the paper's Table 1) carry hot traffic.
+//! * [`amba`] / [`coreconnect`] — the bus standards the paper cites as
+//!   typical bridge-based systems.
+//! * [`random_architecture`] — seeded random architectures for property
+//!   tests.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Architecture, ArchitectureBuilder, BusId, FlowTarget, ProcId};
+
+/// The paper's Figure 1 example: buses `a..g`, processors `1..5`, four
+/// bridges (`b1: b→f`, `b2: f→g`, `b3: g→b`, `b4: c→d`).
+///
+/// Splitting yields four subsystems: `{a,b,c}` (processors 1–3),
+/// `{d,e}` (processor 4), `{f}` and `{g}` (processor 5).
+///
+/// # Panics
+///
+/// Never panics: the template is statically valid (covered by tests).
+pub fn figure1() -> Architecture {
+    let mut b = ArchitectureBuilder::new();
+    let a = b.add_bus("a", 1.0).expect("valid bus");
+    let bus_b = b.add_bus("b", 1.0).expect("valid bus");
+    let c = b.add_bus("c", 0.8).expect("valid bus");
+    let d = b.add_bus("d", 0.8).expect("valid bus");
+    let e = b.add_bus("e", 0.8).expect("valid bus");
+    let f = b.add_bus("f", 0.6).expect("valid bus");
+    let g = b.add_bus("g", 0.6).expect("valid bus");
+
+    let p1 = b.add_processor("p1", &[a], 1.0).expect("valid processor");
+    let p2 = b.add_processor("p2", &[a, bus_b], 1.0).expect("valid processor");
+    let p3 = b.add_processor("p3", &[bus_b, c], 1.0).expect("valid processor");
+    let p4 = b.add_processor("p4", &[d, e], 1.0).expect("valid processor");
+    let p5 = b.add_processor("p5", &[g], 1.0).expect("valid processor");
+
+    b.add_bridge("b1", bus_b, f).expect("valid bridge");
+    b.add_bridge("b2", f, g).expect("valid bridge");
+    b.add_bridge("b3", g, bus_b).expect("valid bridge");
+    b.add_bridge("b4", c, d).expect("valid bridge");
+
+    b.add_flow(p1, FlowTarget::Processor(p2), 0.15).expect("routable");
+    b.add_flow(p2, FlowTarget::Processor(p3), 0.20).expect("routable");
+    b.add_flow(p2, FlowTarget::Processor(p5), 0.12).expect("routable");
+    b.add_flow(p5, FlowTarget::Processor(p2), 0.10).expect("routable");
+    b.add_flow(p3, FlowTarget::Processor(p4), 0.08).expect("routable");
+    b.add_flow(p3, FlowTarget::Processor(p2), 0.10).expect("routable");
+    b.add_flow(p4, FlowTarget::Bus(e), 0.20).expect("routable");
+
+    b.build().expect("figure1 template is valid")
+}
+
+/// Rate profile of the network-processor template (ingress λ per port
+/// processor, row = port bus, column = port within the bus). Processors
+/// 1, 4, 15, 16 — the ones the paper's Table 1 highlights — are hot.
+pub const NP_INGRESS_RATES: [[f64; 4]; 4] = [
+    [0.36, 0.10, 0.12, 0.33],
+    [0.12, 0.15, 0.10, 0.13],
+    [0.08, 0.10, 0.12, 0.09],
+    [0.10, 0.08, 0.36, 0.38],
+];
+
+/// Per-port egress rate (DMA engine → each port processor).
+pub const NP_EGRESS_RATE: f64 = 0.05;
+
+/// The evaluation platform: a network-processor-style SoC with 18
+/// processors (16 port processors on 4 port buses, one control
+/// processor, one DMA engine), a shared memory bus, and 10 bridges.
+///
+/// Traffic: every port processor streams ingress packets to the memory
+/// bus; the DMA engine streams egress packets back to every port
+/// processor; four cross-port flows traverse two bridges; the control
+/// processor exchanges light traffic with the memory subsystem.
+///
+/// # Panics
+///
+/// Never panics: the template is statically valid (covered by tests).
+pub fn network_processor() -> Architecture {
+    let mut b = ArchitectureBuilder::new();
+    let pb: Vec<BusId> = (0..4)
+        .map(|k| b.add_bus(format!("port{k}"), 1.3).expect("valid bus"))
+        .collect();
+    let mem = b.add_bus("mem", 6.0).expect("valid bus");
+    let ctrl = b.add_bus("ctrl", 0.6).expect("valid bus");
+
+    // Port processors P1..P16 (creation order defines the paper's
+    // 1-indexed processor numbering).
+    let mut ports: Vec<ProcId> = Vec::with_capacity(16);
+    for k in 0..4 {
+        for j in 0..4 {
+            let p = b
+                .add_processor(format!("P{}", k * 4 + j + 1), &[pb[k]], 1.0)
+                .expect("valid processor");
+            ports.push(p);
+        }
+    }
+    let cp = b.add_processor("P17", &[ctrl], 1.0).expect("valid processor");
+    let dma = b.add_processor("P18", &[mem], 1.0).expect("valid processor");
+
+    for (k, &bus) in pb.iter().enumerate() {
+        b.add_bridge(format!("up{k}"), bus, mem).expect("valid bridge");
+        b.add_bridge(format!("down{k}"), mem, bus).expect("valid bridge");
+    }
+    b.add_bridge("cup", ctrl, mem).expect("valid bridge");
+    b.add_bridge("cdown", mem, ctrl).expect("valid bridge");
+
+    // Ingress: port → memory.
+    for k in 0..4 {
+        for j in 0..4 {
+            b.add_flow(ports[k * 4 + j], FlowTarget::Bus(mem), NP_INGRESS_RATES[k][j])
+                .expect("routable");
+        }
+    }
+    // Egress: DMA → every port processor.
+    for &p in &ports {
+        b.add_flow(dma, FlowTarget::Processor(p), NP_EGRESS_RATE)
+            .expect("routable");
+    }
+    // Cross-port flows (two bridge crossings each).
+    b.add_flow(ports[1], FlowTarget::Processor(ports[9]), 0.04)
+        .expect("routable");
+    b.add_flow(ports[5], FlowTarget::Processor(ports[13]), 0.04)
+        .expect("routable");
+    b.add_flow(ports[10], FlowTarget::Processor(ports[2]), 0.03)
+        .expect("routable");
+    b.add_flow(ports[15], FlowTarget::Processor(ports[7]), 0.03)
+        .expect("routable");
+    // Control traffic.
+    b.add_flow(cp, FlowTarget::Bus(mem), 0.08).expect("routable");
+    b.add_flow(dma, FlowTarget::Processor(cp), 0.05).expect("routable");
+
+    b.build().expect("network_processor template is valid")
+}
+
+/// An AMBA-style system: a fast AHB with CPU and DMA masters, a slow APB
+/// behind an AHB→APB bridge, and peripheral processors on the APB.
+///
+/// # Panics
+///
+/// Never panics: the template is statically valid (covered by tests).
+pub fn amba() -> Architecture {
+    let mut b = ArchitectureBuilder::new();
+    let ahb = b.add_bus("ahb", 2.0).expect("valid bus");
+    let apb = b.add_bus("apb", 0.4).expect("valid bus");
+    let cpu = b.add_processor("cpu", &[ahb], 1.0).expect("valid processor");
+    let dma = b.add_processor("dma", &[ahb], 1.0).expect("valid processor");
+    let uart = b.add_processor("uart", &[apb], 1.0).expect("valid processor");
+    let timer = b.add_processor("timer", &[apb], 1.0).expect("valid processor");
+    b.add_bridge("ahb2apb", ahb, apb).expect("valid bridge");
+
+    b.add_flow(cpu, FlowTarget::Bus(ahb), 0.80).expect("routable");
+    b.add_flow(dma, FlowTarget::Bus(ahb), 0.50).expect("routable");
+    b.add_flow(cpu, FlowTarget::Processor(uart), 0.15).expect("routable");
+    b.add_flow(dma, FlowTarget::Processor(timer), 0.06).expect("routable");
+    b.add_flow(uart, FlowTarget::Bus(apb), 0.05).expect("routable");
+    b.add_flow(timer, FlowTarget::Bus(apb), 0.04).expect("routable");
+    b.build().expect("amba template is valid")
+}
+
+/// A CoreConnect-style system: a PLB with three masters, an OPB with two
+/// peripherals, and bridges in both directions.
+///
+/// # Panics
+///
+/// Never panics: the template is statically valid (covered by tests).
+pub fn coreconnect() -> Architecture {
+    let mut b = ArchitectureBuilder::new();
+    let plb = b.add_bus("plb", 3.0).expect("valid bus");
+    let opb = b.add_bus("opb", 0.5).expect("valid bus");
+    let cpu0 = b.add_processor("cpu0", &[plb], 1.0).expect("valid processor");
+    let cpu1 = b.add_processor("cpu1", &[plb], 1.0).expect("valid processor");
+    let eth = b.add_processor("eth", &[plb], 1.0).expect("valid processor");
+    let uart = b.add_processor("uart", &[opb], 1.0).expect("valid processor");
+    let gpio = b.add_processor("gpio", &[opb], 1.0).expect("valid processor");
+    b.add_bidirectional_bridge("plb2opb", plb, opb).expect("valid bridge");
+
+    b.add_flow(cpu0, FlowTarget::Bus(plb), 0.9).expect("routable");
+    b.add_flow(cpu1, FlowTarget::Bus(plb), 0.7).expect("routable");
+    b.add_flow(eth, FlowTarget::Bus(plb), 0.5).expect("routable");
+    b.add_flow(cpu0, FlowTarget::Processor(uart), 0.10).expect("routable");
+    b.add_flow(cpu1, FlowTarget::Processor(gpio), 0.08).expect("routable");
+    b.add_flow(uart, FlowTarget::Processor(cpu0), 0.05).expect("routable");
+    b.add_flow(gpio, FlowTarget::Processor(cpu1), 0.04).expect("routable");
+    b.build().expect("coreconnect template is valid")
+}
+
+/// Tunable knobs for [`random_architecture`].
+#[derive(Debug, Clone)]
+pub struct RandomArchParams {
+    /// Number of buses (≥ 1).
+    pub buses: usize,
+    /// Number of processors (≥ 1).
+    pub processors: usize,
+    /// Number of bridges to attempt.
+    pub bridges: usize,
+    /// Number of flows to attempt (only routable candidates are kept, so
+    /// the built architecture may carry fewer).
+    pub flows: usize,
+}
+
+impl Default for RandomArchParams {
+    fn default() -> Self {
+        RandomArchParams {
+            buses: 4,
+            processors: 6,
+            bridges: 4,
+            flows: 10,
+        }
+    }
+}
+
+/// Builds a seeded random architecture (for property tests and fuzzing).
+/// At least one flow is always present.
+///
+/// # Panics
+///
+/// Panics if `params` has zero buses or processors.
+pub fn random_architecture(seed: u64, params: &RandomArchParams) -> Architecture {
+    assert!(params.buses > 0 && params.processors > 0, "need buses and processors");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = ArchitectureBuilder::new();
+    let buses: Vec<BusId> = (0..params.buses)
+        .map(|i| {
+            b.add_bus(format!("bus{i}"), rng.gen_range(0.5..4.0))
+                .expect("valid bus")
+        })
+        .collect();
+    let procs: Vec<ProcId> = (0..params.processors)
+        .map(|i| {
+            let home = buses[rng.gen_range(0..buses.len())];
+            let mut attach = vec![home];
+            if params.buses > 1 && rng.gen_bool(0.25) {
+                let other = buses[rng.gen_range(0..buses.len())];
+                if other != home {
+                    attach.push(other);
+                }
+            }
+            b.add_processor(format!("proc{i}"), &attach, 1.0)
+                .expect("valid processor")
+        })
+        .collect();
+
+    // Directed adjacency for local routability checks.
+    let mut adj = vec![Vec::new(); params.buses];
+    for i in 0..params.bridges {
+        if params.buses < 2 {
+            break;
+        }
+        let from = rng.gen_range(0..buses.len());
+        let mut to = rng.gen_range(0..buses.len());
+        if to == from {
+            to = (to + 1) % buses.len();
+        }
+        b.add_bridge(format!("br{i}"), buses[from], buses[to])
+            .expect("valid bridge");
+        adj[from].push(to);
+    }
+
+    let reachable = |from: &[usize], to: &[usize]| -> bool {
+        let mut seen = vec![false; params.buses];
+        let mut stack: Vec<usize> = from.to_vec();
+        for &s in from {
+            seen[s] = true;
+        }
+        while let Some(u) = stack.pop() {
+            if to.contains(&u) {
+                return true;
+            }
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    };
+
+    // Attempt flows and keep only routable candidates.
+    let mut added = 0;
+    let mut tries = 0;
+    while added < params.flows && tries < params.flows * 20 {
+        tries += 1;
+        let src = rng.gen_range(0..procs.len());
+        let dst_bus = rng.gen_range(0..buses.len());
+        let src_attach = attachment_of(&b, src);
+        if reachable(&src_attach, &[dst_bus]) {
+            b.add_flow(
+                procs[src],
+                FlowTarget::Bus(buses[dst_bus]),
+                rng.gen_range(0.02..0.4),
+            )
+            .expect("valid flow");
+            added += 1;
+        }
+    }
+    if added == 0 {
+        // Guarantee at least one trivially-routable local flow.
+        let src = 0;
+        let bus = attachment_of(&b, src)[0];
+        b.add_flow(procs[src], FlowTarget::Bus(buses[bus]), 0.1)
+            .expect("valid flow");
+    }
+    b.build().expect("random architecture construction is routable by design")
+}
+
+/// Crate-private peek at a builder's processor attachment (index form).
+fn attachment_of(b: &ArchitectureBuilder, proc_index: usize) -> Vec<usize> {
+    b.processor_buses(proc_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::split;
+    use crate::Client;
+
+    #[test]
+    fn figure1_splits_into_four_subsystems() {
+        let a = figure1();
+        assert_eq!(a.num_buses(), 7);
+        assert_eq!(a.num_processors(), 5);
+        assert_eq!(a.num_bridges(), 4);
+        let s = split(&a);
+        assert_eq!(s.subsystems.len(), 4);
+        // Processors 1..3 share the first subsystem (buses a, b, c).
+        let s0 = s.subsystem_of_bus(crate::BusId(0));
+        let names: Vec<&str> = s0
+            .processors
+            .iter()
+            .map(|&p| a.processor(p).name())
+            .collect();
+        assert_eq!(names, vec!["p1", "p2", "p3"]);
+        assert_eq!(s0.buses.len(), 3);
+    }
+
+    #[test]
+    fn figure1_bridge_buffers_sit_downstream() {
+        let a = figure1();
+        for g in a.bridge_ids() {
+            let bridge = a.bridge(g);
+            for q in a.queues() {
+                if let Client::Bridge(qb) = q.client {
+                    if qb == g {
+                        assert_eq!(q.bus, bridge.to(), "bridge {} buffer on wrong bus", bridge.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn network_processor_shape() {
+        let a = network_processor();
+        assert_eq!(a.num_processors(), 18);
+        assert_eq!(a.num_buses(), 6);
+        assert_eq!(a.num_bridges(), 10);
+        // All port buses + ctrl are separate subsystems; mem is its own.
+        let s = split(&a);
+        assert_eq!(s.subsystems.len(), 6);
+        // Every bus is under its capacity in the nominal estimate
+        // (feasible traffic: resizing can reach zero loss, Table 1's 640
+        // column).
+        for bus in a.bus_ids() {
+            let u = a.bus_utilization_estimate(bus);
+            assert!(u < 1.0, "bus {} overloaded: {u}", a.bus(bus).name());
+        }
+    }
+
+    #[test]
+    fn network_processor_hot_processors_match_table1() {
+        // Paper's Table 1 highlights processors 1, 4, 15, 16 (1-indexed):
+        // they carry the largest ingress rates in the template.
+        let hot = [1usize, 4, 15, 16];
+        let a = network_processor();
+        let ingress_of = |idx1: usize| -> f64 {
+            let p = crate::ProcId(idx1 - 1);
+            a.flow_ids()
+                .filter(|&f| a.flow(f).src() == p)
+                .map(|f| a.flow(f).rate())
+                .sum()
+        };
+        let hot_min = hot.iter().map(|&i| ingress_of(i)).fold(f64::MAX, f64::min);
+        for i in 1..=16 {
+            if !hot.contains(&i) {
+                assert!(
+                    ingress_of(i) < hot_min,
+                    "processor {i} hotter than a Table-1 processor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn network_processor_cross_flows_cross_two_bridges() {
+        let a = network_processor();
+        let mut two_bridge_flows = 0;
+        for f in a.flow_ids() {
+            if a.route(f).bridges.len() == 2 {
+                two_bridge_flows += 1;
+            }
+        }
+        assert_eq!(two_bridge_flows, 4);
+    }
+
+    #[test]
+    fn amba_and_coreconnect_build() {
+        let a = amba();
+        assert_eq!(a.num_buses(), 2);
+        assert_eq!(split(&a).subsystems.len(), 2);
+        let c = coreconnect();
+        assert_eq!(c.num_bridges(), 2);
+        assert_eq!(split(&c).subsystems.len(), 2);
+        for bus in c.bus_ids() {
+            assert!(c.bus_utilization_estimate(bus) < 1.0);
+        }
+    }
+
+    #[test]
+    fn random_architectures_always_build() {
+        for seed in 0..50 {
+            let a = random_architecture(seed, &RandomArchParams::default());
+            assert!(a.num_flows() >= 1);
+            let s = split(&a);
+            let buses: usize = s.subsystems.iter().map(|c| c.buses.len()).sum();
+            assert_eq!(buses, a.num_buses());
+        }
+    }
+
+    #[test]
+    fn random_architecture_is_deterministic_per_seed() {
+        let p = RandomArchParams::default();
+        let a = random_architecture(7, &p);
+        let b = random_architecture(7, &p);
+        assert_eq!(a.num_flows(), b.num_flows());
+        assert_eq!(a.num_queues(), b.num_queues());
+    }
+}

@@ -1,0 +1,32 @@
+//! Sizing an AMBA-style AHB/APB system — the bus standard the paper
+//! names as the typical bridge scenario. Shows the bridge buffer
+//! receiving its own space and the slow APB being protected.
+//!
+//! Run with: `cargo run --release --example amba_bridge`
+
+use socbuf::sizing::{size_buffers, SizingConfig};
+use socbuf::soc::dot::to_dot;
+use socbuf::soc::templates;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = templates::amba();
+    println!("{}", to_dot(&arch));
+
+    for budget in [8usize, 16, 32] {
+        let outcome = size_buffers(&arch, budget, &SizingConfig::default())?;
+        println!("budget {budget:>3}:");
+        for q in arch.queue_ids() {
+            println!(
+                "  {:<14} requirement {:>2}  granted {:>2}",
+                arch.queue_name(q),
+                outcome.requirements[q.index()],
+                outcome.allocation.units(q)
+            );
+        }
+        println!(
+            "  predicted weighted loss rate: {:.5}\n",
+            outcome.predicted_loss_rate
+        );
+    }
+    Ok(())
+}

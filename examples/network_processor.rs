@@ -1,0 +1,41 @@
+//! The paper's evaluation platform: the 18-processor network processor.
+//! Reproduces a single budget point of Figure 3 end to end and prints
+//! the allocation the CTMDP methodology chooses.
+//!
+//! Run with: `cargo run --release --example network_processor`
+
+use socbuf::sizing::{evaluate_policies, PipelineConfig, SizingReport};
+use socbuf::soc::templates;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = templates::network_processor();
+    println!(
+        "network processor: {} processors on {} buses via {} bridges",
+        arch.num_processors(),
+        arch.num_buses(),
+        arch.num_bridges()
+    );
+    for bus in arch.bus_ids() {
+        println!(
+            "  bus {:<6} mu = {:<4}  nominal utilization = {:.2}",
+            arch.bus(bus).name(),
+            arch.bus(bus).service_rate(),
+            arch.bus_utilization_estimate(bus)
+        );
+    }
+
+    let budget = 320; // the middle column of the paper's Table 1
+    println!("\nsizing with total budget {budget} units …");
+    let cmp = evaluate_policies(&arch, budget, &PipelineConfig::default())?;
+    let report = SizingReport::new(&arch, &cmp);
+
+    println!("\n--- allocation ---");
+    print!("{}", report.allocation_table());
+    println!(
+        "\nbudget shadow price: {:.4} (loss-rate reduction per extra expected unit)",
+        cmp.outcome.budget_shadow_price
+    );
+    println!("\n--- Figure 3 series (losses per processor) ---");
+    print!("{}", report.figure3_table());
+    Ok(())
+}

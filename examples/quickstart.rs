@@ -1,0 +1,32 @@
+//! Quickstart: size the buffers of the paper's Figure 1 architecture and
+//! compare the three policies (constant sizing, CTMDP resizing, timeout).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use socbuf::sizing::{evaluate_policies, PipelineConfig, SizingReport};
+use socbuf::soc::split::split;
+use socbuf::soc::templates;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arch = templates::figure1();
+    println!(
+        "architecture: {} buses, {} processors, {} bridges, {} queues",
+        arch.num_buses(),
+        arch.num_processors(),
+        arch.num_bridges(),
+        arch.num_queues()
+    );
+
+    let parts = split(&arch);
+    println!("split into {} linear subsystems (paper: 4)\n", parts.subsystems.len());
+
+    let budget = 22; // two units per queue on average
+    let cmp = evaluate_policies(&arch, budget, &PipelineConfig::default())?;
+    let report = SizingReport::new(&arch, &cmp);
+
+    println!("--- buffer allocation (budget {budget}) ---");
+    print!("{}", report.allocation_table());
+    println!("\n--- per-processor losses ---");
+    print!("{}", report.figure3_table());
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! The paper's Figure 2: splitting the Figure 1 architecture at its
+//! bridges into four linear subsystems. Prints the membership of every
+//! subsystem and the Graphviz rendering.
+//!
+//! Run with: `cargo run --release --example split_subsystems`
+
+use socbuf::sizing::coupled::CoupledSystem;
+use socbuf::soc::dot::split_to_dot;
+use socbuf::soc::split::split;
+use socbuf::soc::{templates, BufferAllocation};
+
+fn main() {
+    let arch = templates::figure1();
+    let parts = split(&arch);
+
+    println!("figure 1 splits into {} subsystems:\n", parts.subsystems.len());
+    for sub in &parts.subsystems {
+        let buses: Vec<&str> = sub.buses.iter().map(|&b| arch.bus(b).name()).collect();
+        let procs: Vec<&str> = sub
+            .processors
+            .iter()
+            .map(|&p| arch.processor(p).name())
+            .collect();
+        let inc: Vec<&str> = sub
+            .incoming_bridges
+            .iter()
+            .map(|&g| arch.bridge(g).name())
+            .collect();
+        println!(
+            "subsystem {}: buses {:?}, processors {:?}, incoming bridge buffers {:?}",
+            sub.index + 1,
+            buses,
+            procs,
+            inc
+        );
+    }
+
+    // Why the split is necessary: the unsplit system is quadratic.
+    let alloc = BufferAllocation::uniform(&arch, 22);
+    let coupled = CoupledSystem::build(&arch, &alloc);
+    println!(
+        "\nunsplit (no bridge buffers) steady-state system: {} quadratic cross-bus product terms",
+        coupled.quadratic_term_count()
+    );
+
+    println!("\n--- Graphviz (paste into `dot -Tpng`) ---\n");
+    println!("{}", split_to_dot(&arch, &parts));
+}

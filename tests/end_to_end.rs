@@ -1,0 +1,121 @@
+//! Workspace-level integration tests: the whole methodology running
+//! across every crate, on the paper's own architectures.
+
+use socbuf::sizing::coupled::CoupledSystem;
+use socbuf::sizing::{evaluate_policies, size_buffers, PipelineConfig, SizingConfig, SizingReport};
+use socbuf::soc::split::split;
+use socbuf::soc::{templates, BufferAllocation};
+
+#[test]
+fn figure1_full_methodology() {
+    let arch = templates::figure1();
+    // The paper's Figure 2: four linear subsystems.
+    let parts = split(&arch);
+    assert_eq!(parts.subsystems.len(), 4);
+    // The unsplit system is genuinely nonlinear.
+    let coupled = CoupledSystem::build(&arch, &BufferAllocation::uniform(&arch, 22));
+    assert!(coupled.quadratic_term_count() > 0);
+    // Sizing solves and respects the budget.
+    let outcome = size_buffers(&arch, 22, &SizingConfig::small()).unwrap();
+    assert_eq!(outcome.allocation.total(), 22);
+    // Every queue with traffic got at least one unit.
+    assert!(outcome.allocation.as_slice().iter().all(|&u| u >= 1));
+}
+
+#[test]
+fn figure1_policy_comparison_is_consistent() {
+    let arch = templates::figure1();
+    let cmp = evaluate_policies(&arch, 22, &PipelineConfig::small()).unwrap();
+    // Conservation per report.
+    for r in [&cmp.pre, &cmp.post, &cmp.timeout] {
+        let balance = r.total_delivered + r.total_lost + r.in_flight;
+        assert!((r.total_offered - balance).abs() < 1e-6);
+    }
+    // Reports are renderable.
+    let report = SizingReport::new(&arch, &cmp);
+    assert!(report.figure3_table().contains("TOTAL"));
+    assert!(!report.to_csv().is_empty());
+}
+
+#[test]
+fn network_processor_resizing_beats_static_baseline() {
+    // A scaled-down version of the Figure 3 experiment (fewer
+    // replications, shorter horizon) that must still show the paper's
+    // ordering: post < pre and post < timeout.
+    let arch = templates::network_processor();
+    let config = PipelineConfig {
+        sizing: SizingConfig::default(),
+        horizon: 500.0,
+        warmup: 50.0,
+        seed: 42,
+        replications: 3,
+    };
+    let cmp = evaluate_policies(&arch, 160, &config).unwrap();
+    assert!(
+        cmp.post.total_lost < cmp.pre.total_lost,
+        "post {} vs pre {}",
+        cmp.post.total_lost,
+        cmp.pre.total_lost
+    );
+    assert!(
+        cmp.post.total_lost < cmp.timeout.total_lost,
+        "post {} vs timeout {}",
+        cmp.post.total_lost,
+        cmp.timeout.total_lost
+    );
+    // Hot processors (the paper's Table 1 rows) dominate the baseline's
+    // losses.
+    let pre = &cmp.pre.per_proc;
+    let hot: f64 = [0usize, 3, 14, 15].iter().map(|&i| pre[i].lost).sum();
+    assert!(hot > 0.5 * cmp.pre.total_lost, "hot {hot} of {}", cmp.pre.total_lost);
+}
+
+#[test]
+fn table1_budget_trend_holds() {
+    // Post-sizing loss decreases monotonically in the budget (the
+    // paper's Table 1 trend), on a reduced configuration.
+    let arch = templates::network_processor();
+    let config = PipelineConfig {
+        sizing: SizingConfig::default(),
+        horizon: 400.0,
+        warmup: 40.0,
+        seed: 11,
+        replications: 2,
+    };
+    let mut last = f64::INFINITY;
+    for budget in [160usize, 320, 640] {
+        let cmp = evaluate_policies(&arch, budget, &config).unwrap();
+        assert!(
+            cmp.post.total_lost <= last * 1.25 + 5.0,
+            "post loss should trend down with budget: {} after {last} (budget {budget})",
+            cmp.post.total_lost
+        );
+        last = cmp.post.total_lost;
+    }
+    // And the largest budget is near lossless post-sizing.
+    assert!(last < 30.0, "640-unit post-sizing loss should be near zero, got {last}");
+}
+
+#[test]
+fn all_templates_size_and_simulate() {
+    for (arch, budget) in [
+        (templates::figure1(), 22usize),
+        (templates::amba(), 16),
+        (templates::coreconnect(), 20),
+    ] {
+        let cmp = evaluate_policies(&arch, budget, &PipelineConfig::small()).unwrap();
+        assert_eq!(cmp.outcome.allocation.total(), budget);
+        assert_eq!(cmp.pre.per_proc.len(), arch.num_processors());
+    }
+}
+
+#[test]
+fn random_architectures_survive_the_pipeline() {
+    use socbuf::soc::templates::{random_architecture, RandomArchParams};
+    for seed in 0..8 {
+        let arch = random_architecture(seed, &RandomArchParams::default());
+        let budget = 3 * arch.num_queues();
+        let outcome = size_buffers(&arch, budget, &SizingConfig::small()).unwrap();
+        assert_eq!(outcome.allocation.total(), budget);
+    }
+}
