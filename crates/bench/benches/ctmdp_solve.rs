@@ -1,8 +1,10 @@
 //! P2 — constrained CTMDP solve time: LP vs relative value iteration on
-//! growing service-rate-control queues.
+//! growing service-rate-control queues, plus the CSR-vs-dense balance
+//! matrix assembly comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use socbuf_ctmdp::{relative_value_iteration, solve_constrained, CtmdpBuilder, CtmdpModel};
+use socbuf_linalg::Matrix;
 
 /// Service-rate-controlled M/M/1/K with holding costs; optionally a
 /// budget constraint on serving effort.
@@ -16,7 +18,8 @@ fn queue_model(k: usize, constrained: bool) -> CtmdpModel {
         }
         let cost = s as f64;
         let ccost = |v: f64| if constrained { vec![v] } else { vec![] };
-        b.add_action(s, "idle", arrivals.clone(), cost, ccost(0.0)).unwrap();
+        b.add_action(s, "idle", arrivals.clone(), cost, ccost(0.0))
+            .unwrap();
         let mut trans = arrivals;
         if s > 0 {
             trans.push((s - 1, 2.0));
@@ -51,5 +54,46 @@ fn bench_value_iteration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lp, bench_value_iteration);
+/// The historical dense balance-matrix assembly: a full
+/// `num_states × num_pairs` matrix filled from the transition lists.
+fn dense_balance_matrix(m: &CtmdpModel) -> Matrix {
+    let mut a = Matrix::zeros(m.num_states(), m.num_pairs());
+    let mut col = 0usize;
+    for s in 0..m.num_states() {
+        for act in 0..m.num_actions(s) {
+            let exit = m.exit_rate(s, act);
+            if exit > 0.0 {
+                a[(s, col)] = -exit;
+            }
+            for &(to, rate) in m.transitions(s, act) {
+                if rate > 0.0 {
+                    a[(to, col)] += rate;
+                }
+            }
+            col += 1;
+        }
+    }
+    a
+}
+
+fn bench_transition_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctmdp_balance_assembly");
+    for &k in &[16usize, 64, 256, 1024] {
+        let m = queue_model(k, true);
+        group.bench_with_input(BenchmarkId::new("csr", k), &m, |b, m| {
+            b.iter(|| m.transition_csr());
+        });
+        group.bench_with_input(BenchmarkId::new("dense", k), &m, |b, m| {
+            b.iter(|| dense_balance_matrix(m));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lp,
+    bench_value_iteration,
+    bench_transition_assembly
+);
 criterion_main!(benches);

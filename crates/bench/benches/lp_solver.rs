@@ -1,8 +1,10 @@
 //! P1 — simplex solver scaling on dense random LPs and on
-//! occupation-measure-shaped LPs (the solver's real workload).
+//! occupation-measure-shaped LPs (the solver's real workload), plus the
+//! sparse-vs-dense standard-form assembly comparison on the paper's
+//! Figure 1 joint LP.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use socbuf_lp::{LpProblem, Relation, Sense};
+use socbuf_lp::{assembly, LpProblem, Relation, Sense};
 
 /// Dense feasible-by-construction LP: max c·x, A x ≤ b, x ≤ 10.
 fn dense_lp(n: usize, m: usize) -> LpProblem {
@@ -14,7 +16,8 @@ fn dense_lp(n: usize, m: usize) -> LpProblem {
         let terms: Vec<_> = (0..n)
             .map(|j| (vars[j], (((i * 13 + j * 5 + 1) % 17) as f64) / 4.0))
             .collect();
-        p.add_constraint(terms, Relation::Le, 50.0 + i as f64).unwrap();
+        p.add_constraint(terms, Relation::Le, 50.0 + i as f64)
+            .unwrap();
     }
     p
 }
@@ -53,5 +56,31 @@ fn bench_sizing_shaped(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dense, bench_sizing_shaped);
+/// Standard-form assembly: the CSR path the solver uses vs the
+/// historical dense path, on the figure1 occupation-measure LP at
+/// growing per-queue state caps K. Sparse must be no slower at small K
+/// and pull ahead decisively from K = 64 up (the dense path allocates
+/// and walks the full m × n matrix).
+fn bench_assembly(c: &mut Criterion) {
+    use socbuf_core::{SizingConfig, SizingLp};
+    use socbuf_soc::templates;
+    let mut group = c.benchmark_group("lp_assembly_figure1");
+    let arch = templates::figure1();
+    for &cap in &[8usize, 16, 64, 128] {
+        let cfg = SizingConfig {
+            state_cap: cap,
+            ..SizingConfig::default()
+        };
+        let lp = SizingLp::build(&arch, 22, &cfg).unwrap();
+        group.bench_with_input(BenchmarkId::new("sparse", cap), lp.problem(), |b, p| {
+            b.iter(|| assembly::assemble_sparse(p).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("dense", cap), lp.problem(), |b, p| {
+            b.iter(|| assembly::assemble_dense(p).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense, bench_sizing_shaped, bench_assembly);
 criterion_main!(benches);

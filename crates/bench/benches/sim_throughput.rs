@@ -43,9 +43,7 @@ fn bench_arbiters(c: &mut Criterion) {
     ];
     for (name, arb) in arbiters {
         group.bench_with_input(BenchmarkId::from_parameter(name), &arb, |b, arb| {
-            b.iter(|| {
-                simulate(&arch, &alloc, arb.clone(), &SimConfig::new(1000.0, 42))
-            });
+            b.iter(|| simulate(&arch, &alloc, arb.clone(), &SimConfig::new(1000.0, 42)));
         });
     }
     group.finish();

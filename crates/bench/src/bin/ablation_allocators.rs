@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let proportional = BufferAllocation::traffic_proportional(&arch, budget);
 
     println!("=== A3: allocator comparison (network processor, budget {budget}) ===\n");
-    println!("{:<24} {:>14} {:>16}", "allocation + arbiter", "total loss", "loss fraction");
+    println!(
+        "{:<24} {:>14} {:>16}",
+        "allocation + arbiter", "total loss", "loss fraction"
+    );
 
     let run = |label: &str, alloc: &BufferAllocation, arbiter: Arbiter| {
         let reports = replicate(&arch, alloc, &arbiter, None, &sim_cfg, reps);

@@ -23,9 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cmp = evaluate_policies(&arch, budget, &config)?;
         println!(
             "{n:>4} {l:>4} {:>14.5} {:>14.1} {:>12}",
-            cmp.outcome.predicted_loss_rate,
-            cmp.post.total_lost,
-            cmp.outcome.lp_iterations
+            cmp.outcome.predicted_loss_rate, cmp.post.total_lost, cmp.outcome.lp_iterations
         );
     }
     println!("\nfiner grids should not worsen the predicted loss (richer policies)");

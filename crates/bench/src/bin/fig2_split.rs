@@ -17,7 +17,10 @@ fn main() {
         println!("subsystem ({})", sub.index + 1);
         println!(
             "  buses:      {:?}",
-            sub.buses.iter().map(|&b| arch.bus(b).name()).collect::<Vec<_>>()
+            sub.buses
+                .iter()
+                .map(|&b| arch.bus(b).name())
+                .collect::<Vec<_>>()
         );
         println!(
             "  processors: {:?}",
@@ -45,7 +48,11 @@ fn main() {
                 .collect::<Vec<_>>()
         );
     }
-    assert_eq!(parts.subsystems.len(), 4, "the paper's example splits into 4");
+    assert_eq!(
+        parts.subsystems.len(),
+        4,
+        "the paper's example splits into 4"
+    );
 
     println!("--- Graphviz ---\n{}", split_to_dot(&arch, &parts));
 }

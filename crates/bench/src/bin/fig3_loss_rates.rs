@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = SizingReport::new(&arch, &cmp);
 
     println!("=== Figure 3: loss rates before/after sizing and under the timeout policy ===");
-    println!("(network processor, total buffer budget {budget} units, {} replications)\n", config.replications);
+    println!(
+        "(network processor, total buffer budget {budget} units, {} replications)\n",
+        config.replications
+    );
     print!("{}", report.figure3_table());
 
     // The bar view of the figure.
@@ -49,11 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .zip(&cmp.timeout.per_proc)
         .enumerate()
     {
-        println!(
-            "P{:<3} pre     |{}",
-            i + 1,
-            bar(pre.lost, max, 50)
-        );
+        println!("P{:<3} pre     |{}", i + 1, bar(pre.lost, max, 50));
         println!("     post    |{}", bar(post.lost, max, 50));
         println!("     timeout |{}", bar(to.lost, max, 50));
     }

@@ -14,14 +14,28 @@ fn main() {
         ("np", templates::network_processor(), 320),
     ] {
         for (cap, lev) in [(8usize, 3usize), (12, 3), (16, 4), (20, 4), (24, 5)] {
-            let cfg = SizingConfig { state_cap: cap, effort_levels: lev, ..SizingConfig::default() };
+            let cfg = SizingConfig {
+                state_cap: cap,
+                effort_levels: lev,
+                ..SizingConfig::default()
+            };
             let lp = SizingLp::build(&arch, budget, &cfg).unwrap();
             let t = Instant::now();
             match lp.solve() {
-                Ok(sol) => println!("{name} cap={cap} lev={lev}: vars={} rows={} pivots={} time={:?} loss={:.6}",
-                    lp.num_vars(), lp.num_rows(), sol.lp_iterations, t.elapsed(), sol.loss_rate),
-                Err(e) => println!("{name} cap={cap} lev={lev}: vars={} rows={} FAILED after {:?}: {e}",
-                    lp.num_vars(), lp.num_rows(), t.elapsed()),
+                Ok(sol) => println!(
+                    "{name} cap={cap} lev={lev}: vars={} rows={} pivots={} time={:?} loss={:.6}",
+                    lp.num_vars(),
+                    lp.num_rows(),
+                    sol.lp_iterations,
+                    t.elapsed(),
+                    sol.loss_rate
+                ),
+                Err(e) => println!(
+                    "{name} cap={cap} lev={lev}: vars={} rows={} FAILED after {:?}: {e}",
+                    lp.num_vars(),
+                    lp.num_rows(),
+                    t.elapsed()
+                ),
             }
         }
     }

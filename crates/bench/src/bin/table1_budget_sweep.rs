@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = paper_pipeline_config();
 
     println!("=== Table 1: loss under varying total buffer size ===");
-    println!("(network processor, {} replications per cell)\n", config.replications);
+    println!(
+        "(network processor, {} replications per cell)\n",
+        config.replications
+    );
     println!(
         "{:<10} {:>9} {:>9}   {:>9} {:>9}   {:>9} {:>9}",
         "PROCESSOR", "160 pre", "160 post", "320 pre", "320 post", "640 pre", "640 post"
@@ -33,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     for p in 0..arch.num_processors() {
-        let marker = if HIGHLIGHT.contains(&(p + 1)) { "*" } else { " " };
+        let marker = if HIGHLIGHT.contains(&(p + 1)) {
+            "*"
+        } else {
+            " "
+        };
         print!("{marker}P{:<8}", p + 1);
         for cmp in &results {
             print!(
@@ -45,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     print!("{:<10}", "TOTAL");
     for cmp in &results {
-        print!(" {:>9.0} {:>9.0}  ", cmp.pre.total_lost, cmp.post.total_lost);
+        print!(
+            " {:>9.0} {:>9.0}  ",
+            cmp.pre.total_lost, cmp.post.total_lost
+        );
     }
     println!("\n\n(* = processors highlighted in the paper's Table 1)");
     println!("paper shape: post-sizing loss shrinks with budget and reaches 0 at 640 units");
@@ -53,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "budget {budget:>3}: post-sizing total loss {:.1} ({}+{:.0}% vs pre)",
             cmp.post.total_lost,
-            if cmp.improvement_vs_pre() >= 0.0 { "-" } else { "" },
+            if cmp.improvement_vs_pre() >= 0.0 {
+                "-"
+            } else {
+                ""
+            },
             100.0 * cmp.improvement_vs_pre().abs()
         );
     }

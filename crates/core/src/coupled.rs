@@ -126,7 +126,10 @@ impl CoupledSystem {
         max_iterations: usize,
         tol: f64,
     ) -> Result<CoupledSolution, CoreError> {
-        assert!((0.0..=1.0).contains(&damping) && damping > 0.0, "damping in (0,1]");
+        assert!(
+            (0.0..=1.0).contains(&damping) && damping > 0.0,
+            "damping in (0,1]"
+        );
         let nq = self.queues.len();
         let mut blocking = vec![0.0_f64; nq];
         let mut utilization = vec![0.0_f64; nq];
@@ -152,8 +155,8 @@ impl CoupledSystem {
                 for &db in &q.downstream_buses {
                     mu_eff *= avail[db].max(1e-9);
                 }
-                let model = MM1K::new(q.lambda, mu_eff, q.cap)
-                    .expect("positive rates by construction");
+                let model =
+                    MM1K::new(q.lambda, mu_eff, q.cap).expect("positive rates by construction");
                 let b_new = model.blocking_probability();
                 let u_new = (q.lambda * (1.0 - b_new) / q.mu).min(1.0);
                 residual = residual

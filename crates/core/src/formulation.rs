@@ -190,26 +190,29 @@ impl SizingLp {
             // balance but the rows are linearly *independent*, which
             // keeps the system consistent under the simplex solver's
             // degeneracy-breaking rhs perturbation.
+            //
+            // The whole block — n cut rows plus the normalization row —
+            // goes through the sparse triplet builder in one batch, so
+            // LP assembly stays O(nnz) per block and the block-diagonal
+            // structure reaches the solver's CSR standard form intact.
+            let mut triplets: Vec<(usize, VarId, f64)> = Vec::new();
             for j in 0..n {
-                let mut terms: Vec<(VarId, f64)> = Vec::new();
                 for &v in &block[j] {
-                    terms.push((v, lambda));
+                    triplets.push((j, v, lambda));
                 }
                 for (a, &v) in block[j + 1].iter().enumerate() {
                     if efforts[a] > 0.0 {
-                        terms.push((v, -efforts[a] * mu));
+                        triplets.push((j, v, -efforts[a] * mu));
                     }
                 }
-                lp.add_constraint(terms, Relation::Eq, 0.0)?;
             }
-
-            // Block normalization.
-            let all: Vec<(VarId, f64)> = block
-                .iter()
-                .flatten()
-                .map(|&v| (v, 1.0))
-                .collect();
-            lp.add_constraint(all, Relation::Eq, 1.0)?;
+            // Block normalization as row n of the batch.
+            for v in block.iter().flatten() {
+                triplets.push((n, *v, 1.0));
+            }
+            let mut rhs = vec![0.0; n + 1];
+            rhs[n] = 1.0;
+            lp.add_constraints_from_triplets(triplets, &vec![Relation::Eq; n + 1], &rhs)?;
 
             vars.push(block);
         }
@@ -242,7 +245,8 @@ impl SizingLp {
                 }
             }
         }
-        let budget_row = Some(lp.add_constraint(terms, Relation::Le, config.alpha * budget as f64)?);
+        let budget_row =
+            Some(lp.add_constraint(terms, Relation::Le, config.alpha * budget as f64)?);
 
         Ok(SizingLp {
             lp,
@@ -264,6 +268,13 @@ impl SizingLp {
     /// Number of LP rows.
     pub fn num_rows(&self) -> usize {
         self.lp.num_rows()
+    }
+
+    /// The assembled joint LP — exposed so benches and tests can inspect
+    /// or re-assemble its standard form (e.g. to compare the sparse and
+    /// dense assembly paths on the paper's own problem shapes).
+    pub fn problem(&self) -> &LpProblem {
+        &self.lp
     }
 
     /// Solves the joint LP. If the budget row makes the program
@@ -322,7 +333,10 @@ impl SizingLp {
     /// # Errors
     ///
     /// Propagates LP failures other than budget infeasibility.
-    pub fn solve_with_options(&self, options: &SimplexOptions) -> Result<SizingSolution, CoreError> {
+    pub fn solve_with_options(
+        &self,
+        options: &SimplexOptions,
+    ) -> Result<SizingSolution, CoreError> {
         match self.lp.solve_with(options) {
             Ok(sol) => Ok(self.interpret(&sol, false)),
             Err(socbuf_lp::LpError::Infeasible { .. }) if self.budget_row.is_some() => {
@@ -427,9 +441,7 @@ impl SizingLp {
             efforts: effort_curves,
             loss_rate: sol.objective(),
             queue_loss_rates,
-            budget_shadow_price: self
-                .budget_row
-                .map_or(0.0, |r| sol.dual(r)),
+            budget_shadow_price: self.budget_row.map_or(0.0, |r| sol.dual(r)),
             bus_shadow_prices: self.bus_rows.iter().map(|&r| sol.dual(r)).collect(),
             budget_row_relaxed: relaxed,
             lp_iterations: sol.iterations(),
@@ -518,7 +530,11 @@ mod tests {
         );
         // Effort curve: full service at every positive occupancy.
         for n in 1..=cfg.state_cap {
-            assert!(sol.efforts[0][n] > 0.999, "effort at {n}: {}", sol.efforts[0][n]);
+            assert!(
+                sol.efforts[0][n] > 0.999,
+                "effort at {n}: {}",
+                sol.efforts[0][n]
+            );
         }
         // Marginals match the M/M/1/K stationary law.
         let pi = oracle.state_probabilities();
@@ -606,6 +622,37 @@ mod tests {
             .unwrap();
         assert!(sol.budget_row_relaxed);
         assert!(sol.loss_rate > 0.0);
+    }
+
+    #[test]
+    fn figure1_assembly_is_o_nnz() {
+        // The joint LP of the paper's Figure 1 example is block diagonal
+        // with a handful of coupling rows: its sparse standard form must
+        // store a small fraction of the dense footprint, and the entry
+        // count per row must stay bounded as the state cap grows.
+        let arch = socbuf_soc::templates::figure1();
+        for cap in [8usize, 16, 32] {
+            let cfg = SizingConfig {
+                state_cap: cap,
+                ..SizingConfig::default()
+            };
+            let lp = SizingLp::build(&arch, 22, &cfg).unwrap();
+            let stats = socbuf_lp::assembly::stats(lp.problem()).unwrap();
+            let dense_footprint = stats.rows * stats.cols;
+            assert!(
+                stats.nnz * 10 < dense_footprint,
+                "cap {cap}: nnz {} vs dense {dense_footprint}",
+                stats.nnz
+            );
+            // Cut rows have ≤ 2·effort_levels entries, coupling rows are
+            // O(num_vars): total nnz is linear in the variable count.
+            assert!(
+                stats.nnz < 8 * lp.num_vars(),
+                "cap {cap}: nnz {} vs vars {}",
+                stats.nnz,
+                lp.num_vars()
+            );
+        }
     }
 
     #[test]

@@ -53,6 +53,8 @@ pub mod translate;
 
 pub use error::CoreError;
 pub use formulation::{SizingConfig, SizingLp, SizingSolution};
-pub use pipeline::{evaluate_policies, size_buffers, PipelineConfig, PolicyComparison, SizingOutcome};
+pub use pipeline::{
+    evaluate_policies, size_buffers, PipelineConfig, PolicyComparison, SizingOutcome,
+};
 pub use report::SizingReport;
 pub use translate::Translation;

@@ -275,7 +275,12 @@ mod tests {
         assert!(cmp.pre.total_offered > 0.0);
         assert!(cmp.post.total_offered > 0.0);
         // The timeout policy actually triggers timeouts under contention.
-        let _ = cmp.timeout.per_queue.iter().map(|q| q.lost_timeout).sum::<f64>();
+        let _ = cmp
+            .timeout
+            .per_queue
+            .iter()
+            .map(|q| q.lost_timeout)
+            .sum::<f64>();
     }
 
     #[test]

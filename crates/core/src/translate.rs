@@ -78,11 +78,7 @@ pub fn translate(
             .sum();
         let mu_bus = arch.bus(q.bus).service_rate();
         let avail = (1.0 - others).clamp(0.05, 1.0);
-        let corrected = contended_marginal(
-            q.offered_rate,
-            mu_bus * avail,
-            &solution.efforts[qi],
-        );
+        let corrected = contended_marginal(q.offered_rate, mu_bus * avail, &solution.efforts[qi]);
         requirements.push(quantile_requirement(&corrected, config.quantile));
     }
 
@@ -95,7 +91,10 @@ pub fn translate(
         let extra = apportion(budget - nq, &extra_shares);
         extra.into_iter().map(|e| e + 1).collect()
     } else {
-        apportion(budget, &requirements.iter().map(|&r| r as f64).collect::<Vec<_>>())
+        apportion(
+            budget,
+            &requirements.iter().map(|&r| r as f64).collect::<Vec<_>>(),
+        )
     };
 
     let allocation = BufferAllocation::new(arch, units)?;
@@ -191,7 +190,10 @@ mod tests {
         let arch = hot_cold_arch();
         let cfg = SizingConfig::small();
         for budget in [6usize, 16, 64] {
-            let sol = SizingLp::build(&arch, budget, &cfg).unwrap().solve().unwrap();
+            let sol = SizingLp::build(&arch, budget, &cfg)
+                .unwrap()
+                .solve()
+                .unwrap();
             let tr = translate(&arch, &sol, budget, &cfg).unwrap();
             assert_eq!(tr.allocation.total(), budget);
             let units = tr.allocation.as_slice();

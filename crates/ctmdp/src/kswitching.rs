@@ -81,10 +81,7 @@ pub fn summarize(policy: &RandomizedPolicy) -> SwitchingSummary {
 /// CTMDP randomizes in at most K states. Returns `(randomized, bound)`
 /// so callers can assert `randomized ≤ bound`.
 pub fn feinberg_bound(model: &CtmdpModel, solution: &CtmdpSolution) -> (usize, usize) {
-    let randomized = solution
-        .policy()
-        .randomized_states(SUPPORT_TOL)
-        .len();
+    let randomized = solution.policy().randomized_states(SUPPORT_TOL).len();
     // Only constraints with finite bounds enter the LP.
     let active = (0..model.num_constraints())
         .filter(|&k| model.constraint_bound(k) < f64::MAX)

@@ -1,3 +1,5 @@
+use socbuf_linalg::Csr;
+
 use crate::CtmdpError;
 
 /// One admissible action in one state.
@@ -249,6 +251,58 @@ impl CtmdpModel {
         self.bounds[k]
     }
 
+    /// Column index of the pair `(state, a)` in the lexicographic
+    /// state–action layout used by [`CtmdpModel::transition_csr`] and by
+    /// the occupation-measure LP's variable order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `a` is out of range.
+    pub fn pair_index(&self, state: usize, a: usize) -> usize {
+        assert!(a < self.actions[state].len(), "action {a} out of range");
+        self.actions[..state].iter().map(Vec::len).sum::<usize>() + a
+    }
+
+    /// The model's transition structure as a sparse balance matrix `B`:
+    /// rows are states `j`, columns are state–action pairs `(s, a)` in
+    /// lexicographic order, and `B[j, (s, a)] = q(j | s, a)` — the rate
+    /// from `s` to `j` under action `a`, with the diagonal-in-`s` entry
+    /// `q(s | s, a) = −exit_rate(s, a)`.
+    ///
+    /// The occupation-measure LP's balance block is exactly
+    /// `B x = 0`, so [`crate::solve_constrained`] feeds this matrix
+    /// straight into the solver's CSR constraint path. Assembly is
+    /// `O(nnz)` — the matrix is never densified.
+    pub fn transition_csr(&self) -> Csr {
+        let n = self.num_states();
+        let pairs = self.num_pairs();
+        let nnz: usize = self
+            .actions
+            .iter()
+            .flatten()
+            .map(|a| a.transitions.len() + 1)
+            .sum();
+        let mut triplets = Vec::with_capacity(nnz);
+        let mut col = 0usize;
+        for (s, acts) in self.actions.iter().enumerate() {
+            for act in acts {
+                let mut exit = 0.0;
+                for &(to, rate) in &act.transitions {
+                    if rate > 0.0 {
+                        triplets.push((to, col, rate));
+                        exit += rate;
+                    }
+                }
+                if exit > 0.0 {
+                    triplets.push((s, col, -exit));
+                }
+                col += 1;
+            }
+        }
+        Csr::from_triplets(n, pairs, &triplets)
+            .expect("validated transitions index states and pairs in range")
+    }
+
     /// Largest exit rate over all state–action pairs (the minimum valid
     /// uniformization rate).
     pub fn max_exit_rate(&self) -> f64 {
@@ -268,8 +322,10 @@ mod tests {
 
     fn tiny() -> CtmdpBuilder {
         let mut b = CtmdpBuilder::new(2, 1);
-        b.add_action(0, "a", vec![(1, 1.0)], 0.5, vec![0.0]).unwrap();
-        b.add_action(1, "b", vec![(0, 2.0)], 1.5, vec![1.0]).unwrap();
+        b.add_action(0, "a", vec![(1, 1.0)], 0.5, vec![0.0])
+            .unwrap();
+        b.add_action(1, "b", vec![(0, 2.0)], 1.5, vec![1.0])
+            .unwrap();
         b
     }
 
@@ -307,9 +363,50 @@ mod tests {
         let b = CtmdpBuilder::new(2, 0);
         assert!(b.build().is_err());
         let mut b = CtmdpBuilder::new(2, 0);
-        b.add_action(0, "only", vec![(1, 1.0)], 0.0, vec![]).unwrap();
+        b.add_action(0, "only", vec![(1, 1.0)], 0.0, vec![])
+            .unwrap();
         assert!(b.build().is_err());
         assert!(CtmdpBuilder::new(0, 0).build().is_err());
+    }
+
+    #[test]
+    fn transition_csr_encodes_balance_matrix() {
+        let m = tiny().build().unwrap();
+        let b = m.transition_csr();
+        assert_eq!((b.rows(), b.cols()), (2, 2));
+        assert_eq!(m.pair_index(0, 0), 0);
+        assert_eq!(m.pair_index(1, 0), 1);
+        // Pair (0, "a"): rate 1 to state 1, exit −1 on state 0.
+        assert_eq!(b.get(0, 0), -1.0);
+        assert_eq!(b.get(1, 0), 1.0);
+        // Pair (1, "b"): rate 2 to state 0, exit −2 on state 1.
+        assert_eq!(b.get(0, 1), 2.0);
+        assert_eq!(b.get(1, 1), -2.0);
+        // Columns of a balance matrix sum to zero.
+        let col_sums = b.vecmat(&vec![1.0; b.rows()]).unwrap();
+        assert!(col_sums.iter().all(|s| s.abs() < 1e-12));
+    }
+
+    #[test]
+    fn transition_csr_is_sparse_for_queue_models() {
+        // A service-rate-controlled queue has ≤ 3 entries per pair
+        // column regardless of the state count.
+        let k = 50usize;
+        let mut b = CtmdpBuilder::new(k + 1, 0);
+        for s in 0..=k {
+            let mut trans = Vec::new();
+            if s < k {
+                trans.push((s + 1, 1.0));
+            }
+            if s > 0 {
+                trans.push((s - 1, 2.0));
+            }
+            b.add_action(s, "serve", trans, s as f64, vec![]).unwrap();
+        }
+        let m = b.build().unwrap();
+        let csr = m.transition_csr();
+        assert_eq!(csr.cols(), m.num_pairs());
+        assert!(csr.nnz() <= 3 * m.num_pairs());
     }
 
     #[test]

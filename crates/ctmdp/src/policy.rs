@@ -240,9 +240,12 @@ mod tests {
 
     fn two_state() -> CtmdpModel {
         let mut b = CtmdpBuilder::new(2, 1);
-        b.add_action(0, "slow", vec![(1, 1.0)], 0.0, vec![0.0]).unwrap();
-        b.add_action(0, "fast", vec![(1, 4.0)], 0.0, vec![1.0]).unwrap();
-        b.add_action(1, "back", vec![(0, 2.0)], 1.0, vec![0.0]).unwrap();
+        b.add_action(0, "slow", vec![(1, 1.0)], 0.0, vec![0.0])
+            .unwrap();
+        b.add_action(0, "fast", vec![(1, 4.0)], 0.0, vec![1.0])
+            .unwrap();
+        b.add_action(1, "back", vec![(0, 2.0)], 1.0, vec![0.0])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -301,8 +304,10 @@ mod tests {
     fn reducible_policy_chain_errors() {
         // A model where one action disconnects the chain.
         let mut b = CtmdpBuilder::new(2, 0);
-        b.add_action(0, "stay-ish", vec![(1, 0.0)], 0.0, vec![]).unwrap();
-        b.add_action(1, "back", vec![(0, 1.0)], 0.0, vec![]).unwrap();
+        b.add_action(0, "stay-ish", vec![(1, 0.0)], 0.0, vec![])
+            .unwrap();
+        b.add_action(1, "back", vec![(0, 1.0)], 0.0, vec![])
+            .unwrap();
         let m = b.build().unwrap();
         let d = DeterministicPolicy::new(&m, vec![0, 0]).unwrap();
         let r = d.to_randomized(&m).unwrap();

@@ -90,7 +90,8 @@ pub fn solve_constrained_with(
 
     let mut lp = LpProblem::new(Sense::Minimize);
 
-    // One variable per state–action pair.
+    // One variable per state–action pair, in the lexicographic order of
+    // `CtmdpModel::transition_csr` columns.
     let mut vars: Vec<Vec<VarId>> = Vec::with_capacity(n);
     for s in 0..n {
         let mut row = Vec::with_capacity(model.num_actions(s));
@@ -100,34 +101,15 @@ pub fn solve_constrained_with(
         vars.push(row);
     }
 
-    // Balance rows: Σ_{s,a} x(s,a) q(j|s,a) = 0 for every state j, where
-    // q(j|s,a) is the rate s→j and q(s|s,a) = −(total exit rate).
-    // Built column-wise from each action's transition list.
-    let mut balance_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); n];
-    for s in 0..n {
-        for a in 0..model.num_actions(s) {
-            let v = vars[s][a];
-            let exit = model.exit_rate(s, a);
-            if exit > 0.0 {
-                balance_terms[s].push((v, -exit));
-            }
-            for &(to, rate) in model.transitions(s, a) {
-                if rate > 0.0 {
-                    balance_terms[to].push((v, rate));
-                }
-            }
-        }
-    }
-    for terms in balance_terms {
-        lp.add_constraint(terms, Relation::Eq, 0.0)?;
-    }
+    // Balance rows: Σ_{s,a} x(s,a) q(j|s,a) = 0 for every state j. The
+    // model's sparse balance matrix feeds the solver's CSR constraint
+    // path directly — assembly stays O(nnz).
+    let balance = model.transition_csr();
+    debug_assert_eq!(balance.cols(), lp.num_vars());
+    lp.add_constraints_csr(&balance, &vec![Relation::Eq; n], &vec![0.0; n])?;
 
     // Normalization: total time fraction is 1.
-    let all_vars: Vec<(VarId, f64)> = vars
-        .iter()
-        .flatten()
-        .map(|&v| (v, 1.0))
-        .collect();
+    let all_vars: Vec<(VarId, f64)> = vars.iter().flatten().map(|&v| (v, 1.0)).collect();
     lp.add_constraint(all_vars, Relation::Eq, 1.0)?;
 
     // Side constraints.
@@ -156,12 +138,7 @@ pub fn solve_constrained_with(
     // Extract occupation measure and policy.
     let mut occupation: Vec<Vec<f64>> = Vec::with_capacity(n);
     for s in 0..n {
-        occupation.push(
-            vars[s]
-                .iter()
-                .map(|&v| sol.value(v).max(0.0))
-                .collect(),
-        );
+        occupation.push(vars[s].iter().map(|&v| sol.value(v).max(0.0)).collect());
     }
     let policy = extract_policy(model, &occupation)?;
 
@@ -231,9 +208,12 @@ mod tests {
     #[test]
     fn unconstrained_picks_best_action() {
         let mut b = CtmdpBuilder::new(2, 0);
-        b.add_action(0, "wait", vec![(1, 1.0)], 0.0, vec![]).unwrap();
-        b.add_action(1, "slow", vec![(0, 1.0)], 1.0, vec![]).unwrap();
-        b.add_action(1, "fast", vec![(0, 4.0)], 1.0, vec![]).unwrap();
+        b.add_action(0, "wait", vec![(1, 1.0)], 0.0, vec![])
+            .unwrap();
+        b.add_action(1, "slow", vec![(0, 1.0)], 1.0, vec![])
+            .unwrap();
+        b.add_action(1, "fast", vec![(0, 4.0)], 1.0, vec![])
+            .unwrap();
         let m = b.build().unwrap();
         let sol = solve_constrained(&m).unwrap();
         // With fast repair: π(1) = 1/(1+4)·... chain 0→1 rate 1, 1→0 rate 4:
@@ -246,9 +226,12 @@ mod tests {
     #[test]
     fn constraint_binds_and_duals_are_negative() {
         let mut b = CtmdpBuilder::new(2, 1);
-        b.add_action(0, "wait", vec![(1, 1.0)], 0.0, vec![0.0]).unwrap();
-        b.add_action(1, "slow", vec![(0, 1.0)], 1.0, vec![0.0]).unwrap();
-        b.add_action(1, "fast", vec![(0, 4.0)], 1.0, vec![1.0]).unwrap();
+        b.add_action(0, "wait", vec![(1, 1.0)], 0.0, vec![0.0])
+            .unwrap();
+        b.add_action(1, "slow", vec![(0, 1.0)], 1.0, vec![0.0])
+            .unwrap();
+        b.add_action(1, "fast", vec![(0, 4.0)], 1.0, vec![1.0])
+            .unwrap();
         b.set_constraint_bound(0, 0.10);
         let m = b.build().unwrap();
         let sol = solve_constrained(&m).unwrap();
@@ -267,7 +250,8 @@ mod tests {
     fn occupation_is_probability_measure() {
         let mut b = CtmdpBuilder::new(3, 0);
         b.add_action(0, "a", vec![(1, 2.0)], 1.0, vec![]).unwrap();
-        b.add_action(1, "a", vec![(2, 1.0), (0, 1.0)], 2.0, vec![]).unwrap();
+        b.add_action(1, "a", vec![(2, 1.0), (0, 1.0)], 2.0, vec![])
+            .unwrap();
         b.add_action(2, "a", vec![(0, 3.0)], 0.5, vec![]).unwrap();
         let m = b.build().unwrap();
         let sol = solve_constrained(&m).unwrap();
@@ -281,9 +265,12 @@ mod tests {
     #[test]
     fn lp_solution_matches_policy_evaluation() {
         let mut b = CtmdpBuilder::new(2, 1);
-        b.add_action(0, "wait", vec![(1, 2.0)], 0.0, vec![0.0]).unwrap();
-        b.add_action(1, "slow", vec![(0, 1.0)], 1.0, vec![0.0]).unwrap();
-        b.add_action(1, "fast", vec![(0, 6.0)], 1.0, vec![1.0]).unwrap();
+        b.add_action(0, "wait", vec![(1, 2.0)], 0.0, vec![0.0])
+            .unwrap();
+        b.add_action(1, "slow", vec![(0, 1.0)], 1.0, vec![0.0])
+            .unwrap();
+        b.add_action(1, "fast", vec![(0, 6.0)], 1.0, vec![1.0])
+            .unwrap();
         b.set_constraint_bound(0, 0.15);
         let m = b.build().unwrap();
         let sol = solve_constrained(&m).unwrap();
@@ -302,21 +289,22 @@ mod tests {
         let mut b = CtmdpBuilder::new(2, 1);
         // Both states always accrue constraint cost 1 → average is 1,
         // bound of 0.5 is unreachable.
-        b.add_action(0, "a", vec![(1, 1.0)], 0.0, vec![1.0]).unwrap();
-        b.add_action(1, "a", vec![(0, 1.0)], 0.0, vec![1.0]).unwrap();
+        b.add_action(0, "a", vec![(1, 1.0)], 0.0, vec![1.0])
+            .unwrap();
+        b.add_action(1, "a", vec![(0, 1.0)], 0.0, vec![1.0])
+            .unwrap();
         b.set_constraint_bound(0, 0.5);
         let m = b.build().unwrap();
-        assert!(matches!(
-            solve_constrained(&m),
-            Err(CtmdpError::Infeasible)
-        ));
+        assert!(matches!(solve_constrained(&m), Err(CtmdpError::Infeasible)));
     }
 
     #[test]
     fn loose_bounds_are_skipped() {
         let mut b = CtmdpBuilder::new(2, 2);
-        b.add_action(0, "a", vec![(1, 1.0)], 0.0, vec![1.0, 0.0]).unwrap();
-        b.add_action(1, "a", vec![(0, 1.0)], 1.0, vec![0.0, 1.0]).unwrap();
+        b.add_action(0, "a", vec![(1, 1.0)], 0.0, vec![1.0, 0.0])
+            .unwrap();
+        b.add_action(1, "a", vec![(0, 1.0)], 1.0, vec![0.0, 1.0])
+            .unwrap();
         // Neither bound set → both default to f64::MAX → unconstrained.
         let m = b.build().unwrap();
         let sol = solve_constrained(&m).unwrap();

@@ -135,9 +135,12 @@ mod tests {
 
     fn repair_model(fast_rate: f64) -> CtmdpModel {
         let mut b = CtmdpBuilder::new(2, 0);
-        b.add_action(0, "wait", vec![(1, 1.0)], 0.0, vec![]).unwrap();
-        b.add_action(1, "slow", vec![(0, 1.0)], 1.0, vec![]).unwrap();
-        b.add_action(1, "fast", vec![(0, fast_rate)], 1.0, vec![]).unwrap();
+        b.add_action(0, "wait", vec![(1, 1.0)], 0.0, vec![])
+            .unwrap();
+        b.add_action(1, "slow", vec![(0, 1.0)], 1.0, vec![])
+            .unwrap();
+        b.add_action(1, "fast", vec![(0, fast_rate)], 1.0, vec![])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -158,20 +161,17 @@ mod tests {
     fn greedy_policy_is_optimal() {
         let m = repair_model(10.0);
         let vi = relative_value_iteration(&m, 1e-11, 200_000).unwrap();
-        let eval = vi
-            .policy
-            .to_randomized(&m)
-            .unwrap()
-            .evaluate(&m)
-            .unwrap();
+        let eval = vi.policy.to_randomized(&m).unwrap().evaluate(&m).unwrap();
         assert!((eval.average_cost - vi.average_cost).abs() < 1e-6);
     }
 
     #[test]
     fn rejects_constrained_models() {
         let mut b = CtmdpBuilder::new(2, 1);
-        b.add_action(0, "a", vec![(1, 1.0)], 0.0, vec![0.0]).unwrap();
-        b.add_action(1, "a", vec![(0, 1.0)], 0.0, vec![0.0]).unwrap();
+        b.add_action(0, "a", vec![(1, 1.0)], 0.0, vec![0.0])
+            .unwrap();
+        b.add_action(1, "a", vec![(0, 1.0)], 0.0, vec![0.0])
+            .unwrap();
         let m = b.build().unwrap();
         assert!(matches!(
             relative_value_iteration(&m, 1e-9, 1000),
@@ -216,8 +216,14 @@ mod proptests {
                                     r += 1;
                                 }
                             }
-                            b.add_action(s, format!("a{a}"), transitions, costs[s * na + a], vec![])
-                                .unwrap();
+                            b.add_action(
+                                s,
+                                format!("a{a}"),
+                                transitions,
+                                costs[s * na + a],
+                                vec![],
+                            )
+                            .unwrap();
                         }
                     }
                     b.build().unwrap()

@@ -38,6 +38,24 @@ pub enum LinalgError {
         /// That row's length.
         len: usize,
     },
+    /// A sparse index `(row, col)` fell outside the matrix shape.
+    IndexOutOfRange {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// Number of rows of the matrix being built or accessed.
+        rows: usize,
+        /// Number of columns of the matrix being built or accessed.
+        cols: usize,
+    },
+    /// A sparse row's column indices were not strictly increasing.
+    UnsortedColumns {
+        /// Row in which the violation occurred.
+        row: usize,
+        /// The column index that was out of order or duplicated.
+        col: usize,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -58,6 +76,20 @@ impl fmt::Display for LinalgError {
             LinalgError::RaggedRows { first, row, len } => write!(
                 f,
                 "ragged rows: row 0 has length {first} but row {row} has length {len}"
+            ),
+            LinalgError::IndexOutOfRange {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "sparse index ({row}, {col}) out of range for a {rows}x{cols} matrix"
+            ),
+            LinalgError::UnsortedColumns { row, col } => write!(
+                f,
+                "sparse row {row}: column {col} is out of order or duplicated \
+                 (columns must be strictly increasing)"
             ),
         }
     }
@@ -89,6 +121,17 @@ mod tests {
             len: 3,
         };
         assert!(e.to_string().contains("row 1"));
+        let e = LinalgError::IndexOutOfRange {
+            row: 7,
+            col: 9,
+            rows: 4,
+            cols: 5,
+        };
+        assert!(e.to_string().contains("(7, 9)"));
+        assert!(e.to_string().contains("4x5"));
+        let e = LinalgError::UnsortedColumns { row: 3, col: 2 };
+        assert!(e.to_string().contains("row 3"));
+        assert!(e.to_string().contains("column 2"));
     }
 
     #[test]

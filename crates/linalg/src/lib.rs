@@ -1,39 +1,54 @@
-//! Dense linear algebra substrate for the `socbuf` workspace.
+//! Dense **and sparse** linear algebra substrate for the `socbuf`
+//! workspace.
 //!
 //! Everything downstream of this crate — the simplex solver in
 //! [`socbuf-lp`](../socbuf_lp/index.html), the Markov-chain stationary
 //! solvers in `socbuf-markov`, and ultimately the CTMDP buffer-sizing
-//! pipeline — reduces to small dense linear systems. This crate provides
-//! the minimal, well-tested kernel they share:
+//! pipeline — reduces to linear systems. The paper's systems are
+//! structurally sparse (tridiagonal birth–death generators,
+//! block-diagonal occupation-measure constraints), so the crate carries
+//! two tiers of kernels:
 //!
-//! * [`Matrix`] — a row-major dense `f64` matrix with the usual
-//!   constructors and arithmetic,
-//! * [`Lu`] — LU factorization with partial pivoting, used for linear
-//!   solves, determinants and inverses,
+//! * **Sparse, for the hot path** —
+//!   [`Csr`] (compressed-sparse-row storage with `O(nnz)` matvec /
+//!   vecmat / transpose and triplet / row-builder assembly) and
+//!   [`Tridiag`] (the Thomas algorithm: `O(n)` tridiagonal solves).
+//! * **Dense, for small kernels and fallbacks** —
+//!   [`Matrix`] (row-major `f64`) and [`Lu`] (LU with partial pivoting,
+//!   used for general-generator stationary solves, dual recovery and
+//!   determinants),
 //! * free functions over `&[f64]` slices ([`dot`], [`axpy`], norms).
 //!
 //! # Examples
 //!
 //! ```
-//! use socbuf_linalg::{Matrix, Lu};
+//! use socbuf_linalg::{Csr, Matrix, Lu};
 //!
 //! # fn main() -> Result<(), socbuf_linalg::LinalgError> {
 //! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
 //! let lu = Lu::factor(&a)?;
 //! let x = lu.solve(&[1.0, 2.0])?;
 //! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//!
+//! // The same matrix as CSR: products agree with the dense path.
+//! let s = Csr::from_dense(&a);
+//! assert_eq!(s.matvec(&x)?, a.matvec(&x)?);
 //! # Ok(())
 //! # }
 //! ```
 
+mod csr;
 mod error;
 mod lu;
 mod matrix;
+mod tridiag;
 mod vector;
 
+pub use csr::{Csr, CsrBuilder};
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
+pub use tridiag::Tridiag;
 pub use vector::{axpy, dot, inf_norm, max_abs_diff, one_norm, scale, two_norm};
 
 /// Default absolute tolerance used throughout the workspace when comparing

@@ -224,12 +224,8 @@ mod tests {
         let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
         solve_roundtrip(&a, &[0.8, 1.4]);
 
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]).unwrap();
         solve_roundtrip(&a, &[1.0, -1.0, 2.0]);
     }
 
@@ -246,10 +242,7 @@ mod tests {
     #[test]
     fn detects_singular() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
-        assert!(matches!(
-            Lu::factor(&a),
-            Err(LinalgError::Singular { .. })
-        ));
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
     }
 
     #[test]
@@ -275,12 +268,8 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[3.0, 0.5, -1.0],
-            &[0.5, 2.0, 0.0],
-            &[-1.0, 0.0, 4.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[3.0, 0.5, -1.0], &[0.5, 2.0, 0.0], &[-1.0, 0.0, 4.0]]).unwrap();
         let inv = Lu::factor(&a).unwrap().inverse().unwrap();
         let prod = a.matmul(&inv).unwrap();
         let i = Matrix::identity(3);
@@ -291,12 +280,8 @@ mod tests {
 
     #[test]
     fn solve_transpose_matches_explicit_transpose() {
-        let a = Matrix::from_rows(&[
-            &[2.0, -1.0, 0.5],
-            &[1.0, 3.0, -2.0],
-            &[0.0, 1.0, 1.5],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, -1.0, 0.5], &[1.0, 3.0, -2.0], &[0.0, 1.0, 1.5]]).unwrap();
         let b = [1.0, -2.0, 0.5];
         let lu = Lu::factor(&a).unwrap();
         let x1 = lu.solve_transpose(&b).unwrap();
@@ -331,8 +316,7 @@ mod proptests {
                 .prop_map(move |(entries, x)| {
                     let mut a = Matrix::from_vec(n, n, entries).unwrap();
                     for i in 0..n {
-                        let off: f64 =
-                            (0..n).filter(|&j| j != i).map(|j| a[(i, j)].abs()).sum();
+                        let off: f64 = (0..n).filter(|&j| j != i).map(|j| a[(i, j)].abs()).sum();
                         a[(i, i)] = off + 1.0;
                     }
                     (a, x)

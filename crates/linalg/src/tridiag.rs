@@ -1,0 +1,334 @@
+use crate::{Csr, LinalgError};
+
+/// A tridiagonal linear system solved by the Thomas algorithm.
+///
+/// Every single-queue block of the buffer-sizing formulation is a
+/// birth–death chain, whose generator (and its transpose) is tridiagonal;
+/// stationary solves on those chains reduce to one `O(n)` sweep instead
+/// of an `O(n³)` dense LU factorization. `Tridiag` stores the three
+/// diagonals explicitly:
+///
+/// * `sub[i]` — entry `(i + 1, i)` (below the diagonal),
+/// * `diag[i]` — entry `(i, i)`,
+/// * `sup[i]` — entry `(i, i + 1)` (above the diagonal).
+///
+/// # Examples
+///
+/// ```
+/// use socbuf_linalg::Tridiag;
+///
+/// # fn main() -> Result<(), socbuf_linalg::LinalgError> {
+/// // [ 2 1 0 ]        x = (1, 1, 1)
+/// // [ 1 3 1 ]  =>  b = (3, 5, 4)
+/// // [ 0 1 3 ]
+/// let t = Tridiag::new(vec![1.0, 1.0], vec![2.0, 3.0, 3.0], vec![1.0, 1.0])?;
+/// let x = t.solve(&[3.0, 5.0, 4.0])?;
+/// for xi in x {
+///     assert!((xi - 1.0).abs() < 1e-12);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tridiag {
+    sub: Vec<f64>,
+    diag: Vec<f64>,
+    sup: Vec<f64>,
+}
+
+/// Pivots smaller than this (relative to the row scale) are treated as
+/// zero: the sweep reports the matrix singular rather than dividing by
+/// numerical dust.
+const PIVOT_TOL: f64 = 1e-13;
+
+impl Tridiag {
+    /// Builds a system from its three diagonals. For an `n × n` matrix,
+    /// `diag` has `n` entries and `sub` / `sup` have `n − 1` each.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] if `diag` is empty.
+    /// * [`LinalgError::DimensionMismatch`] if the off-diagonal lengths
+    ///   are not `diag.len() − 1`.
+    pub fn new(sub: Vec<f64>, diag: Vec<f64>, sup: Vec<f64>) -> Result<Self, LinalgError> {
+        if diag.is_empty() {
+            return Err(LinalgError::Empty);
+        }
+        let n = diag.len();
+        if sub.len() != n - 1 || sup.len() != n - 1 {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n - 1, n - 1),
+                found: (sub.len(), sup.len()),
+            });
+        }
+        Ok(Tridiag { sub, diag, sup })
+    }
+
+    /// Extracts the three diagonals of a CSR matrix, or `None` if the
+    /// matrix is not square-tridiagonal.
+    pub fn from_csr(a: &Csr) -> Option<Self> {
+        if !a.is_tridiagonal() || a.rows() == 0 {
+            return None;
+        }
+        let n = a.rows();
+        let mut sub = vec![0.0; n - 1];
+        let mut diag = vec![0.0; n];
+        let mut sup = vec![0.0; n - 1];
+        for r in 0..n {
+            for (c, v) in a.iter_row(r) {
+                if c == r {
+                    diag[r] = v;
+                } else if c + 1 == r {
+                    sub[c] = v;
+                } else {
+                    sup[r] = v;
+                }
+            }
+        }
+        Some(Tridiag { sub, diag, sup })
+    }
+
+    /// Dimension of the system.
+    pub fn n(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Matrix–vector product `A x` in `O(n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.n()`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.n();
+        if x.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, 1),
+                found: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = self.diag[i] * x[i];
+            if i > 0 {
+                acc += self.sub[i - 1] * x[i - 1];
+            }
+            if i + 1 < n {
+                acc += self.sup[i] * x[i + 1];
+            }
+            y[i] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Solves `A x = b` with the Thomas algorithm (Gaussian elimination
+    /// without pivoting, `O(n)` time and memory).
+    ///
+    /// The sweep is numerically safe for the diagonally dominant and the
+    /// generator-shaped systems this workspace produces; a vanishing
+    /// pivot is reported as [`LinalgError::Singular`] so callers can fall
+    /// back to the pivoted dense path.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `b.len() != self.n()`.
+    /// * [`LinalgError::Singular`] on a vanishing pivot.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.n();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (n, 1),
+                found: (b.len(), 1),
+            });
+        }
+        // Forward sweep on copies of the superdiagonal and rhs.
+        let mut c = vec![0.0; n];
+        let mut d = vec![0.0; n];
+        let scale0 = 1.0 + self.diag[0].abs() + self.sup.first().map_or(0.0, |v| v.abs());
+        if self.diag[0].abs() < PIVOT_TOL * scale0 {
+            return Err(LinalgError::Singular { pivot: 0 });
+        }
+        c[0] = self.sup.first().map_or(0.0, |v| v / self.diag[0]);
+        d[0] = b[0] / self.diag[0];
+        for i in 1..n {
+            let denom = self.diag[i] - self.sub[i - 1] * c[i - 1];
+            let scale = 1.0 + self.diag[i].abs() + self.sub[i - 1].abs();
+            if denom.abs() < PIVOT_TOL * scale {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            if i + 1 < n {
+                c[i] = self.sup[i] / denom;
+            }
+            d[i] = (b[i] - self.sub[i - 1] * d[i - 1]) / denom;
+        }
+        // Back substitution, reusing `d` as the solution vector.
+        for i in (0..n - 1).rev() {
+            d[i] -= c[i] * d[i + 1];
+        }
+        Ok(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{max_abs_diff, Lu, Matrix};
+
+    fn dense_of(t: &Tridiag) -> Matrix {
+        let n = t.n();
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = t.diag[i];
+            if i + 1 < n {
+                m[(i, i + 1)] = t.sup[i];
+                m[(i + 1, i)] = t.sub[i];
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(Tridiag::new(vec![], vec![], vec![]).is_err());
+        assert!(Tridiag::new(vec![1.0], vec![1.0], vec![]).is_err());
+        assert!(Tridiag::new(vec![], vec![1.0], vec![]).is_ok());
+    }
+
+    #[test]
+    fn one_by_one_system() {
+        let t = Tridiag::new(vec![], vec![4.0], vec![]).unwrap();
+        assert_eq!(t.solve(&[8.0]).unwrap(), vec![2.0]);
+        assert_eq!(t.matvec(&[3.0]).unwrap(), vec![12.0]);
+    }
+
+    #[test]
+    fn solve_matches_dense_lu() {
+        let t = Tridiag::new(
+            vec![1.0, -0.5, 2.0],
+            vec![4.0, 5.0, 6.0, 4.5],
+            vec![-1.0, 1.5, 0.25],
+        )
+        .unwrap();
+        let b = [1.0, -2.0, 3.0, 0.5];
+        let x = t.solve(&b).unwrap();
+        let dense = Lu::factor(&dense_of(&t)).unwrap().solve(&b).unwrap();
+        assert!(max_abs_diff(&x, &dense) < 1e-12, "{x:?} vs {dense:?}");
+        // Residual check.
+        let r = t.matvec(&x).unwrap();
+        assert!(max_abs_diff(&r, &b) < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        // Row 1 becomes exactly zero after elimination.
+        let t = Tridiag::new(vec![1.0], vec![1.0, 1.0], vec![1.0]).unwrap();
+        assert!(matches!(
+            t.solve(&[1.0, 1.0]),
+            Err(LinalgError::Singular { pivot: 1 })
+        ));
+        let t = Tridiag::new(vec![1.0], vec![0.0, 1.0], vec![1.0]).unwrap();
+        assert!(matches!(
+            t.solve(&[1.0, 1.0]),
+            Err(LinalgError::Singular { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_rhs_length() {
+        let t = Tridiag::new(vec![1.0], vec![2.0, 2.0], vec![1.0]).unwrap();
+        assert!(t.solve(&[1.0]).is_err());
+        assert!(t.matvec(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn from_csr_roundtrip() {
+        let a = Csr::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, -2.0),
+                (0, 1, 2.0),
+                (1, 0, 1.0),
+                (1, 1, -3.0),
+                (1, 2, 2.0),
+                (2, 1, 1.0),
+                (2, 2, -1.0),
+            ],
+        )
+        .unwrap();
+        let t = Tridiag::from_csr(&a).unwrap();
+        assert_eq!(t.n(), 3);
+        assert_eq!(Csr::from_dense(&dense_of(&t)), a);
+        let not_tri = Csr::from_triplets(3, 3, &[(0, 2, 1.0)]).unwrap();
+        assert!(Tridiag::from_csr(&not_tri).is_none());
+        assert!(Tridiag::from_csr(&Csr::zeros(0, 0)).is_none());
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let t = Tridiag::new(vec![0.5, -1.0], vec![2.0, 3.0, 1.0], vec![1.0, 0.25]).unwrap();
+        let x = [1.0, -1.0, 2.0];
+        let via_dense = dense_of(&t).matvec(&x).unwrap();
+        assert_eq!(t.matvec(&x).unwrap(), via_dense);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::{max_abs_diff, Lu};
+    use proptest::prelude::*;
+
+    /// Diagonally dominant tridiagonal systems of dimension 1..=40 with a
+    /// known solution.
+    fn dd_tridiag() -> impl Strategy<Value = (Tridiag, Vec<f64>)> {
+        (1usize..=40).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(-1.0f64..1.0, n.saturating_sub(1)),
+                proptest::collection::vec(-1.0f64..1.0, n.saturating_sub(1)),
+                proptest::collection::vec(-5.0f64..5.0, n),
+            )
+                .prop_map(move |(sub, sup, x)| {
+                    let mut diag = vec![0.0; n];
+                    for i in 0..n {
+                        let mut off = 0.0;
+                        if i > 0 {
+                            off += sub[i - 1].abs();
+                        }
+                        if i + 1 < n {
+                            off += sup[i].abs();
+                        }
+                        diag[i] = off + 1.0;
+                    }
+                    (Tridiag::new(sub, diag, sup).unwrap(), x)
+                })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn thomas_recovers_solution((t, x_true) in dd_tridiag()) {
+            let b = t.matvec(&x_true).unwrap();
+            let x = t.solve(&b).unwrap();
+            prop_assert!(max_abs_diff(&x, &x_true) < 1e-9);
+        }
+
+        #[test]
+        fn thomas_matches_dense_lu((t, x_true) in dd_tridiag()) {
+            let b = t.matvec(&x_true).unwrap();
+            let x = t.solve(&b).unwrap();
+            let n = t.n();
+            let mut dense = crate::Matrix::zeros(n, n);
+            // Rebuild densely from matvec columns (n small).
+            for j in 0..n {
+                let mut e = vec![0.0; n];
+                e[j] = 1.0;
+                let col = t.matvec(&e).unwrap();
+                for i in 0..n {
+                    dense[(i, j)] = col[i];
+                }
+            }
+            let via_lu = Lu::factor(&dense).unwrap().solve(&b).unwrap();
+            prop_assert!(max_abs_diff(&x, &via_lu) < 1e-9);
+        }
+    }
+}

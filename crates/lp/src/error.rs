@@ -34,7 +34,10 @@ impl fmt::Display for LpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LpError::Infeasible { residual } => {
-                write!(f, "linear program is infeasible (phase-1 residual {residual:.3e})")
+                write!(
+                    f,
+                    "linear program is infeasible (phase-1 residual {residual:.3e})"
+                )
             }
             LpError::Unbounded { column } => {
                 write!(f, "linear program is unbounded along column {column}")
@@ -63,7 +66,9 @@ mod tests {
         assert!(LpError::IterationLimit { limit: 10 }
             .to_string()
             .contains("10"));
-        assert!(LpError::InvalidModel("bad".into()).to_string().contains("bad"));
+        assert!(LpError::InvalidModel("bad".into())
+            .to_string()
+            .contains("bad"));
         assert!(!LpError::EmptyProblem.to_string().is_empty());
     }
 

@@ -8,9 +8,17 @@
 //! scratch:
 //!
 //! * [`LpProblem`] — a small modelling API: variables with bounds, linear
-//!   constraints (`≤`, `≥`, `=`), minimize or maximize,
-//! * a dense **two-phase primal simplex** with Dantzig pricing and an
-//!   automatic switch to Bland's rule on stalls (anti-cycling),
+//!   constraints (`≤`, `≥`, `=`) added one at a time, as `(row, var,
+//!   coeff)` triplet batches, or as whole CSR matrices
+//!   ([`LpProblem::add_constraints_csr`]), minimize or maximize,
+//! * **sparse standard-form assembly** ([`assembly`]): conversion to
+//!   `min c·x, Ax = b, x ≥ 0` builds `A` in CSR storage — `O(nnz)`, so
+//!   the block-diagonal occupation-measure constraints are never
+//!   densified (a dense assembly twin survives for benchmarking),
+//! * a **two-phase primal simplex** with Dantzig pricing and an
+//!   automatic switch to Bland's rule on stalls (anti-cycling); only the
+//!   solver's working tableau is dense, and it drops artificial columns
+//!   after phase 1,
 //! * [`LpSolution`] — primal values, objective, dual prices and reduced
 //!   costs recovered from the final basis (via an LU solve against the
 //!   original constraint matrix, not the mutated tableau),
@@ -43,10 +51,12 @@
 //! # }
 //! ```
 
+pub mod assembly;
 mod error;
 mod problem;
 mod simplex;
 mod solution;
+mod standard_form;
 mod verify;
 
 pub use error::LpError;

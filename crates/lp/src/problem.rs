@@ -1,5 +1,7 @@
 use std::fmt;
 
+use socbuf_linalg::Csr;
+
 use crate::simplex::{solve_standard, SimplexOptions};
 use crate::solution::LpSolution;
 use crate::LpError;
@@ -119,9 +121,15 @@ impl LpProblem {
         upper: Option<f64>,
     ) -> VarId {
         assert!(lower.is_finite(), "lower bound must be finite");
-        assert!(objective.is_finite(), "objective coefficient must be finite");
+        assert!(
+            objective.is_finite(),
+            "objective coefficient must be finite"
+        );
         if let Some(u) = upper {
-            assert!(u.is_finite() && u >= lower, "upper bound must be finite and >= lower");
+            assert!(
+                u.is_finite() && u >= lower,
+                "upper bound must be finite and >= lower"
+            );
         }
         let id = VarId(self.names.len());
         self.names.push(name.into());
@@ -165,6 +173,136 @@ impl LpProblem {
             }
             dense.push((v.0, c));
         }
+        Ok(self.push_row_sorted(dense, relation, rhs))
+    }
+
+    /// Adds a batch of `relations.len()` constraint rows from
+    /// `(row, var, coeff)` triplets — the sparse assembly path used by
+    /// the occupation-measure formulations. Row indices are relative to
+    /// this batch (`0..relations.len()`); triplets may arrive in any
+    /// order and duplicates accumulate. Rows with no triplets become
+    /// empty constraints (`0 relation rhs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::InvalidModel`] if `relations` and `rhs` have
+    /// different lengths, a triplet indexes an unknown variable or an
+    /// out-of-range row, or any coefficient or right-hand side is
+    /// non-finite.
+    pub fn add_constraints_from_triplets(
+        &mut self,
+        triplets: impl IntoIterator<Item = (usize, VarId, f64)>,
+        relations: &[Relation],
+        rhs: &[f64],
+    ) -> Result<Vec<RowId>, LpError> {
+        if relations.len() != rhs.len() {
+            return Err(LpError::InvalidModel(format!(
+                "{} relations but {} right-hand sides",
+                relations.len(),
+                rhs.len()
+            )));
+        }
+        let num_rows = relations.len();
+        for &r in rhs {
+            if !r.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "right-hand side {r} is not finite"
+                )));
+            }
+        }
+        let mut buckets: Vec<Vec<(usize, f64)>> = vec![Vec::new(); num_rows];
+        for (row, v, c) in triplets {
+            if row >= num_rows {
+                return Err(LpError::InvalidModel(format!(
+                    "triplet row {row} out of range (batch has {num_rows} rows)"
+                )));
+            }
+            if v.0 >= self.names.len() {
+                return Err(LpError::InvalidModel(format!(
+                    "variable id {} does not belong to this problem",
+                    v.0
+                )));
+            }
+            if !c.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "coefficient {c} of variable '{}' is not finite",
+                    self.names[v.0]
+                )));
+            }
+            buckets[row].push((v.0, c));
+        }
+        let mut ids = Vec::with_capacity(num_rows);
+        for ((bucket, &relation), &r) in buckets.into_iter().zip(relations).zip(rhs) {
+            ids.push(self.push_row_sorted(bucket, relation, r));
+        }
+        Ok(ids)
+    }
+
+    /// Adds one constraint row per CSR row: row `i` of `a` becomes
+    /// `Σ_j a[i, j]·x_j  relations[i]  rhs[i]`, where CSR columns index
+    /// variables in creation order. This is the zero-copy end of the
+    /// sparse assembly path: CSR rows are already sorted and
+    /// deduplicated, so no per-row normalization work is done.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::InvalidModel`] if the shapes disagree
+    /// (`a.rows() == relations.len() == rhs.len()` is required), `a` has
+    /// more columns than the problem has variables, or any stored value
+    /// or right-hand side is non-finite.
+    pub fn add_constraints_csr(
+        &mut self,
+        a: &Csr,
+        relations: &[Relation],
+        rhs: &[f64],
+    ) -> Result<Vec<RowId>, LpError> {
+        if a.rows() != relations.len() || a.rows() != rhs.len() {
+            return Err(LpError::InvalidModel(format!(
+                "CSR has {} rows but {} relations and {} right-hand sides",
+                a.rows(),
+                relations.len(),
+                rhs.len()
+            )));
+        }
+        if a.cols() > self.names.len() {
+            return Err(LpError::InvalidModel(format!(
+                "CSR has {} columns but the problem has {} variables",
+                a.cols(),
+                self.names.len()
+            )));
+        }
+        for &r in rhs {
+            if !r.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "right-hand side {r} is not finite"
+                )));
+            }
+        }
+        if !a.is_finite() {
+            return Err(LpError::InvalidModel(
+                "CSR constraint matrix has non-finite entries".into(),
+            ));
+        }
+        let mut ids = Vec::with_capacity(a.rows());
+        for ((i, &relation), &r) in (0..a.rows()).zip(relations).zip(rhs) {
+            let id = RowId(self.rows.len());
+            self.rows.push(Row {
+                terms: a.iter_row(i).collect(),
+                relation,
+                rhs: r,
+            });
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Sorts, accumulates duplicates and drops zeros, then stores the row.
+    fn push_row_sorted(
+        &mut self,
+        mut dense: Vec<(usize, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) -> RowId {
         dense.sort_by_key(|&(i, _)| i);
         let mut terms: Vec<(usize, f64)> = Vec::with_capacity(dense.len());
         for (i, c) in dense {
@@ -180,7 +318,7 @@ impl LpProblem {
             relation,
             rhs,
         });
-        Ok(id)
+        id
     }
 
     /// Optimization sense of this problem.
@@ -353,6 +491,111 @@ mod tests {
     fn bad_bounds_panic() {
         let mut p = LpProblem::new(Sense::Minimize);
         p.add_var_bounded("x", 0.0, 2.0, Some(1.0));
+    }
+
+    #[test]
+    fn triplet_batches_build_sorted_rows() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 1.0);
+        // Two rows at once, triplets out of order, one duplicate.
+        let ids = p
+            .add_constraints_from_triplets(
+                [
+                    (1, y, 2.0),
+                    (0, y, 1.0),
+                    (0, x, 3.0),
+                    (1, y, -1.0),
+                    (1, x, 4.0),
+                ],
+                &[Relation::Eq, Relation::Le],
+                &[1.0, 5.0],
+            )
+            .unwrap();
+        assert_eq!(ids.len(), 2);
+        let (terms, rel, rhs) = p.row(ids[0]);
+        assert_eq!((rel, rhs), (Relation::Eq, 1.0));
+        assert_eq!(terms, vec![(x, 3.0), (y, 1.0)]);
+        let (terms, rel, rhs) = p.row(ids[1]);
+        assert_eq!((rel, rhs), (Relation::Le, 5.0));
+        assert_eq!(terms, vec![(x, 4.0), (y, 1.0)]); // 2 − 1 accumulated
+    }
+
+    #[test]
+    fn triplet_batches_validate() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 1.0);
+        // Shape mismatch.
+        assert!(p
+            .add_constraints_from_triplets([(0, x, 1.0)], &[Relation::Le], &[])
+            .is_err());
+        // Row out of range.
+        assert!(p
+            .add_constraints_from_triplets([(1, x, 1.0)], &[Relation::Le], &[1.0])
+            .is_err());
+        // Foreign variable.
+        assert!(p
+            .add_constraints_from_triplets([(0, VarId(9), 1.0)], &[Relation::Le], &[1.0])
+            .is_err());
+        // Non-finite data.
+        assert!(p
+            .add_constraints_from_triplets([(0, x, f64::NAN)], &[Relation::Le], &[1.0])
+            .is_err());
+        assert!(p
+            .add_constraints_from_triplets([(0, x, 1.0)], &[Relation::Le], &[f64::INFINITY])
+            .is_err());
+        assert_eq!(p.num_rows(), 0, "failed batches must not add rows");
+    }
+
+    #[test]
+    fn csr_rows_become_constraints() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 1.0);
+        let a = Csr::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, -2.0), (1, 1, 3.0)]).unwrap();
+        let ids = p
+            .add_constraints_csr(&a, &[Relation::Eq, Relation::Ge], &[0.0, 6.0])
+            .unwrap();
+        let (terms, rel, _) = p.row(ids[0]);
+        assert_eq!(rel, Relation::Eq);
+        assert_eq!(terms, vec![(x, 1.0), (y, -2.0)]);
+        let (terms, _, rhs) = p.row(ids[1]);
+        assert_eq!(rhs, 6.0);
+        assert_eq!(terms, vec![(y, 3.0)]);
+
+        // Shape and bounds validation.
+        assert!(p.add_constraints_csr(&a, &[Relation::Eq], &[0.0]).is_err());
+        let wide = Csr::zeros(1, 5);
+        assert!(p
+            .add_constraints_csr(&wide, &[Relation::Eq], &[0.0])
+            .is_err());
+    }
+
+    #[test]
+    fn csr_and_term_constraints_solve_identically() {
+        // The same LP through both input paths must give the same optimum.
+        let build_terms = || {
+            let mut p = LpProblem::new(Sense::Maximize);
+            let x = p.add_var("x", 3.0);
+            let y = p.add_var("y", 5.0);
+            p.add_constraint([(x, 1.0)], Relation::Le, 4.0).unwrap();
+            p.add_constraint([(y, 2.0)], Relation::Le, 12.0).unwrap();
+            p.add_constraint([(x, 3.0), (y, 2.0)], Relation::Le, 18.0)
+                .unwrap();
+            p
+        };
+        let mut via_csr = LpProblem::new(Sense::Maximize);
+        via_csr.add_var("x", 3.0);
+        via_csr.add_var("y", 5.0);
+        let a = Csr::from_triplets(3, 2, &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0), (2, 1, 2.0)])
+            .unwrap();
+        via_csr
+            .add_constraints_csr(&a, &[Relation::Le; 3], &[4.0, 12.0, 18.0])
+            .unwrap();
+        let s1 = build_terms().solve().unwrap();
+        let s2 = via_csr.solve().unwrap();
+        assert!((s1.objective() - s2.objective()).abs() < 1e-9);
+        assert_eq!(s1.values(), s2.values());
     }
 
     #[test]

@@ -1,8 +1,13 @@
-//! Two-phase dense primal simplex.
+//! Two-phase primal simplex over a sparse-assembled standard form.
 //!
-//! The implementation keeps a full tableau (constraint matrix, right-hand
-//! side, reduced-cost row) in canonical form with respect to the current
-//! basis. Phase 1 minimizes the sum of artificial variables from an
+//! Problem data arrives as a CSR [`StandardForm`] (see
+//! [`crate::standard_form`]) so assembly stays `O(nnz)`; the solver then
+//! keeps a full dense tableau (constraint matrix, right-hand side,
+//! reduced-cost row) in canonical form with respect to the current basis
+//! — pivoting fills in sparsity, so the working tableau is the one
+//! deliberately dense object on the path, and it is trimmed to the
+//! surviving columns after phase 1 (artificials are physically dropped).
+//! Phase 1 minimizes the sum of artificial variables from an
 //! all-slack/all-artificial start; phase 2 minimizes the real objective.
 //! Pricing is Dantzig's rule with an automatic switch to Bland's rule
 //! after a run of degenerate pivots (guaranteeing termination), switching
@@ -10,9 +15,10 @@
 
 use socbuf_linalg::Matrix;
 
-use crate::problem::{LpProblem, Relation};
 use crate::solution::LpSolution;
-use crate::{LpError, Sense};
+use crate::standard_form::{build_standard_form, StandardForm};
+use crate::LpError;
+use crate::LpProblem;
 
 /// Tuning knobs for the simplex solver.
 #[derive(Debug, Clone)]
@@ -45,139 +51,6 @@ impl Default for SimplexOptions {
             perturbation: 0.0,
         }
     }
-}
-
-/// The problem rewritten as `min c·x  s.t.  A x = b, x ≥ 0, b ≥ 0`,
-/// including slack/surplus columns but *not* artificial columns, together
-/// with the bookkeeping needed to map a basic solution back to the user's
-/// variables, rows and duals.
-pub(crate) struct StandardForm {
-    pub a: Matrix,
-    pub b: Vec<f64>,
-    pub c: Vec<f64>,
-    /// `+1.0` if the standard-form row kept the user's orientation,
-    /// `-1.0` if it was negated to make `b ≥ 0`.
-    pub row_sign: Vec<f64>,
-    /// For each standard-form row, the user row it came from, or `None`
-    /// for an upper-bound row.
-    pub row_origin: Vec<Option<usize>>,
-    /// Lower-bound shift applied to each structural variable.
-    pub shift: Vec<f64>,
-    /// `true` if the user's sense was `Maximize` (objective was negated).
-    pub negated_obj: bool,
-    /// Rows that need an artificial variable (Eq, or Ge after sign fix).
-    pub needs_artificial: Vec<bool>,
-    /// Column index of the slack/surplus for each row, if any.
-    pub slack_col: Vec<Option<usize>>,
-}
-
-pub(crate) fn build_standard_form(p: &LpProblem) -> Result<StandardForm, LpError> {
-    let n = p.num_vars();
-    let shift: Vec<f64> = p.lower_vec().to_vec();
-
-    // Collect rows: user constraints plus one `x ≤ upper - lower` row per
-    // upper-bounded variable.
-    struct RawRow {
-        terms: Vec<(usize, f64)>,
-        relation: Relation,
-        rhs: f64,
-        origin: Option<usize>,
-    }
-    let mut raw: Vec<RawRow> = Vec::with_capacity(p.rows.len());
-    for (ri, row) in p.rows.iter().enumerate() {
-        // Shift rhs by the lower bounds: sum a_j (l_j + x'_j) rel rhs.
-        let mut rhs = row.rhs;
-        for &(j, cj) in &row.terms {
-            rhs -= cj * shift[j];
-        }
-        raw.push(RawRow {
-            terms: row.terms.clone(),
-            relation: row.relation,
-            rhs,
-            origin: Some(ri),
-        });
-    }
-    for (j, ub) in p.upper_vec().iter().enumerate() {
-        if let Some(u) = ub {
-            raw.push(RawRow {
-                terms: vec![(j, 1.0)],
-                relation: Relation::Le,
-                rhs: u - shift[j],
-                origin: None,
-            });
-        }
-    }
-
-    let m = raw.len();
-    // Column layout: structural vars, then one slack/surplus per Le/Ge row.
-    let mut slack_col = vec![None; m];
-    let mut ncols = n;
-    let mut row_sign = vec![1.0; m];
-    let mut needs_artificial = vec![false; m];
-
-    // First pass: orient rows so b >= 0, decide slack/surplus/artificial.
-    for (i, r) in raw.iter_mut().enumerate() {
-        if r.rhs < 0.0 {
-            r.rhs = -r.rhs;
-            for t in r.terms.iter_mut() {
-                t.1 = -t.1;
-            }
-            r.relation = match r.relation {
-                Relation::Le => Relation::Ge,
-                Relation::Ge => Relation::Le,
-                Relation::Eq => Relation::Eq,
-            };
-            row_sign[i] = -1.0;
-        }
-        match r.relation {
-            Relation::Le => {
-                slack_col[i] = Some(ncols);
-                ncols += 1;
-            }
-            Relation::Ge => {
-                slack_col[i] = Some(ncols);
-                ncols += 1;
-                needs_artificial[i] = true;
-            }
-            Relation::Eq => {
-                needs_artificial[i] = true;
-            }
-        }
-    }
-
-    let mut a = Matrix::zeros(m, ncols);
-    let mut b = vec![0.0; m];
-    for (i, r) in raw.iter().enumerate() {
-        for &(j, cj) in &r.terms {
-            a[(i, j)] += cj;
-        }
-        if let Some(sc) = slack_col[i] {
-            a[(i, sc)] = match r.relation {
-                Relation::Le => 1.0,
-                Relation::Ge => -1.0,
-                Relation::Eq => unreachable!("eq rows have no slack"),
-            };
-        }
-        b[i] = r.rhs;
-    }
-
-    let negated_obj = p.sense() == Sense::Maximize;
-    let mut c = vec![0.0; ncols];
-    for (j, &cj) in p.obj_vec().iter().enumerate() {
-        c[j] = if negated_obj { -cj } else { cj };
-    }
-
-    Ok(StandardForm {
-        a,
-        b,
-        c,
-        row_sign,
-        row_origin: raw.iter().map(|r| r.origin).collect(),
-        shift,
-        negated_obj,
-        needs_artificial,
-        slack_col,
-    })
 }
 
 /// Final state of a simplex run, in standard-form coordinates.
@@ -316,9 +189,12 @@ impl Tableau {
     /// ratio; pass 2 picks, among rows within a small relative window of
     /// it, the one with the largest pivot element — which keeps the
     /// factors bounded and avoids the tiny-pivot death spiral on
-    /// near-degenerate problems. Returns `None` if the column is
-    /// unbounded.
-    fn leave(&self, col: usize) -> Option<usize> {
+    /// near-degenerate problems. Under `bland` the tie-break flips to
+    /// the smallest basis index: Bland's rule only guarantees
+    /// termination when it governs **both** the entering and the
+    /// leaving choice, so the stalled regime must use it here too.
+    /// Returns `None` if the column is unbounded.
+    fn leave(&self, col: usize, bland: bool) -> Option<usize> {
         let mut min_ratio = f64::INFINITY;
         for i in 0..self.a.rows() {
             if !self.active[i] {
@@ -340,13 +216,18 @@ impl Tableau {
             }
             let aij = self.a[(i, col)];
             if aij > self.tol && self.b[i] / aij <= min_ratio + window {
-                match best {
-                    None => best = Some((i, aij)),
+                let better = match best {
+                    None => true,
                     Some((bi, bv)) => {
-                        if aij > bv || (aij == bv && self.basis[i] < self.basis[bi]) {
-                            best = Some((i, aij));
+                        if bland {
+                            self.basis[i] < self.basis[bi]
+                        } else {
+                            aij > bv || (aij == bv && self.basis[i] < self.basis[bi])
                         }
                     }
+                };
+                if better {
+                    best = Some((i, aij));
                 }
             }
         }
@@ -374,7 +255,8 @@ fn run_phase(
                 limit: max_iterations,
             });
         }
-        let enter = if stall >= stall_switch {
+        let stalled = stall >= stall_switch;
+        let enter = if stalled {
             t.enter_bland()
         } else {
             t.enter_dantzig()
@@ -382,7 +264,7 @@ fn run_phase(
         let Some(col) = enter else {
             return Ok(PhaseOutcome::Optimal);
         };
-        let Some(row) = t.leave(col) else {
+        let Some(row) = t.leave(col, stalled) else {
             return Ok(PhaseOutcome::Unbounded(col));
         };
         let degenerate = t.b[row].abs() <= t.tol;
@@ -422,11 +304,12 @@ pub(crate) fn run_simplex(
         options.max_iterations
     };
 
-    // Assemble the phase-1 tableau: [A | I_artificial].
+    // Assemble the phase-1 tableau [A | I_artificial] by scattering the
+    // CSR rows — O(nnz) writes into the (deliberately dense) tableau.
     let mut a = Matrix::zeros(m, total);
     for i in 0..m {
-        for j in 0..n_sf {
-            a[(i, j)] = sf.a[(i, j)];
+        for (j, v) in sf.a.iter_row(i) {
+            a[(i, j)] = v;
         }
     }
     let mut basis = vec![usize::MAX; m];
@@ -499,9 +382,7 @@ pub(crate) fn run_simplex(
             .filter(|&i| t.active[i] && t.basis[i] >= n_sf)
             .map(|i| t.b[i])
             .sum();
-        let infeas_threshold = tol
-            .max(1e-7)
-            .max(options.perturbation * 50.0 * m as f64);
+        let infeas_threshold = tol.max(1e-7).max(options.perturbation * 50.0 * m as f64);
         if phase1_obj > infeas_threshold {
             return Err(LpError::Infeasible {
                 residual: phase1_obj,
@@ -593,39 +474,52 @@ pub(crate) fn solve_standard(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{LpProblem, Relation, Sense};
+    use crate::{Relation, Sense};
 
     #[test]
-    fn standard_form_orients_negative_rhs() {
+    fn beale_cycling_example_terminates_at_optimum() {
+        // Beale's classic degenerate LP, the textbook simplex cycler.
+        // With perturbation off (the default), termination rests on the
+        // stall switch applying Bland's rule to BOTH pivot choices.
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x1 = p.add_var("x1", -0.75);
+        let x2 = p.add_var("x2", 150.0);
+        let x3 = p.add_var("x3", -0.02);
+        let x4 = p.add_var("x4", 6.0);
+        p.add_constraint(
+            [(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
+        p.add_constraint(
+            [(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
+        p.add_constraint([(x3, 1.0)], Relation::Le, 1.0).unwrap();
+        let sol = p.solve().unwrap();
+        assert!(
+            (sol.objective() - (-0.05)).abs() < 1e-9,
+            "objective {}",
+            sol.objective()
+        );
+        assert!((sol.value(x3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tableau_is_filled_from_sparse_standard_form() {
         let mut p = LpProblem::new(Sense::Minimize);
         let x = p.add_var("x", 1.0);
-        p.add_constraint([(x, 1.0)], Relation::Le, -2.0).unwrap();
+        let y = p.add_var("y", 2.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Eq, 1.0)
+            .unwrap();
+        p.add_constraint([(x, 1.0)], Relation::Le, 0.75).unwrap();
         let sf = build_standard_form(&p).unwrap();
-        assert_eq!(sf.b, vec![2.0]);
-        assert_eq!(sf.row_sign, vec![-1.0]);
-        // Negated Le becomes Ge: surplus plus artificial.
-        assert!(sf.needs_artificial[0]);
-        assert_eq!(sf.a[(0, 0)], -1.0);
-        assert_eq!(sf.a[(0, 1)], -1.0); // Ge rows carry a surplus column (−1)
-    }
-
-    #[test]
-    fn standard_form_adds_upper_bound_rows() {
-        let mut p = LpProblem::new(Sense::Minimize);
-        let _x = p.add_var_bounded("x", 1.0, 1.0, Some(4.0));
-        let sf = build_standard_form(&p).unwrap();
-        assert_eq!(sf.a.rows(), 1);
-        assert_eq!(sf.row_origin[0], None);
-        assert_eq!(sf.b[0], 3.0); // 4 - lower bound 1
-        assert_eq!(sf.shift, vec![1.0]);
-    }
-
-    #[test]
-    fn maximization_negates_costs() {
-        let mut p = LpProblem::new(Sense::Maximize);
-        let _x = p.add_var("x", 5.0);
-        let sf = build_standard_form(&p).unwrap();
-        assert!(sf.negated_obj);
-        assert_eq!(sf.c[0], -5.0);
+        let basic = run_simplex(&sf, &SimplexOptions::default()).unwrap();
+        // min x + 2y on the simplex x + y = 1, x ≤ 0.75 → x = 0.75.
+        assert!((basic.x[0] - 0.75).abs() < 1e-9);
+        assert!((basic.x[1] - 0.25).abs() < 1e-9);
     }
 }

@@ -1,7 +1,8 @@
 use socbuf_linalg::{Lu, Matrix};
 
 use crate::problem::{LpProblem, RowId, VarId};
-use crate::simplex::{BasicSolution, StandardForm};
+use crate::simplex::BasicSolution;
+use crate::standard_form::StandardForm;
 use crate::LpError;
 
 /// An optimal basic solution of an [`LpProblem`].
@@ -41,36 +42,41 @@ impl LpSolution {
         for j in 0..n {
             values[j] = sf.shift[j] + basic.x[j];
         }
-        let objective: f64 = p
-            .obj_vec()
-            .iter()
-            .zip(&values)
-            .map(|(c, x)| c * x)
-            .sum();
+        let objective: f64 = p.obj_vec().iter().zip(&values).map(|(c, x)| c * x).sum();
 
         // --- Recover duals from the final basis: solve Bᵀ y = c_B. ----
-        let active_rows: Vec<usize> = (0..sf.a.rows())
-            .filter(|&i| basic.row_active[i])
-            .collect();
+        // The basis matrix is gathered from the CSR standard form by one
+        // row sweep (scatter entries whose column is basic) instead of
+        // dense column probing.
+        let active_rows: Vec<usize> = (0..sf.a.rows()).filter(|&i| basic.row_active[i]).collect();
         let m_act = active_rows.len();
         let mut y_by_row = vec![0.0; sf.a.rows()];
         if m_act > 0 {
-            let mut bmat = Matrix::zeros(m_act, m_act);
+            // Map standard-form column -> position of the basic column in
+            // the (active) basis matrix.
+            let mut col_pos = vec![usize::MAX; sf.a.cols()];
             let mut cb = vec![0.0; m_act];
             for (pos_col, &i) in active_rows.iter().enumerate() {
                 let col = basic.basis[i];
                 debug_assert!(col < sf.a.cols(), "artificial left in active basis");
-                for (pos_row, &r) in active_rows.iter().enumerate() {
-                    bmat[(pos_row, pos_col)] = sf.a[(r, col)];
-                }
+                col_pos[col] = pos_col;
                 cb[pos_col] = sf.c[col];
+            }
+            let mut bmat = Matrix::zeros(m_act, m_act);
+            for (pos_row, &r) in active_rows.iter().enumerate() {
+                for (col, v) in sf.a.iter_row(r) {
+                    let pos_col = col_pos[col];
+                    if pos_col != usize::MAX {
+                        bmat[(pos_row, pos_col)] = v;
+                    }
+                }
             }
             let lu = Lu::factor(&bmat).map_err(|e| {
                 LpError::InvalidModel(format!("final basis is numerically singular: {e}"))
             })?;
-            let y = lu.solve_transpose(&cb).map_err(|e| {
-                LpError::InvalidModel(format!("dual solve failed: {e}"))
-            })?;
+            let y = lu
+                .solve_transpose(&cb)
+                .map_err(|e| LpError::InvalidModel(format!("dual solve failed: {e}")))?;
             for (pos, &i) in active_rows.iter().enumerate() {
                 y_by_row[i] = y[pos];
             }
@@ -86,16 +92,22 @@ impl LpSolution {
         }
 
         // Reduced costs w.r.t. user rows only (upper-bound shadow prices
-        // folded out): d_j = c_j − Σ_{user rows} y_i a_ij.
-        let mut reduced = vec![0.0; n];
-        for j in 0..n {
-            let mut d = sf.c[j];
-            for i in 0..sf.a.rows() {
-                if sf.row_origin[i].is_some() && y_by_row[i] != 0.0 {
-                    d -= y_by_row[i] * sf.a[(i, j)];
+        // folded out): d_j = c_j − Σ_{user rows} y_i a_ij, accumulated by
+        // scattering each CSR row once — O(nnz).
+        let mut reduced: Vec<f64> = sf.c[..n].to_vec();
+        for i in 0..sf.a.rows() {
+            let y = y_by_row[i];
+            if sf.row_origin[i].is_none() || y == 0.0 {
+                continue;
+            }
+            for (j, v) in sf.a.iter_row(i) {
+                if j < n {
+                    reduced[j] -= y * v;
                 }
             }
-            reduced[j] = obj_sign * d;
+        }
+        for d in reduced.iter_mut() {
+            *d *= obj_sign;
         }
 
         let mut basic_flags = vec![false; n];

@@ -1,0 +1,279 @@
+//! Standard-form conversion: `min c·x  s.t.  A x = b, x ≥ 0, b ≥ 0`.
+//!
+//! The constraint matrix of the buffer-sizing occupation-measure LP is
+//! block diagonal (one birth–death block per queue) with a handful of
+//! coupling rows, so **conversion must never densify**: the sparse path
+//! assembles `A` directly into [`Csr`] storage in `O(nnz)` time and
+//! memory. A dense twin ([`build_dense_constraint_matrix`]) replicating
+//! the historical `Matrix`-based assembly is kept exclusively so the
+//! benches can measure what the refactor bought.
+
+use socbuf_linalg::{Csr, CsrBuilder, Matrix};
+
+use crate::problem::{LpProblem, Relation};
+use crate::{LpError, Sense};
+
+/// The problem rewritten as `min c·x  s.t.  A x = b, x ≥ 0, b ≥ 0`,
+/// including slack/surplus columns but *not* artificial columns, together
+/// with the bookkeeping needed to map a basic solution back to the user's
+/// variables, rows and duals. `a` is CSR — `O(nnz)`, never `O(m·n)`.
+pub(crate) struct StandardForm {
+    pub a: Csr,
+    pub b: Vec<f64>,
+    pub c: Vec<f64>,
+    /// `+1.0` if the standard-form row kept the user's orientation,
+    /// `-1.0` if it was negated to make `b ≥ 0`.
+    pub row_sign: Vec<f64>,
+    /// For each standard-form row, the user row it came from, or `None`
+    /// for an upper-bound row.
+    pub row_origin: Vec<Option<usize>>,
+    /// Lower-bound shift applied to each structural variable.
+    pub shift: Vec<f64>,
+    /// `true` if the user's sense was `Maximize` (objective was negated).
+    pub negated_obj: bool,
+    /// Rows that need an artificial variable (Eq, or Ge after sign fix).
+    pub needs_artificial: Vec<bool>,
+    /// Column index of the slack/surplus for each row, if any.
+    pub slack_col: Vec<Option<usize>>,
+}
+
+/// One row of the intermediate representation shared by the sparse and
+/// dense assembly paths: the user's constraints plus one
+/// `x ≤ upper − lower` row per upper-bounded variable, shifted by the
+/// lower bounds and oriented so the right-hand side is non-negative.
+struct RawRow {
+    /// Sorted, deduplicated `(col, coeff)` terms.
+    terms: Vec<(usize, f64)>,
+    relation: Relation,
+    rhs: f64,
+    origin: Option<usize>,
+}
+
+struct Oriented {
+    raw: Vec<RawRow>,
+    row_sign: Vec<f64>,
+    needs_artificial: Vec<bool>,
+    slack_col: Vec<Option<usize>>,
+    /// Structural variables + slack/surplus columns.
+    ncols: usize,
+}
+
+fn orient_rows(p: &LpProblem) -> Oriented {
+    let n = p.num_vars();
+    let shift = p.lower_vec();
+
+    let mut raw: Vec<RawRow> = Vec::with_capacity(p.rows.len());
+    for (ri, row) in p.rows.iter().enumerate() {
+        // Shift rhs by the lower bounds: sum a_j (l_j + x'_j) rel rhs.
+        let mut rhs = row.rhs;
+        for &(j, cj) in &row.terms {
+            rhs -= cj * shift[j];
+        }
+        raw.push(RawRow {
+            terms: row.terms.clone(),
+            relation: row.relation,
+            rhs,
+            origin: Some(ri),
+        });
+    }
+    for (j, ub) in p.upper_vec().iter().enumerate() {
+        if let Some(u) = ub {
+            raw.push(RawRow {
+                terms: vec![(j, 1.0)],
+                relation: Relation::Le,
+                rhs: u - shift[j],
+                origin: None,
+            });
+        }
+    }
+
+    let m = raw.len();
+    let mut slack_col = vec![None; m];
+    let mut ncols = n;
+    let mut row_sign = vec![1.0; m];
+    let mut needs_artificial = vec![false; m];
+
+    // Orient rows so b >= 0, decide slack/surplus/artificial.
+    for (i, r) in raw.iter_mut().enumerate() {
+        if r.rhs < 0.0 {
+            r.rhs = -r.rhs;
+            for t in r.terms.iter_mut() {
+                t.1 = -t.1;
+            }
+            r.relation = match r.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+            row_sign[i] = -1.0;
+        }
+        match r.relation {
+            Relation::Le => {
+                slack_col[i] = Some(ncols);
+                ncols += 1;
+            }
+            Relation::Ge => {
+                slack_col[i] = Some(ncols);
+                ncols += 1;
+                needs_artificial[i] = true;
+            }
+            Relation::Eq => {
+                needs_artificial[i] = true;
+            }
+        }
+    }
+
+    Oriented {
+        raw,
+        row_sign,
+        needs_artificial,
+        slack_col,
+        ncols,
+    }
+}
+
+/// Sparse standard-form assembly — the solver's path. `O(nnz)` in both
+/// time and memory.
+pub(crate) fn build_standard_form(p: &LpProblem) -> Result<StandardForm, LpError> {
+    let o = orient_rows(p);
+    let m = o.raw.len();
+
+    let nnz_estimate: usize = o.raw.iter().map(|r| r.terms.len() + 1).sum();
+    let mut builder = CsrBuilder::with_capacity(o.ncols, m, nnz_estimate);
+    let mut b = vec![0.0; m];
+    for (i, r) in o.raw.iter().enumerate() {
+        // Terms are sorted by variable index; the slack column index is
+        // past every structural column, so chaining it keeps the row
+        // sorted for the CSR builder — no intermediate allocation.
+        let slack = o.slack_col[i].map(|sc| {
+            (
+                sc,
+                match r.relation {
+                    Relation::Le => 1.0,
+                    Relation::Ge => -1.0,
+                    Relation::Eq => unreachable!("eq rows have no slack"),
+                },
+            )
+        });
+        builder
+            .push_row_iter(r.terms.iter().copied().chain(slack))
+            .map_err(|e| LpError::InvalidModel(format!("standard-form row {i}: {e}")))?;
+        b[i] = r.rhs;
+    }
+
+    let negated_obj = p.sense() == Sense::Maximize;
+    let mut c = vec![0.0; o.ncols];
+    for (j, &cj) in p.obj_vec().iter().enumerate() {
+        c[j] = if negated_obj { -cj } else { cj };
+    }
+
+    Ok(StandardForm {
+        a: builder.finish(),
+        b,
+        c,
+        row_sign: o.row_sign,
+        row_origin: o.raw.iter().map(|r| r.origin).collect(),
+        shift: p.lower_vec().to_vec(),
+        negated_obj,
+        needs_artificial: o.needs_artificial,
+        slack_col: o.slack_col,
+    })
+}
+
+/// Dense standard-form constraint matrix — the historical assembly path,
+/// kept for the `lp_solver` bench so the sparse/dense cost difference
+/// stays measurable. Allocates the full `m × (n + slacks)` matrix.
+pub(crate) fn build_dense_constraint_matrix(p: &LpProblem) -> Result<Matrix, LpError> {
+    let o = orient_rows(p);
+    let m = o.raw.len();
+    let mut a = Matrix::zeros(m, o.ncols);
+    for (i, r) in o.raw.iter().enumerate() {
+        for &(j, cj) in &r.terms {
+            a[(i, j)] += cj;
+        }
+        if let Some(sc) = o.slack_col[i] {
+            a[(i, sc)] = match r.relation {
+                Relation::Le => 1.0,
+                Relation::Ge => -1.0,
+                Relation::Eq => unreachable!("eq rows have no slack"),
+            };
+        }
+    }
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LpProblem, Relation, Sense};
+
+    #[test]
+    fn standard_form_orients_negative_rhs() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 1.0);
+        p.add_constraint([(x, 1.0)], Relation::Le, -2.0).unwrap();
+        let sf = build_standard_form(&p).unwrap();
+        assert_eq!(sf.b, vec![2.0]);
+        assert_eq!(sf.row_sign, vec![-1.0]);
+        // Negated Le becomes Ge: surplus plus artificial.
+        assert!(sf.needs_artificial[0]);
+        assert_eq!(sf.a.get(0, 0), -1.0);
+        assert_eq!(sf.a.get(0, 1), -1.0); // Ge rows carry a surplus column (−1)
+    }
+
+    #[test]
+    fn standard_form_adds_upper_bound_rows() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let _x = p.add_var_bounded("x", 1.0, 1.0, Some(4.0));
+        let sf = build_standard_form(&p).unwrap();
+        assert_eq!(sf.a.rows(), 1);
+        assert_eq!(sf.row_origin[0], None);
+        assert_eq!(sf.b[0], 3.0); // 4 - lower bound 1
+        assert_eq!(sf.shift, vec![1.0]);
+    }
+
+    #[test]
+    fn maximization_negates_costs() {
+        let mut p = LpProblem::new(Sense::Maximize);
+        let _x = p.add_var("x", 5.0);
+        let sf = build_standard_form(&p).unwrap();
+        assert!(sf.negated_obj);
+        assert_eq!(sf.c[0], -5.0);
+    }
+
+    #[test]
+    fn sparse_and_dense_assembly_agree() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var_bounded("x", 1.0, 0.5, Some(4.0));
+        let y = p.add_var("y", -2.0);
+        let z = p.add_var("z", 0.0);
+        p.add_constraint([(x, 1.0), (y, 2.0)], Relation::Le, 7.0)
+            .unwrap();
+        p.add_constraint([(y, -1.0), (z, 3.0)], Relation::Ge, -1.0)
+            .unwrap();
+        p.add_constraint([(x, 1.0), (z, 1.0)], Relation::Eq, 2.0)
+            .unwrap();
+        let sparse = build_standard_form(&p).unwrap().a;
+        let dense = build_dense_constraint_matrix(&p).unwrap();
+        assert_eq!(sparse.to_dense(), dense);
+        // Block structure is preserved: far fewer stored entries than
+        // the dense footprint.
+        assert!(sparse.nnz() < dense.rows() * dense.cols());
+    }
+
+    #[test]
+    fn assembly_is_o_nnz_for_block_diagonal_programs() {
+        // 40 independent 2-var blocks: nnz grows linearly, not with m·n.
+        let mut p = LpProblem::new(Sense::Minimize);
+        for b in 0..40 {
+            let x = p.add_var(format!("x{b}"), 1.0);
+            let y = p.add_var(format!("y{b}"), 1.0);
+            p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Eq, 1.0)
+                .unwrap();
+        }
+        let sf = build_standard_form(&p).unwrap();
+        assert_eq!(sf.a.rows(), 40);
+        assert_eq!(sf.a.cols(), 80);
+        assert_eq!(sf.a.nnz(), 80); // 2 entries per row — not 40 × 80
+    }
+}

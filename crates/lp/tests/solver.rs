@@ -350,22 +350,24 @@ mod proptests {
     fn bounded_lp() -> impl Strategy<Value = LpProblem> {
         (1usize..=5, 1usize..=6).prop_flat_map(|(n, m)| {
             (
-                proptest::collection::vec(-5.0f64..5.0, n),          // costs
-                proptest::collection::vec(0.5f64..8.0, n),           // upper bounds
-                proptest::collection::vec(-3.0f64..3.0, n * m),      // row coeffs
-                proptest::collection::vec(0.0f64..10.0, m),          // rhs ≥ 0
-                proptest::bool::ANY,                                  // sense
+                proptest::collection::vec(-5.0f64..5.0, n),     // costs
+                proptest::collection::vec(0.5f64..8.0, n),      // upper bounds
+                proptest::collection::vec(-3.0f64..3.0, n * m), // row coeffs
+                proptest::collection::vec(0.0f64..10.0, m),     // rhs ≥ 0
+                proptest::bool::ANY,                            // sense
             )
                 .prop_map(move |(costs, ubs, coeffs, rhs, maximize)| {
-                    let sense = if maximize { Sense::Maximize } else { Sense::Minimize };
+                    let sense = if maximize {
+                        Sense::Maximize
+                    } else {
+                        Sense::Minimize
+                    };
                     let mut p = LpProblem::new(sense);
                     let vars: Vec<_> = (0..n)
                         .map(|j| p.add_var_bounded(format!("x{j}"), costs[j], 0.0, Some(ubs[j])))
                         .collect();
                     for i in 0..m {
-                        let terms: Vec<_> = (0..n)
-                            .map(|j| (vars[j], coeffs[i * n + j]))
-                            .collect();
+                        let terms: Vec<_> = (0..n).map(|j| (vars[j], coeffs[i * n + j])).collect();
                         p.add_constraint(terms, Relation::Le, rhs[i]).unwrap();
                     }
                     p

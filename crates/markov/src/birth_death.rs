@@ -164,7 +164,9 @@ impl BirthDeath {
 
     /// Expected state (mean queue occupancy) under the stationary law.
     pub fn mean_state(&self) -> f64 {
-        let pi = self.stationary().expect("birth-death stationary always exists");
+        let pi = self
+            .stationary()
+            .expect("birth-death stationary always exists");
         pi.iter().enumerate().map(|(i, p)| i as f64 * p).sum()
     }
 }

@@ -52,7 +52,10 @@ impl fmt::Display for MarkovError {
                 write!(f, "generator row {row} sums to {sum:.3e}, expected 0")
             }
             MarkovError::NegativeRate { from, to, rate } => {
-                write!(f, "negative transition rate {rate} from state {from} to {to}")
+                write!(
+                    f,
+                    "negative transition rate {rate} from state {from} to {to}"
+                )
             }
             MarkovError::BadStochasticRow { row, sum } => {
                 write!(f, "probability row {row} sums to {sum}, expected 1")

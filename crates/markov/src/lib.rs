@@ -7,8 +7,10 @@
 //! discrete-event simulator (`socbuf-sim`) rely on:
 //!
 //! * [`Ctmc`] — finite continuous-time Markov chains with validated
-//!   generator matrices, stationary distributions, irreducibility checks
-//!   and uniformization,
+//!   **sparse (CSR) generators**, stationary distributions (an `O(n)`
+//!   Thomas solve for tridiagonal/birth–death generators, pivoted dense
+//!   LU as the general fallback), irreducibility checks and
+//!   uniformization,
 //! * [`Dtmc`] — the discrete skeleton produced by uniformization,
 //! * [`BirthDeath`] — birth–death chains with closed-form stationary
 //!   distributions (every single-queue CTMDP block has this shape),

@@ -109,10 +109,7 @@ impl MM1K {
     /// Blocking probability `P(occupancy = K)` — the fraction of arrivals
     /// that are lost (PASTA).
     pub fn blocking_probability(&self) -> f64 {
-        *self
-            .state_probabilities()
-            .last()
-            .expect("K+1 ≥ 2 states")
+        *self.state_probabilities().last().expect("K+1 ≥ 2 states")
     }
 
     /// Loss rate `λ · P(block)` (lost requests per unit time).

@@ -49,7 +49,10 @@ pub fn transient_distribution(
         return Err(MarkovError::BadStochasticRow { row: 0, sum });
     }
     if t < 0.0 || !t.is_finite() {
-        return Err(MarkovError::NonPositiveParameter { name: "t", value: t });
+        return Err(MarkovError::NonPositiveParameter {
+            name: "t",
+            value: t,
+        });
     }
     if t == 0.0 {
         return Ok(p0.to_vec());
@@ -112,7 +115,11 @@ mod tests {
         for &t in &[0.1, 0.5, 1.0, 2.0] {
             let p = transient_distribution(&c, &[1.0, 0.0], t, 1e-12).unwrap();
             let expected = a / (a + b) * (1.0 - (-(a + b) * t).exp());
-            assert!((p[1] - expected).abs() < 1e-9, "t={t}: {} vs {expected}", p[1]);
+            assert!(
+                (p[1] - expected).abs() < 1e-9,
+                "t={t}: {} vs {expected}",
+                p[1]
+            );
         }
     }
 
@@ -120,7 +127,13 @@ mod tests {
     fn long_horizon_converges_to_stationary() {
         let c = Ctmc::from_rates(
             3,
-            &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0), (2, 1, 0.5), (0, 2, 0.1)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 0, 3.0),
+                (2, 1, 0.5),
+                (0, 2, 0.1),
+            ],
         )
         .unwrap();
         let pi = c.stationary().unwrap();
@@ -132,8 +145,7 @@ mod tests {
 
     #[test]
     fn mass_is_conserved() {
-        let c = Ctmc::from_rates(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
-            .unwrap();
+        let c = Ctmc::from_rates(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]).unwrap();
         let p = transient_distribution(&c, &[0.25; 4], 7.3, 1e-10).unwrap();
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }

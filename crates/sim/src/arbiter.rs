@@ -155,10 +155,13 @@ mod tests {
         // from a tiny real architecture to stay honest with the newtype.
         use socbuf_soc::{ArchitectureBuilder, FlowTarget};
         let mut b = ArchitectureBuilder::new();
-        let buses: Vec<_> = (0..8).map(|k| b.add_bus(format!("b{k}"), 1.0).unwrap()).collect();
+        let buses: Vec<_> = (0..8)
+            .map(|k| b.add_bus(format!("b{k}"), 1.0).unwrap())
+            .collect();
         let p = b.add_processor("p", &[buses[0]], 1.0).unwrap();
         for k in 1..8 {
-            b.add_bridge(format!("g{k}"), buses[k - 1], buses[k]).unwrap();
+            b.add_bridge(format!("g{k}"), buses[k - 1], buses[k])
+                .unwrap();
         }
         b.add_flow(p, FlowTarget::Bus(buses[7]), 0.1).unwrap();
         let a = b.build().unwrap();

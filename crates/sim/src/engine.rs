@@ -30,7 +30,10 @@ impl SimConfig {
     ///
     /// Panics if `horizon` is not positive and finite.
     pub fn new(horizon: f64, seed: u64) -> Self {
-        assert!(horizon > 0.0 && horizon.is_finite(), "horizon must be positive");
+        assert!(
+            horizon > 0.0 && horizon.is_finite(),
+            "horizon must be positive"
+        );
         SimConfig {
             horizon,
             warmup: horizon * 0.1,
@@ -57,7 +60,9 @@ impl TimeoutSpec {
     /// Panics if any threshold is negative or NaN.
     pub fn new(thresholds: Vec<f64>) -> Self {
         assert!(
-            thresholds.iter().all(|t| t.is_finite() && *t >= 0.0 || t.is_infinite() && *t > 0.0),
+            thresholds
+                .iter()
+                .all(|t| t.is_finite() && *t >= 0.0 || t.is_infinite() && *t > 0.0),
             "thresholds must be non-negative"
         );
         TimeoutSpec { thresholds }
@@ -304,12 +309,7 @@ impl<'a> Engine<'a> {
     }
 
     fn thresholds_at(&self, spec: &TimeoutSpec, q: usize) -> f64 {
-        spec.threshold(
-            self.arch
-                .queue_ids()
-                .nth(q)
-                .expect("queue in range"),
-        )
+        spec.threshold(self.arch.queue_ids().nth(q).expect("queue in range"))
     }
 }
 
@@ -346,11 +346,7 @@ pub fn simulate_with(
     let nq = arch.num_queues();
     assert_eq!(alloc.as_slice().len(), nq, "allocation shape mismatch");
     if let Some(spec) = timeout {
-        assert_eq!(
-            spec.thresholds.len(),
-            nq,
-            "timeout spec shape mismatch"
-        );
+        assert_eq!(spec.thresholds.len(), nq, "timeout spec shape mismatch");
     }
 
     let mut eng = Engine {
@@ -523,9 +519,7 @@ mod tests {
         let alloc = BufferAllocation::uniform(&arch, 3);
         let cfg = SimConfig::new(800.0, 3);
         let r = simulate(&arch, &alloc, Arbiter::RandomNonempty, &cfg);
-        assert!(
-            (r.total_offered - r.total_delivered - r.total_lost - r.in_flight).abs() < 1e-9
-        );
+        assert!((r.total_offered - r.total_delivered - r.total_lost - r.in_flight).abs() < 1e-9);
         // Boundary effects (requests straddling the warmup cutoff or the
         // horizon) keep |in_flight| within the system's storage capacity.
         assert!(r.in_flight.abs() <= alloc.total() as f64 + 2.0);
@@ -626,9 +620,7 @@ mod tests {
         let r = simulate(&arch, &alloc, Arbiter::RandomNonempty, &cfg);
         assert!(r.per_queue[1].lost_full > 0.0, "bridge should overflow");
         assert!(
-            (r.per_proc[0].lost
-                - (r.per_queue[0].lost_full + r.per_queue[1].lost_full))
-                .abs()
+            (r.per_proc[0].lost - (r.per_queue[0].lost_full + r.per_queue[1].lost_full)).abs()
                 < 1e-9
         );
     }
@@ -686,7 +678,12 @@ mod tests {
             b.build().unwrap()
         };
         let alloc = BufferAllocation::uniform(&other, 8);
-        simulate(&arch, &alloc, Arbiter::RandomNonempty, &SimConfig::new(10.0, 0));
+        simulate(
+            &arch,
+            &alloc,
+            Arbiter::RandomNonempty,
+            &SimConfig::new(10.0, 0),
+        );
     }
 
     #[test]

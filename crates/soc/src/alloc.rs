@@ -91,10 +91,7 @@ pub fn apportion(total: usize, shares: &[f64]) -> Vec<usize> {
             .collect()
     };
     let esum: f64 = effective.iter().sum();
-    let quota: Vec<f64> = effective
-        .iter()
-        .map(|s| total as f64 * s / esum)
-        .collect();
+    let quota: Vec<f64> = effective.iter().map(|s| total as f64 * s / esum).collect();
     let mut units: Vec<usize> = quota.iter().map(|q| q.floor() as usize).collect();
     let assigned: usize = units.iter().sum();
     let mut remainders: Vec<(usize, f64)> = quota
@@ -102,7 +99,11 @@ pub fn apportion(total: usize, shares: &[f64]) -> Vec<usize> {
         .enumerate()
         .map(|(i, q)| (i, q - q.floor()))
         .collect();
-    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite remainders").then(a.0.cmp(&b.0)));
+    remainders.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite remainders")
+            .then(a.0.cmp(&b.0))
+    });
     let mut left = total - assigned;
     for (i, _) in remainders {
         if left == 0 {

@@ -307,14 +307,10 @@ impl Architecture {
     pub fn queue_name(&self, id: QueueId) -> String {
         let q = &self.queues[id.0];
         match q.client {
-            Client::Processor(p) => format!(
-                "{}@{}",
-                self.processors[p.0].name, self.buses[q.bus.0].name
-            ),
-            Client::Bridge(b) => format!(
-                "{}@{}",
-                self.bridges[b.0].name, self.buses[q.bus.0].name
-            ),
+            Client::Processor(p) => {
+                format!("{}@{}", self.processors[p.0].name, self.buses[q.bus.0].name)
+            }
+            Client::Bridge(b) => format!("{}@{}", self.bridges[b.0].name, self.buses[q.bus.0].name),
         }
     }
 
@@ -387,7 +383,11 @@ impl ArchitectureBuilder {
     /// # Errors
     ///
     /// [`SocError::BadRate`] if the rate is not positive and finite.
-    pub fn add_bus(&mut self, name: impl Into<String>, service_rate: f64) -> Result<BusId, SocError> {
+    pub fn add_bus(
+        &mut self,
+        name: impl Into<String>,
+        service_rate: f64,
+    ) -> Result<BusId, SocError> {
         let name = name.into();
         if service_rate <= 0.0 || !service_rate.is_finite() {
             return Err(SocError::BadRate {
@@ -545,7 +545,8 @@ impl ArchitectureBuilder {
         // Route every flow: BFS from each source bus, stop at any target bus.
         let mut routes = Vec::with_capacity(self.flows.len());
         for (fi, f) in self.flows.iter().enumerate() {
-            let src_buses: Vec<usize> = self.processors[f.src.0].buses.iter().map(|b| b.0).collect();
+            let src_buses: Vec<usize> =
+                self.processors[f.src.0].buses.iter().map(|b| b.0).collect();
             let target_buses: Vec<usize> = match f.target {
                 FlowTarget::Processor(p) => {
                     self.processors[p.0].buses.iter().map(|b| b.0).collect()

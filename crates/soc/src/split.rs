@@ -90,7 +90,7 @@ pub fn split(arch: &Architecture) -> SplitResult {
 
     // Union-find over buses; union buses sharing a processor.
     let mut parent: Vec<usize> = (0..nb).collect();
-    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+    fn find(parent: &mut [usize], i: usize) -> usize {
         let mut root = i;
         while parent[root] != root {
             root = parent[root];
@@ -261,10 +261,7 @@ mod tests {
         assert_eq!(nqueues, a.num_queues());
         // Flow path visits subsystems x, y, z in order.
         let path = a.flow_path(crate::FlowId(0));
-        let subs: Vec<usize> = path
-            .iter()
-            .map(|&q| s.queue_subsystem[q.index()])
-            .collect();
+        let subs: Vec<usize> = path.iter().map(|&q| s.queue_subsystem[q.index()]).collect();
         assert_eq!(subs.len(), 3);
         assert_ne!(subs[0], subs[1]);
         assert_ne!(subs[1], subs[2]);

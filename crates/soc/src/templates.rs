@@ -40,9 +40,15 @@ pub fn figure1() -> Architecture {
     let g = b.add_bus("g", 0.6).expect("valid bus");
 
     let p1 = b.add_processor("p1", &[a], 1.0).expect("valid processor");
-    let p2 = b.add_processor("p2", &[a, bus_b], 1.0).expect("valid processor");
-    let p3 = b.add_processor("p3", &[bus_b, c], 1.0).expect("valid processor");
-    let p4 = b.add_processor("p4", &[d, e], 1.0).expect("valid processor");
+    let p2 = b
+        .add_processor("p2", &[a, bus_b], 1.0)
+        .expect("valid processor");
+    let p3 = b
+        .add_processor("p3", &[bus_b, c], 1.0)
+        .expect("valid processor");
+    let p4 = b
+        .add_processor("p4", &[d, e], 1.0)
+        .expect("valid processor");
     let p5 = b.add_processor("p5", &[g], 1.0).expect("valid processor");
 
     b.add_bridge("b1", bus_b, f).expect("valid bridge");
@@ -50,12 +56,18 @@ pub fn figure1() -> Architecture {
     b.add_bridge("b3", g, bus_b).expect("valid bridge");
     b.add_bridge("b4", c, d).expect("valid bridge");
 
-    b.add_flow(p1, FlowTarget::Processor(p2), 0.15).expect("routable");
-    b.add_flow(p2, FlowTarget::Processor(p3), 0.20).expect("routable");
-    b.add_flow(p2, FlowTarget::Processor(p5), 0.12).expect("routable");
-    b.add_flow(p5, FlowTarget::Processor(p2), 0.10).expect("routable");
-    b.add_flow(p3, FlowTarget::Processor(p4), 0.08).expect("routable");
-    b.add_flow(p3, FlowTarget::Processor(p2), 0.10).expect("routable");
+    b.add_flow(p1, FlowTarget::Processor(p2), 0.15)
+        .expect("routable");
+    b.add_flow(p2, FlowTarget::Processor(p3), 0.20)
+        .expect("routable");
+    b.add_flow(p2, FlowTarget::Processor(p5), 0.12)
+        .expect("routable");
+    b.add_flow(p5, FlowTarget::Processor(p2), 0.10)
+        .expect("routable");
+    b.add_flow(p3, FlowTarget::Processor(p4), 0.08)
+        .expect("routable");
+    b.add_flow(p3, FlowTarget::Processor(p2), 0.10)
+        .expect("routable");
     b.add_flow(p4, FlowTarget::Bus(e), 0.20).expect("routable");
 
     b.build().expect("figure1 template is valid")
@@ -105,12 +117,18 @@ pub fn network_processor() -> Architecture {
             ports.push(p);
         }
     }
-    let cp = b.add_processor("P17", &[ctrl], 1.0).expect("valid processor");
-    let dma = b.add_processor("P18", &[mem], 1.0).expect("valid processor");
+    let cp = b
+        .add_processor("P17", &[ctrl], 1.0)
+        .expect("valid processor");
+    let dma = b
+        .add_processor("P18", &[mem], 1.0)
+        .expect("valid processor");
 
     for (k, &bus) in pb.iter().enumerate() {
-        b.add_bridge(format!("up{k}"), bus, mem).expect("valid bridge");
-        b.add_bridge(format!("down{k}"), mem, bus).expect("valid bridge");
+        b.add_bridge(format!("up{k}"), bus, mem)
+            .expect("valid bridge");
+        b.add_bridge(format!("down{k}"), mem, bus)
+            .expect("valid bridge");
     }
     b.add_bridge("cup", ctrl, mem).expect("valid bridge");
     b.add_bridge("cdown", mem, ctrl).expect("valid bridge");
@@ -118,8 +136,12 @@ pub fn network_processor() -> Architecture {
     // Ingress: port → memory.
     for k in 0..4 {
         for j in 0..4 {
-            b.add_flow(ports[k * 4 + j], FlowTarget::Bus(mem), NP_INGRESS_RATES[k][j])
-                .expect("routable");
+            b.add_flow(
+                ports[k * 4 + j],
+                FlowTarget::Bus(mem),
+                NP_INGRESS_RATES[k][j],
+            )
+            .expect("routable");
         }
     }
     // Egress: DMA → every port processor.
@@ -137,8 +159,10 @@ pub fn network_processor() -> Architecture {
     b.add_flow(ports[15], FlowTarget::Processor(ports[7]), 0.03)
         .expect("routable");
     // Control traffic.
-    b.add_flow(cp, FlowTarget::Bus(mem), 0.08).expect("routable");
-    b.add_flow(dma, FlowTarget::Processor(cp), 0.05).expect("routable");
+    b.add_flow(cp, FlowTarget::Bus(mem), 0.08)
+        .expect("routable");
+    b.add_flow(dma, FlowTarget::Processor(cp), 0.05)
+        .expect("routable");
 
     b.build().expect("network_processor template is valid")
 }
@@ -153,18 +177,32 @@ pub fn amba() -> Architecture {
     let mut b = ArchitectureBuilder::new();
     let ahb = b.add_bus("ahb", 2.0).expect("valid bus");
     let apb = b.add_bus("apb", 0.4).expect("valid bus");
-    let cpu = b.add_processor("cpu", &[ahb], 1.0).expect("valid processor");
-    let dma = b.add_processor("dma", &[ahb], 1.0).expect("valid processor");
-    let uart = b.add_processor("uart", &[apb], 1.0).expect("valid processor");
-    let timer = b.add_processor("timer", &[apb], 1.0).expect("valid processor");
+    let cpu = b
+        .add_processor("cpu", &[ahb], 1.0)
+        .expect("valid processor");
+    let dma = b
+        .add_processor("dma", &[ahb], 1.0)
+        .expect("valid processor");
+    let uart = b
+        .add_processor("uart", &[apb], 1.0)
+        .expect("valid processor");
+    let timer = b
+        .add_processor("timer", &[apb], 1.0)
+        .expect("valid processor");
     b.add_bridge("ahb2apb", ahb, apb).expect("valid bridge");
 
-    b.add_flow(cpu, FlowTarget::Bus(ahb), 0.80).expect("routable");
-    b.add_flow(dma, FlowTarget::Bus(ahb), 0.50).expect("routable");
-    b.add_flow(cpu, FlowTarget::Processor(uart), 0.15).expect("routable");
-    b.add_flow(dma, FlowTarget::Processor(timer), 0.06).expect("routable");
-    b.add_flow(uart, FlowTarget::Bus(apb), 0.05).expect("routable");
-    b.add_flow(timer, FlowTarget::Bus(apb), 0.04).expect("routable");
+    b.add_flow(cpu, FlowTarget::Bus(ahb), 0.80)
+        .expect("routable");
+    b.add_flow(dma, FlowTarget::Bus(ahb), 0.50)
+        .expect("routable");
+    b.add_flow(cpu, FlowTarget::Processor(uart), 0.15)
+        .expect("routable");
+    b.add_flow(dma, FlowTarget::Processor(timer), 0.06)
+        .expect("routable");
+    b.add_flow(uart, FlowTarget::Bus(apb), 0.05)
+        .expect("routable");
+    b.add_flow(timer, FlowTarget::Bus(apb), 0.04)
+        .expect("routable");
     b.build().expect("amba template is valid")
 }
 
@@ -178,20 +216,38 @@ pub fn coreconnect() -> Architecture {
     let mut b = ArchitectureBuilder::new();
     let plb = b.add_bus("plb", 3.0).expect("valid bus");
     let opb = b.add_bus("opb", 0.5).expect("valid bus");
-    let cpu0 = b.add_processor("cpu0", &[plb], 1.0).expect("valid processor");
-    let cpu1 = b.add_processor("cpu1", &[plb], 1.0).expect("valid processor");
-    let eth = b.add_processor("eth", &[plb], 1.0).expect("valid processor");
-    let uart = b.add_processor("uart", &[opb], 1.0).expect("valid processor");
-    let gpio = b.add_processor("gpio", &[opb], 1.0).expect("valid processor");
-    b.add_bidirectional_bridge("plb2opb", plb, opb).expect("valid bridge");
+    let cpu0 = b
+        .add_processor("cpu0", &[plb], 1.0)
+        .expect("valid processor");
+    let cpu1 = b
+        .add_processor("cpu1", &[plb], 1.0)
+        .expect("valid processor");
+    let eth = b
+        .add_processor("eth", &[plb], 1.0)
+        .expect("valid processor");
+    let uart = b
+        .add_processor("uart", &[opb], 1.0)
+        .expect("valid processor");
+    let gpio = b
+        .add_processor("gpio", &[opb], 1.0)
+        .expect("valid processor");
+    b.add_bidirectional_bridge("plb2opb", plb, opb)
+        .expect("valid bridge");
 
-    b.add_flow(cpu0, FlowTarget::Bus(plb), 0.9).expect("routable");
-    b.add_flow(cpu1, FlowTarget::Bus(plb), 0.7).expect("routable");
-    b.add_flow(eth, FlowTarget::Bus(plb), 0.5).expect("routable");
-    b.add_flow(cpu0, FlowTarget::Processor(uart), 0.10).expect("routable");
-    b.add_flow(cpu1, FlowTarget::Processor(gpio), 0.08).expect("routable");
-    b.add_flow(uart, FlowTarget::Processor(cpu0), 0.05).expect("routable");
-    b.add_flow(gpio, FlowTarget::Processor(cpu1), 0.04).expect("routable");
+    b.add_flow(cpu0, FlowTarget::Bus(plb), 0.9)
+        .expect("routable");
+    b.add_flow(cpu1, FlowTarget::Bus(plb), 0.7)
+        .expect("routable");
+    b.add_flow(eth, FlowTarget::Bus(plb), 0.5)
+        .expect("routable");
+    b.add_flow(cpu0, FlowTarget::Processor(uart), 0.10)
+        .expect("routable");
+    b.add_flow(cpu1, FlowTarget::Processor(gpio), 0.08)
+        .expect("routable");
+    b.add_flow(uart, FlowTarget::Processor(cpu0), 0.05)
+        .expect("routable");
+    b.add_flow(gpio, FlowTarget::Processor(cpu1), 0.04)
+        .expect("routable");
     b.build().expect("coreconnect template is valid")
 }
 
@@ -227,7 +283,10 @@ impl Default for RandomArchParams {
 ///
 /// Panics if `params` has zero buses or processors.
 pub fn random_architecture(seed: u64, params: &RandomArchParams) -> Architecture {
-    assert!(params.buses > 0 && params.processors > 0, "need buses and processors");
+    assert!(
+        params.buses > 0 && params.processors > 0,
+        "need buses and processors"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = ArchitectureBuilder::new();
     let buses: Vec<BusId> = (0..params.buses)
@@ -312,7 +371,8 @@ pub fn random_architecture(seed: u64, params: &RandomArchParams) -> Architecture
         b.add_flow(procs[src], FlowTarget::Bus(buses[bus]), 0.1)
             .expect("valid flow");
     }
-    b.build().expect("random architecture construction is routable by design")
+    b.build()
+        .expect("random architecture construction is routable by design")
 }
 
 /// Crate-private peek at a builder's processor attachment (index form).
@@ -353,7 +413,12 @@ mod tests {
             for q in a.queues() {
                 if let Client::Bridge(qb) = q.client {
                     if qb == g {
-                        assert_eq!(q.bus, bridge.to(), "bridge {} buffer on wrong bus", bridge.name());
+                        assert_eq!(
+                            q.bus,
+                            bridge.to(),
+                            "bridge {} buffer on wrong bus",
+                            bridge.name()
+                        );
                     }
                 }
             }

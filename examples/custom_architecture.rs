@@ -29,9 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         arch.num_buses()
     );
 
-    let mut config = PipelineConfig::default();
-    config.horizon = 2000.0;
-    config.warmup = 200.0;
+    let config = PipelineConfig {
+        horizon: 2000.0,
+        warmup: 200.0,
+        ..PipelineConfig::default()
+    };
     let cmp = evaluate_policies(&arch, 30, &config)?;
     let report = SizingReport::new(&arch, &cmp);
     print!("{}", report.allocation_table());

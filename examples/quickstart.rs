@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let parts = split(&arch);
-    println!("split into {} linear subsystems (paper: 4)\n", parts.subsystems.len());
+    println!(
+        "split into {} linear subsystems (paper: 4)\n",
+        parts.subsystems.len()
+    );
 
     let budget = 22; // two units per queue on average
     let cmp = evaluate_policies(&arch, budget, &PipelineConfig::default())?;

@@ -13,7 +13,10 @@ fn main() {
     let arch = templates::figure1();
     let parts = split(&arch);
 
-    println!("figure 1 splits into {} subsystems:\n", parts.subsystems.len());
+    println!(
+        "figure 1 splits into {} subsystems:\n",
+        parts.subsystems.len()
+    );
     for sub in &parts.subsystems {
         let buses: Vec<&str> = sub.buses.iter().map(|&b| arch.bus(b).name()).collect();
         let procs: Vec<&str> = sub

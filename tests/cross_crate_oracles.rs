@@ -62,7 +62,8 @@ fn sizing_lp_agrees_with_general_ctmdp() {
             arrivals.push((s + 1, lambda));
         }
         let cost = if s == cap { lambda } else { 0.0 };
-        b.add_action(s, "idle", arrivals.clone(), cost, vec![]).unwrap();
+        b.add_action(s, "idle", arrivals.clone(), cost, vec![])
+            .unwrap();
         if s > 0 {
             let mut t = arrivals.clone();
             t.push((s - 1, mu));

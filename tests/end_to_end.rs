@@ -67,7 +67,11 @@ fn network_processor_resizing_beats_static_baseline() {
     // losses.
     let pre = &cmp.pre.per_proc;
     let hot: f64 = [0usize, 3, 14, 15].iter().map(|&i| pre[i].lost).sum();
-    assert!(hot > 0.5 * cmp.pre.total_lost, "hot {hot} of {}", cmp.pre.total_lost);
+    assert!(
+        hot > 0.5 * cmp.pre.total_lost,
+        "hot {hot} of {}",
+        cmp.pre.total_lost
+    );
 }
 
 #[test]
@@ -93,7 +97,10 @@ fn table1_budget_trend_holds() {
         last = cmp.post.total_lost;
     }
     // And the largest budget is near lossless post-sizing.
-    assert!(last < 30.0, "640-unit post-sizing loss should be near zero, got {last}");
+    assert!(
+        last < 30.0,
+        "640-unit post-sizing loss should be near zero, got {last}"
+    );
 }
 
 #[test]

@@ -1,0 +1,172 @@
+//! Dense/sparse kernel agreement oracles.
+//!
+//! The sparse layer ([`Csr`], [`Tridiag`]) must be numerically
+//! indistinguishable from the dense kernels it replaced: products agree
+//! entry for entry, the Thomas tridiagonal solve matches pivoted LU, and
+//! the sparse-assembled standard form of the paper's Figure 1
+//! occupation-measure LP equals its dense twin — all to 1e-12.
+
+use proptest::prelude::*;
+use socbuf::linalg::{max_abs_diff, Csr, Lu, Matrix, Tridiag};
+use socbuf::lp::assembly;
+use socbuf::markov::{BirthDeath, Ctmc};
+use socbuf::sizing::{SizingConfig, SizingLp};
+use socbuf::soc::templates;
+
+const TOL: f64 = 1e-12;
+
+/// Random birth–death chains (per-level birth and death rates) of
+/// 3..=25 states, plus a probe vector for product checks.
+fn birth_death_chain() -> impl Strategy<Value = (BirthDeath, Vec<f64>)> {
+    (2usize..=24).prop_flat_map(|levels| {
+        (
+            proptest::collection::vec(0.1f64..5.0, levels),
+            proptest::collection::vec(0.1f64..5.0, levels),
+            proptest::collection::vec(-2.0f64..2.0, levels + 1),
+        )
+            .prop_map(|(birth, death, probe)| (BirthDeath::new(birth, death).unwrap(), probe))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR matvec/vecmat on a birth–death generator equal the dense
+    /// Matrix products to 1e-12.
+    #[test]
+    fn csr_products_match_dense_on_generators((bd, probe) in birth_death_chain()) {
+        let ctmc: Ctmc = bd.to_ctmc();
+        let sparse: &Csr = ctmc.generator();
+        let dense: Matrix = ctmc.generator_dense();
+        prop_assert!(sparse.is_tridiagonal());
+
+        let mv_sparse = sparse.matvec(&probe).unwrap();
+        let mv_dense = dense.matvec(&probe).unwrap();
+        prop_assert!(max_abs_diff(&mv_sparse, &mv_dense) <= TOL);
+
+        let vm_sparse = sparse.vecmat(&probe).unwrap();
+        let vm_dense = dense.vecmat(&probe).unwrap();
+        prop_assert!(max_abs_diff(&vm_sparse, &vm_dense) <= TOL);
+
+        // Transpose commutes with densification.
+        prop_assert!(sparse.transpose().to_dense() == dense.transpose());
+    }
+
+    /// The Thomas solve on the (tridiagonal) stationary system matches
+    /// the pivoted dense LU solve of the *same* system to 1e-12.
+    #[test]
+    fn tridiag_solve_matches_lu_on_generators((bd, _probe) in birth_death_chain()) {
+        let ctmc = bd.to_ctmc();
+        let n = ctmc.num_states();
+        // Build Qᵀ with the state-0 balance row replaced by π₀ = 1 —
+        // exactly the system Ctmc::stationary solves on the fast path.
+        let mut a = ctmc.generator_dense().transpose();
+        for j in 0..n {
+            a[(0, j)] = if j == 0 { 1.0 } else { 0.0 };
+        }
+        let mut rhs = vec![0.0; n];
+        rhs[0] = 1.0;
+
+        let tri = Tridiag::from_csr(&Csr::from_dense(&a)).unwrap();
+        let mut x_thomas = tri.solve(&rhs).unwrap();
+        let mut x_lu = Lu::factor(&a).unwrap().solve(&rhs).unwrap();
+        // On strongly drifting chains both solvers carry a common-mode
+        // error proportional to the condition number; the quantity the
+        // pipeline consumes is the *normalized* measure, where that
+        // common factor cancels — and there the two algorithms must
+        // agree to 1e-12.
+        for x in [&mut x_thomas, &mut x_lu] {
+            let s: f64 = x.iter().sum();
+            for v in x.iter_mut() {
+                *v /= s;
+            }
+        }
+        prop_assert!(
+            max_abs_diff(&x_thomas, &x_lu) <= TOL,
+            "thomas {x_thomas:?} vs lu {x_lu:?}"
+        );
+    }
+
+    /// End to end: the sparse stationary path and the dense LU path of
+    /// `Ctmc::stationary` agree to 1e-12 on random birth–death chains,
+    /// and both match the closed-form product solution.
+    #[test]
+    fn stationary_paths_agree((bd, _probe) in birth_death_chain()) {
+        let ctmc = bd.to_ctmc();
+        let fast = ctmc.stationary().unwrap();
+        let dense = ctmc.stationary_dense().unwrap();
+        prop_assert!(
+            max_abs_diff(&fast, &dense) <= TOL,
+            "fast {fast:?} vs dense {dense:?}"
+        );
+        let closed = bd.stationary().unwrap();
+        prop_assert!(max_abs_diff(&fast, &closed) <= 1e-10);
+    }
+}
+
+/// Deterministic pseudo-random probe vector (no RNG dependency needed
+/// for the LP-sized checks below).
+fn probe(len: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+        })
+        .collect()
+}
+
+/// The figure1 occupation-measure LP: the sparse-assembled standard form
+/// equals the dense assembly entry for entry, and its products match to
+/// 1e-12.
+#[test]
+fn figure1_lp_sparse_assembly_matches_dense() {
+    let arch = templates::figure1();
+    let lp = SizingLp::build(&arch, 22, &SizingConfig::small()).unwrap();
+
+    let sparse = assembly::assemble_sparse(lp.problem()).unwrap();
+    let dense = assembly::assemble_dense(lp.problem()).unwrap();
+    assert_eq!(sparse.rows(), dense.rows());
+    assert_eq!(sparse.cols(), dense.cols());
+    assert_eq!(
+        sparse.to_dense(),
+        dense,
+        "assembly paths must agree exactly"
+    );
+
+    // The block-diagonal structure survives conversion: a small fraction
+    // of the dense footprint is stored.
+    assert!(sparse.nnz() * 10 < dense.rows() * dense.cols());
+
+    for seed in 1..=4u64 {
+        let x = probe(sparse.cols(), seed);
+        let mv_sparse = sparse.matvec(&x).unwrap();
+        let mv_dense = dense.matvec(&x).unwrap();
+        assert!(max_abs_diff(&mv_sparse, &mv_dense) <= TOL);
+
+        let y = probe(sparse.rows(), seed + 100);
+        let vm_sparse = sparse.vecmat(&y).unwrap();
+        let vm_dense = dense.vecmat(&y).unwrap();
+        assert!(max_abs_diff(&vm_sparse, &vm_dense) <= TOL);
+    }
+
+    // Transposition agrees as well (the dual path uses it).
+    assert_eq!(sparse.transpose().to_dense(), dense.transpose());
+}
+
+/// The sparse path must not change what the solver returns: solving the
+/// figure1 LP yields a valid sizing solution whose marginals are
+/// probability distributions (regression guard for the refactor).
+#[test]
+fn figure1_lp_solves_through_sparse_path() {
+    let arch = templates::figure1();
+    let lp = SizingLp::build(&arch, 22, &SizingConfig::small()).unwrap();
+    let sol = lp.solve().unwrap();
+    assert!(sol.loss_rate >= 0.0);
+    for m in &sol.marginals {
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+        assert!(m.iter().all(|&p| p >= 0.0));
+    }
+}
