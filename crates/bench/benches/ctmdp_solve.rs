@@ -1,10 +1,11 @@
-//! P2 — constrained CTMDP solve time: LP vs relative value iteration on
-//! growing service-rate-control queues, plus the CSR-vs-dense balance
-//! matrix assembly comparison.
+//! P2 — constrained CTMDP solve time: LP (both engines) vs relative
+//! value iteration on growing service-rate-control queues, plus the
+//! CSR-vs-dense balance matrix assembly comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use socbuf_ctmdp::{relative_value_iteration, solve_constrained, CtmdpBuilder, CtmdpModel};
+use socbuf_ctmdp::{relative_value_iteration, solve_constrained_with, CtmdpBuilder, CtmdpModel};
 use socbuf_linalg::Matrix;
+use socbuf_lp::{LpEngine, SimplexOptions};
 
 /// Service-rate-controlled M/M/1/K with holding costs; optionally a
 /// budget constraint on serving effort.
@@ -32,13 +33,19 @@ fn queue_model(k: usize, constrained: bool) -> CtmdpModel {
     b.build().unwrap()
 }
 
+/// The occupation-measure LP under both engines: pivot counts stay
+/// close (same pricing rules), so the wall-time ratio isolates what the
+/// basis representation costs.
 fn bench_lp(c: &mut Criterion) {
     let mut group = c.benchmark_group("ctmdp_lp");
     for &k in &[8usize, 16, 32, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            let m = queue_model(k, true);
-            b.iter(|| solve_constrained(&m).unwrap());
-        });
+        for engine in [LpEngine::Revised, LpEngine::Tableau] {
+            group.bench_with_input(BenchmarkId::new(engine.to_string(), k), &k, |b, &k| {
+                let m = queue_model(k, true);
+                let opts = SimplexOptions::default().with_engine(engine);
+                b.iter(|| solve_constrained_with(&m, &opts).unwrap());
+            });
+        }
     }
     group.finish();
 }

@@ -1,10 +1,13 @@
 //! P1 — simplex solver scaling on dense random LPs and on
-//! occupation-measure-shaped LPs (the solver's real workload), plus the
+//! occupation-measure-shaped LPs (the solver's real workload), the
+//! revised-vs-tableau engine comparison on both shapes, plus the
 //! sparse-vs-dense standard-form assembly comparison on the paper's
 //! Figure 1 joint LP.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use socbuf_lp::{assembly, LpProblem, Relation, Sense};
+use socbuf_lp::{assembly, LpEngine, LpProblem, Relation, Sense, SimplexOptions};
+
+const ENGINES: [LpEngine; 2] = [LpEngine::Revised, LpEngine::Tableau];
 
 /// Dense feasible-by-construction LP: max c·x, A x ≤ b, x ≤ 10.
 fn dense_lp(n: usize, m: usize) -> LpProblem {
@@ -22,21 +25,31 @@ fn dense_lp(n: usize, m: usize) -> LpProblem {
     p
 }
 
+/// Both engines on dense random LPs: the tableau's best case (pivoting
+/// fills the matrix anyway), so this is where revised merely has to
+/// stay competitive. The per-engine IDs make pivots-vs-walltime
+/// regressions attributable to one engine.
 fn bench_dense(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_dense");
     for &(n, m) in &[(10usize, 8usize), (30, 20), (60, 40), (120, 80)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{n}x{m}")),
-            &(n, m),
-            |b, &(n, m)| {
-                let p = dense_lp(n, m);
-                b.iter(|| p.solve().unwrap());
-            },
-        );
+        for engine in ENGINES {
+            group.bench_with_input(
+                BenchmarkId::new(engine.to_string(), format!("{n}x{m}")),
+                &(n, m),
+                |b, &(n, m)| {
+                    let p = dense_lp(n, m);
+                    let opts = SimplexOptions::default().with_engine(engine);
+                    b.iter(|| p.solve_with(&opts).unwrap());
+                },
+            );
+        }
     }
     group.finish();
 }
 
+/// Both engines on the solver's real workload — block-diagonal
+/// occupation-measure LPs — where sparse pricing and the sparse basis
+/// factorization are supposed to win from `state_cap ≈ 16` up.
 fn bench_sizing_shaped(c: &mut Criterion) {
     use socbuf_core::{SizingConfig, SizingLp};
     use socbuf_soc::templates;
@@ -44,14 +57,21 @@ fn bench_sizing_shaped(c: &mut Criterion) {
     group.sample_size(10);
     let arch = templates::figure1();
     for &cap in &[8usize, 12, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
-            let cfg = SizingConfig {
-                state_cap: cap,
-                ..SizingConfig::default()
-            };
-            let lp = SizingLp::build(&arch, 22, &cfg).unwrap();
-            b.iter(|| lp.solve().unwrap());
-        });
+        for engine in ENGINES {
+            group.bench_with_input(
+                BenchmarkId::new(engine.to_string(), cap),
+                &cap,
+                |b, &cap| {
+                    let cfg = SizingConfig {
+                        state_cap: cap,
+                        engine,
+                        ..SizingConfig::default()
+                    };
+                    let lp = SizingLp::build(&arch, 22, &cfg).unwrap();
+                    b.iter(|| lp.solve().unwrap());
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -19,7 +19,7 @@
 //! availability factors of *other* buses — products of unknowns; see
 //! [`crate::coupled`].
 
-use socbuf_lp::{LpProblem, Relation, RowId, Sense, SimplexOptions, VarId};
+use socbuf_lp::{LpEngine, LpProblem, Relation, RowId, Sense, SimplexOptions, VarId};
 use socbuf_soc::split::split;
 use socbuf_soc::{Architecture, Client};
 
@@ -38,6 +38,10 @@ pub struct SizingConfig {
     pub quantile: f64,
     /// Per-bus expected-effort limit (1.0 = the physical bus).
     pub bus_effort_limit: f64,
+    /// LP engine the joint solve runs on. Defaults to the sparse
+    /// revised simplex; [`LpEngine::Tableau`] selects the dense oracle
+    /// engine (what the golden-artifact cross-checks compare against).
+    pub engine: LpEngine,
 }
 
 impl Default for SizingConfig {
@@ -48,6 +52,7 @@ impl Default for SizingConfig {
             alpha: 0.5,
             quantile: 0.98,
             bus_effort_limit: 1.0,
+            engine: LpEngine::default(),
         }
     }
 }
@@ -103,6 +108,7 @@ pub struct SizingLp {
     weights: Vec<f64>,
     lambdas: Vec<f64>,
     state_cap: usize,
+    engine: LpEngine,
 }
 
 /// Solution of the joint LP in queue-level terms.
@@ -257,7 +263,14 @@ impl SizingLp {
             weights,
             lambdas,
             state_cap: n,
+            engine: config.engine,
         })
+    }
+
+    /// The LP engine [`SizingLp::solve`] will run (from the
+    /// [`SizingConfig`] this LP was built with).
+    pub fn engine(&self) -> LpEngine {
+        self.engine
     }
 
     /// Number of LP variables.
@@ -297,18 +310,21 @@ impl SizingLp {
             SimplexOptions {
                 perturbation: 1e-6,
                 max_iterations: 30_000,
+                engine: self.engine,
                 ..SimplexOptions::default()
             },
             SimplexOptions {
                 perturbation: 1e-5,
                 max_iterations: 60_000,
                 stall_switch: 20,
+                engine: self.engine,
                 ..SimplexOptions::default()
             },
             SimplexOptions {
                 perturbation: 1e-4,
                 max_iterations: 200_000,
                 stall_switch: 10,
+                engine: self.engine,
                 ..SimplexOptions::default()
             },
         ];
@@ -393,6 +409,20 @@ impl SizingLp {
         }
     }
 
+    /// Occupation mass below which a state counts as *unreached* when
+    /// extracting effort curves. The solve ladder perturbs the rhs at
+    /// the 1e-6..1e-4 scale, which parks that much probability dust in
+    /// arbitrary (often zero-effort) actions of states the optimal
+    /// policy never visits; dividing dust by dust yields effort curves
+    /// with dead zones that the translation step's birth–death
+    /// reconstruction then reads as absorbing tails. Every state that
+    /// actually matters to sizing carries mass far above this (the
+    /// 0.98-quantile requirement is insensitive to sub-1e-4 tails), so
+    /// such states take the conservative full-effort fallback instead.
+    /// This keeps the translated allocation stable across optimal
+    /// vertices — and therefore across LP engines.
+    const EFFORT_DUST: f64 = 1e-4;
+
     fn interpret(&self, sol: &socbuf_lp::LpSolution, relaxed: bool) -> SizingSolution {
         let nq = self.vars.len();
         let mut occupation = Vec::with_capacity(nq);
@@ -408,15 +438,16 @@ impl SizingLp {
                 let total: f64 = xs.iter().sum();
                 let expected_effort = if row.len() == 1 {
                     0.0
-                } else if total > 1e-12 {
+                } else if total > Self::EFFORT_DUST {
                     xs.iter()
                         .enumerate()
                         .map(|(a, x)| self.efforts[a] * x)
                         .sum::<f64>()
                         / total
                 } else {
-                    // States unreached at the optimum: serve at full
-                    // effort if an excursion ever lands here.
+                    // States unreached at the optimum (or holding only
+                    // perturbation dust): serve at full effort if an
+                    // excursion ever lands here.
                     1.0
                 };
                 marg.push(total);

@@ -2,6 +2,7 @@
 //! LP, re-simulate the architecture with the new buffer lengths, and
 //! compare losses against the constant-sizing and timeout baselines.
 
+use socbuf_lp::LpEngine;
 use socbuf_sim::{average_reports, replicate, Arbiter, SimConfig, SimReport, TimeoutSpec};
 use socbuf_soc::{Architecture, BufferAllocation};
 
@@ -27,6 +28,9 @@ pub struct SizingOutcome {
     pub budget_row_relaxed: bool,
     /// Simplex pivots used by the joint LP.
     pub lp_iterations: usize,
+    /// Engine that solved the joint LP (pivot counts are only
+    /// comparable within one engine).
+    pub lp_engine: LpEngine,
 }
 
 /// Sizes the buffers of `arch` for a total budget of `budget` units.
@@ -62,6 +66,7 @@ pub fn size_buffers(
         budget_shadow_price: solution.budget_shadow_price,
         budget_row_relaxed: solution.budget_row_relaxed,
         lp_iterations: solution.lp_iterations,
+        lp_engine: lp.engine(),
     })
 }
 

@@ -187,21 +187,30 @@ mod tests {
 
     #[test]
     fn allocation_sums_to_budget_and_favors_hot_queue() {
+        // Both engines: the hot-queue preference must not depend on
+        // which optimal vertex the LP lands on (the effort-curve dust
+        // filter in `SizingLp::interpret` is what guarantees this).
         let arch = hot_cold_arch();
-        let cfg = SizingConfig::small();
-        for budget in [6usize, 16, 64] {
-            let sol = SizingLp::build(&arch, budget, &cfg)
-                .unwrap()
-                .solve()
-                .unwrap();
-            let tr = translate(&arch, &sol, budget, &cfg).unwrap();
-            assert_eq!(tr.allocation.total(), budget);
-            let units = tr.allocation.as_slice();
-            assert!(
-                units[0] >= units[1],
-                "hot queue must get at least as much: {units:?} (budget {budget})"
-            );
-            assert!(units.iter().all(|&u| u >= 1), "{units:?}");
+        for engine in [socbuf_lp::LpEngine::Revised, socbuf_lp::LpEngine::Tableau] {
+            let cfg = SizingConfig {
+                engine,
+                ..SizingConfig::small()
+            };
+            for budget in [6usize, 16, 64] {
+                let sol = SizingLp::build(&arch, budget, &cfg)
+                    .unwrap()
+                    .solve()
+                    .unwrap();
+                let tr = translate(&arch, &sol, budget, &cfg).unwrap();
+                assert_eq!(tr.allocation.total(), budget);
+                let units = tr.allocation.as_slice();
+                assert!(
+                    units[0] >= units[1],
+                    "hot queue must get at least as much under {engine}: \
+                     {units:?} (budget {budget})"
+                );
+                assert!(units.iter().all(|&u| u >= 1), "{units:?}");
+            }
         }
     }
 

@@ -76,7 +76,11 @@ pub fn solve_constrained(model: &CtmdpModel) -> Result<CtmdpSolution, CtmdpError
     solve_constrained_with(model, &SimplexOptions::default())
 }
 
-/// Solves the constrained CTMDP with explicit simplex options.
+/// Solves the constrained CTMDP with explicit simplex options —
+/// including the LP engine: `options.engine` picks between the sparse
+/// revised simplex (default; the balance matrix is a few entries per
+/// column, exactly the shape the revised engine prices in `O(nnz)`) and
+/// the dense tableau oracle ([`socbuf_lp::LpEngine::Tableau`]).
 ///
 /// # Errors
 ///
@@ -282,6 +286,29 @@ mod tests {
             sol.average_cost()
         );
         assert!((eval.constraint_values[0] - sol.constraint_values()[0]).abs() < 1e-6);
+    }
+
+    /// The engine selector threads through to the LP layer: both
+    /// engines must agree on the optimal average cost and the binding
+    /// constraint value of the same constrained CTMDP.
+    #[test]
+    fn engine_selector_reaches_the_lp() {
+        let mut b = CtmdpBuilder::new(2, 1);
+        b.add_action(0, "wait", vec![(1, 1.0)], 0.0, vec![0.0])
+            .unwrap();
+        b.add_action(1, "slow", vec![(0, 1.0)], 1.0, vec![0.0])
+            .unwrap();
+        b.add_action(1, "fast", vec![(0, 4.0)], 1.0, vec![1.0])
+            .unwrap();
+        b.set_constraint_bound(0, 0.10);
+        let m = b.build().unwrap();
+        let base = SimplexOptions::default();
+        let revised =
+            solve_constrained_with(&m, &base.with_engine(socbuf_lp::LpEngine::Revised)).unwrap();
+        let tableau =
+            solve_constrained_with(&m, &base.with_engine(socbuf_lp::LpEngine::Tableau)).unwrap();
+        assert!((revised.average_cost() - tableau.average_cost()).abs() < 1e-9);
+        assert!((revised.constraint_values()[0] - tableau.constraint_values()[0]).abs() < 1e-9);
     }
 
     #[test]

@@ -41,6 +41,7 @@ mod csr;
 mod error;
 mod lu;
 mod matrix;
+mod sparse_lu;
 mod tridiag;
 mod vector;
 
@@ -48,6 +49,7 @@ pub use csr::{Csr, CsrBuilder};
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
+pub use sparse_lu::SparseLu;
 pub use tridiag::Tridiag;
 pub use vector::{axpy, dot, inf_norm, max_abs_diff, one_norm, scale, two_norm};
 

@@ -15,16 +15,23 @@
 //!   `min c·x, Ax = b, x ≥ 0` builds `A` in CSR storage — `O(nnz)`, so
 //!   the block-diagonal occupation-measure constraints are never
 //!   densified (a dense assembly twin survives for benchmarking),
-//! * a **two-phase primal simplex** with Dantzig pricing and an
-//!   automatic switch to Bland's rule on stalls (anti-cycling); only the
-//!   solver's working tableau is dense, and it drops artificial columns
-//!   after phase 1,
+//! * **two interchangeable simplex engines** ([`LpEngine`], selected
+//!   through [`SimplexOptions`]): the default **sparse revised simplex**
+//!   (basis inverse as a sparse LU plus a product-form eta file, `O(nnz)`
+//!   pricing — the CSR standard form is never densified) and the
+//!   **dense-tableau** two-phase simplex kept as its cross-check oracle
+//!   ([`LpProblem::solve_tableau`]). Both use Dantzig pricing with an
+//!   automatic switch to Bland's rule on stalls (anti-cycling) and solve
+//!   the same standard form under the same deterministic perturbation —
+//!   the cross-engine oracle suite holds their objectives to 1e-9
+//!   agreement,
 //! * [`LpSolution`] — primal values, objective, dual prices and reduced
 //!   costs recovered from the final basis (via an LU solve against the
-//!   original constraint matrix, not the mutated tableau),
+//!   original constraint matrix, not solver-internal state),
 //! * [`verify_optimality`] — an independent optimality certificate checker
-//!   (primal feasibility + dual feasibility + complementary slackness)
-//!   used heavily by the test-suite and property tests.
+//!   (primal feasibility + dual feasibility + complementary slackness +
+//!   primal–dual objective gap) used heavily by the test-suite and
+//!   property tests to certify both engines.
 //!
 //! Simplex (rather than an interior-point method) matters here: the
 //! K-switching structure theorem the paper leans on speaks about *basic*
@@ -54,6 +61,7 @@
 pub mod assembly;
 mod error;
 mod problem;
+mod revised;
 mod simplex;
 mod solution;
 mod standard_form;
@@ -61,6 +69,7 @@ mod verify;
 
 pub use error::LpError;
 pub use problem::{LpProblem, Relation, RowId, Sense, VarId};
+pub use revised::LpEngine;
 pub use simplex::SimplexOptions;
 pub use solution::LpSolution;
 pub use verify::{verify_optimality, OptimalityReport};

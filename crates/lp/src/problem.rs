@@ -2,6 +2,7 @@ use std::fmt;
 
 use socbuf_linalg::Csr;
 
+use crate::revised::LpEngine;
 use crate::simplex::{solve_standard, SimplexOptions};
 use crate::solution::LpSolution;
 use crate::LpError;
@@ -399,7 +400,8 @@ impl LpProblem {
         &self.upper
     }
 
-    /// Solves the problem with default [`SimplexOptions`].
+    /// Solves the problem with default [`SimplexOptions`] — the sparse
+    /// revised simplex engine ([`LpEngine::Revised`]).
     ///
     /// # Errors
     ///
@@ -409,6 +411,17 @@ impl LpProblem {
     /// * [`LpError::IterationLimit`] — the pivot budget ran out.
     pub fn solve(&self) -> Result<LpSolution, LpError> {
         self.solve_with(&SimplexOptions::default())
+    }
+
+    /// Solves with the dense-tableau engine ([`LpEngine::Tableau`]) at
+    /// otherwise default options — the cross-check oracle the
+    /// `engine_oracle` test suite compares [`LpProblem::solve`] against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LpProblem::solve`].
+    pub fn solve_tableau(&self) -> Result<LpSolution, LpError> {
+        self.solve_with(&SimplexOptions::default().with_engine(LpEngine::Tableau))
     }
 
     /// Solves the problem with explicit solver options.

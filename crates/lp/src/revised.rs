@@ -1,0 +1,835 @@
+//! Sparse revised simplex — the default engine behind
+//! [`LpProblem::solve`].
+//!
+//! The dense tableau solver ([`crate::simplex`]) carries the full
+//! `m × n` canonical tableau through every pivot: each iteration costs
+//! `O(m · n)` regardless of how sparse the problem is, and the
+//! occupation-measure LPs this workspace exists for are block diagonal
+//! and >95 % sparse. The revised method keeps the problem data in its
+//! CSR [`StandardForm`] untouched and represents the basis inverse
+//! implicitly:
+//!
+//! * **Basis factorization** — a sparse LU of the `m × m` basis matrix
+//!   ([`socbuf_linalg::SparseLu`], the same column-oriented contract as
+//!   the dense [`socbuf_linalg::Lu`] kernel but `O(n² + fill)` to
+//!   factor: simplex bases of these LPs carry 2–6 nonzeros per column)
+//!   plus a *product-form eta file*: after each pivot the update
+//!   `B_new = B · E` is recorded as the sparse eta vector `w = B⁻¹ a_q`
+//!   and the pivot row `r`, so `B⁻¹ v` and `B⁻ᵀ v` are one LU solve
+//!   plus one sweep over the etas.
+//! * **Refactorization cadence** — the eta file is collapsed back into
+//!   a fresh LU every [`SimplexOptions::refactor_interval`] pivots (a
+//!   Bartels–Golub-style refresh: rebuilding the factorization bounds
+//!   both the eta-file length and the floating-point drift it
+//!   accumulates). Refactorization also re-derives the basic values
+//!   from the original right-hand side, so error cannot compound across
+//!   the run.
+//! * **Sparse pricing** — reduced costs are recomputed each iteration
+//!   as `d = c − Aᵀ y` by one pass over the CSR rows whose dual is
+//!   nonzero: `O(nnz)`, never `O(m · n)`. Entering columns are gathered
+//!   from a CSC mirror of `A` (one transpose, built once per solve).
+//! * **Anti-cycling** — the same Dantzig-with-Bland-stall-fallback rule
+//!   as the tableau engine: after [`SimplexOptions::stall_switch`]
+//!   consecutive degenerate pivots both the entering *and* the leaving
+//!   choice switch to Bland's smallest-index rule, which guarantees
+//!   termination; pricing returns to Dantzig once a pivot makes strict
+//!   progress. The deterministic right-hand-side perturbation
+//!   ([`SimplexOptions::perturbation`]) comes from the shared
+//!   `StandardForm::perturbed_b`, so both engines *start from* the
+//!   identical perturbed problem and their optimal objectives agree to
+//!   solver precision — the property the cross-engine oracle tests pin
+//!   down. (Caveat: the deep-stall *re*-perturbation escape hatch is
+//!   engine-local state; on an instance degenerate enough to trigger it
+//!   in one engine but not the other, agreement loosens to the
+//!   reperturbation scale. None of the pinned corpora reach that
+//!   regime, and with perturbation off — the default — it cannot fire.)
+//!
+//! Per-iteration cost is `O(nnz + m²)` (pricing plus two triangular
+//! solves and the eta sweep) against the tableau's `O(m · n_total)`
+//! with `n_total` including the artificial columns; on the
+//! `network_processor` template at `state_cap ≥ 16` this is the
+//! difference measured by the `lp_scaling_probe` smoke check.
+//!
+//! [`LpProblem::solve`]: crate::LpProblem::solve
+
+use socbuf_linalg::{Csr, SparseLu};
+
+use crate::simplex::{BasicSolution, SimplexOptions};
+use crate::standard_form::StandardForm;
+use crate::LpError;
+
+/// Which simplex implementation [`crate::LpProblem::solve_with`] runs.
+///
+/// Both engines share the sparse CSR standard form, the two-phase
+/// artificial-variable scheme, the stall-triggered Bland fallback and
+/// the deterministic degeneracy-breaking perturbation, so they solve the
+/// *same* problem and certify against the same
+/// [`crate::verify_optimality`] oracle — they differ only in how the
+/// basis inverse is represented (implicit LU + eta file vs explicit
+/// canonical tableau).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LpEngine {
+    /// Sparse revised simplex (this module): `O(nnz + m²)` per pivot.
+    /// The default.
+    #[default]
+    Revised,
+    /// Dense-tableau simplex (the `simplex` module): `O(m · n)` per
+    /// pivot. Kept as the cross-check oracle and for tiny dense
+    /// problems where the tableau's simplicity wins.
+    Tableau,
+}
+
+impl std::fmt::Display for LpEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpEngine::Revised => write!(f, "revised"),
+            LpEngine::Tableau => write!(f, "tableau"),
+        }
+    }
+}
+
+/// One product-form update: after the pivot, `B⁻¹_new = E⁻¹ B⁻¹_old`
+/// where `E` is the identity with column `row` replaced by the FTRAN-ed
+/// entering column `w`. Stored sparsely — `w` inherits the basis
+/// column's sparsity, and the eta sweep should cost what the data
+/// costs, not `O(m)` per eta.
+struct Eta {
+    row: usize,
+    /// `w[row]` — the pivot element.
+    pivot: f64,
+    /// Nonzero off-pivot entries of `w` as `(index, value)`.
+    terms: Vec<(usize, f64)>,
+}
+
+impl Eta {
+    fn from_dense(row: usize, w: &[f64]) -> Eta {
+        Eta {
+            row,
+            pivot: w[row],
+            terms: w
+                .iter()
+                .enumerate()
+                .filter(|&(i, &wi)| i != row && wi != 0.0)
+                .map(|(i, &wi)| (i, wi))
+                .collect(),
+        }
+    }
+
+    /// Applies `E⁻¹` in place (forward direction, used by FTRAN).
+    fn ftran(&self, v: &mut [f64]) {
+        let vr = v[self.row] / self.pivot;
+        v[self.row] = vr;
+        if vr == 0.0 {
+            return;
+        }
+        for &(i, wi) in &self.terms {
+            v[i] -= wi * vr;
+        }
+    }
+
+    /// Applies `E⁻ᵀ` in place (reverse direction, used by BTRAN).
+    fn btran(&self, v: &mut [f64]) {
+        let mut acc = v[self.row];
+        for &(i, wi) in &self.terms {
+            acc -= wi * v[i];
+        }
+        v[self.row] = acc / self.pivot;
+    }
+}
+
+/// Solver state: problem data (immutable) + basis bookkeeping.
+struct Revised<'a> {
+    sf: &'a StandardForm,
+    /// CSC mirror of `sf.a` (row `j` of `at` = column `j` of `A`).
+    at: Csr,
+    /// Working right-hand side (perturbation included).
+    b: Vec<f64>,
+    /// `basis[i]` — standard-form column basic in row `i`; artificial
+    /// columns are numbered `n_sf..n_sf + n_art`.
+    basis: Vec<usize>,
+    /// Current values of the basic variables (`x_B = B⁻¹ b`).
+    xb: Vec<f64>,
+    /// Column status: true when the column may not (re-)enter.
+    banned: Vec<bool>,
+    /// `in_basis[j]` — whether column `j` is currently basic.
+    in_basis: Vec<bool>,
+    /// Fresh sparse LU of the basis, plus the eta file accumulated
+    /// since.
+    lu: SparseLu,
+    etas: Vec<Eta>,
+    /// Row of each artificial column: column `n_sf + k` is the unit
+    /// vector `e_{art_rows[k]}`.
+    art_rows: Vec<usize>,
+    /// First artificial column index (`n_sf`).
+    n_sf: usize,
+    tol: f64,
+    refactor_interval: usize,
+    iterations: usize,
+}
+
+enum Phase {
+    One,
+    Two,
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded(usize),
+}
+
+impl<'a> Revised<'a> {
+    fn new(sf: &'a StandardForm, options: &SimplexOptions) -> Result<Self, LpError> {
+        let m = sf.a.rows();
+        let n_sf = sf.a.cols();
+        let n_art: usize = sf.needs_artificial.iter().filter(|&&x| x).count();
+        let total = n_sf + n_art;
+
+        // Shared deterministic perturbation: both engines then start
+        // from the same perturbed LP and agree on its objective.
+        let b = sf.perturbed_b(options.perturbation);
+
+        // Starting basis: the slack column where one exists, an
+        // artificial elsewhere — exactly the tableau's warm start. The
+        // initial basis matrix is diag(±1 slacks, +1 artificials)… but
+        // Ge-row surpluses carry −1 and the rhs is ≥ 0, so those rows
+        // take the artificial, never the surplus: every starting basic
+        // column is a +1 unit vector and B₀ = I.
+        let mut basis = vec![usize::MAX; m];
+        let mut in_basis = vec![false; total];
+        let mut next_art = n_sf;
+        for i in 0..m {
+            if sf.needs_artificial[i] {
+                basis[i] = next_art;
+                next_art += 1;
+            } else {
+                basis[i] = sf.slack_col[i].expect("row without artificial must have a slack");
+            }
+            in_basis[basis[i]] = true;
+        }
+
+        let identity: Vec<Vec<(usize, f64)>> = (0..m).map(|i| vec![(i, 1.0)]).collect();
+        let lu = SparseLu::factor_cols(m, &identity)
+            .map_err(|e| LpError::InvalidModel(format!("identity factorization failed: {e}")))?;
+
+        let refactor_interval = if options.refactor_interval == 0 {
+            // The sparse refresh is cheap (O(m² scan + fill)), so the
+            // cadence is tuned to keep the eta file — and with it the
+            // FTRAN/BTRAN sweep cost and float drift — short.
+            64
+        } else {
+            options.refactor_interval
+        };
+
+        // B₀ = I, so x_B = b directly; the identity LU above matches.
+        Ok(Revised {
+            sf,
+            at: sf.a.transpose(),
+            xb: b.clone(),
+            b,
+            basis,
+            banned: vec![false; total],
+            in_basis,
+            lu,
+            etas: Vec::new(),
+            art_rows: sf.artificial_rows(),
+            n_sf,
+            tol: options.tolerance,
+            refactor_interval,
+            iterations: 0,
+        })
+    }
+
+    fn m(&self) -> usize {
+        self.sf.a.rows()
+    }
+
+    /// Column `j` of the standard form + artificials as sparse terms.
+    fn column(&self, j: usize) -> ColumnIter<'_> {
+        if j < self.n_sf {
+            let (idx, vals) = self.at.row(j);
+            ColumnIter::Structural { idx, vals, pos: 0 }
+        } else {
+            // Artificial column = the unit vector of its row.
+            ColumnIter::Artificial(Some(self.art_rows[j - self.n_sf]))
+        }
+    }
+
+    /// `B⁻¹ v` — one LU solve plus the eta sweep.
+    fn ftran(&self, v: &[f64]) -> Result<Vec<f64>, LpError> {
+        let mut x = self
+            .lu
+            .solve(v)
+            .map_err(|e| LpError::InvalidModel(format!("FTRAN failed: {e}")))?;
+        for eta in &self.etas {
+            eta.ftran(&mut x);
+        }
+        Ok(x)
+    }
+
+    /// `B⁻ᵀ v` — the eta sweep in reverse, then one transposed LU solve.
+    fn btran(&self, v: &[f64]) -> Result<Vec<f64>, LpError> {
+        let mut x = v.to_vec();
+        for eta in self.etas.iter().rev() {
+            eta.btran(&mut x);
+        }
+        self.lu
+            .solve_transpose(&x)
+            .map_err(|e| LpError::InvalidModel(format!("BTRAN failed: {e}")))
+    }
+
+    /// Regathers the (sparse) basis columns, refactors them, clears the
+    /// eta file and recomputes `x_B = B⁻¹ b` from the original data.
+    fn refactorize(&mut self) -> Result<(), LpError> {
+        let m = self.m();
+        let cols: Vec<Vec<(usize, f64)>> = self
+            .basis
+            .iter()
+            .map(|&col| self.column(col).collect())
+            .collect();
+        self.lu = SparseLu::factor_cols(m, &cols)
+            .map_err(|e| LpError::InvalidModel(format!("basis refactorization failed: {e}")))?;
+        self.etas.clear();
+        self.xb = self.ftran(&self.b.clone())?;
+        // Feasibility-preserving cleanup of factorization dust.
+        for x in self.xb.iter_mut() {
+            if *x < 0.0 && *x > -1e-9 {
+                *x = 0.0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Basic-cost vector for the given phase.
+    fn basic_costs(&self, phase: &Phase) -> Vec<f64> {
+        self.basis
+            .iter()
+            .map(|&j| match phase {
+                Phase::One => {
+                    if j >= self.n_sf {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                Phase::Two => {
+                    if j < self.n_sf {
+                        self.sf.c[j]
+                    } else {
+                        0.0
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Reduced costs of all structural + slack columns: `d = c − Aᵀ y`,
+    /// accumulated in `O(nnz)` by scattering each CSR row with a
+    /// nonzero dual. Artificial columns are never priced (they are
+    /// banned the moment they leave the basis).
+    fn reduced_costs(&self, y: &[f64], phase: &Phase) -> Vec<f64> {
+        let mut d = match phase {
+            Phase::One => vec![0.0; self.n_sf],
+            Phase::Two => self.sf.c.clone(),
+        };
+        for (i, &yi) in y.iter().enumerate() {
+            if yi == 0.0 {
+                continue;
+            }
+            for (j, v) in self.sf.a.iter_row(i) {
+                d[j] -= yi * v;
+            }
+        }
+        d
+    }
+
+    /// Dantzig pricing over the reduced costs; `None` = optimal.
+    fn enter_dantzig(&self, d: &[f64]) -> Option<usize> {
+        let mut best = None;
+        let mut best_val = -self.tol;
+        for (j, &dj) in d.iter().enumerate() {
+            if !self.banned[j] && !self.in_basis[j] && dj < best_val {
+                best_val = dj;
+                best = Some(j);
+            }
+        }
+        best
+    }
+
+    /// Bland pricing: smallest column index with a negative reduced cost.
+    fn enter_bland(&self, d: &[f64]) -> Option<usize> {
+        d.iter()
+            .enumerate()
+            .find(|&(j, &dj)| !self.banned[j] && !self.in_basis[j] && dj < -self.tol)
+            .map(|(j, _)| j)
+    }
+
+    /// Ratio test on `w = B⁻¹ a_q`. Two-pass Harris style under Dantzig
+    /// (largest pivot within a window of the minimum ratio), smallest
+    /// basis index under Bland — the stalled regime needs Bland to
+    /// govern *both* pivot choices for the termination guarantee.
+    ///
+    /// In phase 2 a basic artificial sitting at zero must never grow
+    /// again: any entering column touching its row pivots the artificial
+    /// out first via a degenerate (θ = 0) pivot.
+    fn leave(&self, w: &[f64], bland: bool, guard_artificials: bool) -> Option<usize> {
+        if guard_artificials {
+            for (i, &wi) in w.iter().enumerate() {
+                if self.basis[i] >= self.n_sf && wi.abs() > self.tol.max(1e-7) {
+                    return Some(i);
+                }
+            }
+        }
+        let mut min_ratio = f64::INFINITY;
+        for (i, &wi) in w.iter().enumerate() {
+            if wi > self.tol {
+                min_ratio = min_ratio.min(self.xb[i].max(0.0) / wi);
+            }
+        }
+        if !min_ratio.is_finite() {
+            return None;
+        }
+        let window = self.tol * (1.0 + min_ratio.abs());
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &wi) in w.iter().enumerate() {
+            if wi > self.tol && self.xb[i].max(0.0) / wi <= min_ratio + window {
+                let better = match best {
+                    None => true,
+                    Some((bi, bv)) => {
+                        if bland {
+                            self.basis[i] < self.basis[bi]
+                        } else {
+                            wi > bv || (wi == bv && self.basis[i] < self.basis[bi])
+                        }
+                    }
+                };
+                if better {
+                    best = Some((i, wi));
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Executes the basis change `basis[r] ← q` with the already
+    /// FTRAN-ed column `w`, updating `x_B` and the eta file.
+    fn pivot(&mut self, r: usize, q: usize, w: Vec<f64>) -> Result<(), LpError> {
+        let theta = (self.xb[r].max(0.0) / w[r]).max(0.0);
+        if theta > 0.0 {
+            for (i, &wi) in w.iter().enumerate() {
+                if wi != 0.0 {
+                    self.xb[i] -= theta * wi;
+                    if self.xb[i].abs() < 1e-13 {
+                        self.xb[i] = 0.0;
+                    }
+                }
+            }
+        }
+        self.xb[r] = theta;
+        let leaving = self.basis[r];
+        self.in_basis[leaving] = false;
+        if leaving >= self.n_sf {
+            // Artificials may never come back.
+            self.banned[leaving] = true;
+        }
+        self.basis[r] = q;
+        self.in_basis[q] = true;
+        self.etas.push(Eta::from_dense(r, &w));
+        self.iterations += 1;
+        if self.etas.len() >= self.refactor_interval {
+            self.refactorize()?;
+        }
+        Ok(())
+    }
+
+    /// Adds a positive, feasibility-preserving perturbation to the
+    /// basic values *and* the stored right-hand side (via `b += B·δ`,
+    /// keeping `x_B = B⁻¹ b` exact) — the deep-stall escape hatch shared
+    /// conceptually with the tableau engine's `reperturb`.
+    fn reperturb(&mut self, eps: f64) {
+        let m = self.m();
+        for i in 0..m {
+            let r = crate::simplex::reperturb_factor(i);
+            let delta = eps * r * (1.0 + self.xb[i].abs());
+            self.xb[i] += delta;
+            // b += δ_i · B e_i = δ_i · a_{basis[i]}.
+            let col = self.basis[i];
+            let terms: Vec<(usize, f64)> = self.column(col).collect();
+            for (row, v) in terms {
+                self.b[row] += delta * v;
+            }
+        }
+    }
+
+    /// Runs one phase to optimality / unboundedness.
+    fn run_phase(
+        &mut self,
+        phase: Phase,
+        options: &SimplexOptions,
+        max_iterations: usize,
+    ) -> Result<PhaseOutcome, LpError> {
+        let guard = matches!(phase, Phase::Two);
+        let mut stall = 0usize;
+        let mut reperturbs = 0usize;
+        loop {
+            if self.iterations >= max_iterations {
+                return Err(LpError::IterationLimit {
+                    limit: max_iterations,
+                });
+            }
+            let cb = self.basic_costs(&phase);
+            let y = self.btran(&cb)?;
+            let d = self.reduced_costs(&y, &phase);
+            let stalled = stall >= options.stall_switch;
+            let enter = if stalled {
+                self.enter_bland(&d)
+            } else {
+                self.enter_dantzig(&d)
+            };
+            let Some(q) = enter else {
+                // Eta-file drift can fake optimality; only a verdict from
+                // a fresh factorization is trusted.
+                if !self.etas.is_empty() {
+                    self.refactorize()?;
+                    let y = self.btran(&self.basic_costs(&phase))?;
+                    let d = self.reduced_costs(&y, &phase);
+                    if let Some(q) = if stalled {
+                        self.enter_bland(&d)
+                    } else {
+                        self.enter_dantzig(&d)
+                    } {
+                        // Not optimal after all — take the pivot now.
+                        if self.step(q, stalled, guard)?.is_none() {
+                            return Ok(PhaseOutcome::Unbounded(q));
+                        }
+                        stall += 1; // conservatively treat as degenerate
+                        continue;
+                    }
+                }
+                return Ok(PhaseOutcome::Optimal);
+            };
+            let Some(degenerate) = self.step(q, stalled, guard)? else {
+                // Unbounded ray: trust it only from a fresh basis.
+                if self.etas.is_empty() {
+                    return Ok(PhaseOutcome::Unbounded(q));
+                }
+                self.refactorize()?;
+                if self.step(q, stalled, guard)?.is_none() {
+                    return Ok(PhaseOutcome::Unbounded(q));
+                }
+                stall += 1;
+                continue;
+            };
+            if degenerate {
+                stall += 1;
+            } else {
+                stall = 0;
+            }
+            if options.perturbation > 0.0 && stall >= 4 * options.stall_switch && reperturbs < 24 {
+                let eps = crate::simplex::reperturb_eps(options.perturbation, reperturbs);
+                self.reperturb(eps);
+                stall = 0;
+                reperturbs += 1;
+            }
+        }
+    }
+
+    /// FTRANs the entering column, runs the ratio test and pivots.
+    /// `Ok(None)` = unbounded; `Ok(Some(degenerate))` = pivot done.
+    fn step(&mut self, q: usize, bland: bool, guard: bool) -> Result<Option<bool>, LpError> {
+        let aq: Vec<f64> = {
+            let mut col = vec![0.0; self.m()];
+            for (i, v) in self.column(q) {
+                col[i] = v;
+            }
+            col
+        };
+        let mut w = self.ftran(&aq)?;
+        let mut r = match self.leave(&w, bland, guard) {
+            Some(r) => r,
+            None => return Ok(None),
+        };
+        // A pivot element this small signals eta-file drift: refresh the
+        // factorization once and redo the FTRAN before giving up.
+        if w[r].abs() < 1e-9 && !self.etas.is_empty() {
+            self.refactorize()?;
+            w = self.ftran(&aq)?;
+            r = match self.leave(&w, bland, guard) {
+                Some(r) => r,
+                None => return Ok(None),
+            };
+        }
+        if w[r].abs() < 1e-11 {
+            return Err(LpError::InvalidModel(format!(
+                "revised simplex: pivot element {:.3e} too small (column {q})",
+                w[r]
+            )));
+        }
+        let degenerate = self.xb[r].abs() <= self.tol;
+        self.pivot(r, q, w)?;
+        Ok(Some(degenerate))
+    }
+
+    /// After phase 1: pivot still-basic artificials out wherever a
+    /// usable structural pivot exists (rows where none exists are
+    /// numerically redundant and stay guarded by the θ = 0 rule).
+    fn drive_out_artificials(&mut self) -> Result<(), LpError> {
+        let m = self.m();
+        for i in 0..m {
+            if self.basis[i] < self.n_sf {
+                continue;
+            }
+            // ρ = B⁻ᵀ e_i, then u_j = ρ·a_j for every column in O(nnz).
+            let mut e = vec![0.0; m];
+            e[i] = 1.0;
+            let rho = self.btran(&e)?;
+            let mut u = vec![0.0; self.n_sf];
+            for (row, &ri) in rho.iter().enumerate() {
+                if ri == 0.0 {
+                    continue;
+                }
+                for (j, v) in self.sf.a.iter_row(row) {
+                    u[j] += ri * v;
+                }
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for (j, &uj) in u.iter().enumerate() {
+                if self.in_basis[j] || self.banned[j] {
+                    continue;
+                }
+                let mag = uj.abs();
+                if mag > self.tol.max(1e-7) && best.is_none_or(|(_, bv)| mag > bv) {
+                    best = Some((j, mag));
+                }
+            }
+            if let Some((j, _)) = best {
+                let aq: Vec<f64> = {
+                    let mut col = vec![0.0; m];
+                    for (row, v) in self.column(j) {
+                        col[row] = v;
+                    }
+                    col
+                };
+                let w = self.ftran(&aq)?;
+                if w[i].abs() > self.tol.max(1e-7) {
+                    // Degenerate pivot: the artificial sits at ~0.
+                    self.xb[i] = 0.0;
+                    self.pivot(i, j, w)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the solution in the tableau engine's `BasicSolution`
+    /// shape: rows still owned by an artificial are reported inactive
+    /// (they are redundant), everything else maps one to one.
+    fn into_basic(self) -> BasicSolution {
+        let m = self.m();
+        let mut x = vec![0.0; self.n_sf];
+        let mut basis = vec![usize::MAX; m];
+        let mut row_active = vec![true; m];
+        for i in 0..m {
+            if self.basis[i] < self.n_sf {
+                basis[i] = self.basis[i];
+                x[self.basis[i]] = self.xb[i].max(0.0);
+            } else {
+                row_active[i] = false;
+            }
+        }
+        BasicSolution {
+            x,
+            basis,
+            row_active,
+            iterations: self.iterations,
+        }
+    }
+}
+
+/// Sparse column access that treats artificial columns as unit vectors.
+enum ColumnIter<'a> {
+    Structural {
+        idx: &'a [usize],
+        vals: &'a [f64],
+        pos: usize,
+    },
+    Artificial(Option<usize>),
+}
+
+impl Iterator for ColumnIter<'_> {
+    type Item = (usize, f64);
+
+    fn next(&mut self) -> Option<(usize, f64)> {
+        match self {
+            ColumnIter::Structural { idx, vals, pos } => {
+                let i = *pos;
+                if i < idx.len() {
+                    *pos += 1;
+                    Some((idx[i], vals[i]))
+                } else {
+                    None
+                }
+            }
+            ColumnIter::Artificial(row) => row.take().map(|i| (i, 1.0)),
+        }
+    }
+}
+
+/// Runs the two-phase revised simplex on a standard form. Mirrors
+/// [`crate::simplex::run_simplex`] exactly in its contract so
+/// [`crate::solution::LpSolution::from_basic`] serves both engines.
+pub(crate) fn run_revised(
+    sf: &StandardForm,
+    options: &SimplexOptions,
+) -> Result<BasicSolution, LpError> {
+    let m = sf.a.rows();
+    if m == 0 {
+        // No rows at all (the LU kernel rejects 0 × 0 input): with
+        // x ≥ 0 unconstrained, the optimum is x = 0 unless some cost is
+        // negative, in which case that column is an unbounded ray.
+        if let Some(col) = sf.c.iter().position(|&c| c < -options.tolerance) {
+            return Err(LpError::Unbounded { column: col });
+        }
+        return Ok(BasicSolution {
+            x: vec![0.0; sf.a.cols()],
+            basis: Vec::new(),
+            row_active: Vec::new(),
+            iterations: 0,
+        });
+    }
+    let n_art: usize = sf.needs_artificial.iter().filter(|&&x| x).count();
+    let total = sf.a.cols() + n_art;
+    let max_iterations = if options.max_iterations == 0 {
+        20_000.max(50 * (m + total))
+    } else {
+        options.max_iterations
+    };
+
+    let mut solver = Revised::new(sf, options)?;
+
+    if n_art > 0 {
+        match solver.run_phase(Phase::One, options, max_iterations)? {
+            PhaseOutcome::Optimal => {}
+            PhaseOutcome::Unbounded(_) => {
+                // Phase-1 objective is bounded below by 0; cannot happen.
+                return Err(LpError::InvalidModel(
+                    "phase 1 reported unbounded; numerical breakdown".into(),
+                ));
+            }
+        }
+        let phase1_obj: f64 = (0..m)
+            .filter(|&i| solver.basis[i] >= solver.n_sf)
+            .map(|i| solver.xb[i].max(0.0))
+            .sum();
+        let infeas_threshold = options
+            .tolerance
+            .max(1e-7)
+            .max(options.perturbation * 50.0 * m as f64);
+        if phase1_obj > infeas_threshold {
+            return Err(LpError::Infeasible {
+                residual: phase1_obj,
+            });
+        }
+        solver.drive_out_artificials()?;
+    }
+
+    match solver.run_phase(Phase::Two, options, max_iterations)? {
+        PhaseOutcome::Optimal => Ok(solver.into_basic()),
+        PhaseOutcome::Unbounded(col) => Err(LpError::Unbounded { column: col }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard_form::build_standard_form;
+    use crate::{LpProblem, Relation, Sense};
+
+    fn solve_revised(p: &LpProblem) -> Result<BasicSolution, LpError> {
+        let sf = build_standard_form(p).unwrap();
+        run_revised(&sf, &SimplexOptions::default())
+    }
+
+    #[test]
+    fn simple_max_problem() {
+        // Wyndor: max 3x + 5y; optimum 36 at (2, 6).
+        let mut p = LpProblem::new(Sense::Maximize);
+        let x = p.add_var("x", 3.0);
+        let y = p.add_var("y", 5.0);
+        p.add_constraint([(x, 1.0)], Relation::Le, 4.0).unwrap();
+        p.add_constraint([(y, 2.0)], Relation::Le, 12.0).unwrap();
+        p.add_constraint([(x, 3.0), (y, 2.0)], Relation::Le, 18.0)
+            .unwrap();
+        let basic = solve_revised(&p).unwrap();
+        assert!((basic.x[0] - 2.0).abs() < 1e-9, "x = {}", basic.x[0]);
+        assert!((basic.x[1] - 6.0).abs() < 1e-9, "y = {}", basic.x[1]);
+    }
+
+    #[test]
+    fn equality_rows_need_artificials() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 2.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Eq, 1.0)
+            .unwrap();
+        p.add_constraint([(x, 1.0)], Relation::Le, 0.75).unwrap();
+        let basic = solve_revised(&p).unwrap();
+        assert!((basic.x[0] - 0.75).abs() < 1e-9);
+        assert!((basic.x[1] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 1.0);
+        p.add_constraint([(x, 1.0)], Relation::Le, 1.0).unwrap();
+        p.add_constraint([(x, 1.0)], Relation::Ge, 2.0).unwrap();
+        assert!(matches!(solve_revised(&p), Err(LpError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = LpProblem::new(Sense::Maximize);
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 0.0);
+        p.add_constraint([(x, 1.0), (y, -1.0)], Relation::Le, 5.0)
+            .unwrap();
+        assert!(matches!(solve_revised(&p), Err(LpError::Unbounded { .. })));
+    }
+
+    #[test]
+    fn redundant_equalities_leave_inactive_rows() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 3.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Eq, 2.0)
+            .unwrap();
+        p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Eq, 2.0)
+            .unwrap();
+        let basic = solve_revised(&p).unwrap();
+        assert!((basic.x[0] - 2.0).abs() < 1e-9);
+        assert!(basic.x[1].abs() < 1e-9);
+        // One of the duplicate rows must be parked as redundant.
+        assert_eq!(basic.row_active.iter().filter(|&&a| !a).count(), 1);
+    }
+
+    #[test]
+    fn refactorization_cadence_is_exercised() {
+        // Force refactorization every 2 pivots on a problem needing more
+        // pivots than that; the answer must not change.
+        let mut p = LpProblem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..6)
+            .map(|j| p.add_var_bounded(format!("x{j}"), 1.0 + j as f64, 0.0, Some(2.0)))
+            .collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(terms, Relation::Le, 7.0).unwrap();
+        let sf = build_standard_form(&p).unwrap();
+        let opts = SimplexOptions {
+            refactor_interval: 2,
+            ..SimplexOptions::default()
+        };
+        let tight = run_revised(&sf, &opts).unwrap();
+        let loose = run_revised(&sf, &SimplexOptions::default()).unwrap();
+        let obj = |b: &BasicSolution| -> f64 { (0..6).map(|j| (1.0 + j as f64) * b.x[j]).sum() };
+        assert!((obj(&tight) - obj(&loose)).abs() < 1e-9);
+    }
+}

@@ -15,12 +15,13 @@
 
 use socbuf_linalg::Matrix;
 
+use crate::revised::{run_revised, LpEngine};
 use crate::solution::LpSolution;
 use crate::standard_form::{build_standard_form, StandardForm};
 use crate::LpError;
 use crate::LpProblem;
 
-/// Tuning knobs for the simplex solver.
+/// Tuning knobs for the simplex solvers (both engines).
 #[derive(Debug, Clone)]
 pub struct SimplexOptions {
     /// Maximum number of pivots across both phases. `0` selects an
@@ -38,8 +39,17 @@ pub struct SimplexOptions {
     /// returned solution solves the perturbed problem; primal values are
     /// within `O(perturbation)` of an exact vertex, which callers that
     /// enable this must tolerate (the CTMDP pipeline renormalizes its
-    /// occupation measures afterwards).
+    /// occupation measures afterwards). Both engines perturb with the
+    /// same deterministic formula, so they solve the identical problem.
     pub perturbation: f64,
+    /// Which solver implementation to run; see [`LpEngine`].
+    pub engine: LpEngine,
+    /// Revised engine only: pivots between basis refactorizations
+    /// (`0` = automatic, currently 64 — the sparse refresh is cheap, so
+    /// the cadence is tuned to bound eta-file length and float drift
+    /// rather than amortize factorization cost). The tableau engine
+    /// ignores this.
+    pub refactor_interval: usize,
 }
 
 impl Default for SimplexOptions {
@@ -49,8 +59,34 @@ impl Default for SimplexOptions {
             tolerance: 1e-9,
             stall_switch: 40,
             perturbation: 0.0,
+            engine: LpEngine::default(),
+            refactor_interval: 0,
         }
     }
+}
+
+impl SimplexOptions {
+    /// The given options with the engine swapped — convenience for
+    /// oracle tests that run both engines on identical settings.
+    pub fn with_engine(&self, engine: LpEngine) -> SimplexOptions {
+        SimplexOptions {
+            engine,
+            ..self.clone()
+        }
+    }
+}
+
+/// Per-row factor of the deep-stall *re*-perturbation (Fibonacci
+/// hashing), shared by both engines for the same reason
+/// `StandardForm::perturbed_b` is: the formula must not drift apart
+/// between them.
+pub(crate) fn reperturb_factor(i: usize) -> f64 {
+    ((i.wrapping_mul(0x9e3779b9) >> 7) % 997 + 1) as f64 / 997.0
+}
+
+/// Escalating magnitude of the `k`-th re-perturbation, shared likewise.
+pub(crate) fn reperturb_eps(perturbation: f64, reperturbs: usize) -> f64 {
+    perturbation * (1u64 << reperturbs.min(12)) as f64
 }
 
 /// Final state of a simplex run, in standard-form coordinates.
@@ -159,7 +195,7 @@ impl Tableau {
             if !self.active[i] {
                 continue;
             }
-            let r = ((i.wrapping_mul(0x9e3779b9) >> 7) % 997 + 1) as f64 / 997.0;
+            let r = reperturb_factor(i);
             self.b[i] += eps * r * (1.0 + self.b[i].abs());
         }
     }
@@ -279,7 +315,7 @@ fn run_phase(
         // Re-perturb the canonical rhs (positive amounts keep the basis
         // feasible) with growing magnitude and go back to Dantzig.
         if perturbation > 0.0 && stall >= 4 * stall_switch && reperturbs < 24 {
-            let eps = perturbation * (1u64 << reperturbs.min(12)) as f64;
+            let eps = reperturb_eps(perturbation, reperturbs);
             t.reperturb(eps);
             stall = 0;
             reperturbs += 1;
@@ -325,16 +361,9 @@ pub(crate) fn run_simplex(
         }
     }
 
-    let mut b = sf.b.clone();
-    if options.perturbation > 0.0 {
-        // Deterministic pseudo-random perturbation (Knuth multiplicative
-        // hashing) keeps vertices non-degenerate so Dantzig pricing makes
-        // strict progress on massively degenerate equality systems.
-        for (i, bi) in b.iter_mut().enumerate() {
-            let r = ((i.wrapping_mul(2654435761) >> 8) % 1000 + 1) as f64 / 1000.0;
-            *bi += options.perturbation * (1.0 + bi.abs()) * r;
-        }
-    }
+    // Deterministic degeneracy-breaking perturbation, shared with the
+    // revised engine so both solve the identical problem.
+    let b = sf.perturbed_b(options.perturbation);
     let mut t = Tableau {
         a,
         b,
@@ -461,14 +490,18 @@ pub(crate) fn run_simplex(
     })
 }
 
-/// Entry point used by [`LpProblem::solve_with`].
+/// Entry point used by [`LpProblem::solve_with`]: builds the shared
+/// sparse standard form once, dispatches on the selected engine.
 pub(crate) fn solve_standard(
     p: &LpProblem,
     options: &SimplexOptions,
 ) -> Result<LpSolution, LpError> {
     let sf = build_standard_form(p)?;
-    let basic = run_simplex(&sf, options)?;
-    LpSolution::from_basic(p, &sf, &basic)
+    let basic = match options.engine {
+        LpEngine::Revised => run_revised(&sf, options)?,
+        LpEngine::Tableau => run_simplex(&sf, options)?,
+    };
+    LpSolution::from_basic(p, &sf, &basic, options.engine)
 }
 
 #[cfg(test)]
@@ -499,7 +532,9 @@ mod tests {
         )
         .unwrap();
         p.add_constraint([(x3, 1.0)], Relation::Le, 1.0).unwrap();
-        let sol = p.solve().unwrap();
+        let sol = p
+            .solve_with(&SimplexOptions::default().with_engine(LpEngine::Tableau))
+            .unwrap();
         assert!(
             (sol.objective() - (-0.05)).abs() < 1e-9,
             "objective {}",

@@ -1,6 +1,7 @@
 use socbuf_linalg::{Lu, Matrix};
 
 use crate::problem::{LpProblem, RowId, VarId};
+use crate::revised::LpEngine;
 use crate::simplex::BasicSolution;
 use crate::standard_form::StandardForm;
 use crate::LpError;
@@ -29,6 +30,7 @@ pub struct LpSolution {
     reduced: Vec<f64>,
     basic: Vec<bool>,
     iterations: usize,
+    engine: LpEngine,
 }
 
 impl LpSolution {
@@ -36,6 +38,7 @@ impl LpSolution {
         p: &LpProblem,
         sf: &StandardForm,
         basic: &BasicSolution,
+        engine: LpEngine,
     ) -> Result<LpSolution, LpError> {
         let n = p.num_vars();
         let mut values = vec![0.0; n];
@@ -124,6 +127,7 @@ impl LpSolution {
             reduced,
             basic: basic_flags,
             iterations: basic.iterations,
+            engine,
         })
     }
 
@@ -186,5 +190,12 @@ impl LpSolution {
     /// Total simplex pivots used across both phases.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Which engine produced this solution (both satisfy the same
+    /// [`crate::verify_optimality`] certificate; the tag matters when
+    /// interpreting pivot counts or reproducing a run).
+    pub fn engine(&self) -> LpEngine {
+        self.engine
     }
 }

@@ -37,6 +37,37 @@ pub(crate) struct StandardForm {
     pub slack_col: Vec<Option<usize>>,
 }
 
+impl StandardForm {
+    /// Rows that carry an artificial column, in the order the engines
+    /// number those columns (`a.cols() + k` sits in `artificial_rows()[k]`).
+    /// Shared by both engines so their phase-1 bases coincide exactly.
+    pub(crate) fn artificial_rows(&self) -> Vec<usize> {
+        self.needs_artificial
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &need)| need.then_some(i))
+            .collect()
+    }
+
+    /// The right-hand side with the deterministic degeneracy-breaking
+    /// perturbation applied (Knuth multiplicative hashing per row; a
+    /// no-op when `perturbation == 0`). Lives here — not in either
+    /// engine — because byte-identical perturbation is what makes the
+    /// two engines solve the *same* problem, which the cross-engine
+    /// oracle tests rely on; an engine-local copy of this formula
+    /// would let the two drift apart silently.
+    pub(crate) fn perturbed_b(&self, perturbation: f64) -> Vec<f64> {
+        let mut b = self.b.clone();
+        if perturbation > 0.0 {
+            for (i, bi) in b.iter_mut().enumerate() {
+                let r = ((i.wrapping_mul(2654435761) >> 8) % 1000 + 1) as f64 / 1000.0;
+                *bi += perturbation * (1.0 + bi.abs()) * r;
+            }
+        }
+        b
+    }
+}
+
 /// One row of the intermediate representation shared by the sparse and
 /// dense assembly paths: the user's constraints plus one
 /// `x ≤ upper − lower` row per upper-bounded variable, shifted by the

@@ -1,11 +1,22 @@
 //! Independent optimality certificate checking.
 //!
 //! Given a problem and a candidate [`LpSolution`], [`verify_optimality`]
-//! re-derives the three Karush–Kuhn–Tucker conditions for linear programs
-//! from the *original* problem data (not from solver internals): primal
-//! feasibility, dual feasibility, and complementary slackness. Together
-//! they certify global optimality, which makes this the main oracle for
-//! the crate's property tests.
+//! re-derives the full optimality certificate for linear programs from
+//! the *original* problem data (not from solver internals):
+//!
+//! 1. **primal feasibility** — every row and bound holds,
+//! 2. **dual feasibility** — dual signs and reduced-cost signs are
+//!    consistent with optimality,
+//! 3. **complementary slackness** — `dual · slack = 0` and
+//!    `reduced_cost · (x − bound) = 0`,
+//! 4. **objective gap** — the dual objective assembled from the
+//!    returned prices equals the primal objective (strong duality); a
+//!    gap bounds how far the reported optimum can be from the truth.
+//!
+//! Together these certify global optimality. Every solver test routes
+//! through this checker for *both* engines ([`crate::LpEngine`]), so a
+//! solver change that produces plausible-but-wrong solutions cannot
+//! pass the suite.
 
 use crate::problem::{LpProblem, Relation};
 use crate::{LpSolution, Sense};
@@ -20,19 +31,23 @@ pub struct OptimalityReport {
     pub dual_feasible: bool,
     /// `dual · slack = 0` and `reduced_cost · (x − bound) = 0` hold.
     pub complementary: bool,
+    /// Primal and dual objectives agree (strong duality).
+    pub gap_closed: bool,
     /// Largest primal violation found.
     pub max_primal_violation: f64,
     /// Largest dual-sign / reduced-cost-sign violation found.
     pub max_dual_violation: f64,
     /// Largest complementary-slackness product found.
     pub max_complementarity_violation: f64,
+    /// Relative primal−dual objective gap `|cᵀx − dual obj| / (1+|cᵀx|)`.
+    pub objective_gap: f64,
 }
 
 impl OptimalityReport {
-    /// `true` when all three KKT groups hold — a complete certificate of
-    /// optimality for a linear program.
+    /// `true` when all four certificate groups hold — a complete
+    /// certificate of global optimality for a linear program.
     pub fn is_optimal(&self) -> bool {
-        self.primal_feasible && self.dual_feasible && self.complementary
+        self.primal_feasible && self.dual_feasible && self.complementary && self.gap_closed
     }
 }
 
@@ -128,12 +143,43 @@ pub fn verify_optimality(problem: &LpProblem, solution: &LpSolution, tol: f64) -
         }
     }
 
+    // Strong duality: rebuild the dual objective from the returned
+    // prices. In min form with bounds `l ≤ x ≤ u` the dual objective is
+    //   Σ_i y_i·b_i + Σ_j (d_j ≥ 0 ? d_j·l_j : d_j·u_j),
+    // the bound terms being the prices of the active box constraints. A
+    // variable with d_j < 0 and no upper bound is dual-infeasible
+    // (already flagged above); its x_j term keeps the gap finite.
+    let primal_min: f64 = (0..n)
+        .map(|j| sign * problem.objective_coeff(crate::VarId(j)) * x[j])
+        .sum();
+    let mut dual_min = 0.0;
+    for ri in 0..problem.num_rows() {
+        let r = crate::RowId(ri);
+        let (_, _, rhs) = problem.row(r);
+        dual_min += sign * solution.dual(r) * rhs;
+    }
+    for j in 0..n {
+        let (lo, up) = problem.bounds(crate::VarId(j));
+        let d = d_min[j];
+        dual_min += if d >= 0.0 {
+            d * lo
+        } else {
+            match up {
+                Some(u) => d * u,
+                None => d * x[j],
+            }
+        };
+    }
+    let gap = (primal_min - dual_min).abs() / (1.0 + primal_min.abs());
+
     OptimalityReport {
         primal_feasible: max_primal <= tol,
         dual_feasible: max_dual <= tol,
         complementary: max_comp <= tol,
+        gap_closed: gap <= tol,
         max_primal_violation: max_primal,
         max_dual_violation: max_dual,
         max_complementarity_violation: max_comp,
+        objective_gap: gap,
     }
 }

@@ -1,9 +1,40 @@
 //! End-to-end tests of the two-phase simplex against textbook problems,
 //! pathological cases, and randomized KKT-verified instances.
+//!
+//! Every solve in this file goes through [`solve_certified`], which runs
+//! *both* engines (sparse revised + dense tableau), demands a full
+//! optimality certificate from each — primal feasibility, dual
+//! feasibility, complementary slackness and a closed duality gap — and
+//! checks the engines agree on the objective. A solver regression in
+//! either engine fails every test here, not just a dedicated oracle.
 
-use socbuf_lp::{verify_optimality, LpError, LpProblem, Relation, Sense, SimplexOptions};
+use socbuf_lp::{
+    verify_optimality, LpEngine, LpError, LpProblem, LpSolution, Relation, Sense, SimplexOptions,
+};
 
 const TOL: f64 = 1e-6;
+
+/// Solves with both engines, certifies both solutions via the KKT/gap
+/// checker, asserts objective agreement, and returns the default
+/// (revised) engine's solution for further assertions.
+fn solve_certified(p: &LpProblem) -> LpSolution {
+    let revised = p.solve().expect("revised engine failed");
+    assert_eq!(revised.engine(), LpEngine::Revised);
+    let tableau = p.solve_tableau().expect("tableau engine failed");
+    assert_eq!(tableau.engine(), LpEngine::Tableau);
+    for (name, sol) in [("revised", &revised), ("tableau", &tableau)] {
+        let report = verify_optimality(p, sol, TOL);
+        assert!(report.is_optimal(), "{name} certificate failed: {report:?}");
+    }
+    assert!(
+        (revised.objective() - tableau.objective()).abs()
+            <= 1e-9 * (1.0 + revised.objective().abs()),
+        "engines disagree: revised {} vs tableau {}",
+        revised.objective(),
+        tableau.objective()
+    );
+    revised
+}
 
 #[test]
 fn wyndor_glass_max_with_known_duals() {
@@ -17,7 +48,7 @@ fn wyndor_glass_max_with_known_duals() {
     let r3 = p
         .add_constraint([(x, 3.0), (y, 2.0)], Relation::Le, 18.0)
         .unwrap();
-    let sol = p.solve().unwrap();
+    let sol = solve_certified(&p);
     assert!((sol.objective() - 36.0).abs() < TOL);
     assert!((sol.value(x) - 2.0).abs() < TOL);
     assert!((sol.value(y) - 6.0).abs() < TOL);
@@ -38,7 +69,7 @@ fn diet_min_with_ge_rows() {
         .unwrap();
     p.add_constraint([(a, 4.0), (b, 2.0)], Relation::Ge, 15.0)
         .unwrap();
-    let sol = p.solve().unwrap();
+    let sol = solve_certified(&p);
     let report = verify_optimality(&p, &sol, TOL);
     assert!(report.is_optimal(), "{report:?}");
     // Optimum: the second row binds with a = 15/4, first slack.
@@ -58,7 +89,7 @@ fn equality_constraints() {
         .unwrap();
     p.add_constraint([(x, 1.0), (y, -1.0)], Relation::Eq, 2.0)
         .unwrap();
-    let sol = p.solve().unwrap();
+    let sol = solve_certified(&p);
     // Cheapest: put everything in x subject to x - y = 2: x = 6, y = 4, z = 0.
     assert!((sol.value(x) - 6.0).abs() < TOL);
     assert!((sol.value(y) - 4.0).abs() < TOL);
@@ -74,6 +105,7 @@ fn infeasible_is_detected() {
     p.add_constraint([(x, 1.0)], Relation::Le, 1.0).unwrap();
     p.add_constraint([(x, 1.0)], Relation::Ge, 2.0).unwrap();
     assert!(matches!(p.solve(), Err(LpError::Infeasible { .. })));
+    assert!(matches!(p.solve_tableau(), Err(LpError::Infeasible { .. })));
 }
 
 #[test]
@@ -84,6 +116,7 @@ fn unbounded_is_detected() {
     p.add_constraint([(x, 1.0), (y, -1.0)], Relation::Le, 5.0)
         .unwrap();
     assert!(matches!(p.solve(), Err(LpError::Unbounded { .. })));
+    assert!(matches!(p.solve_tableau(), Err(LpError::Unbounded { .. })));
 }
 
 #[test]
@@ -94,7 +127,7 @@ fn negative_rhs_rows_are_handled() {
     let y = p.add_var("y", 1.0);
     p.add_constraint([(x, -1.0), (y, -1.0)], Relation::Le, -4.0)
         .unwrap();
-    let sol = p.solve().unwrap();
+    let sol = solve_certified(&p);
     assert!((sol.objective() - 4.0).abs() < TOL);
     assert!(verify_optimality(&p, &sol, TOL).is_optimal());
 }
@@ -107,7 +140,7 @@ fn upper_bounds_are_respected() {
     let y = p.add_var_bounded("y", 1.0, 0.0, Some(3.0));
     p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Le, 4.0)
         .unwrap();
-    let sol = p.solve().unwrap();
+    let sol = solve_certified(&p);
     assert!((sol.value(x) - 1.0).abs() < TOL || sol.value(x) <= 1.5 + TOL);
     assert!((sol.objective() - 4.0).abs() < TOL);
     assert!(sol.value(x) <= 1.5 + TOL);
@@ -123,7 +156,7 @@ fn nonzero_lower_bounds_shift_correctly() {
     let y = p.add_var_bounded("y", 1.0, 3.0, None);
     p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 7.0)
         .unwrap();
-    let sol = p.solve().unwrap();
+    let sol = solve_certified(&p);
     assert!((sol.objective() - 7.0).abs() < TOL);
     assert!(sol.value(x) >= 2.0 - TOL);
     assert!(sol.value(y) >= 3.0 - TOL);
@@ -135,7 +168,7 @@ fn negative_lower_bounds_work() {
     // min x  s.t. x >= -5  →  x* = -5.
     let mut p = LpProblem::new(Sense::Minimize);
     let x = p.add_var_bounded("x", 1.0, -5.0, Some(10.0));
-    let sol = p.solve().unwrap();
+    let sol = solve_certified(&p);
     assert!((sol.value(x) + 5.0).abs() < TOL);
     assert!(verify_optimality(&p, &sol, TOL).is_optimal());
 }
@@ -152,7 +185,7 @@ fn degenerate_problem_terminates() {
         .unwrap();
     p.add_constraint([(x, 1.0), (y, 2.0)], Relation::Le, 3.0)
         .unwrap();
-    let sol = p.solve().unwrap();
+    let sol = solve_certified(&p);
     assert!((sol.objective() - 2.0).abs() < TOL);
     assert!(verify_optimality(&p, &sol, TOL).is_optimal());
 }
@@ -183,7 +216,7 @@ fn beale_cycling_example_terminates() {
     )
     .unwrap();
     p.add_constraint([(x6, 1.0)], Relation::Le, 1.0).unwrap();
-    let sol = p.solve().unwrap();
+    let sol = solve_certified(&p);
     assert!((sol.objective() + 0.05).abs() < TOL);
     assert!(verify_optimality(&p, &sol, TOL).is_optimal());
 }
@@ -200,7 +233,7 @@ fn klee_minty_3d() {
         .unwrap();
     p.add_constraint([(x1, 200.0), (x2, 20.0), (x3, 1.0)], Relation::Le, 10_000.0)
         .unwrap();
-    let sol = p.solve().unwrap();
+    let sol = solve_certified(&p);
     assert!((sol.objective() - 10_000.0).abs() < 1e-4);
     assert!((sol.value(x3) - 10_000.0).abs() < 1e-4);
     assert!(verify_optimality(&p, &sol, TOL).is_optimal());
@@ -216,7 +249,7 @@ fn redundant_equalities_are_tolerated() {
         .unwrap();
     p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Eq, 2.0)
         .unwrap();
-    let sol = p.solve().unwrap();
+    let sol = solve_certified(&p);
     assert!((sol.value(x) - 2.0).abs() < TOL);
     assert!(sol.value(y).abs() < TOL);
     assert!(verify_optimality(&p, &sol, TOL).is_optimal());
@@ -229,7 +262,7 @@ fn fixed_variables_via_equal_bounds() {
     let y = p.add_var("y", 1.0);
     p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 5.0)
         .unwrap();
-    let sol = p.solve().unwrap();
+    let sol = solve_certified(&p);
     assert!((sol.value(x) - 2.0).abs() < TOL);
     assert!((sol.value(y) - 3.0).abs() < TOL);
 }
@@ -284,7 +317,7 @@ fn transportation_problem() {
         p.add_constraint([(idx(0, j), 1.0), (idx(1, j), 1.0)], Relation::Ge, demand)
             .unwrap();
     }
-    let sol = p.solve().unwrap();
+    let sol = solve_certified(&p);
     assert!(verify_optimality(&p, &sol, TOL).is_optimal());
     // Total shipped equals total demand.
     let shipped: f64 = sol.values().iter().sum();
@@ -331,7 +364,7 @@ fn occupation_measure_shaped_lp() {
     // Coupling: limit use of action b.
     p.add_constraint([(x0b, 1.0), (x1b, 1.0)], Relation::Le, 0.3)
         .unwrap();
-    let sol = p.solve().unwrap();
+    let sol = solve_certified(&p);
     assert!(verify_optimality(&p, &sol, TOL).is_optimal());
     let total: f64 = sol.values().iter().sum();
     assert!((total - 1.0).abs() < TOL);
@@ -381,14 +414,14 @@ mod proptests {
         #[test]
         fn random_bounded_lps_solve_and_verify(p in bounded_lp()) {
             // x = 0 feasible and the box bounds everything: must solve.
-            let sol = p.solve().unwrap();
+            let sol = solve_certified(&p);
             let report = verify_optimality(&p, &sol, 1e-5);
             prop_assert!(report.is_optimal(), "KKT violated: {report:?}");
         }
 
         #[test]
         fn objective_matches_recomputation(p in bounded_lp()) {
-            let sol = p.solve().unwrap();
+            let sol = solve_certified(&p);
             let recomputed: f64 = p
                 .vars()
                 .map(|v| p.objective_coeff(v) * sol.value(v))

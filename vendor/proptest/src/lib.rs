@@ -223,7 +223,7 @@ pub mod collection {
         VecStrategy { elem, len }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         elem: S,
