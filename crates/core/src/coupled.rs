@@ -15,11 +15,14 @@
 //! [`CoupledSystem::solve_fixed_point`] runs the natural Picard
 //! iteration on these equations, with optional damping. On bridge-free
 //! architectures the system degenerates to independent M/M/1/K fixed
-//! points and converges immediately; on bridge rings (the paper's
-//! Figure 1 has the cycle `b → f → g → b`) the undamped iteration
-//! oscillates or diverges — which is exactly the observation that
-//! motivates the split-and-buffer methodology implemented in
-//! [`crate::formulation`].
+//! points and converges immediately; on a **saturated** bridge ring
+//! (the paper's Figure 1 has the cycle `b → f → g → b`; push its loads
+//! toward the ring's capacity and the availability products start
+//! overshooting) the undamped iteration oscillates without settling —
+//! which is exactly the observation that motivates the split-and-buffer
+//! methodology implemented in [`crate::formulation`]. At Figure 1's
+//! nominal loads the coupling is weak enough for even the naive
+//! iteration to settle; the tests below pin both regimes.
 
 use socbuf_markov::MM1K;
 use socbuf_soc::{Architecture, BufferAllocation, Client};
@@ -284,6 +287,85 @@ mod tests {
                 panic!("damped solve failed where the naive one settled: {e}");
             }
         }
+    }
+
+    #[test]
+    fn nominal_figure1_converges_even_undamped() {
+        // Honesty pin: at the paper's nominal loads the figure1 ring's
+        // coupling is weak and even the naive iteration settles fast.
+        // The methodology's motivation is the *saturated* regime below,
+        // not ring topology alone.
+        let arch = templates::figure1();
+        let alloc = BufferAllocation::uniform(&arch, 22);
+        let sys = CoupledSystem::build(&arch, &alloc);
+        let sol = sys.solve_fixed_point(1.0, 100, 1e-10).unwrap();
+        assert!(sol.iterations <= 20, "took {} iterations", sol.iterations);
+    }
+
+    #[test]
+    fn undamped_iteration_fails_on_the_saturated_figure1_ring() {
+        // The paper's motivating failure, previously asserted in doc
+        // comments only: push figure1's own bridge ring (b → f → g → b)
+        // toward saturation (λ × 4, μ unchanged) and the undamped
+        // Picard iteration oscillates without ever meeting the
+        // tolerance, while damping rescues the very same system.
+        let arch = templates::figure1()
+            .scale_rates(4.0, 1.0)
+            .expect("valid scaling");
+        let alloc = BufferAllocation::uniform(&arch, 22);
+        let sys = CoupledSystem::build(&arch, &alloc);
+        assert!(sys.quadratic_term_count() >= 4, "ring must stay coupled");
+
+        match sys.solve_fixed_point(1.0, 200, 1e-10) {
+            Err(CoreError::CoupledDiverged {
+                iterations,
+                residual,
+            }) => {
+                assert_eq!(iterations, 200);
+                // Oscillation, not numerical explosion: the residual
+                // plateaus at a finite level orders of magnitude above
+                // the tolerance.
+                assert!(residual.is_finite());
+                assert!(residual > 1e-7, "residual {residual} nearly converged");
+            }
+            Ok(sol) => panic!(
+                "undamped iteration settled in {} iterations on the saturated ring",
+                sol.iterations
+            ),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+
+        // Damping solves what the naive iteration cannot.
+        let damped = sys
+            .solve_fixed_point(0.2, 5000, 1e-10)
+            .expect("damped iteration converges on the saturated ring");
+        assert!(damped.blocking.iter().all(|b| (0.0..=1.0).contains(b)));
+    }
+
+    #[test]
+    fn bridge_free_architecture_converges_undamped_at_the_same_load() {
+        // The control arm: comparable per-bus pressure but no bridges →
+        // no cross-subsystem products → the naive iteration converges.
+        let mut b = ArchitectureBuilder::new();
+        let x = b.add_bus("x", 1.0).unwrap();
+        let y = b.add_bus("y", 0.6).unwrap();
+        let px = b.add_processor("px", &[x], 1.0).unwrap();
+        let qx = b.add_processor("qx", &[x], 1.0).unwrap();
+        let py = b.add_processor("py", &[y], 1.0).unwrap();
+        b.add_flow(px, FlowTarget::Bus(x), 0.60).unwrap();
+        b.add_flow(qx, FlowTarget::Bus(x), 0.28).unwrap();
+        b.add_flow(py, FlowTarget::Bus(y), 0.48).unwrap();
+        let arch = b.build().unwrap();
+        let alloc = BufferAllocation::uniform(&arch, 22);
+        let sys = CoupledSystem::build(&arch, &alloc);
+        assert_eq!(sys.quadratic_term_count(), 0, "no bridges, no products");
+        let sol = sys
+            .solve_fixed_point(1.0, 300, 1e-10)
+            .expect("bridge-free system converges undamped");
+        assert!(sol.iterations < 300);
+        // Residuals contract once the iteration is near the fixed point.
+        let tail = &sol.residuals[sol.residuals.len().saturating_sub(3)..];
+        assert!(tail.windows(2).all(|w| w[1] <= w[0]));
     }
 
     #[test]

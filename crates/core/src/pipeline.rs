@@ -3,7 +3,9 @@
 //! compare losses against the constant-sizing and timeout baselines.
 
 use socbuf_lp::LpEngine;
-use socbuf_sim::{average_reports, replicate, Arbiter, SimConfig, SimReport, TimeoutSpec};
+use socbuf_sim::{
+    average_reports, replication_config, simulate_with, Arbiter, SimConfig, SimReport, TimeoutSpec,
+};
 use socbuf_soc::{Architecture, BufferAllocation};
 
 use crate::formulation::{SizingConfig, SizingLp};
@@ -79,7 +81,8 @@ pub struct PipelineConfig {
     pub horizon: f64,
     /// Discarded warmup prefix.
     pub warmup: f64,
-    /// Base RNG seed (replication `i` uses `seed + i`).
+    /// Base RNG seed (replication `i` derives its own seed via
+    /// [`socbuf_sim::replication_seed`]).
     pub seed: u64,
     /// Independent replications to average (the paper uses 10).
     pub replications: usize,
@@ -151,6 +154,53 @@ fn relative_reduction(before: f64, after: f64) -> f64 {
     }
 }
 
+/// Execution strategy for the pipeline's independent simulation
+/// replications — the hook `socbuf-sweep`'s work pool plugs into.
+///
+/// Implementations MUST return results in replication-index order and
+/// call `f` exactly once per index; under those rules the pipeline's
+/// output is bit-identical no matter how the replications are scheduled
+/// (each replication derives its own RNG seed from its index, never
+/// from execution order).
+pub trait ReplicationPool {
+    /// Evaluates `f(0), …, f(n-1)` and returns the results in index
+    /// order.
+    fn run_replications(&self, n: usize, f: &(dyn Fn(usize) -> SimReport + Sync))
+        -> Vec<SimReport>;
+}
+
+/// The default [`ReplicationPool`]: runs replications one after another
+/// on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialPool;
+
+impl ReplicationPool for SerialPool {
+    fn run_replications(
+        &self,
+        n: usize,
+        f: &(dyn Fn(usize) -> SimReport + Sync),
+    ) -> Vec<SimReport> {
+        (0..n).map(f).collect()
+    }
+}
+
+/// `socbuf_sim::replicate`, routed through a [`ReplicationPool`].
+fn replicate_on<P: ReplicationPool + ?Sized>(
+    pool: &P,
+    arch: &Architecture,
+    alloc: &BufferAllocation,
+    arbiter: &Arbiter,
+    timeout: Option<&TimeoutSpec>,
+    config: &SimConfig,
+    n: usize,
+) -> Vec<SimReport> {
+    pool.run_replications(n, &|i| {
+        let cfg = replication_config(config, i);
+        let mut arb = arbiter.clone();
+        simulate_with(arch, alloc, &mut arb, timeout, &cfg)
+    })
+}
+
 /// Runs the full evaluation: size the buffers, then simulate all three
 /// policies with common seeds and average the replications.
 ///
@@ -162,6 +212,23 @@ pub fn evaluate_policies(
     arch: &Architecture,
     budget: usize,
     config: &PipelineConfig,
+) -> Result<PolicyComparison, CoreError> {
+    evaluate_policies_with(arch, budget, config, &SerialPool)
+}
+
+/// [`evaluate_policies`] with the simulation replications executed
+/// through `pool` — identical output for every [`ReplicationPool`]
+/// implementation (replication seeds derive from indices, averages are
+/// reduced in index order).
+///
+/// # Errors
+///
+/// Same as [`evaluate_policies`].
+pub fn evaluate_policies_with<P: ReplicationPool + ?Sized>(
+    arch: &Architecture,
+    budget: usize,
+    config: &PipelineConfig,
+    pool: &P,
 ) -> Result<PolicyComparison, CoreError> {
     if config.replications == 0 {
         return Err(CoreError::BadConfig("replications must be ≥ 1".into()));
@@ -182,7 +249,8 @@ pub fn evaluate_policies(
     // controller — slots granted backlog-blind, so hot clients are
     // pinned to a fixed share of the bus.
     let uniform = BufferAllocation::uniform(arch, budget);
-    let pre_runs = replicate(
+    let pre_runs = replicate_on(
+        pool,
         arch,
         &uniform,
         &Arbiter::FixedSlot,
@@ -193,7 +261,8 @@ pub fn evaluate_policies(
     let pre = average_reports(&pre_runs);
 
     // "After": CTMDP allocation + K-switching arbitration.
-    let post_runs = replicate(
+    let post_runs = replicate_on(
+        pool,
         arch,
         &outcome.allocation,
         &Arbiter::WeightedEffort {
@@ -208,7 +277,8 @@ pub fn evaluate_policies(
     // Timeout policy: thresholds calibrated to the baseline's mean waits
     // (the paper: "the average time spent by a request in a buffer").
     let spec = TimeoutSpec::from_calibration(&pre);
-    let to_runs = replicate(
+    let to_runs = replicate_on(
+        pool,
         arch,
         &uniform,
         &Arbiter::FixedSlot,

@@ -10,7 +10,7 @@
 //! exactly — the integer-feasibility step the LP cannot do by itself.
 
 use socbuf_markov::BirthDeath;
-use socbuf_soc::alloc::apportion;
+use socbuf_soc::alloc::apportion_with_keys;
 use socbuf_soc::{Architecture, BufferAllocation};
 
 use crate::formulation::{SizingConfig, SizingSolution};
@@ -82,18 +82,25 @@ pub fn translate(
         requirements.push(quantile_requirement(&corrected, config.quantile));
     }
 
+    // Queue names key the apportionment's remainder tie-breaks: they
+    // are unique and survive declaration reordering, so the allocation
+    // is permutation-equivariant (the metamorphic suite pins this) —
+    // positional tie-breaking would hand the contested unit to whichever
+    // tied queue happened to be declared first.
+    let keys: Vec<String> = arch.queue_ids().map(|q| arch.queue_name(q)).collect();
     let units = if budget >= nq {
         // One unit of floor per queue, remainder by (requirement − 1).
         let extra_shares: Vec<f64> = requirements
             .iter()
             .map(|&r| (r.saturating_sub(1)) as f64)
             .collect();
-        let extra = apportion(budget - nq, &extra_shares);
+        let extra = apportion_with_keys(budget - nq, &extra_shares, &keys);
         extra.into_iter().map(|e| e + 1).collect()
     } else {
-        apportion(
+        apportion_with_keys(
             budget,
             &requirements.iter().map(|&r| r as f64).collect::<Vec<_>>(),
+            &keys,
         )
     };
 

@@ -45,6 +45,9 @@ mod error;
 mod stats;
 
 pub use arbiter::{Arbiter, QueueView};
-pub use engine::{simulate, SimConfig, TimeoutSpec};
+pub use engine::{simulate, simulate_with, SimConfig, TimeoutSpec};
 pub use error::SimError;
-pub use stats::{average_reports, replicate, ProcStats, QueueStats, SimReport};
+pub use stats::{
+    average_reports, replicate, replication_config, replication_seed, ProcStats, QueueStats,
+    SimReport,
+};

@@ -76,7 +76,26 @@ impl BufferAllocation {
 /// Largest-remainder apportionment: splits `total` integer units in
 /// proportion to non-negative `shares`. Zero/negative-sum share vectors
 /// fall back to an even split. The result always sums to `total`.
+/// Remainder ties are broken by position (lowest index wins).
 pub fn apportion(total: usize, shares: &[f64]) -> Vec<usize> {
+    apportion_with_keys(total, shares, &vec![(); shares.len()])
+}
+
+/// [`apportion`] with explicit tie-breaking keys: when two entries have
+/// exactly equal fractional remainders, the smaller `keys` entry wins
+/// the extra unit (falling back to position only for equal keys).
+///
+/// With keys intrinsic to the entries (e.g. unique queue names) the
+/// apportionment becomes **permutation-equivariant**: reordering the
+/// entries reorders the result accordingly, which is what lets the
+/// sizing pipeline promise declaration-order independence. The plain
+/// [`apportion`] uses unit keys, i.e. positional tie-breaking.
+///
+/// # Panics
+///
+/// Panics if `keys` and `shares` lengths differ.
+pub fn apportion_with_keys<K: Ord>(total: usize, shares: &[f64], keys: &[K]) -> Vec<usize> {
+    assert_eq!(keys.len(), shares.len(), "one key per share");
     let n = shares.len();
     if n == 0 {
         return Vec::new();
@@ -102,6 +121,7 @@ pub fn apportion(total: usize, shares: &[f64]) -> Vec<usize> {
     remainders.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .expect("finite remainders")
+            .then_with(|| keys[a.0].cmp(&keys[b.0]))
             .then(a.0.cmp(&b.0))
     });
     let mut left = total - assigned;

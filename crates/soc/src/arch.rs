@@ -333,6 +333,42 @@ impl Architecture {
     pub fn total_offered_rate(&self) -> f64 {
         self.flows.iter().map(|f| f.rate).sum()
     }
+
+    /// A copy of this architecture with every flow rate multiplied by
+    /// `lambda_factor` and every bus service rate by `mu_factor`.
+    ///
+    /// Structure (processors, bridges, routes, queue enumeration) is
+    /// unchanged — only the rates move, which is exactly what load
+    /// sweeps and the time-rescaling metamorphic property need. Scaling
+    /// both factors by the same value is a pure change of time unit: the
+    /// steady-state occupancy laws, and therefore the optimal buffer
+    /// allocation, are invariant under it.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::BadRate`] if either factor is not positive and finite.
+    pub fn scale_rates(&self, lambda_factor: f64, mu_factor: f64) -> Result<Self, SocError> {
+        for (what, factor) in [("lambda_factor", lambda_factor), ("mu_factor", mu_factor)] {
+            if factor <= 0.0 || !factor.is_finite() {
+                return Err(SocError::BadRate {
+                    what: what.into(),
+                    value: factor,
+                });
+            }
+        }
+        let mut scaled = self.clone();
+        for bus in &mut scaled.buses {
+            bus.service_rate *= mu_factor;
+        }
+        for flow in &mut scaled.flows {
+            flow.rate *= lambda_factor;
+        }
+        // `offered_rate` is Σ of flow rates, so it scales with λ.
+        for queue in &mut scaled.queues {
+            queue.offered_rate *= lambda_factor;
+        }
+        Ok(scaled)
+    }
 }
 
 /// Incremental builder for [`Architecture`].
@@ -821,6 +857,37 @@ mod tests {
         let a = two_bus().build().unwrap();
         assert_eq!(a.queue_name(QueueId(0)), "p@x");
         assert_eq!(a.queue_name(QueueId(1)), "g@y");
+    }
+
+    #[test]
+    fn scale_rates_scales_flows_buses_and_queue_sums() {
+        let a = two_bus().build().unwrap();
+        let s = a.scale_rates(2.0, 0.5).unwrap();
+        assert_eq!(s.num_queues(), a.num_queues());
+        assert_eq!(s.num_bridges(), a.num_bridges());
+        for f in a.flow_ids() {
+            assert_eq!(s.flow(f).rate(), 2.0 * a.flow(f).rate());
+            assert_eq!(s.route(f), a.route(f), "routes must not move");
+        }
+        for b in a.bus_ids() {
+            assert_eq!(s.bus(b).service_rate(), 0.5 * a.bus(b).service_rate());
+        }
+        for q in a.queue_ids() {
+            assert_eq!(s.queue(q).offered_rate, 2.0 * a.queue(q).offered_rate);
+        }
+        // Utilization estimate scales by λ/μ factor ratio.
+        let u0 = a.bus_utilization_estimate(BusId(0));
+        let u1 = s.bus_utilization_estimate(BusId(0));
+        assert!((u1 - 4.0 * u0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_rates_rejects_bad_factors() {
+        let a = two_bus().build().unwrap();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(a.scale_rates(bad, 1.0).is_err());
+            assert!(a.scale_rates(1.0, bad).is_err());
+        }
     }
 
     #[test]

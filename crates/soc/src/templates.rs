@@ -252,7 +252,14 @@ pub fn coreconnect() -> Architecture {
 }
 
 /// Tunable knobs for [`random_architecture`].
-#[derive(Debug, Clone)]
+///
+/// The structural counts shape the topology; the rate ranges and the
+/// multi-homing probability are the campaign-level knobs `socbuf-sweep`
+/// fans out over (e.g. hotter traffic mixes, slower buses). Defaults
+/// reproduce the historical generator bit for bit: a given `(seed,
+/// params)` pair pins one architecture forever, which is what lets
+/// random campaigns cite architectures by seed.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomArchParams {
     /// Number of buses (≥ 1).
     pub buses: usize,
@@ -263,6 +270,12 @@ pub struct RandomArchParams {
     /// Number of flows to attempt (only routable candidates are kept, so
     /// the built architecture may carry fewer).
     pub flows: usize,
+    /// Half-open range bus service rates μ are drawn from.
+    pub bus_rate_range: (f64, f64),
+    /// Half-open range flow rates λ are drawn from.
+    pub flow_rate_range: (f64, f64),
+    /// Probability that a processor attaches to a second bus.
+    pub multi_home_prob: f64,
 }
 
 impl Default for RandomArchParams {
@@ -272,6 +285,35 @@ impl Default for RandomArchParams {
             processors: 6,
             bridges: 4,
             flows: 10,
+            bus_rate_range: (0.5, 4.0),
+            flow_rate_range: (0.02, 0.4),
+            multi_home_prob: 0.25,
+        }
+    }
+}
+
+impl RandomArchParams {
+    /// Returns a copy with the *flow*-rate range multiplied by `factor`
+    /// (bus service rates untouched, so utilization scales with the
+    /// factor) — the hook load campaigns use to heat up or cool down
+    /// whole populations of random architectures without touching their
+    /// topology knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    #[must_use]
+    pub fn with_load_factor(&self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "load factor must be positive and finite"
+        );
+        RandomArchParams {
+            flow_rate_range: (
+                self.flow_rate_range.0 * factor,
+                self.flow_rate_range.1 * factor,
+            ),
+            ..self.clone()
         }
     }
 }
@@ -287,19 +329,33 @@ pub fn random_architecture(seed: u64, params: &RandomArchParams) -> Architecture
         params.buses > 0 && params.processors > 0,
         "need buses and processors"
     );
+    assert!(
+        params.bus_rate_range.0 < params.bus_rate_range.1
+            && params.flow_rate_range.0 < params.flow_rate_range.1
+            && params.bus_rate_range.0 > 0.0
+            && params.flow_rate_range.0 > 0.0,
+        "rate ranges must be non-empty and positive"
+    );
+    assert!(
+        (0.0..=1.0).contains(&params.multi_home_prob),
+        "multi_home_prob must be a probability"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = ArchitectureBuilder::new();
     let buses: Vec<BusId> = (0..params.buses)
         .map(|i| {
-            b.add_bus(format!("bus{i}"), rng.gen_range(0.5..4.0))
-                .expect("valid bus")
+            b.add_bus(
+                format!("bus{i}"),
+                rng.gen_range(params.bus_rate_range.0..params.bus_rate_range.1),
+            )
+            .expect("valid bus")
         })
         .collect();
     let procs: Vec<ProcId> = (0..params.processors)
         .map(|i| {
             let home = buses[rng.gen_range(0..buses.len())];
             let mut attach = vec![home];
-            if params.buses > 1 && rng.gen_bool(0.25) {
+            if params.buses > 1 && rng.gen_bool(params.multi_home_prob) {
                 let other = buses[rng.gen_range(0..buses.len())];
                 if other != home {
                     attach.push(other);
@@ -358,7 +414,7 @@ pub fn random_architecture(seed: u64, params: &RandomArchParams) -> Architecture
             b.add_flow(
                 procs[src],
                 FlowTarget::Bus(buses[dst_bus]),
-                rng.gen_range(0.02..0.4),
+                rng.gen_range(params.flow_rate_range.0..params.flow_rate_range.1),
             )
             .expect("valid flow");
             added += 1;
@@ -510,5 +566,52 @@ mod tests {
         let b = random_architecture(7, &p);
         assert_eq!(a.num_flows(), b.num_flows());
         assert_eq!(a.num_queues(), b.num_queues());
+    }
+
+    #[test]
+    fn random_architecture_honors_rate_ranges() {
+        let p = RandomArchParams {
+            bus_rate_range: (2.0, 2.5),
+            flow_rate_range: (0.05, 0.06),
+            ..RandomArchParams::default()
+        };
+        for seed in 0..10 {
+            let a = random_architecture(seed, &p);
+            for bus in a.bus_ids() {
+                let mu = a.bus(bus).service_rate();
+                assert!((2.0..2.5).contains(&mu), "μ {mu} outside range");
+            }
+            for f in a.flow_ids() {
+                let rate = a.flow(f).rate();
+                // The guaranteed-routable fallback flow uses a fixed 0.1,
+                // but it only fires when no sampled flow was routable.
+                assert!(
+                    (0.05..0.06).contains(&rate) || (a.num_flows() == 1 && rate == 0.1),
+                    "λ {rate} outside range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_load_factor_scales_only_flow_rates() {
+        let p = RandomArchParams::default().with_load_factor(2.0);
+        assert_eq!(p.flow_rate_range, (0.04, 0.8));
+        assert_eq!(p.bus_rate_range, RandomArchParams::default().bus_rate_range);
+        assert_eq!(p.buses, RandomArchParams::default().buses);
+    }
+
+    #[test]
+    fn zero_multi_home_prob_keeps_processors_single_homed() {
+        let p = RandomArchParams {
+            multi_home_prob: 0.0,
+            ..RandomArchParams::default()
+        };
+        for seed in 0..10 {
+            let a = random_architecture(seed, &p);
+            for proc in a.proc_ids() {
+                assert_eq!(a.processor(proc).buses().len(), 1);
+            }
+        }
     }
 }

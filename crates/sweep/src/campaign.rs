@@ -1,0 +1,477 @@
+//! The campaign layer: sweep-shaped workloads over the sizing pipeline.
+//!
+//! Each campaign expands into an explicit, index-ordered work list
+//! (budget grid, load-factor grid, or architecture seeds), fans the
+//! items out over a [`WorkPool`], and reduces the per-item
+//! [`SweepPoint`]s back into a [`SweepReport`] by slot. Nothing in a
+//! point depends on scheduling: sizing is deterministic, simulation
+//! seeds derive from replication indices, and error selection (when
+//! several points fail) picks the lowest index.
+
+use socbuf_core::{
+    evaluate_policies_with, size_buffers, CoreError, PipelineConfig, ReplicationPool, SerialPool,
+    SizingConfig,
+};
+use socbuf_sim::SimReport;
+use socbuf_soc::templates::{random_architecture, RandomArchParams};
+use socbuf_soc::{Architecture, SocError};
+
+use crate::pool::WorkPool;
+use crate::report::{SimSummary, SweepKind, SweepPoint, SweepReport};
+
+/// Failure of one campaign work item (the lowest-index failure when
+/// several items fail).
+#[derive(Debug)]
+pub enum SweepError {
+    /// A sizing/simulation failure at one point.
+    Point {
+        /// Work-list index of the failing point.
+        index: usize,
+        /// Human-readable description of the point (budget, factor, seed).
+        label: String,
+        /// The underlying pipeline error.
+        source: CoreError,
+    },
+    /// Building or rescaling an architecture failed.
+    Arch {
+        /// Work-list index of the failing point.
+        index: usize,
+        /// The underlying architecture error.
+        source: SocError,
+    },
+    /// The campaign definition itself is unusable.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Point {
+                index,
+                label,
+                source,
+            } => {
+                write!(f, "sweep point {index} ({label}) failed: {source}")
+            }
+            SweepError::Arch { index, source } => {
+                write!(f, "sweep point {index}: architecture error: {source}")
+            }
+            SweepError::BadConfig(msg) => write!(f, "bad sweep config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Point { source, .. } => Some(source),
+            SweepError::Arch { source, .. } => Some(source),
+            SweepError::BadConfig(_) => None,
+        }
+    }
+}
+
+/// The pipeline hook: simulation replications of `evaluate_policies`
+/// run through the same pool as the sweep's points.
+impl ReplicationPool for WorkPool {
+    fn run_replications(
+        &self,
+        n: usize,
+        f: &(dyn Fn(usize) -> SimReport + Sync),
+    ) -> Vec<SimReport> {
+        self.run(n, f)
+    }
+}
+
+/// Sizes one architecture at one budget and records it as a point.
+/// When `simulate` is set, the point additionally runs the paper's
+/// three-policy comparison (replications serial here — the *points* are
+/// the parallel axis; [`parallel_policy_comparison`] is the entry point
+/// for parallelizing a single comparison instead).
+fn size_point(
+    arch: &Architecture,
+    index: usize,
+    budget: usize,
+    load_factor: f64,
+    arch_seed: Option<u64>,
+    sizing: &SizingConfig,
+    simulate: Option<&PipelineConfig>,
+) -> Result<SweepPoint, SweepError> {
+    let label = match arch_seed {
+        Some(s) => format!("seed={s} budget={budget}"),
+        None => format!("budget={budget} load={load_factor}"),
+    };
+    let fail = |source| SweepError::Point {
+        index,
+        label: label.clone(),
+        source,
+    };
+    let (outcome, sim) = match simulate {
+        None => (size_buffers(arch, budget, sizing).map_err(fail)?, None),
+        Some(pipeline) => {
+            let mut pipeline = pipeline.clone();
+            pipeline.sizing = sizing.clone();
+            let cmp = evaluate_policies_with(arch, budget, &pipeline, &SerialPool).map_err(fail)?;
+            let sim = SimSummary {
+                pre_loss: cmp.pre.total_lost,
+                post_loss: cmp.post.total_lost,
+                timeout_loss: cmp.timeout.total_lost,
+                improvement_vs_pre: cmp.improvement_vs_pre(),
+            };
+            (cmp.outcome, Some(sim))
+        }
+    };
+    Ok(SweepPoint {
+        index,
+        budget,
+        load_factor,
+        arch_seed,
+        queues: arch.num_queues(),
+        offered_rate: arch.total_offered_rate(),
+        predicted_loss: outcome.predicted_loss_rate,
+        shadow_price: outcome.budget_shadow_price,
+        budget_row_relaxed: outcome.budget_row_relaxed,
+        lp_iterations: outcome.lp_iterations,
+        allocation: outcome.allocation.as_slice().to_vec(),
+        sim,
+    })
+}
+
+/// Reduces per-item results by slot, surfacing the lowest-index error.
+fn reduce(
+    kind: SweepKind,
+    results: Vec<Result<SweepPoint, SweepError>>,
+) -> Result<SweepReport, SweepError> {
+    let mut points = Vec::with_capacity(results.len());
+    for r in results {
+        points.push(r?);
+    }
+    Ok(SweepReport { kind, points })
+}
+
+/// Loss/allocation/shadow-price across a budget grid on one
+/// architecture — the Pareto-frontier campaign (the paper's Table 1,
+/// generalized).
+#[derive(Debug, Clone)]
+pub struct BudgetSweep<'a> {
+    /// The architecture to size.
+    pub arch: &'a Architecture,
+    /// Budget grid (one work item per entry).
+    pub budgets: Vec<usize>,
+    /// Sizing configuration shared by every point.
+    pub sizing: SizingConfig,
+    /// When set, each point also runs the three-policy simulation
+    /// comparison with this pipeline configuration (its `sizing` field
+    /// is overridden by the sweep's).
+    pub simulate: Option<PipelineConfig>,
+}
+
+impl<'a> BudgetSweep<'a> {
+    /// A sizing-only sweep of `budgets` under the default configuration.
+    pub fn new(arch: &'a Architecture, budgets: Vec<usize>) -> Self {
+        BudgetSweep {
+            arch,
+            budgets,
+            sizing: SizingConfig::default(),
+            simulate: None,
+        }
+    }
+
+    /// Runs the sweep on `pool`.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-index point failure, or [`SweepError::BadConfig`] for
+    /// an empty grid.
+    pub fn run(&self, pool: &WorkPool) -> Result<SweepReport, SweepError> {
+        if self.budgets.is_empty() {
+            return Err(SweepError::BadConfig("empty budget grid".into()));
+        }
+        let results = pool.map(&self.budgets, |i, &budget| {
+            size_point(
+                self.arch,
+                i,
+                budget,
+                1.0,
+                None,
+                &self.sizing,
+                self.simulate.as_ref(),
+            )
+        });
+        reduce(SweepKind::Budget, results)
+    }
+}
+
+/// One budget, a grid of load factors: every point sizes the
+/// architecture with all λ scaled by the factor (μ untouched).
+#[derive(Debug, Clone)]
+pub struct LoadSweep<'a> {
+    /// The nominal architecture.
+    pub arch: &'a Architecture,
+    /// Buffer budget shared by every point.
+    pub budget: usize,
+    /// λ multipliers (one work item per entry).
+    pub factors: Vec<f64>,
+    /// Sizing configuration shared by every point.
+    pub sizing: SizingConfig,
+    /// Optional per-point simulation comparison (see [`BudgetSweep`]).
+    pub simulate: Option<PipelineConfig>,
+}
+
+impl<'a> LoadSweep<'a> {
+    /// A sizing-only sweep of `factors` at `budget`.
+    pub fn new(arch: &'a Architecture, budget: usize, factors: Vec<f64>) -> Self {
+        LoadSweep {
+            arch,
+            budget,
+            factors,
+            sizing: SizingConfig::default(),
+            simulate: None,
+        }
+    }
+
+    /// Runs the sweep on `pool`.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-index point failure (a factor that makes the LP
+    /// infeasible surfaces here), or [`SweepError::BadConfig`] for an
+    /// empty grid.
+    pub fn run(&self, pool: &WorkPool) -> Result<SweepReport, SweepError> {
+        if self.factors.is_empty() {
+            return Err(SweepError::BadConfig("empty factor grid".into()));
+        }
+        let results = pool.map(&self.factors, |i, &factor| {
+            let scaled = self
+                .arch
+                .scale_rates(factor, 1.0)
+                .map_err(|source| SweepError::Arch { index: i, source })?;
+            size_point(
+                &scaled,
+                i,
+                self.budget,
+                factor,
+                None,
+                &self.sizing,
+                self.simulate.as_ref(),
+            )
+        });
+        reduce(SweepKind::Load, results)
+    }
+}
+
+/// Fan-out over [`random_architecture`] seeds: one sizing problem per
+/// seed, with the budget scaled to each architecture's queue count.
+#[derive(Debug, Clone)]
+pub struct RandomCampaign {
+    /// Generator knobs shared by every seed.
+    pub params: RandomArchParams,
+    /// Architecture seeds (one work item per entry).
+    pub seeds: Vec<u64>,
+    /// Budget granted per queue (total = `units_per_queue × queues`, so
+    /// differently-sized architectures are budgeted comparably).
+    pub units_per_queue: usize,
+    /// Sizing configuration shared by every point.
+    pub sizing: SizingConfig,
+    /// Optional per-point simulation comparison (see [`BudgetSweep`]).
+    pub simulate: Option<PipelineConfig>,
+}
+
+impl RandomCampaign {
+    /// A sizing-only campaign over `seeds` with default params and
+    /// 3 units per queue.
+    pub fn new(seeds: Vec<u64>) -> Self {
+        RandomCampaign {
+            params: RandomArchParams::default(),
+            seeds,
+            units_per_queue: 3,
+            sizing: SizingConfig::default(),
+            simulate: None,
+        }
+    }
+
+    /// Runs the campaign on `pool`.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-index point failure, or [`SweepError::BadConfig`] for
+    /// an empty seed list or a zero per-queue budget.
+    pub fn run(&self, pool: &WorkPool) -> Result<SweepReport, SweepError> {
+        if self.seeds.is_empty() {
+            return Err(SweepError::BadConfig("empty seed list".into()));
+        }
+        if self.units_per_queue == 0 {
+            return Err(SweepError::BadConfig("units_per_queue must be ≥ 1".into()));
+        }
+        let results = pool.map(&self.seeds, |i, &seed| {
+            let arch = random_architecture(seed, &self.params);
+            let budget = self.units_per_queue * arch.num_queues();
+            size_point(
+                &arch,
+                i,
+                budget,
+                1.0,
+                Some(seed),
+                &self.sizing,
+                self.simulate.as_ref(),
+            )
+        });
+        reduce(SweepKind::Random, results)
+    }
+}
+
+/// Runs the paper's three-policy comparison with its simulation
+/// replications spread over `pool` — the entry point for parallelizing
+/// a *single* evaluation instead of a grid of them. Output is
+/// bit-identical to `socbuf_core::evaluate_policies`.
+///
+/// # Errors
+///
+/// Propagates `socbuf_core`'s sizing/validation errors.
+pub fn parallel_policy_comparison(
+    arch: &Architecture,
+    budget: usize,
+    config: &PipelineConfig,
+    pool: &WorkPool,
+) -> Result<socbuf_core::PolicyComparison, CoreError> {
+    evaluate_policies_with(arch, budget, config, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socbuf_core::evaluate_policies;
+    use socbuf_soc::templates;
+
+    fn small() -> SizingConfig {
+        SizingConfig::small()
+    }
+
+    #[test]
+    fn budget_sweep_points_match_single_shot_sizing() {
+        let arch = templates::amba();
+        let sweep = BudgetSweep {
+            arch: &arch,
+            budgets: vec![12, 16, 24],
+            sizing: small(),
+            simulate: None,
+        };
+        let report = sweep.run(&WorkPool::serial()).unwrap();
+        assert_eq!(report.kind, SweepKind::Budget);
+        assert_eq!(report.points.len(), 3);
+        for (i, &budget) in [12usize, 16, 24].iter().enumerate() {
+            let p = &report.points[i];
+            let solo = size_buffers(&arch, budget, &small()).unwrap();
+            assert_eq!(p.index, i);
+            assert_eq!(p.budget, budget);
+            assert_eq!(p.allocation, solo.allocation.as_slice());
+            assert_eq!(p.predicted_loss, solo.predicted_loss_rate);
+            assert_eq!(p.load_factor, 1.0);
+            assert_eq!(p.arch_seed, None);
+        }
+    }
+
+    #[test]
+    fn load_sweep_scales_offered_rate() {
+        let arch = templates::amba();
+        let sweep = LoadSweep {
+            arch: &arch,
+            budget: 16,
+            factors: vec![0.5, 1.0],
+            sizing: small(),
+            simulate: None,
+        };
+        let report = sweep.run(&WorkPool::serial()).unwrap();
+        assert_eq!(report.kind, SweepKind::Load);
+        let nominal = arch.total_offered_rate();
+        assert!((report.points[0].offered_rate - 0.5 * nominal).abs() < 1e-12);
+        assert!((report.points[1].offered_rate - nominal).abs() < 1e-12);
+        // Lighter load must not predict more loss at the same budget.
+        assert!(report.points[0].predicted_loss <= report.points[1].predicted_loss + 1e-12);
+    }
+
+    #[test]
+    fn random_campaign_budgets_scale_with_queue_count() {
+        let campaign = RandomCampaign {
+            params: RandomArchParams::default(),
+            seeds: vec![3, 5],
+            units_per_queue: 3,
+            sizing: small(),
+            simulate: None,
+        };
+        let report = campaign.run(&WorkPool::serial()).unwrap();
+        assert_eq!(report.kind, SweepKind::Random);
+        for p in &report.points {
+            assert_eq!(p.budget, 3 * p.queues);
+            assert_eq!(p.allocation.iter().sum::<usize>(), p.budget);
+            assert!(p.arch_seed.is_some());
+        }
+    }
+
+    #[test]
+    fn empty_grids_are_rejected() {
+        let arch = templates::amba();
+        assert!(matches!(
+            BudgetSweep::new(&arch, vec![]).run(&WorkPool::serial()),
+            Err(SweepError::BadConfig(_))
+        ));
+        assert!(matches!(
+            LoadSweep::new(&arch, 10, vec![]).run(&WorkPool::serial()),
+            Err(SweepError::BadConfig(_))
+        ));
+        assert!(matches!(
+            RandomCampaign::new(vec![]).run(&WorkPool::serial()),
+            Err(SweepError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn point_failures_carry_the_lowest_failing_index() {
+        let arch = templates::amba();
+        // A negative load factor fails at the architecture-scaling step.
+        let sweep = LoadSweep {
+            arch: &arch,
+            budget: 16,
+            factors: vec![1.0, -1.0, -2.0],
+            sizing: small(),
+            simulate: None,
+        };
+        match sweep.run(&WorkPool::new(4)) {
+            Err(SweepError::Arch { index, .. }) => assert_eq!(index, 1),
+            other => panic!("expected Arch error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulated_points_attach_policy_losses() {
+        let arch = templates::amba();
+        let sweep = BudgetSweep {
+            arch: &arch,
+            budgets: vec![16],
+            sizing: small(),
+            simulate: Some(PipelineConfig::small()),
+        };
+        let report = sweep.run(&WorkPool::serial()).unwrap();
+        let sim = report.points[0].sim.as_ref().expect("sim attached");
+        assert!(sim.pre_loss >= 0.0 && sim.post_loss >= 0.0);
+        // The attached summary matches a direct evaluate_policies call
+        // under the same (overridden) sizing config.
+        let mut pipeline = PipelineConfig::small();
+        pipeline.sizing = small();
+        let cmp = evaluate_policies(&arch, 16, &pipeline).unwrap();
+        assert_eq!(sim.pre_loss, cmp.pre.total_lost);
+        assert_eq!(sim.post_loss, cmp.post.total_lost);
+        assert_eq!(sim.timeout_loss, cmp.timeout.total_lost);
+    }
+
+    #[test]
+    fn pooled_policy_comparison_matches_serial() {
+        let arch = templates::amba();
+        let cfg = PipelineConfig::small();
+        let serial = evaluate_policies(&arch, 16, &cfg).unwrap();
+        let pooled = parallel_policy_comparison(&arch, 16, &cfg, &WorkPool::new(4)).unwrap();
+        assert_eq!(serial.pre, pooled.pre);
+        assert_eq!(serial.post, pooled.post);
+        assert_eq!(serial.timeout, pooled.timeout);
+    }
+}

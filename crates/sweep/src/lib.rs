@@ -1,0 +1,73 @@
+//! Deterministic parallel sweep engine for `socbuf` campaigns.
+//!
+//! The DATE 2005 methodology answers one question at a time — size one
+//! architecture at one budget. Serving sweep-scale workloads (Pareto
+//! frontiers of loss vs. budget, load scalings, random-architecture
+//! campaigns) means solving *grids* of independent sizing problems, and
+//! after the sparse-simplex work a single solve is fast enough that the
+//! serial loop around it is the bottleneck. This crate supplies that
+//! loop: a std-only scoped-thread [`WorkPool`] plus three campaign
+//! shapes over `socbuf_core::pipeline` —
+//!
+//! * [`BudgetSweep`] — loss/allocation/shadow-price per budget point,
+//! * [`LoadSweep`] — all λ scaled by a factor grid at one budget,
+//! * [`RandomCampaign`] — fan-out over
+//!   [`socbuf_soc::templates::random_architecture`] seeds,
+//!
+//! each returning a structured [`SweepReport`] with Pareto-frontier
+//! extraction and CSV / JSON-lines rendering. The pool also plugs into
+//! the pipeline's replication hook
+//! ([`socbuf_core::ReplicationPool`]), so a single policy comparison
+//! can spread its simulation replications over workers
+//! ([`parallel_policy_comparison`]).
+//!
+//! # The determinism contract
+//!
+//! Campaign results are **bit-identical for every worker count**, and
+//! the serializations built from them are **byte-identical**. This is
+//! load-bearing (regression pins, cross-run diffs, caching) and rests
+//! on three rules, enforced by construction and pinned by
+//! `tests/determinism.rs`:
+//!
+//! 1. every work item is identified by its index in the campaign's
+//!    work list, and anything pseudo-random inside it (simulation
+//!    replication seeds, architecture seeds) derives from that index —
+//!    never from thread identity, timing, or completion order;
+//! 2. the pool reduces results **by slot** (worker threads return
+//!    `(index, result)` pairs that are reassembled into index order),
+//!    so skewed item costs and work stealing cannot reorder anything;
+//! 3. aggregation downstream of the pool (Pareto extraction, error
+//!    selection, rendering) is a pure function of the index-ordered
+//!    records, with ties broken by index.
+//!
+//! Floating-point reductions happen *inside* one work item, on one
+//! thread, in a fixed order — the pool never sums across items — so
+//! there is no "parallel summation" nondeterminism to tolerate.
+//!
+//! # Examples
+//!
+//! ```
+//! use socbuf_sweep::{BudgetSweep, WorkPool};
+//! use socbuf_core::SizingConfig;
+//! use socbuf_soc::templates;
+//!
+//! let arch = templates::amba();
+//! let mut sweep = BudgetSweep::new(&arch, vec![12, 16, 20, 24]);
+//! sweep.sizing = SizingConfig::small();
+//! let report = sweep.run(&WorkPool::available()).unwrap();
+//! assert_eq!(report.points.len(), 4);
+//! // More budget never predicts more loss:
+//! let frontier = report.pareto_frontier();
+//! assert!(!frontier.is_empty());
+//! println!("{}", report.frontier_table());
+//! ```
+
+mod campaign;
+mod pool;
+mod report;
+
+pub use campaign::{
+    parallel_policy_comparison, BudgetSweep, LoadSweep, RandomCampaign, SweepError,
+};
+pub use pool::WorkPool;
+pub use report::{SimSummary, SweepKind, SweepPoint, SweepReport};

@@ -1,0 +1,192 @@
+//! A deterministic scoped-thread work pool.
+//!
+//! The pool exists to make *fan-out over independent work items* fast
+//! without ever letting scheduling order leak into results. The rules
+//! that guarantee this (the crate-level determinism contract):
+//!
+//! * every work item is identified by its **index** in the input slice,
+//!   and whatever randomness it needs must derive from that index (or
+//!   from data reachable through it) — never from thread identity,
+//!   timing, or a shared mutable counter;
+//! * results are written **by slot**: worker threads hand back
+//!   `(index, result)` pairs and the pool reassembles them into index
+//!   order, so the caller observes the same `Vec` no matter which
+//!   worker ran which item or in which order items finished.
+//!
+//! Under those rules `WorkPool::new(1)`, `WorkPool::new(8)` and any
+//! other worker count produce bit-identical outputs, which is what the
+//! determinism test-suite (`tests/determinism.rs`) pins forever.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width pool of scoped worker threads (std-only, no
+/// dependencies; threads live only for the duration of one call).
+#[derive(Debug, Clone)]
+pub struct WorkPool {
+    workers: usize,
+}
+
+impl WorkPool {
+    /// A pool running `workers` concurrent jobs (`1` = run everything on
+    /// the calling thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a pool needs at least one worker");
+        WorkPool { workers }
+    }
+
+    /// A single-worker pool (serial execution on the calling thread).
+    pub fn serial() -> Self {
+        WorkPool::new(1)
+    }
+
+    /// A pool sized to the machine's available parallelism (falls back
+    /// to one worker when that cannot be determined).
+    pub fn available() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        WorkPool::new(n)
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluates `job(0), …, job(n-1)` across the pool's workers and
+    /// returns the results in index order.
+    ///
+    /// Items are claimed from a shared atomic counter (so workers stay
+    /// busy even when item costs are skewed) but results are reduced by
+    /// slot, never by completion order.
+    ///
+    /// # Panics
+    ///
+    /// If any job panics, one of the panics is re-raised on the calling
+    /// thread (the lowest-spawn-order worker that panicked — *which*
+    /// job that is can depend on scheduling).
+    pub fn run<R, F>(&self, n: usize, job: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.workers == 1 || n <= 1 {
+            return (0..n).map(job).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let threads = self.workers.min(n);
+        let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            done.push((i, job(i)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(done) => buckets.push(done),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in buckets.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "item {i} ran twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index claimed exactly once"))
+            .collect()
+    }
+
+    /// [`WorkPool::run`] over a slice: evaluates `f(i, &items[i])` for
+    /// every item, returning results in item order.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run(items.len(), |i| f(i, &items[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_index_order_for_any_worker_count() {
+        // Skewed costs: early items are the slowest, so completion order
+        // inverts index order under parallel execution.
+        let job = |i: usize| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(8 - 2 * i as u64));
+            }
+            i * i
+        };
+        let expect: Vec<usize> = (0..32).map(job).collect();
+        for workers in [1, 2, 3, 8] {
+            let got = WorkPool::new(workers).run(32, job);
+            assert_eq!(got, expect, "worker count {workers} reordered results");
+        }
+    }
+
+    #[test]
+    fn map_passes_item_and_index() {
+        let items = vec!["a", "b", "c"];
+        let got = WorkPool::new(2).map(&items, |i, s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = WorkPool::new(8);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = AtomicUsize::new(0);
+        let got = WorkPool::new(4).run(100, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "job 13 exploded")]
+    fn job_panics_propagate_to_the_caller() {
+        WorkPool::new(4).run(32, |i| {
+            if i == 13 {
+                panic!("job 13 exploded");
+            }
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        WorkPool::new(0);
+    }
+}

@@ -1,0 +1,415 @@
+//! Structured sweep results: per-point records, Pareto-frontier
+//! extraction, and deterministic CSV / JSON-lines rendering.
+//!
+//! Rendering goes through `f64`'s `Display` (shortest round-trip
+//! decimal), so two reports with bit-identical numbers serialize to
+//! byte-identical text — the property the determinism suite compares.
+
+use std::fmt::Write as _;
+
+/// Which campaign produced a report (decides the Pareto cost axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepKind {
+    /// Budget grid on one architecture: cost = budget.
+    Budget,
+    /// Load-factor grid on one architecture: cost = −load factor (more
+    /// load carried at equal loss is better).
+    Load,
+    /// Random-architecture fan-out: cost = −total offered rate.
+    Random,
+}
+
+impl SweepKind {
+    /// Stable lowercase tag used in rendered output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SweepKind::Budget => "budget",
+            SweepKind::Load => "load",
+            SweepKind::Random => "random",
+        }
+    }
+}
+
+/// Simulated policy-comparison summary attached to a point when the
+/// campaign also re-simulates (the paper's step 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSummary {
+    /// Constant-sizing baseline loss (averaged over replications).
+    pub pre_loss: f64,
+    /// CTMDP-sized loss.
+    pub post_loss: f64,
+    /// Timeout-policy loss.
+    pub timeout_loss: f64,
+    /// Relative loss reduction vs the constant baseline.
+    pub improvement_vs_pre: f64,
+}
+
+/// One sizing problem solved by a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Position in the campaign's work list (also the tie-breaking key
+    /// everywhere, so reports are independent of scheduling).
+    pub index: usize,
+    /// Total buffer budget of this point.
+    pub budget: usize,
+    /// λ multiplier relative to the nominal architecture (`1` when the
+    /// campaign does not scale load).
+    pub load_factor: f64,
+    /// Seed of the random architecture (random campaigns only).
+    pub arch_seed: Option<u64>,
+    /// Queue count of the sized architecture.
+    pub queues: usize,
+    /// Total offered traffic (Σ λ) of the sized architecture.
+    pub offered_rate: f64,
+    /// LP-predicted weighted loss rate.
+    pub predicted_loss: f64,
+    /// Shadow price of the buffer-budget row (≤ 0).
+    pub shadow_price: f64,
+    /// Whether the LP budget row had to be relaxed.
+    pub budget_row_relaxed: bool,
+    /// Simplex pivots used by the joint LP.
+    pub lp_iterations: usize,
+    /// Integer buffer allocation (queue order).
+    pub allocation: Vec<usize>,
+    /// Simulation summary, when the campaign re-simulated the point.
+    pub sim: Option<SimSummary>,
+}
+
+impl SweepPoint {
+    /// Loss coordinate used for frontier extraction: the simulated
+    /// post-sizing loss when the campaign simulated, else the
+    /// LP-predicted loss rate.
+    ///
+    /// The distinction matters for budget sweeps: the joint LP's
+    /// occupancy-budget row is either slack or infeasible-and-relaxed
+    /// across almost the whole budget axis, so the *predicted* loss is
+    /// nearly budget-flat by construction — the budget buys losses back
+    /// through the translated integer allocation, which only the
+    /// re-simulation (the paper's step 4) observes.
+    pub fn effective_loss(&self) -> f64 {
+        match &self.sim {
+            Some(s) => s.post_loss,
+            None => self.predicted_loss,
+        }
+    }
+}
+
+/// A campaign's complete, index-ordered result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Which campaign shape produced the points.
+    pub kind: SweepKind,
+    /// One record per work item, in work-list order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepReport {
+    /// Pareto cost of a point: lower is better at equal loss.
+    fn cost(&self, p: &SweepPoint) -> f64 {
+        match self.kind {
+            SweepKind::Budget => p.budget as f64,
+            SweepKind::Load => -p.load_factor,
+            SweepKind::Random => -p.offered_rate,
+        }
+    }
+
+    /// Indices of the Pareto-efficient points of the loss-vs-cost
+    /// trade-off, in increasing cost order.
+    ///
+    /// A point is kept iff no other point has both lower-or-equal cost
+    /// and lower-or-equal [`SweepPoint::effective_loss`] (with at least
+    /// one strict); exact ties keep the lowest index. The extraction is
+    /// a plain scan over the index-ordered records, so it inherits the
+    /// campaign's scheduling independence.
+    pub fn pareto_frontier(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.points.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (pa, pb) = (&self.points[a], &self.points[b]);
+            self.cost(pa)
+                .total_cmp(&self.cost(pb))
+                .then(pa.effective_loss().total_cmp(&pb.effective_loss()))
+                .then(a.cmp(&b))
+        });
+        let mut best_loss = f64::INFINITY;
+        let mut frontier = Vec::new();
+        for i in order {
+            if self.points[i].effective_loss() < best_loss {
+                best_loss = self.points[i].effective_loss();
+                frontier.push(i);
+            }
+        }
+        frontier
+    }
+
+    /// CSV rendering: header plus one line per point, allocation joined
+    /// with `|`, empty cells for absent optionals, `frontier` flagging
+    /// membership in [`SweepReport::pareto_frontier`].
+    pub fn to_csv(&self) -> String {
+        let on_frontier = self.frontier_mask();
+        let mut out = String::from(
+            "index,kind,budget,load_factor,arch_seed,queues,offered_rate,predicted_loss,\
+             shadow_price,budget_row_relaxed,lp_iterations,allocation,frontier,\
+             pre_loss,post_loss,timeout_loss,improvement_vs_pre\n",
+        );
+        for (i, p) in self.points.iter().enumerate() {
+            let seed = p.arch_seed.map(|s| s.to_string()).unwrap_or_default();
+            let alloc = join(&p.allocation, "|");
+            let _ = write!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                p.index,
+                self.kind.tag(),
+                p.budget,
+                p.load_factor,
+                seed,
+                p.queues,
+                p.offered_rate,
+                p.predicted_loss,
+                p.shadow_price,
+                p.budget_row_relaxed,
+                p.lp_iterations,
+                alloc,
+                u8::from(on_frontier[i]),
+            );
+            match &p.sim {
+                Some(s) => {
+                    let _ = writeln!(
+                        out,
+                        ",{},{},{},{}",
+                        s.pre_loss, s.post_loss, s.timeout_loss, s.improvement_vs_pre
+                    );
+                }
+                None => out.push_str(",,,,\n"),
+            }
+        }
+        out
+    }
+
+    /// JSON-lines rendering: one self-contained object per point.
+    pub fn to_jsonl(&self) -> String {
+        let on_frontier = self.frontier_mask();
+        let mut out = String::new();
+        for (i, p) in self.points.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{{\"index\":{},\"kind\":\"{}\",\"budget\":{},\"load_factor\":{},",
+                p.index,
+                self.kind.tag(),
+                p.budget,
+                p.load_factor
+            );
+            match p.arch_seed {
+                Some(s) => {
+                    let _ = write!(out, "\"arch_seed\":{s},");
+                }
+                None => out.push_str("\"arch_seed\":null,"),
+            }
+            let _ = write!(
+                out,
+                "\"queues\":{},\"offered_rate\":{},\"predicted_loss\":{},\
+                 \"shadow_price\":{},\"budget_row_relaxed\":{},\"lp_iterations\":{},\
+                 \"allocation\":[{}],\"frontier\":{}",
+                p.queues,
+                p.offered_rate,
+                p.predicted_loss,
+                p.shadow_price,
+                p.budget_row_relaxed,
+                p.lp_iterations,
+                join(&p.allocation, ","),
+                on_frontier[i],
+            );
+            match &p.sim {
+                Some(s) => {
+                    let _ = writeln!(
+                        out,
+                        ",\"sim\":{{\"pre_loss\":{},\"post_loss\":{},\"timeout_loss\":{},\
+                         \"improvement_vs_pre\":{}}}}}",
+                        s.pre_loss, s.post_loss, s.timeout_loss, s.improvement_vs_pre
+                    );
+                }
+                None => out.push_str(",\"sim\":null}\n"),
+            }
+        }
+        out
+    }
+
+    /// A fixed-width text table of the Pareto frontier (budget, loss,
+    /// shadow price per frontier point) — what the frontier example
+    /// prints. The `loss` column is [`SweepPoint::effective_loss`].
+    pub fn frontier_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>6} {:>8} {:>14} {:>14} {:>10}",
+            "point", "budget", "load_factor", "loss", "shadow"
+        );
+        for i in self.pareto_frontier() {
+            let p = &self.points[i];
+            let _ = writeln!(
+                out,
+                "{:>6} {:>8} {:>14.3} {:>14.6e} {:>10.4}",
+                p.index,
+                p.budget,
+                p.load_factor,
+                p.effective_loss(),
+                p.shadow_price
+            );
+        }
+        out
+    }
+
+    fn frontier_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.points.len()];
+        for i in self.pareto_frontier() {
+            mask[i] = true;
+        }
+        mask
+    }
+}
+
+fn join(xs: &[usize], sep: &str) -> String {
+    let mut s = String::new();
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(sep);
+        }
+        let _ = write!(s, "{x}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(index: usize, budget: usize, loss: f64) -> SweepPoint {
+        SweepPoint {
+            index,
+            budget,
+            load_factor: 1.0,
+            arch_seed: None,
+            queues: 3,
+            offered_rate: 0.5,
+            predicted_loss: loss,
+            shadow_price: -0.01,
+            budget_row_relaxed: false,
+            lp_iterations: 10,
+            allocation: vec![1, 1, budget - 2],
+            sim: None,
+        }
+    }
+
+    fn report(points: Vec<SweepPoint>) -> SweepReport {
+        SweepReport {
+            kind: SweepKind::Budget,
+            points,
+        }
+    }
+
+    #[test]
+    fn frontier_keeps_only_strict_improvements() {
+        // budget 10 → loss 0.5, 12 → 0.5 (no better), 14 → 0.2, 16 → 0.3
+        // (worse than 14 at higher cost).
+        let r = report(vec![
+            point(0, 10, 0.5),
+            point(1, 12, 0.5),
+            point(2, 14, 0.2),
+            point(3, 16, 0.3),
+        ]);
+        assert_eq!(r.pareto_frontier(), vec![0, 2]);
+    }
+
+    #[test]
+    fn frontier_breaks_exact_ties_by_index() {
+        let r = report(vec![point(0, 10, 0.5), point(1, 10, 0.5)]);
+        assert_eq!(r.pareto_frontier(), vec![0]);
+    }
+
+    #[test]
+    fn load_kind_prefers_higher_factors() {
+        let mut a = point(0, 10, 0.1);
+        a.load_factor = 1.0;
+        let mut b = point(1, 10, 0.1);
+        b.load_factor = 2.0;
+        let r = SweepReport {
+            kind: SweepKind::Load,
+            points: vec![a, b],
+        };
+        // Factor 2 at equal loss dominates factor 1.
+        assert_eq!(r.pareto_frontier(), vec![1]);
+    }
+
+    #[test]
+    fn csv_shape_and_optional_cells() {
+        let mut p1 = point(0, 10, 0.5);
+        p1.sim = Some(SimSummary {
+            pre_loss: 9.0,
+            post_loss: 4.5,
+            timeout_loss: 7.0,
+            improvement_vs_pre: 0.5,
+        });
+        let p2 = point(1, 12, 0.4);
+        let r = report(vec![p1, p2]);
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let cols = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        }
+        assert!(lines[1].contains("1|1|8"));
+        assert!(lines[1].ends_with("9,4.5,7,0.5"));
+        assert!(lines[2].ends_with(",,,,"));
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_point() {
+        let mut p = point(0, 10, 0.5);
+        p.arch_seed = Some(42);
+        let r = report(vec![p, point(1, 12, 0.25)]);
+        let jsonl = r.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"index\":0,"));
+        assert!(lines[0].contains("\"arch_seed\":42"));
+        assert!(lines[0].contains("\"allocation\":[1,1,8]"));
+        assert!(lines[1].contains("\"arch_seed\":null"));
+        assert!(lines[1].contains("\"sim\":null"));
+        for line in lines {
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn frontier_table_lists_frontier_points() {
+        let r = report(vec![point(0, 10, 0.5), point(1, 14, 0.2)]);
+        let table = r.frontier_table();
+        assert!(table.contains("budget"));
+        assert_eq!(table.lines().count(), 3);
+    }
+
+    #[test]
+    fn simulated_points_use_post_loss_as_the_frontier_coordinate() {
+        // Predicted losses are budget-flat (the LP's budget row is slack
+        // or relaxed almost everywhere); the simulated post-sizing loss
+        // is what actually descends. The frontier must follow the
+        // latter when it is available.
+        let mut cheap = point(0, 10, 0.3);
+        cheap.sim = Some(SimSummary {
+            pre_loss: 20.0,
+            post_loss: 9.0,
+            timeout_loss: 15.0,
+            improvement_vs_pre: 0.55,
+        });
+        let mut rich = point(1, 20, 0.3); // same predicted loss…
+        rich.sim = Some(SimSummary {
+            pre_loss: 20.0,
+            post_loss: 4.0, // …but simulation shows the budget paying off
+            timeout_loss: 15.0,
+            improvement_vs_pre: 0.8,
+        });
+        let r = report(vec![cheap, rich]);
+        assert_eq!(r.pareto_frontier(), vec![0, 1]);
+        assert_eq!(r.points[1].effective_loss(), 4.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Pareto frontier of loss vs. buffer budget on the network-processor
+//! evaluation platform — the paper's Table 1 question asked at sweep
+//! scale, answered by the parallel campaign engine.
+//!
+//! Each budget point runs the full methodology: joint-LP sizing, then
+//! the three-policy re-simulation. The LP's *predicted* loss is nearly
+//! budget-flat by construction (its occupancy-budget row is slack or
+//! relaxed almost everywhere), so the frontier is read off the
+//! simulated post-sizing loss — exactly how the paper reads Table 1.
+//!
+//! Run with `cargo run --release --example budget_frontier`.
+//! The output is identical for every worker count (the sweep engine's
+//! determinism contract), so this table is quotable as an artifact.
+
+use socbuf::sizing::{PipelineConfig, SizingConfig};
+use socbuf::soc::templates;
+use socbuf::sweep::{BudgetSweep, WorkPool};
+
+fn main() {
+    let arch = templates::network_processor();
+    let budgets: Vec<usize> = (0..7).map(|i| 80 + 80 * i).collect();
+    let mut sweep = BudgetSweep::new(&arch, budgets);
+    sweep.sizing = SizingConfig {
+        state_cap: 12,
+        effort_levels: 3,
+        ..SizingConfig::default()
+    };
+    sweep.simulate = Some(PipelineConfig {
+        sizing: SizingConfig::default(), // overridden by `sweep.sizing`
+        horizon: 500.0,
+        warmup: 50.0,
+        seed: 2005,
+        replications: 3,
+    });
+
+    let pool = WorkPool::available();
+    let report = sweep.run(&pool).expect("network_processor grid sizes");
+
+    println!(
+        "network_processor: {} budget points on {} workers\n",
+        report.points.len(),
+        pool.workers()
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "budget", "pre_loss", "post_loss", "timeout", "improv", "frontier"
+    );
+    let frontier = report.pareto_frontier();
+    for p in &report.points {
+        let sim = p.sim.as_ref().expect("simulating sweep");
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>12.1} {:>11.1}% {:>9}",
+            p.budget,
+            sim.pre_loss,
+            sim.post_loss,
+            sim.timeout_loss,
+            100.0 * sim.improvement_vs_pre,
+            if frontier.contains(&p.index) { "*" } else { "" }
+        );
+    }
+    println!("\nPareto frontier (strict improvements only):");
+    print!("{}", report.frontier_table());
+    println!("\nCSV and JSON-lines renderings are available via");
+    println!("`report.to_csv()` / `report.to_jsonl()` for downstream tooling.");
+}

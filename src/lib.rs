@@ -13,6 +13,7 @@
 //! | [`soc`] | `socbuf-soc` | architectures, bridges, routing, splitting |
 //! | [`sizing`] | `socbuf-core` | the paper's CTMDP sizing methodology |
 //! | [`sim`] | `socbuf-sim` | discrete-event simulator |
+//! | [`sweep`] | `socbuf-sweep` | deterministic parallel sweep campaigns |
 //! | [`ctmdp`] | `socbuf-ctmdp` | constrained CTMDPs, K-switching |
 //! | [`markov`] | `socbuf-markov` | CTMCs, M/M/1/K analytics |
 //! | [`lp`] | `socbuf-lp` | two-phase simplex |
@@ -42,3 +43,4 @@ pub use socbuf_lp as lp;
 pub use socbuf_markov as markov;
 pub use socbuf_sim as sim;
 pub use socbuf_soc as soc;
+pub use socbuf_sweep as sweep;
