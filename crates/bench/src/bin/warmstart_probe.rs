@@ -1,0 +1,179 @@
+//! Developer probe for the warm-start layer: wall-time of the
+//! warm-chained `network_processor` budget grid against the cold-started
+//! grid, plus the warm report's byte-identity across worker counts.
+//!
+//! `--smoke` runs the CI gate:
+//!
+//! * **determinism (always enforced)** — the warm-chained 1-, 2- and
+//!   8-worker runs of the grid must render byte-identical JSON-lines
+//!   reports (chunk boundaries are index-fixed, so warm chains must not
+//!   depend on scheduling);
+//! * **agreement (always enforced)** — every warm point must carry the
+//!   same status flags as its cold twin and an objective within 1e-6
+//!   relative (the perturbation-ladder scale; on this well-conditioned
+//!   grid the observed difference is ~1e-15);
+//! * **speedup (enforced when the host has ≥ 2 cores)** — the
+//!   warm-chained serial sweep must be ≥ 1.5× faster than the
+//!   cold-started serial sweep (best of `SMOKE_REPEATS`). Warm chains
+//!   skip phase 1 entirely and re-enter from the neighboring optimum,
+//!   so three of every four points solve in a handful of pivots. The
+//!   gate is serial-vs-serial: it measures the algorithmic win, not
+//!   scheduling. Single-core hosts skip it only because they are the
+//!   noisy shared-runner case the repeats cannot fully de-noise.
+
+use socbuf_core::SizingConfig;
+use socbuf_soc::templates;
+use socbuf_sweep::{BudgetSweep, SweepReport, WorkPool};
+use std::time::{Duration, Instant};
+
+/// Same CI grid as `sweep_probe`: the paper's Table 1 budget range on
+/// the evaluation platform.
+fn smoke_grid() -> Vec<usize> {
+    (0..16).map(|i| 160 + 32 * i).collect()
+}
+
+fn smoke_sizing() -> SizingConfig {
+    SizingConfig {
+        state_cap: 16,
+        effort_levels: 4,
+        ..SizingConfig::default()
+    }
+}
+
+fn timed_run(
+    arch: &socbuf_soc::Architecture,
+    budgets: &[usize],
+    sizing: &SizingConfig,
+    workers: usize,
+    warm: bool,
+) -> (SweepReport, Duration) {
+    let mut sweep = BudgetSweep::new(arch, budgets.to_vec());
+    sweep.sizing = sizing.clone();
+    sweep.warm_start = warm;
+    let pool = WorkPool::new(workers);
+    let t = Instant::now();
+    let report = sweep.run(&pool).unwrap_or_else(|e| {
+        eprintln!("sweep failed ({} workers, warm={warm}): {e}", workers);
+        std::process::exit(2);
+    });
+    (report, t.elapsed())
+}
+
+/// CI-sized gate; exits nonzero on regression.
+fn smoke() -> i32 {
+    const SMOKE_REPEATS: usize = 2;
+
+    let np = templates::network_processor();
+    let grid = smoke_grid();
+    let sizing = smoke_sizing();
+    let mut failures = 0;
+
+    // --- Warm determinism: byte-identity across worker counts. -------
+    let mut warm_baseline: Option<SweepReport> = None;
+    for workers in [1usize, 2, 8] {
+        let (report, time) = timed_run(&np, &grid, &sizing, workers, true);
+        match &warm_baseline {
+            None => warm_baseline = Some(report),
+            Some(expected) => {
+                if expected.to_jsonl() != report.to_jsonl() {
+                    eprintln!(
+                        "SMOKE FAIL: warm {workers}-worker report bytes differ from the \
+                         1-worker baseline"
+                    );
+                    failures += 1;
+                }
+            }
+        }
+        println!(
+            "warm np budget grid ({} points, cap=16): {workers} workers -> {time:?}",
+            grid.len()
+        );
+    }
+    let warm_report = warm_baseline.expect("at least one warm run");
+
+    // --- Warm/cold agreement per point. -------------------------------
+    let (cold_report, _) = timed_run(&np, &grid, &sizing, 8, false);
+    for (w, c) in warm_report.points.iter().zip(&cold_report.points) {
+        if w.budget_row_relaxed != c.budget_row_relaxed {
+            eprintln!(
+                "SMOKE FAIL: budget {}: relaxed flag warm={} cold={}",
+                w.budget, w.budget_row_relaxed, c.budget_row_relaxed
+            );
+            failures += 1;
+        }
+        let diff = (w.predicted_loss - c.predicted_loss).abs() / (1.0 + c.predicted_loss.abs());
+        if diff > 1e-6 {
+            eprintln!(
+                "SMOKE FAIL: budget {}: warm loss {} vs cold {} (rel {diff:.3e})",
+                w.budget, w.predicted_loss, c.predicted_loss
+            );
+            failures += 1;
+        }
+    }
+
+    // --- Serial speedup: warm chains vs cold starts. -------------------
+    let mut best_cold: Option<Duration> = None;
+    let mut best_warm: Option<Duration> = None;
+    for _ in 0..SMOKE_REPEATS {
+        let (_, tc) = timed_run(&np, &grid, &sizing, 1, false);
+        let (_, tw) = timed_run(&np, &grid, &sizing, 1, true);
+        if best_cold.is_none_or(|b| tc < b) {
+            best_cold = Some(tc);
+        }
+        if best_warm.is_none_or(|b| tw < b) {
+            best_warm = Some(tw);
+        }
+    }
+    let (tc, tw) = (best_cold.unwrap(), best_warm.unwrap());
+    let speedup = tc.as_secs_f64() / tw.as_secs_f64().max(1e-12);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("serial grid: cold {tc:?} vs warm {tw:?} -> {speedup:.2}x");
+    if cores >= 2 {
+        if speedup < 1.5 {
+            eprintln!(
+                "SMOKE FAIL: warm-chained sweep only {speedup:.2}x faster than cold \
+                 (need >= 1.5x) on a {cores}-core host"
+            );
+            failures += 1;
+        }
+    } else {
+        println!("speedup gate SKIPPED: single-core host (determinism + agreement still enforced)");
+    }
+
+    if failures == 0 {
+        println!("smoke OK");
+    }
+    failures
+}
+
+/// Full table: warm vs cold per worker count, plus per-point pivots.
+fn full_probe() {
+    let np = templates::network_processor();
+    let grid = smoke_grid();
+    let sizing = smoke_sizing();
+    for workers in [1usize, 2, 4, 8] {
+        let (_, cold) = timed_run(&np, &grid, &sizing, workers, false);
+        let (warm_report, warm) = timed_run(&np, &grid, &sizing, workers, true);
+        println!(
+            "{workers:>2} workers: cold {cold:?}  warm {warm:?}  ({:.2}x)",
+            cold.as_secs_f64() / warm.as_secs_f64().max(1e-12)
+        );
+        if workers == 1 {
+            println!("\n  per-point pivots along the warm chains (chunks of 4):");
+            for p in &warm_report.points {
+                println!("    budget {:>4}: {:>4} pivots", p.budget, p.lp_iterations);
+            }
+            println!();
+        }
+    }
+}
+
+fn main() {
+    let smoke_mode = std::env::args().any(|a| a == "--smoke");
+    if smoke_mode {
+        std::process::exit(smoke());
+    }
+    full_probe();
+}

@@ -105,9 +105,14 @@ pub struct SizingLp {
     efforts: Vec<f64>,
     bus_rows: Vec<RowId>,
     budget_row: Option<RowId>,
+    /// `cut_rows[q][j]` — the level-crossing row between states `j` and
+    /// `j+1` of queue `q`; its birth-side coefficients carry λ, which is
+    /// what a load-factor retarget rewrites in place.
+    cut_rows: Vec<Vec<RowId>>,
     weights: Vec<f64>,
     lambdas: Vec<f64>,
     state_cap: usize,
+    alpha: f64,
     engine: LpEngine,
 }
 
@@ -166,6 +171,7 @@ impl SizingLp {
 
         let mut lp = LpProblem::new(Sense::Minimize);
         let mut vars: Vec<Vec<Vec<VarId>>> = Vec::with_capacity(arch.num_queues());
+        let mut cut_rows: Vec<Vec<RowId>> = Vec::with_capacity(arch.num_queues());
         let mut weights = Vec::with_capacity(arch.num_queues());
         let mut lambdas = Vec::with_capacity(arch.num_queues());
 
@@ -218,7 +224,11 @@ impl SizingLp {
             }
             let mut rhs = vec![0.0; n + 1];
             rhs[n] = 1.0;
-            lp.add_constraints_from_triplets(triplets, &vec![Relation::Eq; n + 1], &rhs)?;
+            let ids =
+                lp.add_constraints_from_triplets(triplets, &vec![Relation::Eq; n + 1], &rhs)?;
+            // Rows 0..n of the batch are the cut rows (row n is the
+            // normalization) — remembered for in-place load retargets.
+            cut_rows.push(ids[..n].to_vec());
 
             vars.push(block);
         }
@@ -260,9 +270,11 @@ impl SizingLp {
             efforts,
             bus_rows,
             budget_row,
+            cut_rows,
             weights,
             lambdas,
             state_cap: n,
+            alpha: config.alpha,
             engine: config.engine,
         })
     }
@@ -271,6 +283,69 @@ impl SizingLp {
     /// [`SizingConfig`] this LP was built with).
     pub fn engine(&self) -> LpEngine {
         self.engine
+    }
+
+    /// Rewrites a [`socbuf_lp::PreparedLp`] built from this LP's
+    /// problem so it describes the same architecture at a different
+    /// budget and load factor — the in-place alternative to rebuilding
+    /// the whole formulation per sweep point:
+    ///
+    /// * the budget row's rhs moves to `α · budget` (RHS-only delta);
+    /// * every cut row's birth-side coefficients and every full-state
+    ///   loss cost are rescaled to `λ_nominal · factor` (a
+    ///   pattern-preserving coefficient delta), bitwise identical to
+    ///   what [`SizingLp::build`] on
+    ///   [`socbuf_soc::Architecture::scale_rates`]`(factor, 1.0)` would
+    ///   assemble (both compute `rate * factor` from the same nominal
+    ///   rates; only the loss *weights* of multi-source bridge queues
+    ///   can differ at the last ulp, since they are rate-ratio
+    ///   weighted).
+    ///
+    /// `nominal` must be the factor-1 architecture this LP's queue
+    /// order came from. The retarget also refreshes this LP's own
+    /// per-queue λ bookkeeping so a subsequent [`SizingLp::interpret`]
+    /// reports `queue_loss_rates` at the retargeted load, not the load
+    /// the LP was first built at. (The loss *weights* need no refresh:
+    /// they are rate-ratio weighted, so a common λ factor cancels.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`socbuf_lp::LpError`] from the delta application
+    /// (e.g. a pattern change) — the caller then rebuilds cold.
+    pub(crate) fn retarget(
+        &mut self,
+        prepared: &mut socbuf_lp::PreparedLp,
+        nominal: &Architecture,
+        budget: usize,
+        factor: f64,
+    ) -> Result<(), socbuf_lp::LpError> {
+        if let Some(row) = self.budget_row {
+            prepared.set_rhs(row, self.alpha * budget as f64)?;
+        }
+        let n = self.state_cap;
+        for (q, queue) in nominal.queues().iter().enumerate() {
+            let lambda = queue.offered_rate * factor;
+            self.lambdas[q] = lambda;
+            let mu = nominal.bus(queue.bus).service_rate();
+            let block = &self.vars[q];
+            for j in 0..n {
+                let mut terms: Vec<(VarId, f64)> =
+                    Vec::with_capacity(block[j].len() + block[j + 1].len());
+                for &v in &block[j] {
+                    terms.push((v, lambda));
+                }
+                for (a, &v) in block[j + 1].iter().enumerate() {
+                    if self.efforts[a] > 0.0 {
+                        terms.push((v, -self.efforts[a] * mu));
+                    }
+                }
+                prepared.set_row_coeffs(self.cut_rows[q][j], &terms)?;
+            }
+            for &v in &block[n] {
+                prepared.set_objective_coeff(v, self.weights[q] * lambda)?;
+            }
+        }
+        Ok(())
     }
 
     /// Number of LP variables.
@@ -299,35 +374,7 @@ impl SizingLp {
     ///
     /// Propagates LP failures other than budget infeasibility.
     pub fn solve(&self) -> Result<SizingSolution, CoreError> {
-        // Occupation-measure LPs are massively degenerate (hundreds of
-        // zero-rhs balance rows); the rhs perturbation keeps simplex
-        // making strict progress. Marginals are renormalized downstream,
-        // so the O(1e-6) wobble is immaterial. Individual instances can
-        // still stall under a particular perturbation pattern, so a
-        // ladder of increasingly aggressive settings backs the first
-        // attempt up.
-        let ladder = [
-            SimplexOptions {
-                perturbation: 1e-6,
-                max_iterations: 30_000,
-                engine: self.engine,
-                ..SimplexOptions::default()
-            },
-            SimplexOptions {
-                perturbation: 1e-5,
-                max_iterations: 60_000,
-                stall_switch: 20,
-                engine: self.engine,
-                ..SimplexOptions::default()
-            },
-            SimplexOptions {
-                perturbation: 1e-4,
-                max_iterations: 200_000,
-                stall_switch: 10,
-                engine: self.engine,
-                ..SimplexOptions::default()
-            },
-        ];
+        let ladder = solve_ladder(self.engine);
         let mut last_err = None;
         for options in &ladder {
             match self.solve_with_options(options) {
@@ -423,7 +470,7 @@ impl SizingLp {
     /// vertices — and therefore across LP engines.
     const EFFORT_DUST: f64 = 1e-4;
 
-    fn interpret(&self, sol: &socbuf_lp::LpSolution, relaxed: bool) -> SizingSolution {
+    pub(crate) fn interpret(&self, sol: &socbuf_lp::LpSolution, relaxed: bool) -> SizingSolution {
         let nq = self.vars.len();
         let mut occupation = Vec::with_capacity(nq);
         let mut marginals = Vec::with_capacity(nq);
@@ -483,6 +530,42 @@ impl SizingLp {
     pub fn weights(&self) -> &[f64] {
         &self.weights
     }
+}
+
+/// The escalation ladder shared by [`SizingLp::solve`] and the
+/// warm-started [`crate::SolveContext`] (the two must stay identical:
+/// whether a point is solved cold or warm, it must attempt the same
+/// sequence of perturbation settings so statuses and objectives agree).
+///
+/// Occupation-measure LPs are massively degenerate (hundreds of
+/// zero-rhs balance rows); the rhs perturbation keeps simplex making
+/// strict progress. Marginals are renormalized downstream, so the
+/// O(1e-6) wobble is immaterial. Individual instances can still stall
+/// under a particular perturbation pattern, so a ladder of increasingly
+/// aggressive settings backs the first attempt up.
+pub(crate) fn solve_ladder(engine: LpEngine) -> [SimplexOptions; 3] {
+    [
+        SimplexOptions {
+            perturbation: 1e-6,
+            max_iterations: 30_000,
+            engine,
+            ..SimplexOptions::default()
+        },
+        SimplexOptions {
+            perturbation: 1e-5,
+            max_iterations: 60_000,
+            stall_switch: 20,
+            engine,
+            ..SimplexOptions::default()
+        },
+        SimplexOptions {
+            perturbation: 1e-4,
+            max_iterations: 200_000,
+            stall_switch: 10,
+            engine,
+            ..SimplexOptions::default()
+        },
+    ]
 }
 
 /// Loss weight of a queue: the processor's weight for transmit queues;
@@ -639,6 +722,32 @@ mod tests {
             "{:?}",
             sol.queue_loss_rates
         );
+    }
+
+    #[test]
+    fn retarget_refreshes_queue_loss_rate_bookkeeping() {
+        // Regression: `retarget` must update the LP's per-queue λ
+        // bookkeeping, or `interpret` reports `queue_loss_rates` at the
+        // load the LP was *built* at (here 0.5×) instead of the load it
+        // was retargeted to (2×) — a 4× error.
+        let arch = single_queue(0.4, 1.0);
+        let cfg = SizingConfig::small();
+        let built_arch = arch.scale_rates(0.5, 1.0).unwrap();
+        let mut lp = SizingLp::build(&built_arch, 50, &cfg).unwrap();
+        let mut prepared = socbuf_lp::PreparedLp::new(lp.problem().clone()).unwrap();
+        lp.retarget(&mut prepared, &arch, 50, 2.0).unwrap();
+        let options = &solve_ladder(cfg.engine)[0];
+        let warm = lp.interpret(&prepared.solve_with(options).unwrap(), false);
+        let cold = SizingLp::build(&arch.scale_rates(2.0, 1.0).unwrap(), 50, &cfg)
+            .unwrap()
+            .solve()
+            .unwrap();
+        for (w, c) in warm.queue_loss_rates.iter().zip(&cold.queue_loss_rates) {
+            assert!(
+                (w - c).abs() <= 1e-5 * (1.0 + c.abs()),
+                "queue loss rate drifted: warm {w} vs cold {c}"
+            );
+        }
     }
 
     #[test]

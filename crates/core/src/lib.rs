@@ -54,8 +54,8 @@ pub mod translate;
 pub use error::CoreError;
 pub use formulation::{SizingConfig, SizingLp, SizingSolution};
 pub use pipeline::{
-    evaluate_policies, evaluate_policies_with, size_buffers, PipelineConfig, PolicyComparison,
-    ReplicationPool, SerialPool, SizingOutcome,
+    evaluate_policies, evaluate_policies_sized, evaluate_policies_with, size_buffers,
+    PipelineConfig, PolicyComparison, ReplicationPool, SerialPool, SizingOutcome, SolveContext,
 };
 pub use report::SizingReport;
 pub use translate::Translation;

@@ -2,13 +2,13 @@
 //! LP, re-simulate the architecture with the new buffer lengths, and
 //! compare losses against the constant-sizing and timeout baselines.
 
-use socbuf_lp::LpEngine;
+use socbuf_lp::{BasisSnapshot, LpEngine, LpError, PreparedLp};
 use socbuf_sim::{
     average_reports, replication_config, simulate_with, Arbiter, SimConfig, SimReport, TimeoutSpec,
 };
 use socbuf_soc::{Architecture, BufferAllocation};
 
-use crate::formulation::{SizingConfig, SizingLp};
+use crate::formulation::{solve_ladder, SizingConfig, SizingLp, SizingSolution};
 use crate::translate::{translate, Translation};
 use crate::CoreError;
 
@@ -70,6 +70,183 @@ pub fn size_buffers(
         lp_iterations: solution.lp_iterations,
         lp_engine: lp.engine(),
     })
+}
+
+/// Warm-start state for a *chain* of sizing solves over one
+/// architecture family — the pipeline hook the sweep campaigns thread
+/// through contiguous runs of budget or load points.
+///
+/// The context lazily builds the joint LP at the chain's first point,
+/// caches its assembled standard form in a [`PreparedLp`], and from
+/// then on re-targets the cached form **in place** (budget = RHS-only
+/// delta on the budget row; load factor = pattern-preserving rescale of
+/// the cut rows and loss costs) and re-enters the revised simplex from
+/// the previous point's optimal basis. Every solve still climbs the
+/// same perturbation ladder as [`size_buffers`] and falls back to a
+/// cold solve whenever the basis is stale, so a warm-started point
+/// reports the same status and (to solver precision) the same optimal
+/// objective a cold point would — warm starts change pivot counts and
+/// wall time, never answers. The first solve of a fresh context is
+/// bit-identical to [`size_buffers`].
+///
+/// # Examples
+///
+/// ```
+/// use socbuf_core::{size_buffers, SizingConfig, SolveContext};
+/// use socbuf_soc::templates;
+///
+/// # fn main() -> Result<(), socbuf_core::CoreError> {
+/// let arch = templates::amba();
+/// let config = SizingConfig::small();
+/// let mut ctx = SolveContext::new(&arch, &config);
+/// let mut last = None;
+/// for budget in [12, 16, 24] {
+///     let warm = ctx.size_buffers(budget)?; // warm after the first
+///     let cold = size_buffers(&arch, budget, &config)?;
+///     let (w, c) = (warm.predicted_loss_rate, cold.predicted_loss_rate);
+///     assert!((w - c).abs() <= 1e-9 * (1.0 + c.abs()));
+///     last = Some(warm);
+/// }
+/// assert_eq!(last.unwrap().allocation.total(), 24);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SolveContext {
+    /// The factor-1 architecture the chain is parameterized over.
+    arch: Architecture,
+    config: SizingConfig,
+    state: Option<WarmState>,
+}
+
+#[derive(Debug)]
+struct WarmState {
+    lp: SizingLp,
+    prepared: PreparedLp,
+    basis: Option<BasisSnapshot>,
+}
+
+impl SolveContext {
+    /// A fresh (cold) context over `arch`; nothing is assembled until
+    /// the first solve.
+    pub fn new(arch: &Architecture, config: &SizingConfig) -> SolveContext {
+        SolveContext {
+            arch: arch.clone(),
+            config: config.clone(),
+            state: None,
+        }
+    }
+
+    /// Sizes the nominal architecture at `budget`, warm-starting from
+    /// the previous solve in this context when one exists. Semantically
+    /// identical to [`size_buffers`]`(arch, budget, config)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`size_buffers`].
+    pub fn size_buffers(&mut self, budget: usize) -> Result<SizingOutcome, CoreError> {
+        let arch = self.arch.clone();
+        self.size_buffers_scaled(&arch, 1.0, budget)
+    }
+
+    /// Sizes a load-scaled variant of the nominal architecture:
+    /// `scaled` must equal `arch.scale_rates(factor, 1.0)` for this
+    /// context's architecture. Semantically identical to
+    /// [`size_buffers`]`(scaled, budget, config)` (loss weights of
+    /// multi-source bridge queues may differ at the last ulp — they are
+    /// rate-*ratio* weighted, which a common λ scale cancels only in
+    /// exact arithmetic).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`size_buffers`].
+    pub fn size_buffers_scaled(
+        &mut self,
+        scaled: &Architecture,
+        factor: f64,
+        budget: usize,
+    ) -> Result<SizingOutcome, CoreError> {
+        let solution = self.solve_sizing(scaled, factor, budget)?;
+        let Translation {
+            allocation,
+            requirements,
+            efforts,
+        } = translate(scaled, &solution, budget, &self.config)?;
+        Ok(SizingOutcome {
+            allocation,
+            efforts,
+            requirements,
+            predicted_loss_rate: solution.loss_rate,
+            budget_shadow_price: solution.budget_shadow_price,
+            budget_row_relaxed: solution.budget_row_relaxed,
+            lp_iterations: solution.lp_iterations,
+            lp_engine: self.config.engine,
+        })
+    }
+
+    fn solve_sizing(
+        &mut self,
+        scaled: &Architecture,
+        factor: f64,
+        budget: usize,
+    ) -> Result<SizingSolution, CoreError> {
+        if self.state.is_none() {
+            // Chain start: build exactly what the cold path builds (at
+            // this point's own budget/factor) and cache its assembly.
+            let lp = SizingLp::build(scaled, budget, &self.config)?;
+            let prepared = PreparedLp::new(lp.problem().clone())?;
+            self.state = Some(WarmState {
+                lp,
+                prepared,
+                basis: None,
+            });
+        } else {
+            let state = self.state.as_mut().expect("just checked");
+            if budget == 0 {
+                return Err(CoreError::BadConfig("budget must be positive".into()));
+            }
+            if state
+                .lp
+                .retarget(&mut state.prepared, &self.arch, budget, factor)
+                .is_err()
+            {
+                // Structure drifted (shouldn't happen for budget/load
+                // deltas, but e.g. a λ of exactly 0 would): rebuild cold.
+                self.state = None;
+                return self.solve_sizing(scaled, factor, budget);
+            }
+        }
+
+        let state = self.state.as_mut().expect("built above");
+        let mut last_err = None;
+        for options in &solve_ladder(self.config.engine) {
+            let attempt = match (&state.basis, options.engine) {
+                (Some(snapshot), socbuf_lp::LpEngine::Revised) => {
+                    state.prepared.solve_warm(options, snapshot)
+                }
+                _ => state.prepared.solve_with(options),
+            };
+            match attempt {
+                Ok(sol) => {
+                    state.basis = Some(sol.basis_snapshot());
+                    return Ok(state.lp.interpret(&sol, false));
+                }
+                Err(LpError::Infeasible { .. }) => {
+                    // Budget-row relaxation is a different problem shape;
+                    // route it through the cold path (rare: tiny budgets).
+                    // The cached form and basis stay valid for the next
+                    // point of the chain.
+                    let lp = SizingLp::build(scaled, budget, &self.config)?;
+                    return lp.solve();
+                }
+                Err(LpError::IterationLimit { limit }) => {
+                    last_err = Some(CoreError::Lp(LpError::IterationLimit { limit }));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(last_err.expect("ladder is non-empty"))
+    }
 }
 
 /// Simulation side of the evaluation loop.
@@ -239,6 +416,34 @@ pub fn evaluate_policies_with<P: ReplicationPool + ?Sized>(
         ));
     }
     let outcome = size_buffers(arch, budget, &config.sizing)?;
+    evaluate_policies_sized(arch, budget, config, outcome, pool)
+}
+
+/// The simulation half of [`evaluate_policies_with`], fed an already
+/// computed [`SizingOutcome`] — the entry point for warm-started sweep
+/// campaigns, where the sizing comes from a [`SolveContext`] chain
+/// instead of a cold [`size_buffers`] call. `config.sizing` is ignored
+/// (the outcome already embodies a sizing configuration).
+///
+/// # Errors
+///
+/// [`CoreError::BadConfig`] for invalid replication/warmup settings;
+/// simulation itself is infallible for a validated architecture.
+pub fn evaluate_policies_sized<P: ReplicationPool + ?Sized>(
+    arch: &Architecture,
+    budget: usize,
+    config: &PipelineConfig,
+    outcome: SizingOutcome,
+    pool: &P,
+) -> Result<PolicyComparison, CoreError> {
+    if config.replications == 0 {
+        return Err(CoreError::BadConfig("replications must be ≥ 1".into()));
+    }
+    if !(config.warmup >= 0.0 && config.warmup < config.horizon) {
+        return Err(CoreError::BadConfig(
+            "warmup must lie within the horizon".into(),
+        ));
+    }
     let sim_cfg = SimConfig {
         horizon: config.horizon,
         warmup: config.warmup,
@@ -356,6 +561,90 @@ mod tests {
             .iter()
             .map(|q| q.lost_timeout)
             .sum::<f64>();
+    }
+
+    #[test]
+    fn warm_budget_chain_agrees_with_cold_sizing() {
+        let arch = templates::figure1();
+        let cfg = SizingConfig::small();
+        let mut ctx = SolveContext::new(&arch, &cfg);
+        for (i, budget) in [14usize, 18, 22, 30, 22, 14].into_iter().enumerate() {
+            let warm = ctx.size_buffers(budget).unwrap();
+            let cold = size_buffers(&arch, budget, &cfg).unwrap();
+            assert_eq!(warm.budget_row_relaxed, cold.budget_row_relaxed);
+            assert!(
+                (warm.predicted_loss_rate - cold.predicted_loss_rate).abs()
+                    <= 1e-9 * (1.0 + cold.predicted_loss_rate.abs()),
+                "budget {budget}: warm {} vs cold {}",
+                warm.predicted_loss_rate,
+                cold.predicted_loss_rate
+            );
+            assert_eq!(warm.allocation.total(), budget);
+            if i == 0 {
+                // The chain's first point is the cold path verbatim.
+                assert_eq!(warm.allocation.as_slice(), cold.allocation.as_slice());
+                assert_eq!(warm.lp_iterations, cold.lp_iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_load_chain_agrees_with_cold_sizing() {
+        let arch = templates::amba();
+        let cfg = SizingConfig::small();
+        let mut ctx = SolveContext::new(&arch, &cfg);
+        for factor in [0.5, 0.8, 1.0, 1.3, 0.9] {
+            let scaled = arch.scale_rates(factor, 1.0).unwrap();
+            let warm = ctx.size_buffers_scaled(&scaled, factor, 16).unwrap();
+            let cold = size_buffers(&scaled, 16, &cfg).unwrap();
+            assert_eq!(warm.budget_row_relaxed, cold.budget_row_relaxed);
+            assert!(
+                (warm.predicted_loss_rate - cold.predicted_loss_rate).abs()
+                    <= 1e-9 * (1.0 + cold.predicted_loss_rate.abs()),
+                "factor {factor}: warm {} vs cold {}",
+                warm.predicted_loss_rate,
+                cold.predicted_loss_rate
+            );
+            assert_eq!(warm.allocation.total(), 16);
+        }
+    }
+
+    #[test]
+    fn warm_chain_survives_a_relaxed_budget_point() {
+        // An overloaded single queue at budget 1 forces the budget-row
+        // relaxation; the chain must answer like the cold path there AND
+        // keep warm-starting correctly afterwards.
+        let mut b = ArchitectureBuilder::new();
+        let bus = b.add_bus("bus", 1.0).unwrap();
+        let p = b.add_processor("p", &[bus], 1.0).unwrap();
+        b.add_flow(p, FlowTarget::Bus(bus), 3.0).unwrap();
+        let arch = b.build().unwrap();
+        let cfg = SizingConfig::small();
+        let mut ctx = SolveContext::new(&arch, &cfg);
+        for budget in [40usize, 1, 40] {
+            let warm = ctx.size_buffers(budget).unwrap();
+            let cold = size_buffers(&arch, budget, &cfg).unwrap();
+            assert_eq!(warm.budget_row_relaxed, cold.budget_row_relaxed);
+            assert!(
+                (warm.predicted_loss_rate - cold.predicted_loss_rate).abs()
+                    <= 1e-9 * (1.0 + cold.predicted_loss_rate.abs()),
+                "budget {budget}: warm {} vs cold {}",
+                warm.predicted_loss_rate,
+                cold.predicted_loss_rate
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_policies_sized_matches_the_joint_entry_point() {
+        let arch = templates::amba();
+        let cfg = PipelineConfig::small();
+        let joint = evaluate_policies(&arch, 16, &cfg).unwrap();
+        let outcome = size_buffers(&arch, 16, &cfg.sizing).unwrap();
+        let split = evaluate_policies_sized(&arch, 16, &cfg, outcome, &SerialPool).unwrap();
+        assert_eq!(joint.pre, split.pre);
+        assert_eq!(joint.post, split.post);
+        assert_eq!(joint.timeout, split.timeout);
     }
 
     #[test]

@@ -214,6 +214,22 @@ impl Csr {
         (&self.col_idx[span.clone()], &self.vals[span])
     }
 
+    /// The stored columns (shared) and values (mutable) of row `r` —
+    /// the pattern-preserving update entry: callers may rewrite the
+    /// numeric values of a row in place but never its sparsity pattern,
+    /// which is what keeps incremental re-assembly (e.g. rescaling the
+    /// rate coefficients of a cached LP standard form) `O(row nnz)`
+    /// without invalidating anything built on the structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> (&[usize], &mut [f64]) {
+        assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        (&self.col_idx[span.clone()], &mut self.vals[span])
+    }
+
     /// Iterates the `(col, value)` pairs of row `r` in column order.
     ///
     /// # Panics
@@ -499,6 +515,29 @@ mod tests {
     fn triplets_reject_out_of_range() {
         assert!(Csr::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
         assert!(Csr::from_triplets(2, 2, &[(0, 2, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn row_mut_rewrites_values_in_place() {
+        let mut a = example();
+        {
+            let (cols, vals) = a.row_mut(2);
+            assert_eq!(cols, &[0, 1]);
+            vals[0] = -3.0;
+            vals[1] = 8.0;
+        }
+        assert_eq!(a.get(2, 0), -3.0);
+        assert_eq!(a.get(2, 1), 8.0);
+        // The pattern (and every other row) is untouched.
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(0, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_mut_rejects_bad_row() {
+        let mut a = example();
+        let _ = a.row_mut(3);
     }
 
     #[test]

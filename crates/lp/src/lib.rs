@@ -31,7 +31,14 @@
 //! * [`verify_optimality`] — an independent optimality certificate checker
 //!   (primal feasibility + dual feasibility + complementary slackness +
 //!   primal–dual objective gap) used heavily by the test-suite and
-//!   property tests to certify both engines.
+//!   property tests to certify both engines,
+//! * **warm-started parametric re-solves** — [`LpSolution`] exports its
+//!   optimal basis as a [`BasisSnapshot`], and [`PreparedLp`] caches the
+//!   standard form across solves, mutates it in place for RHS-only and
+//!   rate-scaling deltas, and re-enters the revised simplex from the
+//!   previous basis (bounded dual-simplex repair, cold fallback when the
+//!   basis is stale) — how the sweep campaigns make families of nearly
+//!   identical LPs cheap.
 //!
 //! Simplex (rather than an interior-point method) matters here: the
 //! K-switching structure theorem the paper leans on speaks about *basic*
@@ -60,6 +67,7 @@
 
 pub mod assembly;
 mod error;
+mod prepared;
 mod problem;
 mod revised;
 mod simplex;
@@ -68,8 +76,9 @@ mod standard_form;
 mod verify;
 
 pub use error::LpError;
+pub use prepared::PreparedLp;
 pub use problem::{LpProblem, Relation, RowId, Sense, VarId};
-pub use revised::LpEngine;
+pub use revised::{BasisSnapshot, LpEngine};
 pub use simplex::SimplexOptions;
 pub use solution::LpSolution;
 pub use verify::{verify_optimality, OptimalityReport};

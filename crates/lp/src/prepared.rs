@@ -1,0 +1,492 @@
+//! A prepared (cached-assembly) linear program for parametric re-solves.
+//!
+//! Sweep campaigns solve *families* of nearly identical LPs: a budget
+//! sweep moves only the right-hand side of one row, a load sweep
+//! rescales a known set of coefficients. Rebuilding the standard form
+//! from scratch at every point throws away both the `O(nnz)` assembly
+//! work and — far more importantly — the optimal basis of the
+//! neighboring point. [`PreparedLp`] keeps the [`StandardForm`] alive
+//! across solves, applies RHS-only and pattern-preserving coefficient
+//! deltas *in place*, and accepts a [`BasisSnapshot`] to warm-start the
+//! revised simplex from the previous optimum.
+//!
+//! The warm path is strictly an accelerator: a snapshot that is stale,
+//! singular or simply wrong routes to the ordinary cold two-phase
+//! solve, so [`PreparedLp::solve_warm`] always returns what
+//! [`PreparedLp::solve_with`] would have (same status; the optimal
+//! objective of an LP is unique even when the vertex is not).
+//!
+//! # Examples
+//!
+//! ```
+//! use socbuf_lp::{LpProblem, PreparedLp, Relation, Sense, SimplexOptions};
+//!
+//! # fn main() -> Result<(), socbuf_lp::LpError> {
+//! // min x + 2y  s.t.  x + y ≥ b, for a family of b's.
+//! let mut p = LpProblem::new(Sense::Minimize);
+//! let x = p.add_var("x", 1.0);
+//! let y = p.add_var("y", 2.0);
+//! let row = p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Ge, 1.0)?;
+//! let mut prepared = PreparedLp::new(p)?;
+//!
+//! let opts = SimplexOptions::default();
+//! let first = prepared.solve_with(&opts)?;
+//! assert!((first.objective() - 1.0).abs() < 1e-9);
+//!
+//! // Move the rhs and re-solve from the previous basis.
+//! prepared.set_rhs(row, 3.0)?;
+//! let second = prepared.solve_warm(&opts, &first.basis_snapshot())?;
+//! assert!((second.objective() - 3.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::problem::{LpProblem, RowId, VarId};
+use crate::revised::{run_revised, run_revised_warm, BasisSnapshot, LpEngine};
+use crate::simplex::{run_simplex, SimplexOptions};
+use crate::solution::LpSolution;
+use crate::standard_form::{build_standard_form, StandardForm};
+use crate::LpError;
+
+/// A problem plus its cached standard form, mutable in place for
+/// parametric deltas and solvable warm from an exported basis. See the
+/// module-level documentation for the motivation and an example.
+#[derive(Debug)]
+pub struct PreparedLp {
+    problem: LpProblem,
+    sf: StandardForm,
+    /// User row → standard-form row (user rows map one-to-one; the
+    /// extra standard-form rows are variable upper bounds).
+    sf_row_of: Vec<usize>,
+}
+
+impl PreparedLp {
+    /// Builds the standard form once and takes ownership of the
+    /// problem (the two must stay in lock-step under deltas, so outside
+    /// mutation is ruled out by construction).
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::EmptyProblem`] for a variable-free problem, or any
+    /// standard-form assembly failure.
+    pub fn new(problem: LpProblem) -> Result<PreparedLp, LpError> {
+        if problem.num_vars() == 0 {
+            return Err(LpError::EmptyProblem);
+        }
+        let sf = build_standard_form(&problem)?;
+        let mut sf_row_of = vec![usize::MAX; problem.num_rows()];
+        for (i, origin) in sf.row_origin.iter().enumerate() {
+            if let Some(r) = origin {
+                sf_row_of[*r] = i;
+            }
+        }
+        Ok(PreparedLp {
+            problem,
+            sf,
+            sf_row_of,
+        })
+    }
+
+    /// The (current) problem — what [`crate::verify_optimality`]
+    /// certifies solutions against.
+    pub fn problem(&self) -> &LpProblem {
+        &self.problem
+    }
+
+    /// Re-targets one constraint's right-hand side in place — the
+    /// budget-style delta. `O(row nnz)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::InvalidModel`] if `rhs` is not finite or the change
+    /// would flip the row's standard-form orientation (rebuild via
+    /// [`PreparedLp::new`] in that case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` does not belong to this problem.
+    pub fn set_rhs(&mut self, row: RowId, rhs: f64) -> Result<(), LpError> {
+        if !rhs.is_finite() {
+            return Err(LpError::InvalidModel(format!(
+                "right-hand side {rhs} is not finite"
+            )));
+        }
+        let i = self.sf_row_of[row.index()];
+        let (terms, _, _) = self.problem.row(row);
+        let shifted = rhs
+            - terms
+                .iter()
+                .map(|&(v, c)| c * self.sf.shift[v.index()])
+                .sum::<f64>();
+        self.sf.set_rhs_in_place(i, shifted)?;
+        self.problem.set_row_rhs(row.index(), rhs);
+        Ok(())
+    }
+
+    /// Rewrites one constraint's coefficients in place — the
+    /// rate-scaling delta. The terms must cover exactly the row's
+    /// existing variables (after accumulating duplicates and dropping
+    /// zeros), in any order; only the numeric values may change.
+    /// `O(row nnz · log)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::InvalidModel`] for non-finite coefficients, a changed
+    /// sparsity pattern, or a coefficient change that flips the row's
+    /// orientation through the lower-bound shift (rebuild in those
+    /// cases).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` does not belong to this problem.
+    pub fn set_row_coeffs(&mut self, row: RowId, terms: &[(VarId, f64)]) -> Result<(), LpError> {
+        let n = self.problem.num_vars();
+        let mut dense: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for &(v, c) in terms {
+            if v.index() >= n {
+                return Err(LpError::InvalidModel(format!(
+                    "variable id {} does not belong to this problem",
+                    v.index()
+                )));
+            }
+            if !c.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "coefficient {c} is not finite"
+                )));
+            }
+            dense.push((v.index(), c));
+        }
+        dense.sort_by_key(|&(j, _)| j);
+        let mut normalized: Vec<(usize, f64)> = Vec::with_capacity(dense.len());
+        for (j, c) in dense {
+            match normalized.last_mut() {
+                Some((k, acc)) if *k == j => *acc += c,
+                _ => normalized.push((j, c)),
+            }
+        }
+        normalized.retain(|&(_, c)| c != 0.0);
+
+        let i = self.sf_row_of[row.index()];
+        // The lower-bound shift couples coefficients to the stored rhs;
+        // re-derive it from the (unchanged) user rhs and pre-check the
+        // orientation BEFORE any mutation, so a rejected delta leaves
+        // the problem, matrix and rhs untouched and mutually consistent
+        // (update_row_values_in_place likewise validates its pattern
+        // before writing).
+        let (_, _, rhs) = self.problem.row(row);
+        let shifted = rhs
+            - normalized
+                .iter()
+                .map(|&(j, c)| c * self.sf.shift[j])
+                .sum::<f64>();
+        if self.sf.row_sign[i] * shifted < 0.0 {
+            return Err(LpError::InvalidModel(format!(
+                "coefficient delta flips the orientation of standard-form row {i}; \
+                 the standard form must be rebuilt"
+            )));
+        }
+        self.sf.update_row_values_in_place(i, &normalized)?;
+        self.sf
+            .set_rhs_in_place(i, shifted)
+            .expect("orientation pre-checked above");
+        self.problem.set_row_terms(row.index(), normalized);
+        Ok(())
+    }
+
+    /// Rewrites one objective coefficient in place.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::InvalidModel`] for a non-finite coefficient or an
+    /// unknown variable.
+    pub fn set_objective_coeff(&mut self, v: VarId, coeff: f64) -> Result<(), LpError> {
+        if v.index() >= self.problem.num_vars() {
+            return Err(LpError::InvalidModel(format!(
+                "variable id {} does not belong to this problem",
+                v.index()
+            )));
+        }
+        if !coeff.is_finite() {
+            return Err(LpError::InvalidModel(format!(
+                "objective coefficient {coeff} is not finite"
+            )));
+        }
+        self.sf.c[v.index()] = if self.sf.negated_obj { -coeff } else { coeff };
+        self.problem.set_obj_coeff(v.index(), coeff);
+        Ok(())
+    }
+
+    /// Cold solve on the cached standard form — bitwise identical to
+    /// [`LpProblem::solve_with`] on the current problem (the form is
+    /// the same; only the rebuild is skipped).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LpProblem::solve_with`].
+    pub fn solve_with(&self, options: &SimplexOptions) -> Result<LpSolution, LpError> {
+        let basic = match options.engine {
+            LpEngine::Revised => run_revised(&self.sf, options)?,
+            LpEngine::Tableau => run_simplex(&self.sf, options)?,
+        };
+        LpSolution::from_basic(&self.problem, &self.sf, &basic, options.engine)
+    }
+
+    /// Warm solve from an exported basis (revised engine only — with
+    /// [`LpEngine::Tableau`] selected the snapshot is ignored and the
+    /// cold tableau runs, keeping the oracle engine bit-reproducible).
+    /// Status and objective always match a cold solve; only the pivot
+    /// count (and wall time) differ. See
+    /// [`crate::LpSolution::basis_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PreparedLp::solve_with`].
+    pub fn solve_warm(
+        &self,
+        options: &SimplexOptions,
+        snapshot: &BasisSnapshot,
+    ) -> Result<LpSolution, LpError> {
+        let basic = match options.engine {
+            LpEngine::Revised => run_revised_warm(&self.sf, options, snapshot)?,
+            LpEngine::Tableau => run_simplex(&self.sf, options)?,
+        };
+        LpSolution::from_basic(&self.problem, &self.sf, &basic, options.engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{verify_optimality, LpEngine, Relation, Sense};
+
+    fn wyndor() -> (LpProblem, Vec<VarId>, Vec<RowId>) {
+        let mut p = LpProblem::new(Sense::Maximize);
+        let x = p.add_var("x", 3.0);
+        let y = p.add_var("y", 5.0);
+        let r0 = p.add_constraint([(x, 1.0)], Relation::Le, 4.0).unwrap();
+        let r1 = p.add_constraint([(y, 2.0)], Relation::Le, 12.0).unwrap();
+        let r2 = p
+            .add_constraint([(x, 3.0), (y, 2.0)], Relation::Le, 18.0)
+            .unwrap();
+        (p, vec![x, y], vec![r0, r1, r2])
+    }
+
+    #[test]
+    fn prepared_cold_solve_matches_problem_solve() {
+        let (p, _, _) = wyndor();
+        let direct = p.solve().unwrap();
+        let prepared = PreparedLp::new(p).unwrap();
+        let cached = prepared.solve_with(&SimplexOptions::default()).unwrap();
+        assert_eq!(direct.values(), cached.values());
+        assert_eq!(direct.objective(), cached.objective());
+    }
+
+    #[test]
+    fn rhs_delta_matches_a_rebuild() {
+        let (p, _, rows) = wyndor();
+        let mut prepared = PreparedLp::new(p).unwrap();
+        prepared.set_rhs(rows[2], 24.0).unwrap();
+
+        // The same change built from scratch for comparison.
+        let mut rebuilt = LpProblem::new(Sense::Maximize);
+        let x = rebuilt.add_var("x", 3.0);
+        let y = rebuilt.add_var("y", 5.0);
+        rebuilt
+            .add_constraint([(x, 1.0)], Relation::Le, 4.0)
+            .unwrap();
+        rebuilt
+            .add_constraint([(y, 2.0)], Relation::Le, 12.0)
+            .unwrap();
+        rebuilt
+            .add_constraint([(x, 3.0), (y, 2.0)], Relation::Le, 24.0)
+            .unwrap();
+        let a = prepared.solve_with(&SimplexOptions::default()).unwrap();
+        let b = rebuilt.solve().unwrap();
+        assert_eq!(a.values(), b.values());
+        assert_eq!(a.objective(), b.objective());
+        // The mutated problem itself reports the new rhs.
+        let (_, _, rhs) = prepared.problem().row(rows[2]);
+        assert_eq!(rhs, 24.0);
+    }
+
+    #[test]
+    fn coeff_delta_requires_same_pattern() {
+        let (p, vars, rows) = wyndor();
+        let mut prepared = PreparedLp::new(p).unwrap();
+        // Same pattern, new values: fine.
+        prepared
+            .set_row_coeffs(rows[2], &[(vars[0], 6.0), (vars[1], 4.0)])
+            .unwrap();
+        let sol = prepared.solve_with(&SimplexOptions::default()).unwrap();
+        let report = verify_optimality(prepared.problem(), &sol, 1e-6);
+        assert!(report.is_optimal(), "{report:?}");
+        // Dropping a variable changes the pattern: rejected.
+        assert!(prepared.set_row_coeffs(rows[2], &[(vars[0], 6.0)]).is_err());
+        // So does introducing one on a single-variable row.
+        assert!(prepared
+            .set_row_coeffs(rows[0], &[(vars[0], 1.0), (vars[1], 1.0)])
+            .is_err());
+    }
+
+    #[test]
+    fn orientation_flip_is_rejected() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 1.0);
+        let r = p.add_constraint([(x, 1.0)], Relation::Le, 2.0).unwrap();
+        let mut prepared = PreparedLp::new(p).unwrap();
+        assert!(prepared.set_rhs(r, -1.0).is_err());
+        // The positive direction is still fine afterwards.
+        prepared.set_rhs(r, 5.0).unwrap();
+        let sol = prepared.solve_with(&SimplexOptions::default()).unwrap();
+        assert!(sol.objective().abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_delta_respects_sense() {
+        let (p, vars, _) = wyndor();
+        let mut prepared = PreparedLp::new(p).unwrap();
+        prepared.set_objective_coeff(vars[1], 0.0).unwrap();
+        let sol = prepared.solve_with(&SimplexOptions::default()).unwrap();
+        // With y worthless, max 3x under x ≤ 4 → 12.
+        assert!((sol.objective() - 12.0).abs() < 1e-9, "{}", sol.objective());
+        assert!(prepared.set_objective_coeff(vars[0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rejected_coeff_delta_leaves_the_problem_untouched() {
+        // Orientation flip through the lower-bound shift: x has shift 1,
+        // so coefficient 5 turns the stored rhs 3 − 5·1 negative. The
+        // delta must be rejected BEFORE anything mutates — problem,
+        // matrix and rhs stay consistent and further solves are sound.
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var_bounded("x", -1.0, 1.0, None);
+        let r = p.add_constraint([(x, 1.0)], Relation::Le, 3.0).unwrap();
+        let mut prepared = PreparedLp::new(p).unwrap();
+        let before = prepared.solve_with(&SimplexOptions::default()).unwrap();
+        assert!(prepared.set_row_coeffs(r, &[(x, 5.0)]).is_err());
+        let after = prepared.solve_with(&SimplexOptions::default()).unwrap();
+        assert_eq!(before.objective(), after.objective());
+        assert_eq!(before.values(), after.values());
+        let (terms, _, rhs) = prepared.problem().row(r);
+        assert_eq!(terms, vec![(x, 1.0)]);
+        assert_eq!(rhs, 3.0);
+    }
+
+    #[test]
+    fn tableau_snapshot_seeds_a_warm_revised_solve() {
+        // A redundant equality makes the tableau deactivate a row; its
+        // exported snapshot must still import cleanly into the revised
+        // warm path (canonical MAX marker, not a raw artificial index)
+        // and re-solve the unchanged problem in zero pivots.
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 1.0);
+        let y = p.add_var("y", 3.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Eq, 2.0)
+            .unwrap();
+        p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Eq, 2.0)
+            .unwrap();
+        let prepared = PreparedLp::new(p).unwrap();
+        let opts = SimplexOptions::default();
+        let tableau = prepared
+            .solve_with(&opts.with_engine(LpEngine::Tableau))
+            .unwrap();
+        let snapshot = tableau.basis_snapshot();
+        assert_eq!(snapshot.engine(), LpEngine::Tableau);
+        let warm = prepared.solve_warm(&opts, &snapshot).unwrap();
+        assert_eq!(warm.iterations(), 0, "tableau basis should import warm");
+        assert!((warm.objective() - tableau.objective()).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn warm_solve_from_optimal_basis_takes_zero_pivots() {
+        let (p, _, _) = wyndor();
+        let prepared = PreparedLp::new(p).unwrap();
+        let opts = SimplexOptions::default();
+        let cold = prepared.solve_with(&opts).unwrap();
+        let warm = prepared.solve_warm(&opts, &cold.basis_snapshot()).unwrap();
+        assert_eq!(warm.iterations(), 0, "re-solve should not pivot");
+        assert_eq!(warm.objective(), cold.objective());
+        assert_eq!(warm.values(), cold.values());
+    }
+
+    #[test]
+    fn warm_solve_after_rhs_delta_agrees_with_cold() {
+        let (p, _, rows) = wyndor();
+        let mut prepared = PreparedLp::new(p).unwrap();
+        let opts = SimplexOptions::default();
+        let mut snapshot = prepared.solve_with(&opts).unwrap().basis_snapshot();
+        // Chain both directions: tightening needs a dual repair step,
+        // loosening re-opens the slack.
+        for rhs in [10.0, 30.0, 18.0, 6.0] {
+            prepared.set_rhs(rows[2], rhs).unwrap();
+            let warm = prepared.solve_warm(&opts, &snapshot).unwrap();
+            let cold = prepared.solve_with(&opts).unwrap();
+            assert!(
+                (warm.objective() - cold.objective()).abs()
+                    <= 1e-9 * (1.0 + cold.objective().abs()),
+                "rhs {rhs}: warm {} vs cold {}",
+                warm.objective(),
+                cold.objective()
+            );
+            let report = verify_optimality(prepared.problem(), &warm, 1e-6);
+            assert!(report.is_optimal(), "rhs {rhs}: {report:?}");
+            snapshot = warm.basis_snapshot();
+        }
+    }
+
+    #[test]
+    fn garbage_snapshot_falls_back_to_cold() {
+        let (p, _, _) = wyndor();
+        let prepared = PreparedLp::new(p).unwrap();
+        let opts = SimplexOptions::default();
+        let cold = prepared.solve_with(&opts).unwrap();
+        for snapshot in [
+            // Wrong shape.
+            BasisSnapshot::new(vec![0], 1, LpEngine::Revised),
+            // Duplicate columns.
+            BasisSnapshot::new(vec![2, 2, 2], 5, LpEngine::Revised),
+            // Out of range.
+            BasisSnapshot::new(vec![90, 91, 92], 5, LpEngine::Revised),
+            // All rows "redundant" — wildly stale.
+            BasisSnapshot::new(vec![usize::MAX; 3], 5, LpEngine::Revised),
+        ] {
+            let warm = prepared.solve_warm(&opts, &snapshot).unwrap();
+            assert!(
+                (warm.objective() - cold.objective()).abs() <= 1e-9,
+                "snapshot {snapshot:?}: warm {} vs cold {}",
+                warm.objective(),
+                cold.objective()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_statuses_match_cold_on_infeasible_and_unbounded() {
+        // Infeasible after an rhs delta.
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var_bounded("x", 1.0, 0.0, Some(1.0));
+        let r = p.add_constraint([(x, 1.0)], Relation::Ge, 0.5).unwrap();
+        let mut prepared = PreparedLp::new(p).unwrap();
+        let opts = SimplexOptions::default();
+        let snap = prepared.solve_with(&opts).unwrap().basis_snapshot();
+        prepared.set_rhs(r, 2.0).unwrap(); // x ≤ 1 makes x ≥ 2 impossible
+        assert!(matches!(
+            prepared.solve_warm(&opts, &snap),
+            Err(LpError::Infeasible { .. })
+        ));
+
+        // Unbounded under a flipped objective.
+        let mut p = LpProblem::new(Sense::Maximize);
+        let x = p.add_var("x", 0.0);
+        let y = p.add_var("y", 0.0);
+        p.add_constraint([(x, 1.0), (y, -1.0)], Relation::Le, 5.0)
+            .unwrap();
+        let mut prepared = PreparedLp::new(p).unwrap();
+        let snap = prepared.solve_with(&opts).unwrap().basis_snapshot();
+        prepared.set_objective_coeff(x, 1.0).unwrap();
+        assert!(matches!(
+            prepared.solve_warm(&opts, &snap),
+            Err(LpError::Unbounded { .. })
+        ));
+    }
+}

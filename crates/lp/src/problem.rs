@@ -392,6 +392,22 @@ impl LpProblem {
         &self.obj
     }
 
+    /// In-place mutators used by [`crate::PreparedLp`] to keep the
+    /// problem consistent with its cached standard form. Validation
+    /// (finiteness, pattern preservation) happens at the `PreparedLp`
+    /// layer, which is the only caller.
+    pub(crate) fn set_row_rhs(&mut self, row: usize, rhs: f64) {
+        self.rows[row].rhs = rhs;
+    }
+
+    pub(crate) fn set_row_terms(&mut self, row: usize, terms: Vec<(usize, f64)>) {
+        self.rows[row].terms = terms;
+    }
+
+    pub(crate) fn set_obj_coeff(&mut self, var: usize, coeff: f64) {
+        self.obj[var] = coeff;
+    }
+
     pub(crate) fn lower_vec(&self) -> &[f64] {
         &self.lower
     }

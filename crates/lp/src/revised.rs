@@ -88,6 +88,126 @@ impl std::fmt::Display for LpEngine {
     }
 }
 
+/// The numerical thresholds of the revised engine, consolidated in one
+/// place and derived from [`SimplexOptions::tolerance`] (`tol` below;
+/// default `1e-9`). Before this struct existed the same magnitudes were
+/// scattered through the module as magic literals, which made them
+/// impossible to retune coherently when a caller tightens or loosens
+/// the base tolerance.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RevisedTolerances {
+    /// The caller's base feasibility/optimality tolerance, applied to
+    /// pricing (a reduced cost above `-base` is optimal), the ratio
+    /// test and degeneracy detection. Equal to `tol`.
+    pub base: f64,
+    /// Negative basic values above `-feasibility_dust` right after a
+    /// refactorization are clamped to zero: at that magnitude they are
+    /// factorization round-off, not genuine infeasibility. Equal to
+    /// `tol`.
+    pub feasibility_dust: f64,
+    /// A pivot element smaller than this triggers one defensive
+    /// refactorization before the pivot is trusted — a suspiciously
+    /// small pivot usually means eta-file drift rather than a genuinely
+    /// singular direction. Equal to `tol`.
+    pub pivot_refresh: f64,
+    /// Hard floor for an acceptable pivot element *after* the defensive
+    /// refresh; anything smaller is numerical breakdown and aborts the
+    /// solve. Two orders below `tol`.
+    pub pivot_reject: f64,
+    /// Basic values within this of zero are snapped to exactly zero
+    /// after a pivot update, keeping degeneracy (and therefore the
+    /// Bland stall switch) sharp. Four orders below `tol`.
+    pub value_snap: f64,
+    /// Threshold for pivots that move artificial variables (the θ = 0
+    /// guard and the post-phase-1 drive-out): never below `1e-7`
+    /// regardless of `tol`, because these pivots feed directly into
+    /// row-redundancy decisions where an over-tight threshold turns
+    /// round-off into a structural verdict.
+    pub artificial_guard: f64,
+    /// Phase-1 residual above which the problem is declared infeasible
+    /// (before the perturbation-scaled allowance is added on top).
+    /// Never below `1e-7`.
+    pub infeasibility: f64,
+}
+
+impl RevisedTolerances {
+    /// Derives the full set from the base tolerance. With the default
+    /// `1e-9` this reproduces the engine's historical constants
+    /// (`1e-9`, `1e-11`, `1e-13`, `1e-7`) exactly.
+    pub(crate) fn derive(tolerance: f64) -> RevisedTolerances {
+        RevisedTolerances {
+            base: tolerance,
+            feasibility_dust: tolerance,
+            pivot_refresh: tolerance,
+            pivot_reject: tolerance * 1e-2,
+            value_snap: tolerance * 1e-4,
+            artificial_guard: tolerance.max(1e-7),
+            infeasibility: tolerance.max(1e-7),
+        }
+    }
+}
+
+/// A solved LP's simplex basis, exportable from
+/// [`crate::LpSolution::basis_snapshot`] and re-importable through
+/// [`crate::PreparedLp::solve_warm`] — the warm-start currency of the
+/// sweep campaigns, where consecutive points differ only in a
+/// right-hand side or a rate scale and the optimal basis barely moves.
+///
+/// The snapshot records, per standard-form row, which standard-form
+/// column (structural or slack) was basic; rows found redundant at the
+/// snapshot are marked and re-seeded with a guarded artificial on
+/// import. A snapshot taken from a *different* problem shape (row or
+/// column counts disagree) or one that has gone stale enough to make
+/// the basis singular is detected on import and the solver falls back
+/// to the cold two-phase path, so warm starts never change what is
+/// solved — only how fast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasisSnapshot {
+    /// Basic standard-form column per row; `usize::MAX` marks a row
+    /// that was inactive (redundant) when the snapshot was taken.
+    basis: Vec<usize>,
+    /// Standard-form column count (structural + slack) at snapshot
+    /// time, used to detect shape mismatches on import.
+    cols: usize,
+    /// Engine that produced the basis (diagnostic only — either
+    /// engine's basis can seed a warm revised solve).
+    engine: LpEngine,
+}
+
+impl BasisSnapshot {
+    /// Builds a snapshot from raw parts — the constructor used when a
+    /// basis is persisted outside the process (or synthesized in
+    /// tests). `basis[i]` is the standard-form column basic in row `i`,
+    /// `usize::MAX` for an inactive row; `cols` is the standard-form
+    /// column count the basis belongs to.
+    pub fn new(basis: Vec<usize>, cols: usize, engine: LpEngine) -> BasisSnapshot {
+        BasisSnapshot {
+            basis,
+            cols,
+            engine,
+        }
+    }
+
+    /// Number of standard-form rows the basis covers.
+    pub fn num_rows(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Standard-form column count the basis was taken against.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Engine that produced the snapshot.
+    pub fn engine(&self) -> LpEngine {
+        self.engine
+    }
+
+    pub(crate) fn rows(&self) -> &[usize] {
+        &self.basis
+    }
+}
+
 /// One product-form update: after the pivot, `B⁻¹_new = E⁻¹ B⁻¹_old`
 /// where `E` is the identity with column `row` replaced by the FTRAN-ed
 /// entering column `w`. Stored sparsely — `w` inherits the basis
@@ -162,7 +282,7 @@ struct Revised<'a> {
     art_rows: Vec<usize>,
     /// First artificial column index (`n_sf`).
     n_sf: usize,
-    tol: f64,
+    tols: RevisedTolerances,
     refactor_interval: usize,
     iterations: usize,
 }
@@ -233,10 +353,104 @@ impl<'a> Revised<'a> {
             etas: Vec::new(),
             art_rows: sf.artificial_rows(),
             n_sf,
-            tol: options.tolerance,
+            tols: RevisedTolerances::derive(options.tolerance),
             refactor_interval,
             iterations: 0,
         })
+    }
+
+    /// Rebuilds solver state around a previously exported basis:
+    /// re-gathers the snapshot's basis columns from the (possibly
+    /// mutated-in-place) standard form, refactorizes them through
+    /// [`SparseLu`] and derives `x_B = B⁻¹ b` from scratch. Rows the
+    /// snapshot marked redundant get a guarded artificial back (the
+    /// θ = 0 rule keeps it pinned at zero).
+    ///
+    /// Returns `Ok(None)` when the snapshot is unusable — shape
+    /// mismatch, out-of-range or duplicated columns, or a basis matrix
+    /// the factorization finds singular — in which case the caller runs
+    /// the cold two-phase path instead.
+    fn from_snapshot(
+        sf: &'a StandardForm,
+        options: &SimplexOptions,
+        snapshot: &BasisSnapshot,
+    ) -> Result<Option<Self>, LpError> {
+        let m = sf.a.rows();
+        let n_sf = sf.a.cols();
+        if snapshot.rows().len() != m || snapshot.num_cols() != n_sf {
+            return Ok(None);
+        }
+        let n_art = snapshot.rows().iter().filter(|&&c| c == usize::MAX).count();
+        let total = n_sf + n_art;
+        let mut basis = vec![usize::MAX; m];
+        let mut in_basis = vec![false; total];
+        let mut art_rows = Vec::with_capacity(n_art);
+        let mut next_art = n_sf;
+        for (i, &col) in snapshot.rows().iter().enumerate() {
+            let b = if col == usize::MAX {
+                art_rows.push(i);
+                let a = next_art;
+                next_art += 1;
+                a
+            } else if col < n_sf && !in_basis[col] {
+                col
+            } else {
+                // Out-of-range or duplicated column: a snapshot from a
+                // different (or since-restructured) problem.
+                return Ok(None);
+            };
+            basis[i] = b;
+            in_basis[b] = true;
+        }
+
+        let at = sf.a.transpose();
+        let cols: Vec<Vec<(usize, f64)>> = basis
+            .iter()
+            .map(|&c| {
+                if c < n_sf {
+                    let (idx, vals) = at.row(c);
+                    idx.iter().copied().zip(vals.iter().copied()).collect()
+                } else {
+                    vec![(art_rows[c - n_sf], 1.0)]
+                }
+            })
+            .collect();
+        let Ok(lu) = SparseLu::factor_cols(m, &cols) else {
+            return Ok(None);
+        };
+        let b = sf.perturbed_b(options.perturbation);
+        let Ok(mut xb) = lu.solve(&b) else {
+            return Ok(None);
+        };
+        let tols = RevisedTolerances::derive(options.tolerance);
+        for x in xb.iter_mut() {
+            if *x < 0.0 && *x > -tols.feasibility_dust {
+                *x = 0.0;
+            }
+        }
+        let refactor_interval = if options.refactor_interval == 0 {
+            64
+        } else {
+            options.refactor_interval
+        };
+        Ok(Some(Revised {
+            sf,
+            at,
+            b,
+            basis,
+            xb,
+            // Artificials re-seeded for redundant rows may never enter
+            // (they are unpriced anyway); structural columns all may.
+            banned: vec![false; total],
+            in_basis,
+            lu,
+            etas: Vec::new(),
+            art_rows,
+            n_sf,
+            tols,
+            refactor_interval,
+            iterations: 0,
+        }))
     }
 
     fn m(&self) -> usize {
@@ -291,8 +505,9 @@ impl<'a> Revised<'a> {
         self.etas.clear();
         self.xb = self.ftran(&self.b.clone())?;
         // Feasibility-preserving cleanup of factorization dust.
+        let dust = self.tols.feasibility_dust;
         for x in self.xb.iter_mut() {
-            if *x < 0.0 && *x > -1e-9 {
+            if *x < 0.0 && *x > -dust {
                 *x = 0.0;
             }
         }
@@ -345,7 +560,7 @@ impl<'a> Revised<'a> {
     /// Dantzig pricing over the reduced costs; `None` = optimal.
     fn enter_dantzig(&self, d: &[f64]) -> Option<usize> {
         let mut best = None;
-        let mut best_val = -self.tol;
+        let mut best_val = -self.tols.base;
         for (j, &dj) in d.iter().enumerate() {
             if !self.banned[j] && !self.in_basis[j] && dj < best_val {
                 best_val = dj;
@@ -359,7 +574,7 @@ impl<'a> Revised<'a> {
     fn enter_bland(&self, d: &[f64]) -> Option<usize> {
         d.iter()
             .enumerate()
-            .find(|&(j, &dj)| !self.banned[j] && !self.in_basis[j] && dj < -self.tol)
+            .find(|&(j, &dj)| !self.banned[j] && !self.in_basis[j] && dj < -self.tols.base)
             .map(|(j, _)| j)
     }
 
@@ -374,24 +589,25 @@ impl<'a> Revised<'a> {
     fn leave(&self, w: &[f64], bland: bool, guard_artificials: bool) -> Option<usize> {
         if guard_artificials {
             for (i, &wi) in w.iter().enumerate() {
-                if self.basis[i] >= self.n_sf && wi.abs() > self.tol.max(1e-7) {
+                if self.basis[i] >= self.n_sf && wi.abs() > self.tols.artificial_guard {
                     return Some(i);
                 }
             }
         }
+        let tol = self.tols.base;
         let mut min_ratio = f64::INFINITY;
         for (i, &wi) in w.iter().enumerate() {
-            if wi > self.tol {
+            if wi > tol {
                 min_ratio = min_ratio.min(self.xb[i].max(0.0) / wi);
             }
         }
         if !min_ratio.is_finite() {
             return None;
         }
-        let window = self.tol * (1.0 + min_ratio.abs());
+        let window = tol * (1.0 + min_ratio.abs());
         let mut best: Option<(usize, f64)> = None;
         for (i, &wi) in w.iter().enumerate() {
-            if wi > self.tol && self.xb[i].max(0.0) / wi <= min_ratio + window {
+            if wi > tol && self.xb[i].max(0.0) / wi <= min_ratio + window {
                 let better = match best {
                     None => true,
                     Some((bi, bv)) => {
@@ -411,14 +627,30 @@ impl<'a> Revised<'a> {
     }
 
     /// Executes the basis change `basis[r] ← q` with the already
-    /// FTRAN-ed column `w`, updating `x_B` and the eta file.
+    /// FTRAN-ed column `w`, using the primal step length
+    /// `θ = x_B[r] / w[r]` (clamped non-negative).
     fn pivot(&mut self, r: usize, q: usize, w: Vec<f64>) -> Result<(), LpError> {
         let theta = (self.xb[r].max(0.0) / w[r]).max(0.0);
+        self.pivot_with_theta(r, q, w, theta)
+    }
+
+    /// The shared tail of a primal or dual pivot: applies the step
+    /// length `theta` to the basic values, swaps `basis[r] ← q`, records
+    /// the eta and honors the refactorization cadence. Dual pivots pass
+    /// the unclamped `θ = x_B[r] / w[r]` (both negative at a dual step,
+    /// so θ ≥ 0 still, but the primal clamp would zero it out).
+    fn pivot_with_theta(
+        &mut self,
+        r: usize,
+        q: usize,
+        w: Vec<f64>,
+        theta: f64,
+    ) -> Result<(), LpError> {
         if theta > 0.0 {
             for (i, &wi) in w.iter().enumerate() {
                 if wi != 0.0 {
                     self.xb[i] -= theta * wi;
-                    if self.xb[i].abs() < 1e-13 {
+                    if self.xb[i].abs() < self.tols.value_snap {
                         self.xb[i] = 0.0;
                     }
                 }
@@ -550,7 +782,7 @@ impl<'a> Revised<'a> {
         };
         // A pivot element this small signals eta-file drift: refresh the
         // factorization once and redo the FTRAN before giving up.
-        if w[r].abs() < 1e-9 && !self.etas.is_empty() {
+        if w[r].abs() < self.tols.pivot_refresh && !self.etas.is_empty() {
             self.refactorize()?;
             w = self.ftran(&aq)?;
             r = match self.leave(&w, bland, guard) {
@@ -558,13 +790,13 @@ impl<'a> Revised<'a> {
                 None => return Ok(None),
             };
         }
-        if w[r].abs() < 1e-11 {
+        if w[r].abs() < self.tols.pivot_reject {
             return Err(LpError::InvalidModel(format!(
                 "revised simplex: pivot element {:.3e} too small (column {q})",
                 w[r]
             )));
         }
-        let degenerate = self.xb[r].abs() <= self.tol;
+        let degenerate = self.xb[r].abs() <= self.tols.base;
         self.pivot(r, q, w)?;
         Ok(Some(degenerate))
     }
@@ -597,7 +829,7 @@ impl<'a> Revised<'a> {
                     continue;
                 }
                 let mag = uj.abs();
-                if mag > self.tol.max(1e-7) && best.is_none_or(|(_, bv)| mag > bv) {
+                if mag > self.tols.artificial_guard && best.is_none_or(|(_, bv)| mag > bv) {
                     best = Some((j, mag));
                 }
             }
@@ -610,7 +842,7 @@ impl<'a> Revised<'a> {
                     col
                 };
                 let w = self.ftran(&aq)?;
-                if w[i].abs() > self.tol.max(1e-7) {
+                if w[i].abs() > self.tols.artificial_guard {
                     // Degenerate pivot: the artificial sits at ~0.
                     self.xb[i] = 0.0;
                     self.pivot(i, j, w)?;
@@ -618,6 +850,110 @@ impl<'a> Revised<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Bounded dual-simplex repair of primal infeasibility, the warm
+    /// path's substitute for phase 1. After an RHS-only delta the
+    /// previous optimal basis stays dual feasible, so driving the
+    /// negative basic values out with dual pivots (leaving row = most
+    /// negative `x_B`, entering column = dual ratio test over the BTRAN
+    /// row) walks straight back to feasibility; after a rate-scaling
+    /// delta dual feasibility only approximately holds, so negative
+    /// reduced costs are clamped to zero in the ratio (the subsequent
+    /// primal phase-2 run restores optimality regardless).
+    ///
+    /// Returns `Ok(true)` when the basis is primal feasible, `Ok(false)`
+    /// when the repair gave up (no eligible entering column, or the
+    /// pivot budget ran out) — the caller then falls back to the cold
+    /// two-phase path, which also owns the infeasibility verdict.
+    fn dual_repair(&mut self, max_pivots: usize) -> Result<bool, LpError> {
+        let m = self.m();
+        let feas = self.tols.feasibility_dust;
+        let mut pivots = 0usize;
+        loop {
+            // Leaving row: most negative basic value (ties: lowest row —
+            // the argmin scan is deterministic). Artificial-owned rows
+            // are exempt: those are the snapshot's redundant rows, which
+            // the cold path deactivates rather than enforces — repairing
+            // them here would make the warm solve *stricter* than cold
+            // and their objectives would diverge.
+            let mut leave: Option<usize> = None;
+            let mut worst = -feas;
+            for i in 0..m {
+                if self.basis[i] < self.n_sf && self.xb[i] < worst {
+                    worst = self.xb[i];
+                    leave = Some(i);
+                }
+            }
+            let Some(r) = leave else {
+                if self.etas.is_empty() {
+                    return Ok(true);
+                }
+                // Only a verdict from a fresh factorization is trusted.
+                self.refactorize()?;
+                if (0..m).all(|i| self.basis[i] >= self.n_sf || self.xb[i] >= -feas) {
+                    return Ok(true);
+                }
+                continue;
+            };
+            if pivots >= max_pivots {
+                return Ok(false);
+            }
+            // ρ = B⁻ᵀ e_r, then the pivot row α_j = ρ·a_j in O(nnz).
+            let mut e = vec![0.0; m];
+            e[r] = 1.0;
+            let rho = self.btran(&e)?;
+            let mut alpha = vec![0.0; self.n_sf];
+            for (i, &ri) in rho.iter().enumerate() {
+                if ri == 0.0 {
+                    continue;
+                }
+                for (j, v) in self.sf.a.iter_row(i) {
+                    alpha[j] += ri * v;
+                }
+            }
+            let y = self.btran(&self.basic_costs(&Phase::Two))?;
+            let d = self.reduced_costs(&y, &Phase::Two);
+            // Dual ratio test: minimize d_j / |α_j| over α_j < 0 (ties:
+            // smallest column index, for determinism).
+            let mut enter: Option<(usize, f64)> = None;
+            for (j, &aj) in alpha.iter().enumerate() {
+                if self.in_basis[j] || self.banned[j] || aj >= -self.tols.pivot_refresh {
+                    continue;
+                }
+                let ratio = d[j].max(0.0) / -aj;
+                if enter.is_none_or(|(_, best)| ratio < best) {
+                    enter = Some((j, ratio));
+                }
+            }
+            let Some((q, _)) = enter else {
+                // No way to raise x_B[r]: primal infeasible if the duals
+                // are clean, stale otherwise — either way, cold path.
+                return Ok(false);
+            };
+            let aq: Vec<f64> = {
+                let mut col = vec![0.0; m];
+                for (i, v) in self.column(q) {
+                    col[i] = v;
+                }
+                col
+            };
+            let w = self.ftran(&aq)?;
+            if w[r] >= -self.tols.pivot_reject {
+                // The FTRAN disagrees with the BTRAN row: eta drift.
+                // Refresh once and retry the whole step; give up if the
+                // factorization is already fresh.
+                if self.etas.is_empty() {
+                    return Ok(false);
+                }
+                self.refactorize()?;
+                continue;
+            }
+            // Dual step: θ = x_B[r] / w[r] ≥ 0 (both strictly negative).
+            let theta = self.xb[r] / w[r];
+            self.pivot_with_theta(r, q, w, theta)?;
+            pivots += 1;
+        }
     }
 
     /// Extracts the solution in the tableau engine's `BasicSolution`
@@ -720,9 +1056,8 @@ pub(crate) fn run_revised(
             .filter(|&i| solver.basis[i] >= solver.n_sf)
             .map(|i| solver.xb[i].max(0.0))
             .sum();
-        let infeas_threshold = options
-            .tolerance
-            .max(1e-7)
+        let infeas_threshold = RevisedTolerances::derive(options.tolerance)
+            .infeasibility
             .max(options.perturbation * 50.0 * m as f64);
         if phase1_obj > infeas_threshold {
             return Err(LpError::Infeasible {
@@ -732,9 +1067,119 @@ pub(crate) fn run_revised(
         solver.drive_out_artificials()?;
     }
 
-    match solver.run_phase(Phase::Two, options, max_iterations)? {
+    let outcome = solver.run_phase(Phase::Two, options, max_iterations)?;
+    finish_phase_two(solver, outcome, options, max_iterations)
+}
+
+/// Shared tail of the cold and warm solves: confirms the phase-2
+/// optimum sits on a primal-feasible basis and repairs it when it does
+/// not. The Harris ratio test trades exact minimum-ratio selection for
+/// pivot-size robustness, so on ill-conditioned instances the final
+/// basis can be infeasible beyond round-off (a basic slack at −1e-4 ≈ a
+/// silently violated constraint — pricing alone never notices, and the
+/// reported objective then undercuts the true optimum). A bounded
+/// dual-simplex pass drives the negative values out and phase 2
+/// re-confirms optimality; on well-conditioned problems the check is
+/// one refactorized scan and zero pivots. If the repair itself breaks
+/// down the pre-restoration answer is returned (the engine's historical
+/// soft behavior) rather than failing the solve.
+fn finish_phase_two(
+    mut solver: Revised<'_>,
+    mut outcome: PhaseOutcome,
+    options: &SimplexOptions,
+    max_iterations: usize,
+) -> Result<BasicSolution, LpError> {
+    let m = solver.m();
+    for _ in 0..3 {
+        let PhaseOutcome::Optimal = outcome else {
+            break;
+        };
+        if !solver.etas.is_empty() {
+            solver.refactorize()?;
+        }
+        let feasible = (0..m).all(|i| {
+            solver.basis[i] >= solver.n_sf || solver.xb[i] >= -solver.tols.feasibility_dust
+        });
+        if feasible {
+            break;
+        }
+        match solver.dual_repair(4 * m + 100) {
+            Ok(true) => outcome = solver.run_phase(Phase::Two, options, max_iterations)?,
+            Ok(false) | Err(LpError::InvalidModel(_)) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    match outcome {
         PhaseOutcome::Optimal => Ok(solver.into_basic()),
         PhaseOutcome::Unbounded(col) => Err(LpError::Unbounded { column: col }),
+    }
+}
+
+/// Warm-started revised simplex: refactorizes the supplied basis, runs a
+/// bounded dual-simplex repair if the basis is primal infeasible for the
+/// current right-hand side, then finishes with the ordinary primal
+/// phase 2. When the snapshot is singular or stale (shape mismatch,
+/// unrepairable infeasibility, numerical breakdown on the warm path,
+/// pivot budget exhausted) the solve falls back to [`run_revised`]'s
+/// cold two-phase path — so a warm solve returns exactly what a cold
+/// solve would have: `Optimal` with the same (unique) objective,
+/// `Infeasible`, or `Unbounded`. Seeded with the *optimal* basis of the
+/// unchanged problem it performs zero pivots.
+pub(crate) fn run_revised_warm(
+    sf: &StandardForm,
+    options: &SimplexOptions,
+    snapshot: &BasisSnapshot,
+) -> Result<BasicSolution, LpError> {
+    let m = sf.a.rows();
+    if m == 0 {
+        return run_revised(sf, options);
+    }
+    let Some(mut solver) = Revised::from_snapshot(sf, options, snapshot)? else {
+        return run_revised(sf, options);
+    };
+
+    // Rows the snapshot marked redundant are re-seeded with artificials
+    // and *not* enforced — mirroring what the cold path does with rows
+    // its phase 1 deactivates, whose residuals it likewise stops
+    // policing (they are numerically dependent on the enforced rows, so
+    // any residual is round-off of that dependence, not a constraint
+    // violation). A *large* residual, however, means the snapshot's
+    // redundancy verdict belongs to a different problem — cold phase 1
+    // would not deactivate these rows — so the warm path must not
+    // silently solve a relaxation: fall back cold. The scale separates
+    // round-off of a dependent row (‖b‖-relative, tiny) from a genuinely
+    // binding row (order of its rhs).
+    let b_scale: f64 = 1.0 + solver.b.iter().map(|v| v.abs()).sum::<f64>();
+    let art_residual: f64 = (0..m)
+        .filter(|&i| solver.basis[i] >= solver.n_sf)
+        .map(|i| solver.xb[i].abs())
+        .sum();
+    if art_residual > 1e-3 * b_scale {
+        return run_revised(sf, options);
+    }
+
+    match solver.dual_repair(4 * m + 100) {
+        Ok(true) => {}
+        // Unrepairable, or the basis went singular mid-repair: cold.
+        Ok(false) | Err(LpError::InvalidModel(_)) => return run_revised(sf, options),
+        Err(e) => return Err(e),
+    }
+
+    let n_art: usize = sf.needs_artificial.iter().filter(|&&x| x).count();
+    let total = sf.a.cols() + n_art;
+    let max_iterations = if options.max_iterations == 0 {
+        20_000.max(50 * (m + total))
+    } else {
+        options.max_iterations
+    };
+    match solver.run_phase(Phase::Two, options, max_iterations) {
+        Ok(outcome) => finish_phase_two(solver, outcome, options, max_iterations),
+        // Breakdown or budget exhaustion on the warm path must never
+        // produce a worse answer than a cold start would: retry cold.
+        Err(LpError::InvalidModel(_)) | Err(LpError::IterationLimit { .. }) => {
+            run_revised(sf, options)
+        }
+        Err(e) => Err(e),
     }
 }
 

@@ -1,7 +1,7 @@
 use socbuf_linalg::{Lu, Matrix};
 
 use crate::problem::{LpProblem, RowId, VarId};
-use crate::revised::LpEngine;
+use crate::revised::{BasisSnapshot, LpEngine};
 use crate::simplex::BasicSolution;
 use crate::standard_form::StandardForm;
 use crate::LpError;
@@ -31,6 +31,7 @@ pub struct LpSolution {
     basic: Vec<bool>,
     iterations: usize,
     engine: LpEngine,
+    snapshot: BasisSnapshot,
 }
 
 impl LpSolution {
@@ -120,6 +121,23 @@ impl LpSolution {
             }
         }
 
+        // Snapshot normalization: inactive (redundant) rows carry the
+        // canonical `usize::MAX` marker whatever the engine left in its
+        // raw basis vector, so either engine's snapshot can seed a warm
+        // revised solve.
+        let snapshot_basis: Vec<usize> = basic
+            .basis
+            .iter()
+            .zip(&basic.row_active)
+            .map(|(&col, &active)| {
+                if active && col < sf.a.cols() {
+                    col
+                } else {
+                    usize::MAX
+                }
+            })
+            .collect();
+
         Ok(LpSolution {
             values,
             objective,
@@ -128,6 +146,7 @@ impl LpSolution {
             basic: basic_flags,
             iterations: basic.iterations,
             engine,
+            snapshot: BasisSnapshot::new(snapshot_basis, sf.a.cols(), engine),
         })
     }
 
@@ -197,5 +216,15 @@ impl LpSolution {
     /// interpreting pivot counts or reproducing a run).
     pub fn engine(&self) -> LpEngine {
         self.engine
+    }
+
+    /// The optimal basis this solution sits at, exported for
+    /// warm-starting a re-solve of a nearby problem through
+    /// [`crate::PreparedLp::solve_warm`]. The snapshot is standalone
+    /// data (row → basic standard-form column) — it stays valid however
+    /// the problem is subsequently mutated, and a solver that finds it
+    /// stale simply falls back to a cold solve.
+    pub fn basis_snapshot(&self) -> BasisSnapshot {
+        self.snapshot.clone()
     }
 }

@@ -17,6 +17,7 @@ use crate::{LpError, Sense};
 /// including slack/surplus columns but *not* artificial columns, together
 /// with the bookkeeping needed to map a basic solution back to the user's
 /// variables, rows and duals. `a` is CSR — `O(nnz)`, never `O(m·n)`.
+#[derive(Debug)]
 pub(crate) struct StandardForm {
     pub a: Csr,
     pub b: Vec<f64>,
@@ -47,6 +48,71 @@ impl StandardForm {
             .enumerate()
             .filter_map(|(i, &need)| need.then_some(i))
             .collect()
+    }
+
+    /// Re-targets the right-hand side of one standard-form row in place
+    /// — the RHS-only delta of a parametric re-solve (e.g. moving the
+    /// buffer-budget row along a budget sweep). `shifted_rhs` is the
+    /// user rhs *after* the lower-bound shift; the stored value keeps
+    /// the row's original orientation.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::InvalidModel`] if the new value would flip the row's
+    /// orientation (the oriented rhs must stay ≥ 0): that changes the
+    /// slack/artificial structure, so the form must be rebuilt instead.
+    pub(crate) fn set_rhs_in_place(&mut self, row: usize, shifted_rhs: f64) -> Result<(), LpError> {
+        let oriented = self.row_sign[row] * shifted_rhs;
+        if oriented < 0.0 {
+            return Err(LpError::InvalidModel(format!(
+                "rhs delta flips the orientation of standard-form row {row}; \
+                 the standard form must be rebuilt"
+            )));
+        }
+        self.b[row] = oriented;
+        Ok(())
+    }
+
+    /// Rewrites the structural coefficients of one standard-form row in
+    /// place — the rate-scaling delta of a parametric re-solve (e.g.
+    /// rescaling the λ coefficients of the cut rows along a load
+    /// sweep). `terms` must be sorted by column and cover *exactly* the
+    /// row's existing structural pattern; the slack/surplus entry (if
+    /// any) is untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::InvalidModel`] if the pattern differs — a structural
+    /// change requires a rebuild.
+    pub(crate) fn update_row_values_in_place(
+        &mut self,
+        row: usize,
+        terms: &[(usize, f64)],
+    ) -> Result<(), LpError> {
+        let sign = self.row_sign[row];
+        let (cols, vals) = self.a.row_mut(row);
+        let slack = self.slack_col[row];
+        let structural = match slack {
+            // The slack column is always the row's last entry (its index
+            // is past every structural column).
+            Some(_) => cols.len() - 1,
+            None => cols.len(),
+        };
+        if structural != terms.len()
+            || cols[..structural]
+                .iter()
+                .zip(terms)
+                .any(|(&c, &(tc, _))| c != tc)
+        {
+            return Err(LpError::InvalidModel(format!(
+                "coefficient delta changes the sparsity pattern of standard-form row {row}; \
+                 the standard form must be rebuilt"
+            )));
+        }
+        for (v, &(_, coeff)) in vals[..structural].iter_mut().zip(terms) {
+            *v = sign * coeff;
+        }
+        Ok(())
     }
 
     /// The right-hand side with the deterministic degeneracy-breaking

@@ -256,6 +256,60 @@ fn redundant_equalities_are_tolerated() {
 }
 
 #[test]
+fn ill_conditioned_rate_scaling_agrees_after_normalization() {
+    // Regression for the consolidated `RevisedTolerances`: the same
+    // occupation-measure-shaped LP stated at rate scale 1e-3 and at
+    // 1e3 (balance rows multiplied wholesale — zero rhs, so the
+    // feasible set and objective are unchanged in exact arithmetic)
+    // must agree after normalization. Before the thresholds were
+    // derived from one base tolerance, the absolute magic constants
+    // (pivot floors, snap-to-zero) meant the two scalings could walk
+    // through different pivot sequences and certify different vertices.
+    let build = |scale: f64| {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let n = 6;
+        // Loss sits on the tail state, like a buffer-occupancy block.
+        let vars: Vec<_> = (0..n)
+            .map(|j| p.add_var(format!("x{j}"), if j == n - 1 { 1.0 } else { 0.0 }))
+            .collect();
+        // Birth–death balance rows λ·x_j = μ·x_{j+1} at the given scale
+        // (λ = 0.7, μ = 1.0 nominal).
+        for j in 0..n - 1 {
+            p.add_constraint(
+                [(vars[j], 0.7 * scale), (vars[j + 1], -scale)],
+                Relation::Eq,
+                0.0,
+            )
+            .unwrap();
+            // A scaled bound row keeps the ≥/slack machinery exercised.
+            p.add_constraint([(vars[j], 1.0 * scale)], Relation::Le, 1.0 * scale)
+                .unwrap();
+        }
+        // Normalization (unscaled: it fixes the solution's magnitude).
+        let all: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(all, Relation::Eq, 1.0).unwrap();
+        p
+    };
+    let reference = solve_certified(&build(1.0));
+    for scale in [1e-3, 1e3] {
+        let scaled = solve_certified(&build(scale));
+        assert!(
+            (scaled.objective() - reference.objective()).abs()
+                <= 1e-9 * (1.0 + reference.objective().abs()),
+            "scale {scale}: objective {} vs reference {}",
+            scaled.objective(),
+            reference.objective()
+        );
+        for (a, b) in scaled.values().iter().zip(reference.values()) {
+            assert!(
+                (a - b).abs() <= 1e-7 * (1.0 + b.abs()),
+                "scale {scale}: solution moved: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
 fn fixed_variables_via_equal_bounds() {
     let mut p = LpProblem::new(Sense::Minimize);
     let x = p.add_var_bounded("x", 5.0, 2.0, Some(2.0));

@@ -9,8 +9,8 @@
 //! several points fail) picks the lowest index.
 
 use socbuf_core::{
-    evaluate_policies_with, size_buffers, CoreError, PipelineConfig, ReplicationPool, SerialPool,
-    SizingConfig,
+    evaluate_policies_sized, evaluate_policies_with, size_buffers, CoreError, PipelineConfig,
+    ReplicationPool, SerialPool, SizingConfig, SizingOutcome, SolveContext,
 };
 use socbuf_sim::SimReport;
 use socbuf_soc::templates::{random_architecture, RandomArchParams};
@@ -18,6 +18,21 @@ use socbuf_soc::{Architecture, SocError};
 
 use crate::pool::WorkPool;
 use crate::report::{SimSummary, SweepKind, SweepPoint, SweepReport};
+
+/// Number of consecutive work items a warm-start chain spans in a
+/// budget or load campaign. Chunk boundaries are fixed by **item
+/// index** — chunk `c` always covers items `c·WARM_CHUNK ..
+/// (c+1)·WARM_CHUNK` — never by worker count, so the chain each item
+/// participates in (and therefore its solver path, pivot count and
+/// rendered bytes) is identical whether the campaign runs on 1, 2 or 8
+/// workers. Workers claim whole chunks; within a chunk the items run in
+/// index order sharing one [`SolveContext`], the first item cold (bit
+/// identical to [`size_buffers`]) and the rest warm-started from their
+/// predecessor's basis.
+///
+/// The value trades warm-chain length against scheduling granularity: a
+/// campaign of `n` items exposes `⌈n / WARM_CHUNK⌉` parallel units.
+pub const WARM_CHUNK: usize = 4;
 
 /// Failure of one campaign work item (the lowest-index failure when
 /// several items fail).
@@ -121,7 +136,78 @@ fn size_point(
             (cmp.outcome, Some(sim))
         }
     };
-    Ok(SweepPoint {
+    Ok(assemble_point(
+        arch,
+        index,
+        budget,
+        load_factor,
+        arch_seed,
+        &outcome,
+        sim,
+    ))
+}
+
+/// [`size_point`]'s warm-chained twin: the sizing comes from the
+/// chunk's shared [`SolveContext`] instead of a cold [`size_buffers`]
+/// call, and the optional re-simulation reuses that outcome through
+/// [`evaluate_policies_sized`]. Warm starts change pivot counts and
+/// wall time, never statuses or (beyond solver precision) objectives —
+/// the context falls back to a cold solve whenever its basis is stale.
+fn warm_size_point(
+    ctx: &mut SolveContext,
+    arch: &Architecture,
+    index: usize,
+    budget: usize,
+    load_factor: f64,
+    sizing: &SizingConfig,
+    simulate: Option<&PipelineConfig>,
+) -> Result<SweepPoint, SweepError> {
+    let label = format!("budget={budget} load={load_factor}");
+    let fail = |source| SweepError::Point {
+        index,
+        label: label.clone(),
+        source,
+    };
+    let outcome = ctx
+        .size_buffers_scaled(arch, load_factor, budget)
+        .map_err(fail)?;
+    let (outcome, sim) = match simulate {
+        None => (outcome, None),
+        Some(pipeline) => {
+            let mut pipeline = pipeline.clone();
+            pipeline.sizing = sizing.clone();
+            let cmp = evaluate_policies_sized(arch, budget, &pipeline, outcome, &SerialPool)
+                .map_err(fail)?;
+            let sim = SimSummary {
+                pre_loss: cmp.pre.total_lost,
+                post_loss: cmp.post.total_lost,
+                timeout_loss: cmp.timeout.total_lost,
+                improvement_vs_pre: cmp.improvement_vs_pre(),
+            };
+            (cmp.outcome, Some(sim))
+        }
+    };
+    Ok(assemble_point(
+        arch,
+        index,
+        budget,
+        load_factor,
+        None,
+        &outcome,
+        sim,
+    ))
+}
+
+fn assemble_point(
+    arch: &Architecture,
+    index: usize,
+    budget: usize,
+    load_factor: f64,
+    arch_seed: Option<u64>,
+    outcome: &SizingOutcome,
+    sim: Option<SimSummary>,
+) -> SweepPoint {
+    SweepPoint {
         index,
         budget,
         load_factor,
@@ -134,7 +220,29 @@ fn size_point(
         lp_iterations: outcome.lp_iterations,
         allocation: outcome.allocation.as_slice().to_vec(),
         sim,
+    }
+}
+
+/// Runs `items` index-fixed chunks of `WARM_CHUNK` through `pool`,
+/// giving each chunk its own warm chain, and flattens the results back
+/// into item order.
+fn run_warm_chunks<F>(
+    pool: &WorkPool,
+    items: usize,
+    chunk_job: F,
+) -> Vec<Result<SweepPoint, SweepError>>
+where
+    F: Fn(std::ops::Range<usize>) -> Vec<Result<SweepPoint, SweepError>> + Sync,
+{
+    let chunks = items.div_ceil(WARM_CHUNK);
+    pool.run(chunks, |c| {
+        let lo = c * WARM_CHUNK;
+        let hi = (lo + WARM_CHUNK).min(items);
+        chunk_job(lo..hi)
     })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Reduces per-item results by slot, surfacing the lowest-index error.
@@ -164,16 +272,25 @@ pub struct BudgetSweep<'a> {
     /// comparison with this pipeline configuration (its `sizing` field
     /// is overridden by the sweep's).
     pub simulate: Option<PipelineConfig>,
+    /// Warm-start the LP re-solves along index-fixed chunks of
+    /// [`WARM_CHUNK`] points (the default; see the constant's docs for
+    /// the determinism argument). Disable to cold-start every point —
+    /// e.g. when pinning a point bit-for-bit against a standalone
+    /// [`size_buffers`] call, whose pivot path a warm chain legitimately
+    /// changes.
+    pub warm_start: bool,
 }
 
 impl<'a> BudgetSweep<'a> {
-    /// A sizing-only sweep of `budgets` under the default configuration.
+    /// A sizing-only sweep of `budgets` under the default configuration,
+    /// warm starts enabled.
     pub fn new(arch: &'a Architecture, budgets: Vec<usize>) -> Self {
         BudgetSweep {
             arch,
             budgets,
             sizing: SizingConfig::default(),
             simulate: None,
+            warm_start: true,
         }
     }
 
@@ -187,17 +304,36 @@ impl<'a> BudgetSweep<'a> {
         if self.budgets.is_empty() {
             return Err(SweepError::BadConfig("empty budget grid".into()));
         }
-        let results = pool.map(&self.budgets, |i, &budget| {
-            size_point(
-                self.arch,
-                i,
-                budget,
-                1.0,
-                None,
-                &self.sizing,
-                self.simulate.as_ref(),
-            )
-        });
+        let results = if self.warm_start {
+            run_warm_chunks(pool, self.budgets.len(), |range| {
+                let mut ctx = SolveContext::new(self.arch, &self.sizing);
+                range
+                    .map(|i| {
+                        warm_size_point(
+                            &mut ctx,
+                            self.arch,
+                            i,
+                            self.budgets[i],
+                            1.0,
+                            &self.sizing,
+                            self.simulate.as_ref(),
+                        )
+                    })
+                    .collect()
+            })
+        } else {
+            pool.map(&self.budgets, |i, &budget| {
+                size_point(
+                    self.arch,
+                    i,
+                    budget,
+                    1.0,
+                    None,
+                    &self.sizing,
+                    self.simulate.as_ref(),
+                )
+            })
+        };
         reduce(SweepKind::Budget, results)
     }
 }
@@ -216,10 +352,15 @@ pub struct LoadSweep<'a> {
     pub sizing: SizingConfig,
     /// Optional per-point simulation comparison (see [`BudgetSweep`]).
     pub simulate: Option<PipelineConfig>,
+    /// Warm-start chunked re-solves (see [`BudgetSweep::warm_start`]);
+    /// on by default. Along a load chain the warm solver re-scales the
+    /// cached LP's rate coefficients in place instead of reassembling.
+    pub warm_start: bool,
 }
 
 impl<'a> LoadSweep<'a> {
-    /// A sizing-only sweep of `factors` at `budget`.
+    /// A sizing-only sweep of `factors` at `budget`, warm starts
+    /// enabled.
     pub fn new(arch: &'a Architecture, budget: usize, factors: Vec<f64>) -> Self {
         LoadSweep {
             arch,
@@ -227,6 +368,7 @@ impl<'a> LoadSweep<'a> {
             factors,
             sizing: SizingConfig::default(),
             simulate: None,
+            warm_start: true,
         }
     }
 
@@ -241,21 +383,45 @@ impl<'a> LoadSweep<'a> {
         if self.factors.is_empty() {
             return Err(SweepError::BadConfig("empty factor grid".into()));
         }
-        let results = pool.map(&self.factors, |i, &factor| {
-            let scaled = self
-                .arch
-                .scale_rates(factor, 1.0)
-                .map_err(|source| SweepError::Arch { index: i, source })?;
-            size_point(
-                &scaled,
-                i,
-                self.budget,
-                factor,
-                None,
-                &self.sizing,
-                self.simulate.as_ref(),
-            )
-        });
+        let results = if self.warm_start {
+            run_warm_chunks(pool, self.factors.len(), |range| {
+                let mut ctx = SolveContext::new(self.arch, &self.sizing);
+                range
+                    .map(|i| {
+                        let factor = self.factors[i];
+                        let scaled = self
+                            .arch
+                            .scale_rates(factor, 1.0)
+                            .map_err(|source| SweepError::Arch { index: i, source })?;
+                        warm_size_point(
+                            &mut ctx,
+                            &scaled,
+                            i,
+                            self.budget,
+                            factor,
+                            &self.sizing,
+                            self.simulate.as_ref(),
+                        )
+                    })
+                    .collect()
+            })
+        } else {
+            pool.map(&self.factors, |i, &factor| {
+                let scaled = self
+                    .arch
+                    .scale_rates(factor, 1.0)
+                    .map_err(|source| SweepError::Arch { index: i, source })?;
+                size_point(
+                    &scaled,
+                    i,
+                    self.budget,
+                    factor,
+                    None,
+                    &self.sizing,
+                    self.simulate.as_ref(),
+                )
+            })
+        };
         reduce(SweepKind::Load, results)
     }
 }
@@ -349,12 +515,15 @@ mod tests {
 
     #[test]
     fn budget_sweep_points_match_single_shot_sizing() {
+        // With warm starts OFF every point is a standalone cold solve,
+        // so the match against `size_buffers` is exact (bitwise).
         let arch = templates::amba();
         let sweep = BudgetSweep {
             arch: &arch,
             budgets: vec![12, 16, 24],
             sizing: small(),
             simulate: None,
+            warm_start: false,
         };
         let report = sweep.run(&WorkPool::serial()).unwrap();
         assert_eq!(report.kind, SweepKind::Budget);
@@ -372,6 +541,63 @@ mod tests {
     }
 
     #[test]
+    fn warm_budget_sweep_agrees_with_cold_to_solver_precision() {
+        // Warm chains may land on a different optimal vertex (and pivot
+        // count), but statuses and objectives must match the cold sweep:
+        // the optimal objective of an LP is unique.
+        let arch = templates::amba();
+        let budgets = vec![10, 12, 16, 20, 24, 32, 40]; // spans 2 chunks
+        let mut warm = BudgetSweep::new(&arch, budgets.clone());
+        warm.sizing = small();
+        let mut cold = BudgetSweep::new(&arch, budgets);
+        cold.sizing = small();
+        cold.warm_start = false;
+        let warm = warm.run(&WorkPool::serial()).unwrap();
+        let cold = cold.run(&WorkPool::serial()).unwrap();
+        for (w, c) in warm.points.iter().zip(&cold.points) {
+            assert_eq!(w.budget_row_relaxed, c.budget_row_relaxed);
+            assert!(
+                (w.predicted_loss - c.predicted_loss).abs()
+                    <= 1e-9 * (1.0 + c.predicted_loss.abs()),
+                "budget {}: warm {} vs cold {}",
+                w.budget,
+                w.predicted_loss,
+                c.predicted_loss
+            );
+            assert_eq!(w.allocation.iter().sum::<usize>(), w.budget);
+        }
+        // Chunk-initial points (indices 0 and 4) are cold solves by
+        // construction and must match bit for bit.
+        for i in [0usize, 4] {
+            assert_eq!(warm.points[i], cold.points[i], "chunk start {i} drifted");
+        }
+    }
+
+    #[test]
+    fn warm_load_sweep_agrees_with_cold_to_solver_precision() {
+        let arch = templates::coreconnect();
+        let factors = vec![0.5, 0.75, 1.0, 1.25, 1.5];
+        let mut warm = LoadSweep::new(&arch, 20, factors.clone());
+        warm.sizing = small();
+        let mut cold = LoadSweep::new(&arch, 20, factors);
+        cold.sizing = small();
+        cold.warm_start = false;
+        let warm = warm.run(&WorkPool::serial()).unwrap();
+        let cold = cold.run(&WorkPool::serial()).unwrap();
+        for (w, c) in warm.points.iter().zip(&cold.points) {
+            assert_eq!(w.budget_row_relaxed, c.budget_row_relaxed);
+            assert!(
+                (w.predicted_loss - c.predicted_loss).abs()
+                    <= 1e-9 * (1.0 + c.predicted_loss.abs()),
+                "factor {}: warm {} vs cold {}",
+                w.load_factor,
+                w.predicted_loss,
+                c.predicted_loss
+            );
+        }
+    }
+
+    #[test]
     fn load_sweep_scales_offered_rate() {
         let arch = templates::amba();
         let sweep = LoadSweep {
@@ -380,6 +606,7 @@ mod tests {
             factors: vec![0.5, 1.0],
             sizing: small(),
             simulate: None,
+            warm_start: true,
         };
         let report = sweep.run(&WorkPool::serial()).unwrap();
         assert_eq!(report.kind, SweepKind::Load);
@@ -435,6 +662,7 @@ mod tests {
             factors: vec![1.0, -1.0, -2.0],
             sizing: small(),
             simulate: None,
+            warm_start: true,
         };
         match sweep.run(&WorkPool::new(4)) {
             Err(SweepError::Arch { index, .. }) => assert_eq!(index, 1),
@@ -450,6 +678,7 @@ mod tests {
             budgets: vec![16],
             sizing: small(),
             simulate: Some(PipelineConfig::small()),
+            warm_start: true,
         };
         let report = sweep.run(&WorkPool::serial()).unwrap();
         let sim = report.points[0].sim.as_ref().expect("sim attached");

@@ -67,7 +67,7 @@ mod pool;
 mod report;
 
 pub use campaign::{
-    parallel_policy_comparison, BudgetSweep, LoadSweep, RandomCampaign, SweepError,
+    parallel_policy_comparison, BudgetSweep, LoadSweep, RandomCampaign, SweepError, WARM_CHUNK,
 };
 pub use pool::WorkPool;
 pub use report::{SimSummary, SweepKind, SweepPoint, SweepReport};

@@ -17,7 +17,7 @@
 //! other worker count produce bit-identical outputs, which is what the
 //! determinism test-suite (`tests/determinism.rs`) pins forever.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A fixed-width pool of scoped worker threads (std-only, no
 /// dependencies; threads live only for the duration of one call).
@@ -68,7 +68,13 @@ impl WorkPool {
     ///
     /// If any job panics, one of the panics is re-raised on the calling
     /// thread (the lowest-spawn-order worker that panicked — *which*
-    /// job that is can depend on scheduling).
+    /// job that is can depend on scheduling). A panicking job also
+    /// raises a cancellation flag that every worker checks before
+    /// claiming its next item, so a failing campaign stops promptly:
+    /// items claimed *after* the panic are bounded by the worker count
+    /// (each surviving worker finishes at most the item it is already
+    /// running plus one claimed in the race window), not by the queue
+    /// length.
     pub fn run<R, F>(&self, n: usize, job: F) -> Vec<R>
     where
         R: Send,
@@ -78,6 +84,7 @@ impl WorkPool {
             return (0..n).map(job).collect();
         }
         let next = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
         let threads = self.workers.min(n);
         let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
@@ -85,12 +92,24 @@ impl WorkPool {
                 .map(|_| {
                     scope.spawn(|| {
                         let mut done: Vec<(usize, R)> = Vec::new();
-                        loop {
+                        while !cancelled.load(Ordering::Acquire) {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
-                            done.push((i, job(i)));
+                            // `job` is only required to be Sync (shared
+                            // by reference), so catching here cannot
+                            // corrupt caller state the caller could
+                            // otherwise observe: the panic is re-raised
+                            // verbatim below and `run` never returns.
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i)))
+                            {
+                                Ok(r) => done.push((i, r)),
+                                Err(panic) => {
+                                    cancelled.store(true, Ordering::Release);
+                                    std::panic::resume_unwind(panic);
+                                }
+                            }
                         }
                         done
                     })
@@ -188,5 +207,43 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_is_rejected() {
         WorkPool::new(0);
+    }
+
+    #[test]
+    fn items_claimed_after_a_panic_are_bounded_by_worker_count() {
+        // Item 0 panics almost immediately while the other workers are
+        // parked inside slow items; without claim-time cancellation the
+        // survivors would then drain the whole 512-item queue before the
+        // panic reaches the caller.
+        const WORKERS: usize = 4;
+        const ITEMS: usize = 512;
+        let started = AtomicUsize::new(0);
+        let panicked_after = AtomicUsize::new(usize::MAX);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            WorkPool::new(WORKERS).run(ITEMS, |i| {
+                started.fetch_add(1, Ordering::SeqCst);
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    panicked_after.store(started.load(Ordering::SeqCst), Ordering::SeqCst);
+                    panic!("item 0 exploded");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                i
+            })
+        }));
+        assert!(result.is_err(), "the panic must reach the caller");
+        let at_panic = panicked_after.load(Ordering::SeqCst);
+        let total = started.load(Ordering::SeqCst);
+        assert_ne!(at_panic, usize::MAX, "item 0 must have run");
+        assert!(
+            total - at_panic <= WORKERS,
+            "{} items started after the panic (at_panic {at_panic}, total {total}); \
+             cancellation must bound this by the worker count",
+            total - at_panic
+        );
+        assert!(
+            total < ITEMS / 2,
+            "{total} of {ITEMS} items ran; the queue should not drain after a panic"
+        );
     }
 }

@@ -118,9 +118,18 @@ impl SweepReport {
     ///
     /// A point is kept iff no other point has both lower-or-equal cost
     /// and lower-or-equal [`SweepPoint::effective_loss`] (with at least
-    /// one strict); exact ties keep the lowest index. The extraction is
-    /// a plain scan over the index-ordered records, so it inherits the
-    /// campaign's scheduling independence.
+    /// one strict).
+    ///
+    /// **Tie rule:** points with *exactly* equal (bitwise `f64`-equal)
+    /// cost and effective loss dominate each other only vacuously, so
+    /// **all** of them are flagged as frontier members, ordered by
+    /// index. (Before this rule only the lowest-index duplicate was
+    /// kept, which made the rendered `frontier` column silently hide
+    /// equivalent allocations — two budgets reaching the same loss are
+    /// both worth reporting.) Ties at *different* costs still resolve
+    /// in favor of the cheaper point. The extraction is a plain scan
+    /// over the index-ordered records, so it inherits the campaign's
+    /// scheduling independence.
     pub fn pareto_frontier(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.points.len()).collect();
         order.sort_by(|&a, &b| {
@@ -131,10 +140,17 @@ impl SweepReport {
                 .then(a.cmp(&b))
         });
         let mut best_loss = f64::INFINITY;
+        let mut kept_key: Option<(f64, f64)> = None;
         let mut frontier = Vec::new();
         for i in order {
-            if self.points[i].effective_loss() < best_loss {
-                best_loss = self.points[i].effective_loss();
+            let key = (self.cost(&self.points[i]), self.points[i].effective_loss());
+            if key.1 < best_loss {
+                best_loss = key.1;
+                kept_key = Some(key);
+                frontier.push(i);
+            } else if kept_key == Some(key) {
+                // Exact (cost, loss) duplicate of a frontier point:
+                // equally efficient, equally reported.
                 frontier.push(i);
             }
         }
@@ -320,8 +336,19 @@ mod tests {
     }
 
     #[test]
-    fn frontier_breaks_exact_ties_by_index() {
+    fn frontier_flags_all_exact_cost_loss_ties() {
+        // Identical (cost, loss): equally efficient, both reported.
         let r = report(vec![point(0, 10, 0.5), point(1, 10, 0.5)]);
+        assert_eq!(r.pareto_frontier(), vec![0, 1]);
+        // Same loss at higher cost is still dominated, tie or not.
+        let r = report(vec![point(0, 10, 0.5), point(1, 12, 0.5)]);
+        assert_eq!(r.pareto_frontier(), vec![0]);
+        // A duplicate of a *dominated* point stays off the frontier.
+        let r = report(vec![
+            point(0, 10, 0.2),
+            point(1, 10, 0.5),
+            point(2, 10, 0.5),
+        ]);
         assert_eq!(r.pareto_frontier(), vec![0]);
     }
 

@@ -45,10 +45,28 @@ fn assert_scheduling_independent(label: &str, campaign: impl Fn(&WorkPool) -> Sw
 
 #[test]
 fn budget_sweep_is_worker_count_independent() {
+    // `BudgetSweep::new` enables warm chains, so this also pins the
+    // warm-start scheduling contract: chunk boundaries are fixed by
+    // item index, so the chain each item joins — and therefore its
+    // solver path, pivot counts and rendered bytes — cannot depend on
+    // the worker count.
     let arch = templates::amba();
-    assert_scheduling_independent("budget sweep", |pool| {
+    assert_scheduling_independent("warm budget sweep", |pool| {
         let mut sweep = BudgetSweep::new(&arch, vec![10, 12, 16, 20, 24, 32, 40]);
         sweep.sizing = SizingConfig::small();
+        sweep.run(pool).unwrap()
+    });
+}
+
+#[test]
+fn cold_budget_sweep_is_worker_count_independent() {
+    // The pre-warm scheduling path (one item per pool slot) stays
+    // covered too.
+    let arch = templates::amba();
+    assert_scheduling_independent("cold budget sweep", |pool| {
+        let mut sweep = BudgetSweep::new(&arch, vec![10, 12, 16, 20, 24, 32, 40]);
+        sweep.sizing = SizingConfig::small();
+        sweep.warm_start = false;
         sweep.run(pool).unwrap()
     });
 }
@@ -68,8 +86,10 @@ fn simulated_budget_sweep_is_worker_count_independent() {
 
 #[test]
 fn load_sweep_is_worker_count_independent() {
+    // Warm chains on (the default): load chains re-scale the cached LP
+    // in place, which must not introduce any worker-count dependence.
     let arch = templates::coreconnect();
-    assert_scheduling_independent("load sweep", |pool| {
+    assert_scheduling_independent("warm load sweep", |pool| {
         let mut sweep = LoadSweep::new(&arch, 20, vec![0.5, 0.75, 1.0, 1.25, 1.5]);
         sweep.sizing = SizingConfig::small();
         sweep.run(pool).unwrap()
