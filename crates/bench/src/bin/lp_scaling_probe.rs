@@ -13,9 +13,17 @@
 //! revised engine the default. Results must also agree to 1e-9
 //! relative, so the smoke doubles as a cross-engine oracle on the
 //! biggest template.
+//!
+//! The smoke additionally gates the **equilibration layer** on the
+//! ill-conditioned corpus (`templates::ill_conditioned`, rates
+//! log-uniform over 1e-3..1e3): with equilibration on, the engines must
+//! agree to 1e-9, the solve with equilibration off must return the same
+//! objective (scaling is a pure numerics change), the condition
+//! estimate must drop on every instance the trigger fires for, and the
+//! trigger must actually fire on a healthy fraction of the corpus.
 
 use socbuf_core::{SizingConfig, SizingLp};
-use socbuf_lp::LpEngine;
+use socbuf_lp::{LpEngine, SimplexOptions};
 use socbuf_soc::templates;
 use std::time::{Duration, Instant};
 
@@ -125,6 +133,97 @@ fn full_sweep() {
     }
 }
 
+/// Equilibration gate over the ill-conditioned corpus. Returns the
+/// number of failed checks (0 = healthy).
+fn ill_conditioned_gate() -> usize {
+    let mut failures = 0usize;
+    let mut applied = 0usize;
+    let mut solved = 0usize;
+    let corpus_size = 12u64;
+    let lp_opts = |engine: LpEngine, equilibrate: bool| SimplexOptions {
+        engine,
+        equilibrate,
+        perturbation: 1e-6,
+        max_iterations: 200_000,
+        ..SimplexOptions::default()
+    };
+    for seed in 0..corpus_size {
+        let arch = templates::ill_conditioned(seed);
+        let cfg = SizingConfig {
+            state_cap: 8,
+            effort_levels: 3,
+            ..SizingConfig::default()
+        };
+        let lp = match SizingLp::build(&arch, 4000, &cfg) {
+            Ok(lp) => lp,
+            Err(e) => {
+                eprintln!("SMOKE FAIL: ill seed {seed} failed to build: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let p = lp.problem();
+        let revised = p.solve_with(&lp_opts(LpEngine::Revised, true));
+        let tableau = p.solve_with(&lp_opts(LpEngine::Tableau, true));
+        let unscaled = p.solve_with(&lp_opts(LpEngine::Revised, false));
+        let (Ok(r), Ok(t)) = (&revised, &tableau) else {
+            eprintln!("SMOKE FAIL: ill seed {seed} did not solve with equilibration on");
+            failures += 1;
+            continue;
+        };
+        solved += 1;
+        if (r.objective() - t.objective()).abs() > 1e-9 * (1.0 + r.objective().abs()) {
+            eprintln!(
+                "SMOKE FAIL: ill seed {seed} engines disagree: {} vs {}",
+                r.objective(),
+                t.objective()
+            );
+            failures += 1;
+        }
+        // Scaling must be a pure numerics change: the unequilibrated
+        // solve of the same instance (when it survives at all — it is
+        // allowed to break down, that is what the layer is for) must
+        // land on the same objective.
+        if let Ok(u) = &unscaled {
+            if (r.objective() - u.objective()).abs() > 1e-9 * (1.0 + r.objective().abs()) {
+                eprintln!(
+                    "SMOKE FAIL: ill seed {seed} equilibration changed the objective: \
+                     {} (on) vs {} (off)",
+                    r.objective(),
+                    u.objective()
+                );
+                failures += 1;
+            }
+        }
+        let stats = r.scaling_stats();
+        if stats.applied {
+            applied += 1;
+            if stats.condition_after >= stats.condition_before {
+                eprintln!(
+                    "SMOKE FAIL: ill seed {seed} condition estimate did not drop: \
+                     {:.3e} -> {:.3e}",
+                    stats.condition_before, stats.condition_after
+                );
+                failures += 1;
+            }
+        }
+    }
+    if applied * 3 < solved {
+        eprintln!(
+            "SMOKE FAIL: equilibration trigger fired on only {applied}/{solved} \
+             ill-conditioned instances"
+        );
+        failures += 1;
+    }
+    if failures == 0 {
+        println!(
+            "ill-conditioned gate OK: {solved}/{corpus_size} solved, \
+             equilibration applied on {applied}, condition dropped on all applied"
+        );
+    }
+    failures
+}
+
 /// CI-sized subset with hard gates; exits nonzero on regression.
 fn smoke() -> i32 {
     let mut failures = 0;
@@ -183,6 +282,8 @@ fn smoke() -> i32 {
             failures += 1;
         }
     }
+
+    failures += ill_conditioned_gate() as i32;
 
     if failures == 0 {
         println!("smoke OK");

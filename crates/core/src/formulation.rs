@@ -42,6 +42,14 @@ pub struct SizingConfig {
     /// revised simplex; [`LpEngine::Tableau`] selects the dense oracle
     /// engine (what the golden-artifact cross-checks compare against).
     pub engine: LpEngine,
+    /// Whether the LP layer equilibrates badly-scaled instances before
+    /// solving (default ON; see [`socbuf_lp::SimplexOptions`]). Rate
+    /// data in arbitrary units — service/arrival rates spanning
+    /// `1e-3..1e3` — is rescaled to well-conditioned form and un-scaled
+    /// at extraction; well-conditioned instances are untouched
+    /// bit-for-bit. [`crate::SizingOutcome`]'s `lp_scaling` field
+    /// reports what the pass measured and did.
+    pub equilibrate: bool,
 }
 
 impl Default for SizingConfig {
@@ -53,6 +61,7 @@ impl Default for SizingConfig {
             quantile: 0.98,
             bus_effort_limit: 1.0,
             engine: LpEngine::default(),
+            equilibrate: true,
         }
     }
 }
@@ -114,6 +123,7 @@ pub struct SizingLp {
     state_cap: usize,
     alpha: f64,
     engine: LpEngine,
+    equilibrate: bool,
 }
 
 /// Solution of the joint LP in queue-level terms.
@@ -140,6 +150,9 @@ pub struct SizingSolution {
     pub budget_row_relaxed: bool,
     /// Simplex pivots used.
     pub lp_iterations: usize,
+    /// What the LP equilibration pass measured and did (condition
+    /// estimate before/after, and whether scaling was applied).
+    pub lp_scaling: socbuf_lp::ScalingStats,
 }
 
 impl SizingLp {
@@ -276,6 +289,7 @@ impl SizingLp {
             state_cap: n,
             alpha: config.alpha,
             engine: config.engine,
+            equilibrate: config.equilibrate,
         })
     }
 
@@ -374,7 +388,7 @@ impl SizingLp {
     ///
     /// Propagates LP failures other than budget infeasibility.
     pub fn solve(&self) -> Result<SizingSolution, CoreError> {
-        let ladder = solve_ladder(self.engine);
+        let ladder = solve_ladder(self.engine, self.equilibrate);
         let mut last_err = None;
         for options in &ladder {
             match self.solve_with_options(options) {
@@ -383,6 +397,11 @@ impl SizingLp {
                     last_err = Some(CoreError::Lp(socbuf_lp::LpError::IterationLimit {
                         limit: options.max_iterations,
                     }));
+                }
+                // Numerical breakdown on the θ=0 redundancy contract:
+                // a stronger perturbation rung may resolve it.
+                Err(CoreError::Lp(e @ socbuf_lp::LpError::ResidualArtificial { .. })) => {
+                    last_err = Some(CoreError::Lp(e));
                 }
                 Err(e) => return Err(e),
             }
@@ -523,6 +542,7 @@ impl SizingLp {
             bus_shadow_prices: self.bus_rows.iter().map(|&r| sol.dual(r)).collect(),
             budget_row_relaxed: relaxed,
             lp_iterations: sol.iterations(),
+            lp_scaling: sol.scaling_stats(),
         }
     }
 
@@ -543,12 +563,13 @@ impl SizingLp {
 /// O(1e-6) wobble is immaterial. Individual instances can still stall
 /// under a particular perturbation pattern, so a ladder of increasingly
 /// aggressive settings backs the first attempt up.
-pub(crate) fn solve_ladder(engine: LpEngine) -> [SimplexOptions; 3] {
+pub(crate) fn solve_ladder(engine: LpEngine, equilibrate: bool) -> [SimplexOptions; 3] {
     [
         SimplexOptions {
             perturbation: 1e-6,
             max_iterations: 30_000,
             engine,
+            equilibrate,
             ..SimplexOptions::default()
         },
         SimplexOptions {
@@ -556,6 +577,7 @@ pub(crate) fn solve_ladder(engine: LpEngine) -> [SimplexOptions; 3] {
             max_iterations: 60_000,
             stall_switch: 20,
             engine,
+            equilibrate,
             ..SimplexOptions::default()
         },
         SimplexOptions {
@@ -563,6 +585,7 @@ pub(crate) fn solve_ladder(engine: LpEngine) -> [SimplexOptions; 3] {
             max_iterations: 200_000,
             stall_switch: 10,
             engine,
+            equilibrate,
             ..SimplexOptions::default()
         },
     ]
@@ -736,7 +759,7 @@ mod tests {
         let mut lp = SizingLp::build(&built_arch, 50, &cfg).unwrap();
         let mut prepared = socbuf_lp::PreparedLp::new(lp.problem().clone()).unwrap();
         lp.retarget(&mut prepared, &arch, 50, 2.0).unwrap();
-        let options = &solve_ladder(cfg.engine)[0];
+        let options = &solve_ladder(cfg.engine, cfg.equilibrate)[0];
         let warm = lp.interpret(&prepared.solve_with(options).unwrap(), false);
         let cold = SizingLp::build(&arch.scale_rates(2.0, 1.0).unwrap(), 50, &cfg)
             .unwrap()

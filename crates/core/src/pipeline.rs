@@ -33,6 +33,12 @@ pub struct SizingOutcome {
     /// Engine that solved the joint LP (pivot counts are only
     /// comparable within one engine).
     pub lp_engine: LpEngine,
+    /// What the LP equilibration pass measured and did for the joint
+    /// solve: the standard form's nonzero-magnitude spread before and
+    /// after scaling, and whether scaling was applied at all (only
+    /// badly-scaled instances are touched; see
+    /// [`SizingConfig::equilibrate`](crate::SizingConfig)).
+    pub lp_scaling: socbuf_lp::ScalingStats,
 }
 
 /// Sizes the buffers of `arch` for a total budget of `budget` units.
@@ -69,6 +75,7 @@ pub fn size_buffers(
         budget_row_relaxed: solution.budget_row_relaxed,
         lp_iterations: solution.lp_iterations,
         lp_engine: lp.engine(),
+        lp_scaling: solution.lp_scaling,
     })
 }
 
@@ -181,6 +188,7 @@ impl SolveContext {
             budget_row_relaxed: solution.budget_row_relaxed,
             lp_iterations: solution.lp_iterations,
             lp_engine: self.config.engine,
+            lp_scaling: solution.lp_scaling,
         })
     }
 
@@ -192,9 +200,14 @@ impl SolveContext {
     ) -> Result<SizingSolution, CoreError> {
         if self.state.is_none() {
             // Chain start: build exactly what the cold path builds (at
-            // this point's own budget/factor) and cache its assembly.
+            // this point's own budget/factor) and cache its assembly —
+            // including the equilibration decision and scale vectors,
+            // which the whole chain then shares (in-place deltas are
+            // rescaled with the cached factors, so warm bases stay
+            // meaningful across retargets).
             let lp = SizingLp::build(scaled, budget, &self.config)?;
-            let prepared = PreparedLp::new(lp.problem().clone())?;
+            let prepared =
+                PreparedLp::new_with_scaling(lp.problem().clone(), self.config.equilibrate)?;
             self.state = Some(WarmState {
                 lp,
                 prepared,
@@ -219,7 +232,7 @@ impl SolveContext {
 
         let state = self.state.as_mut().expect("built above");
         let mut last_err = None;
-        for options in &solve_ladder(self.config.engine) {
+        for options in &solve_ladder(self.config.engine, self.config.equilibrate) {
             let attempt = match (&state.basis, options.engine) {
                 (Some(snapshot), socbuf_lp::LpEngine::Revised) => {
                     state.prepared.solve_warm(options, snapshot)
@@ -241,6 +254,11 @@ impl SolveContext {
                 }
                 Err(LpError::IterationLimit { limit }) => {
                     last_err = Some(CoreError::Lp(LpError::IterationLimit { limit }));
+                }
+                // Same retry policy as the cold ladder: a stronger
+                // perturbation rung may resolve the θ=0 breakdown.
+                Err(e @ LpError::ResidualArtificial { .. }) => {
+                    last_err = Some(CoreError::Lp(e));
                 }
                 Err(e) => return Err(e.into()),
             }

@@ -357,6 +357,38 @@ impl Csr {
         true
     }
 
+    /// Rescales the matrix in place to `diag(row) · A · diag(col)` —
+    /// the equilibration kernel. The sparsity pattern is untouched (a
+    /// scale factor of zero would break that contract and is rejected).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if `row`/`col` lengths do not
+    /// match the matrix shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) on a non-positive or non-finite factor.
+    pub fn scale_rows_cols(&mut self, row: &[f64], col: &[f64]) -> Result<(), LinalgError> {
+        if row.len() != self.rows || col.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: (self.rows, self.cols),
+                found: (row.len(), col.len()),
+            });
+        }
+        debug_assert!(
+            row.iter().chain(col).all(|f| *f > 0.0 && f.is_finite()),
+            "scale factors must be positive and finite"
+        );
+        for r in 0..self.rows {
+            let span = self.row_ptr[r]..self.row_ptr[r + 1];
+            for (v, &c) in self.vals[span.clone()].iter_mut().zip(&self.col_idx[span]) {
+                *v *= row[r] * col[c];
+            }
+        }
+        Ok(())
+    }
+
     /// Maximum absolute stored entry.
     pub fn max_abs(&self) -> f64 {
         self.vals.iter().fold(0.0_f64, |m, v| m.max(v.abs()))

@@ -11,8 +11,11 @@
 //!
 //! * **Sparse, for the hot path** —
 //!   [`Csr`] (compressed-sparse-row storage with `O(nnz)` matvec /
-//!   vecmat / transpose and triplet / row-builder assembly) and
-//!   [`Tridiag`] (the Thomas algorithm: `O(n)` tridiagonal solves).
+//!   vecmat / transpose and triplet / row-builder assembly),
+//!   [`Tridiag`] (the Thomas algorithm: `O(n)` tridiagonal solves), and
+//!   the [`scaling`] kernels (geometric-mean equilibration with exact
+//!   power-of-two factors plus the [`value_spread`] conditioning probe
+//!   the LP solve path uses to decide when to scale).
 //! * **Dense, for small kernels and fallbacks** —
 //!   [`Matrix`] (row-major `f64`) and [`Lu`] (LU with partial pivoting,
 //!   used for general-generator stationary solves, dual recovery and
@@ -41,6 +44,7 @@ mod csr;
 mod error;
 mod lu;
 mod matrix;
+pub mod scaling;
 mod sparse_lu;
 mod tridiag;
 mod vector;
@@ -49,6 +53,10 @@ pub use csr::{Csr, CsrBuilder};
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
+pub use scaling::{
+    geometric_mean_scaling, log_deviation, scaled_log_deviation, scaled_value_spread, value_spread,
+    Equilibration,
+};
 pub use sparse_lu::SparseLu;
 pub use tridiag::Tridiag;
 pub use vector::{axpy, dot, inf_norm, max_abs_diff, one_norm, scale, two_norm};

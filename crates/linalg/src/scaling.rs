@@ -1,0 +1,290 @@
+//! Geometric-mean matrix equilibration and a cheap conditioning probe.
+//!
+//! Badly-scaled problem data — entries spanning many orders of magnitude
+//! because the user states rates in arbitrary units — is the classic
+//! source of simplex numerics trouble: pivot thresholds, feasibility
+//! tolerances and redundancy verdicts are all absolute, so a row whose
+//! coefficients sit at `1e-3` is policed a million times more tightly
+//! than one at `1e3`. Production LP codes (Curtis–Reid in the open-source
+//! solvers this workspace's PAPERS.md surveys) cut the condition number
+//! *at the source* by scaling rows and columns before the solve rather
+//! than chasing the spread with tolerance knobs. This module supplies the
+//! two kernels that layer needs:
+//!
+//! * [`geometric_mean_scaling`] — iterative row/column equilibration
+//!   driving every row's and column's geometric-mean magnitude toward 1,
+//!   with the final factors **rounded to powers of two** so applying and
+//!   inverting them is exact in binary floating point (the scaled
+//!   problem is *exactly* equivalent to the original; only the solve
+//!   numerics change),
+//! * [`value_spread`] / [`scaled_value_spread`] — an `O(nnz)`
+//!   conditioning estimate (the ratio of the largest to the smallest
+//!   nonzero magnitude) used both to decide whether scaling is worth
+//!   applying and to report the measured improvement.
+
+use crate::Csr;
+
+/// Row and column scale factors produced by [`geometric_mean_scaling`].
+/// Every factor is a positive power of two, so `factor * x` and
+/// `x / factor` are exact (no rounding) for any finite `x` in range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Equilibration {
+    /// Per-row multiplier `r_i` (length = matrix rows).
+    pub row: Vec<f64>,
+    /// Per-column multiplier `c_j` (length = matrix cols).
+    pub col: Vec<f64>,
+}
+
+/// Ratio of the largest to the smallest nonzero magnitude stored in `a`
+/// — a cheap, deterministic `O(nnz)` proxy for how badly scaled the
+/// data is (`1.0` for an empty or single-magnitude matrix). This is not
+/// a singular-value condition number; it is the quantity equilibration
+/// directly attacks, and the quantity the solver's absolute tolerances
+/// are implicitly calibrated against.
+pub fn value_spread(a: &Csr) -> f64 {
+    spread(a.vals().iter().map(|v| v.abs()))
+}
+
+/// [`value_spread`] of the matrix `diag(row) · a · diag(col)` without
+/// materializing it.
+///
+/// # Panics
+///
+/// Panics if `row`/`col` lengths do not match the matrix shape.
+pub fn scaled_value_spread(a: &Csr, row: &[f64], col: &[f64]) -> f64 {
+    assert_eq!(row.len(), a.rows(), "row scale length mismatch");
+    assert_eq!(col.len(), a.cols(), "col scale length mismatch");
+    spread((0..a.rows()).flat_map(|i| a.iter_row(i).map(move |(j, v)| (row[i] * v * col[j]).abs())))
+}
+
+/// Root-mean-square deviation of the stored magnitudes from 1, in
+/// octaves, reported as the factor `2^rms(log2|a_ij|)` (`1.0` for an
+/// empty matrix or one whose entries all sit at magnitude 1). This is
+/// the quantity geometric-mean equilibration (approximately) minimizes
+/// — the least-squares objective of Curtis–Reid — so it is the honest
+/// "did scaling help" metric even on matrices whose *worst-case*
+/// max/min ratio is irreducible (e.g. a huge and a tiny coefficient in
+/// the same row).
+pub fn log_deviation(a: &Csr) -> f64 {
+    deviation(a.vals().iter().map(|v| v.abs()))
+}
+
+/// [`log_deviation`] of `diag(row) · a · diag(col)` without
+/// materializing it.
+///
+/// # Panics
+///
+/// Panics if `row`/`col` lengths do not match the matrix shape.
+pub fn scaled_log_deviation(a: &Csr, row: &[f64], col: &[f64]) -> f64 {
+    assert_eq!(row.len(), a.rows(), "row scale length mismatch");
+    assert_eq!(col.len(), a.cols(), "col scale length mismatch");
+    deviation(
+        (0..a.rows()).flat_map(|i| a.iter_row(i).map(move |(j, v)| (row[i] * v * col[j]).abs())),
+    )
+}
+
+fn deviation(mags: impl Iterator<Item = f64>) -> f64 {
+    let mut sum_sq = 0.0_f64;
+    let mut n = 0usize;
+    for m in mags {
+        if m > 0.0 && m.is_finite() {
+            let l = m.log2();
+            sum_sq += l * l;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (sum_sq / n as f64).sqrt().exp2()
+    }
+}
+
+fn spread(mags: impl Iterator<Item = f64>) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = 0.0_f64;
+    for m in mags {
+        if m > 0.0 {
+            min = min.min(m);
+            max = max.max(m);
+        }
+    }
+    if max > 0.0 && min.is_finite() {
+        max / min
+    } else {
+        1.0
+    }
+}
+
+/// Rounds a positive finite value to the nearest power of two (nearest
+/// in log scale: the mantissa splits at √2). Powers of two are exactly
+/// representable and have exactly representable reciprocals, which is
+/// what makes equilibration a *lossless* change of units. Implemented on
+/// the bit pattern, so the result is identical on every platform.
+pub fn nearest_pow2(x: f64) -> f64 {
+    debug_assert!(x > 0.0 && x.is_finite(), "nearest_pow2 domain: {x}");
+    const FRAC_MASK: u64 = (1u64 << 52) - 1;
+    // Fraction bits of √2 = 1.4142…: mantissas at or above this round up.
+    const SQRT2_FRAC: u64 = 0x6A09E667F3BCD;
+    let bits = x.to_bits();
+    let mut exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    if (bits >> 52) & 0x7ff == 0 {
+        // Subnormal: treat as the smallest normal (factors this extreme
+        // are clamped below anyway).
+        exp = -1022;
+    } else if bits & FRAC_MASK >= SQRT2_FRAC {
+        exp += 1;
+    }
+    // Clamp far inside the representable exponent range so reciprocals
+    // and products with problem data stay normal.
+    exp = exp.clamp(-500, 500);
+    f64::from_bits(((exp + 1023) as u64) << 52)
+}
+
+/// Iterative geometric-mean row/column equilibration of `a`.
+///
+/// Each sweep rescales every row, then every column, by the reciprocal
+/// of its geometric-mean magnitude `√(min·max)` over the current scaled
+/// entries; sweeps stop when no factor would change by more than a
+/// power of two (so further sweeps could not change the rounded result)
+/// or after `max_sweeps`. The returned factors are rounded to powers of
+/// two (see [`nearest_pow2`]); rows or columns with no stored entries
+/// keep factor 1. `O(nnz)` per sweep, fully deterministic.
+pub fn geometric_mean_scaling(a: &Csr, max_sweeps: usize) -> Equilibration {
+    let (m, n) = (a.rows(), a.cols());
+    let mut row = vec![1.0_f64; m];
+    let mut col = vec![1.0_f64; n];
+    for _ in 0..max_sweeps {
+        let mut biggest_adjust = 1.0_f64;
+        // Row pass over the current scaled magnitudes.
+        for i in 0..m {
+            let mut min = f64::INFINITY;
+            let mut max = 0.0_f64;
+            for (j, v) in a.iter_row(i) {
+                let mag = (row[i] * v * col[j]).abs();
+                if mag > 0.0 {
+                    min = min.min(mag);
+                    max = max.max(mag);
+                }
+            }
+            if max > 0.0 && min.is_finite() {
+                let g = (min * max).sqrt();
+                if g.is_finite() && g > 0.0 {
+                    row[i] /= g;
+                    biggest_adjust = biggest_adjust.max(g.max(1.0 / g));
+                }
+            }
+        }
+        // Column pass, accumulated by scattering the rows.
+        let mut cmin = vec![f64::INFINITY; n];
+        let mut cmax = vec![0.0_f64; n];
+        for i in 0..m {
+            for (j, v) in a.iter_row(i) {
+                let mag = (row[i] * v * col[j]).abs();
+                if mag > 0.0 {
+                    cmin[j] = cmin[j].min(mag);
+                    cmax[j] = cmax[j].max(mag);
+                }
+            }
+        }
+        for j in 0..n {
+            if cmax[j] > 0.0 && cmin[j].is_finite() {
+                let g = (cmin[j] * cmax[j]).sqrt();
+                if g.is_finite() && g > 0.0 {
+                    col[j] /= g;
+                    biggest_adjust = biggest_adjust.max(g.max(1.0 / g));
+                }
+            }
+        }
+        // All adjustments inside one octave: the power-of-two rounding
+        // below would absorb any further sweep.
+        if biggest_adjust < 2.0 {
+            break;
+        }
+    }
+    for r in row.iter_mut() {
+        *r = nearest_pow2(*r);
+    }
+    for c in col.iter_mut() {
+        *c = nearest_pow2(*c);
+    }
+    Equilibration { row, col }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_pow2_rounds_in_log_scale() {
+        assert_eq!(nearest_pow2(1.0), 1.0);
+        assert_eq!(nearest_pow2(2.0), 2.0);
+        assert_eq!(nearest_pow2(0.25), 0.25);
+        // √2 is the split point: just below rounds down, at/above up.
+        assert_eq!(nearest_pow2(1.414), 1.0);
+        assert_eq!(nearest_pow2(1.415), 2.0);
+        assert_eq!(nearest_pow2(3.0), 4.0);
+        assert_eq!(nearest_pow2(0.7), 0.5);
+        assert_eq!(nearest_pow2(0.71), 1.0);
+        // Exact reciprocals by construction.
+        for x in [1e-3, 0.02, 1.0, 37.5, 1e3] {
+            let p = nearest_pow2(x);
+            assert_eq!(p * (1.0 / p), 1.0);
+        }
+    }
+
+    #[test]
+    fn value_spread_measures_magnitude_ratio() {
+        let a = Csr::from_triplets(2, 2, &[(0, 0, 1e-3), (1, 1, 1e3)]).unwrap();
+        assert_eq!(value_spread(&a), 1e6);
+        assert_eq!(value_spread(&Csr::zeros(3, 3)), 1.0);
+    }
+
+    #[test]
+    fn equilibration_cuts_the_spread_of_a_badly_scaled_matrix() {
+        // Rows at wildly different magnitudes — the shape rate data in
+        // arbitrary units produces.
+        let a = Csr::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 2e-3),
+                (0, 1, -1e-3),
+                (1, 1, 3e3),
+                (1, 2, 5e2),
+                (2, 0, 1.0),
+                (2, 2, 2.0),
+            ],
+        )
+        .unwrap();
+        let before = value_spread(&a);
+        let eq = geometric_mean_scaling(&a, 8);
+        let after = scaled_value_spread(&a, &eq.row, &eq.col);
+        assert!(
+            after * 100.0 <= before,
+            "spread {before:.3e} -> {after:.3e}"
+        );
+        for f in eq.row.iter().chain(&eq.col) {
+            assert!(*f > 0.0 && f.is_finite());
+            assert_eq!(*f, nearest_pow2(*f), "factor {f} not a power of two");
+        }
+    }
+
+    #[test]
+    fn well_scaled_matrices_are_left_nearly_alone() {
+        let a = Csr::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, -0.5), (1, 1, 2.0)]).unwrap();
+        let eq = geometric_mean_scaling(&a, 8);
+        let after = scaled_value_spread(&a, &eq.row, &eq.col);
+        assert!(after <= value_spread(&a) * 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn empty_rows_and_columns_keep_unit_factors() {
+        let a = Csr::from_triplets(3, 3, &[(0, 0, 4.0)]).unwrap();
+        let eq = geometric_mean_scaling(&a, 4);
+        assert_eq!(eq.row[1], 1.0);
+        assert_eq!(eq.row[2], 1.0);
+        assert_eq!(eq.col[1], 1.0);
+        assert_eq!(eq.col[2], 1.0);
+    }
+}

@@ -22,6 +22,19 @@ pub enum LpError {
         /// The limit that was hit.
         limit: usize,
     },
+    /// The solve ended with residual mass on artificial variables
+    /// beyond the documented redundancy bound — phase 1 certified
+    /// feasibility within tolerance, but the final basis's
+    /// artificial-owned rows no longer look like mere round-off of
+    /// dependent rows. This is numerical breakdown (distinct from
+    /// proven infeasibility); callers typically retry with a stronger
+    /// perturbation rung or a rebuilt formulation.
+    ResidualArtificial {
+        /// Total artificial mass left on the final basis.
+        residual: f64,
+        /// The bound it was required to stay under.
+        bound: f64,
+    },
     /// The model itself is malformed (unknown variable, non-finite
     /// coefficient, …).
     InvalidModel(String),
@@ -44,6 +57,13 @@ impl fmt::Display for LpError {
             }
             LpError::IterationLimit { limit } => {
                 write!(f, "simplex iteration limit of {limit} pivots exceeded")
+            }
+            LpError::ResidualArtificial { residual, bound } => {
+                write!(
+                    f,
+                    "final basis retains artificial mass {residual:.3e} beyond the \
+                     redundancy bound {bound:.3e} (numerical breakdown)"
+                )
             }
             LpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
             LpError::EmptyProblem => write!(f, "problem has no variables"),
@@ -69,6 +89,12 @@ mod tests {
         assert!(LpError::InvalidModel("bad".into())
             .to_string()
             .contains("bad"));
+        let residual = LpError::ResidualArtificial {
+            residual: 2.0e-3,
+            bound: 1.0e-6,
+        }
+        .to_string();
+        assert!(residual.contains("artificial") && residual.contains("2.000e-3"));
         assert!(!LpError::EmptyProblem.to_string().is_empty());
     }
 

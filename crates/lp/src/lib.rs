@@ -25,9 +25,18 @@
 //!   the same standard form under the same deterministic perturbation —
 //!   the cross-engine oracle suite holds their objectives to 1e-9
 //!   agreement,
+//! * **scale-invariant numerics** — before either engine runs, the
+//!   standard form is **equilibrated** (geometric-mean row/column
+//!   scaling with exact power-of-two factors, applied only when the
+//!   data's nonzero-magnitude spread exceeds a trigger) and un-scaled
+//!   at extraction, so rate data stated in arbitrary units (spanning
+//!   `1e-3..1e3` and beyond) reaches the engines well conditioned;
+//!   [`LpSolution::scaling_stats`] reports the measured spread before
+//!   and after, and [`SimplexOptions::equilibrate`] turns the layer off,
 //! * [`LpSolution`] — primal values, objective, dual prices and reduced
 //!   costs recovered from the final basis (via an LU solve against the
-//!   original constraint matrix, not solver-internal state),
+//!   original constraint matrix, not solver-internal state), always in
+//!   the problem's original units,
 //! * [`verify_optimality`] — an independent optimality certificate checker
 //!   (primal feasibility + dual feasibility + complementary slackness +
 //!   primal–dual objective gap) used heavily by the test-suite and
@@ -81,4 +90,5 @@ pub use problem::{LpProblem, Relation, RowId, Sense, VarId};
 pub use revised::{BasisSnapshot, LpEngine};
 pub use simplex::SimplexOptions;
 pub use solution::LpSolution;
+pub use standard_form::ScalingStats;
 pub use verify::{verify_optimality, OptimalityReport};

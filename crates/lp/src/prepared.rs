@@ -16,6 +16,15 @@
 //! [`PreparedLp::solve_with`] would have (same status; the optimal
 //! objective of an LP is unique even when the vertex is not).
 //!
+//! **Equilibration composes with all of this.** The scale vectors are
+//! computed once at construction ([`PreparedLp::new_with_scaling`]) and
+//! cached alongside the assembled form; every in-place delta rescales
+//! its input with the cached factors, a [`BasisSnapshot`] stays valid
+//! across scaling (it never changes the basis's combinatorial
+//! structure), and solutions — values, duals, reduced costs — come back
+//! in original units. See `crate::standard_form`'s module docs for the
+//! exact unscaling contract.
+//!
 //! # Examples
 //!
 //! ```
@@ -63,17 +72,39 @@ pub struct PreparedLp {
 impl PreparedLp {
     /// Builds the standard form once and takes ownership of the
     /// problem (the two must stay in lock-step under deltas, so outside
-    /// mutation is ruled out by construction).
+    /// mutation is ruled out by construction). Equilibration is ON (the
+    /// [`crate::SimplexOptions`] default) — use
+    /// [`PreparedLp::new_with_scaling`] to opt out.
     ///
     /// # Errors
     ///
     /// [`LpError::EmptyProblem`] for a variable-free problem, or any
     /// standard-form assembly failure.
     pub fn new(problem: LpProblem) -> Result<PreparedLp, LpError> {
+        PreparedLp::new_with_scaling(problem, true)
+    }
+
+    /// [`PreparedLp::new`] with the equilibration decision made
+    /// explicit. The decision is taken **once, here**: the scale
+    /// vectors are computed on the initial coefficients, cached
+    /// alongside the assembled form, and reused verbatim by every
+    /// subsequent in-place delta ([`PreparedLp::set_rhs`],
+    /// [`PreparedLp::set_row_coeffs`],
+    /// [`PreparedLp::set_objective_coeff`] rescale their inputs with
+    /// the cached factors) — so a [`BasisSnapshot`] taken at any point
+    /// of a chain keeps meaning the same basis. The `equilibrate` field
+    /// of the [`SimplexOptions`] later passed to a solve is ignored
+    /// here in favor of this construction-time choice.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PreparedLp::new`].
+    pub fn new_with_scaling(problem: LpProblem, equilibrate: bool) -> Result<PreparedLp, LpError> {
         if problem.num_vars() == 0 {
             return Err(LpError::EmptyProblem);
         }
-        let sf = build_standard_form(&problem)?;
+        let mut sf = build_standard_form(&problem)?;
+        sf.prepare_scaling(equilibrate);
         let mut sf_row_of = vec![usize::MAX; problem.num_rows()];
         for (i, origin) in sf.row_origin.iter().enumerate() {
             if let Some(r) = origin {
@@ -211,7 +242,8 @@ impl PreparedLp {
                 "objective coefficient {coeff} is not finite"
             )));
         }
-        self.sf.c[v.index()] = if self.sf.negated_obj { -coeff } else { coeff };
+        let min_form = if self.sf.negated_obj { -coeff } else { coeff };
+        self.sf.set_cost_in_place(v.index(), min_form);
         self.problem.set_obj_coeff(v.index(), coeff);
         Ok(())
     }
@@ -432,6 +464,63 @@ mod tests {
             assert!(report.is_optimal(), "rhs {rhs}: {report:?}");
             snapshot = warm.basis_snapshot();
         }
+    }
+
+    #[test]
+    fn scaled_prepared_deltas_match_rebuilds() {
+        // A badly-scaled family: coefficients spanning 1e-4..1e4 make
+        // the equilibration trigger fire at construction; every
+        // in-place delta afterwards must land exactly where a
+        // from-scratch rebuild (with its own scaling decision) lands,
+        // and warm solves must keep answering like cold ones.
+        let build = |rhs: f64, cy: f64| {
+            let mut p = LpProblem::new(Sense::Minimize);
+            let x = p.add_var("x", 1.0);
+            let y = p.add_var("y", 2.0);
+            let r = p
+                .add_constraint([(x, 1e-4), (y, cy)], Relation::Ge, rhs)
+                .unwrap();
+            (p, x, y, r)
+        };
+        let (p, x, y, r) = build(2e-4, 3e4);
+        let mut prepared = PreparedLp::new(p).unwrap();
+        let opts = SimplexOptions::default();
+        let first = prepared.solve_with(&opts).unwrap();
+        assert!(first.scaling_stats().applied, "trigger must fire");
+        let mut snapshot = first.basis_snapshot();
+
+        for (rhs, cy) in [(5e-4, 3e4), (5e-4, 1e4), (1e-4, 2e4)] {
+            prepared.set_rhs(r, rhs).unwrap();
+            prepared.set_row_coeffs(r, &[(x, 1e-4), (y, cy)]).unwrap();
+            let warm = prepared.solve_warm(&opts, &snapshot).unwrap();
+            let cold = prepared.solve_with(&opts).unwrap();
+            let (rebuilt, ..) = build(rhs, cy);
+            let fresh = rebuilt.solve().unwrap();
+            for (name, sol) in [("warm", &warm), ("cold", &cold)] {
+                assert!(
+                    (sol.objective() - fresh.objective()).abs()
+                        <= 1e-9 * (1.0 + fresh.objective().abs()),
+                    "({rhs}, {cy}) {name}: {} vs rebuild {}",
+                    sol.objective(),
+                    fresh.objective()
+                );
+                let report = verify_optimality(prepared.problem(), sol, 1e-6);
+                assert!(report.is_optimal(), "({rhs}, {cy}) {name}: {report:?}");
+            }
+            snapshot = warm.basis_snapshot();
+        }
+    }
+
+    #[test]
+    fn opting_out_of_scaling_at_construction_is_respected() {
+        let mut p = LpProblem::new(Sense::Minimize);
+        let x = p.add_var("x", 1.0);
+        p.add_constraint([(x, 1e6)], Relation::Ge, 1e-4).unwrap();
+        let prepared = PreparedLp::new_with_scaling(p, false).unwrap();
+        let sol = prepared.solve_with(&SimplexOptions::default()).unwrap();
+        assert!(!sol.scaling_stats().applied);
+        // Unmeasured: the conditioning probe never ran.
+        assert_eq!(sol.scaling_stats().condition_before, 1.0);
     }
 
     #[test]

@@ -124,10 +124,6 @@ pub(crate) struct RevisedTolerances {
     /// row-redundancy decisions where an over-tight threshold turns
     /// round-off into a structural verdict.
     pub artificial_guard: f64,
-    /// Phase-1 residual above which the problem is declared infeasible
-    /// (before the perturbation-scaled allowance is added on top).
-    /// Never below `1e-7`.
-    pub infeasibility: f64,
 }
 
 impl RevisedTolerances {
@@ -142,7 +138,6 @@ impl RevisedTolerances {
             pivot_reject: tolerance * 1e-2,
             value_snap: tolerance * 1e-4,
             artificial_guard: tolerance.max(1e-7),
-            infeasibility: tolerance.max(1e-7),
         }
     }
 }
@@ -285,6 +280,15 @@ struct Revised<'a> {
     tols: RevisedTolerances,
     refactor_interval: usize,
     iterations: usize,
+    /// The solve's rhs perturbation magnitude (for the artificial-mass
+    /// bound; see [`Revised::art_mass_bound`]).
+    perturbation: f64,
+    /// Extra artificial mass legitimately introduced by deep-stall
+    /// re-perturbations (which add positive rhs noise to *every* basic
+    /// row, artificial-owned ones included) — accounted for so the
+    /// final-basis artificial-mass check stays sharp without outlawing
+    /// the escape hatch.
+    art_allowance: f64,
 }
 
 enum Phase {
@@ -356,6 +360,8 @@ impl<'a> Revised<'a> {
             tols: RevisedTolerances::derive(options.tolerance),
             refactor_interval,
             iterations: 0,
+            perturbation: options.perturbation,
+            art_allowance: 0.0,
         })
     }
 
@@ -450,11 +456,40 @@ impl<'a> Revised<'a> {
             tols,
             refactor_interval,
             iterations: 0,
+            perturbation: options.perturbation,
+            art_allowance: 0.0,
         }))
     }
 
     fn m(&self) -> usize {
         self.sf.a.rows()
+    }
+
+    /// The documented bound on the total mass artificial variables may
+    /// carry on a final basis — **the exact contract of the θ = 0
+    /// guard**. Rows still owned by an artificial after phase 1 are
+    /// numerically redundant: any value on them is round-off of their
+    /// linear dependence on the enforced rows, bounded by the phase-1
+    /// infeasibility threshold scaled to the right-hand side's
+    /// magnitude, plus whatever positive noise the deep-stall
+    /// re-perturbation escape hatch deliberately injected
+    /// (`art_allowance`). Mass beyond this bound means the guard's
+    /// "redundant, hence ignorable" premise has broken down, and the
+    /// solve must not silently report the relaxation's optimum as the
+    /// problem's — [`finish_phase_two`] returns
+    /// [`LpError::ResidualArtificial`] instead.
+    fn art_mass_bound(&self) -> f64 {
+        let b_scale: f64 = 1.0 + self.b.iter().map(|v| v.abs()).sum::<f64>();
+        crate::simplex::breakdown_threshold(self.tols.base, self.perturbation, self.m()) * b_scale
+            + self.art_allowance
+    }
+
+    /// Total (non-negative) mass sitting on artificial-owned rows.
+    fn art_mass(&self) -> f64 {
+        (0..self.m())
+            .filter(|&i| self.basis[i] >= self.n_sf)
+            .map(|i| self.xb[i].max(0.0))
+            .sum()
     }
 
     /// Column `j` of the standard form + artificials as sparse terms.
@@ -590,6 +625,16 @@ impl<'a> Revised<'a> {
         if guard_artificials {
             for (i, &wi) in w.iter().enumerate() {
                 if self.basis[i] >= self.n_sf && wi.abs() > self.tols.artificial_guard {
+                    // The θ = 0 contract: a guarded artificial must be
+                    // sitting at (numerical) zero — see `art_mass_bound`
+                    // for the documented tolerance.
+                    debug_assert!(
+                        self.xb[i].max(0.0) <= self.art_mass_bound(),
+                        "θ=0 guard fired on row {i} whose artificial carries mass {:.3e} \
+                         beyond the redundancy bound {:.3e}",
+                        self.xb[i],
+                        self.art_mass_bound()
+                    );
                     return Some(i);
                 }
             }
@@ -683,6 +728,11 @@ impl<'a> Revised<'a> {
             let r = crate::simplex::reperturb_factor(i);
             let delta = eps * r * (1.0 + self.xb[i].abs());
             self.xb[i] += delta;
+            if self.basis[i] >= self.n_sf {
+                // Noise on an artificial-owned (redundant) row is mass
+                // the final-basis check must knowingly allow.
+                self.art_allowance += delta;
+            }
             // b += δ_i · B e_i = δ_i · a_{basis[i]}.
             let col = self.basis[i];
             let terms: Vec<(usize, f64)> = self.column(col).collect();
@@ -1056,9 +1106,8 @@ pub(crate) fn run_revised(
             .filter(|&i| solver.basis[i] >= solver.n_sf)
             .map(|i| solver.xb[i].max(0.0))
             .sum();
-        let infeas_threshold = RevisedTolerances::derive(options.tolerance)
-            .infeasibility
-            .max(options.perturbation * 50.0 * m as f64);
+        let infeas_threshold =
+            crate::simplex::breakdown_threshold(options.tolerance, options.perturbation, m);
         if phase1_obj > infeas_threshold {
             return Err(LpError::Infeasible {
                 residual: phase1_obj,
@@ -1083,6 +1132,16 @@ pub(crate) fn run_revised(
 /// one refactorized scan and zero pivots. If the repair itself breaks
 /// down the pre-restoration answer is returned (the engine's historical
 /// soft behavior) rather than failing the solve.
+///
+/// Separately from the repair, an `Optimal` verdict is only released if
+/// the artificial variables still in the basis carry no more than the
+/// θ = 0 guard's documented redundancy bound
+/// ([`Revised::art_mass_bound`]): residual mass beyond it means the
+/// "redundant row" verdict has broken down and the answer would be the
+/// optimum of a *relaxation*, so the solve returns
+/// [`LpError::ResidualArtificial`] instead of passing silently (the
+/// warm path falls back to a cold solve on this error; the cold path
+/// surfaces it to the caller's retry ladder).
 fn finish_phase_two(
     mut solver: Revised<'_>,
     mut outcome: PhaseOutcome,
@@ -1110,7 +1169,17 @@ fn finish_phase_two(
         }
     }
     match outcome {
-        PhaseOutcome::Optimal => Ok(solver.into_basic()),
+        PhaseOutcome::Optimal => {
+            // The θ = 0 contract, enforced: `run_phase`'s Optimal
+            // verdict always comes off a fresh factorization, so `xb`
+            // is `B⁻¹b` exact to factorization precision here.
+            let residual = solver.art_mass();
+            let bound = solver.art_mass_bound();
+            if residual > bound {
+                return Err(LpError::ResidualArtificial { residual, bound });
+            }
+            Ok(solver.into_basic())
+        }
         PhaseOutcome::Unbounded(col) => Err(LpError::Unbounded { column: col }),
     }
 }
@@ -1173,7 +1242,13 @@ pub(crate) fn run_revised_warm(
         options.max_iterations
     };
     match solver.run_phase(Phase::Two, options, max_iterations) {
-        Ok(outcome) => finish_phase_two(solver, outcome, options, max_iterations),
+        Ok(outcome) => match finish_phase_two(solver, outcome, options, max_iterations) {
+            // The snapshot's redundancy verdict broke down (residual
+            // artificial mass beyond the θ = 0 bound): let cold phase 1
+            // re-decide which rows are genuinely redundant.
+            Err(LpError::ResidualArtificial { .. }) => run_revised(sf, options),
+            other => other,
+        },
         // Breakdown or budget exhaustion on the warm path must never
         // produce a worse answer than a cold start would: retry cold.
         Err(LpError::InvalidModel(_)) | Err(LpError::IterationLimit { .. }) => {

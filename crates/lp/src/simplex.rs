@@ -13,7 +13,7 @@
 //! after a run of degenerate pivots (guaranteeing termination), switching
 //! back once progress resumes.
 
-use socbuf_linalg::Matrix;
+use socbuf_linalg::{Lu, Matrix};
 
 use crate::revised::{run_revised, LpEngine};
 use crate::solution::LpSolution;
@@ -42,6 +42,17 @@ pub struct SimplexOptions {
     /// occupation measures afterwards). Both engines perturb with the
     /// same deterministic formula, so they solve the identical problem.
     pub perturbation: f64,
+    /// Whether to equilibrate the standard form before solving
+    /// (default ON): geometric-mean row/column scaling with exact
+    /// power-of-two factors, applied only when the data's
+    /// nonzero-magnitude spread exceeds a trigger (`1e4`), and inverted
+    /// at extraction so values, duals and reduced costs are reported in
+    /// original units. Scaling never changes what is solved — the
+    /// scaled problem is exactly equivalent — only how well conditioned
+    /// the arithmetic is; well-conditioned instances are bit-identical
+    /// with the knob on or off. See `crate::standard_form`'s module
+    /// docs for the full contract.
+    pub equilibrate: bool,
     /// Which solver implementation to run; see [`LpEngine`].
     pub engine: LpEngine,
     /// Revised engine only: pivots between basis refactorizations
@@ -59,6 +70,7 @@ impl Default for SimplexOptions {
             tolerance: 1e-9,
             stall_switch: 40,
             perturbation: 0.0,
+            equilibrate: true,
             engine: LpEngine::default(),
             refactor_interval: 0,
         }
@@ -89,6 +101,17 @@ pub(crate) fn reperturb_eps(perturbation: f64, reperturbs: usize) -> f64 {
     perturbation * (1u64 << reperturbs.min(12)) as f64
 }
 
+/// The absolute threshold separating round-off from structural
+/// breakdown, shared by both engines (phase-1 infeasibility verdicts
+/// and the final redundancy/artificial-mass bounds all derive from it).
+/// One definition for the same reason `StandardForm::perturbed_b` has
+/// one: an engine-local copy would let the two engines' status verdicts
+/// drift apart silently, breaking the cross-engine agreement contract
+/// the oracle suites pin.
+pub(crate) fn breakdown_threshold(tolerance: f64, perturbation: f64, m: usize) -> f64 {
+    tolerance.max(1e-7).max(perturbation * 50.0 * m as f64)
+}
+
 /// Final state of a simplex run, in standard-form coordinates.
 pub(crate) struct BasicSolution {
     /// Value of every standard-form column (structural + slack).
@@ -112,6 +135,10 @@ struct Tableau {
     /// Columns that may never (re-)enter the basis (artificials in ph. 2).
     banned: Vec<bool>,
     tol: f64,
+    /// Total noise mass injected by deep-stall re-perturbations — the
+    /// deactivated-row residual bound must knowingly allow it (the
+    /// tableau's analog of the revised engine's `art_allowance`).
+    reperturb_mass: f64,
 }
 
 impl Tableau {
@@ -196,7 +223,9 @@ impl Tableau {
                 continue;
             }
             let r = reperturb_factor(i);
-            self.b[i] += eps * r * (1.0 + self.b[i].abs());
+            let delta = eps * r * (1.0 + self.b[i].abs());
+            self.b[i] += delta;
+            self.reperturb_mass += delta;
         }
     }
 
@@ -268,6 +297,155 @@ impl Tableau {
             }
         }
         best.map(|(i, _)| i)
+    }
+
+    /// Worst negative canonical rhs over active rows, if any — negative
+    /// `b[i]` on the final basis means a silently violated constraint
+    /// (the same Harris-window failure mode the revised engine's
+    /// `finish_phase_two` repairs).
+    fn worst_infeasible_row(&self) -> Option<usize> {
+        let mut worst: Option<(usize, f64)> = None;
+        for i in 0..self.a.rows() {
+            if self.active[i] && self.b[i] < -self.tol && worst.is_none_or(|(_, w)| self.b[i] < w) {
+                worst = Some((i, self.b[i]));
+            }
+        }
+        worst.map(|(i, _)| i)
+    }
+
+    /// Rebuilds the canonical form of the active rows from the
+    /// *original* standard-form data: factor the current basis matrix
+    /// densely and recompute `B⁻¹A` and `B⁻¹b`. The dense tableau
+    /// carries its canonical form incrementally through every pivot and
+    /// never refactorizes, so on ill-conditioned data the canonical
+    /// view drifts away from the equations it claims to represent —
+    /// this is the tableau's equivalent of the revised engine's
+    /// `refactorize`, invoked only by the final-honesty loop (it costs
+    /// about one full pivot). Returns `false` (tableau untouched) when
+    /// the basis matrix is numerically singular.
+    fn recanonicalize(&mut self, sf: &StandardForm, b0: &[f64]) -> bool {
+        let m = self.a.rows();
+        let n = self.a.cols();
+        let act: Vec<usize> = (0..m).filter(|&i| self.active[i]).collect();
+        let k = act.len();
+        if k == 0 {
+            return true;
+        }
+        let mut col_of = vec![usize::MAX; n];
+        for (pc, &i) in act.iter().enumerate() {
+            debug_assert!(self.basis[i] < n, "artificial in trimmed basis");
+            col_of[self.basis[i]] = pc;
+        }
+        let mut bmat = Matrix::zeros(k, k);
+        for (pr, &i) in act.iter().enumerate() {
+            for (j, v) in sf.a.iter_row(i) {
+                if col_of[j] != usize::MAX {
+                    bmat[(pr, col_of[j])] = v;
+                }
+            }
+        }
+        let Ok(lu) = Lu::factor(&bmat) else {
+            return false;
+        };
+        let rhs: Vec<f64> = act.iter().map(|&i| b0[i]).collect();
+        let Ok(bb) = lu.solve(&rhs) else {
+            return false;
+        };
+        // Gather the active rows densely once (O(nnz)), then one LU
+        // solve per structural/slack column.
+        let mut acts = Matrix::zeros(k, n);
+        for (pr, &i) in act.iter().enumerate() {
+            for (j, v) in sf.a.iter_row(i) {
+                acts[(pr, j)] = v;
+            }
+        }
+        let mut col = vec![0.0; k];
+        for j in 0..n {
+            for (pr, c) in col.iter_mut().enumerate() {
+                *c = acts[(pr, j)];
+            }
+            let Ok(sol) = lu.solve(&col) else {
+                return false;
+            };
+            for (pr, &i) in act.iter().enumerate() {
+                self.a[(i, j)] = sol[pr];
+            }
+        }
+        for (pr, &i) in act.iter().enumerate() {
+            self.b[i] = bb[pr];
+        }
+        true
+    }
+
+    /// Worst active-row residual of the current basic solution against
+    /// the **original** standard-form data, normalized per row by
+    /// `1 + |b| + Σ|a_ij·x_j|`. Nonzero drift means the canonical
+    /// tableau no longer represents the equations it started from.
+    fn canonical_drift(&self, sf: &StandardForm, b0: &[f64]) -> f64 {
+        let m = self.a.rows();
+        let n = self.a.cols();
+        let mut x = vec![0.0; n];
+        for i in 0..m {
+            if self.active[i] && self.basis[i] < n {
+                x[self.basis[i]] = self.b[i].max(0.0);
+            }
+        }
+        let mut worst = 0.0_f64;
+        for i in 0..m {
+            if !self.active[i] {
+                continue;
+            }
+            let mut ax = 0.0;
+            let mut norm = 0.0;
+            for (j, v) in sf.a.iter_row(i) {
+                ax += v * x[j];
+                norm += (v * x[j]).abs();
+            }
+            worst = worst.max((ax - b0[i]).abs() / (1.0 + b0[i].abs() + norm));
+        }
+        worst
+    }
+
+    /// Bounded dual-simplex repair of primal infeasibility on the final
+    /// tableau — the port of the revised engine's post-phase-2
+    /// restoration. At a phase-2 optimum the reduced-cost row is dual
+    /// feasible (`d ≥ −tol`), so pivoting the most negative basic value
+    /// out (entering column = dual ratio test `min d_j / −a_rj` over
+    /// `a_rj < −tol`, negatives clamped, ties by lowest column index)
+    /// walks back to feasibility without destroying optimality; the
+    /// caller re-runs phase 2 afterwards to re-confirm. Returns `true`
+    /// when the tableau is primal feasible, `false` when the repair
+    /// gave up (no eligible entering column or the pivot budget ran
+    /// out) — the caller then keeps the historical soft behavior rather
+    /// than failing the solve.
+    fn dual_repair(&mut self, max_pivots: usize) -> bool {
+        let mut pivots = 0usize;
+        loop {
+            let Some(r) = self.worst_infeasible_row() else {
+                return true;
+            };
+            if pivots >= max_pivots {
+                return false;
+            }
+            let mut enter: Option<(usize, f64)> = None;
+            for j in 0..self.a.cols() {
+                if self.banned[j] {
+                    continue;
+                }
+                let arj = self.a[(r, j)];
+                if arj < -self.tol {
+                    let ratio = self.d[j].max(0.0) / -arj;
+                    if enter.is_none_or(|(_, best)| ratio < best) {
+                        enter = Some((j, ratio));
+                    }
+                }
+            }
+            let Some((q, _)) = enter else {
+                return false;
+            };
+            self.pivot(r, q);
+            pivots += 1;
+        }
     }
 }
 
@@ -362,8 +540,11 @@ pub(crate) fn run_simplex(
     }
 
     // Deterministic degeneracy-breaking perturbation, shared with the
-    // revised engine so both solve the identical problem.
+    // revised engine so both solve the identical problem. A copy of the
+    // pre-pivot rhs survives for the deactivated-row residual check at
+    // extraction.
     let b = sf.perturbed_b(options.perturbation);
+    let b0 = b.clone();
     let mut t = Tableau {
         a,
         b,
@@ -372,6 +553,7 @@ pub(crate) fn run_simplex(
         active: vec![true; m],
         banned: vec![false; total],
         tol,
+        reperturb_mass: 0.0,
     };
 
     let mut iterations = 0usize;
@@ -411,7 +593,7 @@ pub(crate) fn run_simplex(
             .filter(|&i| t.active[i] && t.basis[i] >= n_sf)
             .map(|i| t.b[i])
             .sum();
-        let infeas_threshold = tol.max(1e-7).max(options.perturbation * 50.0 * m as f64);
+        let infeas_threshold = breakdown_threshold(tol, options.perturbation, m);
         if phase1_obj > infeas_threshold {
             return Err(LpError::Infeasible {
                 residual: phase1_obj,
@@ -472,6 +654,55 @@ pub(crate) fn run_simplex(
             PhaseOutcome::Unbounded(_) => {}
         }
     }
+
+    // Final feasibility restoration, ported from the revised engine's
+    // `finish_phase_two`. Two failure modes are checked against the
+    // ORIGINAL standard-form data, not the tableau's own view of it:
+    //
+    // * **canonical drift** — the dense tableau updates its canonical
+    //   form incrementally and never refactorizes, so ill-conditioned
+    //   pivots make the claimed solution stop satisfying the original
+    //   equations even though every canonical `b[i]` looks fine;
+    // * **primal infeasibility** — the Harris ratio test can end
+    //   phase 2 with negative basic values (a silently violated
+    //   constraint that pricing alone never notices).
+    //
+    // Either one triggers a recanonicalization (rebuild `B⁻¹A`, `B⁻¹b`
+    // from the original data through a fresh dense LU — the tableau's
+    // `refactorize`), then a bounded dual-simplex repair of whatever
+    // negative basic values the honest rhs reveals, then a phase-2
+    // re-confirmation. On well-conditioned instances the checks are one
+    // `O(nnz)` scan and nothing is touched. An unrepairable basis keeps
+    // the pre-restoration answer (historical soft behavior).
+    let drift_tol = tol.max(1e-7);
+    for _ in 0..3 {
+        let PhaseOutcome::Optimal = verdict else {
+            break;
+        };
+        let infeasible = t.worst_infeasible_row().is_some();
+        if !infeasible && t.canonical_drift(sf, &b0) <= drift_tol {
+            break;
+        }
+        if !t.recanonicalize(sf, &b0) {
+            break;
+        }
+        // The repair's dual ratio test reads the reduced-cost row,
+        // which drifted along with everything recanonicalize just
+        // rebuilt — refresh it BEFORE pivoting on it (and again after,
+        // since the honest rhs may have moved the basis).
+        t.canonicalize_costs(&c2);
+        if !t.dual_repair(4 * m + 100) {
+            break;
+        }
+        t.canonicalize_costs(&c2);
+        verdict = run_phase(
+            &mut t,
+            &mut iterations,
+            max_iterations,
+            options.stall_switch,
+            options.perturbation,
+        )?;
+    }
     if let PhaseOutcome::Unbounded(col) = verdict {
         return Err(LpError::Unbounded { column: col });
     }
@@ -482,6 +713,35 @@ pub(crate) fn run_simplex(
             x[t.basis[i]] = t.b[i].max(0.0);
         }
     }
+
+    // Deactivated-row residual check — the tableau's analog of the
+    // revised engine's artificial-mass bound. A row deactivated during
+    // the phase-1 drive-out was judged numerically redundant (linearly
+    // dependent on the enforced rows); if that verdict was right, the
+    // final solution satisfies it automatically and the residual below
+    // is round-off. A residual beyond the bound means phase 2 optimized
+    // a *relaxation* (the dependence was an artifact of ill
+    // conditioning), and the solve must fail structurally rather than
+    // return the relaxation's optimum as if it were feasible. In the
+    // revised engine the re-seeded artificial's value tracks exactly
+    // this residual; the tableau drops deactivated rows from its
+    // updates, so the residual is recomputed here from the original
+    // standard-form data — one `O(nnz)` pass.
+    let mut residual = 0.0;
+    for i in 0..m {
+        if t.active[i] {
+            continue;
+        }
+        let ax: f64 = sf.a.iter_row(i).map(|(j, v)| v * x[j]).sum();
+        residual += (ax - b0[i]).abs();
+    }
+    let bound = breakdown_threshold(tol, options.perturbation, m)
+        * (1.0 + b0.iter().map(|v| v.abs()).sum::<f64>())
+        + t.reperturb_mass;
+    if residual > bound {
+        return Err(LpError::ResidualArtificial { residual, bound });
+    }
+
     Ok(BasicSolution {
         x,
         basis: t.basis,
@@ -496,7 +756,8 @@ pub(crate) fn solve_standard(
     p: &LpProblem,
     options: &SimplexOptions,
 ) -> Result<LpSolution, LpError> {
-    let sf = build_standard_form(p)?;
+    let mut sf = build_standard_form(p)?;
+    sf.prepare_scaling(options.equilibrate);
     let basic = match options.engine {
         LpEngine::Revised => run_revised(&sf, options)?,
         LpEngine::Tableau => run_simplex(&sf, options)?,

@@ -3,7 +3,7 @@ use socbuf_linalg::{Lu, Matrix};
 use crate::problem::{LpProblem, RowId, VarId};
 use crate::revised::{BasisSnapshot, LpEngine};
 use crate::simplex::BasicSolution;
-use crate::standard_form::StandardForm;
+use crate::standard_form::{ScalingStats, StandardForm};
 use crate::LpError;
 
 /// An optimal basic solution of an [`LpProblem`].
@@ -32,6 +32,7 @@ pub struct LpSolution {
     iterations: usize,
     engine: LpEngine,
     snapshot: BasisSnapshot,
+    scaling: ScalingStats,
 }
 
 impl LpSolution {
@@ -42,9 +43,13 @@ impl LpSolution {
         engine: LpEngine,
     ) -> Result<LpSolution, LpError> {
         let n = p.num_vars();
+        // Unscaling contract (see `standard_form`'s module docs): the
+        // engines solved the equilibrated form, so primal values are
+        // `x = C·x̃` (then shifted), duals `y = R·ỹ` and reduced costs
+        // `d = d̃ / c_j` — all exact, the factors being powers of two.
         let mut values = vec![0.0; n];
         for j in 0..n {
-            values[j] = sf.shift[j] + basic.x[j];
+            values[j] = sf.shift[j] + sf.col_scale(j) * basic.x[j];
         }
         let objective: f64 = p.obj_vec().iter().zip(&values).map(|(c, x)| c * x).sum();
 
@@ -86,12 +91,14 @@ impl LpSolution {
             }
         }
 
-        // User-row duals (min-form), then flip for Maximize.
+        // User-row duals (min-form), then flip for Maximize. `y_by_row`
+        // itself stays in scaled units — the reduced-cost accumulation
+        // below runs against the scaled matrix and needs the scaled ỹ.
         let obj_sign = if sf.negated_obj { -1.0 } else { 1.0 };
         let mut duals = vec![0.0; p.num_rows()];
         for i in 0..sf.a.rows() {
             if let Some(ri) = sf.row_origin[i] {
-                duals[ri] = obj_sign * sf.row_sign[i] * y_by_row[i];
+                duals[ri] = obj_sign * sf.row_sign[i] * sf.row_scale(i) * y_by_row[i];
             }
         }
 
@@ -110,8 +117,8 @@ impl LpSolution {
                 }
             }
         }
-        for d in reduced.iter_mut() {
-            *d *= obj_sign;
+        for (j, d) in reduced.iter_mut().enumerate() {
+            *d *= obj_sign / sf.col_scale(j);
         }
 
         let mut basic_flags = vec![false; n];
@@ -147,6 +154,7 @@ impl LpSolution {
             iterations: basic.iterations,
             engine,
             snapshot: BasisSnapshot::new(snapshot_basis, sf.a.cols(), engine),
+            scaling: sf.scaling_stats,
         })
     }
 
@@ -216,6 +224,16 @@ impl LpSolution {
     /// interpreting pivot counts or reproducing a run).
     pub fn engine(&self) -> LpEngine {
         self.engine
+    }
+
+    /// What the equilibration pass measured and did for this solve —
+    /// the nonzero-magnitude spread of the standard form before and
+    /// after scaling, and whether scaling was applied at all (it only
+    /// is when the spread exceeds the trigger and
+    /// [`crate::SimplexOptions::equilibrate`] is set). The solution
+    /// itself is always reported in original units regardless.
+    pub fn scaling_stats(&self) -> ScalingStats {
+        self.scaling
     }
 
     /// The optimal basis this solution sits at, exported for

@@ -53,9 +53,11 @@ impl OptimalityReport {
 
 /// Checks the KKT conditions of `solution` against `problem`.
 ///
-/// `tol` is an absolute tolerance applied after mild scaling by row/bound
-/// magnitudes; `1e-6` is a sensible default for problems with data of
-/// order 1.
+/// `tol` is an absolute tolerance applied after scaling each row's
+/// residual by the row-norm-aware factor `1 + |rhs| + Σ|a_ij·x_j|` (and
+/// bound residuals by the bound's magnitude), which makes the verdict
+/// insensitive to the units the problem data is stated in; `1e-6` is a
+/// sensible default.
 pub fn verify_optimality(problem: &LpProblem, solution: &LpSolution, tol: f64) -> OptimalityReport {
     // Canonicalize to minimization: flip objective and duals for Maximize.
     let sign = match problem.sense() {
@@ -79,12 +81,22 @@ pub fn verify_optimality(problem: &LpProblem, solution: &LpSolution, tol: f64) -
         }
     }
 
-    // Rows: feasibility, dual signs, complementary slackness.
+    // Rows: feasibility, dual signs, complementary slackness. Residuals
+    // are normalized by a row-norm-aware factor `1 + |rhs| + Σ|a_ij·x_j|`
+    // — the componentwise backward-error denominator — rather than by
+    // `1 + |rhs|` alone: on a row with small rhs but large coefficients
+    // (e.g. a zero-rhs balance row between 1e3-scale rates) the old
+    // normalization measured the residual against 1 while every term it
+    // is the cancellation of lives at 1e3, so the certificate's verdict
+    // depended on the units the user happened to state rates in. The
+    // new factor dominates the old one, so every corpus that passed
+    // keeps passing at the same tolerance.
     for ri in 0..problem.num_rows() {
         let r = crate::RowId(ri);
         let (terms, rel, rhs) = problem.row(r);
         let lhs: f64 = terms.iter().map(|&(v, c)| c * x[v.index()]).sum();
-        let scale = 1.0 + rhs.abs();
+        let row_norm: f64 = terms.iter().map(|&(v, c)| (c * x[v.index()]).abs()).sum();
+        let scale = 1.0 + rhs.abs() + row_norm;
         let y_min = sign * solution.dual(r);
         match rel {
             Relation::Le => {

@@ -310,6 +310,69 @@ fn ill_conditioned_rate_scaling_agrees_after_normalization() {
 }
 
 #[test]
+fn equilibrated_solutions_are_reported_in_original_units() {
+    // The unscaling contract end to end: an LP whose coefficients span
+    // 1e-4..1e4 (the equilibration trigger fires) must report the SAME
+    // primal values, duals and reduced costs as the unequilibrated
+    // solve of the identical problem — everything mapped back to the
+    // user's units — and both must pass the certificate, which is
+    // itself computed from original problem data and would expose any
+    // scaled quantity leaking out.
+    let build = || {
+        let mut p = LpProblem::new(Sense::Maximize);
+        let x = p.add_var("x", 3e-4);
+        let y = p.add_var("y", 5e4);
+        let r1 = p.add_constraint([(x, 1e-4)], Relation::Le, 4e-4).unwrap();
+        let r2 = p.add_constraint([(y, 2e4)], Relation::Le, 12e4).unwrap();
+        let r3 = p
+            .add_constraint([(x, 3e-4), (y, 2e4)], Relation::Le, 18e4 * 1e-4)
+            .unwrap();
+        (p, [x, y], [r1, r2, r3])
+    };
+    let (p, vars, rows) = build();
+    let on = p
+        .solve_with(&SimplexOptions {
+            equilibrate: true,
+            ..SimplexOptions::default()
+        })
+        .unwrap();
+    let off = p
+        .solve_with(&SimplexOptions {
+            equilibrate: false,
+            ..SimplexOptions::default()
+        })
+        .unwrap();
+    assert!(on.scaling_stats().applied, "trigger must fire");
+    assert!(!off.scaling_stats().applied);
+    for v in vars {
+        assert!(
+            (on.value(v) - off.value(v)).abs() <= 1e-7 * (1.0 + off.value(v).abs()),
+            "value differs: {} vs {}",
+            on.value(v),
+            off.value(v)
+        );
+        assert!(
+            (on.reduced_cost(v) - off.reduced_cost(v)).abs()
+                <= 1e-7 * (1.0 + off.reduced_cost(v).abs()),
+            "reduced cost differs: {} vs {}",
+            on.reduced_cost(v),
+            off.reduced_cost(v)
+        );
+    }
+    for r in rows {
+        assert!(
+            (on.dual(r) - off.dual(r)).abs() <= 1e-7 * (1.0 + off.dual(r).abs()),
+            "dual differs: {} vs {}",
+            on.dual(r),
+            off.dual(r)
+        );
+    }
+    for sol in [&on, &off] {
+        assert!(verify_optimality(&p, sol, 1e-9).is_optimal());
+    }
+}
+
+#[test]
 fn fixed_variables_via_equal_bounds() {
     let mut p = LpProblem::new(Sense::Minimize);
     let x = p.add_var_bounded("x", 5.0, 2.0, Some(2.0));

@@ -436,11 +436,63 @@ fn attachment_of(b: &ArchitectureBuilder, proc_index: usize) -> Vec<usize> {
     b.processor_buses(proc_index)
 }
 
+/// A deliberately ill-conditioned architecture: two bridged buses with
+/// three processors whose service and arrival rates are drawn
+/// **log-uniformly over `1e-3..1e3`** from a deterministic hash of
+/// `seed` — the "rates stated in arbitrary units" regime the LP layer's
+/// equilibration pass exists for. The topology is fixed (so every seed
+/// exercises bridge blocks, a shared bus row and a cross-bus flow); only
+/// the rate magnitudes vary, spanning up to six orders within one
+/// instance.
+pub fn ill_conditioned(seed: u64) -> Architecture {
+    // SplitMix64 of (seed, k) → uniform in [0, 1) → 10^(−3 + 6u).
+    let log_uniform = |k: u64| -> f64 {
+        let mut z = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(k.wrapping_add(1).wrapping_mul(0xD1B54A32D192ED03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        10f64.powf(-3.0 + 6.0 * u)
+    };
+    let mut b = ArchitectureBuilder::new();
+    let bus0 = b.add_bus("bus0", log_uniform(0)).expect("valid bus");
+    let bus1 = b.add_bus("bus1", log_uniform(1)).expect("valid bus");
+    let p0 = b.add_processor("p0", &[bus0], 1.0).expect("valid proc");
+    let p1 = b.add_processor("p1", &[bus0], 1.0).expect("valid proc");
+    let p2 = b.add_processor("p2", &[bus1], 1.0).expect("valid proc");
+    b.add_bridge("br", bus0, bus1).expect("valid bridge");
+    b.add_flow(p0, FlowTarget::Bus(bus0), log_uniform(2))
+        .expect("routable");
+    b.add_flow(p1, FlowTarget::Bus(bus1), log_uniform(3))
+        .expect("routable");
+    b.add_flow(p2, FlowTarget::Bus(bus1), log_uniform(4))
+        .expect("routable");
+    b.build().expect("ill-conditioned template is valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::split::split;
     use crate::Client;
+
+    #[test]
+    fn ill_conditioned_is_deterministic_per_seed() {
+        let rates =
+            |x: &Architecture| -> Vec<f64> { x.queues().iter().map(|q| q.offered_rate).collect() };
+        let a = ill_conditioned(42);
+        assert_eq!(rates(&a), rates(&ill_conditioned(42)));
+        assert_ne!(rates(&a), rates(&ill_conditioned(43)));
+        for q in a.queues() {
+            assert!(
+                (1e-3..=1e3).contains(&q.offered_rate),
+                "rate {} outside the documented range",
+                q.offered_rate
+            );
+        }
+    }
 
     #[test]
     fn figure1_splits_into_four_subsystems() {

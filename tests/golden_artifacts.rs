@@ -55,6 +55,10 @@ fn golden_config(engine: LpEngine) -> SizingConfig {
         quantile: 0.98,
         bus_effort_limit: 1.0,
         engine,
+        // The default. These templates are well conditioned, so the
+        // equilibration trigger never fires and every golden value
+        // below is bit-identical with the knob on or off.
+        equilibrate: true,
     }
 }
 
