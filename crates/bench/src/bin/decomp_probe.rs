@@ -1,0 +1,307 @@
+//! Developer probe for the block-angular decomposition engine: the
+//! 32-queue / `state_cap = 64` sizing LP solved monolithically, with
+//! the serial decomposed engine, and with the decomposed engine fanning
+//! its block solves over a machine-sized [`WorkPool`].
+//!
+//! `--smoke` runs the CI gate:
+//!
+//! * **agreement (always enforced)** — the decomposed solve must match
+//!   the monolithic revised objective to 1e-9 relative, must actually
+//!   exploit the structure (no monolithic fallback; one block per
+//!   queue) and must price the coupling row with a genuinely bound
+//!   multiplier search on this tight budget;
+//! * **speedup (enforced when the host has ≥ 2 cores)** — the pooled
+//!   decomposed solve must be ≥ 1.5× faster than the monolithic revised
+//!   solve (best of `SMOKE_REPEATS`). The blocks are 32 independent
+//!   LPs of ~1/32 the joint size and simplex cost grows superlinearly
+//!   in the basis dimension, so the bar is conservative even before
+//!   parallelism. Single-core hosts skip this gate only because they
+//!   are the noisy shared-runner case repeats cannot de-noise — the
+//!   agreement gate still runs there.
+//!
+//! `--json` additionally writes the machine-readable trajectory to
+//! `BENCH_decomp.json` (schema documented in `socbuf_bench`'s crate
+//! docs) so perf can be tracked across commits.
+
+use socbuf_core::{ExecutorHandle, SizingConfig, SizingLp};
+use socbuf_lp::{solve_decomposed, DecompReport, LpEngine, LpProblem, SimplexOptions};
+use socbuf_soc::{Architecture, ArchitectureBuilder, FlowTarget};
+use socbuf_sweep::WorkPool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// CTMDP granularity of the probe instance. 64 occupancy states per
+/// queue makes each block LP big enough that block-level parallelism
+/// has real work to hide.
+const STATE_CAP: usize = 64;
+
+/// Eight shared buses with four processors each: the per-bus effort
+/// rows are contested (which is what makes buffer mass trade against
+/// loss), stay inside their block, and leave the budget row as the only
+/// coupling — the decomposition splits the joint LP into exactly
+/// `BUSES` blocks over `QUEUES` queues.
+const BUSES: usize = 8;
+const QUEUES: usize = 4 * BUSES;
+
+/// Tight enough that `Φ(0)` overshoots the budget row and the
+/// multiplier search does real bracketing/bisection work (the
+/// loss-optimal occupancy mass of this instance sits well above
+/// `48·α`), while staying clear of the infeasibility edge near 36.
+const BUDGET: usize = 48;
+
+/// The probe architecture: 32 queues over 8 contested buses, with
+/// deterministic per-queue loads spread over 0.19..0.29 (bus
+/// utilizations ≈ 0.95) so no two blocks are identical.
+fn probe_arch() -> Architecture {
+    let mut b = ArchitectureBuilder::new();
+    for i in 0..BUSES {
+        let bus = b.add_bus(format!("bus{i}"), 1.0).expect("fresh bus name");
+        for j in 0..QUEUES / BUSES {
+            let q = i * (QUEUES / BUSES) + j;
+            let p = b
+                .add_processor(format!("p{q}"), &[bus], 1.0)
+                .expect("fresh processor name");
+            let load = 0.19 + 0.10 * ((q * 7) % 13) as f64 / 12.0;
+            b.add_flow(p, FlowTarget::Bus(bus), load)
+                .expect("valid flow");
+        }
+    }
+    b.build().expect("probe architecture is well-formed")
+}
+
+fn probe_options() -> SimplexOptions {
+    SimplexOptions {
+        perturbation: 1e-6,
+        max_iterations: 400_000,
+        ..SimplexOptions::default()
+    }
+}
+
+/// Best-of-`repeats` monolithic revised wall time and objective.
+fn time_monolithic(p: &LpProblem, repeats: usize) -> (f64, Duration) {
+    let opts = probe_options();
+    let mut best: Option<(f64, Duration)> = None;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        let sol = p.solve_with(&opts).unwrap_or_else(|e| {
+            eprintln!("monolithic revised solve failed: {e}");
+            std::process::exit(2);
+        });
+        let run = (sol.objective(), t.elapsed());
+        if best.is_none_or(|(_, b)| run.1 < b) {
+            best = Some(run);
+        }
+    }
+    best.expect("repeats >= 1")
+}
+
+/// Best-of-`repeats` decomposed wall time under `executor`, plus the
+/// objective and the (deterministic, repeat-invariant) report.
+fn time_decomposed(
+    p: &LpProblem,
+    executor: ExecutorHandle,
+    repeats: usize,
+) -> (f64, Duration, DecompReport) {
+    let opts = SimplexOptions {
+        engine: LpEngine::Decomposed,
+        executor,
+        ..probe_options()
+    };
+    let mut best: Option<(f64, Duration, DecompReport)> = None;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        let (sol, report) = solve_decomposed(p, &opts).unwrap_or_else(|e| {
+            eprintln!("decomposed solve failed: {e}");
+            std::process::exit(2);
+        });
+        let run = (sol.objective(), t.elapsed(), report);
+        if best.as_ref().is_none_or(|(_, b, _)| run.1 < *b) {
+            best = Some(run);
+        }
+    }
+    best.expect("repeats >= 1")
+}
+
+struct ProbeRun {
+    blocks: usize,
+    multiplier_iterations: usize,
+    mono_obj: f64,
+    mono: Duration,
+    serial: Duration,
+    pooled: Duration,
+    /// Pooled decomposed vs monolithic revised — the headline number.
+    speedup: f64,
+    /// Decomposed objectives, for the agreement gate.
+    serial_obj: f64,
+    pooled_obj: f64,
+    fell_back: bool,
+}
+
+fn run_probe(repeats: usize) -> ProbeRun {
+    let arch = probe_arch();
+    let cfg = SizingConfig {
+        state_cap: STATE_CAP,
+        effort_levels: 3,
+        engine: LpEngine::Decomposed,
+        ..SizingConfig::default()
+    };
+    let lp = SizingLp::build(&arch, BUDGET, &cfg).unwrap_or_else(|e| {
+        eprintln!("failed to build the probe sizing LP: {e}");
+        std::process::exit(2);
+    });
+    let p = lp.problem();
+    let (mono_obj, mono) = time_monolithic(p, repeats);
+    let (serial_obj, serial, report) = time_decomposed(p, ExecutorHandle::serial(), repeats);
+    let pool = WorkPool::available();
+    let (pooled_obj, pooled, pooled_report) =
+        time_decomposed(p, ExecutorHandle::new(Arc::new(pool)), repeats);
+    assert_eq!(
+        report.blocks, pooled_report.blocks,
+        "executors must not change the detected structure"
+    );
+    ProbeRun {
+        blocks: report.blocks,
+        multiplier_iterations: report.multiplier_iterations,
+        mono_obj,
+        mono,
+        serial,
+        pooled,
+        speedup: mono.as_secs_f64() / pooled.as_secs_f64().max(1e-12),
+        serial_obj,
+        pooled_obj,
+        fell_back: report.fell_back || pooled_report.fell_back,
+    }
+}
+
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / (1.0 + b.abs())
+}
+
+fn print_table(run: &ProbeRun) {
+    println!(
+        "decomposition probe: {QUEUES} queues, state_cap {STATE_CAP}, budget {BUDGET} \
+         ({} blocks, {} multiplier iterations)",
+        run.blocks, run.multiplier_iterations
+    );
+    println!("  monolithic revised : {:?}", run.mono);
+    println!(
+        "  decomposed (serial): {:?}  ({:.2}x)",
+        run.serial,
+        run.mono.as_secs_f64() / run.serial.as_secs_f64().max(1e-12)
+    );
+    println!(
+        "  decomposed (pooled): {:?}  ({:.2}x)",
+        run.pooled, run.speedup
+    );
+}
+
+/// CI-sized gate; exits nonzero on regression.
+fn smoke(write_json: bool) -> i32 {
+    const SMOKE_REPEATS: usize = 2;
+
+    let run = run_probe(SMOKE_REPEATS);
+    print_table(&run);
+    let mut failures = 0;
+
+    // --- Agreement: exactness is unconditional. -----------------------
+    if run.fell_back {
+        eprintln!("SMOKE FAIL: the probe LP fell back to the monolithic path");
+        failures += 1;
+    }
+    if run.blocks != BUSES {
+        eprintln!(
+            "SMOKE FAIL: expected {BUSES} blocks (one per bus), got {}",
+            run.blocks
+        );
+        failures += 1;
+    }
+    for (label, obj) in [("serial", run.serial_obj), ("pooled", run.pooled_obj)] {
+        let diff = rel_diff(obj, run.mono_obj);
+        if diff > 1e-9 {
+            eprintln!(
+                "SMOKE FAIL: {label} decomposed objective {obj} vs monolithic {} \
+                 (rel {diff:.3e}, need <= 1e-9)",
+                run.mono_obj
+            );
+            failures += 1;
+        }
+    }
+    if run.multiplier_iterations < 2 {
+        eprintln!(
+            "SMOKE FAIL: budget {BUDGET} should bind the coupling row, but the \
+             multiplier search finished after {} sweep(s)",
+            run.multiplier_iterations
+        );
+        failures += 1;
+    }
+
+    // --- Speedup: enforced only where parallelism exists. --------------
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores >= 2 {
+        if run.speedup < 1.5 {
+            eprintln!(
+                "SMOKE FAIL: pooled decomposed solve only {:.2}x faster than the \
+                 monolithic revised solve (need >= 1.5x) on a {cores}-core host",
+                run.speedup
+            );
+            failures += 1;
+        }
+    } else {
+        println!("speedup gate SKIPPED: single-core host (agreement still enforced)");
+    }
+
+    if write_json {
+        write_bench_json(&run);
+    }
+    if failures == 0 {
+        println!("smoke OK");
+    }
+    failures
+}
+
+/// Renders the machine-readable trajectory (schema in the crate docs).
+fn write_bench_json(run: &ProbeRun) {
+    let json = format!(
+        "{{\n  \"blocks\": {},\n  \"state_cap\": {},\n  \"budget\": {},\n  \
+         \"wall_ms\": {{\n    \"monolithic_revised\": {:.3},\n    \
+         \"decomposed_serial\": {:.3},\n    \"decomposed_pooled\": {:.3}\n  }},\n  \
+         \"speedup_pooled_vs_monolithic\": {:.4},\n  \"multiplier_iterations\": {}\n}}\n",
+        run.blocks,
+        STATE_CAP,
+        BUDGET,
+        run.mono.as_secs_f64() * 1e3,
+        run.serial.as_secs_f64() * 1e3,
+        run.pooled.as_secs_f64() * 1e3,
+        run.speedup,
+        run.multiplier_iterations
+    );
+    match std::fs::write("BENCH_decomp.json", &json) {
+        Ok(()) => println!("wrote BENCH_decomp.json"),
+        Err(e) => {
+            eprintln!("failed to write BENCH_decomp.json: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke_mode = args.iter().any(|a| a == "--smoke");
+    let json_mode = args.iter().any(|a| a == "--json");
+    if smoke_mode {
+        std::process::exit(smoke(json_mode));
+    }
+    let run = run_probe(3);
+    print_table(&run);
+    println!(
+        "  objectives: mono {} / serial rel {:.2e} / pooled rel {:.2e}",
+        run.mono_obj,
+        rel_diff(run.serial_obj, run.mono_obj),
+        rel_diff(run.pooled_obj, run.mono_obj)
+    );
+    if json_mode {
+        write_bench_json(&run);
+    }
+}

@@ -12,6 +12,33 @@
 //! | `ablation_granularity` | sensitivity to CTMDP state/effort granularity |
 //! | `ablation_allocators` | uniform vs traffic-proportional vs CTMDP allocation |
 //! | `lp_scaling_probe` | developer probe: joint-LP pivot scaling (not a paper artifact) |
+//! | `sweep_probe` | developer probe: campaign wall-time across worker counts (not a paper artifact) |
+//! | `warmstart_probe` | developer probe: warm-chained vs cold-started sweeps (not a paper artifact) |
+//! | `decomp_probe` | developer probe: block-angular decomposition vs the monolithic solve (not a paper artifact) |
+//!
+//! # `BENCH_decomp.json`
+//!
+//! `decomp_probe --json` writes its trajectory to `BENCH_decomp.json`
+//! in the working directory so decomposition perf can be tracked across
+//! commits. The schema, all fields always present:
+//!
+//! ```json
+//! {
+//!   "blocks": 32,                      // detected per-queue blocks
+//!   "state_cap": 64,                   // CTMDP occupancy states per queue
+//!   "budget": 160,                     // total buffer budget (binds the coupling row)
+//!   "wall_ms": {
+//!     "monolithic_revised": 512.3,     // joint revised simplex solve
+//!     "decomposed_serial": 201.7,      // decomposed engine, blocks on one thread
+//!     "decomposed_pooled": 102.4       // decomposed engine, blocks over WorkPool::available()
+//!   },
+//!   "speedup_pooled_vs_monolithic": 5.0,
+//!   "multiplier_iterations": 12        // block sweeps spent in the multiplier search
+//! }
+//! ```
+//!
+//! Wall times are best-of-repeats; everything else is deterministic and
+//! identical across runs and executors.
 
 use socbuf_core::PipelineConfig;
 

@@ -19,7 +19,9 @@
 //! availability factors of *other* buses — products of unknowns; see
 //! [`crate::coupled`].
 
-use socbuf_lp::{LpEngine, LpProblem, Relation, RowId, Sense, SimplexOptions, VarId};
+use socbuf_lp::{
+    ExecutorHandle, LpEngine, LpProblem, Relation, RowId, Sense, SimplexOptions, VarId,
+};
 use socbuf_soc::split::split;
 use socbuf_soc::{Architecture, Client};
 
@@ -50,6 +52,12 @@ pub struct SizingConfig {
     /// bit-for-bit. [`crate::SizingOutcome`]'s `lp_scaling` field
     /// reports what the pass measured and did.
     pub equilibrate: bool,
+    /// Where [`LpEngine::Decomposed`] runs its independent per-block
+    /// solves. The serial default evaluates blocks in index order on the
+    /// calling thread; `socbuf-sweep` attaches its `WorkPool` here so
+    /// blocks fan out. Executors change wall time, never results — the
+    /// other engines ignore this entirely.
+    pub executor: ExecutorHandle,
 }
 
 impl Default for SizingConfig {
@@ -62,6 +70,7 @@ impl Default for SizingConfig {
             bus_effort_limit: 1.0,
             engine: LpEngine::default(),
             equilibrate: true,
+            executor: ExecutorHandle::serial(),
         }
     }
 }
@@ -124,6 +133,7 @@ pub struct SizingLp {
     alpha: f64,
     engine: LpEngine,
     equilibrate: bool,
+    executor: ExecutorHandle,
 }
 
 /// Solution of the joint LP in queue-level terms.
@@ -290,6 +300,7 @@ impl SizingLp {
             alpha: config.alpha,
             engine: config.engine,
             equilibrate: config.equilibrate,
+            executor: config.executor.clone(),
         })
     }
 
@@ -388,7 +399,7 @@ impl SizingLp {
     ///
     /// Propagates LP failures other than budget infeasibility.
     pub fn solve(&self) -> Result<SizingSolution, CoreError> {
-        let ladder = solve_ladder(self.engine, self.equilibrate);
+        let ladder = solve_ladder(self.engine, self.equilibrate, &self.executor);
         let mut last_err = None;
         for options in &ladder {
             match self.solve_with_options(options) {
@@ -563,13 +574,18 @@ impl SizingLp {
 /// O(1e-6) wobble is immaterial. Individual instances can still stall
 /// under a particular perturbation pattern, so a ladder of increasingly
 /// aggressive settings backs the first attempt up.
-pub(crate) fn solve_ladder(engine: LpEngine, equilibrate: bool) -> [SimplexOptions; 3] {
+pub(crate) fn solve_ladder(
+    engine: LpEngine,
+    equilibrate: bool,
+    executor: &ExecutorHandle,
+) -> [SimplexOptions; 3] {
     [
         SimplexOptions {
             perturbation: 1e-6,
             max_iterations: 30_000,
             engine,
             equilibrate,
+            executor: executor.clone(),
             ..SimplexOptions::default()
         },
         SimplexOptions {
@@ -578,6 +594,7 @@ pub(crate) fn solve_ladder(engine: LpEngine, equilibrate: bool) -> [SimplexOptio
             stall_switch: 20,
             engine,
             equilibrate,
+            executor: executor.clone(),
             ..SimplexOptions::default()
         },
         SimplexOptions {
@@ -586,6 +603,7 @@ pub(crate) fn solve_ladder(engine: LpEngine, equilibrate: bool) -> [SimplexOptio
             stall_switch: 10,
             engine,
             equilibrate,
+            executor: executor.clone(),
             ..SimplexOptions::default()
         },
     ]
@@ -759,7 +777,7 @@ mod tests {
         let mut lp = SizingLp::build(&built_arch, 50, &cfg).unwrap();
         let mut prepared = socbuf_lp::PreparedLp::new(lp.problem().clone()).unwrap();
         lp.retarget(&mut prepared, &arch, 50, 2.0).unwrap();
-        let options = &solve_ladder(cfg.engine, cfg.equilibrate)[0];
+        let options = &solve_ladder(cfg.engine, cfg.equilibrate, &cfg.executor)[0];
         let warm = lp.interpret(&prepared.solve_with(options).unwrap(), false);
         let cold = SizingLp::build(&arch.scale_rates(2.0, 1.0).unwrap(), 50, &cfg)
             .unwrap()

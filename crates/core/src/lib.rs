@@ -59,3 +59,9 @@ pub use pipeline::{
 };
 pub use report::SizingReport;
 pub use translate::Translation;
+
+// LP-layer types that appear in this crate's public API (engine
+// selection and the decomposed engine's block executor), re-exported so
+// downstream crates — `socbuf-sweep` in particular — need no direct
+// `socbuf-lp` dependency.
+pub use socbuf_lp::{ExecutorHandle, LpEngine, SolveExecutor};

@@ -232,11 +232,21 @@ impl SolveContext {
 
         let state = self.state.as_mut().expect("built above");
         let mut last_err = None;
-        for options in &solve_ladder(self.config.engine, self.config.equilibrate) {
+        let ladder = solve_ladder(
+            self.config.engine,
+            self.config.equilibrate,
+            &self.config.executor,
+        );
+        for options in &ladder {
             let attempt = match (&state.basis, options.engine) {
-                (Some(snapshot), socbuf_lp::LpEngine::Revised) => {
-                    state.prepared.solve_warm(options, snapshot)
-                }
+                // A decomposed solve exports a *joint* basis, so the
+                // chain warm-starts the joint form from it exactly like
+                // the revised engine (the warm path is the engine's own
+                // finishing solve).
+                (
+                    Some(snapshot),
+                    socbuf_lp::LpEngine::Revised | socbuf_lp::LpEngine::Decomposed,
+                ) => state.prepared.solve_warm(options, snapshot),
                 _ => state.prepared.solve_with(options),
             };
             match attempt {

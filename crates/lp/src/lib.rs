@@ -49,6 +49,16 @@
 //!   basis is stale) — how the sweep campaigns make families of nearly
 //!   identical LPs cheap.
 //!
+//! * **block-angular decomposition** ([`LpEngine::Decomposed`], entry
+//!   point [`solve_decomposed`]) — detects the
+//!   per-queue block structure behind the single budget row, prices the
+//!   coupling out with a deterministic monotone multiplier search over
+//!   warm-started per-block revised solves (optionally fanned out over a
+//!   [`SolveExecutor`]), then certifies exactness with one warm-started
+//!   revised solve on the original joint standard form; problems without
+//!   the structure fall back to the monolithic path, so the engine is
+//!   total over arbitrary LPs.
+//!
 //! Simplex (rather than an interior-point method) matters here: the
 //! K-switching structure theorem the paper leans on speaks about *basic*
 //! optimal solutions, and simplex returns exactly those.
@@ -75,6 +85,7 @@
 //! ```
 
 pub mod assembly;
+mod decompose;
 mod error;
 mod prepared;
 mod problem;
@@ -84,6 +95,7 @@ mod solution;
 mod standard_form;
 mod verify;
 
+pub use decompose::{solve_decomposed, DecompReport, ExecutorHandle, SolveExecutor};
 pub use error::LpError;
 pub use prepared::PreparedLp;
 pub use problem::{LpProblem, Relation, RowId, Sense, VarId};

@@ -259,11 +259,20 @@ impl PreparedLp {
         let basic = match options.engine {
             LpEngine::Revised => run_revised(&self.sf, options)?,
             LpEngine::Tableau => run_simplex(&self.sf, options)?,
+            LpEngine::Decomposed => {
+                // Full decomposition of the (current, delta-updated)
+                // problem; the cached joint form is bypassed because the
+                // block solves build their own per-block forms.
+                return crate::decompose::solve_decomposed(&self.problem, options)
+                    .map(|(sol, _)| sol);
+            }
         };
         LpSolution::from_basic(&self.problem, &self.sf, &basic, options.engine)
     }
 
-    /// Warm solve from an exported basis (revised engine only — with
+    /// Warm solve from an exported basis (revised and decomposed
+    /// engines — a decomposed solve's snapshot *is* a joint basis, so
+    /// the warm re-solve runs the joint revised path directly; with
     /// [`LpEngine::Tableau`] selected the snapshot is ignored and the
     /// cold tableau runs, keeping the oracle engine bit-reproducible).
     /// Status and objective always match a cold solve; only the pivot
@@ -279,10 +288,18 @@ impl PreparedLp {
         snapshot: &BasisSnapshot,
     ) -> Result<LpSolution, LpError> {
         let basic = match options.engine {
-            LpEngine::Revised => run_revised_warm(&self.sf, options, snapshot)?,
+            LpEngine::Revised | LpEngine::Decomposed => {
+                run_revised_warm(&self.sf, options, snapshot)?
+            }
             LpEngine::Tableau => run_simplex(&self.sf, options)?,
         };
         LpSolution::from_basic(&self.problem, &self.sf, &basic, options.engine)
+    }
+
+    /// Crate-internal view of the cached standard form (the decomposed
+    /// engine reads block slack layouts through this).
+    pub(crate) fn sf(&self) -> &StandardForm {
+        &self.sf
     }
 }
 

@@ -77,6 +77,23 @@ pub enum LpEngine {
     /// pivot. Kept as the cross-check oracle and for tiny dense
     /// problems where the tableau's simplicity wins.
     Tableau,
+    /// Block-angular decomposition (the `decompose` module): detects the
+    /// block structure behind a single coupling row, prices the coupling
+    /// out with a monotone multiplier search over independent per-block
+    /// revised-simplex solves (parallel when an executor is attached),
+    /// and finishes with one warm-started joint revised solve so status,
+    /// objective, duals and certificates are exactly those of the joint
+    /// problem. Problems without the structure fall back to the
+    /// monolithic revised path, so the engine is total over arbitrary
+    /// LPs.
+    Decomposed,
+}
+
+impl LpEngine {
+    /// Every selectable engine — what the cross-engine oracle suites
+    /// iterate so a new backend is certified by the existing corpora
+    /// automatically.
+    pub const ALL: [LpEngine; 3] = [LpEngine::Revised, LpEngine::Tableau, LpEngine::Decomposed];
 }
 
 impl std::fmt::Display for LpEngine {
@@ -84,6 +101,7 @@ impl std::fmt::Display for LpEngine {
         match self {
             LpEngine::Revised => write!(f, "revised"),
             LpEngine::Tableau => write!(f, "tableau"),
+            LpEngine::Decomposed => write!(f, "decomposed"),
         }
     }
 }

@@ -15,6 +15,7 @@
 
 use socbuf_linalg::{Lu, Matrix};
 
+use crate::decompose::ExecutorHandle;
 use crate::revised::{run_revised, LpEngine};
 use crate::solution::LpSolution;
 use crate::standard_form::{build_standard_form, StandardForm};
@@ -61,6 +62,13 @@ pub struct SimplexOptions {
     /// rather than amortize factorization cost). The tableau engine
     /// ignores this.
     pub refactor_interval: usize,
+    /// Decomposed engine only: where the independent per-block solves of
+    /// one multiplier iteration run. The default serial handle evaluates
+    /// blocks in index order on the calling thread; attaching a pool
+    /// (e.g. `socbuf-sweep`'s `WorkPool`) fans them out. Executors never
+    /// change results — each block owns its slot — only wall time. The
+    /// other engines ignore this.
+    pub executor: ExecutorHandle,
 }
 
 impl Default for SimplexOptions {
@@ -73,6 +81,7 @@ impl Default for SimplexOptions {
             equilibrate: true,
             engine: LpEngine::default(),
             refactor_interval: 0,
+            executor: ExecutorHandle::serial(),
         }
     }
 }
@@ -756,11 +765,15 @@ pub(crate) fn solve_standard(
     p: &LpProblem,
     options: &SimplexOptions,
 ) -> Result<LpSolution, LpError> {
+    if options.engine == LpEngine::Decomposed {
+        return crate::decompose::solve_decomposed(p, options).map(|(sol, _)| sol);
+    }
     let mut sf = build_standard_form(p)?;
     sf.prepare_scaling(options.equilibrate);
     let basic = match options.engine {
         LpEngine::Revised => run_revised(&sf, options)?,
         LpEngine::Tableau => run_simplex(&sf, options)?,
+        LpEngine::Decomposed => unreachable!("dispatched above"),
     };
     LpSolution::from_basic(p, &sf, &basic, options.engine)
 }

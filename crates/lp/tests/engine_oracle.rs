@@ -1,5 +1,7 @@
-//! Cross-solver oracle: the sparse revised simplex and the dense
-//! tableau engine must be interchangeable.
+//! Cross-solver oracle: every selectable engine — the sparse revised
+//! simplex, the dense tableau engine, and the block-angular decomposed
+//! path — must be interchangeable. The suite iterates [`LpEngine::ALL`]
+//! so future backends are certified by the same corpus automatically.
 //!
 //! Both engines receive the identical CSR standard form and (when
 //! enabled) the identical deterministic rhs perturbation, so they solve
@@ -33,21 +35,30 @@ fn run(p: &LpProblem, engine: LpEngine) -> Result<Status, LpError> {
     }
 }
 
-/// Asserts both engines agree on status, and on the objective to 1e-9
-/// (relative) when optimal. Returns the shared status.
+/// Asserts every selectable engine ([`LpEngine::ALL`]) agrees on
+/// status, and on the objective to 1e-9 (relative) when optimal — a new
+/// backend added to `ALL` is certified by this whole corpus
+/// automatically. Returns the shared status.
 fn assert_engines_agree(p: &LpProblem) -> Status {
-    let revised = run(p, LpEngine::Revised).expect("revised engine hard failure");
-    let tableau = run(p, LpEngine::Tableau).expect("tableau engine hard failure");
-    match (&revised, &tableau) {
-        (Status::Optimal(a), Status::Optimal(b)) => {
-            assert!(
-                (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
-                "objectives disagree: revised {a} vs tableau {b}"
-            );
+    let mut engines = LpEngine::ALL.iter();
+    let first_engine = *engines.next().expect("at least one engine");
+    let reference = run(p, first_engine).expect("reference engine hard failure");
+    for &engine in engines {
+        let status = run(p, engine).expect("engine hard failure");
+        match (&reference, &status) {
+            (Status::Optimal(a), Status::Optimal(b)) => {
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                    "objectives disagree: {first_engine} {a} vs {engine} {b}"
+                );
+            }
+            _ => assert_eq!(
+                reference, status,
+                "statuses disagree: {first_engine} vs {engine}"
+            ),
         }
-        _ => assert_eq!(revised, tableau, "statuses disagree"),
     }
-    revised
+    reference
 }
 
 // ---------------------------------------------------------------------
@@ -137,13 +148,15 @@ fn perturbed_runs_still_agree() {
         ..SimplexOptions::default()
     };
     let a = p.solve_with(&opts).unwrap();
-    let b = p.solve_with(&opts.with_engine(LpEngine::Tableau)).unwrap();
-    assert!(
-        (a.objective() - b.objective()).abs() <= 1e-9 * (1.0 + a.objective().abs()),
-        "revised {} vs tableau {}",
-        a.objective(),
-        b.objective()
-    );
+    for engine in LpEngine::ALL {
+        let b = p.solve_with(&opts.with_engine(engine)).unwrap();
+        assert!(
+            (a.objective() - b.objective()).abs() <= 1e-9 * (1.0 + a.objective().abs()),
+            "revised {} vs {engine} {}",
+            a.objective(),
+            b.objective()
+        );
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -284,7 +297,7 @@ proptest! {
     fn optimal_solutions_carry_full_certificates(p in feasible_lp()) {
         // Beyond agreeing with each other, each engine's solution must
         // pass the independent KKT + duality-gap certificate.
-        for engine in [LpEngine::Revised, LpEngine::Tableau] {
+        for engine in LpEngine::ALL {
             let sol = p.solve_with(&SimplexOptions::default().with_engine(engine)).unwrap();
             let report = verify_optimality(&p, &sol, 1e-5);
             prop_assert!(report.is_optimal(), "{engine} failed certificate: {report:?}");

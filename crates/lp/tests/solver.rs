@@ -2,11 +2,12 @@
 //! pathological cases, and randomized KKT-verified instances.
 //!
 //! Every solve in this file goes through [`solve_certified`], which runs
-//! *both* engines (sparse revised + dense tableau), demands a full
+//! *every* selectable engine ([`LpEngine::ALL`]: sparse revised, dense
+//! tableau, and the block-angular decomposed path), demands a full
 //! optimality certificate from each — primal feasibility, dual
 //! feasibility, complementary slackness and a closed duality gap — and
 //! checks the engines agree on the objective. A solver regression in
-//! either engine fails every test here, not just a dedicated oracle.
+//! any engine fails every test here, not just a dedicated oracle.
 
 use socbuf_lp::{
     verify_optimality, LpEngine, LpError, LpProblem, LpSolution, Relation, Sense, SimplexOptions,
@@ -14,25 +15,31 @@ use socbuf_lp::{
 
 const TOL: f64 = 1e-6;
 
-/// Solves with both engines, certifies both solutions via the KKT/gap
-/// checker, asserts objective agreement, and returns the default
-/// (revised) engine's solution for further assertions.
+/// Solves with every selectable engine ([`LpEngine::ALL`]), certifies
+/// each solution via the KKT/gap checker, asserts pairwise objective
+/// agreement, and returns the default (revised) engine's solution for
+/// further assertions.
 fn solve_certified(p: &LpProblem) -> LpSolution {
     let revised = p.solve().expect("revised engine failed");
     assert_eq!(revised.engine(), LpEngine::Revised);
-    let tableau = p.solve_tableau().expect("tableau engine failed");
-    assert_eq!(tableau.engine(), LpEngine::Tableau);
-    for (name, sol) in [("revised", &revised), ("tableau", &tableau)] {
-        let report = verify_optimality(p, sol, TOL);
-        assert!(report.is_optimal(), "{name} certificate failed: {report:?}");
+    for engine in LpEngine::ALL {
+        let sol = p
+            .solve_with(&SimplexOptions::default().with_engine(engine))
+            .unwrap_or_else(|e| panic!("{engine} engine failed: {e}"));
+        assert_eq!(sol.engine(), engine);
+        let report = verify_optimality(p, &sol, TOL);
+        assert!(
+            report.is_optimal(),
+            "{engine} certificate failed: {report:?}"
+        );
+        assert!(
+            (revised.objective() - sol.objective()).abs()
+                <= 1e-9 * (1.0 + revised.objective().abs()),
+            "engines disagree: revised {} vs {engine} {}",
+            revised.objective(),
+            sol.objective()
+        );
     }
-    assert!(
-        (revised.objective() - tableau.objective()).abs()
-            <= 1e-9 * (1.0 + revised.objective().abs()),
-        "engines disagree: revised {} vs tableau {}",
-        revised.objective(),
-        tableau.objective()
-    );
     revised
 }
 
@@ -104,8 +111,13 @@ fn infeasible_is_detected() {
     let x = p.add_var("x", 1.0);
     p.add_constraint([(x, 1.0)], Relation::Le, 1.0).unwrap();
     p.add_constraint([(x, 1.0)], Relation::Ge, 2.0).unwrap();
-    assert!(matches!(p.solve(), Err(LpError::Infeasible { .. })));
-    assert!(matches!(p.solve_tableau(), Err(LpError::Infeasible { .. })));
+    for engine in LpEngine::ALL {
+        let opts = SimplexOptions::default().with_engine(engine);
+        assert!(
+            matches!(p.solve_with(&opts), Err(LpError::Infeasible { .. })),
+            "{engine} missed infeasibility"
+        );
+    }
 }
 
 #[test]
@@ -115,8 +127,13 @@ fn unbounded_is_detected() {
     let y = p.add_var("y", 0.0);
     p.add_constraint([(x, 1.0), (y, -1.0)], Relation::Le, 5.0)
         .unwrap();
-    assert!(matches!(p.solve(), Err(LpError::Unbounded { .. })));
-    assert!(matches!(p.solve_tableau(), Err(LpError::Unbounded { .. })));
+    for engine in LpEngine::ALL {
+        let opts = SimplexOptions::default().with_engine(engine);
+        assert!(
+            matches!(p.solve_with(&opts), Err(LpError::Unbounded { .. })),
+            "{engine} missed unboundedness"
+        );
+    }
 }
 
 #[test]

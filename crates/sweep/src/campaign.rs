@@ -223,9 +223,10 @@ fn assemble_point(
     }
 }
 
-/// Runs `items` index-fixed chunks of `WARM_CHUNK` through `pool`,
-/// giving each chunk its own warm chain, and flattens the results back
-/// into item order.
+/// Runs `items` index-fixed chunks of [`WARM_CHUNK`] through the pool's
+/// shared chunked scheduler ([`WorkPool::run_chunked`]), giving each
+/// chunk its own warm chain, and flattens the results back into item
+/// order.
 fn run_warm_chunks<F>(
     pool: &WorkPool,
     items: usize,
@@ -234,15 +235,22 @@ fn run_warm_chunks<F>(
 where
     F: Fn(std::ops::Range<usize>) -> Vec<Result<SweepPoint, SweepError>> + Sync,
 {
-    let chunks = items.div_ceil(WARM_CHUNK);
-    pool.run(chunks, |c| {
-        let lo = c * WARM_CHUNK;
-        let hi = (lo + WARM_CHUNK).min(items);
-        chunk_job(lo..hi)
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    pool.run_chunked(items, WARM_CHUNK, chunk_job)
+}
+
+/// Prepares a campaign's sizing config for `pool`: when the decomposed
+/// LP engine is selected and no block executor was attached explicitly,
+/// the campaign's own pool doubles as the block executor — per-block
+/// solves fan out over idle workers, while points already running on a
+/// pool worker solve their blocks serially (see the pool's
+/// `SolveExecutor` impl for the oversubscription guard). Results are
+/// identical either way; only wall time changes.
+fn attach_pool(sizing: &SizingConfig, pool: &WorkPool) -> SizingConfig {
+    let mut sizing = sizing.clone();
+    if sizing.engine == socbuf_core::LpEngine::Decomposed && !sizing.executor.is_set() {
+        sizing.executor = socbuf_core::ExecutorHandle::new(std::sync::Arc::new(pool.clone()));
+    }
+    sizing
 }
 
 /// Reduces per-item results by slot, surfacing the lowest-index error.
@@ -304,9 +312,10 @@ impl<'a> BudgetSweep<'a> {
         if self.budgets.is_empty() {
             return Err(SweepError::BadConfig("empty budget grid".into()));
         }
+        let sizing = attach_pool(&self.sizing, pool);
         let results = if self.warm_start {
             run_warm_chunks(pool, self.budgets.len(), |range| {
-                let mut ctx = SolveContext::new(self.arch, &self.sizing);
+                let mut ctx = SolveContext::new(self.arch, &sizing);
                 range
                     .map(|i| {
                         warm_size_point(
@@ -315,7 +324,7 @@ impl<'a> BudgetSweep<'a> {
                             i,
                             self.budgets[i],
                             1.0,
-                            &self.sizing,
+                            &sizing,
                             self.simulate.as_ref(),
                         )
                     })
@@ -329,7 +338,7 @@ impl<'a> BudgetSweep<'a> {
                     budget,
                     1.0,
                     None,
-                    &self.sizing,
+                    &sizing,
                     self.simulate.as_ref(),
                 )
             })
@@ -383,9 +392,10 @@ impl<'a> LoadSweep<'a> {
         if self.factors.is_empty() {
             return Err(SweepError::BadConfig("empty factor grid".into()));
         }
+        let sizing = attach_pool(&self.sizing, pool);
         let results = if self.warm_start {
             run_warm_chunks(pool, self.factors.len(), |range| {
-                let mut ctx = SolveContext::new(self.arch, &self.sizing);
+                let mut ctx = SolveContext::new(self.arch, &sizing);
                 range
                     .map(|i| {
                         let factor = self.factors[i];
@@ -399,7 +409,7 @@ impl<'a> LoadSweep<'a> {
                             i,
                             self.budget,
                             factor,
-                            &self.sizing,
+                            &sizing,
                             self.simulate.as_ref(),
                         )
                     })
@@ -417,7 +427,7 @@ impl<'a> LoadSweep<'a> {
                     self.budget,
                     factor,
                     None,
-                    &self.sizing,
+                    &sizing,
                     self.simulate.as_ref(),
                 )
             })
@@ -469,6 +479,7 @@ impl RandomCampaign {
         if self.units_per_queue == 0 {
             return Err(SweepError::BadConfig("units_per_queue must be ≥ 1".into()));
         }
+        let sizing = attach_pool(&self.sizing, pool);
         let results = pool.map(&self.seeds, |i, &seed| {
             let arch = random_architecture(seed, &self.params);
             let budget = self.units_per_queue * arch.num_queues();
@@ -478,7 +489,7 @@ impl RandomCampaign {
                 budget,
                 1.0,
                 Some(seed),
-                &self.sizing,
+                &sizing,
                 self.simulate.as_ref(),
             )
         });

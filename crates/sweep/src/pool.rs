@@ -17,7 +17,17 @@
 //! other worker count produce bit-identical outputs, which is what the
 //! determinism test-suite (`tests/determinism.rs`) pins forever.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+thread_local! {
+    /// Set for the lifetime of a pool worker thread. Nested fan-out
+    /// (e.g. the decomposed LP engine's block solves running *inside* a
+    /// campaign point that the pool is already parallelizing) checks
+    /// this and degrades to serial execution instead of oversubscribing
+    /// the machine with pools-inside-pools.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
 
 /// A fixed-width pool of scoped worker threads (std-only, no
 /// dependencies; threads live only for the duration of one call).
@@ -91,6 +101,7 @@ impl WorkPool {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
+                        IN_POOL.with(|flag| flag.set(true));
                         let mut done: Vec<(usize, R)> = Vec::new();
                         while !cancelled.load(Ordering::Acquire) {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -142,6 +153,59 @@ impl WorkPool {
         F: Fn(usize, &T) -> R + Sync,
     {
         self.run(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// [`WorkPool::run`] over index-fixed chunks: splits `0..items` into
+    /// `⌈items / chunk⌉` contiguous ranges — chunk `c` always covers
+    /// `c·chunk .. (c+1)·chunk` regardless of worker count — evaluates
+    /// `job` once per range across the pool, and flattens the per-chunk
+    /// result vectors back into item order.
+    ///
+    /// This is the one deterministic chunked scheduler in the workspace:
+    /// the sweep campaigns' warm-chain claiming and the decomposed LP
+    /// engine's block batching both sit on it, so the determinism
+    /// argument (index-derived boundaries, by-slot reduction) lives in
+    /// exactly one place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero; job panics propagate as in
+    /// [`WorkPool::run`].
+    pub fn run_chunked<R, F>(&self, items: usize, chunk: usize, job: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(std::ops::Range<usize>) -> Vec<R> + Sync,
+    {
+        assert!(chunk >= 1, "chunk size must be at least 1");
+        let chunks = items.div_ceil(chunk);
+        self.run(chunks, |c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(items);
+            job(lo..hi)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// The decomposed LP engine's block-solve hook: attaching a pool to
+/// `SizingConfig::executor` fans the independent per-block solves of
+/// each multiplier iteration over the pool's workers. When the call
+/// arrives from *inside* one of this pool's own workers — a campaign
+/// already parallelized over points, each point solving its LP — the
+/// blocks run serially on that worker instead, so campaign-level and
+/// block-level parallelism share one width budget. Either way the
+/// results are bit-identical: executors change wall time, never bytes.
+impl socbuf_core::SolveExecutor for WorkPool {
+    fn run_indexed(&self, n: usize, job: &(dyn Fn(usize) + Sync)) {
+        if IN_POOL.with(|flag| flag.get()) {
+            for i in 0..n {
+                job(i);
+            }
+            return;
+        }
+        self.run(n, job);
     }
 }
 

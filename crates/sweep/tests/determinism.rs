@@ -107,6 +107,37 @@ fn random_campaign_is_worker_count_independent() {
 }
 
 #[test]
+fn decomposed_engine_sweep_is_worker_count_independent() {
+    // The decomposed LP engine adds a second tier of parallelism: the
+    // campaign attaches the pool as the engine's block executor, so a
+    // serial campaign fans block solves out while a parallel campaign
+    // degrades them to serial (the `IN_POOL` guard). Both tiers must
+    // leave the report bytes untouched — executors change wall time,
+    // never results.
+    let arch = templates::amba();
+    assert_scheduling_independent("decomposed budget sweep", |pool| {
+        let mut sweep = BudgetSweep::new(&arch, vec![10, 12, 16, 20, 24, 32, 40]);
+        sweep.sizing = SizingConfig::small();
+        sweep.sizing.engine = socbuf_core::LpEngine::Decomposed;
+        sweep.run(pool).unwrap()
+    });
+}
+
+#[test]
+fn decomposed_engine_load_sweep_is_worker_count_independent() {
+    // Load chains re-scale the cached LP in place and warm-start the
+    // decomposed engine from the previous point's joint basis; none of
+    // that may depend on which tier the block solves ran on.
+    let arch = templates::coreconnect();
+    assert_scheduling_independent("decomposed load sweep", |pool| {
+        let mut sweep = LoadSweep::new(&arch, 20, vec![0.5, 0.75, 1.0, 1.25, 1.5]);
+        sweep.sizing = SizingConfig::small();
+        sweep.sizing.engine = socbuf_core::LpEngine::Decomposed;
+        sweep.run(pool).unwrap()
+    });
+}
+
+#[test]
 fn pooled_replications_match_the_serial_pipeline_bit_for_bit() {
     // The pipeline hook: evaluate_policies with its replications spread
     // over 8 workers equals the plain serial call, field for field.

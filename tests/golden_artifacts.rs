@@ -22,7 +22,7 @@
 //!   across engines.
 
 use socbuf::lp::LpEngine;
-use socbuf::sizing::{size_buffers, SizingConfig, SizingOutcome};
+use socbuf::sizing::{size_buffers, ExecutorHandle, SizingConfig, SizingOutcome};
 use socbuf::soc::{templates, Architecture};
 
 /// Absolute tolerance on pinned loss rates: generous against the
@@ -59,6 +59,9 @@ fn golden_config(engine: LpEngine) -> SizingConfig {
         // equilibration trigger never fires and every golden value
         // below is bit-identical with the knob on or off.
         equilibrate: true,
+        // The default (serial). Executors change wall time, never
+        // results, so every golden value is executor-independent.
+        executor: ExecutorHandle::serial(),
     }
 }
 
