@@ -15,6 +15,7 @@
 //! | `sweep_probe` | developer probe: campaign wall-time across worker counts (not a paper artifact) |
 //! | `warmstart_probe` | developer probe: warm-chained vs cold-started sweeps (not a paper artifact) |
 //! | `decomp_probe` | developer probe: block-angular decomposition vs the monolithic solve (not a paper artifact) |
+//! | `serve_probe` | developer probe: `socbuf-serve` round-trip latency, byte parity and warm-hit pivots (not a paper artifact) |
 //!
 //! # `BENCH_decomp.json`
 //!

@@ -160,6 +160,15 @@ pub struct SizingSolution {
     pub budget_row_relaxed: bool,
     /// Simplex pivots used.
     pub lp_iterations: usize,
+    /// Engine that produced the solution, as reported by the LP layer
+    /// itself ([`socbuf_lp::LpSolution::engine`]) — the one source of
+    /// truth every outcome field derives from. The pipeline used to
+    /// report the *configured* engine in some paths and the solving
+    /// LP's engine in others; routing both through the solution keeps
+    /// them identical by construction (including across the warm
+    /// chain's cold `Infeasible` fallback, which re-solves through a
+    /// freshly built LP).
+    pub lp_engine: socbuf_lp::LpEngine,
     /// What the LP equilibration pass measured and did (condition
     /// estimate before/after, and whether scaling was applied).
     pub lp_scaling: socbuf_lp::ScalingStats,
@@ -553,6 +562,7 @@ impl SizingLp {
             bus_shadow_prices: self.bus_rows.iter().map(|&r| sol.dual(r)).collect(),
             budget_row_relaxed: relaxed,
             lp_iterations: sol.iterations(),
+            lp_engine: sol.engine(),
             lp_scaling: sol.scaling_stats(),
         }
     }

@@ -50,6 +50,7 @@ pub mod formulation;
 pub mod pipeline;
 pub mod report;
 pub mod translate;
+pub mod wire;
 
 pub use error::CoreError;
 pub use formulation::{SizingConfig, SizingLp, SizingSolution};

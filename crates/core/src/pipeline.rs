@@ -74,7 +74,7 @@ pub fn size_buffers(
         budget_shadow_price: solution.budget_shadow_price,
         budget_row_relaxed: solution.budget_row_relaxed,
         lp_iterations: solution.lp_iterations,
-        lp_engine: lp.engine(),
+        lp_engine: solution.lp_engine,
         lp_scaling: solution.lp_scaling,
     })
 }
@@ -187,7 +187,7 @@ impl SolveContext {
             budget_shadow_price: solution.budget_shadow_price,
             budget_row_relaxed: solution.budget_row_relaxed,
             lp_iterations: solution.lp_iterations,
-            lp_engine: self.config.engine,
+            lp_engine: solution.lp_engine,
             lp_scaling: solution.lp_scaling,
         })
     }
@@ -198,6 +198,15 @@ impl SolveContext {
         factor: f64,
         budget: usize,
     ) -> Result<SizingSolution, CoreError> {
+        // Validate once, at entry, so a chain's first (cold) solve and
+        // every later (warm) solve surface the identical `BadConfig`
+        // error for a zero budget. The check used to live only on the
+        // warm branch, leaving the cold branch to rely on
+        // `SizingLp::build` rejecting the budget several layers down —
+        // same net refusal, but a different code path to keep aligned.
+        if budget == 0 {
+            return Err(CoreError::BadConfig("budget must be positive".into()));
+        }
         if self.state.is_none() {
             // Chain start: build exactly what the cold path builds (at
             // this point's own budget/factor) and cache its assembly —
@@ -215,9 +224,6 @@ impl SolveContext {
             });
         } else {
             let state = self.state.as_mut().expect("just checked");
-            if budget == 0 {
-                return Err(CoreError::BadConfig("budget must be positive".into()));
-            }
             if state
                 .lp
                 .retarget(&mut state.prepared, &self.arch, budget, factor)
@@ -600,6 +606,7 @@ mod tests {
             let warm = ctx.size_buffers(budget).unwrap();
             let cold = size_buffers(&arch, budget, &cfg).unwrap();
             assert_eq!(warm.budget_row_relaxed, cold.budget_row_relaxed);
+            assert_eq!(warm.lp_engine, cold.lp_engine, "budget {budget}");
             assert!(
                 (warm.predicted_loss_rate - cold.predicted_loss_rate).abs()
                     <= 1e-9 * (1.0 + cold.predicted_loss_rate.abs()),
@@ -653,6 +660,10 @@ mod tests {
             let warm = ctx.size_buffers(budget).unwrap();
             let cold = size_buffers(&arch, budget, &cfg).unwrap();
             assert_eq!(warm.budget_row_relaxed, cold.budget_row_relaxed);
+            // The relaxed point routes through the warm chain's cold
+            // `Infeasible` fallback; the reported engine must still be
+            // the one that actually solved (the solution's own tag).
+            assert_eq!(warm.lp_engine, cold.lp_engine, "budget {budget}");
             assert!(
                 (warm.predicted_loss_rate - cold.predicted_loss_rate).abs()
                     <= 1e-9 * (1.0 + cold.predicted_loss_rate.abs()),
@@ -673,6 +684,60 @@ mod tests {
         assert_eq!(joint.pre, split.pre);
         assert_eq!(joint.post, split.post);
         assert_eq!(joint.timeout, split.timeout);
+    }
+
+    #[test]
+    fn budget_zero_is_rejected_identically_cold_and_warm() {
+        let arch = templates::amba();
+        let cfg = SizingConfig::small();
+
+        // Fresh context: the very first solve must refuse budget 0 with
+        // the same error the warm path raises — not fall through to a
+        // deeper layer with a different shape.
+        let mut fresh = SolveContext::new(&arch, &cfg);
+        let cold_err = match fresh.size_buffers(0) {
+            Err(CoreError::BadConfig(msg)) => msg,
+            other => panic!("fresh context budget 0: expected BadConfig, got {other:?}"),
+        };
+        // The refusal must not have half-initialized the chain: a valid
+        // follow-up solve is still bit-identical to the cold path.
+        let after = fresh.size_buffers(16).unwrap();
+        let direct = size_buffers(&arch, 16, &cfg).unwrap();
+        assert_eq!(after.allocation.as_slice(), direct.allocation.as_slice());
+        assert_eq!(after.lp_iterations, direct.lp_iterations);
+
+        // Warmed context (state exists): same error, byte for byte.
+        let mut warmed = SolveContext::new(&arch, &cfg);
+        warmed.size_buffers(16).unwrap();
+        let warm_err = match warmed.size_buffers(0) {
+            Err(CoreError::BadConfig(msg)) => msg,
+            other => panic!("warm context budget 0: expected BadConfig, got {other:?}"),
+        };
+        assert_eq!(cold_err, warm_err);
+
+        // And the standalone entry point agrees too.
+        match size_buffers(&arch, 0, &cfg) {
+            Err(CoreError::BadConfig(msg)) => assert_eq!(msg, cold_err),
+            other => panic!("size_buffers budget 0: expected BadConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reported_engine_matches_the_solving_engine_for_all_engines() {
+        let arch = templates::figure1();
+        for engine in socbuf_lp::LpEngine::ALL {
+            let cfg = SizingConfig {
+                engine,
+                ..SizingConfig::small()
+            };
+            let cold = size_buffers(&arch, 18, &cfg).unwrap();
+            assert_eq!(cold.lp_engine, engine, "cold path must tag {engine}");
+            let mut ctx = SolveContext::new(&arch, &cfg);
+            for budget in [18usize, 24, 18] {
+                let warm = ctx.size_buffers(budget).unwrap();
+                assert_eq!(warm.lp_engine, engine, "warm chain must tag {engine}");
+            }
+        }
     }
 
     #[test]

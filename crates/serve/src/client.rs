@@ -1,0 +1,303 @@
+//! A blocking protocol client — the reference implementation the
+//! lifecycle tests and the `serve_probe` bench bin both drive.
+//!
+//! One [`Client`] owns one connection and issues request/response pairs
+//! in strict alternation. Replies carry both the typed decoding *and*
+//! the canonical JSON text of the semantic payload
+//! ([`SizeReply::result_json`], [`SweepReply::report_json`]): because
+//! the server renders canonically and [`JsonValue`] re-renders
+//! canonically, that text is byte-for-byte what the server computed —
+//! which is what the byte-parity checks compare against the direct
+//! pipeline.
+
+use std::io;
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+#[cfg(unix)]
+use std::path::Path;
+
+use socbuf_core::wire::{sizing_outcome_from_json, JsonValue, WireError};
+use socbuf_core::{SizingConfig, SizingOutcome};
+use socbuf_soc::Architecture;
+
+use crate::protocol::{read_frame, write_frame, Health, Request, Response, Trace};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (including an unexpectedly closed connection).
+    Io(io::Error),
+    /// The server's bytes did not decode.
+    Wire(WireError),
+    /// The server answered with a failure response.
+    Remote {
+        /// The server's error message (`"busy"` for backpressure).
+        message: String,
+        /// Backoff hint when the failure was backpressure.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::Remote {
+                message,
+                retry_after_ms: Some(ms),
+            } => {
+                write!(f, "server refused: {message} (retry after {ms} ms)")
+            }
+            ClientError::Remote { message, .. } => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A decoded `size` reply.
+#[derive(Debug)]
+pub struct SizeReply {
+    /// Canonical JSON of the semantic outcome — byte-for-byte what the
+    /// server rendered.
+    pub result_json: String,
+    /// The decoded outcome (its `lp_iterations` is 0: the semantic
+    /// rendering excludes the path-dependent pivot count, which lives
+    /// in [`SizeReply::trace`] instead).
+    pub outcome: SizingOutcome,
+    /// How the server served this request.
+    pub trace: Trace,
+}
+
+/// A decoded `sweep` reply.
+#[derive(Debug)]
+pub struct SweepReply {
+    /// Canonical JSON of the report (`{"kind":…,"points":[…]}`).
+    pub report_json: String,
+    /// How the server served this request.
+    pub trace: Trace,
+}
+
+/// A decoded `frontier` reply.
+#[derive(Debug)]
+pub struct FrontierReply {
+    /// Canonical JSON of the underlying report.
+    pub report_json: String,
+    /// Indices of Pareto-efficient points.
+    pub indices: Vec<usize>,
+    /// Human-readable frontier table.
+    pub table: String,
+    /// How the server served this request.
+    pub trace: Trace,
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+/// A blocking connection to a sizing server.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects over TCP (e.g. to [`crate::Server::tcp_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors.
+    pub fn connect_tcp(addr: std::net::SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Requests are single latency-sensitive frames; never let Nagle
+        // hold one back behind a delayed ACK.
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream: Stream::Tcp(stream),
+        })
+    }
+
+    /// Connects over a Unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> io::Result<Client> {
+        Ok(Client {
+            stream: Stream::Unix(UnixStream::connect(path)?),
+        })
+    }
+
+    /// Sends one raw JSON frame and reads the reply frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure (a server that closed
+    /// the connection surfaces as `UnexpectedEof`).
+    pub fn request_raw(&mut self, payload: &str) -> Result<String, ClientError> {
+        match &mut self.stream {
+            Stream::Tcp(s) => {
+                write_frame(s, payload)?;
+                read_frame(s)
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                write_frame(s, payload)?;
+                read_frame(s)
+            }
+        }?
+        .ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection without answering",
+            ))
+        })
+    }
+
+    fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let reply = self.request_raw(&req.to_json())?;
+        match Response::parse(&reply)? {
+            Response::Busy { retry_after_ms } => Err(ClientError::Remote {
+                message: "busy".into(),
+                retry_after_ms: Some(retry_after_ms),
+            }),
+            Response::Error { message } => Err(ClientError::Remote {
+                message,
+                retry_after_ms: None,
+            }),
+            ok => Ok(ok),
+        }
+    }
+
+    /// Solves one sizing problem on the server.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or remote failures as [`ClientError`].
+    pub fn size(
+        &mut self,
+        arch: &Architecture,
+        config: &SizingConfig,
+        budget: usize,
+    ) -> Result<SizeReply, ClientError> {
+        let req = Request::Size {
+            arch: arch.clone(),
+            config: config.clone(),
+            budget,
+        };
+        match self.request(&req)? {
+            Response::Size { result, trace } => {
+                let outcome = sizing_outcome_from_json(&JsonValue::parse(&result)?, arch)?;
+                Ok(SizeReply {
+                    result_json: result,
+                    outcome,
+                    trace,
+                })
+            }
+            _ => Err(unexpected("size")),
+        }
+    }
+
+    /// Runs a budget sweep on the server.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or remote failures as [`ClientError`].
+    pub fn sweep(
+        &mut self,
+        arch: &Architecture,
+        config: &SizingConfig,
+        budgets: &[usize],
+    ) -> Result<SweepReply, ClientError> {
+        let req = Request::Sweep {
+            arch: arch.clone(),
+            config: config.clone(),
+            budgets: budgets.to_vec(),
+        };
+        match self.request(&req)? {
+            Response::Sweep { report, trace } => Ok(SweepReply {
+                report_json: report,
+                trace,
+            }),
+            _ => Err(unexpected("sweep")),
+        }
+    }
+
+    /// Runs a budget sweep and extracts its Pareto frontier.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or remote failures as [`ClientError`].
+    pub fn frontier(
+        &mut self,
+        arch: &Architecture,
+        config: &SizingConfig,
+        budgets: &[usize],
+    ) -> Result<FrontierReply, ClientError> {
+        let req = Request::Frontier {
+            arch: arch.clone(),
+            config: config.clone(),
+            budgets: budgets.to_vec(),
+        };
+        match self.request(&req)? {
+            Response::Frontier {
+                report,
+                indices,
+                table,
+                trace,
+            } => Ok(FrontierReply {
+                report_json: report,
+                indices,
+                table,
+                trace,
+            }),
+            _ => Err(unexpected("frontier")),
+        }
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or remote failures as [`ClientError`].
+    pub fn health(&mut self) -> Result<Health, ClientError> {
+        match self.request(&Request::Health)? {
+            Response::Health(h) => Ok(h),
+            _ => Err(unexpected("health")),
+        }
+    }
+
+    /// Asks the server to drain.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or remote failures as [`ClientError`].
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Drain)? {
+            Response::Draining => Ok(()),
+            _ => Err(unexpected("drain")),
+        }
+    }
+}
+
+fn unexpected(req: &str) -> ClientError {
+    ClientError::Wire(WireError::Schema(format!(
+        "response shape does not match the \"{req}\" request"
+    )))
+}

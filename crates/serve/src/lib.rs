@@ -1,0 +1,64 @@
+//! Sizing-as-a-service: a warm-cache socket front end over the socbuf
+//! sizing pipeline.
+//!
+//! The paper's methodology answers a question an SoC designer asks
+//! *interactively* — "what loss do I get for this budget at this
+//! load?" — and the pipeline already has everything a long-running
+//! answerer needs: [`socbuf_core::SolveContext`] warm chains re-solve a
+//! repeated or nearby query in ~0 simplex pivots, renderings are
+//! byte-deterministic, and [`socbuf_sweep::WorkPool`] bounds
+//! parallelism. This crate is the std-only network front for those
+//! pieces:
+//!
+//! * [`protocol`] — the versioned, length-prefixed JSON protocol
+//!   (`size`, `sweep`, `frontier`, `health`, `drain`), documented in
+//!   full on the module;
+//! * [`cache`] — the keyed LRU of warm contexts with hit/miss/pivot
+//!   counters;
+//! * [`server`] — TCP/Unix listeners, per-connection handlers,
+//!   in-flight backpressure (`busy` + `retry_after_ms`), graceful
+//!   draining;
+//! * [`client`] — the blocking client the tests and the `serve_probe`
+//!   bench bin share.
+//!
+//! # The byte-parity contract
+//!
+//! The server's `size` answers are **byte-identical** to what a local
+//! [`socbuf_core::size_buffers`] call renders through
+//! [`socbuf_core::wire::sizing_outcome_semantic_json`] — whether the
+//! answer came from a cold solve, a warm cache hit, or a context that
+//! survived eviction pressure. Everything path-dependent (pivots,
+//! timings, warm/cold) is quarantined in a per-request trace record.
+//! The lifecycle tests and the CI smoke gate (`serve_probe --smoke`)
+//! hold this line.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use socbuf_serve::{Client, Server, ServerConfig};
+//! use socbuf_core::SizingConfig;
+//! use socbuf_soc::templates;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default())?;
+//! let mut client = Client::connect_tcp(server.tcp_addr().unwrap())?;
+//! let arch = templates::amba();
+//! let reply = client.size(&arch, &SizingConfig::small(), 24)?;
+//! assert_eq!(reply.outcome.allocation.total(), 24);
+//! let again = client.size(&arch, &SizingConfig::small(), 24)?;
+//! assert_eq!(again.result_json, reply.result_json); // byte-identical
+//! assert!(again.trace.warm);                        // …and warm
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{cache_key, CacheStats, ContextCache};
+pub use client::{Client, ClientError, FrontierReply, SizeReply, SweepReply};
+pub use protocol::{Health, Request, Response, Trace, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig};

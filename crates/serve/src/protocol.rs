@@ -1,0 +1,835 @@
+//! The wire protocol: length-prefixed frames carrying versioned JSON
+//! requests and responses.
+//!
+//! # Framing
+//!
+//! Every message — both directions — is one **frame**:
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | length: u32 BE | payload: `length` bytes   |
+//! +----------------+---------------------------+
+//! ```
+//!
+//! The payload is UTF-8 JSON in the canonical form of
+//! [`socbuf_core::wire`] (no insignificant whitespace, floats through
+//! the shared writer, `null` for non-finite). Frames above
+//! [`MAX_FRAME_BYTES`] are rejected before any allocation, so a hostile
+//! length prefix cannot balloon memory. A connection carries any number
+//! of request/response pairs in strict alternation; either side closes
+//! by shutting the stream down at a frame boundary.
+//!
+//! # Requests
+//!
+//! Every request is an object with `"v": 1` (the protocol version —
+//! other values are rejected) and a `"req"` discriminator:
+//!
+//! | `req`      | extra fields                                 | answer |
+//! |------------|----------------------------------------------|--------|
+//! | `size`     | `arch`, `config`, `budget`                   | one sizing outcome + trace |
+//! | `sweep`    | `arch`, `config`, `budgets` (array)          | a [`SweepReport`] + trace |
+//! | `frontier` | `arch`, `config`, `budgets` (array)          | report + Pareto indices + table + trace |
+//! | `health`   | —                                            | cache/backpressure counters |
+//! | `drain`    | —                                            | drain acknowledgement |
+//!
+//! `arch` and `config` use the [`socbuf_core::wire`] schemas
+//! ([`architecture_to_json`], [`sizing_config_to_json`]); `config` may
+//! be `{}` for the defaults.
+//!
+//! # Responses
+//!
+//! Every response is an object with `"v": 1` and `"ok"`:
+//!
+//! * `size` → `{"v":1,"ok":true,"result":<outcome>,"trace":<trace>}`,
+//!   where `result` is the **semantic** outcome rendering
+//!   ([`sizing_outcome_semantic_json`]) — a pure function of
+//!   (architecture, config, budget), byte-identical whether the server
+//!   answered from a cold solve or a warm cache hit. Path-dependent
+//!   data (pivot count, timings, warm/cold) lives in `trace`.
+//! * `sweep` → `{"v":1,"ok":true,"report":<report>,"trace":<trace>}`
+//!   with `report` from [`SweepReport::to_json`].
+//! * `frontier` → like `sweep`, plus `"frontier":[indices]` and a
+//!   human-readable `"table"` string.
+//! * `health` → `{"v":1,"ok":true,"health":{…}}` (see [`Health`]).
+//! * `drain` → `{"v":1,"ok":true,"draining":true}`.
+//! * failures → `{"v":1,"ok":false,"error":"…"}`; when the server
+//!   refused for backpressure the error is `"busy"` and a
+//!   `"retry_after_ms"` hint is attached.
+//!
+//! # Traces
+//!
+//! Each served solve carries a trace record:
+//! `{"warm":bool,"pivots":N,"queue_wait_us":N,"solve_us":N}` — whether
+//! the answer came from a warm cached context, the simplex pivots this
+//! request actually spent, microseconds between frame receipt and
+//! solve start, and microseconds inside the solve. Rendered by the same
+//! canonical writer as everything else; the two timing fields are the
+//! only nondeterministic bytes in the protocol, which is why they are
+//! quarantined here and never in `result`.
+
+use std::io::{self, Read, Write};
+
+use socbuf_core::wire::{
+    architecture_from_json, architecture_to_json, push_f64, push_str, push_usize,
+    sizing_config_from_json, sizing_config_to_json, sizing_outcome_semantic_json, JsonValue,
+    WireError,
+};
+use socbuf_core::{SizingConfig, SizingOutcome};
+use socbuf_soc::Architecture;
+use socbuf_sweep::SweepReport;
+
+/// The one protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on a frame payload (16 MiB). Chosen far above any real
+/// request (architectures are a few KiB) so the only thing it rejects
+/// is a corrupt or hostile length prefix.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes one frame: 4-byte big-endian length, then the payload bytes.
+///
+/// # Errors
+///
+/// Propagates I/O errors; payloads above [`MAX_FRAME_BYTES`] are
+/// rejected with `InvalidInput` before anything is written.
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+                payload.len()
+            ),
+        ));
+    }
+    // One write for header + payload: two small writes would interact
+    // badly with Nagle's algorithm on TCP (the payload write stalls
+    // behind a delayed ACK, adding ~40 ms per frame).
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload.as_bytes());
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean close (EOF exactly at
+/// a frame boundary); EOF inside a frame is an error.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including read timeouts, surfaced as
+/// `WouldBlock`/`TimedOut` — callers poll on those); oversized lengths
+/// and non-UTF-8 payloads are `InvalidData`.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<String>> {
+    let mut len = [0u8; 4];
+    // Distinguish clean EOF (zero bytes of a new frame) from a torn one.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if filled == 0 => return Err(e),
+            // A timeout after the header started arriving: keep going,
+            // the peer is mid-write.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let n = u32::from_be_bytes(len) as usize;
+    if n > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; n];
+    let mut got = 0;
+    while got < n {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame payload",
+                ))
+            }
+            Ok(k) => got += k,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// A parsed client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Solve one sizing problem.
+    Size {
+        /// The architecture to size.
+        arch: Architecture,
+        /// Pipeline configuration (`{}` on the wire = defaults).
+        config: SizingConfig,
+        /// Total buffer budget.
+        budget: usize,
+    },
+    /// Run a warm-chained budget sweep.
+    Sweep {
+        /// The architecture to sweep.
+        arch: Architecture,
+        /// Pipeline configuration.
+        config: SizingConfig,
+        /// The budget grid.
+        budgets: Vec<usize>,
+    },
+    /// Run a budget sweep and extract its Pareto frontier.
+    Frontier {
+        /// The architecture to sweep.
+        arch: Architecture,
+        /// Pipeline configuration.
+        config: SizingConfig,
+        /// The budget grid.
+        budgets: Vec<usize>,
+    },
+    /// Report server counters.
+    Health,
+    /// Begin draining: finish in-flight work, refuse new solves.
+    Drain,
+}
+
+impl Request {
+    /// Renders this request as canonical protocol JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"v\":1,\"req\":");
+        match self {
+            Request::Size {
+                arch,
+                config,
+                budget,
+            } => {
+                out.push_str("\"size\",\"arch\":");
+                out.push_str(&architecture_to_json(arch));
+                out.push_str(",\"config\":");
+                out.push_str(&sizing_config_to_json(config));
+                out.push_str(",\"budget\":");
+                push_usize(&mut out, *budget);
+            }
+            Request::Sweep {
+                arch,
+                config,
+                budgets,
+            }
+            | Request::Frontier {
+                arch,
+                config,
+                budgets,
+            } => {
+                out.push_str(if matches!(self, Request::Sweep { .. }) {
+                    "\"sweep\""
+                } else {
+                    "\"frontier\""
+                });
+                out.push_str(",\"arch\":");
+                out.push_str(&architecture_to_json(arch));
+                out.push_str(",\"config\":");
+                out.push_str(&sizing_config_to_json(config));
+                out.push_str(",\"budgets\":[");
+                for (i, b) in budgets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_usize(&mut out, *b);
+                }
+                out.push(']');
+            }
+            Request::Health => out.push_str("\"health\""),
+            Request::Drain => out.push_str("\"drain\""),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a request frame, checking the protocol version first.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] for malformed JSON, an unsupported version, an
+    /// unknown `req`, or payload schema violations.
+    pub fn parse(text: &str) -> Result<Request, WireError> {
+        let v = JsonValue::parse(text)?;
+        let version = v
+            .get("v")
+            .ok_or_else(|| WireError::Schema("request: missing field \"v\"".into()))?
+            .u64("v")?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::Schema(format!(
+                "unsupported protocol version {version} (this server speaks {PROTOCOL_VERSION})"
+            )));
+        }
+        let req = v
+            .get("req")
+            .ok_or_else(|| WireError::Schema("request: missing field \"req\"".into()))?
+            .str("req")?;
+        let arch_config = |v: &JsonValue| -> Result<(Architecture, SizingConfig), WireError> {
+            let arch = architecture_from_json(
+                v.get("arch")
+                    .ok_or_else(|| WireError::Schema("request: missing field \"arch\"".into()))?,
+            )?;
+            let config =
+                sizing_config_from_json(v.get("config").ok_or_else(|| {
+                    WireError::Schema("request: missing field \"config\"".into())
+                })?)?;
+            Ok((arch, config))
+        };
+        let budgets = |v: &JsonValue| -> Result<Vec<usize>, WireError> {
+            v.get("budgets")
+                .ok_or_else(|| WireError::Schema("request: missing field \"budgets\"".into()))?
+                .arr("budgets")?
+                .iter()
+                .map(|b| b.usize("budget"))
+                .collect()
+        };
+        match req {
+            "size" => {
+                let (arch, config) = arch_config(&v)?;
+                let budget = v
+                    .get("budget")
+                    .ok_or_else(|| WireError::Schema("request: missing field \"budget\"".into()))?
+                    .usize("budget")?;
+                Ok(Request::Size {
+                    arch,
+                    config,
+                    budget,
+                })
+            }
+            "sweep" => {
+                let (arch, config) = arch_config(&v)?;
+                Ok(Request::Sweep {
+                    arch,
+                    config,
+                    budgets: budgets(&v)?,
+                })
+            }
+            "frontier" => {
+                let (arch, config) = arch_config(&v)?;
+                Ok(Request::Frontier {
+                    arch,
+                    config,
+                    budgets: budgets(&v)?,
+                })
+            }
+            "health" => Ok(Request::Health),
+            "drain" => Ok(Request::Drain),
+            other => Err(WireError::Schema(format!(
+                "unknown request kind \"{other}\""
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Traces and health
+// ---------------------------------------------------------------------
+
+/// Per-request trace record: everything path-dependent about how a
+/// request was served, quarantined away from the semantic `result`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trace {
+    /// Whether the solve started from a warm cached context.
+    pub warm: bool,
+    /// Simplex pivots this request actually spent (a warm hit on a
+    /// repeated query spends ~0).
+    pub pivots: usize,
+    /// Microseconds between frame receipt and solve start.
+    pub queue_wait_us: u64,
+    /// Microseconds inside the solve itself.
+    pub solve_us: u64,
+}
+
+impl Trace {
+    /// Renders the trace as canonical JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"warm\":");
+        out.push_str(if self.warm { "true" } else { "false" });
+        out.push_str(",\"pivots\":");
+        push_usize(&mut out, self.pivots);
+        out.push_str(",\"queue_wait_us\":");
+        push_usize(&mut out, self.queue_wait_us as usize);
+        out.push_str(",\"solve_us\":");
+        push_usize(&mut out, self.solve_us as usize);
+        out.push('}');
+        out
+    }
+
+    /// Parses a trace object.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on shape mismatches.
+    pub fn from_json(v: &JsonValue) -> Result<Trace, WireError> {
+        Ok(Trace {
+            warm: v
+                .get("warm")
+                .ok_or_else(|| WireError::Schema("trace: missing field \"warm\"".into()))?
+                .bool("warm")?,
+            pivots: v
+                .get("pivots")
+                .ok_or_else(|| WireError::Schema("trace: missing field \"pivots\"".into()))?
+                .usize("pivots")?,
+            queue_wait_us: v
+                .get("queue_wait_us")
+                .ok_or_else(|| WireError::Schema("trace: missing field \"queue_wait_us\"".into()))?
+                .u64("queue_wait_us")?,
+            solve_us: v
+                .get("solve_us")
+                .ok_or_else(|| WireError::Schema("trace: missing field \"solve_us\"".into()))?
+                .u64("solve_us")?,
+        })
+    }
+}
+
+/// Server counters reported by a `health` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Health {
+    /// Contexts currently cached.
+    pub cache_entries: usize,
+    /// Cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Warm cache hits since start.
+    pub hits: u64,
+    /// Cache misses (cold solves) since start.
+    pub misses: u64,
+    /// Contexts evicted since start.
+    pub evictions: u64,
+    /// Pivots spent by warm solves since start.
+    pub warm_pivots: u64,
+    /// Pivots spent by cold solves since start.
+    pub cold_pivots: u64,
+    /// Requests currently being solved.
+    pub inflight: usize,
+    /// In-flight bound beyond which requests are refused with `busy`.
+    pub max_inflight: usize,
+    /// Whether the server is draining.
+    pub draining: bool,
+    /// Worker width of the attached [`socbuf_sweep::WorkPool`].
+    pub workers: usize,
+}
+
+impl Health {
+    /// Renders the health record as canonical JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"cache_entries\":");
+        push_usize(&mut out, self.cache_entries);
+        out.push_str(",\"cache_capacity\":");
+        push_usize(&mut out, self.cache_capacity);
+        out.push_str(",\"hits\":");
+        push_usize(&mut out, self.hits as usize);
+        out.push_str(",\"misses\":");
+        push_usize(&mut out, self.misses as usize);
+        out.push_str(",\"evictions\":");
+        push_usize(&mut out, self.evictions as usize);
+        out.push_str(",\"warm_pivots\":");
+        push_usize(&mut out, self.warm_pivots as usize);
+        out.push_str(",\"cold_pivots\":");
+        push_usize(&mut out, self.cold_pivots as usize);
+        out.push_str(",\"inflight\":");
+        push_usize(&mut out, self.inflight);
+        out.push_str(",\"max_inflight\":");
+        push_usize(&mut out, self.max_inflight);
+        out.push_str(",\"draining\":");
+        out.push_str(if self.draining { "true" } else { "false" });
+        out.push_str(",\"workers\":");
+        push_usize(&mut out, self.workers);
+        out.push('}');
+        out
+    }
+
+    /// Parses a health object.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on shape mismatches.
+    pub fn from_json(v: &JsonValue) -> Result<Health, WireError> {
+        let u = |key: &str| -> Result<usize, WireError> {
+            v.get(key)
+                .ok_or_else(|| WireError::Schema(format!("health: missing field \"{key}\"")))?
+                .usize(key)
+        };
+        Ok(Health {
+            cache_entries: u("cache_entries")?,
+            cache_capacity: u("cache_capacity")?,
+            hits: u("hits")? as u64,
+            misses: u("misses")? as u64,
+            evictions: u("evictions")? as u64,
+            warm_pivots: u("warm_pivots")? as u64,
+            cold_pivots: u("cold_pivots")? as u64,
+            inflight: u("inflight")?,
+            max_inflight: u("max_inflight")?,
+            draining: v
+                .get("draining")
+                .ok_or_else(|| WireError::Schema("health: missing field \"draining\"".into()))?
+                .bool("draining")?,
+            workers: u("workers")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// A server response, before rendering / after parsing.
+#[derive(Debug)]
+pub enum Response {
+    /// Answer to `size`: the semantic outcome rendering plus a trace.
+    Size {
+        /// Canonical [`sizing_outcome_semantic_json`] text.
+        result: String,
+        /// How the request was served.
+        trace: Trace,
+    },
+    /// Answer to `sweep`: a rendered [`SweepReport::to_json`] document.
+    Sweep {
+        /// Canonical report JSON.
+        report: String,
+        /// How the request was served.
+        trace: Trace,
+    },
+    /// Answer to `frontier`: the report, its Pareto indices, and a
+    /// human-readable table.
+    Frontier {
+        /// Canonical report JSON.
+        report: String,
+        /// Indices of Pareto-efficient points (report order).
+        indices: Vec<usize>,
+        /// [`SweepReport::frontier_table`] text.
+        table: String,
+        /// How the request was served.
+        trace: Trace,
+    },
+    /// Answer to `health`.
+    Health(Health),
+    /// Drain acknowledgement.
+    Draining,
+    /// Backpressure refusal: retry after the given hint.
+    Busy {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Any other failure.
+    Error {
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Builds the `size` response for an outcome (renders the semantic
+    /// subset — see [`sizing_outcome_semantic_json`]).
+    pub fn for_outcome(outcome: &SizingOutcome, trace: Trace) -> Response {
+        Response::Size {
+            result: sizing_outcome_semantic_json(outcome),
+            trace,
+        }
+    }
+
+    /// Builds the `sweep` response for a report.
+    pub fn for_report(report: &SweepReport, trace: Trace) -> Response {
+        Response::Sweep {
+            report: report.to_json(),
+            trace,
+        }
+    }
+
+    /// Builds the `frontier` response for a report.
+    pub fn for_frontier(report: &SweepReport, trace: Trace) -> Response {
+        Response::Frontier {
+            report: report.to_json(),
+            indices: report.pareto_frontier(),
+            table: report.frontier_table(),
+            trace,
+        }
+    }
+
+    /// Renders this response as canonical protocol JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"v\":1,\"ok\":");
+        match self {
+            Response::Size { result, trace } => {
+                out.push_str("true,\"result\":");
+                out.push_str(result);
+                out.push_str(",\"trace\":");
+                out.push_str(&trace.to_json());
+            }
+            Response::Sweep { report, trace } => {
+                out.push_str("true,\"report\":");
+                out.push_str(report);
+                out.push_str(",\"trace\":");
+                out.push_str(&trace.to_json());
+            }
+            Response::Frontier {
+                report,
+                indices,
+                table,
+                trace,
+            } => {
+                out.push_str("true,\"report\":");
+                out.push_str(report);
+                out.push_str(",\"frontier\":[");
+                for (i, idx) in indices.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_usize(&mut out, *idx);
+                }
+                out.push_str("],\"table\":");
+                push_str(&mut out, table);
+                out.push_str(",\"trace\":");
+                out.push_str(&trace.to_json());
+            }
+            Response::Health(h) => {
+                out.push_str("true,\"health\":");
+                out.push_str(&h.to_json());
+            }
+            Response::Draining => out.push_str("true,\"draining\":true"),
+            Response::Busy { retry_after_ms } => {
+                out.push_str("false,\"error\":\"busy\",\"retry_after_ms\":");
+                push_f64(&mut out, *retry_after_ms as f64);
+            }
+            Response::Error { message } => {
+                out.push_str("false,\"error\":");
+                push_str(&mut out, message);
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a response frame (the client side of the protocol).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] for malformed JSON, a version mismatch, or a shape
+    /// that matches no response kind.
+    pub fn parse(text: &str) -> Result<Response, WireError> {
+        let v = JsonValue::parse(text)?;
+        let version = v
+            .get("v")
+            .ok_or_else(|| WireError::Schema("response: missing field \"v\"".into()))?
+            .u64("v")?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::Schema(format!(
+                "unsupported protocol version {version}"
+            )));
+        }
+        let ok = v
+            .get("ok")
+            .ok_or_else(|| WireError::Schema("response: missing field \"ok\"".into()))?
+            .bool("ok")?;
+        if !ok {
+            let message = v
+                .get("error")
+                .ok_or_else(|| WireError::Schema("response: failure without \"error\"".into()))?
+                .str("error")?
+                .to_string();
+            return Ok(match v.get("retry_after_ms") {
+                Some(ms) => Response::Busy {
+                    retry_after_ms: ms.u64("retry_after_ms")?,
+                },
+                None => Response::Error { message },
+            });
+        }
+        let trace = |v: &JsonValue| -> Result<Trace, WireError> {
+            Trace::from_json(
+                v.get("trace")
+                    .ok_or_else(|| WireError::Schema("response: missing field \"trace\"".into()))?,
+            )
+        };
+        if let Some(result) = v.get("result") {
+            return Ok(Response::Size {
+                // Re-render canonically: the server sent canonical text,
+                // so this reproduces its bytes exactly.
+                result: result.render(),
+                trace: trace(&v)?,
+            });
+        }
+        if let Some(h) = v.get("health") {
+            return Ok(Response::Health(Health::from_json(h)?));
+        }
+        if v.get("draining").is_some() {
+            return Ok(Response::Draining);
+        }
+        if let Some(report) = v.get("report") {
+            let report = report.render();
+            return Ok(match v.get("frontier") {
+                Some(f) => Response::Frontier {
+                    report,
+                    indices: f
+                        .arr("frontier")?
+                        .iter()
+                        .map(|i| i.usize("frontier index"))
+                        .collect::<Result<_, _>>()?,
+                    table: v
+                        .get("table")
+                        .ok_or_else(|| {
+                            WireError::Schema("response: frontier without \"table\"".into())
+                        })?
+                        .str("table")?
+                        .to_string(),
+                    trace: trace(&v)?,
+                },
+                None => Response::Sweep {
+                    report,
+                    trace: trace(&v)?,
+                },
+            });
+        }
+        Err(WireError::Schema(
+            "response matches no known shape (expected result/report/health/draining)".into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socbuf_soc::templates;
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"v\":1}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{\"v\":1}"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF at boundary");
+
+        // A hostile length prefix is rejected without allocating.
+        let mut r = io::Cursor::new(u32::MAX.to_be_bytes().to_vec());
+        assert!(read_frame(&mut r).is_err());
+
+        // EOF inside a frame is torn, not clean.
+        let mut partial = Vec::new();
+        write_frame(&mut partial, "hello").unwrap();
+        partial.truncate(6);
+        let mut r = io::Cursor::new(partial);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn requests_roundtrip_through_the_codec() {
+        let arch = templates::amba();
+        let config = SizingConfig::small();
+        for req in [
+            Request::Size {
+                arch: arch.clone(),
+                config: config.clone(),
+                budget: 24,
+            },
+            Request::Sweep {
+                arch: arch.clone(),
+                config: config.clone(),
+                budgets: vec![8, 16, 24],
+            },
+            Request::Frontier {
+                arch: arch.clone(),
+                config: config.clone(),
+                budgets: vec![8, 16],
+            },
+            Request::Health,
+            Request::Drain,
+        ] {
+            let json = req.to_json();
+            let back = Request::parse(&json).expect("round-trip parse");
+            assert_eq!(back.to_json(), json, "canonical re-render must be stable");
+        }
+    }
+
+    #[test]
+    fn version_and_kind_are_checked() {
+        assert!(Request::parse("{\"v\":2,\"req\":\"health\"}").is_err());
+        assert!(Request::parse("{\"req\":\"health\"}").is_err());
+        assert!(Request::parse("{\"v\":1,\"req\":\"explode\"}").is_err());
+        assert!(Request::parse("not json").is_err());
+        assert!(Response::parse("{\"v\":7,\"ok\":true}").is_err());
+    }
+
+    #[test]
+    fn responses_roundtrip_through_the_codec() {
+        let trace = Trace {
+            warm: true,
+            pivots: 0,
+            queue_wait_us: 12,
+            solve_us: 345,
+        };
+        let health = Health {
+            cache_entries: 2,
+            cache_capacity: 8,
+            hits: 5,
+            misses: 3,
+            evictions: 1,
+            warm_pivots: 4,
+            cold_pivots: 900,
+            inflight: 1,
+            max_inflight: 4,
+            draining: false,
+            workers: 2,
+        };
+        for resp in [
+            Response::Size {
+                result: "{\"allocation\":[1,2]}".into(),
+                trace,
+            },
+            Response::Sweep {
+                report: "{\"kind\":\"budget\",\"points\":[]}".into(),
+                trace,
+            },
+            Response::Frontier {
+                report: "{\"kind\":\"budget\",\"points\":[]}".into(),
+                indices: vec![0, 2],
+                table: " point \"quoted\"\nrows\n".into(),
+                trace,
+            },
+            Response::Health(health),
+            Response::Draining,
+            Response::Busy { retry_after_ms: 50 },
+            Response::Error {
+                message: "no \"such\" engine".into(),
+            },
+        ] {
+            let json = resp.to_json();
+            let back = Response::parse(&json).expect("round-trip parse");
+            assert_eq!(back.to_json(), json, "canonical re-render must be stable");
+        }
+    }
+}

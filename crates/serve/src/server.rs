@@ -1,0 +1,506 @@
+//! The serving loop: listeners, per-connection handlers, the warm
+//! cache, backpressure, and graceful draining.
+//!
+//! # Threading model
+//!
+//! One accept thread per [`Server`]; one handler thread per connection.
+//! Handlers solve on their own thread (the LP layer's
+//! [`socbuf_core::ExecutorHandle`] additionally fans the decomposed
+//! engine's block solves onto the server's [`WorkPool`]); `sweep` and
+//! `frontier` requests fan their whole budget grid onto the pool via
+//! the campaign engine. Concurrency is bounded twice: the pool's width
+//! bounds intra-request parallelism, and the in-flight token counter
+//! bounds how many requests may solve at once — a request arriving
+//! beyond that bound is refused immediately with `busy` and a
+//! `retry_after_ms` hint rather than queued without bound.
+//!
+//! # Determinism
+//!
+//! None of this machinery is allowed to change answers: executors
+//! change wall time, never bytes (the pipeline's pinned contract), the
+//! cache's warm ≡ cold contract makes hits byte-identical to misses,
+//! and the nondeterministic residue (timings, pivot counts) is
+//! quarantined in the per-request trace. The lifecycle tests drive all
+//! three claims over real sockets.
+//!
+//! # Draining
+//!
+//! A `drain` request (or [`Server::shutdown`]) flips the draining flag:
+//! in-flight solves complete and answer normally, every later solve
+//! request is refused with a `"draining"` error, and `health` keeps
+//! answering so operators can watch the in-flight count reach zero.
+//! Blocking reads poll at a short timeout, so handler threads notice
+//! shutdown promptly; the accept loop is woken by a self-connection.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use socbuf_core::{ExecutorHandle, SolveContext};
+use socbuf_sweep::{BudgetSweep, SweepReport, WorkPool};
+
+use crate::cache::{cache_key, ContextCache};
+use crate::protocol::{read_frame, write_frame, Health, Request, Response, Trace};
+
+/// How often blocking reads wake up to poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Warm-context cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Solve requests allowed in flight at once; beyond this, requests
+    /// are refused with `busy`.
+    pub max_inflight: usize,
+    /// Worker width of the attached [`WorkPool`] (`0` = the machine's
+    /// available parallelism).
+    pub workers: usize,
+    /// The backoff hint attached to `busy` refusals.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cache_capacity: 32,
+            max_inflight: 8,
+            workers: 0,
+            retry_after_ms: 25,
+        }
+    }
+}
+
+/// State shared by the accept loop and every handler thread.
+struct Shared {
+    cache: ContextCache,
+    pool: WorkPool,
+    executor: ExecutorHandle,
+    max_inflight: usize,
+    retry_after_ms: u64,
+    inflight: AtomicUsize,
+    draining: AtomicBool,
+    stopping: AtomicBool,
+}
+
+impl Shared {
+    fn health(&self) -> Health {
+        let s = self.cache.stats();
+        Health {
+            cache_entries: s.entries,
+            cache_capacity: s.capacity,
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+            warm_pivots: s.warm_pivots,
+            cold_pivots: s.cold_pivots,
+            inflight: self.inflight.load(Ordering::Relaxed),
+            max_inflight: self.max_inflight,
+            draining: self.draining.load(Ordering::Relaxed),
+            workers: self.pool.workers(),
+        }
+    }
+}
+
+/// Decrements the in-flight counter even if a solve panics.
+struct InflightToken<'a>(&'a AtomicUsize);
+
+impl Drop for InflightToken<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A running sizing server. Dropping it shuts it down (drain + join).
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    addr: BoundAddr,
+}
+
+enum BoundAddr {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl Server {
+    /// Binds a TCP listener (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// loopback port) and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn I/O errors.
+    pub fn bind_tcp(addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        Server::start(config, BoundAddr::Tcp(local), move |shared, handlers| {
+            accept_loop(shared, handlers, move || {
+                let (s, _) = listener.accept()?;
+                // Responses are single latency-sensitive frames; never
+                // let Nagle hold one back.
+                s.set_nodelay(true)?;
+                Ok(Conn::Tcp(s))
+            })
+        })
+    }
+
+    /// Binds a Unix-domain socket at `path` and starts serving. A stale
+    /// socket file at `path` is removed first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn I/O errors.
+    #[cfg(unix)]
+    pub fn bind_unix(path: &Path, config: ServerConfig) -> io::Result<Server> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        Server::start(
+            config,
+            BoundAddr::Unix(path.to_path_buf()),
+            move |shared, handlers| {
+                accept_loop(shared, handlers, move || {
+                    listener.accept().map(|(s, _)| Conn::Unix(s))
+                })
+            },
+        )
+    }
+
+    fn start<F>(config: ServerConfig, addr: BoundAddr, run: F) -> io::Result<Server>
+    where
+        F: FnOnce(Arc<Shared>, Arc<Mutex<Vec<JoinHandle<()>>>>) + Send + 'static,
+    {
+        let pool = if config.workers == 0 {
+            WorkPool::available()
+        } else {
+            WorkPool::new(config.workers)
+        };
+        let executor = ExecutorHandle::new(Arc::new(pool.clone()));
+        let shared = Arc::new(Shared {
+            cache: ContextCache::new(config.cache_capacity),
+            pool,
+            executor,
+            max_inflight: config.max_inflight.max(1),
+            retry_after_ms: config.retry_after_ms,
+            inflight: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("socbuf-serve-accept".into())
+                .spawn(move || run(shared, handlers))?
+        };
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            handlers,
+            addr,
+        })
+    }
+
+    /// The bound TCP address (`None` for Unix-socket servers).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match self.addr {
+            BoundAddr::Tcp(a) => Some(a),
+            #[cfg(unix)]
+            BoundAddr::Unix(_) => None,
+        }
+    }
+
+    /// Begins draining without tearing the server down: in-flight
+    /// solves complete, later solve requests are refused. Equivalent to
+    /// a client `drain` request.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+    }
+
+    /// A health snapshot, as a `health` request would report it.
+    pub fn health(&self) -> Health {
+        self.shared.health()
+    }
+
+    /// Drains, wakes every blocked thread, and joins them. Called
+    /// automatically on drop; call it explicitly to bound shutdown in
+    /// time at a known point.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.stopping.store(true, Ordering::Release);
+        // Wake the accept loop out of its blocking accept().
+        match &self.addr {
+            BoundAddr::Tcp(a) => drop(TcpStream::connect(a)),
+            #[cfg(unix)]
+            BoundAddr::Unix(p) => drop(UnixStream::connect(p)),
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler list poisoned"));
+        for h in handlers {
+            let _ = h.join();
+        }
+        #[cfg(unix)]
+        if let BoundAddr::Unix(p) = &self.addr {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.shared.stopping.load(Ordering::Acquire) {
+            self.stop();
+        }
+    }
+}
+
+/// One accepted connection, either transport.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, d: Duration) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(Some(d)),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(Some(d)),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+fn accept_loop<A>(shared: Arc<Shared>, handlers: Arc<Mutex<Vec<JoinHandle<()>>>>, accept: A)
+where
+    A: Fn() -> io::Result<Conn>,
+{
+    loop {
+        let conn = match accept() {
+            Ok(c) => c,
+            Err(_) => {
+                if shared.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stopping.load(Ordering::Acquire) {
+            // The connection that woke us (or any racer) is dropped
+            // unanswered; the server is going away.
+            return;
+        }
+        let shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("socbuf-serve-conn".into())
+            .spawn(move || handle_connection(shared, conn));
+        if let Ok(handle) = spawned {
+            handlers.lock().expect("handler list poisoned").push(handle);
+        }
+    }
+}
+
+fn handle_connection(shared: Arc<Shared>, mut conn: Conn) {
+    let _ = conn.set_read_timeout(POLL_INTERVAL);
+    loop {
+        match read_frame(&mut conn) {
+            Ok(Some(request)) => {
+                let response = handle_request(&shared, &request);
+                if write_frame(&mut conn, &response).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean close
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serves one request frame, returning the rendered response frame.
+fn handle_request(shared: &Shared, text: &str) -> String {
+    let received = Instant::now();
+    let request = match Request::parse(text) {
+        Ok(r) => r,
+        Err(e) => {
+            return Response::Error {
+                message: e.to_string(),
+            }
+            .to_json()
+        }
+    };
+    match request {
+        Request::Health => Response::Health(shared.health()).to_json(),
+        Request::Drain => {
+            shared.draining.store(true, Ordering::Release);
+            Response::Draining.to_json()
+        }
+        solve_request => {
+            if shared.draining.load(Ordering::Acquire) {
+                return Response::Error {
+                    message: "draining".into(),
+                }
+                .to_json();
+            }
+            // Backpressure: take an in-flight token or refuse outright.
+            let mut current = shared.inflight.load(Ordering::Relaxed);
+            loop {
+                if current >= shared.max_inflight {
+                    return Response::Busy {
+                        retry_after_ms: shared.retry_after_ms,
+                    }
+                    .to_json();
+                }
+                match shared.inflight.compare_exchange_weak(
+                    current,
+                    current + 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(now) => current = now,
+                }
+            }
+            let _token = InflightToken(&shared.inflight);
+            match solve_request {
+                Request::Size {
+                    arch,
+                    config,
+                    budget,
+                } => {
+                    let key = cache_key(&arch, &config);
+                    let cached = shared.cache.checkout(&key);
+                    let warm = cached.is_some();
+                    let mut ctx = cached.unwrap_or_else(|| {
+                        let mut config = config.clone();
+                        config.executor = shared.executor.clone();
+                        SolveContext::new(&arch, &config)
+                    });
+                    let queue_wait_us = received.elapsed().as_micros() as u64;
+                    let solving = Instant::now();
+                    let solved = ctx.size_buffers(budget);
+                    let solve_us = solving.elapsed().as_micros() as u64;
+                    // The context stays warm across failed requests too
+                    // (a bad budget must not cost the next caller their
+                    // warm basis).
+                    shared.cache.checkin(key, ctx);
+                    match solved {
+                        Ok(outcome) => {
+                            shared.cache.record_solve(warm, outcome.lp_iterations);
+                            let trace = Trace {
+                                warm,
+                                pivots: outcome.lp_iterations,
+                                queue_wait_us,
+                                solve_us,
+                            };
+                            Response::for_outcome(&outcome, trace).to_json()
+                        }
+                        Err(e) => Response::Error {
+                            message: e.to_string(),
+                        }
+                        .to_json(),
+                    }
+                }
+                Request::Sweep {
+                    arch,
+                    config,
+                    budgets,
+                } => match run_sweep(shared, &arch, config, budgets, received) {
+                    Ok((report, trace)) => Response::for_report(&report, trace).to_json(),
+                    Err(message) => Response::Error { message }.to_json(),
+                },
+                Request::Frontier {
+                    arch,
+                    config,
+                    budgets,
+                } => match run_sweep(shared, &arch, config, budgets, received) {
+                    Ok((report, trace)) => Response::for_frontier(&report, trace).to_json(),
+                    Err(message) => Response::Error { message }.to_json(),
+                },
+                Request::Health | Request::Drain => unreachable!("handled above"),
+            }
+        }
+    }
+}
+
+/// Runs a warm-chained budget sweep on the server's pool.
+fn run_sweep(
+    shared: &Shared,
+    arch: &socbuf_soc::Architecture,
+    config: socbuf_core::SizingConfig,
+    budgets: Vec<usize>,
+    received: Instant,
+) -> Result<(SweepReport, Trace), String> {
+    let mut sweep = BudgetSweep::new(arch, budgets);
+    sweep.sizing = config;
+    sweep.warm_start = true;
+    let queue_wait_us = received.elapsed().as_micros() as u64;
+    let solving = Instant::now();
+    let report = sweep.run(&shared.pool).map_err(|e| e.to_string())?;
+    let solve_us = solving.elapsed().as_micros() as u64;
+    let pivots: usize = report.points.iter().map(|p| p.lp_iterations).sum();
+    // Campaign chains manage their own warmth; the cache counters only
+    // track `size` contexts, so a sweep records as one cold solve.
+    shared.cache.record_solve(false, pivots);
+    Ok((
+        report,
+        Trace {
+            warm: false,
+            pivots,
+            queue_wait_us,
+            solve_us,
+        },
+    ))
+}

@@ -1,0 +1,316 @@
+//! Server lifecycle contract, over real sockets:
+//!
+//! * concurrent clients get byte-identical responses to the serial
+//!   pipeline for the same request;
+//! * cache eviction never changes answers (warm ≡ cold);
+//! * drain completes in-flight requests and refuses new ones;
+//! * backpressure refuses with `busy` + a retry hint, then recovers.
+
+use socbuf_core::wire::sizing_outcome_semantic_json;
+use socbuf_core::{size_buffers, SizingConfig};
+use socbuf_serve::{Client, ClientError, Server, ServerConfig};
+use socbuf_soc::templates;
+
+/// The semantic bytes the server must reproduce for (arch, budget).
+fn expected(arch: &socbuf_soc::Architecture, budget: usize, config: &SizingConfig) -> String {
+    sizing_outcome_semantic_json(&size_buffers(arch, budget, config).expect("direct solve"))
+}
+
+#[test]
+fn repeated_size_queries_answer_byte_identically_and_hit_the_warm_cache() {
+    let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).unwrap();
+    let arch = templates::amba();
+    let config = SizingConfig::small();
+    let want = expected(&arch, 24, &config);
+
+    let first = client.size(&arch, &config, 24).unwrap();
+    assert_eq!(
+        first.result_json, want,
+        "cold answer must match the direct pipeline"
+    );
+    assert!(!first.trace.warm, "first query must be a cache miss");
+    assert!(first.trace.pivots > 0, "a cold solve spends pivots");
+
+    let second = client.size(&arch, &config, 24).unwrap();
+    assert_eq!(
+        second.result_json, want,
+        "warm answer must be byte-identical"
+    );
+    assert!(second.trace.warm, "repeated query must hit the warm cache");
+    assert!(
+        second.trace.pivots <= 1,
+        "a warm hit on an identical query should re-solve in ~0 pivots, spent {}",
+        second.trace.pivots
+    );
+
+    // A nearby budget warm-retargets off the same context.
+    let nearby = client.size(&arch, &config, 26).unwrap();
+    assert!(nearby.trace.warm);
+    assert_eq!(nearby.result_json, expected(&arch, 26, &config));
+
+    let health = client.health().unwrap();
+    assert_eq!(health.misses, 1);
+    assert_eq!(health.hits, 2);
+    assert!(health.warm_pivots <= health.cold_pivots);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_responses() {
+    let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.tcp_addr().unwrap();
+    let config = SizingConfig::small();
+    let arch = templates::figure1();
+    let budgets = [18usize, 22, 26];
+    let want: Vec<String> = budgets
+        .iter()
+        .map(|&b| expected(&arch, b, &config))
+        .collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|worker| {
+                let (arch, config, want) = (&arch, &config, &want);
+                scope.spawn(move || {
+                    let mut client = Client::connect_tcp(addr).unwrap();
+                    // Each client walks the budgets in a different
+                    // rotation, so identical keys race in the cache.
+                    for round in 0..3 {
+                        let i = (worker + round) % budgets.len();
+                        let reply = client.size(arch, config, budgets[i]).unwrap();
+                        assert_eq!(
+                            reply.result_json, want[i],
+                            "client {worker} round {round} diverged from the serial pipeline"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    server.shutdown();
+}
+
+#[test]
+fn cache_eviction_never_changes_answers() {
+    // Capacity 1: every alternation between two architectures evicts.
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfig {
+            cache_capacity: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).unwrap();
+    let config = SizingConfig::small();
+    let (a, b) = (templates::amba(), templates::figure1());
+    let want_a = expected(&a, 24, &config);
+    let want_b = expected(&b, 24, &config);
+
+    for round in 0..3 {
+        let ra = client.size(&a, &config, 24).unwrap();
+        let rb = client.size(&b, &config, 24).unwrap();
+        assert_eq!(
+            ra.result_json, want_a,
+            "round {round}: evicted-and-resolved answer drifted"
+        );
+        assert_eq!(
+            rb.result_json, want_b,
+            "round {round}: evicted-and-resolved answer drifted"
+        );
+        assert!(
+            !ra.trace.warm && !rb.trace.warm,
+            "capacity 1 + alternation = all misses"
+        );
+    }
+    let health = client.health().unwrap();
+    assert!(
+        health.evictions >= 5,
+        "alternation must evict, saw {}",
+        health.evictions
+    );
+    assert_eq!(health.cache_entries, 1);
+    server.shutdown();
+}
+
+#[test]
+fn drain_completes_inflight_requests_and_refuses_new_ones() {
+    let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.tcp_addr().unwrap();
+    // A deliberately heavy request so it is still in flight when the
+    // drain lands (and still correct if it finishes first — the
+    // assertions below hold either way).
+    let heavy_config = SizingConfig {
+        state_cap: 16,
+        ..SizingConfig::small()
+    };
+    let budgets: Vec<usize> = (20..60).collect();
+
+    let sweeper = {
+        let arch = templates::amba();
+        let config = heavy_config.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(addr).unwrap();
+            client.sweep(&arch, &config, &budgets)
+        })
+    };
+    // Give the sweep a moment to enter the server.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+
+    let mut client = Client::connect_tcp(addr).unwrap();
+    client.drain().unwrap();
+
+    // New solve requests are refused…
+    let refused = client.size(&templates::amba(), &SizingConfig::small(), 24);
+    match refused {
+        Err(ClientError::Remote { message, .. }) => assert_eq!(message, "draining"),
+        other => panic!("expected a draining refusal, got {other:?}"),
+    }
+    // …health still answers and reports the drain…
+    assert!(client.health().unwrap().draining);
+    // …and the in-flight sweep completes normally.
+    let report = sweeper
+        .join()
+        .unwrap()
+        .expect("in-flight sweep must complete");
+    assert!(report.report_json.contains("\"points\":[{"));
+    server.shutdown();
+}
+
+#[test]
+fn backpressure_refuses_with_busy_then_recovers() {
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_inflight: 1,
+            retry_after_ms: 7,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.tcp_addr().unwrap();
+    let heavy_config = SizingConfig {
+        state_cap: 16,
+        ..SizingConfig::small()
+    };
+    let budgets: Vec<usize> = (20..60).collect();
+
+    let sweeper = {
+        let arch = templates::amba();
+        let config = heavy_config.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(addr).unwrap();
+            client.sweep(&arch, &config, &budgets)
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(30));
+
+    // While the only in-flight slot is held, size requests bounce.
+    let mut client = Client::connect_tcp(addr).unwrap();
+    let arch = templates::figure1();
+    let config = SizingConfig::small();
+    let mut saw_busy = false;
+    for _ in 0..50 {
+        match client.size(&arch, &config, 24) {
+            Err(ClientError::Remote {
+                message,
+                retry_after_ms,
+            }) => {
+                assert_eq!(message, "busy");
+                assert_eq!(
+                    retry_after_ms,
+                    Some(7),
+                    "the configured retry hint must arrive"
+                );
+                saw_busy = true;
+                break;
+            }
+            Ok(_) => {
+                // The sweep finished before we got a slot conflict;
+                // keep probing only while it is still running.
+                if sweeper.is_finished() {
+                    break;
+                }
+            }
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+    }
+    let sweep_result = sweeper.join().unwrap();
+    assert!(
+        sweep_result.is_ok(),
+        "backpressure must not break the in-flight request"
+    );
+    if !saw_busy {
+        // Machine too fast to observe the overlap — the recovery
+        // assertion below still validates the path end to end.
+        eprintln!("note: sweep completed before a busy refusal could be observed");
+    }
+
+    // With the slot free again, the same request succeeds and matches
+    // the serial pipeline.
+    let reply = client.size(&arch, &config, 24).unwrap();
+    assert_eq!(reply.result_json, expected(&arch, 24, &config));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_mismatched_requests_fail_without_killing_the_connection() {
+    let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).unwrap();
+
+    let reply = client.request_raw("this is not json").unwrap();
+    assert!(
+        reply.contains("\"ok\":false"),
+        "malformed JSON must be refused: {reply}"
+    );
+
+    let reply = client.request_raw("{\"v\":9,\"req\":\"health\"}").unwrap();
+    assert!(
+        reply.contains("version"),
+        "version mismatch must be named: {reply}"
+    );
+
+    // Domain validation surfaces the pipeline's own message…
+    let arch = templates::amba();
+    let config = SizingConfig::small();
+    match client.size(&arch, &config, 0) {
+        Err(ClientError::Remote { message, .. }) => {
+            assert!(
+                message.contains("budget must be positive"),
+                "got: {message}"
+            )
+        }
+        other => panic!("budget 0 must be refused, got {other:?}"),
+    }
+    // …and the connection (and the cached context) survive all of it.
+    let reply = client.size(&arch, &config, 24).unwrap();
+    assert_eq!(reply.result_json, expected(&arch, 24, &config));
+    server.shutdown();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_serves_identically() {
+    let path = std::env::temp_dir().join(format!("socbuf-serve-test-{}.sock", std::process::id()));
+    let server = Server::bind_unix(&path, ServerConfig::default()).unwrap();
+    let mut client = Client::connect_unix(&path).unwrap();
+    let arch = templates::coreconnect();
+    let config = SizingConfig::small();
+
+    let reply = client.size(&arch, &config, 30).unwrap();
+    assert_eq!(reply.result_json, expected(&arch, 30, &config));
+    let again = client.size(&arch, &config, 30).unwrap();
+    assert_eq!(again.result_json, reply.result_json);
+    assert!(again.trace.warm);
+
+    let frontier = client.frontier(&arch, &config, &[24, 28, 32]).unwrap();
+    assert!(!frontier.indices.is_empty());
+    assert!(frontier.table.contains("budget"));
+
+    server.shutdown();
+    assert!(!path.exists(), "shutdown must remove the socket file");
+}

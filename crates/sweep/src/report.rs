@@ -1,11 +1,19 @@
 //! Structured sweep results: per-point records, Pareto-frontier
-//! extraction, and deterministic CSV / JSON-lines rendering.
+//! extraction, and deterministic CSV / JSON / JSON-lines rendering.
 //!
-//! Rendering goes through `f64`'s `Display` (shortest round-trip
-//! decimal), so two reports with bit-identical numbers serialize to
-//! byte-identical text — the property the determinism suite compares.
+//! Every float in every renderer goes through the workspace's one
+//! shared number writer, [`socbuf_core::wire::push_f64`]: finite
+//! values render via `f64`'s `Display` (shortest round-trip decimal),
+//! so two reports with bit-identical numbers serialize to
+//! byte-identical text — the property the determinism suite compares —
+//! and **non-finite values render as `null`**, so a `NaN` loss from a
+//! degenerate point can no longer corrupt a JSON-lines document with a
+//! bare `NaN`/`inf` token (which is not JSON). CSV cells use the same
+//! writer, so a non-finite float reads `null` there too.
 
 use std::fmt::Write as _;
+
+use socbuf_core::wire::push_f64;
 
 /// Which campaign produced a report (decides the Pareto cost axis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,7 +167,9 @@ impl SweepReport {
 
     /// CSV rendering: header plus one line per point, allocation joined
     /// with `|`, empty cells for absent optionals, `frontier` flagging
-    /// membership in [`SweepReport::pareto_frontier`].
+    /// membership in [`SweepReport::pareto_frontier`]. Floats go
+    /// through the shared wire writer, so non-finite values read
+    /// `null` instead of `NaN`/`inf`.
     pub fn to_csv(&self) -> String {
         let on_frontier = self.frontier_mask();
         let mut out = String::from(
@@ -176,12 +186,12 @@ impl SweepReport {
                 p.index,
                 self.kind.tag(),
                 p.budget,
-                p.load_factor,
+                num(p.load_factor),
                 seed,
                 p.queues,
-                p.offered_rate,
-                p.predicted_loss,
-                p.shadow_price,
+                num(p.offered_rate),
+                num(p.predicted_loss),
+                num(p.shadow_price),
                 p.budget_row_relaxed,
                 p.lp_iterations,
                 alloc,
@@ -192,7 +202,10 @@ impl SweepReport {
                     let _ = writeln!(
                         out,
                         ",{},{},{},{}",
-                        s.pre_loss, s.post_loss, s.timeout_loss, s.improvement_vs_pre
+                        num(s.pre_loss),
+                        num(s.post_loss),
+                        num(s.timeout_loss),
+                        num(s.improvement_vs_pre)
                     );
                 }
                 None => out.push_str(",,,,\n"),
@@ -201,51 +214,83 @@ impl SweepReport {
         out
     }
 
-    /// JSON-lines rendering: one self-contained object per point.
+    /// Appends one point as a self-contained JSON object — the shared
+    /// body of [`SweepReport::to_jsonl`] and [`SweepReport::to_json`]
+    /// (and therefore of the `socbuf-serve` `sweep` response).
+    fn push_point_json(&self, out: &mut String, p: &SweepPoint, frontier: bool) {
+        let _ = write!(
+            out,
+            "{{\"index\":{},\"kind\":\"{}\",\"budget\":{},\"load_factor\":{},",
+            p.index,
+            self.kind.tag(),
+            p.budget,
+            num(p.load_factor)
+        );
+        match p.arch_seed {
+            Some(s) => {
+                let _ = write!(out, "\"arch_seed\":{s},");
+            }
+            None => out.push_str("\"arch_seed\":null,"),
+        }
+        let _ = write!(
+            out,
+            "\"queues\":{},\"offered_rate\":{},\"predicted_loss\":{},\
+             \"shadow_price\":{},\"budget_row_relaxed\":{},\"lp_iterations\":{},\
+             \"allocation\":[{}],\"frontier\":{}",
+            p.queues,
+            num(p.offered_rate),
+            num(p.predicted_loss),
+            num(p.shadow_price),
+            p.budget_row_relaxed,
+            p.lp_iterations,
+            join(&p.allocation, ","),
+            frontier,
+        );
+        match &p.sim {
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    ",\"sim\":{{\"pre_loss\":{},\"post_loss\":{},\"timeout_loss\":{},\
+                     \"improvement_vs_pre\":{}}}}}",
+                    num(s.pre_loss),
+                    num(s.post_loss),
+                    num(s.timeout_loss),
+                    num(s.improvement_vs_pre)
+                );
+            }
+            None => out.push_str(",\"sim\":null}"),
+        }
+    }
+
+    /// JSON-lines rendering: one self-contained object per point. Every
+    /// line parses as valid JSON even when a point carries non-finite
+    /// floats (they render as `null`).
     pub fn to_jsonl(&self) -> String {
         let on_frontier = self.frontier_mask();
         let mut out = String::new();
         for (i, p) in self.points.iter().enumerate() {
-            let _ = write!(
-                out,
-                "{{\"index\":{},\"kind\":\"{}\",\"budget\":{},\"load_factor\":{},",
-                p.index,
-                self.kind.tag(),
-                p.budget,
-                p.load_factor
-            );
-            match p.arch_seed {
-                Some(s) => {
-                    let _ = write!(out, "\"arch_seed\":{s},");
-                }
-                None => out.push_str("\"arch_seed\":null,"),
-            }
-            let _ = write!(
-                out,
-                "\"queues\":{},\"offered_rate\":{},\"predicted_loss\":{},\
-                 \"shadow_price\":{},\"budget_row_relaxed\":{},\"lp_iterations\":{},\
-                 \"allocation\":[{}],\"frontier\":{}",
-                p.queues,
-                p.offered_rate,
-                p.predicted_loss,
-                p.shadow_price,
-                p.budget_row_relaxed,
-                p.lp_iterations,
-                join(&p.allocation, ","),
-                on_frontier[i],
-            );
-            match &p.sim {
-                Some(s) => {
-                    let _ = writeln!(
-                        out,
-                        ",\"sim\":{{\"pre_loss\":{},\"post_loss\":{},\"timeout_loss\":{},\
-                         \"improvement_vs_pre\":{}}}}}",
-                        s.pre_loss, s.post_loss, s.timeout_loss, s.improvement_vs_pre
-                    );
-                }
-                None => out.push_str(",\"sim\":null}\n"),
-            }
+            self.push_point_json(&mut out, p, on_frontier[i]);
+            out.push('\n');
         }
+        out
+    }
+
+    /// Single-document rendering: the whole report as one JSON object,
+    /// `{"kind":…,"points":[…]}`, with the same per-point objects as
+    /// [`SweepReport::to_jsonl`]. This is what a `socbuf-serve` `sweep`
+    /// response embeds.
+    pub fn to_json(&self) -> String {
+        let on_frontier = self.frontier_mask();
+        let mut out = String::from("{\"kind\":\"");
+        out.push_str(self.kind.tag());
+        out.push_str("\",\"points\":[");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            self.push_point_json(&mut out, p, on_frontier[i]);
+        }
+        out.push_str("]}");
         out
     }
 
@@ -281,6 +326,17 @@ impl SweepReport {
         }
         mask
     }
+}
+
+/// Renders `v` through the shared wire-format number writer
+/// ([`socbuf_core::wire::push_f64`]): shortest round-trip decimal for
+/// finite values, `null` for non-finite ones. One writer serves every
+/// renderer here *and* the `socbuf-serve` codec, so "what does a float
+/// look like on the wire" has exactly one answer.
+fn num(v: f64) -> String {
+    let mut s = String::new();
+    push_f64(&mut s, v);
+    s
 }
 
 fn join(xs: &[usize], sep: &str) -> String {
@@ -405,6 +461,63 @@ mod tests {
         for line in lines {
             assert_eq!(line.matches('{').count(), line.matches('}').count());
         }
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null_in_every_renderer() {
+        // Regression: these used to render bare as `NaN` / `inf` /
+        // `-inf` via Display, making the JSONL document unparseable.
+        let mut p = point(0, 10, f64::NAN);
+        p.shadow_price = f64::NEG_INFINITY;
+        p.offered_rate = f64::INFINITY;
+        p.sim = Some(SimSummary {
+            pre_loss: 1.0,
+            post_loss: f64::NAN,
+            timeout_loss: f64::INFINITY,
+            improvement_vs_pre: f64::NAN,
+        });
+        let r = report(vec![p, point(1, 12, 0.25)]);
+
+        let jsonl = r.to_jsonl();
+        for bad in ["NaN", "inf"] {
+            assert!(!jsonl.contains(bad), "bare {bad} leaked into JSONL");
+        }
+        for line in jsonl.lines() {
+            let parsed = socbuf_core::wire::JsonValue::parse(line)
+                .expect("every JSONL line must be valid JSON");
+            assert!(parsed.get("predicted_loss").is_some());
+        }
+        let first = socbuf_core::wire::JsonValue::parse(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            first.get("predicted_loss"),
+            Some(&socbuf_core::wire::JsonValue::Null)
+        );
+        assert_eq!(
+            first.get("sim").unwrap().get("timeout_loss"),
+            Some(&socbuf_core::wire::JsonValue::Null)
+        );
+
+        // The single-document rendering parses too, with both points.
+        let doc = socbuf_core::wire::JsonValue::parse(&r.to_json()).unwrap();
+        assert_eq!(doc.get("points").unwrap().arr("points").unwrap().len(), 2);
+
+        // CSV cells use the same writer.
+        let csv = r.to_csv();
+        assert!(!csv.contains("NaN") && !csv.contains("inf"));
+        assert!(csv.lines().nth(1).unwrap().contains("null"));
+    }
+
+    #[test]
+    fn to_json_wraps_the_same_point_objects_as_jsonl() {
+        let mut p = point(0, 10, 0.5);
+        p.arch_seed = Some(42);
+        let r = report(vec![p, point(1, 12, 0.25)]);
+        let jsonl = r.to_jsonl();
+        let expected = format!(
+            "{{\"kind\":\"budget\",\"points\":[{}]}}",
+            jsonl.lines().collect::<Vec<_>>().join(",")
+        );
+        assert_eq!(r.to_json(), expected);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`sizing`] | `socbuf-core` | the paper's CTMDP sizing methodology |
 //! | [`sim`] | `socbuf-sim` | discrete-event simulator |
 //! | [`sweep`] | `socbuf-sweep` | deterministic parallel sweep campaigns |
+//! | [`serve`] | `socbuf-serve` | sizing-as-a-service socket front end |
 //! | [`ctmdp`] | `socbuf-ctmdp` | constrained CTMDPs, K-switching |
 //! | [`markov`] | `socbuf-markov` | CTMCs, M/M/1/K analytics |
 //! | [`lp`] | `socbuf-lp` | two-phase simplex |
@@ -41,6 +42,7 @@ pub use socbuf_ctmdp as ctmdp;
 pub use socbuf_linalg as linalg;
 pub use socbuf_lp as lp;
 pub use socbuf_markov as markov;
+pub use socbuf_serve as serve;
 pub use socbuf_sim as sim;
 pub use socbuf_soc as soc;
 pub use socbuf_sweep as sweep;
