@@ -35,6 +35,7 @@ fn bench_evaluate(c: &mut Criterion) {
         warmup: 50.0,
         seed: 1,
         replications: 3,
+        ..PipelineConfig::default()
     };
     group.bench_function("figure1_3reps", |b| {
         b.iter(|| evaluate_policies(&arch, 22, &config).unwrap());

@@ -1,0 +1,234 @@
+//! Developer probe for the actor-based simulator core: engine
+//! equivalence, extended-semantics determinism, and relative throughput
+//! of the actor engine against the legacy event loop.
+//!
+//! `--smoke` runs the CI gate:
+//!
+//! * **equivalence (always enforced)** — the actor engine must
+//!   reproduce the legacy engine's `SimReport` *exactly* (every counter
+//!   bit-identical) on the four shared templates across seeds and
+//!   arbiters. This is the refactor's load-bearing promise: same draws,
+//!   same statistics, different core.
+//! * **determinism (always enforced)** — extended scenarios (priority
+//!   arbitration, locked transfers, bursty and on/off sources) have no
+//!   legacy oracle, so the gate is per-seed reproducibility plus the
+//!   conservation identity `offered = delivered + lost + in_flight`.
+//! * **throughput (always enforced, generous bound)** — the actor
+//!   engine pays for mailboxes and envelopes; the gate only requires it
+//!   stay within [`ACTOR_SLOWDOWN_LIMIT`]× of the legacy wall time
+//!   (best of [`SMOKE_REPEATS`]) so a catastrophic scheduling
+//!   regression cannot land silently. Both engines run in-process on
+//!   the same host, so the ratio is robust to runner speed.
+
+use socbuf_sim::{
+    simulate_actors_with, simulate_with, Arbiter, SimConfig, SimEngine, SimReport, TimeoutSpec,
+};
+use socbuf_soc::templates;
+use socbuf_soc::{
+    Architecture, ArchitectureBuilder, BufferAllocation, BusArbitration, FlowTarget, TrafficShape,
+};
+use std::time::{Duration, Instant};
+
+/// Largest tolerated actor/legacy wall-time ratio in the smoke gate.
+const ACTOR_SLOWDOWN_LIMIT: f64 = 8.0;
+
+/// Timing repeats; best-of keeps the gate robust to shared-runner noise.
+const SMOKE_REPEATS: usize = 3;
+
+fn shared_templates() -> Vec<(&'static str, Architecture)> {
+    vec![
+        ("figure1", templates::figure1()),
+        ("amba", templates::amba()),
+        ("coreconnect", templates::coreconnect()),
+        ("network_processor", templates::network_processor()),
+    ]
+}
+
+/// A two-client priority bus with one bursty flow — exercises every
+/// extended declaration except on/off in one architecture.
+fn extended_arch() -> Architecture {
+    let mut b = ArchitectureBuilder::new();
+    let x = b
+        .add_bus_with_arbitration("x", 4.0, BusArbitration::Priority)
+        .unwrap();
+    let y = b
+        .add_bus_with_arbitration("y", 4.0, BusArbitration::Locked { max_batch: 4 })
+        .unwrap();
+    let p = b.add_processor("p", &[x], 1.0).unwrap();
+    let q = b.add_processor("q", &[x], 1.0).unwrap();
+    let r = b.add_processor("r", &[y], 1.0).unwrap();
+    b.add_bridge_with_latency("g", x, y, 0.25).unwrap();
+    b.add_flow_shaped(
+        p,
+        FlowTarget::Processor(r),
+        0.8,
+        TrafficShape::Burst { batch: 4 },
+    )
+    .unwrap();
+    b.add_flow(q, FlowTarget::Bus(x), 0.7).unwrap();
+    b.add_flow_shaped(
+        r,
+        FlowTarget::Bus(y),
+        0.5,
+        TrafficShape::OnOff {
+            mean_on: 2.0,
+            mean_off: 6.0,
+        },
+    )
+    .unwrap();
+    b.build().unwrap()
+}
+
+fn run_engine(
+    engine: SimEngine,
+    arch: &Architecture,
+    horizon: f64,
+    seed: u64,
+) -> (SimReport, Duration) {
+    let alloc = BufferAllocation::uniform(arch, 4);
+    let mut arbiter = Arbiter::RandomNonempty;
+    let cfg = SimConfig::new(horizon, seed);
+    let t = Instant::now();
+    let report = engine.simulate_with(arch, &alloc, &mut arbiter, None, &cfg);
+    (report, t.elapsed())
+}
+
+/// The equivalence gate: every shared workload, both engines, exact
+/// report equality. Returns the number of mismatching workloads.
+fn check_equivalence(horizon: f64, verbose: bool) -> usize {
+    let mut failures = 0;
+    for (name, arch) in shared_templates() {
+        let alloc = BufferAllocation::uniform(&arch, 4);
+        // Calibrate the timeout thresholds from an untimed legacy run,
+        // exactly as the pipeline does before its timeout baseline.
+        let calibration = simulate_with(
+            &arch,
+            &alloc,
+            &mut Arbiter::LongestQueue,
+            None,
+            &SimConfig::new(horizon, 7),
+        );
+        let timeout = TimeoutSpec::from_calibration(&calibration);
+        for seed in [0u64, 17, 4242] {
+            for timeout in [None, Some(&timeout)] {
+                let cfg = SimConfig::new(horizon, seed);
+                let mut arb_l = Arbiter::LongestQueue;
+                let mut arb_a = Arbiter::LongestQueue;
+                let legacy = simulate_with(&arch, &alloc, &mut arb_l, timeout, &cfg);
+                let actors = simulate_actors_with(&arch, &alloc, &mut arb_a, timeout, &cfg);
+                if legacy != actors {
+                    eprintln!(
+                        "SMOKE FAIL: {name} seed {seed} timeout={}: engines disagree\n\
+                         legacy: {legacy:?}\nactors: {actors:?}",
+                        timeout.is_some()
+                    );
+                    failures += 1;
+                } else if verbose {
+                    println!(
+                        "{name:>18} seed {seed} timeout={}: identical \
+                         (offered {:.0}, lost {:.0})",
+                        timeout.is_some(),
+                        legacy.total_offered,
+                        legacy.total_lost
+                    );
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Determinism + conservation on the extended architecture (no legacy
+/// oracle exists there). Returns the number of failures.
+fn check_extended(horizon: f64, verbose: bool) -> usize {
+    let arch = extended_arch();
+    assert!(arch.uses_extended_semantics());
+    let mut failures = 0;
+    for seed in [1u64, 99, 2005] {
+        let (a, _) = run_engine(SimEngine::Actors, &arch, horizon, seed);
+        let (b, _) = run_engine(SimEngine::Actors, &arch, horizon, seed);
+        if a != b {
+            eprintln!("SMOKE FAIL: extended arch seed {seed} not reproducible");
+            failures += 1;
+        }
+        let residual = a.total_offered - a.total_delivered - a.total_lost - a.in_flight;
+        if residual.abs() > 1e-9 || a.in_flight < 0.0 {
+            eprintln!(
+                "SMOKE FAIL: extended arch seed {seed} breaks conservation \
+                 (offered {} delivered {} lost {} in_flight {})",
+                a.total_offered, a.total_delivered, a.total_lost, a.in_flight
+            );
+            failures += 1;
+        } else if verbose {
+            println!(
+                "extended seed {seed}: loss_fraction {:.4}, in_flight {:.0}",
+                a.loss_fraction(),
+                a.in_flight
+            );
+        }
+    }
+    failures
+}
+
+/// Best-of-N wall time for one engine on one workload.
+fn best_time(engine: SimEngine, arch: &Architecture, horizon: f64) -> Duration {
+    let mut best: Option<Duration> = None;
+    for rep in 0..SMOKE_REPEATS {
+        let (_, time) = run_engine(engine, arch, horizon, rep as u64);
+        if best.is_none_or(|b| time < b) {
+            best = Some(time);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+/// CI-sized gate; exits nonzero on regression.
+fn smoke() -> i32 {
+    let mut failures = 0;
+    failures += check_equivalence(2000.0, false);
+    failures += check_extended(2000.0, false);
+
+    let np = templates::network_processor();
+    let legacy = best_time(SimEngine::Legacy, &np, 5000.0);
+    let actors = best_time(SimEngine::Actors, &np, 5000.0);
+    let ratio = actors.as_secs_f64() / legacy.as_secs_f64().max(1e-12);
+    println!("np horizon 5000: legacy {legacy:?}, actors {actors:?} ({ratio:.2}x)");
+    if ratio > ACTOR_SLOWDOWN_LIMIT {
+        eprintln!(
+            "SMOKE FAIL: actor engine {ratio:.2}x slower than legacy \
+             (limit {ACTOR_SLOWDOWN_LIMIT}x)"
+        );
+        failures += 1;
+    }
+
+    if failures == 0 {
+        println!("smoke OK");
+    }
+    failures as i32
+}
+
+/// Full table: per-template equivalence detail plus a throughput sweep.
+fn full_probe() {
+    check_equivalence(2000.0, true);
+    check_extended(5000.0, true);
+    println!(
+        "\n{:>18} {:>12} {:>12} {:>7}",
+        "template", "legacy", "actors", "ratio"
+    );
+    for (name, arch) in shared_templates() {
+        let legacy = best_time(SimEngine::Legacy, &arch, 20000.0);
+        let actors = best_time(SimEngine::Actors, &arch, 20000.0);
+        println!(
+            "{name:>18} {legacy:>12?} {actors:>12?} {:>6.2}x",
+            actors.as_secs_f64() / legacy.as_secs_f64().max(1e-12)
+        );
+    }
+}
+
+fn main() {
+    let smoke_mode = std::env::args().any(|a| a == "--smoke");
+    if smoke_mode {
+        std::process::exit(smoke());
+    }
+    full_probe();
+}

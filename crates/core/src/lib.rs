@@ -66,3 +66,8 @@ pub use translate::Translation;
 // downstream crates — `socbuf-sweep` in particular — need no direct
 // `socbuf-lp` dependency.
 pub use socbuf_lp::{ExecutorHandle, LpEngine, SolveExecutor};
+
+// Simulator engine selector, re-exported for the same reason: it is a
+// field of [`PipelineConfig`], and downstream crates should not need a
+// direct `socbuf-sim` dependency to set it.
+pub use socbuf_sim::SimEngine;

@@ -4,7 +4,7 @@
 
 use socbuf_lp::{BasisSnapshot, LpEngine, LpError, PreparedLp};
 use socbuf_sim::{
-    average_reports, replication_config, simulate_with, Arbiter, SimConfig, SimReport, TimeoutSpec,
+    average_reports, replication_config, Arbiter, SimConfig, SimEngine, SimReport, TimeoutSpec,
 };
 use socbuf_soc::{Architecture, BufferAllocation};
 
@@ -297,6 +297,12 @@ pub struct PipelineConfig {
     pub seed: u64,
     /// Independent replications to average (the paper uses 10).
     pub replications: usize,
+    /// Simulator core to execute replications on. The default
+    /// [`SimEngine::Auto`] picks the actor engine exactly when the
+    /// architecture declares extended semantics (traffic shapes,
+    /// arbitration modes, bridge latency) and the legacy engine
+    /// otherwise; both agree per-seed wherever both apply.
+    pub sim_engine: SimEngine,
 }
 
 impl Default for PipelineConfig {
@@ -307,6 +313,7 @@ impl Default for PipelineConfig {
             warmup: 100.0,
             seed: 2005,
             replications: 10,
+            sim_engine: SimEngine::Auto,
         }
     }
 }
@@ -320,6 +327,7 @@ impl PipelineConfig {
             warmup: 40.0,
             seed: 7,
             replications: 3,
+            sim_engine: SimEngine::Auto,
         }
     }
 }
@@ -395,9 +403,12 @@ impl ReplicationPool for SerialPool {
     }
 }
 
-/// `socbuf_sim::replicate`, routed through a [`ReplicationPool`].
+/// `socbuf_sim::replicate`, routed through a [`ReplicationPool`] onto
+/// the configured [`SimEngine`].
+#[allow(clippy::too_many_arguments)]
 fn replicate_on<P: ReplicationPool + ?Sized>(
     pool: &P,
+    engine: SimEngine,
     arch: &Architecture,
     alloc: &BufferAllocation,
     arbiter: &Arbiter,
@@ -408,7 +419,7 @@ fn replicate_on<P: ReplicationPool + ?Sized>(
     pool.run_replications(n, &|i| {
         let cfg = replication_config(config, i);
         let mut arb = arbiter.clone();
-        simulate_with(arch, alloc, &mut arb, timeout, &cfg)
+        engine.simulate_with(arch, alloc, &mut arb, timeout, &cfg)
     })
 }
 
@@ -490,6 +501,7 @@ pub fn evaluate_policies_sized<P: ReplicationPool + ?Sized>(
     let uniform = BufferAllocation::uniform(arch, budget);
     let pre_runs = replicate_on(
         pool,
+        config.sim_engine,
         arch,
         &uniform,
         &Arbiter::FixedSlot,
@@ -502,6 +514,7 @@ pub fn evaluate_policies_sized<P: ReplicationPool + ?Sized>(
     // "After": CTMDP allocation + K-switching arbitration.
     let post_runs = replicate_on(
         pool,
+        config.sim_engine,
         arch,
         &outcome.allocation,
         &Arbiter::WeightedEffort {
@@ -518,6 +531,7 @@ pub fn evaluate_policies_sized<P: ReplicationPool + ?Sized>(
     let spec = TimeoutSpec::from_calibration(&pre);
     let to_runs = replicate_on(
         pool,
+        config.sim_engine,
         arch,
         &uniform,
         &Arbiter::FixedSlot,
@@ -738,6 +752,52 @@ mod tests {
                 assert_eq!(warm.lp_engine, engine, "warm chain must tag {engine}");
             }
         }
+    }
+
+    #[test]
+    fn engine_choice_is_transparent_on_plain_architectures() {
+        // Legacy and Actors agree per-seed, so the full pipeline output
+        // must be identical whichever engine executes it.
+        let arch = templates::figure1();
+        let mut cfg = PipelineConfig::small();
+        cfg.sim_engine = SimEngine::Legacy;
+        let legacy = evaluate_policies(&arch, 22, &cfg).unwrap();
+        cfg.sim_engine = SimEngine::Actors;
+        let actors = evaluate_policies(&arch, 22, &cfg).unwrap();
+        cfg.sim_engine = SimEngine::Auto;
+        let auto = evaluate_policies(&arch, 22, &cfg).unwrap();
+        assert_eq!(legacy.pre, actors.pre);
+        assert_eq!(legacy.post, actors.post);
+        assert_eq!(legacy.timeout, actors.timeout);
+        assert_eq!(legacy.pre, auto.pre);
+    }
+
+    #[test]
+    fn pipeline_runs_extended_architectures_through_auto() {
+        // Bursty traffic + priority arbitration: the legacy engine
+        // refuses this architecture, but the default Auto engine routes
+        // it to the actor core and the whole sizing loop still runs.
+        use socbuf_soc::{BusArbitration, TrafficShape};
+        let mut b = ArchitectureBuilder::new();
+        let bus = b
+            .add_bus_with_arbitration("bus", 1.0, BusArbitration::Priority)
+            .unwrap();
+        let hot = b.add_processor("hot", &[bus], 1.0).unwrap();
+        let cold = b.add_processor("cold", &[bus], 1.0).unwrap();
+        b.add_flow_shaped(
+            hot,
+            FlowTarget::Bus(bus),
+            0.6,
+            TrafficShape::Burst { batch: 4 },
+        )
+        .unwrap();
+        b.add_flow(cold, FlowTarget::Bus(bus), 0.2).unwrap();
+        let arch = b.build().unwrap();
+        assert!(arch.uses_extended_semantics());
+        let cmp = evaluate_policies(&arch, 12, &PipelineConfig::small()).unwrap();
+        assert!(cmp.pre.total_offered > 0.0);
+        assert!(cmp.post.total_offered > 0.0);
+        assert_eq!(cmp.outcome.allocation.total(), 12);
     }
 
     #[test]

@@ -35,7 +35,9 @@
 use std::fmt::Write as _;
 
 use socbuf_lp::{LpEngine, ScalingStats};
-use socbuf_soc::{Architecture, ArchitectureBuilder, BufferAllocation, FlowTarget};
+use socbuf_soc::{
+    Architecture, ArchitectureBuilder, BufferAllocation, BusArbitration, FlowTarget, TrafficShape,
+};
 
 use crate::pipeline::SizingOutcome;
 use crate::SizingConfig;
@@ -633,6 +635,13 @@ pub fn lp_engine_from_tag(tag: &str) -> Result<LpEngine, WireError> {
 /// the way back in. Derived data (routes, queues) is *not* serialized:
 /// it is recomputed deterministically by `build`, so the wire can never
 /// smuggle in an inconsistent architecture.
+///
+/// Extended-semantics declarations are emitted **only when they differ
+/// from the defaults**: a bus carries `"arbitration"` only when
+/// non-external, a bridge `"latency"` only when positive, a flow
+/// `"shape"` only when non-Poisson. Plain architectures therefore
+/// serialize byte-identically to what they produced before those
+/// declarations existed, and old documents parse unchanged.
 pub fn architecture_to_json(arch: &Architecture) -> String {
     let mut out = String::from("{\"buses\":[");
     for (i, bus) in arch.bus_ids().enumerate() {
@@ -644,6 +653,17 @@ pub fn architecture_to_json(arch: &Architecture) -> String {
         push_str(&mut out, bus.name());
         out.push_str(",\"service_rate\":");
         push_f64(&mut out, bus.service_rate());
+        match bus.arbitration() {
+            BusArbitration::External => {}
+            BusArbitration::Priority => {
+                out.push_str(",\"arbitration\":\"priority\"");
+            }
+            BusArbitration::Locked { max_batch } => {
+                out.push_str(",\"arbitration\":{\"locked\":");
+                push_usize(&mut out, max_batch);
+                out.push('}');
+            }
+        }
         out.push('}');
     }
     out.push_str("],\"processors\":[");
@@ -677,6 +697,10 @@ pub fn architecture_to_json(arch: &Architecture) -> String {
         push_usize(&mut out, g.from().index());
         out.push_str(",\"to\":");
         push_usize(&mut out, g.to().index());
+        if g.latency() > 0.0 {
+            out.push_str(",\"latency\":");
+            push_f64(&mut out, g.latency());
+        }
         out.push('}');
     }
     out.push_str("],\"flows\":[");
@@ -699,10 +723,63 @@ pub fn architecture_to_json(arch: &Architecture) -> String {
         }
         out.push_str("},\"rate\":");
         push_f64(&mut out, f.rate());
+        match f.shape() {
+            TrafficShape::Poisson => {}
+            TrafficShape::Burst { batch } => {
+                out.push_str(",\"shape\":{\"burst\":");
+                push_usize(&mut out, batch);
+                out.push('}');
+            }
+            TrafficShape::OnOff { mean_on, mean_off } => {
+                out.push_str(",\"shape\":{\"on_off\":{\"mean_on\":");
+                push_f64(&mut out, mean_on);
+                out.push_str(",\"mean_off\":");
+                push_f64(&mut out, mean_off);
+                out.push_str("}}");
+            }
+        }
         out.push('}');
     }
     out.push_str("]}");
     out
+}
+
+/// Parses a bus's optional `"arbitration"` declaration:
+/// `"priority"` or `{"locked": max_batch}`.
+fn arbitration_from_json(v: &JsonValue, what: &str) -> Result<BusArbitration, WireError> {
+    if let JsonValue::Str(tag) = v {
+        return match tag.as_str() {
+            "priority" => Ok(BusArbitration::Priority),
+            other => Err(WireError::Schema(format!(
+                "{what}: unknown arbitration \"{other}\""
+            ))),
+        };
+    }
+    reject_unknown(v, what, &["locked"])?;
+    let batch = field(v, what, "locked")?.usize("locked")?;
+    Ok(BusArbitration::Locked { max_batch: batch })
+}
+
+/// Parses a flow's optional `"shape"` declaration:
+/// `{"burst": batch}` or `{"on_off": {"mean_on": …, "mean_off": …}}`.
+fn shape_from_json(v: &JsonValue, what: &str) -> Result<TrafficShape, WireError> {
+    reject_unknown(v, what, &["burst", "on_off"])?;
+    match (v.get("burst"), v.get("on_off")) {
+        (Some(batch), None) => Ok(TrafficShape::Burst {
+            batch: batch.usize("burst")?,
+        }),
+        (None, Some(onoff)) => {
+            let inner = format!("{what}.on_off");
+            reject_unknown(onoff, &inner, &["mean_on", "mean_off"])?;
+            Ok(TrafficShape::OnOff {
+                mean_on: field(onoff, &inner, "mean_on")?.finite_f64("mean_on")?,
+                mean_off: field(onoff, &inner, "mean_off")?.finite_f64("mean_off")?,
+            })
+        }
+        _ => Err(WireError::Schema(format!(
+            "{what}: expected exactly one of \"burst\" or \"on_off\""
+        ))),
+    }
 }
 
 /// Rebuilds an [`Architecture`] from the JSON [`architecture_to_json`]
@@ -732,10 +809,17 @@ pub fn architecture_from_json(v: &JsonValue) -> Result<Architecture, WireError> 
         .enumerate()
     {
         let what = format!("buses[{i}]");
-        reject_unknown(bus, &what, &["name", "service_rate"])?;
+        reject_unknown(bus, &what, &["name", "service_rate", "arbitration"])?;
         let name = field(bus, &what, "name")?.str("name")?;
         let rate = field(bus, &what, "service_rate")?.finite_f64("service_rate")?;
-        bus_ids.push(b.add_bus(name, rate).map_err(domain)?);
+        let arb = match bus.get("arbitration") {
+            Some(a) => arbitration_from_json(a, &format!("{what}.arbitration"))?,
+            None => BusArbitration::External,
+        };
+        bus_ids.push(
+            b.add_bus_with_arbitration(name, rate, arb)
+                .map_err(domain)?,
+        );
     }
     let bus = |idx: usize, what: &str| {
         bus_ids
@@ -767,11 +851,16 @@ pub fn architecture_from_json(v: &JsonValue) -> Result<Architecture, WireError> 
         .enumerate()
     {
         let what = format!("bridges[{i}]");
-        reject_unknown(g, &what, &["name", "from", "to"])?;
+        reject_unknown(g, &what, &["name", "from", "to", "latency"])?;
         let name = field(g, &what, "name")?.str("name")?;
         let from = bus(field(g, &what, "from")?.usize("from")?, &what)?;
         let to = bus(field(g, &what, "to")?.usize("to")?, &what)?;
-        b.add_bridge(name, from, to).map_err(domain)?;
+        let latency = match g.get("latency") {
+            Some(l) => l.finite_f64("latency")?,
+            None => 0.0,
+        };
+        b.add_bridge_with_latency(name, from, to, latency)
+            .map_err(domain)?;
     }
 
     for (i, f) in field(v, "architecture", "flows")?
@@ -780,7 +869,7 @@ pub fn architecture_from_json(v: &JsonValue) -> Result<Architecture, WireError> 
         .enumerate()
     {
         let what = format!("flows[{i}]");
-        reject_unknown(f, &what, &["src", "target", "rate"])?;
+        reject_unknown(f, &what, &["src", "target", "rate", "shape"])?;
         let src_idx = field(f, &what, "src")?.usize("src")?;
         let src = proc_ids.get(src_idx).copied().ok_or_else(|| {
             WireError::Schema(format!("{what}: processor index {src_idx} out of range"))
@@ -802,7 +891,12 @@ pub fn architecture_from_json(v: &JsonValue) -> Result<Architecture, WireError> 
             }
         };
         let rate = field(f, &what, "rate")?.finite_f64("rate")?;
-        b.add_flow(src, target, rate).map_err(domain)?;
+        let shape = match f.get("shape") {
+            Some(s) => shape_from_json(s, &format!("{what}.shape"))?,
+            None => TrafficShape::Poisson,
+        };
+        b.add_flow_shaped(src, target, rate, shape)
+            .map_err(domain)?;
     }
 
     b.build().map_err(domain)
@@ -1203,6 +1297,131 @@ mod tests {
                 Ok(p) => p,
                 Err(_) => continue, // mutation broke the JSON itself — fine
             };
+            assert!(
+                architecture_from_json(&parsed).is_err(),
+                "accepted mutation ({why})"
+            );
+        }
+    }
+
+    #[test]
+    fn plain_architectures_never_emit_extended_keys() {
+        // Default semantics stay off the wire, so documents produced
+        // before the extended declarations existed parse unchanged and
+        // plain architectures keep their historical canonical bytes.
+        for arch in [
+            templates::figure1(),
+            templates::amba(),
+            templates::coreconnect(),
+            templates::network_processor(),
+        ] {
+            let json = architecture_to_json(&arch);
+            for key in ["arbitration", "latency", "shape"] {
+                assert!(
+                    !json.contains(&format!("\"{key}\"")),
+                    "plain architecture emitted \"{key}\": {json}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extended_architecture_roundtrips_through_json() {
+        use socbuf_soc::{BusArbitration, TrafficShape};
+        let mut b = socbuf_soc::ArchitectureBuilder::new();
+        let x = b
+            .add_bus_with_arbitration("x", 2.0, BusArbitration::Priority)
+            .unwrap();
+        let y = b
+            .add_bus_with_arbitration("y", 3.0, BusArbitration::Locked { max_batch: 4 })
+            .unwrap();
+        let p = b.add_processor("p", &[x], 1.0).unwrap();
+        let q = b.add_processor("q", &[y], 1.0).unwrap();
+        b.add_bridge_with_latency("g", x, y, 0.125).unwrap();
+        b.add_flow_shaped(
+            p,
+            FlowTarget::Processor(q),
+            0.5,
+            TrafficShape::Burst { batch: 6 },
+        )
+        .unwrap();
+        b.add_flow_shaped(
+            q,
+            FlowTarget::Bus(y),
+            0.25,
+            TrafficShape::OnOff {
+                mean_on: 2.0,
+                mean_off: 8.0,
+            },
+        )
+        .unwrap();
+        let arch = b.build().unwrap();
+        assert!(arch.uses_extended_semantics());
+
+        let json = architecture_to_json(&arch);
+        let back = architecture_from_json(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(architecture_to_json(&back), json);
+
+        // The declarations survive the trip semantically too.
+        let buses: Vec<_> = back.bus_ids().map(|b| back.bus(b).arbitration()).collect();
+        assert_eq!(
+            buses,
+            [
+                BusArbitration::Priority,
+                BusArbitration::Locked { max_batch: 4 }
+            ]
+        );
+        let g = back.bridge_ids().next().unwrap();
+        assert_eq!(back.bridge(g).latency(), 0.125);
+        let shapes: Vec<_> = back.flow_ids().map(|f| back.flow(f).shape()).collect();
+        assert_eq!(
+            shapes,
+            [
+                TrafficShape::Burst { batch: 6 },
+                TrafficShape::OnOff {
+                    mean_on: 2.0,
+                    mean_off: 8.0
+                }
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_extended_declarations_are_rejected() {
+        use socbuf_soc::{BusArbitration, TrafficShape};
+        let mut b = socbuf_soc::ArchitectureBuilder::new();
+        let x = b
+            .add_bus_with_arbitration("x", 2.0, BusArbitration::Locked { max_batch: 4 })
+            .unwrap();
+        let p = b.add_processor("p", &[x], 1.0).unwrap();
+        b.add_flow_shaped(p, FlowTarget::Bus(x), 0.5, TrafficShape::Burst { batch: 6 })
+            .unwrap();
+        let good = architecture_to_json(&b.build().unwrap());
+        for (mutate, why) in [
+            (
+                good.replace("{\"locked\":4}", "\"round_robin\""),
+                "unknown arbitration tag",
+            ),
+            (
+                good.replace("{\"locked\":4}", "{\"locked\":4,\"x\":1}"),
+                "unknown arbitration field",
+            ),
+            (
+                good.replace("{\"locked\":4}", "{\"locked\":-1}"),
+                "negative batch",
+            ),
+            (
+                good.replace("{\"burst\":6}", "{\"burst\":6,\"on_off\":{}}"),
+                "ambiguous shape",
+            ),
+            (good.replace("{\"burst\":6}", "{}"), "empty shape"),
+            (
+                good.replace("{\"burst\":6}", "{\"on_off\":{\"mean_on\":1.0}}"),
+                "missing mean_off",
+            ),
+        ] {
+            assert_ne!(mutate, good, "mutation was a no-op ({why})");
+            let parsed = JsonValue::parse(&mutate).unwrap();
             assert!(
                 architecture_from_json(&parsed).is_err(),
                 "accepted mutation ({why})"

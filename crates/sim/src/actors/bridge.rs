@@ -1,0 +1,40 @@
+//! Bridge actors: per-hop forwarding latency between buses.
+
+use crate::actors::scheduler::{ActorId, Class, Msg};
+use crate::actors::world::World;
+use crate::request::Request;
+
+/// One unidirectional bridge. The bridge holds no queue of its own — the
+/// destination bus's bridge queue does the buffering — it only delays
+/// each crossing request by its forwarding latency.
+#[derive(Debug)]
+pub(super) struct BridgeActor {
+    /// Deterministic forwarding delay per crossing (0 = immediate).
+    pub latency: f64,
+}
+
+impl BridgeActor {
+    pub fn new(latency: f64) -> Self {
+        BridgeActor { latency }
+    }
+}
+
+impl World<'_> {
+    /// Carries `req` across bridge `g` into `dest_queue`, re-offering it
+    /// after the forwarding latency. The offer carries the request's
+    /// origin flag so end-to-end accounting stays tied to the hop-0
+    /// measurement window (see [`Request`]).
+    pub(super) fn bridge_forward(&mut self, g: usize, req: Request, dest_queue: usize, t: f64) {
+        let latency = self.bridges[g].latency;
+        self.evq.send(
+            t + latency,
+            Class::Data,
+            ActorId::Queue(dest_queue),
+            Msg::Offer {
+                flow: req.flow,
+                hop: req.hop,
+                carried_origin: Some(req.counted_origin),
+            },
+        );
+    }
+}

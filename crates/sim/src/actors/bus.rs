@@ -1,0 +1,265 @@
+//! Bus actors: arbitration, service timing, and the grant state machine.
+
+use socbuf_soc::{BusArbitration, QueueId};
+
+use crate::actors::scheduler::{ActorId, Class, Msg};
+use crate::actors::world::{debug_check_mirror, World};
+use crate::arbiter::QueueView;
+
+/// The bus's grant state machine.
+///
+/// ```text
+///            Kick/Rearm: arbitrate            Ready: draw exp(μ)
+/// Unlocked ───────────────────────▶ Granting ───────────────────▶ Busy │ Locked
+///     ▲                                │                             │       │
+///     │        Drained                 │              Complete       │       │
+///     └────────────────────────────────┘    ◀────────────────────────┘       │
+///     ▲                                                                      │
+///     │        Rearm (lock spent or queue empty)                  Complete   │
+///     └───────────────────────────────────────────── FreeNext ◀──────────────┘
+/// ```
+///
+/// `FreeNext` is the locked-transfer hold: the bus has completed one leg
+/// of a locked batch and, at its re-arm point, gives the locked queue
+/// first refusal on the next leg without a new arbitration draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(super) enum BusState {
+    /// Idle and open to arbitration.
+    Unlocked,
+    /// A grant is in flight to `queue`; `lock_left` is the remaining
+    /// locked-batch budget to carry into service (`None` = unlocked
+    /// transfer).
+    Granting {
+        /// Queue index the grant was sent to.
+        queue: usize,
+        /// Remaining locked-transfer budget after this leg.
+        lock_left: Option<usize>,
+    },
+    /// Serving `queue` since `start`; `queue = None` is an idle slot
+    /// burnt by a slotted (TDMA-style) arbiter.
+    Busy {
+        /// Queue in service, if any.
+        queue: Option<usize>,
+        /// Service start time.
+        start: f64,
+    },
+    /// Serving one leg of a locked transfer for `queue` since `start`,
+    /// with `left` more legs claimable after this one.
+    Locked {
+        /// Queue holding the lock.
+        queue: usize,
+        /// Service start time.
+        start: f64,
+        /// Legs remaining after the current one.
+        left: usize,
+    },
+    /// Between legs of a locked transfer: `queue` may claim the bus
+    /// again (up to `left` more times) before arbitration reopens.
+    FreeNext {
+        /// Queue holding the lock.
+        queue: usize,
+        /// Legs remaining.
+        left: usize,
+    },
+}
+
+/// One bus: its arbitration mode, grant state and occupancy mirror.
+///
+/// The mirror (`lens`) is the bus's copy of its queues' lengths, kept
+/// current by `Occupancy` messages the queues publish on every length
+/// change — arbitration decisions read the mirror, never the queues
+/// directly, so the bus only acts on information that has travelled
+/// through the scheduler.
+#[derive(Debug)]
+pub(super) struct BusActor {
+    pub mode: BusArbitration,
+    pub state: BusState,
+    /// Occupancy mirror, indexed by slot (position in `queue_ids`).
+    pub lens: Vec<usize>,
+    /// The bus's queues in declaration order (= priority order).
+    pub queue_ids: Vec<QueueId>,
+}
+
+impl BusActor {
+    pub fn new(mode: BusArbitration, queue_ids: &[QueueId]) -> Self {
+        BusActor {
+            mode,
+            state: BusState::Unlocked,
+            lens: vec![0; queue_ids.len()],
+            queue_ids: queue_ids.to_vec(),
+        }
+    }
+
+    /// Mirror slot of queue index `q`.
+    fn slot_of(&self, q: usize) -> usize {
+        self.queue_ids
+            .iter()
+            .position(|id| id.index() == q)
+            .expect("queue belongs to this bus")
+    }
+}
+
+impl World<'_> {
+    /// A queue solicits service. Only an unlocked bus reacts; every other
+    /// state already has a grant, a service or a re-arm in flight that
+    /// will reach its own arbitration point.
+    pub(super) fn bus_kick(&mut self, b: usize, t: f64) {
+        if self.buses[b].state == BusState::Unlocked {
+            self.bus_arbitrate(b, t);
+        }
+    }
+
+    /// Runs one arbitration decision and sends the grant (if any).
+    pub(super) fn bus_arbitrate(&mut self, b: usize, t: f64) {
+        debug_check_mirror(self, b);
+        match self.buses[b].mode {
+            BusArbitration::Priority => {
+                // Strict declaration-order priority: first backlogged
+                // slot wins, no randomness consumed.
+                let pick = (0..self.buses[b].lens.len()).find(|&s| self.buses[b].lens[s] > 0);
+                let Some(slot) = pick else {
+                    return;
+                };
+                self.grant(b, self.buses[b].queue_ids[slot].index(), None, t);
+            }
+            BusArbitration::External | BusArbitration::Locked { .. } => {
+                let slotted = self.arbiter.is_slotted();
+                let candidates: Vec<QueueView> = self.buses[b]
+                    .queue_ids
+                    .iter()
+                    .enumerate()
+                    .filter(|&(s, _)| slotted || self.buses[b].lens[s] > 0)
+                    .map(|(s, &id)| QueueView {
+                        id,
+                        len: self.buses[b].lens[s],
+                        capacity: self.queues[id.index()].cap,
+                    })
+                    .collect();
+                // Slotted arbiters only spin when at least one queue
+                // waits; otherwise the bus sleeps until the next kick.
+                if slotted && candidates.iter().all(|c| c.len == 0) {
+                    return;
+                }
+                let Some(pick) = self.arbiter.select(b, &candidates, &mut self.rng) else {
+                    return; // nothing to serve
+                };
+                if slotted && candidates[pick].len == 0 {
+                    // Idle slot: hold the bus one service time for
+                    // nothing.
+                    self.buses[b].state = BusState::Busy {
+                        queue: None,
+                        start: t,
+                    };
+                    let dt = self.exp(self.bus_rate(b));
+                    self.evq
+                        .send(t + dt, Class::Data, ActorId::Bus(b), Msg::Complete);
+                    return;
+                }
+                let q = candidates[pick].id.index();
+                let lock_left = match self.buses[b].mode {
+                    BusArbitration::Locked { max_batch } => Some(max_batch - 1),
+                    _ => None,
+                };
+                self.grant(b, q, lock_left, t);
+            }
+        }
+    }
+
+    /// Sends a grant to queue `q` and records it in the bus state.
+    fn grant(&mut self, b: usize, q: usize, lock_left: Option<usize>, t: f64) {
+        self.buses[b].state = BusState::Granting {
+            queue: q,
+            lock_left,
+        };
+        self.evq.send(t, Class::Data, ActorId::Queue(q), Msg::Grant);
+    }
+
+    /// The granted queue confirmed a committed head: start the service
+    /// clock.
+    pub(super) fn bus_ready(&mut self, b: usize, t: f64) {
+        let BusState::Granting { queue, lock_left } = self.buses[b].state else {
+            unreachable!("Ready outside a grant on bus {b}");
+        };
+        self.buses[b].state = match lock_left {
+            Some(left) if left > 0 => BusState::Locked {
+                queue,
+                start: t,
+                left,
+            },
+            _ => BusState::Busy {
+                queue: Some(queue),
+                start: t,
+            },
+        };
+        let dt = self.exp(self.bus_rate(b));
+        self.evq
+            .send(t + dt, Class::Data, ActorId::Bus(b), Msg::Complete);
+    }
+
+    /// The granted queue turned out empty (timeouts shed its backlog).
+    /// Re-arbitrate only when sheds happened — a clean empty grant means
+    /// the bus simply sleeps until the next kick.
+    pub(super) fn bus_drained(&mut self, b: usize, dropped_any: bool, t: f64) {
+        debug_assert!(matches!(self.buses[b].state, BusState::Granting { .. }));
+        self.buses[b].state = BusState::Unlocked;
+        if dropped_any {
+            self.bus_arbitrate(b, t);
+        }
+    }
+
+    /// The scheduled service completes: notify the served queue (which
+    /// commits statistics and forwards the request) and schedule our own
+    /// re-arbitration *after* the downstream cascade settles.
+    pub(super) fn bus_complete(&mut self, b: usize, t: f64) {
+        match self.buses[b].state {
+            BusState::Busy { queue: None, .. } => {
+                // Idle slot elapsed.
+                self.buses[b].state = BusState::Unlocked;
+            }
+            BusState::Busy {
+                queue: Some(q),
+                start,
+            } => {
+                self.buses[b].state = BusState::Unlocked;
+                self.evq
+                    .send(t, Class::Data, ActorId::Queue(q), Msg::Finish { start });
+            }
+            BusState::Locked { queue, start, left } => {
+                self.buses[b].state = BusState::FreeNext { queue, left };
+                self.evq
+                    .send(t, Class::Data, ActorId::Queue(queue), Msg::Finish { start });
+            }
+            state => unreachable!("Complete on bus {b} in state {state:?}"),
+        }
+        self.evq.send(t, Class::Rearm, ActorId::Bus(b), Msg::Rearm);
+    }
+
+    /// Post-completion re-arm: honour a live lock first, otherwise reopen
+    /// arbitration.
+    pub(super) fn bus_rearm(&mut self, b: usize, t: f64) {
+        match self.buses[b].state {
+            BusState::FreeNext { queue, left } => {
+                let slot = self.buses[b].slot_of(queue);
+                if left > 0 && self.buses[b].lens[slot] > 0 {
+                    // Continuation leg: the locked queue keeps the bus
+                    // without a new arbitration draw.
+                    self.grant(b, queue, Some(left - 1), t);
+                } else {
+                    self.buses[b].state = BusState::Unlocked;
+                    self.bus_arbitrate(b, t);
+                }
+            }
+            BusState::Unlocked => self.bus_arbitrate(b, t),
+            // A same-instant cascade already re-engaged the bus between
+            // the completion and this re-arm; nothing to do.
+            _ => {}
+        }
+    }
+
+    /// Service rate of bus `b`.
+    fn bus_rate(&self, b: usize) -> f64 {
+        self.arch
+            .bus(self.arch.bus_ids().nth(b).expect("bus in range"))
+            .service_rate()
+    }
+}

@@ -1,0 +1,164 @@
+//! Queue actors: bounded buffers with offer/grant/finish protocol and
+//! timeout shedding.
+
+use crate::actors::scheduler::{ActorId, Class, Msg};
+use crate::actors::world::World;
+use crate::request::Request;
+
+/// One bounded contention buffer (a processor's transmit queue or a
+/// bridge buffer).
+///
+/// The queue owns the waiting [`Request`]s. Protocol:
+///
+/// * `Offer` — accept or drop (full-buffer loss), publish occupancy,
+///   kick the bus on acceptance.
+/// * `Grant` — the bus selected this queue: shed stale heads under the
+///   timeout policy, then answer `Ready` (head committed; it stays in
+///   the buffer until `Finish`, so occupancy counts the request in
+///   service) or `Drained` (timeouts emptied the buffer).
+/// * `Finish` — service completed: pop the head, commit `served` and
+///   the wait sample together (see [`crate::QueueStats`]'s measurement
+///   convention), and forward the request across its bridge or count
+///   the delivery.
+#[derive(Debug)]
+pub(super) struct QueueActor {
+    pub bus: usize,
+    /// Position within the bus's queue list (occupancy-mirror slot).
+    pub slot: usize,
+    pub cap: usize,
+    pub buf: std::collections::VecDeque<Request>,
+}
+
+impl QueueActor {
+    pub fn new(bus: usize, slot: usize, cap: usize) -> Self {
+        QueueActor {
+            bus,
+            slot,
+            cap,
+            buf: std::collections::VecDeque::new(),
+        }
+    }
+}
+
+impl World<'_> {
+    /// A request is offered to queue `q` (fresh arrival or bridge
+    /// crossing). Mirrors the legacy engine's `offer` accounting
+    /// exactly; measurement flags are frozen here (see [`Request`]).
+    pub(super) fn queue_offer(
+        &mut self,
+        q: usize,
+        flow: usize,
+        hop: usize,
+        carried_origin: Option<bool>,
+        t: f64,
+    ) {
+        let counted = self.measure(t);
+        let counted_origin = carried_origin.unwrap_or(counted);
+        let origin = self.origin_of(flow);
+        if counted {
+            self.stats.q_offered[q] += 1.0;
+            if carried_origin.is_none() {
+                self.stats.p_offered[origin] += 1.0;
+            }
+        }
+        if self.queues[q].buf.len() >= self.queues[q].cap {
+            if counted {
+                self.stats.q_lost_full[q] += 1.0;
+            }
+            if counted_origin {
+                self.stats.p_lost[origin] += 1.0;
+            }
+            return;
+        }
+        self.touch_queue(q, t);
+        self.queues[q].buf.push_back(Request {
+            flow,
+            hop,
+            enqueued_at: t,
+            counted,
+            counted_origin,
+        });
+        if counted {
+            self.stats.q_accepted[q] += 1.0;
+        }
+        self.send_occupancy(q, t);
+        let bus = self.queues[q].bus;
+        self.evq.send(t, Class::Kick, ActorId::Bus(bus), Msg::Kick);
+    }
+
+    /// The bus granted queue `q`: shed stale heads (timeout policy),
+    /// then confirm `Ready` or report `Drained`.
+    pub(super) fn queue_grant(&mut self, q: usize, t: f64) {
+        let mut dropped_any = false;
+        if let Some(spec) = self.timeout {
+            let threshold = spec.threshold(self.queue_id(q));
+            while let Some(head) = self.queues[q].buf.front() {
+                if t - head.enqueued_at > threshold {
+                    let dropped = *head;
+                    self.touch_queue(q, t);
+                    self.queues[q].buf.pop_front();
+                    if dropped.counted {
+                        self.stats.q_lost_timeout[q] += 1.0;
+                    }
+                    if dropped.counted_origin {
+                        let origin = self.origin_of(dropped.flow);
+                        self.stats.p_lost[origin] += 1.0;
+                    }
+                    dropped_any = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if dropped_any {
+            self.send_occupancy(q, t);
+        }
+        let bus = self.queues[q].bus;
+        if self.queues[q].buf.is_empty() {
+            self.evq.send(
+                t,
+                Class::Data,
+                ActorId::Bus(bus),
+                Msg::Drained { dropped_any },
+            );
+        } else {
+            self.evq.send(t, Class::Data, ActorId::Bus(bus), Msg::Ready);
+        }
+    }
+
+    /// Service of queue `q`'s head (started at `start`) completed.
+    pub(super) fn queue_finish(&mut self, q: usize, start: f64, t: f64) {
+        self.touch_queue(q, t);
+        let req = self.queues[q]
+            .buf
+            .pop_front()
+            .expect("finished queue nonempty");
+        if req.counted {
+            self.stats.q_served[q] += 1.0;
+            self.stats.q_wait_sum[q] += start - req.enqueued_at;
+        }
+        self.send_occupancy(q, t);
+        let fid = self.arch.flow_ids().nth(req.flow).expect("flow in range");
+        let path = self.arch.flow_path(fid);
+        if req.hop + 1 < path.len() {
+            let bridge = self.arch.route(fid).bridges[req.hop].index();
+            let dest_queue = path[req.hop + 1].index();
+            let crossing = Request {
+                hop: req.hop + 1,
+                ..req
+            };
+            self.evq.send(
+                t,
+                Class::Data,
+                ActorId::Bridge(bridge),
+                Msg::Forward {
+                    req: crossing,
+                    dest_queue,
+                },
+            );
+        } else if req.counted_origin {
+            let origin = self.origin_of(req.flow);
+            self.stats.p_delivered[origin] += 1.0;
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The deterministic time-ordered scheduler: envelopes, ordering
+//! classes and the event queue.
+//!
+//! # Determinism contract
+//!
+//! Every message between actors travels as an [`Envelope`] through one
+//! shared [`EventQueue`], ordered by the triple `(time, class, seq)`:
+//!
+//! 1. **time** — simulated delivery time (`f64`, total order via
+//!    `total_cmp`).
+//! 2. **class** — a coarse priority for same-instant cascades:
+//!    [`Class::Data`] (protocol and bookkeeping messages) before
+//!    [`Class::Kick`] (queue → bus service solicitations) before
+//!    [`Class::Rearm`] (a bus's own post-completion re-arbitration).
+//! 3. **seq** — a globally monotone emission counter breaking the
+//!    remaining ties in send order.
+//!
+//! Because `seq` is assigned at send time from a single counter and the
+//! queue is drained by a single dispatch loop, a run is a pure function
+//! of `(architecture, allocation, arbiter, timeout, config)` — there is
+//! no global mutable state, no iteration-order dependence and no
+//! wall-clock input anywhere.
+//!
+//! The class layer is what lets the actor decomposition reproduce the
+//! legacy event loop's RNG draw order *exactly* on shared workloads: at
+//! a completion instant, the freed request first crosses into its
+//! downstream queue and kicks the downstream bus (`Data` then `Kick`,
+//! drawing that bus's arbitration and service samples), and only then
+//! does the completing bus re-arbitrate (`Rearm`) — the same order the
+//! monolithic loop executes those draws in.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::request::Request;
+
+/// Same-instant ordering tier of an envelope (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(super) enum Class {
+    /// Protocol/bookkeeping messages: offers, occupancy updates, grants,
+    /// completions' bookkeeping.
+    Data = 0,
+    /// A queue soliciting service from its bus.
+    Kick = 1,
+    /// A bus's own re-arbitration after one of its completions.
+    Rearm = 2,
+}
+
+/// Destination of an envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum ActorId {
+    /// Traffic source of flow *i*.
+    Source(usize),
+    /// Queue actor of queue *i*.
+    Queue(usize),
+    /// Bus actor of bus *i*.
+    Bus(usize),
+    /// Bridge actor of bridge *i*.
+    Bridge(usize),
+}
+
+/// A message between actors.
+#[derive(Debug, Clone, Copy)]
+pub(super) enum Msg {
+    /// Source self-message: emit the next arrival (epoch-stamped so a
+    /// phase toggle can invalidate in-flight ticks).
+    Tick {
+        /// Source epoch this tick belongs to.
+        epoch: u64,
+    },
+    /// Source self-message: flip the on-off phase.
+    Toggle,
+    /// Offer a request of `flow` to a queue at its `hop`-th path stop.
+    /// `carried_origin` is `None` for a fresh hop-0 offer.
+    Offer {
+        /// Flow index.
+        flow: usize,
+        /// Path position of the receiving queue.
+        hop: usize,
+        /// `Some(counted_origin)` carried across a bridge crossing.
+        carried_origin: Option<bool>,
+    },
+    /// Queue → bus occupancy-mirror update.
+    Occupancy {
+        /// Position of the queue in the bus's queue list.
+        slot: usize,
+        /// Current buffer length.
+        len: usize,
+    },
+    /// Queue → bus: work may be waiting.
+    Kick,
+    /// Bus → queue: you are granted; shed stale heads, then confirm.
+    Grant,
+    /// Queue → bus: head committed, start serving.
+    Ready,
+    /// Queue → bus: the grant found nothing to serve (timeouts drained
+    /// the buffer); `dropped_any` says whether sheds happened.
+    Drained {
+        /// At least one request was shed under this grant.
+        dropped_any: bool,
+    },
+    /// Bus → queue: the request started at `start` finished service.
+    Finish {
+        /// Service start time (for the wait-time sample).
+        start: f64,
+    },
+    /// Bus self-message: the scheduled service completes now.
+    Complete,
+    /// Bus self-message: re-arbitrate after a completion.
+    Rearm,
+    /// Queue → bridge: carry a request to `dest_queue` after the
+    /// bridge's forwarding latency.
+    Forward {
+        /// The crossing request.
+        req: Request,
+        /// Destination queue index.
+        dest_queue: usize,
+    },
+}
+
+/// One scheduled message.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct Envelope {
+    /// Delivery time.
+    pub time: f64,
+    /// Same-instant tier.
+    pub class: Class,
+    /// Emission counter (global, monotone).
+    pub seq: u64,
+    /// Receiver.
+    pub dest: ActorId,
+    /// Payload.
+    pub msg: Msg,
+}
+
+impl PartialEq for Envelope {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.class == other.class && self.seq == other.seq
+    }
+}
+impl Eq for Envelope {}
+impl PartialOrd for Envelope {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Envelope {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for min-heap behaviour inside BinaryHeap.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.class.cmp(&self.class))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The single shared message queue all actors send through.
+#[derive(Debug, Default)]
+pub(super) struct EventQueue {
+    heap: BinaryHeap<Envelope>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Schedules `msg` for `dest` at `time` in tier `class`.
+    pub fn send(&mut self, time: f64, class: Class, dest: ActorId, msg: Msg) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Envelope {
+            time,
+            class,
+            seq,
+            dest,
+            msg,
+        });
+    }
+
+    /// Next envelope in `(time, class, seq)` order.
+    pub fn pop(&mut self) -> Option<Envelope> {
+        self.heap.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelopes_pop_in_time_class_seq_order() {
+        let mut q = EventQueue::default();
+        // Emitted out of order on purpose.
+        q.send(2.0, Class::Data, ActorId::Bus(0), Msg::Kick);
+        q.send(1.0, Class::Rearm, ActorId::Bus(1), Msg::Rearm);
+        q.send(1.0, Class::Data, ActorId::Bus(2), Msg::Kick);
+        q.send(1.0, Class::Kick, ActorId::Bus(3), Msg::Kick);
+        q.send(1.0, Class::Data, ActorId::Bus(4), Msg::Kick);
+        let order: Vec<ActorId> = std::iter::from_fn(|| q.pop()).map(|e| e.dest).collect();
+        assert_eq!(
+            order,
+            vec![
+                ActorId::Bus(2), // t=1 Data, first emitted
+                ActorId::Bus(4), // t=1 Data, second emitted
+                ActorId::Bus(3), // t=1 Kick
+                ActorId::Bus(1), // t=1 Rearm
+                ActorId::Bus(0), // t=2
+            ]
+        );
+    }
+}

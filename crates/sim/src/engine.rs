@@ -10,7 +10,8 @@ use rand::{Rng, SeedableRng};
 use socbuf_soc::{Architecture, BufferAllocation, QueueId};
 
 use crate::arbiter::{Arbiter, QueueView};
-use crate::stats::{ProcStats, QueueStats, SimReport};
+use crate::request::Request;
+use crate::stats::{RawCounters, SimReport};
 
 /// Simulation window and seed.
 #[derive(Debug, Clone)]
@@ -95,13 +96,11 @@ impl TimeoutSpec {
     pub fn threshold(&self, queue: QueueId) -> f64 {
         self.thresholds[queue.index()]
     }
-}
 
-#[derive(Debug, Clone, Copy)]
-struct Request {
-    flow: usize,
-    hop: usize,
-    enqueued_at: f64,
+    /// Number of queues this spec was calibrated for.
+    pub(crate) fn arity(&self) -> usize {
+        self.thresholds.len()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -151,18 +150,7 @@ struct Engine<'a> {
     seq: u64,
     rng: SmallRng,
     warmup: f64,
-    // --- statistics ---
-    q_offered: Vec<f64>,
-    q_accepted: Vec<f64>,
-    q_lost_full: Vec<f64>,
-    q_lost_timeout: Vec<f64>,
-    q_served: Vec<f64>,
-    q_wait_sum: Vec<f64>,
-    q_area: Vec<f64>,
-    q_last_t: Vec<f64>,
-    p_offered: Vec<f64>,
-    p_lost: Vec<f64>,
-    p_delivered: Vec<f64>,
+    stats: RawCounters,
 }
 
 impl<'a> Engine<'a> {
@@ -184,11 +172,8 @@ impl<'a> Engine<'a> {
 
     /// Accumulates queue-length area up to `t` for time-average stats.
     fn touch_queue(&mut self, q: usize, t: f64) {
-        let from = self.q_last_t[q].max(self.warmup);
-        if t > from {
-            self.q_area[q] += self.queues[q].len() as f64 * (t - from);
-        }
-        self.q_last_t[q] = t;
+        let len = self.queues[q].len();
+        self.stats.touch_queue(q, len, t, self.warmup);
     }
 
     fn origin_of(&self, flow: usize) -> usize {
@@ -198,28 +183,48 @@ impl<'a> Engine<'a> {
             .index()
     }
 
-    /// Attempts to place a request into queue `q` at time `t`; returns
-    /// `true` on acceptance, accounting the loss otherwise.
-    fn offer(&mut self, q: usize, req: Request, t: f64, fresh: bool) -> bool {
+    /// Attempts to place a request of `flow` into queue `q` at time `t`;
+    /// returns `true` on acceptance, accounting the loss otherwise.
+    ///
+    /// `carried_origin` is `None` for a fresh (hop 0) offer — the origin
+    /// flag is decided here — and `Some(counted_origin)` for a bridge
+    /// crossing, which carries the flag from the fresh offer unchanged.
+    fn offer(
+        &mut self,
+        q: usize,
+        flow: usize,
+        hop: usize,
+        t: f64,
+        carried_origin: Option<bool>,
+    ) -> bool {
         let counted = self.measure(t);
-        let origin = self.origin_of(req.flow);
+        let counted_origin = carried_origin.unwrap_or(counted);
+        let origin = self.origin_of(flow);
         if counted {
-            self.q_offered[q] += 1.0;
-            if fresh {
-                self.p_offered[origin] += 1.0;
+            self.stats.q_offered[q] += 1.0;
+            if carried_origin.is_none() {
+                self.stats.p_offered[origin] += 1.0;
             }
         }
         if self.queues[q].len() >= self.cap[q] {
             if counted {
-                self.q_lost_full[q] += 1.0;
-                self.p_lost[origin] += 1.0;
+                self.stats.q_lost_full[q] += 1.0;
+            }
+            if counted_origin {
+                self.stats.p_lost[origin] += 1.0;
             }
             return false;
         }
         self.touch_queue(q, t);
-        self.queues[q].push_back(req);
+        self.queues[q].push_back(Request {
+            flow,
+            hop,
+            enqueued_at: t,
+            counted,
+            counted_origin,
+        });
         if counted {
-            self.q_accepted[q] += 1.0;
+            self.stats.q_accepted[q] += 1.0;
         }
         true
     }
@@ -273,13 +278,19 @@ impl<'a> Engine<'a> {
                 let mut dropped_any = false;
                 while let Some(head) = self.queues[q].front() {
                     if t - head.enqueued_at > threshold {
-                        let flow = head.flow;
+                        let dropped = *head;
                         self.touch_queue(q, t);
                         self.queues[q].pop_front();
-                        if self.measure(t) {
-                            let origin = self.origin_of(flow);
-                            self.q_lost_timeout[q] += 1.0;
-                            self.p_lost[origin] += 1.0;
+                        // Losses are keyed on the request's offer-time
+                        // flags, not on the clock at the drop: a request
+                        // offered before warmup never counts as lost, so
+                        // `lost ≤ offered` holds on every window.
+                        if dropped.counted {
+                            self.stats.q_lost_timeout[q] += 1.0;
+                        }
+                        if dropped.counted_origin {
+                            let origin = self.origin_of(dropped.flow);
+                            self.stats.p_lost[origin] += 1.0;
                         }
                         dropped_any = true;
                     } else {
@@ -295,11 +306,9 @@ impl<'a> Engine<'a> {
             }
             // Serve the head (it stays in the queue until completion, so
             // occupancy matches the M/M/1/K convention "K includes the
-            // request in service").
-            let head = self.queues[q].front().expect("nonempty queue");
-            if self.measure(t) {
-                self.q_wait_sum[q] += t - head.enqueued_at;
-            }
+            // request in service"). Waiting time is committed at
+            // completion, together with `served`, off the stored start
+            // time — both keyed on the same offer-time flag.
             self.busy[bus] = Some((Some(q), t));
             let mu = self.arch.bus(bus_id).service_rate();
             let dt = self.exp(mu);
@@ -331,7 +340,10 @@ pub fn simulate(
 /// # Panics
 ///
 /// Panics if `alloc` or the timeout spec do not match the architecture's
-/// queue count, or `config` is malformed (`warmup ≥ horizon`).
+/// queue count, or `config` is malformed (`warmup ≥ horizon`), or the
+/// architecture declares extended semantics (non-Poisson traffic shapes,
+/// declared arbitration, bridge latency) this engine cannot execute — use
+/// [`crate::simulate_actors_with`] for those.
 pub fn simulate_with(
     arch: &Architecture,
     alloc: &BufferAllocation,
@@ -342,6 +354,11 @@ pub fn simulate_with(
     assert!(
         config.warmup < config.horizon,
         "warmup must be shorter than the horizon"
+    );
+    assert!(
+        !arch.uses_extended_semantics(),
+        "architecture declares extended semantics (traffic shapes, arbitration or bridge \
+         latency); the legacy engine cannot execute them — use simulate_actors_with"
     );
     let nq = arch.num_queues();
     assert_eq!(alloc.as_slice().len(), nq, "allocation shape mismatch");
@@ -358,17 +375,7 @@ pub fn simulate_with(
         seq: 0,
         rng: SmallRng::seed_from_u64(config.seed),
         warmup: config.warmup,
-        q_offered: vec![0.0; nq],
-        q_accepted: vec![0.0; nq],
-        q_lost_full: vec![0.0; nq],
-        q_lost_timeout: vec![0.0; nq],
-        q_served: vec![0.0; nq],
-        q_wait_sum: vec![0.0; nq],
-        q_area: vec![0.0; nq],
-        q_last_t: vec![0.0; nq],
-        p_offered: vec![0.0; arch.num_processors()],
-        p_lost: vec![0.0; arch.num_processors()],
-        p_delivered: vec![0.0; arch.num_processors()],
+        stats: RawCounters::new(nq, arch.num_processors()),
     };
 
     // Seed the first arrival of every flow.
@@ -393,23 +400,14 @@ pub fn simulate_with(
 
                 let path = arch.flow_path(fid);
                 let q0 = path[0].index();
-                let accepted = eng.offer(
-                    q0,
-                    Request {
-                        flow,
-                        hop: 0,
-                        enqueued_at: t,
-                    },
-                    t,
-                    true,
-                );
+                let accepted = eng.offer(q0, flow, 0, t, None);
                 if accepted {
                     let bus = arch.queue(path[0]).bus.index();
                     eng.try_start_service(bus, t, arbiter, timeout);
                 }
             }
             EventKind::Completion { bus } => {
-                let (slot, _start) = eng.busy[bus].take().expect("completion on idle bus");
+                let (slot, start) = eng.busy[bus].take().expect("completion on idle bus");
                 let Some(q) = slot else {
                     // An idle TDMA slot elapsed; grant the next one.
                     eng.try_start_service(bus, t, arbiter, timeout);
@@ -417,31 +415,27 @@ pub fn simulate_with(
                 };
                 eng.touch_queue(q, t);
                 let req = eng.queues[q].pop_front().expect("served queue nonempty");
-                if eng.measure(t) {
-                    eng.q_served[q] += 1.0;
+                // `served` and the wait sample commit together, keyed on
+                // the same offer-time flag, so `mean_wait` averages over
+                // exactly the `served` population (no boundary straddle).
+                if req.counted {
+                    eng.stats.q_served[q] += 1.0;
+                    eng.stats.q_wait_sum[q] += start - req.enqueued_at;
                 }
                 let fid = arch.flow_ids().nth(req.flow).expect("flow in range");
                 let path = arch.flow_path(fid);
                 if req.hop + 1 < path.len() {
                     // Cross the bridge into the next queue.
                     let nq_idx = path[req.hop + 1].index();
-                    let accepted = eng.offer(
-                        nq_idx,
-                        Request {
-                            flow: req.flow,
-                            hop: req.hop + 1,
-                            enqueued_at: t,
-                        },
-                        t,
-                        false,
-                    );
+                    let accepted =
+                        eng.offer(nq_idx, req.flow, req.hop + 1, t, Some(req.counted_origin));
                     if accepted {
                         let next_bus = arch.queue(path[req.hop + 1]).bus.index();
                         eng.try_start_service(next_bus, t, arbiter, timeout);
                     }
-                } else if eng.measure(t) {
+                } else if req.counted_origin {
                     let origin = eng.origin_of(req.flow);
-                    eng.p_delivered[origin] += 1.0;
+                    eng.stats.p_delivered[origin] += 1.0;
                 }
                 eng.try_start_service(bus, t, arbiter, timeout);
             }
@@ -453,41 +447,7 @@ pub fn simulate_with(
         eng.touch_queue(q, config.horizon);
     }
 
-    let measured_time = config.horizon - config.warmup;
-    let per_queue: Vec<QueueStats> = (0..nq)
-        .map(|q| QueueStats {
-            offered: eng.q_offered[q],
-            accepted: eng.q_accepted[q],
-            lost_full: eng.q_lost_full[q],
-            lost_timeout: eng.q_lost_timeout[q],
-            served: eng.q_served[q],
-            mean_wait: if eng.q_served[q] > 0.0 {
-                eng.q_wait_sum[q] / eng.q_served[q]
-            } else {
-                0.0
-            },
-            time_avg_len: eng.q_area[q] / measured_time,
-        })
-        .collect();
-    let per_proc: Vec<ProcStats> = (0..arch.num_processors())
-        .map(|p| ProcStats {
-            offered: eng.p_offered[p],
-            lost: eng.p_lost[p],
-            delivered: eng.p_delivered[p],
-        })
-        .collect();
-    let total_offered: f64 = per_proc.iter().map(|p| p.offered).sum();
-    let total_delivered: f64 = per_proc.iter().map(|p| p.delivered).sum();
-    let total_lost: f64 = per_proc.iter().map(|p| p.lost).sum();
-    SimReport {
-        measured_time,
-        per_queue,
-        per_proc,
-        total_offered,
-        total_delivered,
-        total_lost,
-        in_flight: total_offered - total_delivered - total_lost,
-    }
+    eng.stats.into_report(config.horizon - config.warmup)
 }
 
 #[cfg(test)]
@@ -520,9 +480,122 @@ mod tests {
         let cfg = SimConfig::new(800.0, 3);
         let r = simulate(&arch, &alloc, Arbiter::RandomNonempty, &cfg);
         assert!((r.total_offered - r.total_delivered - r.total_lost - r.in_flight).abs() < 1e-9);
-        // Boundary effects (requests straddling the warmup cutoff or the
-        // horizon) keep |in_flight| within the system's storage capacity.
-        assert!(r.in_flight.abs() <= alloc.total() as f64 + 2.0);
+        // Accounting is keyed on offer-time flags, so the residual is the
+        // number of in-window requests still stored at the horizon: never
+        // negative, never more than the system can hold.
+        assert!(r.in_flight >= 0.0);
+        assert!(r.in_flight <= alloc.total() as f64 + arch.num_buses() as f64);
+    }
+
+    #[test]
+    fn loss_fraction_bounded_across_warmup_straddles() {
+        // Regression for the warmup-boundary loss over-count: an
+        // overloaded queue builds a deep pre-warmup backlog, and an
+        // aggressive timeout sheds the whole backlog at the first
+        // service start after warmup. The old code charged every shed to
+        // the measured window (`measure(t)` at drop time) without those
+        // requests ever counting as offered in-window, so `lost_timeout`
+        // exceeded `offered` and `loss_fraction()` exceeded 1 on seeds
+        // where a completion lands inside the short window. Keying on
+        // offer-time flags bounds both on every seed.
+        let arch = single_queue(3.0, 0.1);
+        let alloc = BufferAllocation::new(&arch, vec![30]).unwrap();
+        let spec = TimeoutSpec::new(vec![0.01]);
+        let mut seen_shed = false;
+        for seed in 0..40 {
+            let cfg = SimConfig {
+                horizon: 25.0,
+                warmup: 20.0,
+                seed,
+            };
+            let mut arb = Arbiter::RandomNonempty;
+            let r = simulate_with(&arch, &alloc, &mut arb, Some(&spec), &cfg);
+            let q = &r.per_queue[0];
+            assert!(
+                q.lost_full + q.lost_timeout <= q.offered + 1e-9,
+                "seed {seed}: queue lost {} > offered {}",
+                q.lost_full + q.lost_timeout,
+                q.offered
+            );
+            let lf = r.loss_fraction();
+            assert!(
+                (0.0..=1.0).contains(&lf),
+                "seed {seed}: loss_fraction {lf} out of [0, 1]"
+            );
+            let p = &r.per_proc[0];
+            assert!(
+                p.lost + p.delivered <= p.offered + 1e-9,
+                "seed {seed}: proc lost+delivered {} > offered {}",
+                p.lost + p.delivered,
+                p.offered
+            );
+            assert!(
+                r.in_flight >= -1e-9,
+                "seed {seed}: in_flight {}",
+                r.in_flight
+            );
+            seen_shed |= q.lost_timeout > 0.0;
+        }
+        assert!(seen_shed, "scenario never exercised the timeout policy");
+    }
+
+    #[test]
+    fn wait_and_served_commit_together_across_warmup_boundary() {
+        // Regression for the served/wait_sum straddle. Slow service
+        // (mean 50) against a 30-unit warmup in a 60-unit horizon: hunt
+        // (deterministically, with warmup-free probe runs) for a seed
+        // where the only completion in the measured window belongs to a
+        // request offered before warmup, and the service that then
+        // starts in-window on a long-waiting backlog request completes
+        // past the horizon.
+        let arch = single_queue(0.2, 0.02);
+        let alloc = BufferAllocation::new(&arch, vec![10]).unwrap();
+        let seed = (0..10_000u64)
+            .find(|&s| {
+                let pre = simulate(
+                    &arch,
+                    &alloc,
+                    Arbiter::RandomNonempty,
+                    &SimConfig {
+                        horizon: 30.0,
+                        warmup: 0.0,
+                        seed: s,
+                    },
+                );
+                let full = simulate(
+                    &arch,
+                    &alloc,
+                    Arbiter::RandomNonempty,
+                    &SimConfig {
+                        horizon: 60.0,
+                        warmup: 0.0,
+                        seed: s,
+                    },
+                );
+                pre.per_queue[0].served == 0.0
+                    && pre.per_queue[0].accepted >= 2.0
+                    && full.per_queue[0].served == 1.0
+            })
+            .expect("a straddling seed exists");
+        let r = simulate(
+            &arch,
+            &alloc,
+            Arbiter::RandomNonempty,
+            &SimConfig {
+                horizon: 60.0,
+                warmup: 30.0,
+                seed,
+            },
+        );
+        // New semantics: the pre-warmup request's completion is not
+        // counted, and the in-window service start has not completed, so
+        // both statistics stay zero together. The old code reported
+        // served = 1 (completion clock post-warmup) while `mean_wait`
+        // held the *other* request's backlog delay — inflating
+        // calibration thresholds on short windows.
+        assert_eq!(r.per_queue[0].served, 0.0);
+        assert_eq!(r.per_queue[0].mean_wait, 0.0);
+        assert!(r.per_queue[0].offered > 0.0);
     }
 
     #[test]

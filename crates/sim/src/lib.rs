@@ -39,11 +39,14 @@
 //! assert!((report.total_offered - balance).abs() < 1e-9);
 //! ```
 
+pub mod actors;
 mod arbiter;
 mod engine;
 mod error;
+mod request;
 mod stats;
 
+pub use actors::{simulate_actors, simulate_actors_with, SimEngine};
 pub use arbiter::{Arbiter, QueueView};
 pub use engine::{simulate, simulate_with, SimConfig, TimeoutSpec};
 pub use error::SimError;

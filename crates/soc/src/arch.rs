@@ -3,11 +3,38 @@ use std::collections::HashMap;
 use crate::ids::{BridgeId, BusId, FlowId, ProcId, QueueId};
 use crate::SocError;
 
+/// How a bus grants service among its queues.
+///
+/// The default, [`BusArbitration::External`], leaves the choice to the
+/// simulator's runtime arbiter (the legacy engine's only mode). The
+/// other variants are *declared on the architecture* and executed by the
+/// actor-based simulator; the legacy event-loop engine cannot express
+/// them and refuses architectures that use them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusArbitration {
+    /// Arbitration is chosen at simulation time (`socbuf-sim`'s
+    /// `Arbiter`). The default — every pre-existing architecture uses it.
+    External,
+    /// Strict fixed-priority arbitration: every queue on the bus has a
+    /// unique priority given by its declaration order (first declared =
+    /// highest), and the bus always serves the highest-priority
+    /// non-empty queue.
+    Priority,
+    /// Locked transfers: once a queue is granted (by the runtime
+    /// arbiter), it holds the bus for up to `max_batch` consecutive
+    /// services — or until it drains — before arbitration reopens.
+    Locked {
+        /// Maximum consecutive services per grant (≥ 1).
+        max_batch: usize,
+    },
+}
+
 /// A shared bus: one request served at a time at an exponential rate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Bus {
     name: String,
     service_rate: f64,
+    arbitration: BusArbitration,
 }
 
 impl Bus {
@@ -19,6 +46,11 @@ impl Bus {
     /// Exponential service rate μ (requests per unit time).
     pub fn service_rate(&self) -> f64 {
         self.service_rate
+    }
+
+    /// The declared arbitration mode.
+    pub fn arbitration(&self) -> BusArbitration {
+        self.arbitration
     }
 }
 
@@ -60,6 +92,7 @@ pub struct Bridge {
     name: String,
     from: BusId,
     to: BusId,
+    latency: f64,
 }
 
 impl Bridge {
@@ -77,6 +110,14 @@ impl Bridge {
     pub fn to(&self) -> BusId {
         self.to
     }
+
+    /// Deterministic forwarding latency: the delay between a request
+    /// finishing service on the upstream bus and being offered to the
+    /// bridge buffer. `0` (the default) is the paper's instantaneous
+    /// crossing; positive latencies are an actor-engine extension.
+    pub fn latency(&self) -> f64 {
+        self.latency
+    }
 }
 
 /// Destination of a traffic flow.
@@ -90,12 +131,50 @@ pub enum FlowTarget {
     Bus(BusId),
 }
 
-/// A Poisson traffic flow from a source processor to a target.
+/// The arrival process of a flow.
+///
+/// Every shape preserves the flow's declared *average* rate λ, so
+/// LP-sized buffers can be cross-validated under burstiness at the same
+/// offered load. Only [`TrafficShape::Poisson`] (the default, and the
+/// paper's model) is expressible by the legacy event-loop engine; the
+/// other shapes require the actor-based simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficShape {
+    /// Memoryless Poisson arrivals at rate λ (the default).
+    Poisson,
+    /// Batched arrivals: bursts of `batch` back-to-back requests at
+    /// Poisson epochs of rate `λ / batch` (average rate still λ).
+    /// `batch = 1` is exactly Poisson.
+    Burst {
+        /// Requests per burst (≥ 1).
+        batch: usize,
+    },
+    /// A two-state on-off MMPP: exponential ON sojourns of mean
+    /// `mean_on` alternating with silent OFF sojourns of mean
+    /// `mean_off`; while ON, arrivals are Poisson at rate
+    /// `λ · (mean_on + mean_off) / mean_on` (average rate still λ).
+    OnOff {
+        /// Mean ON-phase duration (> 0, finite).
+        mean_on: f64,
+        /// Mean OFF-phase duration (> 0, finite).
+        mean_off: f64,
+    },
+}
+
+impl TrafficShape {
+    /// `true` for the default memoryless shape.
+    pub fn is_poisson(&self) -> bool {
+        matches!(self, TrafficShape::Poisson) || matches!(self, TrafficShape::Burst { batch: 1 })
+    }
+}
+
+/// A traffic flow from a source processor to a target.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Flow {
     src: ProcId,
     target: FlowTarget,
     rate: f64,
+    shape: TrafficShape,
 }
 
 impl Flow {
@@ -109,9 +188,14 @@ impl Flow {
         self.target
     }
 
-    /// Poisson arrival rate λ.
+    /// Average arrival rate λ.
     pub fn rate(&self) -> f64 {
         self.rate
+    }
+
+    /// The declared arrival process shape.
+    pub fn shape(&self) -> TrafficShape {
+        self.shape
     }
 }
 
@@ -334,6 +418,22 @@ impl Architecture {
         self.flows.iter().map(|f| f.rate).sum()
     }
 
+    /// `true` when the architecture declares behavior only the
+    /// actor-based simulator can execute: a non-Poisson traffic shape
+    /// (`Burst { batch: 1 }` counts as Poisson — it is the same
+    /// process), a non-[`BusArbitration::External`] bus, or a bridge
+    /// with positive forwarding latency. The legacy event-loop engine
+    /// refuses such architectures instead of silently ignoring the
+    /// declarations.
+    pub fn uses_extended_semantics(&self) -> bool {
+        self.flows.iter().any(|f| !f.shape.is_poisson())
+            || self
+                .buses
+                .iter()
+                .any(|b| b.arbitration != BusArbitration::External)
+            || self.bridges.iter().any(|g| g.latency > 0.0)
+    }
+
     /// A copy of this architecture with every flow rate multiplied by
     /// `lambda_factor` and every bus service rate by `mu_factor`.
     ///
@@ -362,6 +462,20 @@ impl Architecture {
         }
         for flow in &mut scaled.flows {
             flow.rate *= lambda_factor;
+            // On-off sojourns are arrival-side durations: scaling λ by a
+            // factor shrinks the arrival time unit by the same factor, so
+            // the mean phase lengths divide by it. Burst batch counts are
+            // dimensionless and stay put.
+            if let TrafficShape::OnOff { mean_on, mean_off } = &mut flow.shape {
+                *mean_on /= lambda_factor;
+                *mean_off /= lambda_factor;
+            }
+        }
+        // Bridge latency is a service-side duration, so it divides by the
+        // service-rate factor: scaling both factors together remains a
+        // pure change of time unit even on extended architectures.
+        for bridge in &mut scaled.bridges {
+            bridge.latency /= mu_factor;
         }
         // `offered_rate` is Σ of flow rates, so it scales with λ.
         for queue in &mut scaled.queues {
@@ -431,8 +545,37 @@ impl ArchitectureBuilder {
                 value: service_rate,
             });
         }
-        self.buses.push(Bus { name, service_rate });
+        self.buses.push(Bus {
+            name,
+            service_rate,
+            arbitration: BusArbitration::External,
+        });
         Ok(BusId(self.buses.len() - 1))
+    }
+
+    /// Adds a bus with an explicit [`BusArbitration`] mode. Non-default
+    /// modes require the actor-based simulator.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::BadRate`] if the rate is not positive and finite, or
+    /// if the mode is `Locked { max_batch: 0 }`.
+    pub fn add_bus_with_arbitration(
+        &mut self,
+        name: impl Into<String>,
+        service_rate: f64,
+        arbitration: BusArbitration,
+    ) -> Result<BusId, SocError> {
+        let name = name.into();
+        if let BusArbitration::Locked { max_batch: 0 } = arbitration {
+            return Err(SocError::BadRate {
+                what: format!("bus '{name}' locked max_batch"),
+                value: 0.0,
+            });
+        }
+        let id = self.add_bus(name, service_rate)?;
+        self.buses[id.0].arbitration = arbitration;
+        Ok(id)
     }
 
     /// Adds a processor attached to `buses` with loss weight `weight`.
@@ -496,8 +639,39 @@ impl ArchitectureBuilder {
                 value: from.0 as f64,
             });
         }
-        self.bridges.push(Bridge { name, from, to });
+        self.bridges.push(Bridge {
+            name,
+            from,
+            to,
+            latency: 0.0,
+        });
         Ok(BridgeId(self.bridges.len() - 1))
+    }
+
+    /// Adds a unidirectional bridge with a deterministic forwarding
+    /// latency. A positive latency requires the actor-based simulator.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ArchitectureBuilder::add_bridge`], plus
+    /// [`SocError::BadRate`] for a negative or non-finite latency.
+    pub fn add_bridge_with_latency(
+        &mut self,
+        name: impl Into<String>,
+        from: BusId,
+        to: BusId,
+        latency: f64,
+    ) -> Result<BridgeId, SocError> {
+        let name = name.into();
+        if latency < 0.0 || !latency.is_finite() {
+            return Err(SocError::BadRate {
+                what: format!("bridge '{name}' latency"),
+                value: latency,
+            });
+        }
+        let id = self.add_bridge(name, from, to)?;
+        self.bridges[id.0].latency = latency;
+        Ok(id)
     }
 
     /// Adds both directions of a bridge pair (`a → b` and `b → a`),
@@ -549,8 +723,54 @@ impl ArchitectureBuilder {
                 value: rate,
             });
         }
-        self.flows.push(Flow { src, target, rate });
+        self.flows.push(Flow {
+            src,
+            target,
+            rate,
+            shape: TrafficShape::Poisson,
+        });
         Ok(FlowId(self.flows.len() - 1))
+    }
+
+    /// Adds a flow with an explicit [`TrafficShape`]. Non-Poisson shapes
+    /// require the actor-based simulator.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ArchitectureBuilder::add_flow`], plus
+    /// [`SocError::BadRate`] for `Burst { batch: 0 }` or for on-off mean
+    /// sojourns that are not positive and finite.
+    pub fn add_flow_shaped(
+        &mut self,
+        src: ProcId,
+        target: FlowTarget,
+        rate: f64,
+        shape: TrafficShape,
+    ) -> Result<FlowId, SocError> {
+        match shape {
+            TrafficShape::Poisson => {}
+            TrafficShape::Burst { batch } => {
+                if batch == 0 {
+                    return Err(SocError::BadRate {
+                        what: format!("flow from {src} burst batch"),
+                        value: 0.0,
+                    });
+                }
+            }
+            TrafficShape::OnOff { mean_on, mean_off } => {
+                for (what, v) in [("mean_on", mean_on), ("mean_off", mean_off)] {
+                    if v <= 0.0 || !v.is_finite() {
+                        return Err(SocError::BadRate {
+                            what: format!("flow from {src} on-off {what}"),
+                            value: v,
+                        });
+                    }
+                }
+            }
+        }
+        let id = self.add_flow(src, target, rate)?;
+        self.flows[id.0].shape = shape;
+        Ok(id)
     }
 
     /// Routes every flow (shortest bridge path), enumerates the queues
@@ -887,6 +1107,134 @@ mod tests {
         for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
             assert!(a.scale_rates(bad, 1.0).is_err());
             assert!(a.scale_rates(1.0, bad).is_err());
+        }
+    }
+
+    #[test]
+    fn extended_semantics_detection_and_validation() {
+        // Defaults: nothing extended.
+        let a = two_bus().build().unwrap();
+        assert!(!a.uses_extended_semantics());
+        assert_eq!(a.bus(BusId(0)).arbitration(), BusArbitration::External);
+        assert_eq!(a.bridge(BridgeId(0)).latency(), 0.0);
+        assert_eq!(a.flow(FlowId(0)).shape(), TrafficShape::Poisson);
+
+        // Burst { batch: 1 } is Poisson, so still not extended.
+        let mut b = ArchitectureBuilder::new();
+        let x = b.add_bus("x", 1.0).unwrap();
+        let p = b.add_processor("p", &[x], 1.0).unwrap();
+        let q = b.add_processor("q", &[x], 1.0).unwrap();
+        b.add_flow_shaped(
+            p,
+            FlowTarget::Processor(q),
+            0.5,
+            TrafficShape::Burst { batch: 1 },
+        )
+        .unwrap();
+        assert!(!b.build().unwrap().uses_extended_semantics());
+
+        // Each extension flips the flag on its own.
+        let mut b = ArchitectureBuilder::new();
+        let x = b
+            .add_bus_with_arbitration("x", 1.0, BusArbitration::Priority)
+            .unwrap();
+        let p = b.add_processor("p", &[x], 1.0).unwrap();
+        let q = b.add_processor("q", &[x], 1.0).unwrap();
+        b.add_flow(p, FlowTarget::Processor(q), 0.5).unwrap();
+        assert!(b.build().unwrap().uses_extended_semantics());
+
+        let mut b = ArchitectureBuilder::new();
+        let x = b.add_bus("x", 1.0).unwrap();
+        let y = b.add_bus("y", 1.0).unwrap();
+        let p = b.add_processor("p", &[x], 1.0).unwrap();
+        b.add_bridge_with_latency("g", x, y, 0.25).unwrap();
+        b.add_flow(p, FlowTarget::Bus(y), 0.1).unwrap();
+        assert!(b.build().unwrap().uses_extended_semantics());
+
+        let mut b = ArchitectureBuilder::new();
+        let x = b.add_bus("x", 1.0).unwrap();
+        let p = b.add_processor("p", &[x], 1.0).unwrap();
+        let q = b.add_processor("q", &[x], 1.0).unwrap();
+        b.add_flow_shaped(
+            p,
+            FlowTarget::Processor(q),
+            0.5,
+            TrafficShape::OnOff {
+                mean_on: 1.0,
+                mean_off: 3.0,
+            },
+        )
+        .unwrap();
+        assert!(b.build().unwrap().uses_extended_semantics());
+
+        // Validation of the extended declarations.
+        let mut b = ArchitectureBuilder::new();
+        assert!(b
+            .add_bus_with_arbitration("x", 1.0, BusArbitration::Locked { max_batch: 0 })
+            .is_err());
+        let x = b
+            .add_bus_with_arbitration("x", 1.0, BusArbitration::Locked { max_batch: 4 })
+            .unwrap();
+        let y = b.add_bus("y", 1.0).unwrap();
+        assert!(b.add_bridge_with_latency("g", x, y, -1.0).is_err());
+        assert!(b.add_bridge_with_latency("g", x, y, f64::NAN).is_err());
+        let p = b.add_processor("p", &[x], 1.0).unwrap();
+        let tgt = FlowTarget::Bus(x);
+        assert!(b
+            .add_flow_shaped(p, tgt, 0.5, TrafficShape::Burst { batch: 0 })
+            .is_err());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(b
+                .add_flow_shaped(
+                    p,
+                    tgt,
+                    0.5,
+                    TrafficShape::OnOff {
+                        mean_on: bad,
+                        mean_off: 1.0
+                    }
+                )
+                .is_err());
+            assert!(b
+                .add_flow_shaped(
+                    p,
+                    tgt,
+                    0.5,
+                    TrafficShape::OnOff {
+                        mean_on: 1.0,
+                        mean_off: bad
+                    }
+                )
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn scale_rates_rescales_extended_durations() {
+        let mut b = ArchitectureBuilder::new();
+        let x = b.add_bus("x", 1.0).unwrap();
+        let y = b.add_bus("y", 2.0).unwrap();
+        let p = b.add_processor("p", &[x], 1.0).unwrap();
+        b.add_bridge_with_latency("g", x, y, 0.5).unwrap();
+        b.add_flow_shaped(
+            p,
+            FlowTarget::Bus(y),
+            0.3,
+            TrafficShape::OnOff {
+                mean_on: 2.0,
+                mean_off: 6.0,
+            },
+        )
+        .unwrap();
+        let a = b.build().unwrap();
+        let s = a.scale_rates(4.0, 2.0).unwrap();
+        assert_eq!(s.bridge(BridgeId(0)).latency(), 0.25);
+        match s.flow(FlowId(0)).shape() {
+            TrafficShape::OnOff { mean_on, mean_off } => {
+                assert_eq!(mean_on, 0.5);
+                assert_eq!(mean_off, 1.5);
+            }
+            other => panic!("shape changed: {other:?}"),
         }
     }
 

@@ -46,8 +46,8 @@ pub mod templates;
 
 pub use alloc::BufferAllocation;
 pub use arch::{
-    Architecture, ArchitectureBuilder, Bridge, Bus, Client, Flow, FlowTarget, Processor, QueueSpec,
-    Route,
+    Architecture, ArchitectureBuilder, Bridge, Bus, BusArbitration, Client, Flow, FlowTarget,
+    Processor, QueueSpec, Route, TrafficShape,
 };
 pub use error::SocError;
 pub use ids::{BridgeId, BusId, FlowId, ProcId, QueueId};

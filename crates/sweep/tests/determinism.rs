@@ -161,6 +161,59 @@ fn pooled_replications_match_the_serial_pipeline_bit_for_bit() {
 }
 
 #[test]
+fn actor_engine_sweep_matches_legacy_byte_for_byte() {
+    // On plain architectures the actor engine is a drop-in replacement
+    // for the legacy event loop (same draws, same statistics), so an
+    // entire simulating campaign must render byte-identically whichever
+    // engine the pipeline config names — and under `Auto`, which
+    // dispatches plain architectures to the legacy engine.
+    let arch = templates::figure1();
+    let run = |engine: socbuf_core::SimEngine| {
+        let mut sweep = BudgetSweep::new(&arch, vec![16, 22, 30]);
+        sweep.sizing = SizingConfig::small();
+        sweep.simulate = Some(PipelineConfig {
+            sim_engine: engine,
+            ..PipelineConfig::small()
+        });
+        sweep.run(&WorkPool::new(4)).unwrap()
+    };
+    let legacy = run(socbuf_core::SimEngine::Legacy);
+    let actors = run(socbuf_core::SimEngine::Actors);
+    let auto = run(socbuf_core::SimEngine::Auto);
+    assert_eq!(legacy.to_csv(), actors.to_csv());
+    assert_eq!(legacy.to_jsonl(), actors.to_jsonl());
+    assert_eq!(legacy.to_csv(), auto.to_csv());
+}
+
+#[test]
+fn extended_architecture_sweep_is_worker_count_independent() {
+    // Extended semantics (priority arbitration, bursty flows) only run
+    // on the actor engine; the determinism contract must hold there too.
+    let mut b = socbuf_soc::ArchitectureBuilder::new();
+    let x = b
+        .add_bus_with_arbitration("x", 4.0, socbuf_soc::BusArbitration::Priority)
+        .unwrap();
+    let p = b.add_processor("p", &[x], 1.0).unwrap();
+    let q = b.add_processor("q", &[x], 1.0).unwrap();
+    b.add_flow_shaped(
+        p,
+        socbuf_soc::FlowTarget::Bus(x),
+        0.9,
+        socbuf_soc::TrafficShape::Burst { batch: 4 },
+    )
+    .unwrap();
+    b.add_flow(q, socbuf_soc::FlowTarget::Bus(x), 0.7).unwrap();
+    let arch = b.build().unwrap();
+    assert!(arch.uses_extended_semantics());
+    assert_scheduling_independent("extended budget sweep", |pool| {
+        let mut sweep = BudgetSweep::new(&arch, vec![8, 12, 16]);
+        sweep.sizing = SizingConfig::small();
+        sweep.simulate = Some(PipelineConfig::small());
+        sweep.run(pool).unwrap()
+    });
+}
+
+#[test]
 fn renderings_are_stable_across_reruns() {
     // Same campaign, same process, two runs: byte-identical (no hidden
     // global state, no time- or address-dependent output).

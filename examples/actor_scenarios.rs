@@ -1,0 +1,97 @@
+//! Scenario shapes only the actor-based simulator core can express:
+//! priority arbitration, locked (batched) bus transfers, and bursty /
+//! on-off traffic sources.
+//!
+//! The legacy event loop simulates exactly the paper's model — Poisson
+//! sources, externally arbitrated buses, zero-latency bridges. The
+//! actor core reproduces that model bit-for-bit (see the
+//! `actor_equivalence` suite) and then extends it with declarations on
+//! the architecture itself; `SimEngine::Auto` routes any architecture
+//! using them to the actor engine automatically.
+//!
+//! Run with `cargo run --release --example actor_scenarios`.
+
+use socbuf::sim::{Arbiter, SimConfig, SimEngine};
+use socbuf::soc::{
+    Architecture, ArchitectureBuilder, BufferAllocation, BusArbitration, FlowTarget, TrafficShape,
+};
+
+/// Two clients sharing one bus at equal rates; only the declarations
+/// differ between scenarios.
+fn two_clients(
+    arbitration: BusArbitration,
+    shape_a: TrafficShape,
+    shape_b: TrafficShape,
+) -> Architecture {
+    let mut b = ArchitectureBuilder::new();
+    let bus = b.add_bus_with_arbitration("bus", 4.0, arbitration).unwrap();
+    let p = b.add_processor("p", &[bus], 1.0).unwrap();
+    let q = b.add_processor("q", &[bus], 1.0).unwrap();
+    b.add_flow_shaped(p, FlowTarget::Bus(bus), 1.6, shape_a)
+        .unwrap();
+    b.add_flow_shaped(q, FlowTarget::Bus(bus), 1.6, shape_b)
+        .unwrap();
+    b.build().unwrap()
+}
+
+fn run(arch: &Architecture) -> socbuf::sim::SimReport {
+    let alloc = BufferAllocation::uniform(arch, 6);
+    let cfg = SimConfig::new(20_000.0, 2005);
+    // Auto picks the actor engine for every architecture built here —
+    // each one declares at least one extended semantic.
+    SimEngine::Auto.simulate_with(arch, &alloc, &mut Arbiter::RandomNonempty, None, &cfg)
+}
+
+fn main() {
+    let poisson = TrafficShape::Poisson;
+    let burst = TrafficShape::Burst { batch: 8 };
+    let onoff = TrafficShape::OnOff {
+        mean_on: 2.0,
+        mean_off: 6.0,
+    };
+
+    println!("Two clients, one bus (mu = 4), both flows at lambda = 1.6.\n");
+    println!(
+        "{:<44} {:>8} {:>8} {:>9} {:>9}",
+        "scenario", "wait[p]", "wait[q]", "loss[p]", "loss[q]"
+    );
+    for (label, arch) in [
+        (
+            "external arbitration, Poisson + Poisson",
+            two_clients(BusArbitration::External, poisson, poisson),
+        ),
+        (
+            "priority to p, Poisson + Poisson",
+            two_clients(BusArbitration::Priority, poisson, poisson),
+        ),
+        (
+            "external arbitration, Burst{8} + Poisson",
+            two_clients(BusArbitration::External, burst, poisson),
+        ),
+        (
+            "locked transfers {4}, Burst{8} + Poisson",
+            two_clients(BusArbitration::Locked { max_batch: 4 }, burst, poisson),
+        ),
+        (
+            "external arbitration, OnOff + Poisson",
+            two_clients(BusArbitration::External, onoff, poisson),
+        ),
+    ] {
+        let r = run(&arch);
+        println!(
+            "{label:<44} {:>8.3} {:>8.3} {:>8.1}% {:>8.1}%",
+            r.per_queue[0].mean_wait,
+            r.per_queue[1].mean_wait,
+            100.0 * r.per_proc[0].lost / r.per_proc[0].offered,
+            100.0 * r.per_proc[1].lost / r.per_proc[1].offered,
+        );
+    }
+
+    println!();
+    println!("Readings (every run is deterministic per seed):");
+    println!("- priority starves the second-declared client's waits in favor of the first;");
+    println!("- bursty arrivals raise loss at the same average rate (finite buffers");
+    println!("  punish trains of arrivals that Poisson smoothness avoids);");
+    println!("- locked transfers drain a bursty client's trains back-to-back, trading");
+    println!("  the other client's latency for the bursty one's.");
+}

@@ -31,6 +31,7 @@ fn main() {
         warmup: 50.0,
         seed: 2005,
         replications: 3,
+        ..PipelineConfig::default()
     });
 
     let pool = WorkPool::available();

@@ -49,6 +49,7 @@ fn network_processor_resizing_beats_static_baseline() {
         warmup: 50.0,
         seed: 42,
         replications: 3,
+        ..PipelineConfig::default()
     };
     let cmp = evaluate_policies(&arch, 160, &config).unwrap();
     assert!(
@@ -85,6 +86,7 @@ fn table1_budget_trend_holds() {
         warmup: 40.0,
         seed: 11,
         replications: 2,
+        ..PipelineConfig::default()
     };
     let mut last = f64::INFINITY;
     for budget in [160usize, 320, 640] {

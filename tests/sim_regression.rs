@@ -24,20 +24,25 @@ use socbuf::soc::{templates, ArchitectureBuilder, BufferAllocation, FlowTarget};
 /// `Arbiter::FixedSlot`, seed 2005, horizon 1000, warmup 100 —
 /// identical in debug and release builds (the engine orders events by
 /// (time, sequence), never by float identity games).
+///
+/// Pins regenerated when the measurement-window statistics were fixed:
+/// `served` now counts only requests *offered* inside the window (the
+/// same population `mean_wait` averages over), so a handful of
+/// warmup-straddling services left the counts.
 const SNAPSHOT: &[(f64, f64, f64)] = &[
     // (offered, lost_full, served) per queue
     (137.0, 0.0, 136.0),
-    (288.0, 61.0, 228.0),
+    (288.0, 61.0, 225.0),
     (86.0, 0.0, 85.0),
     (85.0, 4.0, 81.0),
     (85.0, 7.0, 76.0),
     (76.0, 4.0, 72.0),
     (84.0, 1.0, 82.0),
-    (82.0, 1.0, 82.0),
-    (93.0, 13.0, 82.0),
+    (82.0, 1.0, 81.0),
+    (93.0, 13.0, 80.0),
     (187.0, 11.0, 175.0),
 ];
-const SNAPSHOT_TOTALS: (f64, f64, f64) = (874.0, 102.0, 770.0); // offered, lost, delivered
+const SNAPSHOT_TOTALS: (f64, f64, f64) = (874.0, 102.0, 764.0); // offered, lost, delivered
 
 #[test]
 fn fixed_seed_snapshot_is_stable() {
@@ -59,6 +64,29 @@ fn fixed_seed_snapshot_is_stable() {
     assert_eq!(r.total_offered, offered);
     assert_eq!(r.total_lost, lost);
     assert_eq!(r.total_delivered, delivered);
+}
+
+#[test]
+fn actor_engine_reproduces_the_snapshot() {
+    // The pins above bind the *legacy* engine; the actor core must land
+    // on the identical report — same RNG stream, same statistics — so
+    // one set of pins covers both engines.
+    let arch = templates::figure1();
+    let alloc = BufferAllocation::uniform(&arch, 22);
+    let cfg = SimConfig {
+        horizon: 1000.0,
+        warmup: 100.0,
+        seed: 2005,
+    };
+    let legacy = simulate(&arch, &alloc, Arbiter::FixedSlot, &cfg);
+    let actors = socbuf::sim::SimEngine::Actors.simulate_with(
+        &arch,
+        &alloc,
+        &mut Arbiter::FixedSlot,
+        None,
+        &cfg,
+    );
+    assert_eq!(legacy, actors);
 }
 
 #[test]
