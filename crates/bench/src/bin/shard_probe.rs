@@ -1,0 +1,302 @@
+//! Developer probe for sharded campaign execution: a coordinator plus
+//! two real shard-server processes on loopback sockets, byte-diffed
+//! against the serial single-host pipeline.
+//!
+//! `--worker` turns this same binary into a shard server (ephemeral
+//! port announced as `PORT <n>` on stdout, lifetime tied to stdin —
+//! see [`socbuf_serve::shard_worker_main`]), so the probe needs no
+//! second binary built or found: it spawns itself.
+//!
+//! `--smoke` runs the CI gate:
+//!
+//! * **byte-identical merge (always enforced)** — fanning the
+//!   manifest's chunks over two shard processes and merging the chunk
+//!   reports must reproduce the serial run's CSV and JSONL byte for
+//!   byte, for every shard assignment the round-robin produces;
+//! * **coverage verification (always enforced)** — the reducer must
+//!   reject a dropped chunk and a duplicated chunk with the named
+//!   structured errors;
+//! * **warm transfer (always enforced)** — a shard seeded with a
+//!   [`socbuf_core::BasisSnapshot`] exported from a warm peer must
+//!   solve its first chunk with measurably fewer simplex pivots than
+//!   the same chunk cold (and identical semantic bytes);
+//! * **fan-out wall time (enforced when the host has ≥ 2 cores)** —
+//!   best-of-repeats: two shards must finish the campaign faster than
+//!   one shard over the same sockets. Skipped on single-core hosts,
+//!   same policy as `serve_probe`.
+
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use socbuf_core::wire::CampaignManifest;
+use socbuf_core::SizingConfig;
+use socbuf_serve::{Client, RetryPolicy, ShardFleet};
+use socbuf_soc::templates;
+use socbuf_sweep::{merge_chunk_reports, run_manifest, BudgetSweep, MergeError, WorkPool};
+
+/// Heavy enough per point that warm-chain and seeding effects are
+/// measurable, light enough for CI (same scale as `serve_probe`).
+fn smoke_sizing() -> SizingConfig {
+    SizingConfig {
+        state_cap: 16,
+        effort_levels: 4,
+        ..SizingConfig::default()
+    }
+}
+
+/// Ten budgets → three warm chains of ≤ 4: enough chunks that a
+/// two-shard round-robin splits them unevenly ({0,2} vs {1}).
+fn smoke_budgets() -> Vec<usize> {
+    vec![200, 216, 232, 248, 264, 280, 296, 312, 328, 344]
+}
+
+/// One self-exec'd shard-server process. Dropping it closes the
+/// worker's stdin, which is its shutdown signal.
+struct ShardProcess {
+    child: Child,
+    _stdin: ChildStdin,
+    addr: SocketAddr,
+}
+
+impl ShardProcess {
+    fn spawn() -> ShardProcess {
+        let exe = std::env::current_exe().expect("own executable path");
+        let mut child = Command::new(exe)
+            .arg("--worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap_or_else(|e| {
+                eprintln!("cannot spawn shard worker: {e}");
+                std::process::exit(2);
+            });
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("worker announces its port");
+        let port: u16 = line
+            .trim()
+            .strip_prefix("PORT ")
+            .unwrap_or_else(|| {
+                eprintln!("worker printed {line:?}, expected \"PORT <n>\"");
+                std::process::exit(2);
+            })
+            .parse()
+            .expect("valid port");
+        let stdin = child.stdin.take().expect("piped stdin");
+        ShardProcess {
+            child,
+            _stdin: stdin,
+            addr: SocketAddr::from(([127, 0, 0, 1], port)),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_tcp(self.addr).expect("connect to shard")
+    }
+}
+
+impl Drop for ShardProcess {
+    fn drop(&mut self) {
+        // The EOF signal (dropping `_stdin`) is the graceful path;
+        // kill() on top keeps cleanup robust if the worker ever hangs.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Times one whole-campaign fan-out over `shards` (chunks round-robin,
+/// merge included).
+fn timed_fanout(
+    manifest: &CampaignManifest,
+    shards: &[&ShardProcess],
+) -> (socbuf_sweep::SweepReport, Duration) {
+    let mut fleet = ShardFleet::new(
+        shards.iter().map(|s| s.client()).collect(),
+        RetryPolicy::default(),
+    );
+    let t = Instant::now();
+    let reports = fleet.run_manifest(manifest, false).unwrap_or_else(|e| {
+        eprintln!("fan-out failed: {e}");
+        std::process::exit(2);
+    });
+    let merged = merge_chunk_reports(manifest, &reports).unwrap_or_else(|e| {
+        eprintln!("merge failed: {e}");
+        std::process::exit(2);
+    });
+    (merged, t.elapsed())
+}
+
+/// CI-sized gate; exits nonzero on regression.
+fn smoke() -> i32 {
+    let arch = templates::network_processor();
+    let config = smoke_sizing();
+    let mut sweep = BudgetSweep::new(&arch, smoke_budgets());
+    sweep.sizing = config.clone();
+    let manifest = sweep.manifest().expect("sizing-only campaign");
+    let mut failures = 0;
+
+    // The reference bytes from the serial, in-process pipeline.
+    let t = Instant::now();
+    let serial = run_manifest(&manifest, &WorkPool::serial()).expect("serial run");
+    let serial_time = t.elapsed();
+
+    let shard_a = ShardProcess::spawn();
+    let shard_b = ShardProcess::spawn();
+
+    // --- Byte-identical coordinator + 2-shard merge. -------------------
+    let (merged, two_shard_time) = timed_fanout(&manifest, &[&shard_a, &shard_b]);
+    if merged.to_csv() != serial.to_csv() {
+        eprintln!("SMOKE FAIL: 2-shard merged CSV differs from the serial pipeline");
+        failures += 1;
+    }
+    if merged.to_jsonl() != serial.to_jsonl() {
+        eprintln!("SMOKE FAIL: 2-shard merged JSONL differs from the serial pipeline");
+        failures += 1;
+    }
+    println!(
+        "{} budgets in {} chunks: serial {serial_time:?}, 2-shard fan-out {two_shard_time:?}",
+        manifest.items(),
+        manifest.chunks.len()
+    );
+
+    // --- Coverage verification: dropped and duplicated chunks. ---------
+    let mut client_b = shard_b.client();
+    let reports: Vec<_> = (0..manifest.chunks.len())
+        .map(|c| client_b.sweep_chunk(&manifest, c, false).unwrap().report)
+        .collect();
+    match merge_chunk_reports(&manifest, &reports[..reports.len() - 1]) {
+        Err(MergeError::MissingChunk { .. }) => {}
+        other => {
+            eprintln!("SMOKE FAIL: dropped chunk not rejected as a coverage gap: {other:?}");
+            failures += 1;
+        }
+    }
+    let mut dup = reports.clone();
+    dup.push(reports[0].clone());
+    match merge_chunk_reports(&manifest, &dup) {
+        Err(MergeError::DuplicateChunk { .. }) => {}
+        other => {
+            eprintln!("SMOKE FAIL: duplicated chunk not rejected as overlap: {other:?}");
+            failures += 1;
+        }
+    }
+
+    // --- Warm transfer: snapshot-seeded chunk beats cold on pivots. ----
+    // Shard B's cache is still empty (chunk execution is cache-free),
+    // so its cold chunk-0 pivots are a clean baseline.
+    let cold = client_b.sweep_chunk(&manifest, 0, true).unwrap();
+    if cold.trace.warm {
+        eprintln!("SMOKE FAIL: empty-cache shard reported a seeded (warm) chunk");
+        failures += 1;
+    }
+    // Warm shard A with a size query at the campaign's first budget,
+    // then ship its basis to B.
+    let mut client_a = shard_a.client();
+    client_a.size(&arch, &config, smoke_budgets()[0]).unwrap();
+    let snapshot = client_a.snapshot_export(&arch, &config).unwrap();
+    client_b.snapshot_import(&arch, &config, &snapshot).unwrap();
+    let seeded = client_b.sweep_chunk(&manifest, 0, true).unwrap();
+    if !seeded.trace.warm {
+        eprintln!("SMOKE FAIL: imported snapshot did not seed the chunk");
+        failures += 1;
+    }
+    if seeded.trace.pivots >= cold.trace.pivots {
+        eprintln!(
+            "SMOKE FAIL: seeded chunk spent {} pivots, cold spent {} — warm transfer \
+             must measurably reduce pivots",
+            seeded.trace.pivots, cold.trace.pivots
+        );
+        failures += 1;
+    }
+    println!(
+        "chunk 0 pivots: cold {} -> snapshot-seeded {}",
+        cold.trace.pivots, seeded.trace.pivots
+    );
+
+    // --- Fan-out wall time: 2 shards beat 1 (multi-core hosts). --------
+    const SMOKE_REPEATS: usize = 2;
+    let mut best_one = Duration::MAX;
+    let mut best_two = two_shard_time;
+    for _ in 0..SMOKE_REPEATS {
+        let (_, t1) = timed_fanout(&manifest, &[&shard_a]);
+        let (_, t2) = timed_fanout(&manifest, &[&shard_a, &shard_b]);
+        best_one = best_one.min(t1);
+        best_two = best_two.min(t2);
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "best fan-out: 1 shard {best_one:?} vs 2 shards {best_two:?} ({:.2}x)",
+        best_one.as_secs_f64() / best_two.as_secs_f64().max(1e-12)
+    );
+    if cores >= 2 {
+        if best_two >= best_one {
+            eprintln!(
+                "SMOKE FAIL: 2-shard fan-out {best_two:?} not faster than 1 shard \
+                 {best_one:?} on a {cores}-core host"
+            );
+            failures += 1;
+        }
+    } else {
+        println!("wall-time gate SKIPPED: single-core host (byte parity still enforced)");
+    }
+
+    if failures == 0 {
+        println!("smoke OK");
+    }
+    failures
+}
+
+/// Full table: serial vs 1/2/4-shard fan-out wall time per template.
+fn full_probe() {
+    let config = smoke_sizing();
+    println!(
+        "{:<20} {:>7} {:>12} {:>12} {:>12} {:>12}",
+        "architecture", "chunks", "serial", "1 shard", "2 shards", "4 shards"
+    );
+    let shards: Vec<ShardProcess> = (0..4).map(|_| ShardProcess::spawn()).collect();
+    for (name, arch) in [
+        ("figure1", templates::figure1()),
+        ("amba", templates::amba()),
+        ("coreconnect", templates::coreconnect()),
+    ] {
+        let mut sweep = BudgetSweep::new(&arch, smoke_budgets());
+        sweep.sizing = config.clone();
+        let manifest = sweep.manifest().expect("sizing-only campaign");
+        let t = Instant::now();
+        let serial = run_manifest(&manifest, &WorkPool::serial()).expect("serial run");
+        let serial_time = t.elapsed();
+        let mut row = format!("{name:<20} {:>7} {serial_time:>12?}", manifest.chunks.len());
+        for n in [1usize, 2, 4] {
+            let refs: Vec<&ShardProcess> = shards[..n].iter().collect();
+            let (merged, time) = timed_fanout(&manifest, &refs);
+            assert_eq!(
+                merged.to_jsonl(),
+                serial.to_jsonl(),
+                "{name}: {n}-shard bytes"
+            );
+            row.push_str(&format!(" {time:>12?}"));
+        }
+        println!("{row}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--worker") {
+        if let Err(e) = socbuf_serve::shard_worker_main(socbuf_serve::ServerConfig::default()) {
+            eprintln!("shard worker failed: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--smoke") {
+        std::process::exit(smoke());
+    }
+    full_probe();
+}

@@ -62,10 +62,11 @@ pub use report::SizingReport;
 pub use translate::Translation;
 
 // LP-layer types that appear in this crate's public API (engine
-// selection and the decomposed engine's block executor), re-exported so
-// downstream crates — `socbuf-sweep` in particular — need no direct
-// `socbuf-lp` dependency.
-pub use socbuf_lp::{ExecutorHandle, LpEngine, SolveExecutor};
+// selection, the decomposed engine's block executor, warm-start basis
+// export/import, and the workspace chunk-scheduling policy),
+// re-exported so downstream crates — `socbuf-sweep` in particular —
+// need no direct `socbuf-lp` dependency.
+pub use socbuf_lp::{BasisSnapshot, ChunkPolicy, ExecutorHandle, LpEngine, SolveExecutor};
 
 // Simulator engine selector, re-exported for the same reason: it is a
 // field of [`PipelineConfig`], and downstream crates should not need a

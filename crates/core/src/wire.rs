@@ -34,7 +34,8 @@
 
 use std::fmt::Write as _;
 
-use socbuf_lp::{LpEngine, ScalingStats};
+use socbuf_lp::{BasisSnapshot, ChunkPolicy, LpEngine, ScalingStats};
+use socbuf_soc::templates::RandomArchParams;
 use socbuf_soc::{
     Architecture, ArchitectureBuilder, BufferAllocation, BusArbitration, FlowTarget, TrafficShape,
 };
@@ -1143,6 +1144,795 @@ pub fn sizing_outcome_from_json(
                 .f64("condition_after")?,
         },
     })
+}
+
+// ---------------------------------------------------------------------
+// Sharding codecs: campaign manifests, chunk reports, basis snapshots
+// ---------------------------------------------------------------------
+
+/// FNV-1a 64-bit hash — the manifest's config-hash function. Chosen for
+/// being trivially reimplementable anywhere (a shard written in another
+/// language can verify a manifest), not for adversarial strength: the
+/// hash detects *drift* (a coordinator and a shard disagreeing about
+/// what campaign a chunk belongs to), it is not a signature.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Renders a config hash the way it travels: 16 lowercase hex digits
+/// (as a JSON string — a raw `u64` would not survive the wire's
+/// exact-integer-below-2⁵³ number model).
+pub fn config_hash_to_hex(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+fn config_hash_from_hex(text: &str, what: &str) -> Result<u64, WireError> {
+    if text.len() != 16 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(WireError::Schema(format!(
+            "{what}: expected 16 hex digits, got \"{text}\""
+        )));
+    }
+    u64::from_str_radix(text, 16)
+        .map_err(|e| WireError::Schema(format!("{what}: invalid hash \"{text}\": {e}")))
+}
+
+/// One chunk's slice of a campaign's work list: the unit of scheduling,
+/// locally (a `WorkPool` worker claims whole chunks) and remotely (a
+/// coordinator dispatches whole chunks to shard servers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRange {
+    /// Chunk index (position in the manifest's chunk list).
+    pub chunk: usize,
+    /// First work-item index covered (inclusive).
+    pub start: usize,
+    /// One past the last work-item index covered.
+    pub end: usize,
+}
+
+/// The campaign a manifest describes: which sweep shape, over what
+/// inputs. Mirrors `socbuf-sweep`'s `BudgetSweep` / `LoadSweep` /
+/// `RandomCampaign` minus the simulation option — manifests describe
+/// sizing-only campaigns (simulation campaigns remain single-host).
+///
+/// (No `PartialEq`: `Architecture` deliberately doesn't implement it —
+/// manifest equality is rendered-bytes equality, compare `to_json`.)
+#[derive(Debug, Clone)]
+pub enum ManifestShape {
+    /// A budget grid on one architecture.
+    Budget {
+        /// The architecture every point sizes.
+        arch: Architecture,
+        /// Budget grid, one work item per entry.
+        budgets: Vec<usize>,
+        /// Whether chunks run as warm-start chains (chunk-initial point
+        /// cold, the rest warm) — must match the serial run a merge is
+        /// compared against, since warm chains legitimately change
+        /// per-point pivot counts.
+        warm_start: bool,
+    },
+    /// A load-factor grid at one budget.
+    Load {
+        /// The nominal architecture.
+        arch: Architecture,
+        /// Buffer budget shared by every point.
+        budget: usize,
+        /// λ multipliers, one work item per entry.
+        factors: Vec<f64>,
+        /// See [`ManifestShape::Budget::warm_start`].
+        warm_start: bool,
+    },
+    /// A random-architecture fan-out.
+    Random {
+        /// Generator knobs shared by every seed.
+        params: RandomArchParams,
+        /// Architecture seeds, one work item per entry.
+        seeds: Vec<u64>,
+        /// Budget granted per queue.
+        units_per_queue: usize,
+    },
+}
+
+impl ManifestShape {
+    /// The campaign's stable kind tag (`"budget"`, `"load"`,
+    /// `"random"`) — the same text `SweepKind::tag()` renders.
+    pub fn kind_tag(&self) -> &'static str {
+        match self {
+            ManifestShape::Budget { .. } => "budget",
+            ManifestShape::Load { .. } => "load",
+            ManifestShape::Random { .. } => "random",
+        }
+    }
+
+    /// Number of work items the campaign expands to.
+    pub fn items(&self) -> usize {
+        match self {
+            ManifestShape::Budget { budgets, .. } => budgets.len(),
+            ManifestShape::Load { factors, .. } => factors.len(),
+            ManifestShape::Random { seeds, .. } => seeds.len(),
+        }
+    }
+
+    /// Whether chunks execute as warm-start chains. Random campaigns
+    /// never chain (every seed is a different architecture).
+    pub fn warm_start(&self) -> bool {
+        match self {
+            ManifestShape::Budget { warm_start, .. } | ManifestShape::Load { warm_start, .. } => {
+                *warm_start
+            }
+            ManifestShape::Random { .. } => false,
+        }
+    }
+
+    /// The scheduling policy the shape's chunks must follow: warm
+    /// chains use [`ChunkPolicy::WARM_CHAIN`], everything else
+    /// [`ChunkPolicy::INDEPENDENT`]. Chunk boundaries are part of the
+    /// campaign's *meaning* (a warm chain's pivot counts depend on
+    /// where chains start), so the policy is derived, never chosen per
+    /// execution site.
+    pub fn chunk_policy(&self) -> ChunkPolicy {
+        if self.warm_start() {
+            ChunkPolicy::WARM_CHAIN
+        } else {
+            ChunkPolicy::INDEPENDENT
+        }
+    }
+
+    fn validate(&self) -> Result<(), WireError> {
+        let bad = |msg: &str| Err(WireError::Schema(format!("manifest: {msg}")));
+        match self {
+            ManifestShape::Budget { budgets, .. } if budgets.is_empty() => bad("empty budget grid"),
+            ManifestShape::Load { factors, .. } if factors.is_empty() => bad("empty factor grid"),
+            ManifestShape::Random { seeds, .. } if seeds.is_empty() => bad("empty seed list"),
+            ManifestShape::Random {
+                units_per_queue: 0, ..
+            } => bad("units_per_queue must be ≥ 1"),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A sharded campaign's contract: the campaign itself (shape + sizing
+/// config), the chunk partition of its work list, and a config hash
+/// that pins chunk reports to exactly this campaign.
+///
+/// The chunk list is stored explicitly *and* required to equal the
+/// shape's [`ChunkPolicy`] partition — explicit so a reducer can verify
+/// coverage without re-deriving anything, constrained so every shard
+/// assignment of these chunks merges byte-identically with the serial
+/// single-host run (warm-chain boundaries are part of the bytes).
+///
+/// (No `PartialEq`, like [`ManifestShape`]: compare `to_json` bytes.)
+#[derive(Debug, Clone)]
+pub struct CampaignManifest {
+    /// The campaign: sweep shape and inputs.
+    pub shape: ManifestShape,
+    /// Sizing configuration shared by every point.
+    pub config: SizingConfig,
+    /// Items per chunk (the shape's [`ChunkPolicy`] length).
+    pub chunk_len: usize,
+    /// The exact partition of `0..items` into chunks.
+    pub chunks: Vec<ChunkRange>,
+    /// FNV-1a 64 hash of the canonical `"campaign"` JSON text (shape +
+    /// config). Chunk reports carry the same hash; the reducer refuses
+    /// to merge reports whose hash disagrees with the manifest's.
+    pub config_hash: u64,
+}
+
+impl CampaignManifest {
+    /// Builds the manifest for a campaign: chunks derived from the
+    /// shape's [`ChunkPolicy`], hash computed over the canonical
+    /// campaign rendering.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Schema`] for unusable campaigns (empty grids, zero
+    /// per-queue budget) — the same refusals the campaign itself makes
+    /// at run time.
+    pub fn new(shape: ManifestShape, config: SizingConfig) -> Result<CampaignManifest, WireError> {
+        shape.validate()?;
+        let policy = shape.chunk_policy();
+        let chunks = policy
+            .ranges(shape.items())
+            .into_iter()
+            .enumerate()
+            .map(|(chunk, r)| ChunkRange {
+                chunk,
+                start: r.start,
+                end: r.end,
+            })
+            .collect();
+        let mut manifest = CampaignManifest {
+            shape,
+            config,
+            chunk_len: policy.chunk_len(),
+            chunks,
+            config_hash: 0,
+        };
+        manifest.config_hash = fnv1a_64(manifest.campaign_json().as_bytes());
+        Ok(manifest)
+    }
+
+    /// Number of work items the campaign expands to.
+    pub fn items(&self) -> usize {
+        self.shape.items()
+    }
+
+    /// The canonical campaign subdocument — exactly the bytes the
+    /// config hash covers.
+    fn campaign_json(&self) -> String {
+        let mut out = String::from("{\"kind\":");
+        push_str(&mut out, self.shape.kind_tag());
+        match &self.shape {
+            ManifestShape::Budget {
+                arch,
+                budgets,
+                warm_start,
+            } => {
+                out.push_str(",\"arch\":");
+                out.push_str(&architecture_to_json(arch));
+                out.push_str(",\"config\":");
+                out.push_str(&sizing_config_to_json(&self.config));
+                out.push_str(",\"budgets\":[");
+                for (i, b) in budgets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_usize(&mut out, *b);
+                }
+                out.push_str("],\"warm_start\":");
+                out.push_str(if *warm_start { "true" } else { "false" });
+            }
+            ManifestShape::Load {
+                arch,
+                budget,
+                factors,
+                warm_start,
+            } => {
+                out.push_str(",\"arch\":");
+                out.push_str(&architecture_to_json(arch));
+                out.push_str(",\"config\":");
+                out.push_str(&sizing_config_to_json(&self.config));
+                out.push_str(",\"budget\":");
+                push_usize(&mut out, *budget);
+                out.push_str(",\"factors\":[");
+                for (i, f) in factors.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_f64(&mut out, *f);
+                }
+                out.push_str("],\"warm_start\":");
+                out.push_str(if *warm_start { "true" } else { "false" });
+            }
+            ManifestShape::Random {
+                params,
+                seeds,
+                units_per_queue,
+            } => {
+                out.push_str(",\"config\":");
+                out.push_str(&sizing_config_to_json(&self.config));
+                out.push_str(",\"params\":");
+                out.push_str(&random_params_to_json(params));
+                out.push_str(",\"seeds\":[");
+                for (i, s) in seeds.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{s}");
+                }
+                out.push_str("],\"units_per_queue\":");
+                push_usize(&mut out, *units_per_queue);
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Serializes the manifest as canonical JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"campaign\":");
+        out.push_str(&self.campaign_json());
+        out.push_str(",\"chunk_len\":");
+        push_usize(&mut out, self.chunk_len);
+        out.push_str(",\"chunks\":[");
+        for (i, c) in self.chunks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"chunk\":");
+            push_usize(&mut out, c.chunk);
+            out.push_str(",\"start\":");
+            push_usize(&mut out, c.start);
+            out.push_str(",\"end\":");
+            push_usize(&mut out, c.end);
+            out.push('}');
+        }
+        out.push_str("],\"config_hash\":");
+        push_str(&mut out, &config_hash_to_hex(self.config_hash));
+        out.push('}');
+        out
+    }
+
+    /// Parses and fully re-validates a manifest: the campaign must be
+    /// usable, the config hash must match a recomputation over the
+    /// canonical campaign rendering (a stale hash — reports pinned to
+    /// an edited campaign — is rejected), and the chunk list must be
+    /// exactly the shape's [`ChunkPolicy`] partition (gaps, overlaps,
+    /// misnumbered or misaligned chunks are each named in the error).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Schema`] describing the first violation.
+    pub fn from_json(v: &JsonValue) -> Result<CampaignManifest, WireError> {
+        reject_unknown(
+            v,
+            "manifest",
+            &["campaign", "chunk_len", "chunks", "config_hash"],
+        )?;
+        let campaign = field(v, "manifest", "campaign")?;
+        let shape = Self::shape_from_json(campaign)?;
+        shape.validate()?;
+        let config = sizing_config_from_json(field(campaign, "campaign", "config")?)?;
+
+        let declared_hash = config_hash_from_hex(
+            field(v, "manifest", "config_hash")?.str("config_hash")?,
+            "config_hash",
+        )?;
+        let chunk_len = field(v, "manifest", "chunk_len")?.usize("chunk_len")?;
+        if chunk_len == 0 {
+            return Err(WireError::Schema("manifest: chunk_len must be ≥ 1".into()));
+        }
+        let mut chunks = Vec::new();
+        for (i, c) in field(v, "manifest", "chunks")?
+            .arr("chunks")?
+            .iter()
+            .enumerate()
+        {
+            let what = format!("chunks[{i}]");
+            reject_unknown(c, &what, &["chunk", "start", "end"])?;
+            chunks.push(ChunkRange {
+                chunk: field(c, &what, "chunk")?.usize("chunk")?,
+                start: field(c, &what, "start")?.usize("start")?,
+                end: field(c, &what, "end")?.usize("end")?,
+            });
+        }
+
+        let manifest = CampaignManifest {
+            shape,
+            config,
+            chunk_len,
+            chunks,
+            config_hash: declared_hash,
+        };
+
+        // Hash check: recompute over the canonical campaign rendering.
+        // (The parsed subtree re-renders to the exact original bytes —
+        // objects preserve key order — so a matching hash really does
+        // pin the same campaign text.)
+        let recomputed = fnv1a_64(manifest.campaign_json().as_bytes());
+        if recomputed != declared_hash {
+            return Err(WireError::Schema(format!(
+                "manifest: stale config hash: declared {} but campaign hashes to {}",
+                config_hash_to_hex(declared_hash),
+                config_hash_to_hex(recomputed)
+            )));
+        }
+        manifest.validate_chunks()?;
+        Ok(manifest)
+    }
+
+    fn shape_from_json(campaign: &JsonValue) -> Result<ManifestShape, WireError> {
+        let kind = field(campaign, "campaign", "kind")?.str("kind")?;
+        match kind {
+            "budget" => {
+                reject_unknown(
+                    campaign,
+                    "campaign",
+                    &["kind", "arch", "config", "budgets", "warm_start"],
+                )?;
+                let arch = architecture_from_json(field(campaign, "campaign", "arch")?)?;
+                let mut budgets = Vec::new();
+                for b in field(campaign, "campaign", "budgets")?.arr("budgets")? {
+                    budgets.push(b.usize("budget")?);
+                }
+                Ok(ManifestShape::Budget {
+                    arch,
+                    budgets,
+                    warm_start: field(campaign, "campaign", "warm_start")?.bool("warm_start")?,
+                })
+            }
+            "load" => {
+                reject_unknown(
+                    campaign,
+                    "campaign",
+                    &["kind", "arch", "config", "budget", "factors", "warm_start"],
+                )?;
+                let arch = architecture_from_json(field(campaign, "campaign", "arch")?)?;
+                let mut factors = Vec::new();
+                for f in field(campaign, "campaign", "factors")?.arr("factors")? {
+                    factors.push(f.finite_f64("factor")?);
+                }
+                Ok(ManifestShape::Load {
+                    arch,
+                    budget: field(campaign, "campaign", "budget")?.usize("budget")?,
+                    factors,
+                    warm_start: field(campaign, "campaign", "warm_start")?.bool("warm_start")?,
+                })
+            }
+            "random" => {
+                reject_unknown(
+                    campaign,
+                    "campaign",
+                    &["kind", "config", "params", "seeds", "units_per_queue"],
+                )?;
+                let mut seeds = Vec::new();
+                for s in field(campaign, "campaign", "seeds")?.arr("seeds")? {
+                    seeds.push(s.u64("seed")?);
+                }
+                Ok(ManifestShape::Random {
+                    params: random_params_from_json(field(campaign, "campaign", "params")?)?,
+                    seeds,
+                    units_per_queue: field(campaign, "campaign", "units_per_queue")?
+                        .usize("units_per_queue")?,
+                })
+            }
+            other => Err(WireError::Schema(format!(
+                "campaign: unknown kind \"{other}\""
+            ))),
+        }
+    }
+
+    /// Verifies the chunk list is exactly the shape's policy partition.
+    fn validate_chunks(&self) -> Result<(), WireError> {
+        let policy = self.shape.chunk_policy();
+        if self.chunk_len != policy.chunk_len() {
+            return Err(WireError::Schema(format!(
+                "manifest: chunk_len {} does not match the campaign's scheduling policy ({})",
+                self.chunk_len,
+                policy.chunk_len()
+            )));
+        }
+        let items = self.shape.items();
+        let expected = policy.ranges(items);
+        if self.chunks.len() != expected.len() {
+            return Err(WireError::Schema(format!(
+                "manifest: {} chunks cannot cover {} items at chunk_len {} (need {})",
+                self.chunks.len(),
+                items,
+                self.chunk_len,
+                expected.len()
+            )));
+        }
+        for (i, (c, want)) in self.chunks.iter().zip(&expected).enumerate() {
+            if c.chunk != i {
+                return Err(WireError::Schema(format!(
+                    "manifest: chunks[{i}] is numbered {}, chunk indices must be contiguous from 0",
+                    c.chunk
+                )));
+            }
+            if c.start < want.start {
+                return Err(WireError::Schema(format!(
+                    "manifest: chunk {i} starts at {} — overlapping chunk ranges (chunk {} ends at {})",
+                    c.start,
+                    i.wrapping_sub(1),
+                    want.start
+                )));
+            }
+            if c.start > want.start {
+                return Err(WireError::Schema(format!(
+                    "manifest: chunk {i} starts at {} — coverage gap before it (expected start {})",
+                    c.start, want.start
+                )));
+            }
+            if c.end != want.end {
+                return Err(WireError::Schema(format!(
+                    "manifest: chunk {i} ends at {} but the scheduling policy requires {}",
+                    c.end, want.end
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serializes [`RandomArchParams`] as canonical JSON.
+pub fn random_params_to_json(p: &RandomArchParams) -> String {
+    let mut out = String::from("{\"buses\":");
+    push_usize(&mut out, p.buses);
+    out.push_str(",\"processors\":");
+    push_usize(&mut out, p.processors);
+    out.push_str(",\"bridges\":");
+    push_usize(&mut out, p.bridges);
+    out.push_str(",\"flows\":");
+    push_usize(&mut out, p.flows);
+    out.push_str(",\"bus_rate_range\":[");
+    push_f64(&mut out, p.bus_rate_range.0);
+    out.push(',');
+    push_f64(&mut out, p.bus_rate_range.1);
+    out.push_str("],\"flow_rate_range\":[");
+    push_f64(&mut out, p.flow_rate_range.0);
+    out.push(',');
+    push_f64(&mut out, p.flow_rate_range.1);
+    out.push_str("],\"multi_home_prob\":");
+    push_f64(&mut out, p.multi_home_prob);
+    out.push('}');
+    out
+}
+
+fn range_from_json(v: &JsonValue, what: &str) -> Result<(f64, f64), WireError> {
+    let items = v.arr(what)?;
+    if items.len() != 2 {
+        return Err(WireError::Schema(format!(
+            "{what}: expected a two-element range, got {} elements",
+            items.len()
+        )));
+    }
+    Ok((items[0].finite_f64(what)?, items[1].finite_f64(what)?))
+}
+
+/// Parses [`RandomArchParams`]. All fields are required; the
+/// generator's own assertions (positive counts, ordered ranges) still
+/// apply when the params are used.
+///
+/// # Errors
+///
+/// [`WireError::Schema`] for shape mismatches.
+pub fn random_params_from_json(v: &JsonValue) -> Result<RandomArchParams, WireError> {
+    reject_unknown(
+        v,
+        "params",
+        &[
+            "buses",
+            "processors",
+            "bridges",
+            "flows",
+            "bus_rate_range",
+            "flow_rate_range",
+            "multi_home_prob",
+        ],
+    )?;
+    Ok(RandomArchParams {
+        buses: field(v, "params", "buses")?.usize("buses")?,
+        processors: field(v, "params", "processors")?.usize("processors")?,
+        bridges: field(v, "params", "bridges")?.usize("bridges")?,
+        flows: field(v, "params", "flows")?.usize("flows")?,
+        bus_rate_range: range_from_json(field(v, "params", "bus_rate_range")?, "bus_rate_range")?,
+        flow_rate_range: range_from_json(
+            field(v, "params", "flow_rate_range")?,
+            "flow_rate_range",
+        )?,
+        multi_home_prob: field(v, "params", "multi_home_prob")?.finite_f64("multi_home_prob")?,
+    })
+}
+
+/// One executed chunk's results, as they travel from a shard back to
+/// the coordinator: the chunk's identity (campaign hash, kind, range)
+/// plus the point records as opaque JSON objects (the sweep layer owns
+/// the point schema; this codec only guarantees framing, coverage
+/// metadata, and per-point index integrity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkReport {
+    /// The manifest's config hash — pins the report to its campaign.
+    pub config_hash: u64,
+    /// The campaign kind tag (`"budget"`, `"load"`, `"random"`).
+    pub kind: String,
+    /// Chunk index within the manifest.
+    pub chunk: usize,
+    /// First work-item index covered (inclusive).
+    pub start: usize,
+    /// One past the last work-item index covered.
+    pub end: usize,
+    /// One point object per item, in item order. Point objects carry no
+    /// `frontier` field — the frontier is a *global* property of the
+    /// merged report, recomputed by the reducer.
+    pub points: Vec<JsonValue>,
+}
+
+impl ChunkReport {
+    /// Serializes the report as one canonical JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = self.header_json();
+        out.pop(); // strip the closing '}' to append the points inline
+        out.push_str(",\"points\":[");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            p.push(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The chunk-tagged JSONL rendering: a header line naming the chunk
+    /// (and how many point lines follow), then one self-contained point
+    /// object per line — streamable, byte-stable, and safely
+    /// concatenable across chunks because every line says which chunk
+    /// and campaign it belongs to via the header above it.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = self.header_json();
+        out.push('\n');
+        for p in &self.points {
+            p.push(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn header_json(&self) -> String {
+        let mut out = String::from("{\"chunk\":");
+        push_usize(&mut out, self.chunk);
+        out.push_str(",\"kind\":");
+        push_str(&mut out, &self.kind);
+        out.push_str(",\"config_hash\":");
+        push_str(&mut out, &config_hash_to_hex(self.config_hash));
+        out.push_str(",\"start\":");
+        push_usize(&mut out, self.start);
+        out.push_str(",\"end\":");
+        push_usize(&mut out, self.end);
+        out.push('}');
+        out
+    }
+
+    /// Parses the single-object rendering.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Schema`] for shape violations: an empty or reversed
+    /// range, a point count that disagrees with the range, a point
+    /// whose `index` is not `start + position`, or a point carrying a
+    /// `frontier` field (which only the merged report may have).
+    pub fn from_json(v: &JsonValue) -> Result<ChunkReport, WireError> {
+        reject_unknown(
+            v,
+            "chunk report",
+            &["chunk", "kind", "config_hash", "start", "end", "points"],
+        )?;
+        let points = field(v, "chunk report", "points")?.arr("points")?.to_vec();
+        Self::assemble(v, points)
+    }
+
+    /// Parses the chunk-tagged JSONL rendering (header line + one point
+    /// per line).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] for malformed lines, a missing header, or a point
+    /// count that disagrees with the header's range.
+    pub fn from_jsonl(text: &str) -> Result<ChunkReport, WireError> {
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| WireError::Schema("chunk report: empty document".into()))?;
+        let header = JsonValue::parse(header)?;
+        reject_unknown(
+            &header,
+            "chunk report",
+            &["chunk", "kind", "config_hash", "start", "end"],
+        )?;
+        let mut points = Vec::new();
+        for line in lines {
+            points.push(JsonValue::parse(line)?);
+        }
+        Self::assemble(&header, points)
+    }
+
+    fn assemble(header: &JsonValue, points: Vec<JsonValue>) -> Result<ChunkReport, WireError> {
+        let kind = field(header, "chunk report", "kind")?.str("kind")?;
+        if !matches!(kind, "budget" | "load" | "random") {
+            return Err(WireError::Schema(format!(
+                "chunk report: unknown kind \"{kind}\""
+            )));
+        }
+        let report = ChunkReport {
+            config_hash: config_hash_from_hex(
+                field(header, "chunk report", "config_hash")?.str("config_hash")?,
+                "config_hash",
+            )?,
+            kind: kind.to_string(),
+            chunk: field(header, "chunk report", "chunk")?.usize("chunk")?,
+            start: field(header, "chunk report", "start")?.usize("start")?,
+            end: field(header, "chunk report", "end")?.usize("end")?,
+            points,
+        };
+        if report.end <= report.start {
+            return Err(WireError::Schema(format!(
+                "chunk report: empty range {}..{}",
+                report.start, report.end
+            )));
+        }
+        if report.points.len() != report.end - report.start {
+            return Err(WireError::Schema(format!(
+                "chunk report: range {}..{} needs {} points, got {}",
+                report.start,
+                report.end,
+                report.end - report.start,
+                report.points.len()
+            )));
+        }
+        for (i, p) in report.points.iter().enumerate() {
+            let what = format!("points[{i}]");
+            let index = field(p, &what, "index")?.usize("index")?;
+            if index != report.start + i {
+                return Err(WireError::Schema(format!(
+                    "chunk report: {what} has index {index}, expected {}",
+                    report.start + i
+                )));
+            }
+            if p.get("frontier").is_some() {
+                return Err(WireError::Schema(format!(
+                    "chunk report: {what} carries a \"frontier\" flag — the frontier is a \
+                     global property only the merged report may render"
+                )));
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Serializes a [`BasisSnapshot`] as canonical JSON — how a coordinator
+/// ships a warm basis to a shard. Inactive rows (`usize::MAX`) travel
+/// as `null`.
+pub fn basis_snapshot_to_json(s: &BasisSnapshot) -> String {
+    let mut out = String::from("{\"basis\":[");
+    for (i, &col) in s.rows().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if col == usize::MAX {
+            out.push_str("null");
+        } else {
+            push_usize(&mut out, col);
+        }
+    }
+    out.push_str("],\"cols\":");
+    push_usize(&mut out, s.num_cols());
+    out.push_str(",\"engine\":");
+    push_str(&mut out, &s.engine().to_string());
+    out.push('}');
+    out
+}
+
+/// Parses a [`BasisSnapshot`]. Every basic column must lie below
+/// `cols`; `null` entries mark inactive rows. A *shape-plausible but
+/// stale* snapshot still parses — staleness against a concrete LP is
+/// detected at import by the solver, which falls back cold, so a bad
+/// snapshot can cost time but never change an answer.
+///
+/// # Errors
+///
+/// [`WireError::Schema`] for non-objects, unknown engines, or basis
+/// entries at or beyond `cols`.
+pub fn basis_snapshot_from_json(v: &JsonValue) -> Result<BasisSnapshot, WireError> {
+    reject_unknown(v, "snapshot", &["basis", "cols", "engine"])?;
+    let cols = field(v, "snapshot", "cols")?.usize("cols")?;
+    let mut basis = Vec::new();
+    for (i, entry) in field(v, "snapshot", "basis")?
+        .arr("basis")?
+        .iter()
+        .enumerate()
+    {
+        let col = match entry {
+            JsonValue::Null => usize::MAX,
+            other => {
+                let col = other.usize("basis entry")?;
+                if col >= cols {
+                    return Err(WireError::Schema(format!(
+                        "snapshot: basis[{i}] = {col} is out of range for {cols} columns"
+                    )));
+                }
+                col
+            }
+        };
+        basis.push(col);
+    }
+    let engine = lp_engine_from_tag(field(v, "snapshot", "engine")?.str("engine")?)?;
+    Ok(BasisSnapshot::new(basis, cols, engine))
 }
 
 #[cfg(test)]

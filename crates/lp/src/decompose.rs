@@ -51,6 +51,7 @@ use std::sync::{Arc, Mutex};
 use crate::prepared::PreparedLp;
 use crate::problem::{LpProblem, Relation, RowId, Sense, VarId};
 use crate::revised::{run_revised, run_revised_warm, BasisSnapshot, LpEngine};
+use crate::sched::ChunkPolicy;
 use crate::simplex::SimplexOptions;
 use crate::solution::LpSolution;
 use crate::standard_form::build_standard_form;
@@ -407,9 +408,15 @@ fn sweep_blocks(
     opts: &SimplexOptions,
     executor: &ExecutorHandle,
 ) -> Sweep {
-    executor.run(states.len(), &|i| {
-        let mut state = states[i].lock().expect("block state poisoned");
-        solve_block(&mut state, t, sign, opts);
+    // Blocks fan out under the workspace scheduling policy (chunks of
+    // one — each block is a whole LP, so batching would only serialize
+    // independent heavy solves).
+    let policy = ChunkPolicy::BLOCK_SOLVE;
+    executor.run(policy.num_chunks(states.len()), &|c| {
+        for i in policy.chunk_range(c, states.len()) {
+            let mut state = states[i].lock().expect("block state poisoned");
+            solve_block(&mut state, t, sign, opts);
+        }
     });
     let mut agg = Sweep {
         phi: 0.0,

@@ -90,6 +90,7 @@ mod error;
 mod prepared;
 mod problem;
 mod revised;
+mod sched;
 mod simplex;
 mod solution;
 mod standard_form;
@@ -100,6 +101,7 @@ pub use error::LpError;
 pub use prepared::PreparedLp;
 pub use problem::{LpProblem, Relation, RowId, Sense, VarId};
 pub use revised::{BasisSnapshot, LpEngine};
+pub use sched::ChunkPolicy;
 pub use simplex::SimplexOptions;
 pub use solution::LpSolution;
 pub use standard_form::ScalingStats;

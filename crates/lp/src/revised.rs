@@ -216,7 +216,10 @@ impl BasisSnapshot {
         self.engine
     }
 
-    pub(crate) fn rows(&self) -> &[usize] {
+    /// Basic standard-form column per row (`usize::MAX` for an inactive
+    /// row) — exposed so the wire codec can serialize a snapshot for
+    /// cross-process import.
+    pub fn rows(&self) -> &[usize] {
         &self.basis
     }
 }

@@ -1,0 +1,11 @@
+//! A standalone shard worker: an ephemeral-port sizing server whose
+//! lifetime is tied to the process that spawned it.
+//!
+//! Prints `PORT <n>` on stdout once bound, then serves until stdin
+//! reaches EOF (the coordinator exiting or closing the pipe), then
+//! drains and shuts down. See
+//! [`socbuf_serve::shard_worker_main`] for the full contract.
+
+fn main() -> std::io::Result<()> {
+    socbuf_serve::shard_worker_main(socbuf_serve::ServerConfig::default())
+}

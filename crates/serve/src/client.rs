@@ -16,12 +16,23 @@ use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 #[cfg(unix)]
 use std::path::Path;
+use std::time::{Duration, Instant};
 
-use socbuf_core::wire::{sizing_outcome_from_json, JsonValue, WireError};
-use socbuf_core::{SizingConfig, SizingOutcome};
+use socbuf_core::wire::{
+    basis_snapshot_from_json, sizing_outcome_from_json, CampaignManifest, ChunkReport, JsonValue,
+    WireError,
+};
+use socbuf_core::{BasisSnapshot, SizingConfig, SizingOutcome};
 use socbuf_soc::Architecture;
 
-use crate::protocol::{read_frame, write_frame, Health, Request, Response, Trace};
+use crate::protocol::{
+    read_frame, read_frame_deadline, write_frame, Health, Request, Response, Trace,
+};
+
+/// Socket-level poll interval used when a read bound is configured:
+/// `read_frame_deadline` wakes at least this often to check the
+/// deadline, so even a stall in the middle of a frame is caught.
+const READ_POLL: Duration = Duration::from_millis(25);
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -92,6 +103,19 @@ pub struct SweepReply {
     pub trace: Trace,
 }
 
+/// A decoded `sweep_chunk` reply.
+#[derive(Debug)]
+pub struct ChunkReply {
+    /// The decoded chunk report, ready for the merge reducer.
+    pub report: ChunkReport,
+    /// Canonical JSON of the chunk report — byte-for-byte what the
+    /// server rendered.
+    pub report_json: String,
+    /// How the server served this request (`warm` is true when the
+    /// chunk was basis-seeded from the shard's cache).
+    pub trace: Trace,
+}
+
 /// A decoded `frontier` reply.
 #[derive(Debug)]
 pub struct FrontierReply {
@@ -105,6 +129,62 @@ pub struct FrontierReply {
     pub trace: Trace,
 }
 
+/// Connection tuning for a [`Client`].
+///
+/// Both bounds default to `None` — block indefinitely, exactly the
+/// pre-timeout behaviour — so existing callers are unaffected unless
+/// they opt in.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection. `None` uses the OS
+    /// default blocking connect.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on waiting for a reply frame. A server that accepts the
+    /// connection but never answers (or stalls mid-frame) surfaces as
+    /// [`ClientError::Io`] with kind `TimedOut` within roughly twice
+    /// this bound (the deadline plus at most one socket poll).
+    pub read_timeout: Option<Duration>,
+}
+
+/// Deterministic bounded retry for backpressure (`busy`) replies.
+///
+/// The backoff schedule is a pure function of the attempt number —
+/// `min(max_delay_ms, base_delay_ms << attempt)` — so a retried
+/// campaign produces the same request sequence every run and no
+/// wall-clock reading ever leaks into results.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (0 behaves as 1).
+    pub max_attempts: u32,
+    /// Delay before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Ceiling on any single delay, in milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay_ms: 5,
+            max_delay_ms: 100,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay (ms) before the retry following attempt `attempt`
+    /// (0-based): `min(max_delay_ms, base_delay_ms << attempt)`,
+    /// saturating.
+    #[must_use]
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.base_delay_ms
+            .saturating_mul(factor)
+            .min(self.max_delay_ms)
+    }
+}
+
 enum Stream {
     Tcp(TcpStream),
     #[cfg(unix)]
@@ -114,21 +194,46 @@ enum Stream {
 /// A blocking connection to a sizing server.
 pub struct Client {
     stream: Stream,
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connects over TCP (e.g. to [`crate::Server::tcp_addr`]).
+    /// Connects over TCP (e.g. to [`crate::Server::tcp_addr`]) with no
+    /// timeouts — equivalent to `connect_tcp_with(addr, ClientConfig::default())`.
     ///
     /// # Errors
     ///
     /// Propagates connect errors.
     pub fn connect_tcp(addr: std::net::SocketAddr) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_tcp_with(addr, ClientConfig::default())
+    }
+
+    /// Connects over TCP with explicit connect/read bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors; a connect slower than
+    /// `config.connect_timeout` fails with kind `TimedOut`.
+    pub fn connect_tcp_with(
+        addr: std::net::SocketAddr,
+        config: ClientConfig,
+    ) -> io::Result<Client> {
+        let stream = match config.connect_timeout {
+            Some(bound) => TcpStream::connect_timeout(&addr, bound)?,
+            None => TcpStream::connect(addr)?,
+        };
         // Requests are single latency-sensitive frames; never let Nagle
         // hold one back behind a delayed ACK.
         stream.set_nodelay(true)?;
+        if config.read_timeout.is_some() {
+            // The socket timeout is the *poll* interval for the
+            // deadline loop in `read_frame_deadline`, so a stall
+            // mid-frame is also caught, not just a silent server.
+            stream.set_read_timeout(Some(READ_POLL))?;
+        }
         Ok(Client {
             stream: Stream::Tcp(stream),
+            read_timeout: config.read_timeout,
         })
     }
 
@@ -139,27 +244,53 @@ impl Client {
     /// Propagates connect errors.
     #[cfg(unix)]
     pub fn connect_unix(path: &Path) -> io::Result<Client> {
+        Self::connect_unix_with(path, ClientConfig::default())
+    }
+
+    /// Connects over a Unix-domain socket with a read bound
+    /// (`connect_timeout` is ignored: `UnixStream` has no timed
+    /// connect).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors.
+    #[cfg(unix)]
+    pub fn connect_unix_with(path: &Path, config: ClientConfig) -> io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        if config.read_timeout.is_some() {
+            stream.set_read_timeout(Some(READ_POLL))?;
+        }
         Ok(Client {
-            stream: Stream::Unix(UnixStream::connect(path)?),
+            stream: Stream::Unix(stream),
+            read_timeout: config.read_timeout,
         })
     }
 
-    /// Sends one raw JSON frame and reads the reply frame.
+    /// Sends one raw JSON frame and reads the reply frame, honouring
+    /// the configured read bound.
     ///
     /// # Errors
     ///
     /// [`ClientError::Io`] on transport failure (a server that closed
-    /// the connection surfaces as `UnexpectedEof`).
+    /// the connection surfaces as `UnexpectedEof`; one that stalls
+    /// past the read bound as `TimedOut`).
     pub fn request_raw(&mut self, payload: &str) -> Result<String, ClientError> {
+        let deadline = self.read_timeout.map(|bound| Instant::now() + bound);
         match &mut self.stream {
             Stream::Tcp(s) => {
                 write_frame(s, payload)?;
-                read_frame(s)
+                match deadline {
+                    Some(at) => read_frame_deadline(s, at),
+                    None => read_frame(s),
+                }
             }
             #[cfg(unix)]
             Stream::Unix(s) => {
                 write_frame(s, payload)?;
-                read_frame(s)
+                match deadline {
+                    Some(at) => read_frame_deadline(s, at),
+                    None => read_frame(s),
+                }
             }
         }?
         .ok_or_else(|| {
@@ -294,10 +425,215 @@ impl Client {
             _ => Err(unexpected("drain")),
         }
     }
+
+    /// Executes one manifest chunk on the server.
+    ///
+    /// With `seed_from_cache` the shard seeds its first solve from a
+    /// cached basis when one exists (warm transfer — pivot counts may
+    /// drop; report bytes are unaffected because `lp_iterations` is a
+    /// trace-only field on this path).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or remote failures as [`ClientError`] —
+    /// including structured manifest rejections (stale config hash,
+    /// out-of-range chunk) surfaced as [`ClientError::Remote`].
+    pub fn sweep_chunk(
+        &mut self,
+        manifest: &CampaignManifest,
+        chunk: usize,
+        seed_from_cache: bool,
+    ) -> Result<ChunkReply, ClientError> {
+        let req = Request::SweepChunk {
+            manifest: manifest.clone(),
+            chunk,
+            seed_from_cache,
+        };
+        match self.request(&req)? {
+            Response::Chunk { report, trace } => {
+                let decoded = ChunkReport::from_json(&JsonValue::parse(&report)?)?;
+                Ok(ChunkReply {
+                    report: decoded,
+                    report_json: report,
+                    trace,
+                })
+            }
+            _ => Err(unexpected("sweep_chunk")),
+        }
+    }
+
+    /// Exports the cached warm basis for an architecture/config pair.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] when the server has no warm context (or
+    /// an unsolved one) for the pair; transport/protocol failures
+    /// otherwise.
+    pub fn snapshot_export(
+        &mut self,
+        arch: &Architecture,
+        config: &SizingConfig,
+    ) -> Result<BasisSnapshot, ClientError> {
+        let req = Request::SnapshotExport {
+            arch: arch.clone(),
+            config: config.clone(),
+        };
+        match self.request(&req)? {
+            Response::Snapshot { snapshot } => {
+                Ok(basis_snapshot_from_json(&JsonValue::parse(&snapshot)?)?)
+            }
+            _ => Err(unexpected("snapshot_export")),
+        }
+    }
+
+    /// Imports a basis into the server's cache so its next solve for
+    /// this architecture/config pair starts warm.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or remote failures as [`ClientError`].
+    pub fn snapshot_import(
+        &mut self,
+        arch: &Architecture,
+        config: &SizingConfig,
+        snapshot: &BasisSnapshot,
+    ) -> Result<(), ClientError> {
+        let req = Request::SnapshotImport {
+            arch: arch.clone(),
+            config: config.clone(),
+            snapshot: snapshot.clone(),
+        };
+        match self.request(&req)? {
+            Response::Imported => Ok(()),
+            _ => Err(unexpected("snapshot_import")),
+        }
+    }
+
+    /// Runs `op`, retrying on backpressure (`busy`) with the policy's
+    /// deterministic backoff. Any other failure — and the final
+    /// attempt's `busy` — propagates unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the last attempt of `op` returned.
+    pub fn with_retry<T>(
+        &mut self,
+        policy: &RetryPolicy,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match op(self) {
+                Err(ClientError::Remote {
+                    message,
+                    retry_after_ms,
+                }) if message == "busy" && attempt + 1 < policy.max_attempts.max(1) => {
+                    // The hint is advisory; the policy's own schedule
+                    // keeps the request sequence deterministic.
+                    let _ = retry_after_ms;
+                    std::thread::sleep(Duration::from_millis(policy.delay_ms(attempt)));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
 }
 
 fn unexpected(req: &str) -> ClientError {
     ClientError::Wire(WireError::Schema(format!(
         "response shape does not match the \"{req}\" request"
     )))
+}
+
+/// Coordinator-side fan-out: one connection per shard, chunks assigned
+/// round-robin (`chunk c` → `shard c % n`), replies slotted back into
+/// chunk order so the result vector feeds
+/// `socbuf_sweep::merge_chunk_reports` directly.
+///
+/// The assignment is a pure function of `(num_chunks, shards)` — never
+/// of timing — so reruns issue identical request sequences. Each shard
+/// executes its chunks sequentially on its own thread, retrying
+/// backpressure under the fleet's [`RetryPolicy`]. Warm chains inside
+/// a chunk are preserved by construction (a chunk never splits), which
+/// is what keeps the merged bytes identical to a serial run.
+pub struct ShardFleet {
+    clients: Vec<Client>,
+    retry: RetryPolicy,
+}
+
+impl ShardFleet {
+    /// Builds a fleet over pre-connected clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty — a fleet with no shards cannot
+    /// cover any chunk.
+    #[must_use]
+    pub fn new(clients: Vec<Client>, retry: RetryPolicy) -> ShardFleet {
+        assert!(
+            !clients.is_empty(),
+            "a shard fleet needs at least one client"
+        );
+        ShardFleet { clients, retry }
+    }
+
+    /// Number of shards in the fleet.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Executes every chunk of `manifest` across the fleet and returns
+    /// the reports in chunk order.
+    ///
+    /// # Errors
+    ///
+    /// The failure from the lowest-indexed failing shard; on any
+    /// failure the whole fan-out is abandoned (partial coverage would
+    /// be rejected by the reducer anyway).
+    pub fn run_manifest(
+        &mut self,
+        manifest: &CampaignManifest,
+        seed_from_cache: bool,
+    ) -> Result<Vec<ChunkReport>, ClientError> {
+        let shards = self.clients.len();
+        let num_chunks = manifest.chunks.len();
+        let retry = self.retry;
+        let mut per_shard: Vec<Result<Vec<(usize, ChunkReport)>, ClientError>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .clients
+                .iter_mut()
+                .enumerate()
+                .map(|(shard, client)| {
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        let mut chunk = shard;
+                        while chunk < num_chunks {
+                            let reply = client.with_retry(&retry, |c| {
+                                c.sweep_chunk(manifest, chunk, seed_from_cache)
+                            })?;
+                            done.push((chunk, reply.report));
+                            chunk += shards;
+                        }
+                        Ok(done)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                per_shard.push(handle.join().expect("shard thread panicked"));
+            }
+        });
+        let mut slots: Vec<Option<ChunkReport>> = (0..num_chunks).map(|_| None).collect();
+        for shard in per_shard {
+            for (chunk, report) in shard? {
+                slots[chunk] = Some(report);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("round-robin covers every chunk"))
+            .collect())
+    }
 }

@@ -11,15 +11,34 @@
 //! pieces:
 //!
 //! * [`protocol`] — the versioned, length-prefixed JSON protocol
-//!   (`size`, `sweep`, `frontier`, `health`, `drain`), documented in
-//!   full on the module;
+//!   (`size`, `sweep`, `frontier`, `sweep_chunk`, `snapshot_export`,
+//!   `snapshot_import`, `health`, `drain`), documented in full on the
+//!   module;
 //! * [`cache`] — the keyed LRU of warm contexts with hit/miss/pivot
 //!   counters;
 //! * [`server`] — TCP/Unix listeners, per-connection handlers,
 //!   in-flight backpressure (`busy` + `retry_after_ms`), graceful
-//!   draining;
-//! * [`client`] — the blocking client the tests and the `serve_probe`
-//!   bench bin share.
+//!   draining, and the [`shard_worker_main`] entry point for spawned
+//!   shard processes;
+//! * [`client`] — the blocking client the tests and the bench bins
+//!   share, plus [`ShardFleet`], the coordinator-side fan-out that
+//!   round-robins manifest chunks over shard connections and returns
+//!   reports in merge order.
+//!
+//! # Sharded campaigns
+//!
+//! A coordinator renders a [`socbuf_core::wire::CampaignManifest`]
+//! once, fans its chunks out over `sweep_chunk` requests to any number
+//! of shard servers, and reduces the replies with
+//! `socbuf_sweep::merge_chunk_reports` — the merged report is
+//! byte-identical to a serial single-host run for **any** partition of
+//! chunks over shards, because chunks follow the campaign's own
+//! [`socbuf_core::ChunkPolicy`] warm-chain boundaries. Warmth travels
+//! separately: `snapshot_export`/`snapshot_import` move a
+//! [`socbuf_core::BasisSnapshot`] between shards so a cold shard's
+//! first solve starts from a transferred basis (fewer pivots, traced —
+//! never rendered). The `shard_probe --smoke` bench bin pins all of
+//! this end to end over real sockets.
 //!
 //! # The byte-parity contract
 //!
@@ -59,6 +78,11 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{cache_key, CacheStats, ContextCache};
-pub use client::{Client, ClientError, FrontierReply, SizeReply, SweepReply};
-pub use protocol::{Health, Request, Response, Trace, MAX_FRAME_BYTES, PROTOCOL_VERSION};
-pub use server::{Server, ServerConfig};
+pub use client::{
+    ChunkReply, Client, ClientConfig, ClientError, FrontierReply, RetryPolicy, ShardFleet,
+    SizeReply, SweepReply,
+};
+pub use protocol::{
+    Health, Request, Response, Trace, VerbCounts, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+pub use server::{shard_worker_main, Server, ServerConfig};

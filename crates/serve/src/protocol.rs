@@ -24,17 +24,26 @@
 //! Every request is an object with `"v": 1` (the protocol version —
 //! other values are rejected) and a `"req"` discriminator:
 //!
-//! | `req`      | extra fields                                 | answer |
-//! |------------|----------------------------------------------|--------|
-//! | `size`     | `arch`, `config`, `budget`                   | one sizing outcome + trace |
-//! | `sweep`    | `arch`, `config`, `budgets` (array)          | a [`SweepReport`] + trace |
-//! | `frontier` | `arch`, `config`, `budgets` (array)          | report + Pareto indices + table + trace |
-//! | `health`   | —                                            | cache/backpressure counters |
-//! | `drain`    | —                                            | drain acknowledgement |
+//! | `req`             | extra fields                                 | answer |
+//! |-------------------|----------------------------------------------|--------|
+//! | `size`            | `arch`, `config`, `budget`                   | one sizing outcome + trace |
+//! | `sweep`           | `arch`, `config`, `budgets` (array)          | a [`SweepReport`] + trace |
+//! | `frontier`        | `arch`, `config`, `budgets` (array)          | report + Pareto indices + table + trace |
+//! | `sweep_chunk`     | `manifest`, `chunk`, `seed_from_cache`       | one chunk-tagged report + trace |
+//! | `snapshot_export` | `arch`, `config`                             | the cached context's basis |
+//! | `snapshot_import` | `arch`, `config`, `snapshot`                 | import acknowledgement |
+//! | `health`          | —                                            | cache/backpressure/verb counters |
+//! | `drain`           | —                                            | drain acknowledgement |
 //!
 //! `arch` and `config` use the [`socbuf_core::wire`] schemas
 //! ([`architecture_to_json`], [`sizing_config_to_json`]); `config` may
-//! be `{}` for the defaults.
+//! be `{}` for the defaults. `manifest` is a
+//! [`socbuf_core::wire::CampaignManifest`] document and `snapshot` a
+//! [`socbuf_core::wire::basis_snapshot_to_json`] document — the shard
+//! verbs: a coordinator ships manifest chunks to shard servers
+//! (`sweep_chunk`), and may move a warm basis between shards
+//! (`snapshot_export` → `snapshot_import`) so a freshly started shard
+//! solves its first chunk warm.
 //!
 //! # Responses
 //!
@@ -70,11 +79,11 @@
 use std::io::{self, Read, Write};
 
 use socbuf_core::wire::{
-    architecture_from_json, architecture_to_json, push_f64, push_str, push_usize,
-    sizing_config_from_json, sizing_config_to_json, sizing_outcome_semantic_json, JsonValue,
-    WireError,
+    architecture_from_json, architecture_to_json, basis_snapshot_from_json, basis_snapshot_to_json,
+    push_f64, push_str, push_usize, sizing_config_from_json, sizing_config_to_json,
+    sizing_outcome_semantic_json, CampaignManifest, JsonValue, WireError,
 };
-use socbuf_core::{SizingConfig, SizingOutcome};
+use socbuf_core::{BasisSnapshot, SizingConfig, SizingOutcome};
 use socbuf_soc::Architecture;
 use socbuf_sweep::SweepReport;
 
@@ -186,6 +195,77 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<String>> {
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
 }
 
+/// [`read_frame`] with a hard deadline: the reader's own read timeout
+/// (which must be set, or reads block indefinitely) slices the wait
+/// into polls, and any `WouldBlock`/`TimedOut` poll past `deadline` —
+/// **including mid-frame**, where [`read_frame`] would keep waiting for
+/// the peer — fails with `TimedOut`. This is the client-side read:
+/// a stalled server costs at most the deadline plus one poll interval,
+/// never an unbounded hang.
+///
+/// # Errors
+///
+/// `TimedOut` once `deadline` passes; otherwise as [`read_frame`].
+pub fn read_frame_deadline<R: Read>(
+    r: &mut R,
+    deadline: std::time::Instant,
+) -> io::Result<Option<String>> {
+    let check = |e: io::Error| -> io::Result<()> {
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            if std::time::Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "read deadline exceeded waiting for a reply frame",
+                ));
+            }
+            return Ok(()); // poll again
+        }
+        Err(e)
+    };
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) => check(e)?,
+        }
+    }
+    let n = u32::from_be_bytes(len) as usize;
+    if n > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut buf = vec![0u8; n];
+    let mut got = 0;
+    while got < n {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame payload",
+                ))
+            }
+            Ok(k) => got += k,
+            Err(e) => check(e)?,
+        }
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}
+
 // ---------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------
@@ -219,6 +299,39 @@ pub enum Request {
         config: SizingConfig,
         /// The budget grid.
         budgets: Vec<usize>,
+    },
+    /// Execute one chunk of a sharded campaign manifest (the shard
+    /// worker's unit of work).
+    SweepChunk {
+        /// The campaign manifest (shape, config, chunk partition,
+        /// config hash) — verified on parse.
+        manifest: CampaignManifest,
+        /// Which manifest chunk to execute.
+        chunk: usize,
+        /// Seed the chunk's warm chain from this server's cached
+        /// context basis, when one exists. Seeding changes pivot counts
+        /// (part of the rendered bytes), so this must stay `false` on
+        /// the byte-identity merge path — it is the opt-in
+        /// warm-transfer mode, measured by the trace's pivot count.
+        seed_from_cache: bool,
+    },
+    /// Export the cached warm context's basis for (arch, config), so a
+    /// coordinator can move warmth to another shard.
+    SnapshotExport {
+        /// The architecture keying the cached context.
+        arch: Architecture,
+        /// The sizing config keying the cached context.
+        config: SizingConfig,
+    },
+    /// Import a basis into this server's context for (arch, config) —
+    /// the receiving half of a warm transfer.
+    SnapshotImport {
+        /// The architecture keying the context.
+        arch: Architecture,
+        /// The sizing config keying the context.
+        config: SizingConfig,
+        /// The basis to seed the context's next solve with.
+        snapshot: BasisSnapshot,
     },
     /// Report server counters.
     Health,
@@ -270,6 +383,36 @@ impl Request {
                     push_usize(&mut out, *b);
                 }
                 out.push(']');
+            }
+            Request::SweepChunk {
+                manifest,
+                chunk,
+                seed_from_cache,
+            } => {
+                out.push_str("\"sweep_chunk\",\"manifest\":");
+                out.push_str(&manifest.to_json());
+                out.push_str(",\"chunk\":");
+                push_usize(&mut out, *chunk);
+                out.push_str(",\"seed_from_cache\":");
+                out.push_str(if *seed_from_cache { "true" } else { "false" });
+            }
+            Request::SnapshotExport { arch, config } => {
+                out.push_str("\"snapshot_export\",\"arch\":");
+                out.push_str(&architecture_to_json(arch));
+                out.push_str(",\"config\":");
+                out.push_str(&sizing_config_to_json(config));
+            }
+            Request::SnapshotImport {
+                arch,
+                config,
+                snapshot,
+            } => {
+                out.push_str("\"snapshot_import\",\"arch\":");
+                out.push_str(&architecture_to_json(arch));
+                out.push_str(",\"config\":");
+                out.push_str(&sizing_config_to_json(config));
+                out.push_str(",\"snapshot\":");
+                out.push_str(&basis_snapshot_to_json(snapshot));
             }
             Request::Health => out.push_str("\"health\""),
             Request::Drain => out.push_str("\"drain\""),
@@ -347,6 +490,42 @@ impl Request {
                     budgets: budgets(&v)?,
                 })
             }
+            "sweep_chunk" => {
+                let manifest =
+                    CampaignManifest::from_json(v.get("manifest").ok_or_else(|| {
+                        WireError::Schema("request: missing field \"manifest\"".into())
+                    })?)?;
+                let chunk = v
+                    .get("chunk")
+                    .ok_or_else(|| WireError::Schema("request: missing field \"chunk\"".into()))?
+                    .usize("chunk")?;
+                let seed_from_cache = v
+                    .get("seed_from_cache")
+                    .ok_or_else(|| {
+                        WireError::Schema("request: missing field \"seed_from_cache\"".into())
+                    })?
+                    .bool("seed_from_cache")?;
+                Ok(Request::SweepChunk {
+                    manifest,
+                    chunk,
+                    seed_from_cache,
+                })
+            }
+            "snapshot_export" => {
+                let (arch, config) = arch_config(&v)?;
+                Ok(Request::SnapshotExport { arch, config })
+            }
+            "snapshot_import" => {
+                let (arch, config) = arch_config(&v)?;
+                let snapshot = basis_snapshot_from_json(v.get("snapshot").ok_or_else(|| {
+                    WireError::Schema("request: missing field \"snapshot\"".into())
+                })?)?;
+                Ok(Request::SnapshotImport {
+                    arch,
+                    config,
+                    snapshot,
+                })
+            }
             "health" => Ok(Request::Health),
             "drain" => Ok(Request::Drain),
             other => Err(WireError::Schema(format!(
@@ -417,6 +596,76 @@ impl Trace {
     }
 }
 
+/// Per-verb request counts (parsed requests only — a frame that fails
+/// to parse counts nowhere). The `health` count includes the request
+/// that reported it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerbCounts {
+    /// `size` requests served.
+    pub size: u64,
+    /// `sweep` requests served.
+    pub sweep: u64,
+    /// `frontier` requests served.
+    pub frontier: u64,
+    /// `sweep_chunk` requests served.
+    pub sweep_chunk: u64,
+    /// `snapshot_export` requests served.
+    pub snapshot_export: u64,
+    /// `snapshot_import` requests served.
+    pub snapshot_import: u64,
+    /// `health` requests served.
+    pub health: u64,
+    /// `drain` requests served.
+    pub drain: u64,
+}
+
+impl VerbCounts {
+    /// Renders the counts as canonical JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"size\":");
+        push_usize(&mut out, self.size as usize);
+        out.push_str(",\"sweep\":");
+        push_usize(&mut out, self.sweep as usize);
+        out.push_str(",\"frontier\":");
+        push_usize(&mut out, self.frontier as usize);
+        out.push_str(",\"sweep_chunk\":");
+        push_usize(&mut out, self.sweep_chunk as usize);
+        out.push_str(",\"snapshot_export\":");
+        push_usize(&mut out, self.snapshot_export as usize);
+        out.push_str(",\"snapshot_import\":");
+        push_usize(&mut out, self.snapshot_import as usize);
+        out.push_str(",\"health\":");
+        push_usize(&mut out, self.health as usize);
+        out.push_str(",\"drain\":");
+        push_usize(&mut out, self.drain as usize);
+        out.push('}');
+        out
+    }
+
+    /// Parses a verb-count object.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on shape mismatches.
+    pub fn from_json(v: &JsonValue) -> Result<VerbCounts, WireError> {
+        let u = |key: &str| -> Result<u64, WireError> {
+            v.get(key)
+                .ok_or_else(|| WireError::Schema(format!("requests: missing field \"{key}\"")))?
+                .u64(key)
+        };
+        Ok(VerbCounts {
+            size: u("size")?,
+            sweep: u("sweep")?,
+            frontier: u("frontier")?,
+            sweep_chunk: u("sweep_chunk")?,
+            snapshot_export: u("snapshot_export")?,
+            snapshot_import: u("snapshot_import")?,
+            health: u("health")?,
+            drain: u("drain")?,
+        })
+    }
+}
+
 /// Server counters reported by a `health` request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Health {
@@ -442,6 +691,8 @@ pub struct Health {
     pub draining: bool,
     /// Worker width of the attached [`socbuf_sweep::WorkPool`].
     pub workers: usize,
+    /// Per-verb request counts since start.
+    pub requests: VerbCounts,
 }
 
 impl Health {
@@ -469,6 +720,8 @@ impl Health {
         out.push_str(if self.draining { "true" } else { "false" });
         out.push_str(",\"workers\":");
         push_usize(&mut out, self.workers);
+        out.push_str(",\"requests\":");
+        out.push_str(&self.requests.to_json());
         out.push('}');
         out
     }
@@ -499,6 +752,11 @@ impl Health {
                 .ok_or_else(|| WireError::Schema("health: missing field \"draining\"".into()))?
                 .bool("draining")?,
             workers: u("workers")?,
+            requests: VerbCounts::from_json(
+                v.get("requests").ok_or_else(|| {
+                    WireError::Schema("health: missing field \"requests\"".into())
+                })?,
+            )?,
         })
     }
 }
@@ -536,6 +794,23 @@ pub enum Response {
         /// How the request was served.
         trace: Trace,
     },
+    /// Answer to `sweep_chunk`: a canonical chunk-report document
+    /// ([`socbuf_core::wire::ChunkReport::to_json`]).
+    Chunk {
+        /// Canonical chunk-report JSON.
+        report: String,
+        /// How the chunk was served (`warm` = the chain was seeded
+        /// from the cache; `pivots` = the chunk's total).
+        trace: Trace,
+    },
+    /// Answer to `snapshot_export`: a canonical basis document
+    /// ([`basis_snapshot_to_json`]).
+    Snapshot {
+        /// Canonical basis-snapshot JSON.
+        snapshot: String,
+    },
+    /// Answer to `snapshot_import`.
+    Imported,
     /// Answer to `health`.
     Health(Health),
     /// Drain acknowledgement.
@@ -616,6 +891,17 @@ impl Response {
                 out.push_str(",\"trace\":");
                 out.push_str(&trace.to_json());
             }
+            Response::Chunk { report, trace } => {
+                out.push_str("true,\"chunk_report\":");
+                out.push_str(report);
+                out.push_str(",\"trace\":");
+                out.push_str(&trace.to_json());
+            }
+            Response::Snapshot { snapshot } => {
+                out.push_str("true,\"snapshot\":");
+                out.push_str(snapshot);
+            }
+            Response::Imported => out.push_str("true,\"imported\":true"),
             Response::Health(h) => {
                 out.push_str("true,\"health\":");
                 out.push_str(&h.to_json());
@@ -682,6 +968,20 @@ impl Response {
                 trace: trace(&v)?,
             });
         }
+        if let Some(r) = v.get("chunk_report") {
+            return Ok(Response::Chunk {
+                report: r.render(),
+                trace: trace(&v)?,
+            });
+        }
+        if let Some(s) = v.get("snapshot") {
+            return Ok(Response::Snapshot {
+                snapshot: s.render(),
+            });
+        }
+        if v.get("imported").is_some() {
+            return Ok(Response::Imported);
+        }
         if let Some(h) = v.get("health") {
             return Ok(Response::Health(Health::from_json(h)?));
         }
@@ -714,7 +1014,9 @@ impl Response {
             });
         }
         Err(WireError::Schema(
-            "response matches no known shape (expected result/report/health/draining)".into(),
+            "response matches no known shape \
+             (expected result/report/chunk_report/snapshot/imported/health/draining)"
+                .into(),
         ))
     }
 }
@@ -750,6 +1052,17 @@ mod tests {
     fn requests_roundtrip_through_the_codec() {
         let arch = templates::amba();
         let config = SizingConfig::small();
+        let manifest = CampaignManifest::new(
+            socbuf_core::wire::ManifestShape::Budget {
+                arch: arch.clone(),
+                budgets: vec![8, 16, 24, 32, 40],
+                warm_start: true,
+            },
+            config.clone(),
+        )
+        .unwrap();
+        let snapshot =
+            BasisSnapshot::new(vec![0, 2, usize::MAX], 5, socbuf_core::LpEngine::Revised);
         for req in [
             Request::Size {
                 arch: arch.clone(),
@@ -765,6 +1078,20 @@ mod tests {
                 arch: arch.clone(),
                 config: config.clone(),
                 budgets: vec![8, 16],
+            },
+            Request::SweepChunk {
+                manifest,
+                chunk: 1,
+                seed_from_cache: true,
+            },
+            Request::SnapshotExport {
+                arch: arch.clone(),
+                config: config.clone(),
+            },
+            Request::SnapshotImport {
+                arch: arch.clone(),
+                config: config.clone(),
+                snapshot,
             },
             Request::Health,
             Request::Drain,
@@ -804,6 +1131,16 @@ mod tests {
             max_inflight: 4,
             draining: false,
             workers: 2,
+            requests: VerbCounts {
+                size: 7,
+                sweep: 2,
+                frontier: 1,
+                sweep_chunk: 4,
+                snapshot_export: 1,
+                snapshot_import: 1,
+                health: 3,
+                drain: 0,
+            },
         };
         for resp in [
             Response::Size {
@@ -814,6 +1151,14 @@ mod tests {
                 report: "{\"kind\":\"budget\",\"points\":[]}".into(),
                 trace,
             },
+            Response::Chunk {
+                report: "{\"chunk\":0,\"kind\":\"budget\",\"config_hash\":\"00000000000000ab\",\"start\":0,\"end\":1,\"points\":[]}".into(),
+                trace,
+            },
+            Response::Snapshot {
+                snapshot: "{\"basis\":[0,null],\"cols\":3,\"engine\":\"revised\"}".into(),
+            },
+            Response::Imported,
             Response::Frontier {
                 report: "{\"kind\":\"budget\",\"points\":[]}".into(),
                 indices: vec![0, 2],

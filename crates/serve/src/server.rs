@@ -43,11 +43,14 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use socbuf_core::{ExecutorHandle, SolveContext};
-use socbuf_sweep::{BudgetSweep, SweepReport, WorkPool};
+use std::sync::atomic::AtomicU64;
+
+use socbuf_core::wire::{basis_snapshot_to_json, CampaignManifest, ManifestShape};
+use socbuf_core::{BasisSnapshot, ExecutorHandle, SolveContext};
+use socbuf_sweep::{execute_manifest_chunk, BudgetSweep, SweepReport, WorkPool};
 
 use crate::cache::{cache_key, ContextCache};
-use crate::protocol::{read_frame, write_frame, Health, Request, Response, Trace};
+use crate::protocol::{read_frame, write_frame, Health, Request, Response, Trace, VerbCounts};
 
 /// How often blocking reads wake up to poll the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
@@ -78,6 +81,49 @@ impl Default for ServerConfig {
     }
 }
 
+/// Per-verb request counters (see [`VerbCounts`] for semantics).
+#[derive(Default)]
+struct VerbCounters {
+    size: AtomicU64,
+    sweep: AtomicU64,
+    frontier: AtomicU64,
+    sweep_chunk: AtomicU64,
+    snapshot_export: AtomicU64,
+    snapshot_import: AtomicU64,
+    health: AtomicU64,
+    drain: AtomicU64,
+}
+
+impl VerbCounters {
+    /// Counts one parsed request under its verb.
+    fn count(&self, request: &Request) {
+        let counter = match request {
+            Request::Size { .. } => &self.size,
+            Request::Sweep { .. } => &self.sweep,
+            Request::Frontier { .. } => &self.frontier,
+            Request::SweepChunk { .. } => &self.sweep_chunk,
+            Request::SnapshotExport { .. } => &self.snapshot_export,
+            Request::SnapshotImport { .. } => &self.snapshot_import,
+            Request::Health => &self.health,
+            Request::Drain => &self.drain,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> VerbCounts {
+        VerbCounts {
+            size: self.size.load(Ordering::Relaxed),
+            sweep: self.sweep.load(Ordering::Relaxed),
+            frontier: self.frontier.load(Ordering::Relaxed),
+            sweep_chunk: self.sweep_chunk.load(Ordering::Relaxed),
+            snapshot_export: self.snapshot_export.load(Ordering::Relaxed),
+            snapshot_import: self.snapshot_import.load(Ordering::Relaxed),
+            health: self.health.load(Ordering::Relaxed),
+            drain: self.drain.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// State shared by the accept loop and every handler thread.
 struct Shared {
     cache: ContextCache,
@@ -88,6 +134,7 @@ struct Shared {
     inflight: AtomicUsize,
     draining: AtomicBool,
     stopping: AtomicBool,
+    verbs: VerbCounters,
 }
 
 impl Shared {
@@ -105,6 +152,7 @@ impl Shared {
             max_inflight: self.max_inflight,
             draining: self.draining.load(Ordering::Relaxed),
             workers: self.pool.workers(),
+            requests: self.verbs.snapshot(),
         }
     }
 }
@@ -193,6 +241,7 @@ impl Server {
             inflight: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
             stopping: AtomicBool::new(false),
+            verbs: VerbCounters::default(),
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -381,11 +430,55 @@ fn handle_request(shared: &Shared, text: &str) -> String {
             .to_json()
         }
     };
+    shared.verbs.count(&request);
     match request {
         Request::Health => Response::Health(shared.health()).to_json(),
         Request::Drain => {
             shared.draining.store(true, Ordering::Release);
             Response::Draining.to_json()
+        }
+        // Snapshot verbs are cache operations, not solves: they skip
+        // the in-flight bound and stay available while draining —
+        // exporting warmth off a draining shard is exactly when a
+        // coordinator needs them.
+        Request::SnapshotExport { arch, config } => {
+            let key = cache_key(&arch, &config);
+            match shared.cache.checkout(&key) {
+                None => Response::Error {
+                    message: "no warm context cached for this architecture/config".into(),
+                }
+                .to_json(),
+                Some(ctx) => {
+                    let snapshot = ctx.basis_snapshot().cloned();
+                    shared.cache.checkin(key, ctx);
+                    match snapshot {
+                        Some(s) => Response::Snapshot {
+                            snapshot: basis_snapshot_to_json(&s),
+                        }
+                        .to_json(),
+                        None => Response::Error {
+                            message: "cached context has no basis to export (it has not solved)"
+                                .into(),
+                        }
+                        .to_json(),
+                    }
+                }
+            }
+        }
+        Request::SnapshotImport {
+            arch,
+            config,
+            snapshot,
+        } => {
+            let key = cache_key(&arch, &config);
+            let mut ctx = shared.cache.checkout(&key).unwrap_or_else(|| {
+                let mut config = config.clone();
+                config.executor = shared.executor.clone();
+                SolveContext::new(&arch, &config)
+            });
+            ctx.import_basis(snapshot);
+            shared.cache.checkin(key, ctx);
+            Response::Imported.to_json()
         }
         solve_request => {
             if shared.draining.load(Ordering::Acquire) {
@@ -469,7 +562,18 @@ fn handle_request(shared: &Shared, text: &str) -> String {
                     Ok((report, trace)) => Response::for_frontier(&report, trace).to_json(),
                     Err(message) => Response::Error { message }.to_json(),
                 },
-                Request::Health | Request::Drain => unreachable!("handled above"),
+                Request::SweepChunk {
+                    manifest,
+                    chunk,
+                    seed_from_cache,
+                } => match run_chunk(shared, &manifest, chunk, seed_from_cache, received) {
+                    Ok((report, trace)) => Response::Chunk { report, trace }.to_json(),
+                    Err(message) => Response::Error { message }.to_json(),
+                },
+                Request::Health
+                | Request::Drain
+                | Request::SnapshotExport { .. }
+                | Request::SnapshotImport { .. } => unreachable!("handled above"),
             }
         }
     }
@@ -498,6 +602,92 @@ fn run_sweep(
         report,
         Trace {
             warm: false,
+            pivots,
+            queue_wait_us,
+            solve_us,
+        },
+    ))
+}
+
+/// The shard-worker mode: binds an ephemeral loopback TCP listener,
+/// prints `PORT <n>` on stdout (the coordinator's handshake line), and
+/// serves until stdin reaches EOF — so a coordinator that exits (or
+/// deliberately closes the worker's stdin) takes its workers down with
+/// it, and an orphaned worker can never outlive its campaign.
+///
+/// This is what `socbuf-serve`'s `shard_worker` bin and the
+/// `shard_probe` smoke harness run in their child processes.
+///
+/// # Errors
+///
+/// Propagates bind and stdout I/O errors.
+pub fn shard_worker_main(config: ServerConfig) -> io::Result<()> {
+    let server = Server::bind_tcp("127.0.0.1:0", config)?;
+    let addr = server.tcp_addr().expect("TCP servers have an address");
+    {
+        let mut out = io::stdout().lock();
+        writeln!(out, "PORT {}", addr.port())?;
+        out.flush()?;
+    }
+    // Park until the coordinator closes our stdin.
+    let mut sink = Vec::new();
+    let _ = io::stdin().lock().read_to_end(&mut sink);
+    server.shutdown();
+    Ok(())
+}
+
+/// The architecture a manifest's cached contexts are keyed under
+/// (random campaigns have none — every seed is its own architecture).
+fn manifest_arch(manifest: &CampaignManifest) -> Option<&socbuf_soc::Architecture> {
+    match &manifest.shape {
+        ManifestShape::Budget { arch, .. } | ManifestShape::Load { arch, .. } => Some(arch),
+        ManifestShape::Random { .. } => None,
+    }
+}
+
+/// Executes one manifest chunk on the server's pool, optionally seeding
+/// its warm chain from the cached context for the manifest's
+/// (architecture, config) key. The cache is only *read* (checkout,
+/// clone the basis, checkin unchanged): chunk chains are private to the
+/// request, so a chunk can never pollute the warmth `size` requests
+/// rely on.
+fn run_chunk(
+    shared: &Shared,
+    manifest: &CampaignManifest,
+    chunk: usize,
+    seed_from_cache: bool,
+    received: Instant,
+) -> Result<(String, Trace), String> {
+    let seed: Option<BasisSnapshot> = if seed_from_cache {
+        manifest_arch(manifest).and_then(|arch| {
+            let key = cache_key(arch, &manifest.config);
+            shared.cache.checkout(&key).and_then(|ctx| {
+                let snapshot = ctx.basis_snapshot().cloned();
+                shared.cache.checkin(key, ctx);
+                snapshot
+            })
+        })
+    } else {
+        None
+    };
+    let warm = seed.is_some();
+    let queue_wait_us = received.elapsed().as_micros() as u64;
+    let solving = Instant::now();
+    let report =
+        execute_manifest_chunk(manifest, chunk, &shared.pool, seed).map_err(|e| e.to_string())?;
+    let solve_us = solving.elapsed().as_micros() as u64;
+    // Chunk points are canonical JSON objects; their `lp_iterations`
+    // field is the per-point pivot count.
+    let pivots: usize = report
+        .points
+        .iter()
+        .filter_map(|p| p.get("lp_iterations").and_then(|n| n.usize("pivots").ok()))
+        .sum();
+    shared.cache.record_solve(warm, pivots);
+    Ok((
+        report.to_json(),
+        Trace {
+            warm,
             pivots,
             queue_wait_us,
             solve_us,

@@ -8,8 +8,11 @@
 
 use socbuf_core::wire::sizing_outcome_semantic_json;
 use socbuf_core::{size_buffers, SizingConfig};
-use socbuf_serve::{Client, ClientError, Server, ServerConfig};
+use socbuf_serve::{
+    Client, ClientConfig, ClientError, Health, RetryPolicy, Server, ServerConfig, ShardFleet,
+};
 use socbuf_soc::templates;
+use socbuf_sweep::{merge_chunk_reports, run_manifest, BudgetSweep, WorkPool};
 
 /// The semantic bytes the server must reproduce for (arch, budget).
 fn expected(arch: &socbuf_soc::Architecture, budget: usize, config: &SizingConfig) -> String {
@@ -290,6 +293,233 @@ fn malformed_and_mismatched_requests_fail_without_killing_the_connection() {
     let reply = client.size(&arch, &config, 24).unwrap();
     assert_eq!(reply.result_json, expected(&arch, 24, &config));
     server.shutdown();
+}
+
+/// Every counter in `Health` that is defined as "since start" must be
+/// monotone non-decreasing between two snapshots.
+fn assert_monotone(before: &Health, after: &Health, at: &str) {
+    assert!(after.hits >= before.hits, "{at}: hits decreased");
+    assert!(after.misses >= before.misses, "{at}: misses decreased");
+    assert!(
+        after.evictions >= before.evictions,
+        "{at}: evictions decreased"
+    );
+    assert!(
+        after.warm_pivots >= before.warm_pivots,
+        "{at}: warm_pivots decreased"
+    );
+    assert!(
+        after.cold_pivots >= before.cold_pivots,
+        "{at}: cold_pivots decreased"
+    );
+    for (name, b, a) in [
+        ("size", before.requests.size, after.requests.size),
+        ("sweep", before.requests.sweep, after.requests.sweep),
+        (
+            "frontier",
+            before.requests.frontier,
+            after.requests.frontier,
+        ),
+        (
+            "sweep_chunk",
+            before.requests.sweep_chunk,
+            after.requests.sweep_chunk,
+        ),
+        (
+            "snapshot_export",
+            before.requests.snapshot_export,
+            after.requests.snapshot_export,
+        ),
+        (
+            "snapshot_import",
+            before.requests.snapshot_import,
+            after.requests.snapshot_import,
+        ),
+        ("health", before.requests.health, after.requests.health),
+        ("drain", before.requests.drain, after.requests.drain),
+    ] {
+        assert!(a >= b, "{at}: requests.{name} decreased ({b} -> {a})");
+    }
+}
+
+#[test]
+fn health_counters_stay_monotone_across_warm_cold_and_evicting_traffic() {
+    // Capacity 1 forces the full lifecycle: cold miss, warm hit,
+    // evicting miss — with a health snapshot between every step.
+    let server = Server::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfig {
+            cache_capacity: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).unwrap();
+    let config = SizingConfig::small();
+    let (a, b) = (templates::amba(), templates::figure1());
+
+    let h0 = client.health().unwrap();
+    assert_eq!(h0.requests.size, 0);
+    assert_eq!(h0.requests.health, 1, "health must count itself");
+
+    let cold = client.size(&a, &config, 24).unwrap();
+    assert!(!cold.trace.warm);
+    let h1 = client.health().unwrap();
+    assert_monotone(&h0, &h1, "after cold solve");
+    assert_eq!(h1.misses, h0.misses + 1);
+    assert!(
+        h1.cold_pivots > h0.cold_pivots,
+        "a cold solve spends pivots"
+    );
+
+    let warm = client.size(&a, &config, 24).unwrap();
+    assert!(warm.trace.warm);
+    let h2 = client.health().unwrap();
+    assert_monotone(&h1, &h2, "after warm hit");
+    assert_eq!(h2.hits, h1.hits + 1);
+    assert_eq!(h2.misses, h1.misses, "a warm hit must not count as a miss");
+
+    let evicting = client.size(&b, &config, 24).unwrap();
+    assert!(!evicting.trace.warm);
+    let h3 = client.health().unwrap();
+    assert_monotone(&h2, &h3, "after evicting solve");
+    assert_eq!(h3.evictions, h2.evictions + 1);
+    assert_eq!(h3.misses, h2.misses + 1);
+
+    assert_eq!(h3.requests.size, 3, "three size requests were issued");
+    assert_eq!(h3.requests.health, 4, "four health requests were issued");
+    assert_eq!(h3.requests.sweep, 0);
+    server.shutdown();
+}
+
+#[test]
+fn a_stalled_server_times_out_instead_of_hanging_the_client() {
+    // A raw listener that accepts the connection and then never
+    // answers — the failure mode a read bound exists for.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stall = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        // Hold the connection open, reading but never replying, until
+        // the client gives up and drops its end.
+        let mut stream = stream;
+        let mut sink = [0u8; 256];
+        use std::io::Read;
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    });
+
+    let bound = std::time::Duration::from_millis(150);
+    let mut client = Client::connect_tcp_with(
+        addr,
+        ClientConfig {
+            connect_timeout: Some(std::time::Duration::from_secs(2)),
+            read_timeout: Some(bound),
+        },
+    )
+    .unwrap();
+    let start = std::time::Instant::now();
+    match client.health() {
+        Err(ClientError::Io(e)) => assert_eq!(
+            e.kind(),
+            std::io::ErrorKind::TimedOut,
+            "stall must surface as a timeout, got {e}"
+        ),
+        other => panic!("expected a timeout, got {other:?}"),
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed >= bound,
+        "timed out before the bound: {elapsed:?} < {bound:?}"
+    );
+    assert!(
+        elapsed < bound * 10,
+        "timeout wildly overshot the bound: {elapsed:?}"
+    );
+    drop(client);
+    stall.join().unwrap();
+}
+
+/// Zeroes every `"lp_iterations":N` value so two renderings can be
+/// compared modulo the one field basis seeding is allowed to change.
+fn mask_pivots(json: &str) -> String {
+    const KEY: &str = "\"lp_iterations\":";
+    let mut out = String::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(KEY) {
+        let after = pos + KEY.len();
+        out.push_str(&rest[..after]);
+        out.push('0');
+        let tail = &rest[after..];
+        let end = tail
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(tail.len());
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn fleet_fan_out_merges_byte_identically_and_snapshots_transfer_warmth() {
+    let arch = templates::amba();
+    let config = SizingConfig::small();
+    let mut sweep = BudgetSweep::new(&arch, vec![10, 12, 14, 16, 18, 20, 24, 28, 32, 40]);
+    sweep.sizing = config.clone();
+    let manifest = sweep.manifest().unwrap();
+    let serial = run_manifest(&manifest, &WorkPool::serial()).unwrap();
+
+    let shard_a = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let shard_b = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr_a = shard_a.tcp_addr().unwrap();
+    let addr_b = shard_b.tcp_addr().unwrap();
+
+    // Coordinator fan-out over both shards reproduces the serial bytes.
+    let mut fleet = ShardFleet::new(
+        vec![
+            Client::connect_tcp(addr_a).unwrap(),
+            Client::connect_tcp(addr_b).unwrap(),
+        ],
+        RetryPolicy::default(),
+    );
+    let reports = fleet.run_manifest(&manifest, false).unwrap();
+    let merged = merge_chunk_reports(&manifest, &reports).unwrap();
+    assert_eq!(merged.to_csv(), serial.to_csv());
+    assert_eq!(merged.to_jsonl(), serial.to_jsonl());
+
+    // Warmth transfer: a size query warms shard A's cache (chunk
+    // execution runs through the plan, not the cache); a fresh shard
+    // refuses to export, accepts A's snapshot, and then serves a
+    // basis-seeded chunk whose bytes are unchanged.
+    let mut client_a = Client::connect_tcp(addr_a).unwrap();
+    client_a.size(&arch, &config, 24).unwrap();
+    let snapshot = client_a.snapshot_export(&arch, &config).unwrap();
+
+    let shard_c = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client_c = Client::connect_tcp(shard_c.tcp_addr().unwrap()).unwrap();
+    match client_c.snapshot_export(&arch, &config) {
+        Err(ClientError::Remote { message, .. }) => {
+            assert!(message.contains("no warm context"), "got: {message}")
+        }
+        other => panic!("cold shard must refuse to export, got {other:?}"),
+    }
+    client_c.snapshot_import(&arch, &config, &snapshot).unwrap();
+    let seeded = client_c.sweep_chunk(&manifest, 0, true).unwrap();
+    assert!(seeded.trace.warm, "an imported basis must seed the chunk");
+    // Seeding changes only the path-dependent pivot counts
+    // (`lp_iterations`); every semantic byte must agree — which is why
+    // seeded chunks never enter a byte-identity merge.
+    assert_eq!(
+        mask_pivots(&seeded.report_json),
+        mask_pivots(&reports[0].to_json()),
+        "basis seeding changed a semantic byte"
+    );
+    let health_c = client_c.health().unwrap();
+    assert_eq!(health_c.requests.snapshot_import, 1);
+    assert_eq!(health_c.requests.sweep_chunk, 1);
+
+    shard_a.shutdown();
+    shard_b.shutdown();
+    shard_c.shutdown();
 }
 
 #[cfg(unix)]

@@ -8,9 +8,11 @@
 //! seeds derive from replication indices, and error selection (when
 //! several points fail) picks the lowest index.
 
+use socbuf_core::wire::{CampaignManifest, ManifestShape};
 use socbuf_core::{
-    evaluate_policies_sized, evaluate_policies_with, size_buffers, CoreError, PipelineConfig,
-    ReplicationPool, SerialPool, SizingConfig, SizingOutcome, SolveContext,
+    evaluate_policies_sized, evaluate_policies_with, size_buffers, BasisSnapshot, ChunkPolicy,
+    CoreError, PipelineConfig, ReplicationPool, SerialPool, SizingConfig, SizingOutcome,
+    SolveContext,
 };
 use socbuf_sim::SimReport;
 use socbuf_soc::templates::{random_architecture, RandomArchParams};
@@ -20,19 +22,22 @@ use crate::pool::WorkPool;
 use crate::report::{SimSummary, SweepKind, SweepPoint, SweepReport};
 
 /// Number of consecutive work items a warm-start chain spans in a
-/// budget or load campaign. Chunk boundaries are fixed by **item
-/// index** — chunk `c` always covers items `c·WARM_CHUNK ..
-/// (c+1)·WARM_CHUNK` — never by worker count, so the chain each item
+/// budget or load campaign — the length of
+/// [`ChunkPolicy::WARM_CHAIN`], the workspace's shared scheduling
+/// policy. Chunk boundaries are fixed by **item index** — chunk `c`
+/// always covers items `c·WARM_CHUNK .. (c+1)·WARM_CHUNK` — never by
+/// worker count (or shard assignment), so the chain each item
 /// participates in (and therefore its solver path, pivot count and
 /// rendered bytes) is identical whether the campaign runs on 1, 2 or 8
-/// workers. Workers claim whole chunks; within a chunk the items run in
-/// index order sharing one [`SolveContext`], the first item cold (bit
-/// identical to [`size_buffers`]) and the rest warm-started from their
+/// workers, or split across shard processes. Workers claim whole
+/// chunks; within a chunk the items run in index order sharing one
+/// [`SolveContext`], the first item cold (bit identical to
+/// [`size_buffers`]) and the rest warm-started from their
 /// predecessor's basis.
 ///
 /// The value trades warm-chain length against scheduling granularity: a
 /// campaign of `n` items exposes `⌈n / WARM_CHUNK⌉` parallel units.
-pub const WARM_CHUNK: usize = 4;
+pub const WARM_CHUNK: usize = ChunkPolicy::WARM_CHAIN.chunk_len();
 
 /// Failure of one campaign work item (the lowest-index failure when
 /// several items fail).
@@ -223,21 +228,6 @@ fn assemble_point(
     }
 }
 
-/// Runs `items` index-fixed chunks of [`WARM_CHUNK`] through the pool's
-/// shared chunked scheduler ([`WorkPool::run_chunked`]), giving each
-/// chunk its own warm chain, and flattens the results back into item
-/// order.
-fn run_warm_chunks<F>(
-    pool: &WorkPool,
-    items: usize,
-    chunk_job: F,
-) -> Vec<Result<SweepPoint, SweepError>>
-where
-    F: Fn(std::ops::Range<usize>) -> Vec<Result<SweepPoint, SweepError>> + Sync,
-{
-    pool.run_chunked(items, WARM_CHUNK, chunk_job)
-}
-
 /// Prepares a campaign's sizing config for `pool`: when the decomposed
 /// LP engine is selected and no block executor was attached explicitly,
 /// the campaign's own pool doubles as the block executor — per-block
@@ -263,6 +253,123 @@ fn reduce(
         points.push(r?);
     }
     Ok(SweepReport { kind, points })
+}
+
+/// A campaign lowered to its chunk-execution core: an index-ordered
+/// work list, the [`ChunkPolicy`] that partitions it, and one closure
+/// that executes any chunk range. Every campaign — local pool run,
+/// single chunk on a remote shard, smoke probe — goes through a plan,
+/// so chunk semantics (warm-chain boundaries, cold chunk-initial
+/// solves, by-index reduction) live in exactly one place.
+///
+/// The closure's optional [`BasisSnapshot`] seeds the chunk's warm
+/// chain *before* its first solve (see [`SolveContext::import_basis`]).
+/// Seeding changes pivot counts — and `lp_iterations` is part of the
+/// rendered bytes — so the byte-identity contract only covers unseeded
+/// execution; [`CampaignPlan::run`] never seeds. Seeded chunks are the
+/// shard layer's opt-in warm-transfer mode, measured by pivot counts.
+pub struct CampaignPlan<'a> {
+    kind: SweepKind,
+    items: usize,
+    policy: ChunkPolicy,
+    exec: ChunkExec<'a>,
+}
+
+/// The plan's chunk executor: runs one index range, optionally seeded
+/// with a [`BasisSnapshot`] ahead of the chunk's first solve.
+type ChunkExec<'a> = Box<
+    dyn Fn(std::ops::Range<usize>, Option<BasisSnapshot>) -> Vec<Result<SweepPoint, SweepError>>
+        + Sync
+        + 'a,
+>;
+
+impl std::fmt::Debug for CampaignPlan<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignPlan")
+            .field("kind", &self.kind)
+            .field("items", &self.items)
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> CampaignPlan<'a> {
+    /// The campaign's report kind.
+    pub fn kind(&self) -> SweepKind {
+        self.kind
+    }
+
+    /// Number of work items in the campaign.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// The scheduling policy partitioning the work list.
+    pub fn policy(&self) -> ChunkPolicy {
+        self.policy
+    }
+
+    /// Number of chunks the policy splits the work list into.
+    pub fn num_chunks(&self) -> usize {
+        self.policy.num_chunks(self.items)
+    }
+
+    /// Executes one chunk and returns its points in index order —
+    /// the unit a shard worker runs. `seed` warm-starts the chunk's
+    /// first solve from an imported basis (pivot counts change, so
+    /// never seed a chunk whose bytes must match a serial run).
+    ///
+    /// # Errors
+    ///
+    /// The lowest-index point failure within the chunk, or
+    /// [`SweepError::BadConfig`] for a chunk index out of range.
+    pub fn execute_chunk(
+        &self,
+        chunk: usize,
+        seed: Option<BasisSnapshot>,
+    ) -> Result<Vec<SweepPoint>, SweepError> {
+        let range = self.policy.chunk_range(chunk, self.items);
+        if range.is_empty() {
+            return Err(SweepError::BadConfig(format!(
+                "chunk {chunk} is out of range for {} items",
+                self.items
+            )));
+        }
+        let mut points = Vec::with_capacity(range.len());
+        for r in (self.exec)(range, seed) {
+            points.push(r?);
+        }
+        Ok(points)
+    }
+
+    /// Runs every chunk across `pool` (unseeded — the byte-identical
+    /// path) and reduces the points into a report.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-index point failure.
+    pub fn run(&self, pool: &WorkPool) -> Result<SweepReport, SweepError> {
+        let results = pool.run_chunked(self.items, self.policy.chunk_len(), |range| {
+            (self.exec)(range, None)
+        });
+        reduce(self.kind, results)
+    }
+}
+
+/// Shared manifest-construction guard: manifests describe sizing-only
+/// campaigns (simulation campaigns remain single-host).
+fn reject_simulate(simulate: &Option<PipelineConfig>) -> Result<(), SweepError> {
+    if simulate.is_some() {
+        return Err(SweepError::BadConfig(
+            "manifests describe sizing-only campaigns; drop `simulate` before sharding".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Maps a manifest-construction failure into the campaign error space.
+fn manifest_err(source: socbuf_core::wire::WireError) -> SweepError {
+    SweepError::BadConfig(source.to_string())
 }
 
 /// Loss/allocation/shadow-price across a budget grid on one
@@ -302,6 +409,81 @@ impl<'a> BudgetSweep<'a> {
         }
     }
 
+    /// Lowers the sweep to its chunk-execution core. The plan owns
+    /// clones of the grid and configuration (with `pool` attached as
+    /// the block-solve executor) and borrows only the architecture, so
+    /// it outlives the sweep value it came from.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::BadConfig`] for an empty grid.
+    pub fn plan(&self, pool: &WorkPool) -> Result<CampaignPlan<'a>, SweepError> {
+        if self.budgets.is_empty() {
+            return Err(SweepError::BadConfig("empty budget grid".into()));
+        }
+        let arch = self.arch;
+        let budgets = self.budgets.clone();
+        let sizing = attach_pool(&self.sizing, pool);
+        let simulate = self.simulate.clone();
+        let exec: ChunkExec<'a> = if self.warm_start {
+            Box::new(move |range, seed| {
+                let mut ctx = SolveContext::new(arch, &sizing);
+                if let Some(snapshot) = seed {
+                    ctx.import_basis(snapshot);
+                }
+                range
+                    .map(|i| {
+                        warm_size_point(
+                            &mut ctx,
+                            arch,
+                            i,
+                            budgets[i],
+                            1.0,
+                            &sizing,
+                            simulate.as_ref(),
+                        )
+                    })
+                    .collect()
+            })
+        } else {
+            Box::new(move |range, _seed| {
+                range
+                    .map(|i| size_point(arch, i, budgets[i], 1.0, None, &sizing, simulate.as_ref()))
+                    .collect()
+            })
+        };
+        Ok(CampaignPlan {
+            kind: SweepKind::Budget,
+            items: self.budgets.len(),
+            policy: if self.warm_start {
+                ChunkPolicy::WARM_CHAIN
+            } else {
+                ChunkPolicy::INDEPENDENT
+            },
+            exec,
+        })
+    }
+
+    /// The sweep's sharding contract (see
+    /// [`CampaignManifest`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::BadConfig`] for an empty grid or a simulation
+    /// campaign (manifests are sizing-only).
+    pub fn manifest(&self) -> Result<CampaignManifest, SweepError> {
+        reject_simulate(&self.simulate)?;
+        CampaignManifest::new(
+            ManifestShape::Budget {
+                arch: self.arch.clone(),
+                budgets: self.budgets.clone(),
+                warm_start: self.warm_start,
+            },
+            self.sizing.clone(),
+        )
+        .map_err(manifest_err)
+    }
+
     /// Runs the sweep on `pool`.
     ///
     /// # Errors
@@ -309,41 +491,7 @@ impl<'a> BudgetSweep<'a> {
     /// The lowest-index point failure, or [`SweepError::BadConfig`] for
     /// an empty grid.
     pub fn run(&self, pool: &WorkPool) -> Result<SweepReport, SweepError> {
-        if self.budgets.is_empty() {
-            return Err(SweepError::BadConfig("empty budget grid".into()));
-        }
-        let sizing = attach_pool(&self.sizing, pool);
-        let results = if self.warm_start {
-            run_warm_chunks(pool, self.budgets.len(), |range| {
-                let mut ctx = SolveContext::new(self.arch, &sizing);
-                range
-                    .map(|i| {
-                        warm_size_point(
-                            &mut ctx,
-                            self.arch,
-                            i,
-                            self.budgets[i],
-                            1.0,
-                            &sizing,
-                            self.simulate.as_ref(),
-                        )
-                    })
-                    .collect()
-            })
-        } else {
-            pool.map(&self.budgets, |i, &budget| {
-                size_point(
-                    self.arch,
-                    i,
-                    budget,
-                    1.0,
-                    None,
-                    &sizing,
-                    self.simulate.as_ref(),
-                )
-            })
-        };
-        reduce(SweepKind::Budget, results)
+        self.plan(pool)?.run(pool)
     }
 }
 
@@ -381,6 +529,90 @@ impl<'a> LoadSweep<'a> {
         }
     }
 
+    /// Lowers the sweep to its chunk-execution core (see
+    /// [`BudgetSweep::plan`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::BadConfig`] for an empty grid.
+    pub fn plan(&self, pool: &WorkPool) -> Result<CampaignPlan<'a>, SweepError> {
+        if self.factors.is_empty() {
+            return Err(SweepError::BadConfig("empty factor grid".into()));
+        }
+        let arch = self.arch;
+        let budget = self.budget;
+        let factors = self.factors.clone();
+        let sizing = attach_pool(&self.sizing, pool);
+        let simulate = self.simulate.clone();
+        let exec: ChunkExec<'a> = if self.warm_start {
+            Box::new(move |range, seed| {
+                let mut ctx = SolveContext::new(arch, &sizing);
+                if let Some(snapshot) = seed {
+                    ctx.import_basis(snapshot);
+                }
+                range
+                    .map(|i| {
+                        let factor = factors[i];
+                        let scaled = arch
+                            .scale_rates(factor, 1.0)
+                            .map_err(|source| SweepError::Arch { index: i, source })?;
+                        warm_size_point(
+                            &mut ctx,
+                            &scaled,
+                            i,
+                            budget,
+                            factor,
+                            &sizing,
+                            simulate.as_ref(),
+                        )
+                    })
+                    .collect()
+            })
+        } else {
+            Box::new(move |range, _seed| {
+                range
+                    .map(|i| {
+                        let factor = factors[i];
+                        let scaled = arch
+                            .scale_rates(factor, 1.0)
+                            .map_err(|source| SweepError::Arch { index: i, source })?;
+                        size_point(&scaled, i, budget, factor, None, &sizing, simulate.as_ref())
+                    })
+                    .collect()
+            })
+        };
+        Ok(CampaignPlan {
+            kind: SweepKind::Load,
+            items: self.factors.len(),
+            policy: if self.warm_start {
+                ChunkPolicy::WARM_CHAIN
+            } else {
+                ChunkPolicy::INDEPENDENT
+            },
+            exec,
+        })
+    }
+
+    /// The sweep's sharding contract (see [`CampaignManifest`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::BadConfig`] for an empty grid or a simulation
+    /// campaign (manifests are sizing-only).
+    pub fn manifest(&self) -> Result<CampaignManifest, SweepError> {
+        reject_simulate(&self.simulate)?;
+        CampaignManifest::new(
+            ManifestShape::Load {
+                arch: self.arch.clone(),
+                budget: self.budget,
+                factors: self.factors.clone(),
+                warm_start: self.warm_start,
+            },
+            self.sizing.clone(),
+        )
+        .map_err(manifest_err)
+    }
+
     /// Runs the sweep on `pool`.
     ///
     /// # Errors
@@ -389,50 +621,7 @@ impl<'a> LoadSweep<'a> {
     /// infeasible surfaces here), or [`SweepError::BadConfig`] for an
     /// empty grid.
     pub fn run(&self, pool: &WorkPool) -> Result<SweepReport, SweepError> {
-        if self.factors.is_empty() {
-            return Err(SweepError::BadConfig("empty factor grid".into()));
-        }
-        let sizing = attach_pool(&self.sizing, pool);
-        let results = if self.warm_start {
-            run_warm_chunks(pool, self.factors.len(), |range| {
-                let mut ctx = SolveContext::new(self.arch, &sizing);
-                range
-                    .map(|i| {
-                        let factor = self.factors[i];
-                        let scaled = self
-                            .arch
-                            .scale_rates(factor, 1.0)
-                            .map_err(|source| SweepError::Arch { index: i, source })?;
-                        warm_size_point(
-                            &mut ctx,
-                            &scaled,
-                            i,
-                            self.budget,
-                            factor,
-                            &sizing,
-                            self.simulate.as_ref(),
-                        )
-                    })
-                    .collect()
-            })
-        } else {
-            pool.map(&self.factors, |i, &factor| {
-                let scaled = self
-                    .arch
-                    .scale_rates(factor, 1.0)
-                    .map_err(|source| SweepError::Arch { index: i, source })?;
-                size_point(
-                    &scaled,
-                    i,
-                    self.budget,
-                    factor,
-                    None,
-                    &sizing,
-                    self.simulate.as_ref(),
-                )
-            })
-        };
-        reduce(SweepKind::Load, results)
+        self.plan(pool)?.run(pool)
     }
 }
 
@@ -466,6 +655,71 @@ impl RandomCampaign {
         }
     }
 
+    /// Lowers the campaign to its chunk-execution core. Random
+    /// campaigns never warm-chain (every seed is a different
+    /// architecture), so the plan uses [`ChunkPolicy::INDEPENDENT`] and
+    /// ignores chunk seeds. The plan owns everything it needs (`'static`).
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::BadConfig`] for an empty seed list or a zero
+    /// per-queue budget.
+    pub fn plan(&self, pool: &WorkPool) -> Result<CampaignPlan<'static>, SweepError> {
+        if self.seeds.is_empty() {
+            return Err(SweepError::BadConfig("empty seed list".into()));
+        }
+        if self.units_per_queue == 0 {
+            return Err(SweepError::BadConfig("units_per_queue must be ≥ 1".into()));
+        }
+        let params = self.params.clone();
+        let seeds = self.seeds.clone();
+        let units_per_queue = self.units_per_queue;
+        let sizing = attach_pool(&self.sizing, pool);
+        let simulate = self.simulate.clone();
+        Ok(CampaignPlan {
+            kind: SweepKind::Random,
+            items: self.seeds.len(),
+            policy: ChunkPolicy::INDEPENDENT,
+            exec: Box::new(move |range, _seed| {
+                range
+                    .map(|i| {
+                        let seed = seeds[i];
+                        let arch = random_architecture(seed, &params);
+                        let budget = units_per_queue * arch.num_queues();
+                        size_point(
+                            &arch,
+                            i,
+                            budget,
+                            1.0,
+                            Some(seed),
+                            &sizing,
+                            simulate.as_ref(),
+                        )
+                    })
+                    .collect()
+            }),
+        })
+    }
+
+    /// The campaign's sharding contract (see [`CampaignManifest`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::BadConfig`] for an unusable campaign or a
+    /// simulation campaign (manifests are sizing-only).
+    pub fn manifest(&self) -> Result<CampaignManifest, SweepError> {
+        reject_simulate(&self.simulate)?;
+        CampaignManifest::new(
+            ManifestShape::Random {
+                params: self.params.clone(),
+                seeds: self.seeds.clone(),
+                units_per_queue: self.units_per_queue,
+            },
+            self.sizing.clone(),
+        )
+        .map_err(manifest_err)
+    }
+
     /// Runs the campaign on `pool`.
     ///
     /// # Errors
@@ -473,27 +727,7 @@ impl RandomCampaign {
     /// The lowest-index point failure, or [`SweepError::BadConfig`] for
     /// an empty seed list or a zero per-queue budget.
     pub fn run(&self, pool: &WorkPool) -> Result<SweepReport, SweepError> {
-        if self.seeds.is_empty() {
-            return Err(SweepError::BadConfig("empty seed list".into()));
-        }
-        if self.units_per_queue == 0 {
-            return Err(SweepError::BadConfig("units_per_queue must be ≥ 1".into()));
-        }
-        let sizing = attach_pool(&self.sizing, pool);
-        let results = pool.map(&self.seeds, |i, &seed| {
-            let arch = random_architecture(seed, &self.params);
-            let budget = self.units_per_queue * arch.num_queues();
-            size_point(
-                &arch,
-                i,
-                budget,
-                1.0,
-                Some(seed),
-                &sizing,
-                self.simulate.as_ref(),
-            )
-        });
-        reduce(SweepKind::Random, results)
+        self.plan(pool)?.run(pool)
     }
 }
 

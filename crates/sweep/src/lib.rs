@@ -62,12 +62,30 @@
 //! println!("{}", report.frontier_table());
 //! ```
 
+//! # Sharding
+//!
+//! Every campaign lowers to a [`CampaignPlan`] — an index-ordered work
+//! list partitioned by a [`socbuf_core::ChunkPolicy`] plus one
+//! chunk-execution closure — and a sizing-only campaign additionally
+//! renders to a [`socbuf_core::wire::CampaignManifest`], the wire
+//! contract a coordinator ships to shard workers. The [`shard`]
+//! module's [`execute_manifest_chunk`] runs one manifest chunk into a
+//! chunk-tagged report and [`merge_chunk_reports`] verifies coverage
+//! and reassembles — byte-identical to the serial run for any shard
+//! partition, because chunk boundaries are part of the campaign's
+//! meaning, not the executor's choice.
+
 mod campaign;
 mod pool;
 mod report;
+pub mod shard;
 
 pub use campaign::{
-    parallel_policy_comparison, BudgetSweep, LoadSweep, RandomCampaign, SweepError, WARM_CHUNK,
+    parallel_policy_comparison, BudgetSweep, CampaignPlan, LoadSweep, RandomCampaign, SweepError,
+    WARM_CHUNK,
 };
 pub use pool::WorkPool;
 pub use report::{SimSummary, SweepKind, SweepPoint, SweepReport};
+pub use shard::{
+    execute_manifest_chunk, merge_chunk_reports, plan_manifest, run_manifest, MergeError,
+};

@@ -36,6 +36,17 @@ impl SweepKind {
             SweepKind::Random => "random",
         }
     }
+
+    /// Parses the stable tag back ([`SweepKind::tag`]'s inverse);
+    /// `None` for unknown tags.
+    pub fn from_tag(tag: &str) -> Option<SweepKind> {
+        match tag {
+            "budget" => Some(SweepKind::Budget),
+            "load" => Some(SweepKind::Load),
+            "random" => Some(SweepKind::Random),
+            _ => None,
+        }
+    }
 }
 
 /// Simulated policy-comparison summary attached to a point when the
@@ -218,48 +229,7 @@ impl SweepReport {
     /// body of [`SweepReport::to_jsonl`] and [`SweepReport::to_json`]
     /// (and therefore of the `socbuf-serve` `sweep` response).
     fn push_point_json(&self, out: &mut String, p: &SweepPoint, frontier: bool) {
-        let _ = write!(
-            out,
-            "{{\"index\":{},\"kind\":\"{}\",\"budget\":{},\"load_factor\":{},",
-            p.index,
-            self.kind.tag(),
-            p.budget,
-            num(p.load_factor)
-        );
-        match p.arch_seed {
-            Some(s) => {
-                let _ = write!(out, "\"arch_seed\":{s},");
-            }
-            None => out.push_str("\"arch_seed\":null,"),
-        }
-        let _ = write!(
-            out,
-            "\"queues\":{},\"offered_rate\":{},\"predicted_loss\":{},\
-             \"shadow_price\":{},\"budget_row_relaxed\":{},\"lp_iterations\":{},\
-             \"allocation\":[{}],\"frontier\":{}",
-            p.queues,
-            num(p.offered_rate),
-            num(p.predicted_loss),
-            num(p.shadow_price),
-            p.budget_row_relaxed,
-            p.lp_iterations,
-            join(&p.allocation, ","),
-            frontier,
-        );
-        match &p.sim {
-            Some(s) => {
-                let _ = write!(
-                    out,
-                    ",\"sim\":{{\"pre_loss\":{},\"post_loss\":{},\"timeout_loss\":{},\
-                     \"improvement_vs_pre\":{}}}}}",
-                    num(s.pre_loss),
-                    num(s.post_loss),
-                    num(s.timeout_loss),
-                    num(s.improvement_vs_pre)
-                );
-            }
-            None => out.push_str(",\"sim\":null}"),
-        }
+        push_point_json(out, self.kind, p, Some(frontier));
     }
 
     /// JSON-lines rendering: one self-contained object per point. Every
@@ -348,6 +318,164 @@ fn join(xs: &[usize], sep: &str) -> String {
         let _ = write!(s, "{x}");
     }
     s
+}
+
+/// Appends one point as a self-contained JSON object. `frontier: None`
+/// omits the flag entirely — the form chunk reports carry, because the
+/// frontier is a global property of the merged report that no single
+/// chunk can know; the reducer re-renders with `Some(flag)` computed
+/// over the full point set.
+pub(crate) fn push_point_json(
+    out: &mut String,
+    kind: SweepKind,
+    p: &SweepPoint,
+    frontier: Option<bool>,
+) {
+    let _ = write!(
+        out,
+        "{{\"index\":{},\"kind\":\"{}\",\"budget\":{},\"load_factor\":{},",
+        p.index,
+        kind.tag(),
+        p.budget,
+        num(p.load_factor)
+    );
+    match p.arch_seed {
+        Some(s) => {
+            let _ = write!(out, "\"arch_seed\":{s},");
+        }
+        None => out.push_str("\"arch_seed\":null,"),
+    }
+    let _ = write!(
+        out,
+        "\"queues\":{},\"offered_rate\":{},\"predicted_loss\":{},\
+         \"shadow_price\":{},\"budget_row_relaxed\":{},\"lp_iterations\":{},\
+         \"allocation\":[{}]",
+        p.queues,
+        num(p.offered_rate),
+        num(p.predicted_loss),
+        num(p.shadow_price),
+        p.budget_row_relaxed,
+        p.lp_iterations,
+        join(&p.allocation, ","),
+    );
+    if let Some(flag) = frontier {
+        let _ = write!(out, ",\"frontier\":{flag}");
+    }
+    match &p.sim {
+        Some(s) => {
+            let _ = write!(
+                out,
+                ",\"sim\":{{\"pre_loss\":{},\"post_loss\":{},\"timeout_loss\":{},\
+                 \"improvement_vs_pre\":{}}}}}",
+                num(s.pre_loss),
+                num(s.post_loss),
+                num(s.timeout_loss),
+                num(s.improvement_vs_pre)
+            );
+        }
+        None => out.push_str(",\"sim\":null}"),
+    }
+}
+
+/// Renders one point in the frontier-free wire form chunk reports
+/// carry (see [`push_point_json`]).
+pub(crate) fn point_wire_json(kind: SweepKind, p: &SweepPoint) -> String {
+    let mut out = String::new();
+    push_point_json(&mut out, kind, p, None);
+    out
+}
+
+/// Parses a point object (either form — a stray `frontier` flag is
+/// tolerated here and simply dropped; the chunk-report codec rejects it
+/// earlier, at the framing layer, where it is actually illegal).
+///
+/// The parse inverts [`push_point_json`] exactly: every float survives
+/// bit-for-bit (shortest-round-trip rendering), `null` floats come back
+/// as `NaN`, so `render ∘ parse ∘ render = render` — the identity the
+/// byte-identical merge rests on.
+pub(crate) fn sweep_point_from_json(
+    v: &socbuf_core::wire::JsonValue,
+    expect_kind: SweepKind,
+) -> Result<SweepPoint, socbuf_core::wire::WireError> {
+    use socbuf_core::wire::{JsonValue, WireError};
+    let fields = v.obj("point")?;
+    for (k, _) in fields {
+        if !matches!(
+            k.as_str(),
+            "index"
+                | "kind"
+                | "budget"
+                | "load_factor"
+                | "arch_seed"
+                | "queues"
+                | "offered_rate"
+                | "predicted_loss"
+                | "shadow_price"
+                | "budget_row_relaxed"
+                | "lp_iterations"
+                | "allocation"
+                | "frontier"
+                | "sim"
+        ) {
+            return Err(WireError::Schema(format!("point: unknown field \"{k}\"")));
+        }
+    }
+    let req = |key: &str| {
+        v.get(key)
+            .ok_or_else(|| WireError::Schema(format!("point: missing field \"{key}\"")))
+    };
+    let kind = req("kind")?.str("kind")?;
+    if SweepKind::from_tag(kind) != Some(expect_kind) {
+        return Err(WireError::Schema(format!(
+            "point: kind \"{kind}\" does not match the campaign kind \"{}\"",
+            expect_kind.tag()
+        )));
+    }
+    let arch_seed = match req("arch_seed")? {
+        JsonValue::Null => None,
+        other => Some(other.u64("arch_seed")?),
+    };
+    let mut allocation = Vec::new();
+    for u in req("allocation")?.arr("allocation")? {
+        allocation.push(u.usize("allocation unit")?);
+    }
+    let sim = match req("sim")? {
+        JsonValue::Null => None,
+        s => {
+            for (k, _) in s.obj("sim")? {
+                if !matches!(
+                    k.as_str(),
+                    "pre_loss" | "post_loss" | "timeout_loss" | "improvement_vs_pre"
+                ) {
+                    return Err(WireError::Schema(format!("sim: unknown field \"{k}\"")));
+                }
+            }
+            let sim_req = |key: &str| {
+                s.get(key)
+                    .ok_or_else(|| WireError::Schema(format!("sim: missing field \"{key}\"")))
+            };
+            Some(SimSummary {
+                pre_loss: sim_req("pre_loss")?.f64("pre_loss")?,
+                post_loss: sim_req("post_loss")?.f64("post_loss")?,
+                timeout_loss: sim_req("timeout_loss")?.f64("timeout_loss")?,
+                improvement_vs_pre: sim_req("improvement_vs_pre")?.f64("improvement_vs_pre")?,
+            })
+        }
+    };
+    Ok(SweepPoint {
+        index: req("index")?.usize("index")?,
+        budget: req("budget")?.usize("budget")?,
+        load_factor: req("load_factor")?.f64("load_factor")?,
+        arch_seed,
+        queues: req("queues")?.usize("queues")?,
+        offered_rate: req("offered_rate")?.f64("offered_rate")?,
+        predicted_loss: req("predicted_loss")?.f64("predicted_loss")?,
+        shadow_price: req("shadow_price")?.f64("shadow_price")?,
+        budget_row_relaxed: req("budget_row_relaxed")?.bool("budget_row_relaxed")?,
+        lp_iterations: req("lp_iterations")?.usize("lp_iterations")?,
+        allocation,
+        sim,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,325 @@
+//! Manifest-driven shard execution and the merge reducer.
+//!
+//! A sharded campaign is the same campaign three ways:
+//!
+//! * **serially**, via [`run_manifest`] (or the campaign's own `run`) —
+//!   the reference rendering;
+//! * **chunk by chunk**, via [`execute_manifest_chunk`] — the unit a
+//!   shard worker (local process or `socbuf-serve` shard server) runs,
+//!   producing a [`ChunkReport`];
+//! * **merged**, via [`merge_chunk_reports`] — the reducer verifies the
+//!   reports cover the manifest's chunk partition exactly (no gaps, no
+//!   overlaps, no foreign campaigns) and reassembles the points.
+//!
+//! The contract pinned by the test-suite and `shard_probe --smoke`:
+//! merged CSV/JSONL bytes equal the serial single-host bytes for *any*
+//! assignment of chunks to shards, because chunk boundaries (and with
+//! them warm-chain membership, hence pivot counts, hence rendered
+//! `lp_iterations`) are fixed by the manifest's [`ChunkPolicy`]
+//! partition, never by who executes the chunk. Basis-seeded execution
+//! (the `seed` parameter) deliberately breaks that equality — it is the
+//! shard layer's opt-in warm-transfer mode, measured by pivot counts —
+//! so nothing on the merge path ever seeds.
+//!
+//! [`ChunkPolicy`]: socbuf_core::ChunkPolicy
+
+use socbuf_core::wire::{CampaignManifest, ChunkReport, JsonValue, ManifestShape, WireError};
+use socbuf_core::BasisSnapshot;
+
+use crate::campaign::{BudgetSweep, CampaignPlan, LoadSweep, RandomCampaign, SweepError};
+use crate::pool::WorkPool;
+use crate::report::{point_wire_json, sweep_point_from_json, SweepKind, SweepReport};
+
+/// Lowers a manifest to the chunk-execution core of the campaign it
+/// describes. The plan borrows the manifest's architecture; everything
+/// else is cloned in, so one manifest can be planned many times (once
+/// per chunk request on a shard server).
+///
+/// # Errors
+///
+/// [`SweepError::BadConfig`] for unusable campaigns — the same
+/// refusals [`CampaignManifest::new`] makes, re-checked because a
+/// manifest may arrive over the wire.
+pub fn plan_manifest<'a>(
+    manifest: &'a CampaignManifest,
+    pool: &WorkPool,
+) -> Result<CampaignPlan<'a>, SweepError> {
+    match &manifest.shape {
+        ManifestShape::Budget {
+            arch,
+            budgets,
+            warm_start,
+        } => BudgetSweep {
+            arch,
+            budgets: budgets.clone(),
+            sizing: manifest.config.clone(),
+            simulate: None,
+            warm_start: *warm_start,
+        }
+        .plan(pool),
+        ManifestShape::Load {
+            arch,
+            budget,
+            factors,
+            warm_start,
+        } => LoadSweep {
+            arch,
+            budget: *budget,
+            factors: factors.clone(),
+            sizing: manifest.config.clone(),
+            simulate: None,
+            warm_start: *warm_start,
+        }
+        .plan(pool),
+        ManifestShape::Random {
+            params,
+            seeds,
+            units_per_queue,
+        } => RandomCampaign {
+            params: params.clone(),
+            seeds: seeds.clone(),
+            units_per_queue: *units_per_queue,
+            sizing: manifest.config.clone(),
+            simulate: None,
+        }
+        .plan(pool),
+    }
+}
+
+/// Runs the whole campaign locally — the serial reference a sharded
+/// merge is byte-compared against.
+///
+/// # Errors
+///
+/// The lowest-index point failure, or [`SweepError::BadConfig`] for an
+/// unusable campaign.
+pub fn run_manifest(
+    manifest: &CampaignManifest,
+    pool: &WorkPool,
+) -> Result<SweepReport, SweepError> {
+    plan_manifest(manifest, pool)?.run(pool)
+}
+
+/// Executes one manifest chunk and wraps the points into the
+/// chunk-tagged wire report a reducer can verify. `seed` warm-starts
+/// the chunk's chain from an imported basis — never use it on the
+/// byte-identity path (see the module docs).
+///
+/// # Errors
+///
+/// [`SweepError::BadConfig`] for a chunk index outside the manifest's
+/// partition, else the lowest-index point failure within the chunk.
+pub fn execute_manifest_chunk(
+    manifest: &CampaignManifest,
+    chunk: usize,
+    pool: &WorkPool,
+    seed: Option<BasisSnapshot>,
+) -> Result<ChunkReport, SweepError> {
+    let range = *manifest.chunks.get(chunk).ok_or_else(|| {
+        SweepError::BadConfig(format!(
+            "chunk {chunk} is out of range for a {}-chunk manifest",
+            manifest.chunks.len()
+        ))
+    })?;
+    let plan = plan_manifest(manifest, pool)?;
+    let kind = plan.kind();
+    let points = plan
+        .execute_chunk(chunk, seed)?
+        .iter()
+        .map(|p| {
+            JsonValue::parse(&point_wire_json(kind, p)).expect("point renderer emits valid JSON")
+        })
+        .collect();
+    Ok(ChunkReport {
+        config_hash: manifest.config_hash,
+        kind: kind.tag().to_string(),
+        chunk,
+        start: range.start,
+        end: range.end,
+        points,
+    })
+}
+
+/// A merge refusal: the chunk reports do not cover the manifest's
+/// partition exactly, or one of them belongs to a different campaign.
+#[derive(Debug)]
+pub enum MergeError {
+    /// A report's `config_hash` disagrees with the manifest's — it was
+    /// produced for a different campaign (or a stale revision of this
+    /// one).
+    HashMismatch {
+        /// The offending report's chunk index.
+        chunk: usize,
+        /// The manifest's hash.
+        expected: u64,
+        /// The report's hash.
+        got: u64,
+    },
+    /// A report's kind tag disagrees with the manifest's shape.
+    KindMismatch {
+        /// The offending report's chunk index.
+        chunk: usize,
+        /// The manifest's kind tag.
+        expected: &'static str,
+        /// The report's kind tag.
+        got: String,
+    },
+    /// No report covers this manifest chunk — a coverage gap.
+    MissingChunk {
+        /// The uncovered chunk index.
+        chunk: usize,
+    },
+    /// Two reports claim the same chunk.
+    DuplicateChunk {
+        /// The doubly-covered chunk index.
+        chunk: usize,
+    },
+    /// A report names a chunk the manifest doesn't have.
+    UnknownChunk {
+        /// The report's chunk index.
+        chunk: usize,
+        /// The manifest's chunk count.
+        num_chunks: usize,
+    },
+    /// A report's item range disagrees with the manifest's partition.
+    RangeMismatch {
+        /// The offending report's chunk index.
+        chunk: usize,
+        /// The manifest's `(start, end)` for that chunk.
+        expected: (usize, usize),
+        /// The report's `(start, end)`.
+        got: (usize, usize),
+    },
+    /// A report point failed to parse back into a [`SweepPoint`].
+    ///
+    /// [`SweepPoint`]: crate::report::SweepPoint
+    BadPoint {
+        /// The report's chunk index.
+        chunk: usize,
+        /// The underlying wire error.
+        source: WireError,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::HashMismatch {
+                chunk,
+                expected,
+                got,
+            } => write!(
+                f,
+                "chunk {chunk}: config hash {got:016x} does not match the manifest's {expected:016x}"
+            ),
+            MergeError::KindMismatch {
+                chunk,
+                expected,
+                got,
+            } => write!(
+                f,
+                "chunk {chunk}: kind \"{got}\" does not match the manifest's \"{expected}\""
+            ),
+            MergeError::MissingChunk { chunk } => {
+                write!(f, "coverage gap: no report for chunk {chunk}")
+            }
+            MergeError::DuplicateChunk { chunk } => {
+                write!(f, "duplicate report for chunk {chunk}")
+            }
+            MergeError::UnknownChunk { chunk, num_chunks } => write!(
+                f,
+                "chunk {chunk} is out of range for a {num_chunks}-chunk manifest"
+            ),
+            MergeError::RangeMismatch {
+                chunk,
+                expected,
+                got,
+            } => write!(
+                f,
+                "chunk {chunk}: range {}..{} does not match the manifest's {}..{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+            MergeError::BadPoint { chunk, source } => {
+                write!(f, "chunk {chunk}: bad point: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MergeError::BadPoint { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The reducer: verifies that `reports` cover the manifest's chunk
+/// partition exactly — every chunk present once, each under the
+/// manifest's config hash, kind, and item range — and reassembles the
+/// points into a [`SweepReport`] whose CSV/JSONL renderings are
+/// byte-identical to the serial single-host run (the frontier flag,
+/// a global property no chunk can compute, is re-derived by the
+/// report's own renderers).
+///
+/// Report order is irrelevant: chunks are slotted by index.
+///
+/// # Errors
+///
+/// The first violation found, reports scanned in the order given, then
+/// gaps in chunk order.
+pub fn merge_chunk_reports(
+    manifest: &CampaignManifest,
+    reports: &[ChunkReport],
+) -> Result<SweepReport, MergeError> {
+    let expected_kind = manifest.shape.kind_tag();
+    let kind = SweepKind::from_tag(expected_kind).expect("manifest kind tags mirror SweepKind");
+    let num_chunks = manifest.chunks.len();
+    let mut slots: Vec<Option<&ChunkReport>> = vec![None; num_chunks];
+    for r in reports {
+        if r.chunk >= num_chunks {
+            return Err(MergeError::UnknownChunk {
+                chunk: r.chunk,
+                num_chunks,
+            });
+        }
+        if r.config_hash != manifest.config_hash {
+            return Err(MergeError::HashMismatch {
+                chunk: r.chunk,
+                expected: manifest.config_hash,
+                got: r.config_hash,
+            });
+        }
+        if r.kind != expected_kind {
+            return Err(MergeError::KindMismatch {
+                chunk: r.chunk,
+                expected: expected_kind,
+                got: r.kind.clone(),
+            });
+        }
+        let want = manifest.chunks[r.chunk];
+        if r.start != want.start || r.end != want.end {
+            return Err(MergeError::RangeMismatch {
+                chunk: r.chunk,
+                expected: (want.start, want.end),
+                got: (r.start, r.end),
+            });
+        }
+        if slots[r.chunk].is_some() {
+            return Err(MergeError::DuplicateChunk { chunk: r.chunk });
+        }
+        slots[r.chunk] = Some(r);
+    }
+    let mut points = Vec::with_capacity(manifest.items());
+    for (chunk, slot) in slots.iter().enumerate() {
+        let r = slot.ok_or(MergeError::MissingChunk { chunk })?;
+        for v in &r.points {
+            points.push(
+                sweep_point_from_json(v, kind)
+                    .map_err(|source| MergeError::BadPoint { chunk, source })?,
+            );
+        }
+    }
+    Ok(SweepReport { kind, points })
+}

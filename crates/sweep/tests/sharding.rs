@@ -1,0 +1,214 @@
+//! The sharded-merge contract: for every campaign shape and every
+//! assignment of manifest chunks to executors, merging the chunk
+//! reports reproduces the serial single-host report **byte for byte**
+//! (CSV and JSONL), and the reducer refuses incomplete, overlapping,
+//! or foreign coverage.
+
+use socbuf_core::wire::{CampaignManifest, ChunkReport, JsonValue};
+use socbuf_core::SizingConfig;
+use socbuf_soc::templates;
+use socbuf_sweep::shard::MergeError;
+use socbuf_sweep::{
+    execute_manifest_chunk, merge_chunk_reports, plan_manifest, run_manifest, BudgetSweep,
+    LoadSweep, RandomCampaign, SweepError, WorkPool,
+};
+
+fn small() -> SizingConfig {
+    SizingConfig::small()
+}
+
+/// A budget manifest spanning three chunks (10 items, warm chains of 4).
+fn budget_manifest(arch: &socbuf_soc::Architecture) -> CampaignManifest {
+    let mut sweep = BudgetSweep::new(arch, vec![10, 12, 14, 16, 18, 20, 24, 28, 32, 40]);
+    sweep.sizing = small();
+    sweep.manifest().unwrap()
+}
+
+/// Executes every chunk of `manifest` and returns the reports in the
+/// order given by `order` (a permutation of chunk indices).
+fn all_chunks(manifest: &CampaignManifest, order: &[usize]) -> Vec<ChunkReport> {
+    let pool = WorkPool::serial();
+    order
+        .iter()
+        .map(|&c| execute_manifest_chunk(manifest, c, &pool, None).unwrap())
+        .collect()
+}
+
+#[test]
+fn budget_merge_is_byte_identical_for_any_chunk_assignment() {
+    let arch = templates::amba();
+    let manifest = budget_manifest(&arch);
+    assert_eq!(manifest.chunks.len(), 3);
+    let serial = run_manifest(&manifest, &WorkPool::serial()).unwrap();
+
+    // Any permutation of report arrival order — including the "shard A
+    // ran {0,2}, shard B ran {1}" split the smoke probe exercises —
+    // must merge to the same bytes.
+    for order in [vec![0, 1, 2], vec![2, 0, 1], vec![1, 2, 0]] {
+        let merged = merge_chunk_reports(&manifest, &all_chunks(&manifest, &order)).unwrap();
+        assert_eq!(merged.to_csv(), serial.to_csv(), "order {order:?}");
+        assert_eq!(merged.to_jsonl(), serial.to_jsonl(), "order {order:?}");
+    }
+}
+
+#[test]
+fn load_merge_is_byte_identical_across_the_wire() {
+    // Round-trip the manifest through its wire rendering before
+    // executing — exactly what a shard worker process receives.
+    let arch = templates::coreconnect();
+    let mut sweep = LoadSweep::new(&arch, 20, vec![0.5, 0.75, 1.0, 1.1, 1.25, 1.5]);
+    sweep.sizing = small();
+    let manifest = sweep.manifest().unwrap();
+    let wire =
+        CampaignManifest::from_json(&JsonValue::parse(&manifest.to_json()).unwrap()).unwrap();
+    assert_eq!(wire.to_json(), manifest.to_json());
+
+    let serial = run_manifest(&manifest, &WorkPool::serial()).unwrap();
+    // Chunk reports round-trip through their JSONL wire form too.
+    let reports: Vec<ChunkReport> = (0..wire.chunks.len())
+        .map(|c| {
+            let r = execute_manifest_chunk(&wire, c, &WorkPool::serial(), None).unwrap();
+            ChunkReport::from_jsonl(&r.to_jsonl()).unwrap()
+        })
+        .collect();
+    let merged = merge_chunk_reports(&manifest, &reports).unwrap();
+    assert_eq!(merged.to_csv(), serial.to_csv());
+    assert_eq!(merged.to_jsonl(), serial.to_jsonl());
+}
+
+#[test]
+fn random_merge_is_byte_identical() {
+    let campaign = RandomCampaign {
+        seeds: vec![1, 2, 3, 5, 8],
+        sizing: small(),
+        ..RandomCampaign::new(vec![])
+    };
+    let manifest = campaign.manifest().unwrap();
+    // Independent policy: one chunk per seed.
+    assert_eq!(manifest.chunks.len(), 5);
+    let serial = campaign.run(&WorkPool::serial()).unwrap();
+    let merged = merge_chunk_reports(&manifest, &all_chunks(&manifest, &[4, 3, 2, 1, 0])).unwrap();
+    assert_eq!(merged.to_csv(), serial.to_csv());
+    assert_eq!(merged.to_jsonl(), serial.to_jsonl());
+}
+
+#[test]
+fn manifest_run_matches_campaign_run_for_every_worker_count() {
+    let arch = templates::amba();
+    let mut sweep = BudgetSweep::new(&arch, vec![10, 12, 14, 16, 18, 20, 24, 28, 32, 40]);
+    sweep.sizing = small();
+    let direct = sweep.run(&WorkPool::serial()).unwrap();
+    let manifest = sweep.manifest().unwrap();
+    for workers in [1, 2, 8] {
+        let via_manifest = run_manifest(&manifest, &WorkPool::new(workers)).unwrap();
+        assert_eq!(via_manifest.to_csv(), direct.to_csv(), "{workers} workers");
+        assert_eq!(
+            via_manifest.to_jsonl(),
+            direct.to_jsonl(),
+            "{workers} workers"
+        );
+    }
+}
+
+#[test]
+fn reducer_rejects_dropped_duplicated_and_foreign_chunks() {
+    let arch = templates::amba();
+    let manifest = budget_manifest(&arch);
+    let reports = all_chunks(&manifest, &[0, 1, 2]);
+
+    // Dropped chunk → coverage gap.
+    match merge_chunk_reports(&manifest, &reports[..2]) {
+        Err(MergeError::MissingChunk { chunk: 2 }) => {}
+        other => panic!("expected MissingChunk(2), got {other:?}"),
+    }
+
+    // Duplicated chunk → overlap.
+    let mut dup = reports.clone();
+    dup.push(reports[1].clone());
+    match merge_chunk_reports(&manifest, &dup) {
+        Err(MergeError::DuplicateChunk { chunk: 1 }) => {}
+        other => panic!("expected DuplicateChunk(1), got {other:?}"),
+    }
+
+    // Stale config hash → foreign campaign.
+    let mut stale = reports.clone();
+    stale[0].config_hash ^= 1;
+    match merge_chunk_reports(&manifest, &stale) {
+        Err(MergeError::HashMismatch { chunk: 0, .. }) => {}
+        other => panic!("expected HashMismatch(0), got {other:?}"),
+    }
+
+    // Tampered range → partition mismatch.
+    let mut shifted = reports.clone();
+    shifted[2].start += 1;
+    match merge_chunk_reports(&manifest, &shifted) {
+        Err(MergeError::RangeMismatch { chunk: 2, .. }) => {}
+        other => panic!("expected RangeMismatch(2), got {other:?}"),
+    }
+
+    // Chunk index beyond the partition.
+    let mut unknown = reports.clone();
+    unknown[0].chunk = 9;
+    match merge_chunk_reports(&manifest, &unknown) {
+        Err(MergeError::UnknownChunk { chunk: 9, .. }) => {}
+        other => panic!("expected UnknownChunk(9), got {other:?}"),
+    }
+
+    // Wrong kind tag.
+    let mut foreign = reports.clone();
+    foreign[1].kind = "load".into();
+    match merge_chunk_reports(&manifest, &foreign) {
+        Err(MergeError::KindMismatch { chunk: 1, .. }) => {}
+        other => panic!("expected KindMismatch(1), got {other:?}"),
+    }
+}
+
+#[test]
+fn seeded_chunks_agree_with_cold_to_solver_precision() {
+    // Basis seeding is the opt-in warm-transfer mode: statuses and
+    // objectives must match the unseeded chunk (the LP optimum is
+    // unique); pivot counts may differ, which is exactly why seeding
+    // stays off the byte-identity path.
+    let arch = templates::amba();
+    let manifest = budget_manifest(&arch);
+    let pool = WorkPool::serial();
+
+    // Harvest a basis by running chunk 0 through a plan and exporting
+    // from a warm context built on the same campaign.
+    let plan = plan_manifest(&manifest, &pool).unwrap();
+    let mut ctx = socbuf_core::SolveContext::new(&arch, &small());
+    ctx.size_buffers_scaled(&arch, 1.0, 16).unwrap();
+    let snapshot = ctx
+        .basis_snapshot()
+        .expect("warm context has a basis")
+        .clone();
+
+    let cold = plan.execute_chunk(1, None).unwrap();
+    let seeded = plan.execute_chunk(1, Some(snapshot)).unwrap();
+    assert_eq!(cold.len(), seeded.len());
+    for (c, s) in cold.iter().zip(&seeded) {
+        assert_eq!(c.index, s.index);
+        assert_eq!(c.budget_row_relaxed, s.budget_row_relaxed);
+        assert_eq!(c.allocation.iter().sum::<usize>(), c.budget);
+        assert_eq!(s.allocation.iter().sum::<usize>(), s.budget);
+        assert!(
+            (c.predicted_loss - s.predicted_loss).abs() <= 1e-9 * (1.0 + c.predicted_loss.abs()),
+            "index {}: cold {} vs seeded {}",
+            c.index,
+            c.predicted_loss,
+            s.predicted_loss
+        );
+    }
+}
+
+#[test]
+fn simulation_campaigns_refuse_to_shard() {
+    let arch = templates::amba();
+    let mut sweep = BudgetSweep::new(&arch, vec![16]);
+    sweep.sizing = small();
+    sweep.simulate = Some(socbuf_core::PipelineConfig::small());
+    match sweep.manifest() {
+        Err(SweepError::BadConfig(msg)) => assert!(msg.contains("sizing-only"), "{msg}"),
+        other => panic!("expected BadConfig, got {other:?}"),
+    }
+}

@@ -1,0 +1,359 @@
+//! Property tests for the sharding wire codecs: manifests, chunk
+//! reports, and basis snapshots must (a) round-trip byte-identically —
+//! the merge reducer's byte-parity contract rests on render∘parse
+//! being the identity — and (b) reject malformed payloads with
+//! structured errors, never panics: truncations, duplicate keys,
+//! overlapping or gapped chunk ranges, stale config hashes, foreign
+//! fields.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use socbuf_core::wire::{
+    basis_snapshot_from_json, basis_snapshot_to_json, CampaignManifest, ChunkReport, JsonValue,
+    ManifestShape, WireError,
+};
+use socbuf_core::{BasisSnapshot, LpEngine, SizingConfig};
+use socbuf_soc::templates::{self, RandomArchParams};
+
+fn small() -> SizingConfig {
+    SizingConfig::small()
+}
+
+/// Builds one of the three manifest shapes from sampled primitives
+/// (shape variety is what the codecs care about; the metamorphic suite
+/// owns random-architecture coverage, so template architectures do).
+fn shape_from(
+    sel: usize,
+    arch_sel: usize,
+    len: usize,
+    budgets: &[usize],
+    factors: &[f64],
+    seeds: &[usize],
+    warm_start: bool,
+) -> ManifestShape {
+    let arch = match arch_sel % 3 {
+        0 => templates::amba(),
+        1 => templates::coreconnect(),
+        _ => templates::figure1(),
+    };
+    match sel % 3 {
+        0 => ManifestShape::Budget {
+            arch,
+            budgets: budgets[..len.min(budgets.len())].to_vec(),
+            warm_start,
+        },
+        1 => ManifestShape::Load {
+            arch,
+            budget: budgets[0],
+            factors: factors[..len.min(factors.len())].to_vec(),
+            warm_start,
+        },
+        _ => ManifestShape::Random {
+            params: RandomArchParams::default(),
+            seeds: seeds[..len.min(seeds.len())]
+                .iter()
+                .map(|&s| s as u64)
+                .collect(),
+            units_per_queue: 1 + budgets[0] % 8,
+        },
+    }
+}
+
+/// A synthetic chunk report: the codec treats points as opaque objects
+/// (only `index` integrity and the absence of `frontier` matter), so
+/// arbitrary payload fields exercise it fully without running solves.
+fn report_from(config_hash: u64, kind: usize, start: usize, payloads: &[f64]) -> ChunkReport {
+    let points = payloads
+        .iter()
+        .enumerate()
+        .map(|(i, value)| {
+            JsonValue::parse(&format!("{{\"index\":{},\"payload\":{value}}}", start + i))
+                .expect("synthetic point is valid JSON")
+        })
+        .collect();
+    ChunkReport {
+        config_hash,
+        kind: ["budget", "load", "random"][kind % 3].to_string(),
+        chunk: start / payloads.len().max(1),
+        start,
+        end: start + payloads.len(),
+        points,
+    }
+}
+
+fn snapshot_from(cols: usize, raw_rows: &[usize], revised: bool) -> BasisSnapshot {
+    // Map the raw samples into the snapshot's domain: even draws become
+    // in-range basic columns, odd draws inactive rows (`usize::MAX`).
+    let rows = raw_rows
+        .iter()
+        .map(|&r| {
+            if r % 2 == 0 {
+                (r / 2) % cols
+            } else {
+                usize::MAX
+            }
+        })
+        .collect::<Vec<_>>();
+    let engine = if revised {
+        LpEngine::Revised
+    } else {
+        LpEngine::Tableau
+    };
+    BasisSnapshot::new(rows, cols, engine)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn manifest_round_trips_byte_identically(
+        sel in 0usize..3,
+        arch_sel in 0usize..3,
+        len in 1usize..=16,
+        budgets in vec(1usize..200, 16),
+        factors in vec(0.1f64..2.0, 16),
+        seeds in vec(0usize..1_000_000_000, 16),
+        warm_start in proptest::bool::ANY,
+    ) {
+        let shape = shape_from(sel, arch_sel, len, &budgets, &factors, &seeds, warm_start);
+        let manifest = CampaignManifest::new(shape, small()).unwrap();
+        let bytes = manifest.to_json();
+        let parsed = CampaignManifest::from_json(&JsonValue::parse(&bytes).unwrap()).unwrap();
+        prop_assert_eq!(parsed.to_json(), bytes);
+        prop_assert_eq!(parsed.config_hash, manifest.config_hash);
+        prop_assert_eq!(parsed.chunks, manifest.chunks);
+    }
+
+    #[test]
+    fn truncated_manifest_payloads_error_instead_of_panicking(
+        sel in 0usize..3,
+        arch_sel in 0usize..3,
+        len in 1usize..=16,
+        budgets in vec(1usize..200, 16),
+        factors in vec(0.1f64..2.0, 16),
+        seeds in vec(0usize..1_000_000_000, 16),
+        warm_start in proptest::bool::ANY,
+        frac in 0.0f64..1.0,
+    ) {
+        let shape = shape_from(sel, arch_sel, len, &budgets, &factors, &seeds, warm_start);
+        let bytes = CampaignManifest::new(shape, small()).unwrap().to_json();
+        // Canonical renderings are ASCII, so every byte index is a
+        // char boundary; any proper prefix must fail to parse.
+        let cut = (((bytes.len() as f64) * frac) as usize).min(bytes.len() - 1);
+        prop_assert!(JsonValue::parse(&bytes[..cut]).is_err(), "prefix of {cut} bytes parsed");
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_at_parse(
+        sel in 0usize..3,
+        arch_sel in 0usize..3,
+        len in 1usize..=16,
+        budgets in vec(1usize..200, 16),
+        factors in vec(0.1f64..2.0, 16),
+        seeds in vec(0usize..1_000_000_000, 16),
+        warm_start in proptest::bool::ANY,
+    ) {
+        let shape = shape_from(sel, arch_sel, len, &budgets, &factors, &seeds, warm_start);
+        let bytes = CampaignManifest::new(shape, small()).unwrap().to_json();
+        // Splice a second "chunk_len" field in front of the real one.
+        let needle = ",\"chunk_len\":";
+        let at = bytes.find(needle).expect("manifest renders chunk_len");
+        let dup = format!("{},\"chunk_len\":999{}", &bytes[..at], &bytes[at..]);
+        match JsonValue::parse(&dup) {
+            Err(WireError::Parse { message, .. }) => prop_assert!(
+                message.contains("duplicate key"),
+                "wrong parse error: {message}"
+            ),
+            other => panic!("duplicate key accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_chunk_partitions_are_rejected_with_named_violations(
+        sel in 0usize..3,
+        arch_sel in 0usize..3,
+        len in 1usize..=16,
+        budgets in vec(1usize..200, 16),
+        factors in vec(0.1f64..2.0, 16),
+        seeds in vec(0usize..1_000_000_000, 16),
+        warm_start in proptest::bool::ANY,
+        which in 0usize..3,
+    ) {
+        let shape = shape_from(sel, arch_sel, len, &budgets, &factors, &seeds, warm_start);
+        let manifest = CampaignManifest::new(shape, small()).unwrap();
+        let mut tampered = manifest.clone();
+        let last = tampered.chunks.len() - 1;
+        let expect = match which {
+            // Stretch the last chunk past the item count.
+            0 => {
+                tampered.chunks[last].end += 1;
+                Some("scheduling policy requires")
+            }
+            // Shift a start forward: a coverage gap (unless the chunk
+            // degenerates to empty, where the end check fires first —
+            // skip rather than special-case).
+            1 => {
+                tampered.chunks[last].start += 1;
+                (tampered.chunks[last].start < tampered.chunks[last].end)
+                    .then_some("coverage gap")
+            }
+            // Shift a start backward: overlapping ranges (needs a
+            // predecessor to overlap into).
+            _ => {
+                if tampered.chunks[last].start == 0 {
+                    None
+                } else {
+                    tampered.chunks[last].start -= 1;
+                    Some("overlapping chunk ranges")
+                }
+            }
+        };
+        if let Some(expect) = expect {
+            let rendered = tampered.to_json();
+            match CampaignManifest::from_json(&JsonValue::parse(&rendered).unwrap()) {
+                Err(WireError::Schema(msg)) => prop_assert!(
+                    msg.contains(expect),
+                    "expected \"{expect}\" in: {msg}"
+                ),
+                other => panic!("tampered partition accepted: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stale_config_hashes_are_rejected(
+        sel in 0usize..3,
+        arch_sel in 0usize..3,
+        len in 1usize..=16,
+        budgets in vec(1usize..200, 16),
+        factors in vec(0.1f64..2.0, 16),
+        seeds in vec(0usize..1_000_000_000, 16),
+        warm_start in proptest::bool::ANY,
+        flip in 0usize..64,
+    ) {
+        let shape = shape_from(sel, arch_sel, len, &budgets, &factors, &seeds, warm_start);
+        let mut manifest = CampaignManifest::new(shape, small()).unwrap();
+        manifest.config_hash ^= 1u64 << flip;
+        let rendered = manifest.to_json();
+        match CampaignManifest::from_json(&JsonValue::parse(&rendered).unwrap()) {
+            Err(WireError::Schema(msg)) => prop_assert!(
+                msg.contains("stale config hash"),
+                "wrong error: {msg}"
+            ),
+            other => panic!("stale hash accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunk_report_round_trips_in_both_renderings(
+        config_hash in 0usize..1_000_000_000,
+        kind in 0usize..3,
+        start in 0usize..50,
+        len in 1usize..=5,
+        payloads in vec(0.0f64..10.0, 5),
+    ) {
+        let report = report_from(config_hash as u64, kind, start, &payloads[..len]);
+        let json = report.to_json();
+        let via_json = ChunkReport::from_json(&JsonValue::parse(&json).unwrap()).unwrap();
+        prop_assert_eq!(via_json.to_json(), json.clone());
+        prop_assert_eq!(&via_json, &report);
+
+        let jsonl = report.to_jsonl();
+        let via_jsonl = ChunkReport::from_jsonl(&jsonl).unwrap();
+        prop_assert_eq!(via_jsonl.to_jsonl(), jsonl);
+        prop_assert_eq!(&via_jsonl, &report);
+    }
+
+    #[test]
+    fn corrupted_chunk_reports_are_rejected(
+        config_hash in 0usize..1_000_000_000,
+        kind in 0usize..3,
+        start in 0usize..50,
+        len in 2usize..=5,
+        payloads in vec(0.0f64..10.0, 5),
+        which in 0usize..4,
+    ) {
+        let report = report_from(config_hash as u64, kind, start, &payloads[..len]);
+        let mut bad = report.clone();
+        let expect = match which {
+            // Drop a point: count no longer covers the range.
+            0 => {
+                bad.points.pop();
+                "needs"
+            }
+            // Renumber a point: index integrity.
+            1 => {
+                let mut p = String::new();
+                bad.points[0].push(&mut p);
+                bad.points[0] = JsonValue::parse(&p.replacen(
+                    &format!("\"index\":{}", bad.start),
+                    &format!("\"index\":{}", bad.start + 7000),
+                    1,
+                )).unwrap();
+                "expected"
+            }
+            // A point claiming the global frontier flag (points are
+            // flat objects, so the first '}' closes them).
+            2 => {
+                let mut p = String::new();
+                bad.points[0].push(&mut p);
+                bad.points[0] =
+                    JsonValue::parse(&p.replacen('}', ",\"frontier\":true}", 1)).unwrap();
+                "frontier"
+            }
+            // A reversed (empty) range.
+            _ => {
+                bad.end = bad.start;
+                bad.points.clear();
+                "empty range"
+            }
+        };
+        let rendered = bad.to_json();
+        match ChunkReport::from_json(&JsonValue::parse(&rendered).unwrap()) {
+            Err(WireError::Schema(msg)) => prop_assert!(
+                msg.contains(expect),
+                "expected \"{expect}\" in: {msg}"
+            ),
+            other => panic!("corrupted report accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn basis_snapshot_round_trips(
+        cols in 1usize..64,
+        raw_rows in vec(0usize..256, 24),
+        rows_used in 0usize..=24,
+        revised in proptest::bool::ANY,
+    ) {
+        let snapshot = snapshot_from(cols, &raw_rows[..rows_used], revised);
+        let bytes = basis_snapshot_to_json(&snapshot);
+        let parsed = basis_snapshot_from_json(&JsonValue::parse(&bytes).unwrap()).unwrap();
+        prop_assert_eq!(basis_snapshot_to_json(&parsed), bytes);
+        prop_assert_eq!(parsed.rows(), snapshot.rows());
+        prop_assert_eq!(parsed.num_cols(), snapshot.num_cols());
+    }
+
+    #[test]
+    fn basis_entries_beyond_the_column_count_are_rejected(
+        cols in 1usize..64,
+        raw_rows in vec(0usize..256, 8),
+        revised in proptest::bool::ANY,
+        excess in 0usize..10,
+    ) {
+        let snapshot = snapshot_from(cols, &raw_rows, revised);
+        // Splice an out-of-range basic column in front of the rest.
+        let json = basis_snapshot_to_json(&snapshot).replacen(
+            "{\"basis\":[",
+            &format!("{{\"basis\":[{},", cols + excess),
+            1,
+        );
+        match basis_snapshot_from_json(&JsonValue::parse(&json).unwrap()) {
+            Err(WireError::Schema(msg)) => prop_assert!(
+                msg.contains("out of range"),
+                "wrong error: {msg}"
+            ),
+            other => panic!("out-of-range basis accepted: {other:?}"),
+        }
+    }
+}
