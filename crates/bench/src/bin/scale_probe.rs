@@ -1,0 +1,306 @@
+//! Scale probe for the streaming result pipeline: campaigns two to
+//! three orders of magnitude larger than the paper's tables, executed
+//! without ever materialising the result set.
+//!
+//! The collect-then-render path holds every [`socbuf_sweep::SweepPoint`]
+//! until the campaign ends, so its footprint grows linearly with the
+//! campaign. The sink path streams each chunk's points out as the
+//! ordered consumption frontier passes it, so the resident set is the
+//! scheduling window — a constant. This probe pins that constant at
+//! ≥ 10⁵ points and measures the shard-streamed throughput behind it.
+//!
+//! `--worker` turns this binary into a shard server (ephemeral port on
+//! stdout, lifetime tied to stdin), exactly like `shard_probe`.
+//!
+//! `--smoke` runs the CI gate, in-process (no sockets):
+//!
+//! * **byte-identity at scale** — one streamed pass over a
+//!   100 000-point manifest, teeing into CSV *and* JSONL renderers
+//!   through the sink abstraction, must reproduce the batch
+//!   `to_csv`/`to_jsonl` bytes exactly;
+//! * **bounded residency** — the ordered-consumption window
+//!   (`peak_parked_chunks`) must stay within the pool's scheduling
+//!   window at 10⁴ and 10⁵ points alike: the ceiling is a constant of
+//!   the (workers, chunk) configuration, not of the campaign.
+//!
+//! Without flags, the full probe drives the same 10⁵-point manifest
+//! through 1/2/4 self-exec'd shard workers with `sweep_stream` frames
+//! merged through the bounded-memory reducer, and writes
+//! `BENCH_scale.json` (wall time, points/sec, and the reducer's
+//! peak-resident-points per shard count).
+
+use std::io::{self, BufRead};
+use std::net::SocketAddr;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::time::Instant;
+
+use socbuf_core::wire::CampaignManifest;
+use socbuf_core::SizingConfig;
+use socbuf_serve::{Client, RetryPolicy, ShardFleet};
+use socbuf_soc::templates;
+use socbuf_sweep::{
+    run_manifest, run_manifest_sink, BudgetSweep, FileSpool, PointSink, ReportStream, SweepPoint,
+    WorkPool,
+};
+
+/// Declared chunk length: a coarse multiple of the base warm-chain
+/// length (4), so a 10⁵-point campaign pays ~400 cold solves instead
+/// of 25 000 while every boundary stays on the base chain grid.
+const CHUNK_ITEMS: usize = 256;
+
+/// Workers for the in-process smoke passes.
+const SMOKE_WORKERS: usize = 2;
+
+fn sizing() -> SizingConfig {
+    SizingConfig::small()
+}
+
+/// A `points`-item budget campaign on the smallest template, with the
+/// declared partition coarsened to [`CHUNK_ITEMS`]-item chunks. The
+/// budget walks a sawtooth so consecutive warm solves stay near the
+/// carried basis.
+fn manifest_of(points: usize) -> CampaignManifest {
+    let arch = templates::figure1();
+    let budgets: Vec<usize> = (0..points).map(|i| 12 + (i % 8)).collect();
+    let mut sweep = BudgetSweep::new(&arch, budgets);
+    sweep.sizing = sizing();
+    let base = sweep.manifest().expect("sizing-only campaign");
+    let items = base.items();
+    let mut ranges = Vec::new();
+    let mut at = 0;
+    while at < items {
+        let end = (at + CHUNK_ITEMS).min(items);
+        ranges.push(at..end);
+        at = end;
+    }
+    CampaignManifest::with_chunks(base.shape.clone(), base.config.clone(), ranges)
+        .expect("coarsened chunks stay on the base chain grid")
+}
+
+/// Streams one campaign into two renderers at once — the sink
+/// abstraction makes "render both forms in one pass" a two-line sink.
+struct Tee<'a> {
+    csv: &'a mut ReportStream<Vec<u8>>,
+    jsonl: &'a mut ReportStream<Vec<u8>>,
+}
+
+impl PointSink for Tee<'_> {
+    fn accept(&mut self, point: SweepPoint) -> io::Result<()> {
+        self.csv.accept(point.clone())?;
+        self.jsonl.accept(point)
+    }
+}
+
+/// One self-exec'd shard-server process (same protocol as
+/// `shard_probe`: port announced on stdout, stdin EOF is shutdown).
+struct ShardProcess {
+    child: Child,
+    _stdin: ChildStdin,
+    addr: SocketAddr,
+}
+
+impl ShardProcess {
+    fn spawn() -> ShardProcess {
+        let exe = std::env::current_exe().expect("own executable path");
+        let mut child = Command::new(exe)
+            .arg("--worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .unwrap_or_else(|e| {
+                eprintln!("cannot spawn shard worker: {e}");
+                std::process::exit(2);
+            });
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("worker announces its port");
+        let port: u16 = line
+            .trim()
+            .strip_prefix("PORT ")
+            .unwrap_or_else(|| {
+                eprintln!("worker printed {line:?}, expected \"PORT <n>\"");
+                std::process::exit(2);
+            })
+            .parse()
+            .expect("valid port");
+        let stdin = child.stdin.take().expect("piped stdin");
+        ShardProcess {
+            child,
+            _stdin: stdin,
+            addr: SocketAddr::from(([127, 0, 0, 1], port)),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_tcp(self.addr).expect("connect to shard")
+    }
+}
+
+impl Drop for ShardProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Streamed pass returning the parked-chunk high-water mark.
+fn streamed_peak(manifest: &CampaignManifest, pool: &WorkPool) -> usize {
+    let spool = FileSpool::in_temp_dir().expect("temp spool");
+    let mut stream =
+        ReportStream::csv_spooled(socbuf_sweep::SweepKind::Budget, io::sink(), Box::new(spool));
+    let run = run_manifest_sink(manifest, pool, &mut stream).expect("streamed run");
+    stream.finish().expect("stream finish");
+    run.peak_parked_chunks
+}
+
+/// CI gate; exits nonzero on regression.
+fn smoke() -> i32 {
+    let mut failures = 0;
+    let pool = WorkPool::new(SMOKE_WORKERS);
+    let big = manifest_of(100_000);
+    println!(
+        "{} points in {} declared chunks of {CHUNK_ITEMS}",
+        big.items(),
+        big.chunks.len()
+    );
+
+    // --- Reference bytes from the batch path. --------------------------
+    let t = Instant::now();
+    let batch = run_manifest(&big, &pool).expect("batch run");
+    let batch_time = t.elapsed();
+
+    // --- One streamed pass, teeing both renderings. --------------------
+    let mut csv = ReportStream::csv(batch.kind, Vec::new());
+    let mut jsonl = ReportStream::jsonl(batch.kind, Vec::new());
+    let t = Instant::now();
+    let run = {
+        let mut tee = Tee {
+            csv: &mut csv,
+            jsonl: &mut jsonl,
+        };
+        run_manifest_sink(&big, &pool, &mut tee).expect("streamed run")
+    };
+    let stream_time = t.elapsed();
+    let (csv_bytes, summary) = csv.finish().expect("csv finish");
+    let (jsonl_bytes, _) = jsonl.finish().expect("jsonl finish");
+    if csv_bytes != batch.to_csv().into_bytes() {
+        eprintln!("SMOKE FAIL: streamed CSV differs from the batch rendering");
+        failures += 1;
+    }
+    if jsonl_bytes != batch.to_jsonl().into_bytes() {
+        eprintln!("SMOKE FAIL: streamed JSONL differs from the batch rendering");
+        failures += 1;
+    }
+    println!(
+        "batch {batch_time:?} vs streamed (csv+jsonl teed) {stream_time:?}, \
+         {} frontier classes peak",
+        summary.peak_frontier_classes
+    );
+
+    // --- Residency: a constant of the configuration, not the size. -----
+    // The ordered consumer parks at most the scheduling window
+    // (2 × workers) of finished chunks; with the in-flight chunk that
+    // bounds resident points by (window + 1) × chunk items.
+    let window = 2 * SMOKE_WORKERS;
+    let ceiling_points = (window + 1) * CHUNK_ITEMS;
+    let small_peak = streamed_peak(&manifest_of(10_000), &pool);
+    let big_peak = run.peak_parked_chunks;
+    for (scale, peak) in [("10^4", small_peak), ("10^5", big_peak)] {
+        if peak > window {
+            eprintln!(
+                "SMOKE FAIL: {scale}-point run parked {peak} chunks, \
+                 scheduling window is {window}"
+            );
+            failures += 1;
+        }
+    }
+    println!(
+        "peak parked chunks: 10^4-point run {small_peak}, 10^5-point run {big_peak} \
+         (window {window}); resident ceiling {ceiling_points} points regardless of size"
+    );
+
+    if failures == 0 {
+        println!("smoke OK");
+    }
+    failures
+}
+
+/// Full probe: the 10⁵-point manifest streamed off 1/2/4 shard
+/// processes, merged through the bounded reducer, written to
+/// `BENCH_scale.json`.
+fn full_probe() {
+    let manifest = manifest_of(100_000);
+    let points = manifest.items();
+    println!(
+        "{points} points in {} chunks of {CHUNK_ITEMS}; spawning 4 shard workers",
+        manifest.chunks.len()
+    );
+    let shards: Vec<ShardProcess> = (0..4).map(|_| ShardProcess::spawn()).collect();
+
+    let mut rows = Vec::new();
+    for n in [1usize, 2, 4] {
+        let mut fleet = ShardFleet::new(
+            shards[..n].iter().map(|s| s.client()).collect(),
+            RetryPolicy::default(),
+        );
+        let spool = FileSpool::in_temp_dir().expect("temp spool");
+        let stream =
+            ReportStream::csv_spooled(socbuf_sweep::SweepKind::Budget, io::sink(), Box::new(spool));
+        let t = Instant::now();
+        let (stream, stats) = fleet
+            .run_manifest_to_sink(&manifest, stream)
+            .unwrap_or_else(|e| {
+                eprintln!("streamed fan-out failed: {e}");
+                std::process::exit(2);
+            });
+        let wall = t.elapsed();
+        stream.finish().expect("stream finish");
+        assert_eq!(stats.points, points, "{n}-shard stream lost points");
+        let rate = points as f64 / wall.as_secs_f64().max(1e-12);
+        println!(
+            "{n} shard(s): {wall:?}, {rate:.0} points/sec, \
+             {} peak resident points in the reducer",
+            stats.peak_resident_points
+        );
+        rows.push((n, wall, rate, stats.peak_resident_points));
+    }
+
+    let shard_rows: Vec<String> = rows
+        .iter()
+        .map(|(n, wall, rate, peak)| {
+            format!(
+                "    {{\"shards\": {n}, \"wall_ms\": {:.3}, \"points_per_sec\": {rate:.1}, \
+                 \"peak_resident_points\": {peak}}}",
+                wall.as_secs_f64() * 1e3
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"points\": {points},\n  \"chunk_items\": {CHUNK_ITEMS},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        shard_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_scale.json", &json) {
+        Ok(()) => println!("wrote BENCH_scale.json"),
+        Err(e) => {
+            eprintln!("failed to write BENCH_scale.json: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--worker") {
+        if let Err(e) = socbuf_serve::shard_worker_main(socbuf_serve::ServerConfig::default()) {
+            eprintln!("shard worker failed: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--smoke") {
+        std::process::exit(smoke());
+    }
+    full_probe();
+}

@@ -79,6 +79,18 @@ impl ChunkPolicy {
             .map(|c| self.chunk_range(c, items))
             .collect()
     }
+
+    /// Whether `pos` is a boundary this policy's base chunking also
+    /// has: a multiple of the chunk length, or the tail end of the work
+    /// list. A coarser partition whose every cut sits on such a
+    /// boundary (a union of consecutive base chunks) executes the same
+    /// cold-solve/warm-chain structure as a *prefix* of each merged
+    /// group, which is what lets adaptive re-chunking extend warm
+    /// chains without moving any item onto a different solve path than
+    /// an extended chain would give it.
+    pub const fn is_chain_boundary(&self, pos: usize, items: usize) -> bool {
+        (pos % self.chunk_len == 0 || pos == items) && pos <= items
+    }
 }
 
 #[cfg(test)]
@@ -116,5 +128,16 @@ mod tests {
     #[should_panic(expected = "chunk length must be at least 1")]
     fn zero_length_policies_are_rejected() {
         let _ = ChunkPolicy::of_len(0);
+    }
+
+    #[test]
+    fn chain_boundaries_are_multiples_or_the_tail() {
+        let policy = ChunkPolicy::WARM_CHAIN;
+        for pos in [0, 4, 8, 10] {
+            assert!(policy.is_chain_boundary(pos, 10), "pos {pos}");
+        }
+        for pos in [1, 3, 5, 9, 11, 12] {
+            assert!(!policy.is_chain_boundary(pos, 10), "pos {pos}");
+        }
     }
 }

@@ -16,6 +16,7 @@ use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 #[cfg(unix)]
 use std::path::Path;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use socbuf_core::wire::{
@@ -24,6 +25,7 @@ use socbuf_core::wire::{
 };
 use socbuf_core::{BasisSnapshot, SizingConfig, SizingOutcome};
 use socbuf_soc::Architecture;
+use socbuf_sweep::{MergeError, PointSink, ReduceStats, StreamingReducer};
 
 use crate::protocol::{
     read_frame, read_frame_deadline, write_frame, Health, Request, Response, Trace,
@@ -114,6 +116,21 @@ pub struct ChunkReply {
     /// How the server served this request (`warm` is true when the
     /// chunk was basis-seeded from the shard's cache).
     pub trace: Trace,
+}
+
+/// The verified terminal summary of a `sweep_stream` answer.
+///
+/// [`Client::sweep_stream`] has already checked these against what the
+/// stream actually delivered — a mismatch never reaches the caller as
+/// a success.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamEndReply {
+    /// The manifest's config hash, echoed by the server.
+    pub config_hash: u64,
+    /// Chunk frames the stream carried before the summary.
+    pub frames: u64,
+    /// Points across those chunk frames.
+    pub points: u64,
 }
 
 /// A decoded `frontier` reply.
@@ -275,23 +292,34 @@ impl Client {
     /// the connection surfaces as `UnexpectedEof`; one that stalls
     /// past the read bound as `TimedOut`).
     pub fn request_raw(&mut self, payload: &str) -> Result<String, ClientError> {
+        self.write_request(payload)?;
+        self.read_reply()
+    }
+
+    fn write_request(&mut self, payload: &str) -> Result<(), ClientError> {
+        match &mut self.stream {
+            Stream::Tcp(s) => write_frame(s, payload),
+            #[cfg(unix)]
+            Stream::Unix(s) => write_frame(s, payload),
+        }?;
+        Ok(())
+    }
+
+    /// Reads one reply frame. The read bound applies per frame, so a
+    /// multi-frame stream is allowed to take longer overall than one
+    /// request — what it may not do is stall between frames.
+    fn read_reply(&mut self) -> Result<String, ClientError> {
         let deadline = self.read_timeout.map(|bound| Instant::now() + bound);
         match &mut self.stream {
-            Stream::Tcp(s) => {
-                write_frame(s, payload)?;
-                match deadline {
-                    Some(at) => read_frame_deadline(s, at),
-                    None => read_frame(s),
-                }
-            }
+            Stream::Tcp(s) => match deadline {
+                Some(at) => read_frame_deadline(s, at),
+                None => read_frame(s),
+            },
             #[cfg(unix)]
-            Stream::Unix(s) => {
-                write_frame(s, payload)?;
-                match deadline {
-                    Some(at) => read_frame_deadline(s, at),
-                    None => read_frame(s),
-                }
-            }
+            Stream::Unix(s) => match deadline {
+                Some(at) => read_frame_deadline(s, at),
+                None => read_frame(s),
+            },
         }?
         .ok_or_else(|| {
             ClientError::Io(io::Error::new(
@@ -459,6 +487,95 @@ impl Client {
                 })
             }
             _ => Err(unexpected("sweep_chunk")),
+        }
+    }
+
+    /// Streams manifest chunks from the server, invoking `on_chunk`
+    /// for each chunk frame as it arrives, until the terminal
+    /// [`Response::StreamEnd`] summary.
+    ///
+    /// `chunks` selects the chunk indices to execute (`None` = every
+    /// chunk, in manifest order). The callback typically feeds each
+    /// report straight into a merge reducer so only in-flight points
+    /// stay resident — this is the verb behind
+    /// [`ShardFleet::run_manifest_to_sink`].
+    ///
+    /// The terminal summary is verified against what was actually
+    /// consumed: a config-hash, frame-count, or point-count mismatch
+    /// surfaces as a protocol error rather than a success.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or remote failures as [`ClientError`]. An
+    /// error frame mid-stream — the server's way of ending a failed
+    /// stream — surfaces as [`ClientError::Remote`]. Errors from
+    /// `on_chunk` propagate unchanged; the stream is abandoned with
+    /// frames possibly still in flight, so the connection should be
+    /// discarded afterwards.
+    pub fn sweep_stream(
+        &mut self,
+        manifest: &CampaignManifest,
+        chunks: Option<&[usize]>,
+        mut on_chunk: impl FnMut(ChunkReply) -> Result<(), ClientError>,
+    ) -> Result<StreamEndReply, ClientError> {
+        let req = Request::SweepStream {
+            manifest: manifest.clone(),
+            chunks: chunks.map(<[usize]>::to_vec),
+        };
+        self.write_request(&req.to_json())?;
+        let mut frames = 0u64;
+        let mut points = 0u64;
+        loop {
+            let reply = self.read_reply()?;
+            match Response::parse(&reply)? {
+                Response::Chunk { report, trace } => {
+                    let decoded = ChunkReport::from_json(&JsonValue::parse(&report)?)?;
+                    frames += 1;
+                    points += decoded.points.len() as u64;
+                    on_chunk(ChunkReply {
+                        report: decoded,
+                        report_json: report,
+                        trace,
+                    })?;
+                }
+                Response::StreamEnd {
+                    config_hash,
+                    frames: sent_frames,
+                    points: sent_points,
+                } => {
+                    if config_hash != manifest.config_hash {
+                        return Err(ClientError::Wire(WireError::Schema(format!(
+                            "stream summary is for config {config_hash:016x} but the manifest \
+                             hashes to {:016x}",
+                            manifest.config_hash
+                        ))));
+                    }
+                    if sent_frames != frames || sent_points != points {
+                        return Err(ClientError::Wire(WireError::Schema(format!(
+                            "stream summary claims {sent_frames} frames carrying {sent_points} \
+                             points; this client consumed {frames} frames carrying {points}"
+                        ))));
+                    }
+                    return Ok(StreamEndReply {
+                        config_hash,
+                        frames,
+                        points,
+                    });
+                }
+                Response::Busy { retry_after_ms } => {
+                    return Err(ClientError::Remote {
+                        message: "busy".into(),
+                        retry_after_ms: Some(retry_after_ms),
+                    });
+                }
+                Response::Error { message } => {
+                    return Err(ClientError::Remote {
+                        message,
+                        retry_after_ms: None,
+                    });
+                }
+                _ => return Err(unexpected("sweep_stream")),
+            }
         }
     }
 
@@ -635,5 +752,135 @@ impl ShardFleet {
             .into_iter()
             .map(|slot| slot.expect("round-robin covers every chunk"))
             .collect())
+    }
+
+    /// Streams every chunk of `manifest` across the fleet into `sink`,
+    /// merging frames through a shared [`StreamingReducer`] as they
+    /// arrive.
+    ///
+    /// The chunk assignment is the same pure `chunk c` → `shard c % n`
+    /// round-robin as [`run_manifest`](Self::run_manifest), but no
+    /// per-chunk report vector is ever materialised: each shard issues
+    /// one `sweep_stream` request for its subset and ingests frames
+    /// into the reducer the moment they land, so the coordinator's
+    /// resident footprint is the reducer's out-of-order parking lot
+    /// ([`ReduceStats::peak_resident_points`]), not the campaign. The
+    /// sink sees points in strict index order regardless of how shard
+    /// streams interleave, which keeps the merged bytes identical to
+    /// the batch path.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamMergeError::Merge`] when the reducer rejects a frame
+    /// (or coverage is incomplete at the end);
+    /// [`StreamMergeError::Client`] with the lowest failing shard
+    /// index otherwise. On any failure the fan-out is abandoned and
+    /// the fleet's connections should be discarded — streams may still
+    /// have frames in flight.
+    pub fn run_manifest_to_sink<S: PointSink + Send>(
+        &mut self,
+        manifest: &CampaignManifest,
+        sink: S,
+    ) -> Result<(S, ReduceStats), StreamMergeError> {
+        let shards = self.clients.len();
+        let num_chunks = manifest.chunks.len();
+        let retry = self.retry;
+        let reducer = Mutex::new(StreamingReducer::new(manifest, sink));
+        // The first merge rejection wins; the sentinel transport error
+        // it leaves behind in the shard result is never reported.
+        let merge_failure: Mutex<Option<MergeError>> = Mutex::new(None);
+        let mut per_shard: Vec<Result<StreamEndReply, ClientError>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .clients
+                .iter_mut()
+                .enumerate()
+                .map(|(shard, client)| {
+                    let reducer = &reducer;
+                    let merge_failure = &merge_failure;
+                    scope.spawn(move || {
+                        let subset: Vec<usize> =
+                            (shard..num_chunks).step_by(shards.max(1)).collect();
+                        client.with_retry(&retry, |c| {
+                            c.sweep_stream(manifest, Some(&subset), |reply| {
+                                let mut guard = reducer.lock().expect("reducer mutex poisoned");
+                                guard.ingest(&reply.report).map_err(|e| {
+                                    let mut slot =
+                                        merge_failure.lock().expect("merge-failure mutex poisoned");
+                                    if slot.is_none() {
+                                        *slot = Some(e);
+                                    }
+                                    ClientError::Io(io::Error::other(
+                                        "stream abandoned: the merge reducer rejected a frame",
+                                    ))
+                                })
+                            })
+                        })
+                    })
+                })
+                .collect();
+            for handle in handles {
+                per_shard.push(handle.join().expect("shard thread panicked"));
+            }
+        });
+        if let Some(e) = merge_failure
+            .into_inner()
+            .expect("merge-failure mutex poisoned")
+        {
+            return Err(StreamMergeError::Merge(e));
+        }
+        for (shard, result) in per_shard.into_iter().enumerate() {
+            if let Err(source) = result {
+                return Err(StreamMergeError::Client { shard, source });
+            }
+        }
+        reducer
+            .into_inner()
+            .expect("reducer mutex poisoned")
+            .finish()
+            .map_err(StreamMergeError::Merge)
+    }
+}
+
+/// A [`ShardFleet::run_manifest_to_sink`] failure: either a shard's
+/// transport/remote failure or the merge reducer's rejection of a
+/// frame.
+#[derive(Debug)]
+pub enum StreamMergeError {
+    /// A shard's stream failed.
+    Client {
+        /// The failing shard's index (lowest when several failed).
+        shard: usize,
+        /// The underlying client failure.
+        source: ClientError,
+    },
+    /// The merge reducer rejected a frame, or coverage was incomplete
+    /// when every stream had ended.
+    Merge(MergeError),
+}
+
+impl std::fmt::Display for StreamMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamMergeError::Client { shard, source } => {
+                write!(f, "shard {shard} stream failed: {source}")
+            }
+            StreamMergeError::Merge(e) => write!(f, "stream merge failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamMergeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamMergeError::Client { source, .. } => Some(source),
+            StreamMergeError::Merge(e) => Some(e),
+        }
+    }
+}
+
+impl From<MergeError> for StreamMergeError {
+    fn from(e: MergeError) -> Self {
+        StreamMergeError::Merge(e)
     }
 }

@@ -11,9 +11,9 @@
 //! pieces:
 //!
 //! * [`protocol`] — the versioned, length-prefixed JSON protocol
-//!   (`size`, `sweep`, `frontier`, `sweep_chunk`, `snapshot_export`,
-//!   `snapshot_import`, `health`, `drain`), documented in full on the
-//!   module;
+//!   (`size`, `sweep`, `frontier`, `sweep_chunk`, `sweep_stream`,
+//!   `snapshot_export`, `snapshot_import`, `health`, `drain`),
+//!   documented in full on the module;
 //! * [`cache`] — the keyed LRU of warm contexts with hit/miss/pivot
 //!   counters;
 //! * [`server`] — TCP/Unix listeners, per-connection handlers,
@@ -22,8 +22,10 @@
 //!   shard processes;
 //! * [`client`] — the blocking client the tests and the bench bins
 //!   share, plus [`ShardFleet`], the coordinator-side fan-out that
-//!   round-robins manifest chunks over shard connections and returns
-//!   reports in merge order.
+//!   round-robins manifest chunks over shard connections — either
+//!   collecting reports in merge order ([`ShardFleet::run_manifest`])
+//!   or streaming frames straight into a bounded-memory merge reducer
+//!   ([`ShardFleet::run_manifest_to_sink`]).
 //!
 //! # Sharded campaigns
 //!
@@ -37,8 +39,13 @@
 //! separately: `snapshot_export`/`snapshot_import` move a
 //! [`socbuf_core::BasisSnapshot`] between shards so a cold shard's
 //! first solve starts from a transferred basis (fewer pivots, traced —
-//! never rendered). The `shard_probe --smoke` bench bin pins all of
-//! this end to end over real sockets.
+//! never rendered). The `sweep_stream` verb is the streaming twin:
+//! one request per shard, chunk-report frames pushed back as each
+//! chunk completes, merged on the coordinator through
+//! `socbuf_sweep::StreamingReducer` so no per-chunk report vector is
+//! ever materialised — same bytes, bounded memory. The
+//! `shard_probe --smoke` and `scale_probe --smoke` bench bins pin all
+//! of this end to end over real sockets.
 //!
 //! # The byte-parity contract
 //!
@@ -80,9 +87,9 @@ pub mod server;
 pub use cache::{cache_key, CacheStats, ContextCache};
 pub use client::{
     ChunkReply, Client, ClientConfig, ClientError, FrontierReply, RetryPolicy, ShardFleet,
-    SizeReply, SweepReply,
+    SizeReply, StreamEndReply, StreamMergeError, SweepReply,
 };
 pub use protocol::{
-    Health, Request, Response, Trace, VerbCounts, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    Health, Request, Response, StreamGauges, Trace, VerbCounts, MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 pub use server::{shard_worker_main, Server, ServerConfig};

@@ -30,6 +30,7 @@
 //! | `sweep`           | `arch`, `config`, `budgets` (array)          | a [`SweepReport`] + trace |
 //! | `frontier`        | `arch`, `config`, `budgets` (array)          | report + Pareto indices + table + trace |
 //! | `sweep_chunk`     | `manifest`, `chunk`, `seed_from_cache`       | one chunk-tagged report + trace |
+//! | `sweep_stream`    | `manifest`, optional `chunks` (array)        | one chunk frame per chunk, then a `stream_end` frame |
 //! | `snapshot_export` | `arch`, `config`                             | the cached context's basis |
 //! | `snapshot_import` | `arch`, `config`, `snapshot`                 | import acknowledgement |
 //! | `health`          | —                                            | cache/backpressure/verb counters |
@@ -61,6 +62,16 @@
 //!   human-readable `"table"` string.
 //! * `health` → `{"v":1,"ok":true,"health":{…}}` (see [`Health`]).
 //! * `drain` → `{"v":1,"ok":true,"draining":true}`.
+//! * `sweep_stream` → the one verb that answers with **more than one
+//!   frame**: each selected chunk arrives as its own `chunk_report`
+//!   frame (identical in shape to a `sweep_chunk` answer) the moment
+//!   the server finishes it, followed by a terminal
+//!   `{"v":1,"ok":true,"stream_end":{"config_hash":"…","frames":N,"points":N}}`
+//!   summary the client checks against what it consumed. A failure
+//!   mid-stream arrives as an ordinary error frame in the same
+//!   position and ends the stream. The optional `chunks` request field
+//!   selects a subset of manifest chunks (a fleet coordinator gives
+//!   each shard its share); omitted means all chunks, in order.
 //! * failures → `{"v":1,"ok":false,"error":"…"}`; when the server
 //!   refused for backpressure the error is `"busy"` and a
 //!   `"retry_after_ms"` hint is attached.
@@ -80,8 +91,9 @@ use std::io::{self, Read, Write};
 
 use socbuf_core::wire::{
     architecture_from_json, architecture_to_json, basis_snapshot_from_json, basis_snapshot_to_json,
-    push_f64, push_str, push_usize, sizing_config_from_json, sizing_config_to_json,
-    sizing_outcome_semantic_json, CampaignManifest, JsonValue, WireError,
+    config_hash_from_hex, config_hash_to_hex, push_f64, push_str, push_usize,
+    sizing_config_from_json, sizing_config_to_json, sizing_outcome_semantic_json, CampaignManifest,
+    JsonValue, WireError,
 };
 use socbuf_core::{BasisSnapshot, SizingConfig, SizingOutcome};
 use socbuf_soc::Architecture;
@@ -315,6 +327,20 @@ pub enum Request {
         /// warm-transfer mode, measured by the trace's pivot count.
         seed_from_cache: bool,
     },
+    /// Stream a campaign's chunk reports as they complete: one chunk
+    /// frame per selected chunk, then a terminal
+    /// [`Response::StreamEnd`] summary. The streaming twin of
+    /// repeated `sweep_chunk` round-trips — one request, a pipelined
+    /// sequence of answers, no whole-campaign materialization on
+    /// either side.
+    SweepStream {
+        /// The campaign manifest — verified on parse.
+        manifest: CampaignManifest,
+        /// The manifest chunks to stream, in the order given (`None`
+        /// = every chunk, in manifest order). A fleet coordinator
+        /// passes each shard its assigned subset.
+        chunks: Option<Vec<usize>>,
+    },
     /// Export the cached warm context's basis for (arch, config), so a
     /// coordinator can move warmth to another shard.
     SnapshotExport {
@@ -395,6 +421,20 @@ impl Request {
                 push_usize(&mut out, *chunk);
                 out.push_str(",\"seed_from_cache\":");
                 out.push_str(if *seed_from_cache { "true" } else { "false" });
+            }
+            Request::SweepStream { manifest, chunks } => {
+                out.push_str("\"sweep_stream\",\"manifest\":");
+                out.push_str(&manifest.to_json());
+                if let Some(chunks) = chunks {
+                    out.push_str(",\"chunks\":[");
+                    for (i, c) in chunks.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        push_usize(&mut out, *c);
+                    }
+                    out.push(']');
+                }
             }
             Request::SnapshotExport { arch, config } => {
                 out.push_str("\"snapshot_export\",\"arch\":");
@@ -511,6 +551,22 @@ impl Request {
                     seed_from_cache,
                 })
             }
+            "sweep_stream" => {
+                let manifest =
+                    CampaignManifest::from_json(v.get("manifest").ok_or_else(|| {
+                        WireError::Schema("request: missing field \"manifest\"".into())
+                    })?)?;
+                let chunks = match v.get("chunks") {
+                    None => None,
+                    Some(list) => Some(
+                        list.arr("chunks")?
+                            .iter()
+                            .map(|c| c.usize("chunk"))
+                            .collect::<Result<Vec<usize>, WireError>>()?,
+                    ),
+                };
+                Ok(Request::SweepStream { manifest, chunks })
+            }
             "snapshot_export" => {
                 let (arch, config) = arch_config(&v)?;
                 Ok(Request::SnapshotExport { arch, config })
@@ -609,6 +665,8 @@ pub struct VerbCounts {
     pub frontier: u64,
     /// `sweep_chunk` requests served.
     pub sweep_chunk: u64,
+    /// `sweep_stream` requests served.
+    pub sweep_stream: u64,
     /// `snapshot_export` requests served.
     pub snapshot_export: u64,
     /// `snapshot_import` requests served.
@@ -630,6 +688,8 @@ impl VerbCounts {
         push_usize(&mut out, self.frontier as usize);
         out.push_str(",\"sweep_chunk\":");
         push_usize(&mut out, self.sweep_chunk as usize);
+        out.push_str(",\"sweep_stream\":");
+        push_usize(&mut out, self.sweep_stream as usize);
         out.push_str(",\"snapshot_export\":");
         push_usize(&mut out, self.snapshot_export as usize);
         out.push_str(",\"snapshot_import\":");
@@ -658,10 +718,62 @@ impl VerbCounts {
             sweep: u("sweep")?,
             frontier: u("frontier")?,
             sweep_chunk: u("sweep_chunk")?,
+            sweep_stream: u("sweep_stream")?,
             snapshot_export: u("snapshot_export")?,
             snapshot_import: u("snapshot_import")?,
             health: u("health")?,
             drain: u("drain")?,
+        })
+    }
+}
+
+/// Streaming-pipeline gauges reported by a `health` request: how much
+/// result data has moved through the server's streaming verbs, and the
+/// largest number of points the pipeline ever held resident at once
+/// (per-chunk, since the server streams each chunk out as soon as it
+/// is rendered — the reducer-side high-water mark is a *client*
+/// figure). `frames` and `bytes` are lifetime-monotone; the peak only
+/// ever rises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamGauges {
+    /// Result frames written by streaming verbs (chunk frames and
+    /// terminal summaries) since start.
+    pub frames: u64,
+    /// Payload bytes written by streaming verbs since start.
+    pub bytes: u64,
+    /// Largest number of points resident in the streaming pipeline at
+    /// once (the biggest single chunk streamed).
+    pub peak_resident_points: u64,
+}
+
+impl StreamGauges {
+    /// Renders the gauges as canonical JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"frames\":");
+        push_usize(&mut out, self.frames as usize);
+        out.push_str(",\"bytes\":");
+        push_usize(&mut out, self.bytes as usize);
+        out.push_str(",\"peak_resident_points\":");
+        push_usize(&mut out, self.peak_resident_points as usize);
+        out.push('}');
+        out
+    }
+
+    /// Parses a gauges object.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on shape mismatches.
+    pub fn from_json(v: &JsonValue) -> Result<StreamGauges, WireError> {
+        let u = |key: &str| -> Result<u64, WireError> {
+            v.get(key)
+                .ok_or_else(|| WireError::Schema(format!("streaming: missing field \"{key}\"")))?
+                .u64(key)
+        };
+        Ok(StreamGauges {
+            frames: u("frames")?,
+            bytes: u("bytes")?,
+            peak_resident_points: u("peak_resident_points")?,
         })
     }
 }
@@ -691,6 +803,8 @@ pub struct Health {
     pub draining: bool,
     /// Worker width of the attached [`socbuf_sweep::WorkPool`].
     pub workers: usize,
+    /// Streaming-pipeline gauges since start.
+    pub streaming: StreamGauges,
     /// Per-verb request counts since start.
     pub requests: VerbCounts,
 }
@@ -720,6 +834,8 @@ impl Health {
         out.push_str(if self.draining { "true" } else { "false" });
         out.push_str(",\"workers\":");
         push_usize(&mut out, self.workers);
+        out.push_str(",\"streaming\":");
+        out.push_str(&self.streaming.to_json());
         out.push_str(",\"requests\":");
         out.push_str(&self.requests.to_json());
         out.push('}');
@@ -752,6 +868,11 @@ impl Health {
                 .ok_or_else(|| WireError::Schema("health: missing field \"draining\"".into()))?
                 .bool("draining")?,
             workers: u("workers")?,
+            streaming: StreamGauges::from_json(
+                v.get("streaming").ok_or_else(|| {
+                    WireError::Schema("health: missing field \"streaming\"".into())
+                })?,
+            )?,
             requests: VerbCounts::from_json(
                 v.get("requests").ok_or_else(|| {
                     WireError::Schema("health: missing field \"requests\"".into())
@@ -802,6 +923,18 @@ pub enum Response {
         /// How the chunk was served (`warm` = the chain was seeded
         /// from the cache; `pivots` = the chunk's total).
         trace: Trace,
+    },
+    /// Terminal frame of a `sweep_stream` answer: what the server
+    /// believes it streamed, so the client can verify it consumed the
+    /// whole stream (frame loss shows as a count mismatch, a crossed
+    /// stream as a hash mismatch).
+    StreamEnd {
+        /// The manifest's config hash, echoed back.
+        config_hash: u64,
+        /// Chunk frames streamed before this summary.
+        frames: u64,
+        /// Points across those chunk frames.
+        points: u64,
     },
     /// Answer to `snapshot_export`: a canonical basis document
     /// ([`basis_snapshot_to_json`]).
@@ -897,6 +1030,19 @@ impl Response {
                 out.push_str(",\"trace\":");
                 out.push_str(&trace.to_json());
             }
+            Response::StreamEnd {
+                config_hash,
+                frames,
+                points,
+            } => {
+                out.push_str("true,\"stream_end\":{\"config_hash\":");
+                push_str(&mut out, &config_hash_to_hex(*config_hash));
+                out.push_str(",\"frames\":");
+                push_usize(&mut out, *frames as usize);
+                out.push_str(",\"points\":");
+                push_usize(&mut out, *points as usize);
+                out.push('}');
+            }
             Response::Snapshot { snapshot } => {
                 out.push_str("true,\"snapshot\":");
                 out.push_str(snapshot);
@@ -974,6 +1120,27 @@ impl Response {
                 trace: trace(&v)?,
             });
         }
+        if let Some(s) = v.get("stream_end") {
+            let u = |key: &str| -> Result<u64, WireError> {
+                s.get(key)
+                    .ok_or_else(|| {
+                        WireError::Schema(format!("stream_end: missing field \"{key}\""))
+                    })?
+                    .u64(key)
+            };
+            return Ok(Response::StreamEnd {
+                config_hash: config_hash_from_hex(
+                    s.get("config_hash")
+                        .ok_or_else(|| {
+                            WireError::Schema("stream_end: missing field \"config_hash\"".into())
+                        })?
+                        .str("config_hash")?,
+                    "config_hash",
+                )?,
+                frames: u("frames")?,
+                points: u("points")?,
+            });
+        }
         if let Some(s) = v.get("snapshot") {
             return Ok(Response::Snapshot {
                 snapshot: s.render(),
@@ -1015,7 +1182,7 @@ impl Response {
         }
         Err(WireError::Schema(
             "response matches no known shape \
-             (expected result/report/chunk_report/snapshot/imported/health/draining)"
+             (expected result/report/chunk_report/stream_end/snapshot/imported/health/draining)"
                 .into(),
         ))
     }
@@ -1080,9 +1247,17 @@ mod tests {
                 budgets: vec![8, 16],
             },
             Request::SweepChunk {
-                manifest,
+                manifest: manifest.clone(),
                 chunk: 1,
                 seed_from_cache: true,
+            },
+            Request::SweepStream {
+                manifest: manifest.clone(),
+                chunks: None,
+            },
+            Request::SweepStream {
+                manifest,
+                chunks: Some(vec![1, 0]),
             },
             Request::SnapshotExport {
                 arch: arch.clone(),
@@ -1131,11 +1306,17 @@ mod tests {
             max_inflight: 4,
             draining: false,
             workers: 2,
+            streaming: StreamGauges {
+                frames: 9,
+                bytes: 4096,
+                peak_resident_points: 4,
+            },
             requests: VerbCounts {
                 size: 7,
                 sweep: 2,
                 frontier: 1,
                 sweep_chunk: 4,
+                sweep_stream: 2,
                 snapshot_export: 1,
                 snapshot_import: 1,
                 health: 3,
@@ -1154,6 +1335,11 @@ mod tests {
             Response::Chunk {
                 report: "{\"chunk\":0,\"kind\":\"budget\",\"config_hash\":\"00000000000000ab\",\"start\":0,\"end\":1,\"points\":[]}".into(),
                 trace,
+            },
+            Response::StreamEnd {
+                config_hash: 0xab,
+                frames: 3,
+                points: 10,
             },
             Response::Snapshot {
                 snapshot: "{\"basis\":[0,null],\"cols\":3,\"engine\":\"revised\"}".into(),

@@ -12,7 +12,10 @@
 //! bounds intra-request parallelism, and the in-flight token counter
 //! bounds how many requests may solve at once — a request arriving
 //! beyond that bound is refused immediately with `busy` and a
-//! `retry_after_ms` hint rather than queued without bound.
+//! `retry_after_ms` hint rather than queued without bound. The
+//! `sweep_stream` verb holds one in-flight token for its whole
+//! multi-frame answer: a stream is one long solve, not many cheap
+//! ones.
 //!
 //! # Determinism
 //!
@@ -47,10 +50,12 @@ use std::sync::atomic::AtomicU64;
 
 use socbuf_core::wire::{basis_snapshot_to_json, CampaignManifest, ManifestShape};
 use socbuf_core::{BasisSnapshot, ExecutorHandle, SolveContext};
-use socbuf_sweep::{execute_manifest_chunk, BudgetSweep, SweepReport, WorkPool};
+use socbuf_sweep::{execute_manifest_chunk_traced, BudgetSweep, SweepReport, WorkPool};
 
 use crate::cache::{cache_key, ContextCache};
-use crate::protocol::{read_frame, write_frame, Health, Request, Response, Trace, VerbCounts};
+use crate::protocol::{
+    read_frame, write_frame, Health, Request, Response, StreamGauges, Trace, VerbCounts,
+};
 
 /// How often blocking reads wake up to poll the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
@@ -88,6 +93,7 @@ struct VerbCounters {
     sweep: AtomicU64,
     frontier: AtomicU64,
     sweep_chunk: AtomicU64,
+    sweep_stream: AtomicU64,
     snapshot_export: AtomicU64,
     snapshot_import: AtomicU64,
     health: AtomicU64,
@@ -102,6 +108,7 @@ impl VerbCounters {
             Request::Sweep { .. } => &self.sweep,
             Request::Frontier { .. } => &self.frontier,
             Request::SweepChunk { .. } => &self.sweep_chunk,
+            Request::SweepStream { .. } => &self.sweep_stream,
             Request::SnapshotExport { .. } => &self.snapshot_export,
             Request::SnapshotImport { .. } => &self.snapshot_import,
             Request::Health => &self.health,
@@ -116,6 +123,7 @@ impl VerbCounters {
             sweep: self.sweep.load(Ordering::Relaxed),
             frontier: self.frontier.load(Ordering::Relaxed),
             sweep_chunk: self.sweep_chunk.load(Ordering::Relaxed),
+            sweep_stream: self.sweep_stream.load(Ordering::Relaxed),
             snapshot_export: self.snapshot_export.load(Ordering::Relaxed),
             snapshot_import: self.snapshot_import.load(Ordering::Relaxed),
             health: self.health.load(Ordering::Relaxed),
@@ -135,9 +143,23 @@ struct Shared {
     draining: AtomicBool,
     stopping: AtomicBool,
     verbs: VerbCounters,
+    /// Streaming-pipeline gauges (see [`StreamGauges`]): frames and
+    /// payload bytes written by streaming verbs, and the largest chunk
+    /// (in points) the pipeline ever held resident. The first two only
+    /// grow; the peak is maintained with `fetch_max`.
+    stream_frames: AtomicU64,
+    stream_bytes: AtomicU64,
+    stream_peak_points: AtomicU64,
 }
 
 impl Shared {
+    /// Accounts one streamed result frame.
+    fn count_stream_frame(&self, payload: &str) {
+        self.stream_frames.fetch_add(1, Ordering::Relaxed);
+        self.stream_bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    }
+
     fn health(&self) -> Health {
         let s = self.cache.stats();
         Health {
@@ -152,6 +174,11 @@ impl Shared {
             max_inflight: self.max_inflight,
             draining: self.draining.load(Ordering::Relaxed),
             workers: self.pool.workers(),
+            streaming: StreamGauges {
+                frames: self.stream_frames.load(Ordering::Relaxed),
+                bytes: self.stream_bytes.load(Ordering::Relaxed),
+                peak_resident_points: self.stream_peak_points.load(Ordering::Relaxed),
+            },
             requests: self.verbs.snapshot(),
         }
     }
@@ -242,6 +269,9 @@ impl Server {
             draining: AtomicBool::new(false),
             stopping: AtomicBool::new(false),
             verbs: VerbCounters::default(),
+            stream_frames: AtomicU64::new(0),
+            stream_bytes: AtomicU64::new(0),
+            stream_peak_points: AtomicU64::new(0),
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -396,12 +426,25 @@ fn handle_connection(shared: Arc<Shared>, mut conn: Conn) {
     let _ = conn.set_read_timeout(POLL_INTERVAL);
     loop {
         match read_frame(&mut conn) {
-            Ok(Some(request)) => {
-                let response = handle_request(&shared, &request);
-                if write_frame(&mut conn, &response).is_err() {
-                    return;
+            Ok(Some(request)) => match handle_request(&shared, &request) {
+                Handled::Reply(response) => {
+                    if write_frame(&mut conn, &response).is_err() {
+                        return;
+                    }
                 }
-            }
+                Handled::Stream {
+                    manifest,
+                    chunks,
+                    received,
+                    token,
+                } => {
+                    let alive = stream_sweep(&shared, &mut conn, &manifest, chunks, received);
+                    drop(token);
+                    if !alive {
+                        return;
+                    }
+                }
+            },
             Ok(None) => return, // clean close
             Err(e)
                 if matches!(
@@ -418,30 +461,46 @@ fn handle_connection(shared: Arc<Shared>, mut conn: Conn) {
     }
 }
 
-/// Serves one request frame, returning the rendered response frame.
-fn handle_request(shared: &Shared, text: &str) -> String {
+/// What serving one request frame produced: a single reply frame, or a
+/// stream the connection loop must write itself (the in-flight token
+/// rides along so backpressure covers the whole stream, not just the
+/// dispatch).
+enum Handled<'a> {
+    /// One rendered response frame.
+    Reply(String),
+    /// A `sweep_stream` to execute and write frame by frame.
+    Stream {
+        manifest: Box<CampaignManifest>,
+        chunks: Option<Vec<usize>>,
+        received: Instant,
+        token: InflightToken<'a>,
+    },
+}
+
+/// Serves one request frame.
+fn handle_request<'a>(shared: &'a Shared, text: &str) -> Handled<'a> {
     let received = Instant::now();
+    let reply = |r: Response| Handled::Reply(r.to_json());
     let request = match Request::parse(text) {
         Ok(r) => r,
         Err(e) => {
-            return Response::Error {
+            return reply(Response::Error {
                 message: e.to_string(),
-            }
-            .to_json()
+            })
         }
     };
     shared.verbs.count(&request);
     match request {
-        Request::Health => Response::Health(shared.health()).to_json(),
+        Request::Health => reply(Response::Health(shared.health())),
         Request::Drain => {
             shared.draining.store(true, Ordering::Release);
-            Response::Draining.to_json()
+            reply(Response::Draining)
         }
         // Snapshot verbs are cache operations, not solves: they skip
         // the in-flight bound and stay available while draining —
         // exporting warmth off a draining shard is exactly when a
         // coordinator needs them.
-        Request::SnapshotExport { arch, config } => {
+        Request::SnapshotExport { arch, config } => Handled::Reply({
             let key = cache_key(&arch, &config);
             match shared.cache.checkout(&key) {
                 None => Response::Error {
@@ -464,7 +523,7 @@ fn handle_request(shared: &Shared, text: &str) -> String {
                     }
                 }
             }
-        }
+        }),
         Request::SnapshotImport {
             arch,
             config,
@@ -478,23 +537,21 @@ fn handle_request(shared: &Shared, text: &str) -> String {
             });
             ctx.import_basis(snapshot);
             shared.cache.checkin(key, ctx);
-            Response::Imported.to_json()
+            reply(Response::Imported)
         }
         solve_request => {
             if shared.draining.load(Ordering::Acquire) {
-                return Response::Error {
+                return reply(Response::Error {
                     message: "draining".into(),
-                }
-                .to_json();
+                });
             }
             // Backpressure: take an in-flight token or refuse outright.
             let mut current = shared.inflight.load(Ordering::Relaxed);
             loop {
                 if current >= shared.max_inflight {
-                    return Response::Busy {
+                    return reply(Response::Busy {
                         retry_after_ms: shared.retry_after_ms,
-                    }
-                    .to_json();
+                    });
                 }
                 match shared.inflight.compare_exchange_weak(
                     current,
@@ -506,8 +563,20 @@ fn handle_request(shared: &Shared, text: &str) -> String {
                     Err(now) => current = now,
                 }
             }
-            let _token = InflightToken(&shared.inflight);
-            match solve_request {
+            let token = InflightToken(&shared.inflight);
+            // The stream verb hands its work (and the token) back to
+            // the connection loop, which owns the socket for the
+            // multi-frame answer.
+            if let Request::SweepStream { manifest, chunks } = solve_request {
+                return Handled::Stream {
+                    manifest: Box::new(manifest),
+                    chunks,
+                    received,
+                    token,
+                };
+            }
+            let _token = token;
+            Handled::Reply(match solve_request {
                 Request::Size {
                     arch,
                     config,
@@ -572,11 +641,85 @@ fn handle_request(shared: &Shared, text: &str) -> String {
                 },
                 Request::Health
                 | Request::Drain
+                | Request::SweepStream { .. }
                 | Request::SnapshotExport { .. }
                 | Request::SnapshotImport { .. } => unreachable!("handled above"),
-            }
+            })
         }
     }
+}
+
+/// Writes a `sweep_stream` answer: one chunk frame per selected chunk
+/// as it completes, then the terminal summary frame. Chunks run
+/// sequentially on the server's pool (each chunk already fans its
+/// points across workers), so at most one chunk's points are resident
+/// at a time — that residency is the `peak_resident_points` gauge.
+/// Returns `false` when the connection died mid-stream.
+fn stream_sweep(
+    shared: &Shared,
+    conn: &mut Conn,
+    manifest: &CampaignManifest,
+    chunks: Option<Vec<usize>>,
+    received: Instant,
+) -> bool {
+    let selected: Vec<usize> = chunks.unwrap_or_else(|| (0..manifest.chunks.len()).collect());
+    let mut frames: u64 = 0;
+    let mut points: u64 = 0;
+    for &chunk in &selected {
+        if shared.stopping.load(Ordering::Acquire) {
+            let payload = Response::Error {
+                message: "draining".into(),
+            }
+            .to_json();
+            shared.count_stream_frame(&payload);
+            return write_frame(conn, &payload).is_ok();
+        }
+        let queue_wait_us = received.elapsed().as_micros() as u64;
+        let solving = Instant::now();
+        let payload = match execute_manifest_chunk_traced(manifest, chunk, &shared.pool, None) {
+            Err(e) => {
+                // An error frame takes the failing chunk's slot and
+                // ends the stream; the client sees it in place of the
+                // terminal summary.
+                let payload = Response::Error {
+                    message: e.to_string(),
+                }
+                .to_json();
+                shared.count_stream_frame(&payload);
+                return write_frame(conn, &payload).is_ok();
+            }
+            Ok((report, stats)) => {
+                shared.cache.record_solve(false, stats.pivots);
+                shared
+                    .stream_peak_points
+                    .fetch_max(stats.points as u64, Ordering::Relaxed);
+                frames += 1;
+                points += stats.points as u64;
+                Response::Chunk {
+                    report: report.to_json(),
+                    trace: Trace {
+                        warm: false,
+                        pivots: stats.pivots,
+                        queue_wait_us,
+                        solve_us: solving.elapsed().as_micros() as u64,
+                    },
+                }
+                .to_json()
+            }
+        };
+        shared.count_stream_frame(&payload);
+        if write_frame(conn, &payload).is_err() {
+            return false;
+        }
+    }
+    let payload = Response::StreamEnd {
+        config_hash: manifest.config_hash,
+        frames,
+        points,
+    }
+    .to_json();
+    shared.count_stream_frame(&payload);
+    write_frame(conn, &payload).is_ok()
 }
 
 /// Runs a warm-chained budget sweep on the server's pool.
@@ -673,22 +816,17 @@ fn run_chunk(
     let warm = seed.is_some();
     let queue_wait_us = received.elapsed().as_micros() as u64;
     let solving = Instant::now();
-    let report =
-        execute_manifest_chunk(manifest, chunk, &shared.pool, seed).map_err(|e| e.to_string())?;
+    // Pivot counts are trace-only (never rendered into the report), so
+    // they ride the traced execution path.
+    let (report, stats) = execute_manifest_chunk_traced(manifest, chunk, &shared.pool, seed)
+        .map_err(|e| e.to_string())?;
     let solve_us = solving.elapsed().as_micros() as u64;
-    // Chunk points are canonical JSON objects; their `lp_iterations`
-    // field is the per-point pivot count.
-    let pivots: usize = report
-        .points
-        .iter()
-        .filter_map(|p| p.get("lp_iterations").and_then(|n| n.usize("pivots").ok()))
-        .sum();
-    shared.cache.record_solve(warm, pivots);
+    shared.cache.record_solve(warm, stats.pivots);
     Ok((
         report.to_json(),
         Trace {
             warm,
-            pivots,
+            pivots: stats.pivots,
             queue_wait_us,
             solve_us,
         },

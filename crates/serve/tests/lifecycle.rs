@@ -12,7 +12,7 @@ use socbuf_serve::{
     Client, ClientConfig, ClientError, Health, RetryPolicy, Server, ServerConfig, ShardFleet,
 };
 use socbuf_soc::templates;
-use socbuf_sweep::{merge_chunk_reports, run_manifest, BudgetSweep, WorkPool};
+use socbuf_sweep::{merge_chunk_reports, run_manifest, BudgetSweep, ReportStream, WorkPool};
 
 /// The semantic bytes the server must reproduce for (arch, budget).
 fn expected(arch: &socbuf_soc::Architecture, budget: usize, config: &SizingConfig) -> String {
@@ -326,6 +326,11 @@ fn assert_monotone(before: &Health, after: &Health, at: &str) {
             after.requests.sweep_chunk,
         ),
         (
+            "sweep_stream",
+            before.requests.sweep_stream,
+            after.requests.sweep_stream,
+        ),
+        (
             "snapshot_export",
             before.requests.snapshot_export,
             after.requests.snapshot_export,
@@ -339,6 +344,17 @@ fn assert_monotone(before: &Health, after: &Health, at: &str) {
         ("drain", before.requests.drain, after.requests.drain),
     ] {
         assert!(a >= b, "{at}: requests.{name} decreased ({b} -> {a})");
+    }
+    for (name, b, a) in [
+        ("frames", before.streaming.frames, after.streaming.frames),
+        ("bytes", before.streaming.bytes, after.streaming.bytes),
+        (
+            "peak_resident_points",
+            before.streaming.peak_resident_points,
+            after.streaming.peak_resident_points,
+        ),
+    ] {
+        assert!(a >= b, "{at}: streaming.{name} decreased ({b} -> {a})");
     }
 }
 
@@ -439,26 +455,6 @@ fn a_stalled_server_times_out_instead_of_hanging_the_client() {
     stall.join().unwrap();
 }
 
-/// Zeroes every `"lp_iterations":N` value so two renderings can be
-/// compared modulo the one field basis seeding is allowed to change.
-fn mask_pivots(json: &str) -> String {
-    const KEY: &str = "\"lp_iterations\":";
-    let mut out = String::new();
-    let mut rest = json;
-    while let Some(pos) = rest.find(KEY) {
-        let after = pos + KEY.len();
-        out.push_str(&rest[..after]);
-        out.push('0');
-        let tail = &rest[after..];
-        let end = tail
-            .find(|c: char| !c.is_ascii_digit())
-            .unwrap_or(tail.len());
-        rest = &tail[end..];
-    }
-    out.push_str(rest);
-    out
-}
-
 #[test]
 fn fleet_fan_out_merges_byte_identically_and_snapshots_transfer_warmth() {
     let arch = templates::amba();
@@ -505,13 +501,12 @@ fn fleet_fan_out_merges_byte_identically_and_snapshots_transfer_warmth() {
     client_c.snapshot_import(&arch, &config, &snapshot).unwrap();
     let seeded = client_c.sweep_chunk(&manifest, 0, true).unwrap();
     assert!(seeded.trace.warm, "an imported basis must seed the chunk");
-    // Seeding changes only the path-dependent pivot counts
-    // (`lp_iterations`); every semantic byte must agree — which is why
-    // seeded chunks never enter a byte-identity merge.
+    // Pivot counts are trace-only — they never reach report bytes — so
+    // a basis-seeded chunk renders byte-identically to an unseeded one.
     assert_eq!(
-        mask_pivots(&seeded.report_json),
-        mask_pivots(&reports[0].to_json()),
-        "basis seeding changed a semantic byte"
+        seeded.report_json,
+        reports[0].to_json(),
+        "basis seeding changed a rendered byte"
     );
     let health_c = client_c.health().unwrap();
     assert_eq!(health_c.requests.snapshot_import, 1);
@@ -520,6 +515,103 @@ fn fleet_fan_out_merges_byte_identically_and_snapshots_transfer_warmth() {
     shard_a.shutdown();
     shard_b.shutdown();
     shard_c.shutdown();
+}
+
+#[test]
+fn sweep_stream_reproduces_batch_bytes_and_moves_the_streaming_gauges() {
+    let arch = templates::amba();
+    let config = SizingConfig::small();
+    let mut sweep = BudgetSweep::new(&arch, vec![10, 12, 14, 16, 18, 20, 24, 28, 32, 40]);
+    sweep.sizing = config.clone();
+    let manifest = sweep.manifest().unwrap();
+    let serial = run_manifest(&manifest, &WorkPool::serial()).unwrap();
+
+    let server = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect_tcp(server.tcp_addr().unwrap()).unwrap();
+    let h0 = client.health().unwrap();
+    assert_eq!(h0.streaming.frames, 0);
+    assert_eq!(h0.streaming.bytes, 0);
+
+    // A full stream delivers one frame per chunk; the frames merge to
+    // the serial bytes.
+    let mut reports = Vec::new();
+    let end = client
+        .sweep_stream(&manifest, None, |reply| {
+            reports.push(reply.report);
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(end.frames as usize, manifest.chunks.len());
+    assert_eq!(end.points as usize, manifest.items());
+    let merged = merge_chunk_reports(&manifest, &reports).unwrap();
+    assert_eq!(merged.to_csv(), serial.to_csv());
+    assert_eq!(merged.to_jsonl(), serial.to_jsonl());
+
+    // A subset stream answers exactly the requested chunks, with the
+    // same bytes the full stream carried.
+    let mut subset = Vec::new();
+    let end = client
+        .sweep_stream(&manifest, Some(&[1]), |reply| {
+            subset.push(reply.report);
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(end.frames, 1);
+    assert_eq!(subset.len(), 1);
+    assert_eq!(subset[0].chunk, 1);
+    assert_eq!(subset[0].to_json(), reports[1].to_json());
+
+    let h1 = client.health().unwrap();
+    assert_monotone(&h0, &h1, "after streaming");
+    assert_eq!(h1.requests.sweep_stream, 2);
+    assert!(
+        h1.streaming.frames > manifest.chunks.len() as u64,
+        "every chunk frame and both summaries count, saw {}",
+        h1.streaming.frames
+    );
+    assert!(h1.streaming.bytes > 0);
+    assert!(
+        h1.streaming.peak_resident_points >= 1,
+        "a streamed chunk holds at least one point resident"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn fleet_streaming_merge_is_byte_identical_to_the_batch_path() {
+    let arch = templates::amba();
+    let config = SizingConfig::small();
+    let mut sweep = BudgetSweep::new(&arch, vec![10, 12, 14, 16, 18, 20, 24, 28, 32, 40]);
+    sweep.sizing = config.clone();
+    let manifest = sweep.manifest().unwrap();
+    let serial = run_manifest(&manifest, &WorkPool::serial()).unwrap();
+
+    let shard_a = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let shard_b = Server::bind_tcp("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut fleet = ShardFleet::new(
+        vec![
+            Client::connect_tcp(shard_a.tcp_addr().unwrap()).unwrap(),
+            Client::connect_tcp(shard_b.tcp_addr().unwrap()).unwrap(),
+        ],
+        RetryPolicy::default(),
+    );
+
+    // Stream both shards straight into a CSV renderer: no chunk-report
+    // vector, no point vector — and still the serial bytes.
+    let stream = ReportStream::csv(serial.kind, Vec::new());
+    let (stream, stats) = fleet.run_manifest_to_sink(&manifest, stream).unwrap();
+    let (bytes, summary) = stream.finish().unwrap();
+    assert_eq!(String::from_utf8(bytes).unwrap(), serial.to_csv());
+    assert_eq!(stats.chunks, manifest.chunks.len());
+    assert_eq!(stats.points, manifest.items());
+    assert_eq!(summary.points, manifest.items());
+    assert!(
+        stats.peak_resident_points < manifest.items(),
+        "the reducer must not hold the whole campaign resident"
+    );
+
+    shard_a.shutdown();
+    shard_b.shutdown();
 }
 
 #[cfg(unix)]

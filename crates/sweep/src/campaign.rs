@@ -20,6 +20,7 @@ use socbuf_soc::{Architecture, SocError};
 
 use crate::pool::WorkPool;
 use crate::report::{SimSummary, SweepKind, SweepPoint, SweepReport};
+use crate::stream::{PointSink, VecSink};
 
 /// Number of consecutive work items a warm-start chain spans in a
 /// budget or load campaign — the length of
@@ -61,6 +62,11 @@ pub enum SweepError {
     },
     /// The campaign definition itself is unusable.
     BadConfig(String),
+    /// Writing a point into the campaign's [`PointSink`] failed.
+    Sink {
+        /// The underlying I/O error reported by the sink.
+        source: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for SweepError {
@@ -77,6 +83,7 @@ impl std::fmt::Display for SweepError {
                 write!(f, "sweep point {index}: architecture error: {source}")
             }
             SweepError::BadConfig(msg) => write!(f, "bad sweep config: {msg}"),
+            SweepError::Sink { source } => write!(f, "sweep sink failed: {source}"),
         }
     }
 }
@@ -87,6 +94,7 @@ impl std::error::Error for SweepError {
             SweepError::Point { source, .. } => Some(source),
             SweepError::Arch { source, .. } => Some(source),
             SweepError::BadConfig(_) => None,
+            SweepError::Sink { source } => Some(source),
         }
     }
 }
@@ -243,35 +251,27 @@ fn attach_pool(sizing: &SizingConfig, pool: &WorkPool) -> SizingConfig {
     sizing
 }
 
-/// Reduces per-item results by slot, surfacing the lowest-index error.
-fn reduce(
-    kind: SweepKind,
-    results: Vec<Result<SweepPoint, SweepError>>,
-) -> Result<SweepReport, SweepError> {
-    let mut points = Vec::with_capacity(results.len());
-    for r in results {
-        points.push(r?);
-    }
-    Ok(SweepReport { kind, points })
-}
-
 /// A campaign lowered to its chunk-execution core: an index-ordered
-/// work list, the [`ChunkPolicy`] that partitions it, and one closure
-/// that executes any chunk range. Every campaign — local pool run,
-/// single chunk on a remote shard, smoke probe — goes through a plan,
-/// so chunk semantics (warm-chain boundaries, cold chunk-initial
-/// solves, by-index reduction) live in exactly one place.
+/// work list, the [`ChunkPolicy`] that partitions it (plus the explicit
+/// chunk ranges, which an adaptive manifest may coarsen into unions of
+/// consecutive policy chunks), and one closure that executes any chunk
+/// range. Every campaign — local pool run, single chunk on a remote
+/// shard, smoke probe — goes through a plan, so chunk semantics
+/// (warm-chain boundaries, cold chunk-initial solves, by-index
+/// reduction) live in exactly one place.
 ///
 /// The closure's optional [`BasisSnapshot`] seeds the chunk's warm
 /// chain *before* its first solve (see [`SolveContext::import_basis`]).
-/// Seeding changes pivot counts — and `lp_iterations` is part of the
-/// rendered bytes — so the byte-identity contract only covers unseeded
+/// Seeding changes pivot counts — a trace-only quantity, excluded from
+/// rendered bytes — but may also move the solver onto a different
+/// optimal vertex, so the byte-identity contract only covers unseeded
 /// execution; [`CampaignPlan::run`] never seeds. Seeded chunks are the
 /// shard layer's opt-in warm-transfer mode, measured by pivot counts.
 pub struct CampaignPlan<'a> {
     kind: SweepKind,
     items: usize,
     policy: ChunkPolicy,
+    ranges: Vec<std::ops::Range<usize>>,
     exec: ChunkExec<'a>,
 }
 
@@ -294,6 +294,22 @@ impl std::fmt::Debug for CampaignPlan<'_> {
 }
 
 impl<'a> CampaignPlan<'a> {
+    /// Assembles a plan over the policy's default chunk partition.
+    fn over_policy(
+        kind: SweepKind,
+        items: usize,
+        policy: ChunkPolicy,
+        exec: ChunkExec<'a>,
+    ) -> CampaignPlan<'a> {
+        CampaignPlan {
+            kind,
+            items,
+            policy,
+            ranges: policy.ranges(items),
+            exec,
+        }
+    }
+
     /// The campaign's report kind.
     pub fn kind(&self) -> SweepKind {
         self.kind
@@ -309,9 +325,58 @@ impl<'a> CampaignPlan<'a> {
         self.policy
     }
 
-    /// Number of chunks the policy splits the work list into.
+    /// Number of chunks partitioning the work list.
     pub fn num_chunks(&self) -> usize {
-        self.policy.num_chunks(self.items)
+        self.ranges.len()
+    }
+
+    /// The explicit chunk ranges, in order — the policy's default
+    /// partition unless [`CampaignPlan::with_ranges`] coarsened it.
+    pub fn ranges(&self) -> &[std::ops::Range<usize>] {
+        &self.ranges
+    }
+
+    /// Replaces the chunk partition with an explicit one — the hook the
+    /// shard layer uses to execute a manifest's declared chunks, which
+    /// an adaptive manifest may have coarsened. Every cut must sit on a
+    /// base-policy chain boundary (see
+    /// [`ChunkPolicy::is_chain_boundary`]) so each merged chunk is a
+    /// single extended warm chain starting with the same cold solve the
+    /// default chunking would make.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::BadConfig`] when `ranges` is not an ordered,
+    /// boundary-aligned partition of the work list.
+    pub fn with_ranges(
+        mut self,
+        ranges: Vec<std::ops::Range<usize>>,
+    ) -> Result<CampaignPlan<'a>, SweepError> {
+        let mut next = 0;
+        for r in &ranges {
+            if r.start != next || r.end <= r.start {
+                return Err(SweepError::BadConfig(format!(
+                    "chunk ranges must partition 0..{} in order; got {}..{} where {} was expected",
+                    self.items, r.start, r.end, next
+                )));
+            }
+            if !self.policy.is_chain_boundary(r.end, self.items) {
+                return Err(SweepError::BadConfig(format!(
+                    "chunk boundary {} is not a multiple of the policy chunk length {}",
+                    r.end,
+                    self.policy.chunk_len()
+                )));
+            }
+            next = r.end;
+        }
+        if next != self.items {
+            return Err(SweepError::BadConfig(format!(
+                "chunk ranges cover 0..{next} but the campaign has {} items",
+                self.items
+            )));
+        }
+        self.ranges = ranges;
+        Ok(self)
     }
 
     /// Executes one chunk and returns its points in index order —
@@ -328,13 +393,12 @@ impl<'a> CampaignPlan<'a> {
         chunk: usize,
         seed: Option<BasisSnapshot>,
     ) -> Result<Vec<SweepPoint>, SweepError> {
-        let range = self.policy.chunk_range(chunk, self.items);
-        if range.is_empty() {
+        let Some(range) = self.ranges.get(chunk).cloned() else {
             return Err(SweepError::BadConfig(format!(
                 "chunk {chunk} is out of range for {} items",
                 self.items
             )));
-        }
+        };
         let mut points = Vec::with_capacity(range.len());
         for r in (self.exec)(range, seed) {
             points.push(r?);
@@ -343,17 +407,67 @@ impl<'a> CampaignPlan<'a> {
     }
 
     /// Runs every chunk across `pool` (unseeded — the byte-identical
-    /// path) and reduces the points into a report.
+    /// path) and reduces the points into a report. A thin wrapper over
+    /// [`CampaignPlan::run_sink`] collecting into a [`VecSink`].
     ///
     /// # Errors
     ///
     /// The lowest-index point failure.
     pub fn run(&self, pool: &WorkPool) -> Result<SweepReport, SweepError> {
-        let results = pool.run_chunked(self.items, self.policy.chunk_len(), |range| {
-            (self.exec)(range, None)
-        });
-        reduce(self.kind, results)
+        let mut sink = VecSink::new();
+        self.run_sink(pool, &mut sink)?;
+        Ok(SweepReport {
+            kind: self.kind,
+            points: sink.into_points(),
+        })
     }
+
+    /// Runs every chunk across `pool` (unseeded), emitting points into
+    /// `sink` **in index order as each chunk completes** — the
+    /// streaming path. Chunks execute in parallel but are consumed
+    /// strictly in chunk order ([`WorkPool::run_ranges_ordered`]), so
+    /// the sink observes the exact sequence a serial run would emit,
+    /// for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-index point failure (identical error selection to the
+    /// batch path, because consumption is index-ordered), or
+    /// [`SweepError::Sink`] when the sink rejects a point.
+    pub fn run_sink(
+        &self,
+        pool: &WorkPool,
+        sink: &mut dyn PointSink,
+    ) -> Result<SinkRun, SweepError> {
+        let run = pool.run_ranges_ordered(
+            &self.ranges,
+            |range| (self.exec)(range, None),
+            |_chunk, results| {
+                for r in results {
+                    let point = r?;
+                    sink.accept(point)
+                        .map_err(|source| SweepError::Sink { source })?;
+                }
+                Ok(())
+            },
+        )?;
+        Ok(SinkRun {
+            chunks: run.chunks,
+            peak_parked_chunks: run.peak_parked,
+        })
+    }
+}
+
+/// Counters returned by [`CampaignPlan::run_sink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkRun {
+    /// Chunks executed and consumed.
+    pub chunks: usize,
+    /// Largest number of finished chunks parked awaiting ordered
+    /// consumption — the campaign's resident-point bound is this (plus
+    /// in-flight chunks) times the chunk length, independent of
+    /// campaign size.
+    pub peak_parked_chunks: usize,
 }
 
 /// Shared manifest-construction guard: manifests describe sizing-only
@@ -452,16 +566,16 @@ impl<'a> BudgetSweep<'a> {
                     .collect()
             })
         };
-        Ok(CampaignPlan {
-            kind: SweepKind::Budget,
-            items: self.budgets.len(),
-            policy: if self.warm_start {
+        Ok(CampaignPlan::over_policy(
+            SweepKind::Budget,
+            self.budgets.len(),
+            if self.warm_start {
                 ChunkPolicy::WARM_CHAIN
             } else {
                 ChunkPolicy::INDEPENDENT
             },
             exec,
-        })
+        ))
     }
 
     /// The sweep's sharding contract (see
@@ -492,6 +606,20 @@ impl<'a> BudgetSweep<'a> {
     /// an empty grid.
     pub fn run(&self, pool: &WorkPool) -> Result<SweepReport, SweepError> {
         self.plan(pool)?.run(pool)
+    }
+
+    /// Streams the sweep's points into `sink` in index order without
+    /// materializing the report (see [`CampaignPlan::run_sink`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`BudgetSweep::run`], plus [`SweepError::Sink`].
+    pub fn run_sink(
+        &self,
+        pool: &WorkPool,
+        sink: &mut dyn PointSink,
+    ) -> Result<SinkRun, SweepError> {
+        self.plan(pool)?.run_sink(pool, sink)
     }
 }
 
@@ -581,16 +709,16 @@ impl<'a> LoadSweep<'a> {
                     .collect()
             })
         };
-        Ok(CampaignPlan {
-            kind: SweepKind::Load,
-            items: self.factors.len(),
-            policy: if self.warm_start {
+        Ok(CampaignPlan::over_policy(
+            SweepKind::Load,
+            self.factors.len(),
+            if self.warm_start {
                 ChunkPolicy::WARM_CHAIN
             } else {
                 ChunkPolicy::INDEPENDENT
             },
             exec,
-        })
+        ))
     }
 
     /// The sweep's sharding contract (see [`CampaignManifest`]).
@@ -622,6 +750,20 @@ impl<'a> LoadSweep<'a> {
     /// empty grid.
     pub fn run(&self, pool: &WorkPool) -> Result<SweepReport, SweepError> {
         self.plan(pool)?.run(pool)
+    }
+
+    /// Streams the sweep's points into `sink` in index order without
+    /// materializing the report (see [`CampaignPlan::run_sink`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`LoadSweep::run`], plus [`SweepError::Sink`].
+    pub fn run_sink(
+        &self,
+        pool: &WorkPool,
+        sink: &mut dyn PointSink,
+    ) -> Result<SinkRun, SweepError> {
+        self.plan(pool)?.run_sink(pool, sink)
     }
 }
 
@@ -676,11 +818,11 @@ impl RandomCampaign {
         let units_per_queue = self.units_per_queue;
         let sizing = attach_pool(&self.sizing, pool);
         let simulate = self.simulate.clone();
-        Ok(CampaignPlan {
-            kind: SweepKind::Random,
-            items: self.seeds.len(),
-            policy: ChunkPolicy::INDEPENDENT,
-            exec: Box::new(move |range, _seed| {
+        Ok(CampaignPlan::over_policy(
+            SweepKind::Random,
+            self.seeds.len(),
+            ChunkPolicy::INDEPENDENT,
+            Box::new(move |range, _seed| {
                 range
                     .map(|i| {
                         let seed = seeds[i];
@@ -698,7 +840,7 @@ impl RandomCampaign {
                     })
                     .collect()
             }),
-        })
+        ))
     }
 
     /// The campaign's sharding contract (see [`CampaignManifest`]).
@@ -728,6 +870,20 @@ impl RandomCampaign {
     /// an empty seed list or a zero per-queue budget.
     pub fn run(&self, pool: &WorkPool) -> Result<SweepReport, SweepError> {
         self.plan(pool)?.run(pool)
+    }
+
+    /// Streams the campaign's points into `sink` in index order without
+    /// materializing the report (see [`CampaignPlan::run_sink`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`RandomCampaign::run`], plus [`SweepError::Sink`].
+    pub fn run_sink(
+        &self,
+        pool: &WorkPool,
+        sink: &mut dyn PointSink,
+    ) -> Result<SinkRun, SweepError> {
+        self.plan(pool)?.run_sink(pool, sink)
     }
 }
 

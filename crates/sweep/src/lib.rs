@@ -74,18 +74,41 @@
 //! and reassembles — byte-identical to the serial run for any shard
 //! partition, because chunk boundaries are part of the campaign's
 //! meaning, not the executor's choice.
+//!
+//! # Streaming
+//!
+//! The whole result path also runs without ever materializing a
+//! campaign: chunks execute under the pool's ordered consumer
+//! ([`WorkPool::run_ranges_ordered`]) and emit points into a
+//! [`PointSink`] as they complete; the incremental renderers
+//! ([`stream::ReportStream`]) and the bounded-memory fleet reducer
+//! ([`shard::StreamingReducer`]) are sinks. The batch APIs are thin
+//! wrappers over these, so streamed bytes ≡ batch bytes by
+//! construction — for every campaign shape, worker count, and chunk
+//! arrival order. The [`adaptive`] module extends warm chains past
+//! [`WARM_CHUNK`] by re-chunking *in the manifest*, keeping that same
+//! contract.
 
+pub mod adaptive;
 mod campaign;
 mod pool;
 mod report;
 pub mod shard;
+pub mod stream;
 
+pub use adaptive::{adaptive_chunks, rechunk_manifest, AdaptivePolicy};
 pub use campaign::{
-    parallel_policy_comparison, BudgetSweep, CampaignPlan, LoadSweep, RandomCampaign, SweepError,
-    WARM_CHUNK,
+    parallel_policy_comparison, BudgetSweep, CampaignPlan, LoadSweep, RandomCampaign, SinkRun,
+    SweepError, WARM_CHUNK,
 };
-pub use pool::WorkPool;
+pub use pool::{OrderedRun, WorkPool};
 pub use report::{SimSummary, SweepKind, SweepPoint, SweepReport};
 pub use shard::{
-    execute_manifest_chunk, merge_chunk_reports, plan_manifest, run_manifest, MergeError,
+    execute_manifest_chunk, execute_manifest_chunk_traced, merge_chunk_reports, plan_manifest,
+    run_manifest, run_manifest_sink, ChunkStats, MergeError, ReduceStats, ReportSink,
+    StreamingReducer,
+};
+pub use stream::{
+    FileSpool, FrontierIndex, FrontierTracker, MemSpool, PointSink, ReportStream, Spool,
+    StreamSummary, VecSink,
 };

@@ -187,6 +187,181 @@ impl WorkPool {
         .flatten()
         .collect()
     }
+
+    /// The sink-reducing variant of [`WorkPool::run_chunked`]: evaluates
+    /// `job` once per explicit range across the pool's workers and hands
+    /// each result to `consume` **strictly in range order** on the
+    /// calling thread — chunk `c`'s result is consumed before chunk
+    /// `c+1`'s, no matter which worker finished first. This is what
+    /// lets a campaign stream points into a sink while keeping the
+    /// worker-count byte-identity contract: consumption order is range
+    /// order, which is index order, which scheduling cannot touch.
+    ///
+    /// Memory is bounded: a worker that races ahead parks its finished
+    /// chunk and then refuses to *claim* chunk `c` until
+    /// `c < next_unconsumed + 2·workers`, so at most `2·workers` chunks
+    /// are ever parked awaiting consumption (plus one in flight per
+    /// worker). The gate cannot deadlock — chunks are claimed in order,
+    /// so the claimer of `next_unconsumed` itself is never gated.
+    ///
+    /// `consume` errors cancel the remaining work (workers finish at
+    /// most the chunk they are running) and the first error is
+    /// returned; because consumption is ordered, "first" means lowest
+    /// range index, matching what a batch collect-then-scan would
+    /// select.
+    ///
+    /// # Panics
+    ///
+    /// Job panics propagate as in [`WorkPool::run`].
+    pub fn run_ranges_ordered<R, E, F, C>(
+        &self,
+        ranges: &[std::ops::Range<usize>],
+        job: F,
+        mut consume: C,
+    ) -> Result<OrderedRun, E>
+    where
+        R: Send,
+        F: Fn(std::ops::Range<usize>) -> R + Sync,
+        C: FnMut(usize, R) -> Result<(), E>,
+    {
+        let n = ranges.len();
+        if self.workers == 1 || n <= 1 {
+            for (c, range) in ranges.iter().enumerate() {
+                consume(c, job(range.clone()))?;
+            }
+            return Ok(OrderedRun {
+                chunks: n,
+                peak_parked: 0,
+            });
+        }
+
+        struct Shared<R> {
+            parked: std::collections::BTreeMap<usize, R>,
+            next: usize,
+            abort: bool,
+            peak: usize,
+        }
+        let threads = self.workers.min(n);
+        let window = 2 * threads;
+        let claim = AtomicUsize::new(0);
+        let shared = std::sync::Mutex::new(Shared::<R> {
+            parked: std::collections::BTreeMap::new(),
+            next: 0,
+            abort: false,
+            peak: 0,
+        });
+        let turnstile = std::sync::Condvar::new();
+
+        let mut outcome: Result<OrderedRun, E> = Ok(OrderedRun {
+            chunks: n,
+            peak_parked: 0,
+        });
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        IN_POOL.with(|flag| flag.set(true));
+                        loop {
+                            let c = claim.fetch_add(1, Ordering::Relaxed);
+                            if c >= n {
+                                return;
+                            }
+                            {
+                                let mut g = shared.lock().expect("pool state poisoned");
+                                while !g.abort && c >= g.next + window {
+                                    g = turnstile.wait(g).expect("pool state poisoned");
+                                }
+                                if g.abort {
+                                    return;
+                                }
+                            }
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    job(ranges[c].clone())
+                                }));
+                            let mut g = shared.lock().expect("pool state poisoned");
+                            match result {
+                                Ok(r) => {
+                                    if g.abort {
+                                        return;
+                                    }
+                                    g.parked.insert(c, r);
+                                    g.peak = g.peak.max(g.parked.len());
+                                    turnstile.notify_all();
+                                }
+                                Err(panic) => {
+                                    g.abort = true;
+                                    turnstile.notify_all();
+                                    drop(g);
+                                    std::panic::resume_unwind(panic);
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+
+            // The calling thread is the consumer: drain parked chunks in
+            // strict range order, running `consume` outside the lock.
+            let mut err: Option<E> = None;
+            let mut drained = 0;
+            while drained < n {
+                let chunk = {
+                    let mut g = shared.lock().expect("pool state poisoned");
+                    loop {
+                        if g.abort {
+                            break None;
+                        }
+                        if let Some(r) = g.parked.remove(&drained) {
+                            break Some(r);
+                        }
+                        g = turnstile.wait(g).expect("pool state poisoned");
+                    }
+                };
+                let Some(chunk) = chunk else {
+                    break; // a worker panicked; joined below
+                };
+                match consume(drained, chunk) {
+                    Ok(()) => {
+                        drained += 1;
+                        let mut g = shared.lock().expect("pool state poisoned");
+                        g.next = drained;
+                        turnstile.notify_all();
+                    }
+                    Err(e) => {
+                        let mut g = shared.lock().expect("pool state poisoned");
+                        g.abort = true;
+                        turnstile.notify_all();
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            for handle in handles {
+                if let Err(panic) = handle.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+            outcome = match err {
+                Some(e) => Err(e),
+                None => Ok(OrderedRun {
+                    chunks: n,
+                    peak_parked: shared.lock().expect("pool state poisoned").peak,
+                }),
+            };
+        });
+        outcome
+    }
+}
+
+/// Counters returned by [`WorkPool::run_ranges_ordered`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderedRun {
+    /// Ranges executed and consumed.
+    pub chunks: usize,
+    /// Largest number of finished chunks ever parked awaiting ordered
+    /// consumption — bounded by `2·workers` by the claim gate.
+    pub peak_parked: usize,
 }
 
 /// The decomposed LP engine's block-solve hook: attaching a pool to
@@ -308,6 +483,101 @@ mod tests {
         assert!(
             total < ITEMS / 2,
             "{total} of {ITEMS} items ran; the queue should not drain after a panic"
+        );
+    }
+
+    fn ranges(n: usize, width: usize) -> Vec<std::ops::Range<usize>> {
+        (0..n).map(|c| c * width..(c + 1) * width).collect()
+    }
+
+    #[test]
+    fn ordered_ranges_consume_in_range_order_for_any_worker_count() {
+        // Skewed costs: early chunks are slowest, so completion order
+        // inverts range order under parallel execution.
+        let job = |r: std::ops::Range<usize>| {
+            if r.start < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(8 - r.start as u64));
+            }
+            r.start
+        };
+        for workers in [1, 2, 3, 8] {
+            let mut seen = Vec::new();
+            let run = WorkPool::new(workers)
+                .run_ranges_ordered::<_, (), _, _>(&ranges(24, 2), job, |c, start| {
+                    assert_eq!(start, c * 2);
+                    seen.push(c);
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(seen, (0..24).collect::<Vec<_>>(), "{workers} workers");
+            assert_eq!(run.chunks, 24);
+            assert!(
+                run.peak_parked <= 2 * workers,
+                "{workers} workers parked {} chunks",
+                run.peak_parked
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_ranges_bound_parked_chunks_when_chunk_zero_stalls() {
+        // Chunk 0 sleeps while the other workers race ahead; the claim
+        // gate must stop them at the window instead of parking the
+        // whole queue.
+        const WORKERS: usize = 4;
+        let job = |r: std::ops::Range<usize>| {
+            if r.start == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            r.start
+        };
+        let run = WorkPool::new(WORKERS)
+            .run_ranges_ordered::<_, (), _, _>(&ranges(64, 1), job, |_, _| Ok(()))
+            .unwrap();
+        assert!(
+            run.peak_parked <= 2 * WORKERS,
+            "parked {} chunks; the claim window must bound this",
+            run.peak_parked
+        );
+    }
+
+    #[test]
+    fn ordered_ranges_return_the_lowest_index_error_and_cancel() {
+        let executed = AtomicUsize::new(0);
+        let got = WorkPool::new(4).run_ranges_ordered(
+            &ranges(256, 1),
+            |r| {
+                executed.fetch_add(1, Ordering::SeqCst);
+                r.start
+            },
+            |c, _| {
+                if c == 3 {
+                    Err(format!("chunk {c}"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(got.unwrap_err(), "chunk 3");
+        // Cancellation: workers stop claiming once the consumer aborts.
+        assert!(
+            executed.load(Ordering::SeqCst) < 256,
+            "the queue should not drain after a consume error"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk 5 exploded")]
+    fn ordered_ranges_propagate_job_panics() {
+        let _ = WorkPool::new(4).run_ranges_ordered::<_, (), _, _>(
+            &ranges(32, 1),
+            |r| {
+                if r.start == 5 {
+                    panic!("chunk 5 exploded");
+                }
+                r.start
+            },
+            |_, _| Ok(()),
         );
     }
 }

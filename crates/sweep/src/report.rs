@@ -86,7 +86,13 @@ pub struct SweepPoint {
     pub shadow_price: f64,
     /// Whether the LP budget row had to be relaxed.
     pub budget_row_relaxed: bool,
-    /// Simplex pivots used by the joint LP.
+    /// Simplex pivots used by the joint LP. **Trace-only**: carried on
+    /// the struct for in-process diagnostics (bench probes, serve
+    /// traces, adaptive re-chunking) but excluded from every rendered
+    /// form — CSV, JSONL, chunk wire — because pivot counts vary with
+    /// warm-start seeding and chunk boundaries while the solution does
+    /// not. Keeping them out of the bytes is what lets re-chunked and
+    /// seeded executions render byte-identically to the defaults.
     pub lp_iterations: usize,
     /// Integer buffer allocation (queue order).
     pub allocation: Vec<usize>,
@@ -122,16 +128,16 @@ pub struct SweepReport {
     pub points: Vec<SweepPoint>,
 }
 
-impl SweepReport {
-    /// Pareto cost of a point: lower is better at equal loss.
-    fn cost(&self, p: &SweepPoint) -> f64 {
-        match self.kind {
-            SweepKind::Budget => p.budget as f64,
-            SweepKind::Load => -p.load_factor,
-            SweepKind::Random => -p.offered_rate,
-        }
+/// Pareto cost of a point under `kind`: lower is better at equal loss.
+pub(crate) fn cost_of(kind: SweepKind, p: &SweepPoint) -> f64 {
+    match kind {
+        SweepKind::Budget => p.budget as f64,
+        SweepKind::Load => -p.load_factor,
+        SweepKind::Random => -p.offered_rate,
     }
+}
 
+impl SweepReport {
     /// Indices of the Pareto-efficient points of the loss-vs-cost
     /// trade-off, in increasing cost order.
     ///
@@ -146,33 +152,38 @@ impl SweepReport {
     /// kept, which made the rendered `frontier` column silently hide
     /// equivalent allocations — two budgets reaching the same loss are
     /// both worth reporting.) Ties at *different* costs still resolve
-    /// in favor of the cheaper point. The extraction is a plain scan
-    /// over the index-ordered records, so it inherits the campaign's
+    /// in favor of the cheaper point.
+    ///
+    /// The extraction runs the streaming dominance pass of
+    /// [`crate::stream::FrontierTracker`] — the same one the
+    /// incremental renderers use, so batch and streamed flags cannot
+    /// diverge — which keeps only the current frontier staircase
+    /// resident and reproduces the historical sort-and-scan exactly
+    /// (the scan survives as the executable specification in the
+    /// `stream` module's tests). Membership depends only on each
+    /// point's `(cost, loss, position)`, so it inherits the campaign's
     /// scheduling independence.
     pub fn pareto_frontier(&self) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..self.points.len()).collect();
-        order.sort_by(|&a, &b| {
+        let mut tracker = crate::stream::FrontierTracker::new();
+        for (i, p) in self.points.iter().enumerate() {
+            tracker.observe(cost_of(self.kind, p), p.effective_loss(), i);
+        }
+        let index = tracker.finish();
+        let mut frontier: Vec<usize> = (0..self.points.len())
+            .filter(|&i| {
+                let p = &self.points[i];
+                index.is_frontier(cost_of(self.kind, p), p.effective_loss(), i)
+            })
+            .collect();
+        // The historical scan reported members in kept order:
+        // increasing cost, then loss, then position.
+        frontier.sort_by(|&a, &b| {
             let (pa, pb) = (&self.points[a], &self.points[b]);
-            self.cost(pa)
-                .total_cmp(&self.cost(pb))
+            cost_of(self.kind, pa)
+                .total_cmp(&cost_of(self.kind, pb))
                 .then(pa.effective_loss().total_cmp(&pb.effective_loss()))
                 .then(a.cmp(&b))
         });
-        let mut best_loss = f64::INFINITY;
-        let mut kept_key: Option<(f64, f64)> = None;
-        let mut frontier = Vec::new();
-        for i in order {
-            let key = (self.cost(&self.points[i]), self.points[i].effective_loss());
-            if key.1 < best_loss {
-                best_loss = key.1;
-                kept_key = Some(key);
-                frontier.push(i);
-            } else if kept_key == Some(key) {
-                // Exact (cost, loss) duplicate of a frontier point:
-                // equally efficient, equally reported.
-                frontier.push(i);
-            }
-        }
         frontier
     }
 
@@ -181,48 +192,17 @@ impl SweepReport {
     /// membership in [`SweepReport::pareto_frontier`]. Floats go
     /// through the shared wire writer, so non-finite values read
     /// `null` instead of `NaN`/`inf`.
+    ///
+    /// A thin wrapper over the incremental
+    /// [`crate::stream::ReportStream`] writer, so batch and streamed
+    /// CSV bytes are identical by construction.
     pub fn to_csv(&self) -> String {
-        let on_frontier = self.frontier_mask();
-        let mut out = String::from(
-            "index,kind,budget,load_factor,arch_seed,queues,offered_rate,predicted_loss,\
-             shadow_price,budget_row_relaxed,lp_iterations,allocation,frontier,\
-             pre_loss,post_loss,timeout_loss,improvement_vs_pre\n",
-        );
-        for (i, p) in self.points.iter().enumerate() {
-            let seed = p.arch_seed.map(|s| s.to_string()).unwrap_or_default();
-            let alloc = join(&p.allocation, "|");
-            let _ = write!(
-                out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
-                p.index,
-                self.kind.tag(),
-                p.budget,
-                num(p.load_factor),
-                seed,
-                p.queues,
-                num(p.offered_rate),
-                num(p.predicted_loss),
-                num(p.shadow_price),
-                p.budget_row_relaxed,
-                p.lp_iterations,
-                alloc,
-                u8::from(on_frontier[i]),
-            );
-            match &p.sim {
-                Some(s) => {
-                    let _ = writeln!(
-                        out,
-                        ",{},{},{},{}",
-                        num(s.pre_loss),
-                        num(s.post_loss),
-                        num(s.timeout_loss),
-                        num(s.improvement_vs_pre)
-                    );
-                }
-                None => out.push_str(",,,,\n"),
-            }
+        let mut stream = crate::stream::ReportStream::csv(self.kind, Vec::new());
+        for p in &self.points {
+            stream.push(p).expect("in-memory stream cannot fail");
         }
-        out
+        let (buf, _) = stream.finish().expect("in-memory stream cannot fail");
+        String::from_utf8(buf).expect("renderers emit UTF-8")
     }
 
     /// Appends one point as a self-contained JSON object — the shared
@@ -235,14 +215,17 @@ impl SweepReport {
     /// JSON-lines rendering: one self-contained object per point. Every
     /// line parses as valid JSON even when a point carries non-finite
     /// floats (they render as `null`).
+    ///
+    /// A thin wrapper over the incremental
+    /// [`crate::stream::ReportStream`] writer, so batch and streamed
+    /// JSONL bytes are identical by construction.
     pub fn to_jsonl(&self) -> String {
-        let on_frontier = self.frontier_mask();
-        let mut out = String::new();
-        for (i, p) in self.points.iter().enumerate() {
-            self.push_point_json(&mut out, p, on_frontier[i]);
-            out.push('\n');
+        let mut stream = crate::stream::ReportStream::jsonl(self.kind, Vec::new());
+        for p in &self.points {
+            stream.push(p).expect("in-memory stream cannot fail");
         }
-        out
+        let (buf, _) = stream.finish().expect("in-memory stream cannot fail");
+        String::from_utf8(buf).expect("renderers emit UTF-8")
     }
 
     /// Single-document rendering: the whole report as one JSON object,
@@ -320,17 +303,57 @@ fn join(xs: &[usize], sep: &str) -> String {
     s
 }
 
-/// Appends one point as a self-contained JSON object. `frontier: None`
-/// omits the flag entirely — the form chunk reports carry, because the
-/// frontier is a global property of the merged report that no single
-/// chunk can know; the reducer re-renders with `Some(flag)` computed
-/// over the full point set.
-pub(crate) fn push_point_json(
-    out: &mut String,
-    kind: SweepKind,
-    p: &SweepPoint,
-    frontier: Option<bool>,
-) {
+/// The CSV header line shared by the batch and streaming renderers.
+pub(crate) fn csv_header() -> &'static str {
+    "index,kind,budget,load_factor,arch_seed,queues,offered_rate,predicted_loss,\
+     shadow_price,budget_row_relaxed,allocation,frontier,\
+     pre_loss,post_loss,timeout_loss,improvement_vs_pre\n"
+}
+
+/// Appends the CSV cells preceding the `frontier` flag (trailing comma
+/// included). Split from [`push_csv_suffix`] so the streaming renderer
+/// can spool both halves before the global frontier is known.
+pub(crate) fn push_csv_prefix(out: &mut String, kind: SweepKind, p: &SweepPoint) {
+    let seed = p.arch_seed.map(|s| s.to_string()).unwrap_or_default();
+    let alloc = join(&p.allocation, "|");
+    let _ = write!(
+        out,
+        "{},{},{},{},{},{},{},{},{},{},{},",
+        p.index,
+        kind.tag(),
+        p.budget,
+        num(p.load_factor),
+        seed,
+        p.queues,
+        num(p.offered_rate),
+        num(p.predicted_loss),
+        num(p.shadow_price),
+        p.budget_row_relaxed,
+        alloc,
+    );
+}
+
+/// Appends the CSV cells following the `frontier` flag (the simulation
+/// columns, empty when absent), newline included.
+pub(crate) fn push_csv_suffix(out: &mut String, p: &SweepPoint) {
+    match &p.sim {
+        Some(s) => {
+            let _ = writeln!(
+                out,
+                ",{},{},{},{}",
+                num(s.pre_loss),
+                num(s.post_loss),
+                num(s.timeout_loss),
+                num(s.improvement_vs_pre)
+            );
+        }
+        None => out.push_str(",,,,\n"),
+    }
+}
+
+/// Appends the JSON object fields preceding the optional `frontier`
+/// flag — everything through the `allocation` array, unterminated.
+pub(crate) fn push_json_prefix(out: &mut String, kind: SweepKind, p: &SweepPoint) {
     let _ = write!(
         out,
         "{{\"index\":{},\"kind\":\"{}\",\"budget\":{},\"load_factor\":{},",
@@ -348,19 +371,20 @@ pub(crate) fn push_point_json(
     let _ = write!(
         out,
         "\"queues\":{},\"offered_rate\":{},\"predicted_loss\":{},\
-         \"shadow_price\":{},\"budget_row_relaxed\":{},\"lp_iterations\":{},\
+         \"shadow_price\":{},\"budget_row_relaxed\":{},\
          \"allocation\":[{}]",
         p.queues,
         num(p.offered_rate),
         num(p.predicted_loss),
         num(p.shadow_price),
         p.budget_row_relaxed,
-        p.lp_iterations,
         join(&p.allocation, ","),
     );
-    if let Some(flag) = frontier {
-        let _ = write!(out, ",\"frontier\":{flag}");
-    }
+}
+
+/// Appends the JSON object fields following the optional `frontier`
+/// flag (the `sim` field) and closes the object.
+pub(crate) fn push_json_suffix(out: &mut String, p: &SweepPoint) {
     match &p.sim {
         Some(s) => {
             let _ = write!(
@@ -375,6 +399,24 @@ pub(crate) fn push_point_json(
         }
         None => out.push_str(",\"sim\":null}"),
     }
+}
+
+/// Appends one point as a self-contained JSON object. `frontier: None`
+/// omits the flag entirely — the form chunk reports carry, because the
+/// frontier is a global property of the merged report that no single
+/// chunk can know; the reducer re-renders with `Some(flag)` computed
+/// over the full point set.
+pub(crate) fn push_point_json(
+    out: &mut String,
+    kind: SweepKind,
+    p: &SweepPoint,
+    frontier: Option<bool>,
+) {
+    push_json_prefix(out, kind, p);
+    if let Some(flag) = frontier {
+        let _ = write!(out, ",\"frontier\":{flag}");
+    }
+    push_json_suffix(out, p);
 }
 
 /// Renders one point in the frontier-free wire form chunk reports
@@ -392,7 +434,10 @@ pub(crate) fn point_wire_json(kind: SweepKind, p: &SweepPoint) -> String {
 /// The parse inverts [`push_point_json`] exactly: every float survives
 /// bit-for-bit (shortest-round-trip rendering), `null` floats come back
 /// as `NaN`, so `render ∘ parse ∘ render = render` — the identity the
-/// byte-identical merge rests on.
+/// byte-identical merge rests on. `lp_iterations` is not on the wire
+/// (it is trace-only; see [`SweepPoint::lp_iterations`]), so parsed
+/// points carry a zero count and payloads from the era that rendered
+/// it are rejected by name.
 pub(crate) fn sweep_point_from_json(
     v: &socbuf_core::wire::JsonValue,
     expect_kind: SweepKind,
@@ -412,7 +457,6 @@ pub(crate) fn sweep_point_from_json(
                 | "predicted_loss"
                 | "shadow_price"
                 | "budget_row_relaxed"
-                | "lp_iterations"
                 | "allocation"
                 | "frontier"
                 | "sim"
@@ -472,7 +516,7 @@ pub(crate) fn sweep_point_from_json(
         predicted_loss: req("predicted_loss")?.f64("predicted_loss")?,
         shadow_price: req("shadow_price")?.f64("shadow_price")?,
         budget_row_relaxed: req("budget_row_relaxed")?.bool("budget_row_relaxed")?,
-        lp_iterations: req("lp_iterations")?.usize("lp_iterations")?,
+        lp_iterations: 0,
         allocation,
         sim,
     })

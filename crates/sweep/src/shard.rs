@@ -14,37 +14,55 @@
 //! The contract pinned by the test-suite and `shard_probe --smoke`:
 //! merged CSV/JSONL bytes equal the serial single-host bytes for *any*
 //! assignment of chunks to shards, because chunk boundaries (and with
-//! them warm-chain membership, hence pivot counts, hence rendered
-//! `lp_iterations`) are fixed by the manifest's [`ChunkPolicy`]
-//! partition, never by who executes the chunk. Basis-seeded execution
-//! (the `seed` parameter) deliberately breaks that equality — it is the
-//! shard layer's opt-in warm-transfer mode, measured by pivot counts —
-//! so nothing on the merge path ever seeds.
+//! them warm-chain membership) are declared by the manifest — the
+//! [`ChunkPolicy`] partition by default, or a boundary-aligned
+//! coarsening of it from adaptive re-chunking — never chosen by who
+//! executes the chunk. Pivot counts do vary with chunking and seeding,
+//! which is why they are trace-only and never rendered (see
+//! [`SweepPoint::lp_iterations`]); shards that want them use
+//! [`execute_manifest_chunk_traced`]. Basis-seeded execution (the
+//! `seed` parameter) may still move the solver onto a different
+//! optimal vertex, so nothing on the merge path ever seeds — it is the
+//! shard layer's opt-in warm-transfer mode, measured by pivot counts.
+//!
+//! The reducer is streaming at heart: [`StreamingReducer`] ingests
+//! chunk reports in any arrival order, verifies coverage incrementally,
+//! and flushes points into a [`PointSink`] the moment the in-order run
+//! extends — resident memory is bounded by the out-of-order window,
+//! not the campaign. [`merge_chunk_reports`] is the batch wrapper
+//! (reducer + collecting sink).
 //!
 //! [`ChunkPolicy`]: socbuf_core::ChunkPolicy
+//! [`SweepPoint::lp_iterations`]: crate::report::SweepPoint
+
+use std::collections::BTreeMap;
 
 use socbuf_core::wire::{CampaignManifest, ChunkReport, JsonValue, ManifestShape, WireError};
 use socbuf_core::BasisSnapshot;
 
-use crate::campaign::{BudgetSweep, CampaignPlan, LoadSweep, RandomCampaign, SweepError};
+use crate::campaign::{BudgetSweep, CampaignPlan, LoadSweep, RandomCampaign, SinkRun, SweepError};
 use crate::pool::WorkPool;
-use crate::report::{point_wire_json, sweep_point_from_json, SweepKind, SweepReport};
+use crate::report::{point_wire_json, sweep_point_from_json, SweepKind, SweepPoint, SweepReport};
+use crate::stream::{PointSink, VecSink};
 
 /// Lowers a manifest to the chunk-execution core of the campaign it
-/// describes. The plan borrows the manifest's architecture; everything
-/// else is cloned in, so one manifest can be planned many times (once
-/// per chunk request on a shard server).
+/// describes, executing the manifest's *declared* chunk partition —
+/// the policy default, or the coarsened partition an adaptive
+/// re-chunking wrote into it. The plan borrows the manifest's
+/// architecture; everything else is cloned in, so one manifest can be
+/// planned many times (once per chunk request on a shard server).
 ///
 /// # Errors
 ///
 /// [`SweepError::BadConfig`] for unusable campaigns — the same
 /// refusals [`CampaignManifest::new`] makes, re-checked because a
-/// manifest may arrive over the wire.
+/// manifest may arrive over the wire — or for a declared chunk
+/// partition the campaign's scheduling policy cannot align with.
 pub fn plan_manifest<'a>(
     manifest: &'a CampaignManifest,
     pool: &WorkPool,
 ) -> Result<CampaignPlan<'a>, SweepError> {
-    match &manifest.shape {
+    let plan = match &manifest.shape {
         ManifestShape::Budget {
             arch,
             budgets,
@@ -83,7 +101,8 @@ pub fn plan_manifest<'a>(
             simulate: None,
         }
         .plan(pool),
-    }
+    }?;
+    plan.with_ranges(manifest.chunks.iter().map(|c| c.start..c.end).collect())
 }
 
 /// Runs the whole campaign locally — the serial reference a sharded
@@ -100,21 +119,34 @@ pub fn run_manifest(
     plan_manifest(manifest, pool)?.run(pool)
 }
 
+/// Solver-effort trace for one executed chunk — measurement the wire
+/// report deliberately omits (pivot counts vary with chunking and
+/// seeding, so they can never be part of the byte-identity contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkStats {
+    /// Points solved in the chunk.
+    pub points: usize,
+    /// Total simplex pivots across the chunk, cold solve included.
+    pub pivots: usize,
+}
+
 /// Executes one manifest chunk and wraps the points into the
-/// chunk-tagged wire report a reducer can verify. `seed` warm-starts
-/// the chunk's chain from an imported basis — never use it on the
-/// byte-identity path (see the module docs).
+/// chunk-tagged wire report a reducer can verify, alongside the
+/// trace-only [`ChunkStats`] (warm-transfer probes and serve traces
+/// report pivots; the wire report never carries them). `seed`
+/// warm-starts the chunk's chain from an imported basis — never use it
+/// on the byte-identity path (see the module docs).
 ///
 /// # Errors
 ///
 /// [`SweepError::BadConfig`] for a chunk index outside the manifest's
 /// partition, else the lowest-index point failure within the chunk.
-pub fn execute_manifest_chunk(
+pub fn execute_manifest_chunk_traced(
     manifest: &CampaignManifest,
     chunk: usize,
     pool: &WorkPool,
     seed: Option<BasisSnapshot>,
-) -> Result<ChunkReport, SweepError> {
+) -> Result<(ChunkReport, ChunkStats), SweepError> {
     let range = *manifest.chunks.get(chunk).ok_or_else(|| {
         SweepError::BadConfig(format!(
             "chunk {chunk} is out of range for a {}-chunk manifest",
@@ -123,21 +155,58 @@ pub fn execute_manifest_chunk(
     })?;
     let plan = plan_manifest(manifest, pool)?;
     let kind = plan.kind();
-    let points = plan
-        .execute_chunk(chunk, seed)?
+    let solved = plan.execute_chunk(chunk, seed)?;
+    let stats = ChunkStats {
+        points: solved.len(),
+        pivots: solved.iter().map(|p| p.lp_iterations).sum(),
+    };
+    let points = solved
         .iter()
         .map(|p| {
             JsonValue::parse(&point_wire_json(kind, p)).expect("point renderer emits valid JSON")
         })
         .collect();
-    Ok(ChunkReport {
+    let report = ChunkReport {
         config_hash: manifest.config_hash,
         kind: kind.tag().to_string(),
         chunk,
         start: range.start,
         end: range.end,
         points,
-    })
+    };
+    Ok((report, stats))
+}
+
+/// [`execute_manifest_chunk_traced`] without the trace — the plain
+/// shard-worker entry point.
+///
+/// # Errors
+///
+/// As for [`execute_manifest_chunk_traced`].
+pub fn execute_manifest_chunk(
+    manifest: &CampaignManifest,
+    chunk: usize,
+    pool: &WorkPool,
+    seed: Option<BasisSnapshot>,
+) -> Result<ChunkReport, SweepError> {
+    execute_manifest_chunk_traced(manifest, chunk, pool, seed).map(|(report, _)| report)
+}
+
+/// Runs the whole campaign locally, streaming points into `sink` in
+/// index order as chunks complete — the sink-side twin of
+/// [`run_manifest`].
+///
+/// # Errors
+///
+/// The lowest-index point failure, [`SweepError::Sink`] when the sink
+/// refuses a point, or [`SweepError::BadConfig`] for an unusable
+/// campaign.
+pub fn run_manifest_sink(
+    manifest: &CampaignManifest,
+    pool: &WorkPool,
+    sink: &mut dyn PointSink,
+) -> Result<SinkRun, SweepError> {
+    plan_manifest(manifest, pool)?.run_sink(pool, sink)
 }
 
 /// A merge refusal: the chunk reports do not cover the manifest's
@@ -199,6 +268,12 @@ pub enum MergeError {
         /// The underlying wire error.
         source: WireError,
     },
+    /// The downstream [`PointSink`] refused a merged point — an I/O
+    /// failure on the streaming path, not a coverage violation.
+    Sink {
+        /// The sink's error.
+        source: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for MergeError {
@@ -242,6 +317,7 @@ impl std::fmt::Display for MergeError {
             MergeError::BadPoint { chunk, source } => {
                 write!(f, "chunk {chunk}: bad point: {source}")
             }
+            MergeError::Sink { source } => write!(f, "merge sink failed: {source}"),
         }
     }
 }
@@ -250,76 +326,238 @@ impl std::error::Error for MergeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             MergeError::BadPoint { source, .. } => Some(source),
+            MergeError::Sink { source } => Some(source),
             _ => None,
         }
     }
 }
 
-/// The reducer: verifies that `reports` cover the manifest's chunk
-/// partition exactly — every chunk present once, each under the
+/// What a finished merge looked like from the inside — coverage and
+/// residency figures the streaming path reports (and `scale_probe`
+/// asserts a ceiling on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// Chunks ingested (equals the manifest's chunk count on success).
+    pub chunks: usize,
+    /// Points flushed to the sink.
+    pub points: usize,
+    /// The largest number of parsed points ever parked waiting for an
+    /// earlier chunk — the reducer's memory high-water mark. Bounded by
+    /// the out-of-order window of the arrival order, not the campaign
+    /// size.
+    pub peak_resident_points: usize,
+}
+
+/// Anything that consumes verified chunk reports — the report-level
+/// analogue of [`PointSink`], used by the serve client's fleet fan-out
+/// to hand arriving stream frames to whichever reducer coordinates the
+/// merge.
+pub trait ReportSink {
+    /// Ingests one chunk report.
+    ///
+    /// # Errors
+    ///
+    /// A [`MergeError`] when the report cannot be accepted.
+    fn accept_report(&mut self, report: &ChunkReport) -> Result<(), MergeError>;
+}
+
+/// The bounded-memory merge reducer: ingests chunk reports in **any**
+/// arrival order, verifies each against the manifest as it arrives
+/// (config hash, kind, declared range, no duplicates), and flushes
+/// points into a [`PointSink`] in index order the moment the in-order
+/// run extends. Out-of-order reports park their parsed points; the
+/// high-water mark of that parking lot is [`ReduceStats::peak_resident_points`],
+/// bounded by how far ahead of the merge frontier the producers run —
+/// never by the campaign size.
+///
+/// The sink receives exactly the byte-identity point sequence: feeding
+/// it a [`crate::stream::ReportStream`] writes the same CSV/JSONL the
+/// serial single-host run renders, for any chunk→shard assignment and
+/// any arrival interleaving.
+pub struct StreamingReducer<S: PointSink> {
+    sink: S,
+    kind: SweepKind,
+    expected_kind: &'static str,
+    config_hash: u64,
+    /// The manifest's declared `(start, end)` per chunk.
+    chunks: Vec<(usize, usize)>,
+    seen: Vec<bool>,
+    parked: BTreeMap<usize, Vec<SweepPoint>>,
+    next: usize,
+    chunks_in: usize,
+    points_out: usize,
+    resident: usize,
+    peak_resident: usize,
+}
+
+impl<S: PointSink> StreamingReducer<S> {
+    /// A reducer expecting exactly `manifest`'s chunk partition,
+    /// flushing merged points into `sink`.
+    pub fn new(manifest: &CampaignManifest, sink: S) -> StreamingReducer<S> {
+        let expected_kind = manifest.shape.kind_tag();
+        let kind = SweepKind::from_tag(expected_kind).expect("manifest kind tags mirror SweepKind");
+        let chunks: Vec<(usize, usize)> =
+            manifest.chunks.iter().map(|c| (c.start, c.end)).collect();
+        let seen = vec![false; chunks.len()];
+        StreamingReducer {
+            sink,
+            kind,
+            expected_kind,
+            config_hash: manifest.config_hash,
+            chunks,
+            seen,
+            parked: BTreeMap::new(),
+            next: 0,
+            chunks_in: 0,
+            points_out: 0,
+            resident: 0,
+            peak_resident: 0,
+        }
+    }
+
+    /// Points currently parked waiting for an earlier chunk.
+    pub fn resident_points(&self) -> usize {
+        self.resident
+    }
+
+    /// The largest [`resident_points`](Self::resident_points) ever seen.
+    pub fn peak_resident_points(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// The next chunk index the merge frontier is waiting for; equals
+    /// the manifest's chunk count once coverage is complete.
+    pub fn frontier(&self) -> usize {
+        self.next
+    }
+
+    /// Verifies one report and flushes whatever in-order run it
+    /// completes. Order of arrival is irrelevant to the merged output.
+    ///
+    /// # Errors
+    ///
+    /// The report's first violation — unknown chunk, foreign config
+    /// hash, wrong kind, wrong range, duplicate, unparseable point —
+    /// or [`MergeError::Sink`] if the downstream sink fails while this
+    /// report's run flushes.
+    pub fn ingest(&mut self, report: &ChunkReport) -> Result<(), MergeError> {
+        let num_chunks = self.chunks.len();
+        if report.chunk >= num_chunks {
+            return Err(MergeError::UnknownChunk {
+                chunk: report.chunk,
+                num_chunks,
+            });
+        }
+        if report.config_hash != self.config_hash {
+            return Err(MergeError::HashMismatch {
+                chunk: report.chunk,
+                expected: self.config_hash,
+                got: report.config_hash,
+            });
+        }
+        if report.kind != self.expected_kind {
+            return Err(MergeError::KindMismatch {
+                chunk: report.chunk,
+                expected: self.expected_kind,
+                got: report.kind.clone(),
+            });
+        }
+        let want = self.chunks[report.chunk];
+        if report.start != want.0 || report.end != want.1 {
+            return Err(MergeError::RangeMismatch {
+                chunk: report.chunk,
+                expected: want,
+                got: (report.start, report.end),
+            });
+        }
+        if self.seen[report.chunk] {
+            return Err(MergeError::DuplicateChunk {
+                chunk: report.chunk,
+            });
+        }
+        let mut points = Vec::with_capacity(report.points.len());
+        for v in &report.points {
+            points.push(sweep_point_from_json(v, self.kind).map_err(|source| {
+                MergeError::BadPoint {
+                    chunk: report.chunk,
+                    source,
+                }
+            })?);
+        }
+        self.seen[report.chunk] = true;
+        self.chunks_in += 1;
+        self.resident += points.len();
+        self.peak_resident = self.peak_resident.max(self.resident);
+        self.parked.insert(report.chunk, points);
+        // Flush the in-order run this report may have completed.
+        while let Some(run) = self.parked.remove(&self.next) {
+            self.resident -= run.len();
+            self.next += 1;
+            for point in run {
+                self.points_out += 1;
+                self.sink
+                    .accept(point)
+                    .map_err(|source| MergeError::Sink { source })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies coverage is complete and returns the sink with the
+    /// merge's statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError::MissingChunk`] naming the lowest uncovered chunk.
+    pub fn finish(self) -> Result<(S, ReduceStats), MergeError> {
+        if let Some(chunk) = self.seen.iter().position(|covered| !covered) {
+            return Err(MergeError::MissingChunk { chunk });
+        }
+        Ok((
+            self.sink,
+            ReduceStats {
+                chunks: self.chunks_in,
+                points: self.points_out,
+                peak_resident_points: self.peak_resident,
+            },
+        ))
+    }
+}
+
+impl<S: PointSink> ReportSink for StreamingReducer<S> {
+    fn accept_report(&mut self, report: &ChunkReport) -> Result<(), MergeError> {
+        self.ingest(report)
+    }
+}
+
+/// The batch reducer: verifies that `reports` cover the manifest's
+/// chunk partition exactly — every chunk present once, each under the
 /// manifest's config hash, kind, and item range — and reassembles the
 /// points into a [`SweepReport`] whose CSV/JSONL renderings are
 /// byte-identical to the serial single-host run (the frontier flag,
 /// a global property no chunk can compute, is re-derived by the
-/// report's own renderers).
+/// report's own renderers). A thin wrapper over [`StreamingReducer`]
+/// with a collecting sink.
 ///
 /// Report order is irrelevant: chunks are slotted by index.
 ///
 /// # Errors
 ///
-/// The first violation found, reports scanned in the order given, then
-/// gaps in chunk order.
+/// The first violation found, reports scanned in the order given
+/// (each report fully verified — coverage checks *and* point parse —
+/// before the next is looked at), then gaps in chunk order.
 pub fn merge_chunk_reports(
     manifest: &CampaignManifest,
     reports: &[ChunkReport],
 ) -> Result<SweepReport, MergeError> {
-    let expected_kind = manifest.shape.kind_tag();
-    let kind = SweepKind::from_tag(expected_kind).expect("manifest kind tags mirror SweepKind");
-    let num_chunks = manifest.chunks.len();
-    let mut slots: Vec<Option<&ChunkReport>> = vec![None; num_chunks];
+    let mut reducer = StreamingReducer::new(manifest, VecSink::new());
+    let kind = reducer.kind;
     for r in reports {
-        if r.chunk >= num_chunks {
-            return Err(MergeError::UnknownChunk {
-                chunk: r.chunk,
-                num_chunks,
-            });
-        }
-        if r.config_hash != manifest.config_hash {
-            return Err(MergeError::HashMismatch {
-                chunk: r.chunk,
-                expected: manifest.config_hash,
-                got: r.config_hash,
-            });
-        }
-        if r.kind != expected_kind {
-            return Err(MergeError::KindMismatch {
-                chunk: r.chunk,
-                expected: expected_kind,
-                got: r.kind.clone(),
-            });
-        }
-        let want = manifest.chunks[r.chunk];
-        if r.start != want.start || r.end != want.end {
-            return Err(MergeError::RangeMismatch {
-                chunk: r.chunk,
-                expected: (want.start, want.end),
-                got: (r.start, r.end),
-            });
-        }
-        if slots[r.chunk].is_some() {
-            return Err(MergeError::DuplicateChunk { chunk: r.chunk });
-        }
-        slots[r.chunk] = Some(r);
+        reducer.ingest(r)?;
     }
-    let mut points = Vec::with_capacity(manifest.items());
-    for (chunk, slot) in slots.iter().enumerate() {
-        let r = slot.ok_or(MergeError::MissingChunk { chunk })?;
-        for v in &r.points {
-            points.push(
-                sweep_point_from_json(v, kind)
-                    .map_err(|source| MergeError::BadPoint { chunk, source })?,
-            );
-        }
-    }
-    Ok(SweepReport { kind, points })
+    let (sink, _) = reducer.finish()?;
+    Ok(SweepReport {
+        kind,
+        points: sink.into_points(),
+    })
 }

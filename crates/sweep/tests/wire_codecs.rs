@@ -10,8 +10,8 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use socbuf_core::wire::{
-    basis_snapshot_from_json, basis_snapshot_to_json, CampaignManifest, ChunkReport, JsonValue,
-    ManifestShape, WireError,
+    basis_snapshot_from_json, basis_snapshot_to_json, CampaignManifest, ChunkJsonlReader,
+    ChunkJsonlWriter, ChunkLine, ChunkReport, JsonValue, ManifestShape, WireError,
 };
 use socbuf_core::{BasisSnapshot, LpEngine, SizingConfig};
 use socbuf_soc::templates::{self, RandomArchParams};
@@ -320,6 +320,120 @@ proptest! {
     }
 
     #[test]
+    fn incremental_jsonl_codec_agrees_with_the_batch_renderings(
+        config_hash in 0usize..1_000_000_000,
+        kind in 0usize..3,
+        start in 0usize..50,
+        len in 1usize..=5,
+        payloads in vec(0.0f64..10.0, 5),
+    ) {
+        let report = report_from(config_hash as u64, kind, start, &payloads[..len]);
+
+        // Writer side: header line + one line per point concatenates
+        // to exactly the batch `to_jsonl` bytes.
+        let mut writer = ChunkJsonlWriter::new(
+            report.config_hash,
+            &report.kind,
+            report.chunk,
+            report.start,
+            report.end,
+        )
+        .unwrap();
+        let mut doc = writer.header_line();
+        for (i, point) in report.points.iter().enumerate() {
+            prop_assert_eq!(writer.remaining(), report.points.len() - i);
+            doc.push_str(&writer.point_line(point).unwrap());
+        }
+        writer.finish().unwrap();
+        prop_assert_eq!(&doc, &report.to_jsonl());
+
+        // Reader side: line-by-line parse reconstructs the identity
+        // and every point, and agrees the document is complete.
+        let mut reader = ChunkJsonlReader::new();
+        let mut lines = doc.lines();
+        match reader.push_line(lines.next().unwrap()).unwrap() {
+            ChunkLine::Header { config_hash, kind, chunk, start, end } => {
+                prop_assert_eq!(config_hash, report.config_hash);
+                prop_assert_eq!(kind, report.kind.clone());
+                prop_assert_eq!(chunk, report.chunk);
+                prop_assert_eq!(start, report.start);
+                prop_assert_eq!(end, report.end);
+            }
+            other => panic!("first line must be the header, got {other:?}"),
+        }
+        for (i, line) in lines.enumerate() {
+            prop_assert!(!reader.is_complete());
+            match reader.push_line(line).unwrap() {
+                ChunkLine::Point { index, point } => {
+                    prop_assert_eq!(index, report.start + i);
+                    let mut rendered = String::new();
+                    point.push(&mut rendered);
+                    let mut expected = String::new();
+                    report.points[i].push(&mut expected);
+                    prop_assert_eq!(rendered, expected);
+                }
+                other => panic!("point line parsed as {other:?}"),
+            }
+        }
+        prop_assert!(reader.is_complete());
+        reader.finish().unwrap();
+    }
+
+    #[test]
+    fn incremental_codec_rejects_what_the_batch_parser_rejects(
+        config_hash in 0usize..1_000_000_000,
+        kind in 0usize..3,
+        start in 0usize..50,
+        len in 2usize..=5,
+        payloads in vec(0.0f64..10.0, 5),
+        which in 0usize..4,
+    ) {
+        let report = report_from(config_hash as u64, kind, start, &payloads[..len]);
+        let doc = report.to_jsonl();
+        let mut lines: Vec<String> = doc.lines().map(str::to_string).collect();
+        let expect = match which {
+            // Shortfall: the last point line never arrives.
+            0 => {
+                lines.pop();
+                "needs"
+            }
+            // Renumbered point.
+            1 => {
+                lines[1] = lines[1].replacen(
+                    &format!("\"index\":{}", report.start),
+                    &format!("\"index\":{}", report.start + 7000),
+                    1,
+                );
+                "expected"
+            }
+            // A point smuggling the global frontier flag.
+            2 => {
+                lines[1] = lines[1].replacen('}', ",\"frontier\":true}", 1);
+                "frontier"
+            }
+            // One point line too many.
+            _ => {
+                lines.push(lines[len].clone());
+                "needs"
+            }
+        };
+        let mut reader = ChunkJsonlReader::new();
+        let outcome: Result<(), WireError> = (|| {
+            for line in &lines {
+                reader.push_line(line)?;
+            }
+            reader.finish()
+        })();
+        match outcome {
+            Err(WireError::Schema(msg)) => prop_assert!(
+                msg.contains(expect),
+                "expected \"{expect}\" in: {msg}"
+            ),
+            other => panic!("corrupted stream accepted: {other:?}"),
+        }
+    }
+
+    #[test]
     fn basis_snapshot_round_trips(
         cols in 1usize..64,
         raw_rows in vec(0usize..256, 24),
@@ -355,5 +469,49 @@ proptest! {
             ),
             other => panic!("out-of-range basis accepted: {other:?}"),
         }
+    }
+}
+
+#[test]
+fn coarsened_chunk_partitions_are_accepted_and_misaligned_ones_named() {
+    // 10 items under warm chains of 4: base partition 0..4, 4..8, 8..10.
+    let shape = || ManifestShape::Budget {
+        arch: templates::amba(),
+        budgets: (0..10).map(|i| 10 + 2 * i).collect(),
+        warm_start: true,
+    };
+    let base = CampaignManifest::new(shape(), small()).unwrap();
+    assert_eq!(base.chunks.len(), 3);
+
+    // A union of consecutive base chunks is a valid declared partition
+    // with the same config hash, and survives its wire round-trip.
+    let coarse = CampaignManifest::with_chunks(shape(), small(), vec![0..8, 8..10]).unwrap();
+    assert_eq!(coarse.config_hash, base.config_hash);
+    let parsed =
+        CampaignManifest::from_json(&JsonValue::parse(&coarse.to_json()).unwrap()).unwrap();
+    assert_eq!(parsed.chunks, coarse.chunks);
+
+    // Boundaries off the base chain grid are refused by name…
+    match CampaignManifest::with_chunks(shape(), small(), vec![0..6, 6..10]) {
+        Err(WireError::Schema(msg)) => {
+            assert!(msg.contains("scheduling policy requires"), "{msg}")
+        }
+        other => panic!("misaligned partition accepted: {other:?}"),
+    }
+    // …as are gaps and overlaps between declared chunks.
+    match CampaignManifest::with_chunks(shape(), small(), vec![0..4, 8..10]) {
+        Err(WireError::Schema(msg)) => assert!(msg.contains("coverage gap"), "{msg}"),
+        other => panic!("gapped partition accepted: {other:?}"),
+    }
+    match CampaignManifest::with_chunks(shape(), small(), vec![0..8, 4..10]) {
+        Err(WireError::Schema(msg)) => {
+            assert!(msg.contains("overlapping chunk ranges"), "{msg}")
+        }
+        other => panic!("overlapping partition accepted: {other:?}"),
+    }
+    let short_partition = vec![std::ops::Range { start: 0, end: 8 }];
+    match CampaignManifest::with_chunks(shape(), small(), short_partition) {
+        Err(WireError::Schema(msg)) => assert!(msg.contains("coverage gap"), "{msg}"),
+        other => panic!("short partition accepted: {other:?}"),
     }
 }
